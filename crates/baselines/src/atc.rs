@@ -1,0 +1,83 @@
+//! ATC-style attributed truss community (Huang & Lakshmanan, PVLDB 2017),
+//! used in the Fig. 15(h) case-study comparison.
+//!
+//! ATC looks for a (k+1)-truss containing the query vertices that maximizes
+//! keyword/attribute coverage. For the comparison we only need its structural
+//! part — a connected (k+1)-truss containing `Q`, optionally restricted to
+//! vertices carrying a required keyword — because the point the case study
+//! makes is that ATC ignores the numerical attributes entirely and therefore
+//! returns much larger communities than the MAC model.
+
+use rsn_graph::graph::{Graph, VertexId};
+use rsn_graph::truss::connected_k_truss_containing;
+
+/// Finds the connected (k+1)-truss containing the query vertices, restricted
+/// to vertices whose `has_keyword` flag is set (pass all-true for the
+/// unrestricted variant). Returns `None` when no such community exists.
+pub fn atc_community(
+    graph: &Graph,
+    q: &[VertexId],
+    k: u32,
+    has_keyword: &[bool],
+) -> Option<Vec<VertexId>> {
+    // Restrict the graph to keyword-carrying vertices (query vertices are
+    // always kept, as in the ATC candidate generation).
+    let keep: Vec<VertexId> = (0..graph.num_vertices() as u32)
+        .filter(|&v| has_keyword[v as usize] || q.contains(&v))
+        .collect();
+    let (sub, new_to_old) = graph.induced_subgraph(&keep);
+    let mut old_to_new = vec![u32::MAX; graph.num_vertices()];
+    for (new, &old) in new_to_old.iter().enumerate() {
+        old_to_new[old as usize] = new as u32;
+    }
+    let local_q: Vec<u32> = q.iter().map(|&v| old_to_new[v as usize]).collect();
+    if local_q.iter().any(|&v| v == u32::MAX) {
+        return None;
+    }
+    let community = connected_k_truss_containing(&sub, k + 1, &local_q)?;
+    Some(
+        community
+            .into_iter()
+            .map(|v| new_to_old[v as usize])
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_truss_community_containing_query() {
+        // K5 on {0..4} plus a tail
+        let mut edges = Vec::new();
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                edges.push((i, j));
+            }
+        }
+        edges.push((4, 5));
+        edges.push((5, 6));
+        let graph = Graph::from_edges(7, &edges);
+        let keywords = vec![true; 7];
+        let comm = atc_community(&graph, &[0], 3, &keywords).unwrap();
+        assert_eq!(comm, vec![0, 1, 2, 3, 4]);
+        assert!(atc_community(&graph, &[6], 3, &keywords).is_none());
+    }
+
+    #[test]
+    fn keyword_filter_restricts_members() {
+        let mut edges = Vec::new();
+        for i in 0..6u32 {
+            for j in (i + 1)..6 {
+                edges.push((i, j));
+            }
+        }
+        let graph = Graph::from_edges(6, &edges);
+        let mut keywords = vec![true; 6];
+        keywords[5] = false;
+        let comm = atc_community(&graph, &[0], 3, &keywords).unwrap();
+        assert!(!comm.contains(&5));
+        assert!(comm.len() == 5);
+    }
+}

@@ -1,0 +1,28 @@
+//! # rsn-baselines
+//!
+//! Comparison algorithms used in the paper's evaluation (Fig. 13, Fig. 14 and
+//! the case studies of Fig. 15/16):
+//!
+//! * [`influ`] — influential community search (Li et al., PVLDB'15): the
+//!   community model with a single numerical attribute (here: the weighted sum
+//!   of the d attributes under one concrete weight vector). `Influ` recomputes
+//!   the peeling per query; `InfluPlus` precomputes an ICP-style peeling index
+//!   and answers queries from it.
+//! * [`sky`] — skyline community search (Li et al., SIGMOD'18): communities
+//!   whose d-dimensional score vectors are not dominated. `Sky` is the basic
+//!   recursive dimension-reduction algorithm; `SkyPlus` adds space-partition
+//!   pruning. Both become intractable as d grows, which is exactly the
+//!   behaviour Fig. 13(c)/14(c) report.
+//! * [`atc`] — an ATC-style attributed k-truss community (Huang & Lakshmanan,
+//!   PVLDB'17) used in the Fig. 15(h) case-study comparison.
+//!
+//! All baselines operate on the same maximal (k,t)-core extraction as the MAC
+//! algorithms so that comparisons isolate the community-model cost.
+
+pub mod atc;
+pub mod influ;
+pub mod sky;
+
+pub use atc::atc_community;
+pub use influ::{Influ, InfluPlus};
+pub use sky::{skyline_communities, skyline_communities_pruned, SkylineCommunity};

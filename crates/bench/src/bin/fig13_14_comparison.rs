@@ -1,0 +1,160 @@
+//! Figures 13 and 14: comparison of GS-NC / LS-NC against the baselines
+//! Influ, Influ+, Sky and Sky+, varying k (b) and d (c).
+//!
+//! The baselines follow the paper's protocol: Influ/Influ+ collapse the d
+//! attributes to a single influence value via 100 random weight vectors drawn
+//! from `R` and report the average time; Sky/Sky+ ignore `R` entirely.
+//!
+//! ```text
+//! cargo run -p rsn-bench --release --bin fig13_14_comparison -- --preset sf_delicious [--scale 0.2]
+//! ```
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rsn_baselines::influ::{Influ, InfluPlus};
+use rsn_baselines::sky::{skyline_communities, skyline_communities_pruned};
+use rsn_bench::runner::{with_dimensionality, QuerySpec};
+use rsn_core::{GlobalSearch, LocalSearch, RoadSocialNetwork, SearchContext};
+use rsn_datagen::presets::{build_preset_scaled, Dataset, PresetName, PresetScale};
+use std::time::Instant;
+
+const INFLU_WEIGHT_SAMPLES: usize = 20;
+const SKY_TIME_CAP_SECONDS: f64 = 30.0;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let preset = args
+        .iter()
+        .position(|a| a == "--preset")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| PresetName::parse(s))
+        .unwrap_or(PresetName::SfDelicious);
+    let scale: f64 = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.2);
+    let dataset = build_preset_scaled(
+        preset,
+        PresetScale {
+            social: scale,
+            road: scale,
+        },
+        0,
+    );
+
+    println!("Fig. 13/14 comparison on {} (scale {scale})", preset.label());
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "param", "GS-NC", "LS-NC", "Influ", "Influ+", "Sky", "Sky+"
+    );
+
+    println!("(b) varying k");
+    for &k in &[4u32, 8, 16, 32] {
+        let row = compare(&dataset, &dataset.rsn, k, 3);
+        print_row(&format!("k={k}"), &row);
+    }
+
+    println!("(c) varying d");
+    for &d in &[2usize, 3, 4, 5] {
+        let rsn = with_dimensionality(&dataset, d);
+        let row = compare(&dataset, &rsn, 16, d);
+        print_row(&format!("d={d}"), &row);
+    }
+}
+
+struct Row {
+    gs_nc: f64,
+    ls_nc: f64,
+    influ: f64,
+    influ_plus: f64,
+    sky: f64,
+    sky_plus: f64,
+}
+
+fn compare(dataset: &Dataset, rsn: &RoadSocialNetwork, k: u32, d: usize) -> Row {
+    let spec = QuerySpec::defaults(dataset, k, dataset.default_t, 10, 0.01, d);
+    let query = spec.to_query();
+
+    let start = Instant::now();
+    let _ = GlobalSearch::new(rsn, &query).run_non_contained().unwrap();
+    let gs_nc = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let _ = LocalSearch::new(rsn, &query).run_non_contained().unwrap();
+    let ls_nc = start.elapsed().as_secs_f64();
+
+    // Baselines run on the same maximal (k,t)-core, mirroring the paper's
+    // setup (they share the range filter and core extraction).
+    let Some(ctx) = SearchContext::build(rsn, &query).unwrap() else {
+        return Row {
+            gs_nc,
+            ls_nc,
+            influ: 0.0,
+            influ_plus: 0.0,
+            sky: 0.0,
+            sky_plus: 0.0,
+        };
+    };
+    let graph = &ctx.local_graph;
+    let attrs = &ctx.attrs;
+    let region = &query.region;
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let sample_weight = |rng: &mut StdRng| -> Vec<f64> {
+        region
+            .lows()
+            .iter()
+            .zip(region.highs())
+            .map(|(&lo, &hi)| rng.random_range(lo..hi.max(lo + 1e-9)))
+            .collect()
+    };
+
+    let start = Instant::now();
+    let influ_algo = Influ::new(graph, attrs);
+    for _ in 0..INFLU_WEIGHT_SAMPLES {
+        let w = sample_weight(&mut rng);
+        let _ = influ_algo.top_r(k, 10, &w);
+    }
+    let influ = start.elapsed().as_secs_f64() / INFLU_WEIGHT_SAMPLES as f64;
+
+    let start = Instant::now();
+    for _ in 0..INFLU_WEIGHT_SAMPLES {
+        let w = sample_weight(&mut rng);
+        let idx = InfluPlus::build(graph, attrs, k, &w);
+        let _ = idx.top_r(10);
+    }
+    let influ_plus = start.elapsed().as_secs_f64() / INFLU_WEIGHT_SAMPLES as f64;
+
+    // Sky / Sky+ blow up quickly with d; cap them like the paper's "Inf" marks.
+    let sky = run_capped(|| {
+        let _ = skyline_communities(graph, attrs, k);
+    });
+    let sky_plus = run_capped(|| {
+        let _ = skyline_communities_pruned(graph, attrs, k);
+    });
+
+    Row {
+        gs_nc,
+        ls_nc,
+        influ,
+        influ_plus,
+        sky,
+        sky_plus,
+    }
+}
+
+fn run_capped(f: impl FnOnce()) -> f64 {
+    let start = Instant::now();
+    f();
+    let elapsed = start.elapsed().as_secs_f64();
+    elapsed.min(SKY_TIME_CAP_SECONDS)
+}
+
+fn print_row(label: &str, row: &Row) {
+    println!(
+        "{:>6} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+        label, row.gs_nc, row.ls_nc, row.influ, row.influ_plus, row.sky, row.sky_plus
+    );
+}

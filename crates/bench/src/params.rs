@@ -1,0 +1,126 @@
+//! The parameter space of Table III, scaled to the laptop-sized datasets.
+
+/// Values swept for one parameter; the default is marked by `default_index`.
+#[derive(Debug, Clone)]
+pub struct SweepValues<T> {
+    /// The tested values (Table III row).
+    pub values: Vec<T>,
+    /// Index of the default value (bold in Table III).
+    pub default_index: usize,
+}
+
+impl<T: Clone> SweepValues<T> {
+    /// The default value.
+    pub fn default_value(&self) -> T {
+        self.values[self.default_index].clone()
+    }
+}
+
+/// The full parameter space of Table III.
+///
+/// `k`, `d`, `|Q|`, `j` and `σ` use the paper's values verbatim; the query
+/// distance `t` is expressed as a fraction of the road-network scale because
+/// our synthetic road networks have different absolute edge costs than SF/FL.
+#[derive(Debug, Clone)]
+pub struct ParamSpace {
+    /// Structural cohesiveness k.
+    pub k: SweepValues<u32>,
+    /// Query-distance thresholds (absolute, per dataset).
+    pub t: SweepValues<f64>,
+    /// Attribute dimensionality d.
+    pub d: SweepValues<usize>,
+    /// Number of query users |Q|.
+    pub q_size: SweepValues<usize>,
+    /// Top-j parameter.
+    pub j: SweepValues<usize>,
+    /// Region side length σ as a fraction of the axis.
+    pub sigma: SweepValues<f64>,
+}
+
+impl ParamSpace {
+    /// The Table III parameter space, with `t` derived from a dataset's
+    /// default query-distance threshold.
+    pub fn paper(default_t: f64) -> Self {
+        ParamSpace {
+            k: SweepValues {
+                values: vec![4, 8, 16, 32, 64],
+                default_index: 2,
+            },
+            t: SweepValues {
+                values: vec![
+                    default_t * 0.6,
+                    default_t * 0.8,
+                    default_t,
+                    default_t * 1.2,
+                    default_t * 1.4,
+                ],
+                default_index: 2,
+            },
+            d: SweepValues {
+                values: vec![2, 3, 4, 5, 6],
+                default_index: 1,
+            },
+            q_size: SweepValues {
+                values: vec![1, 4, 8, 16, 32],
+                default_index: 2,
+            },
+            j: SweepValues {
+                values: vec![5, 10, 20, 40, 60],
+                default_index: 1,
+            },
+            sigma: SweepValues {
+                values: vec![0.001, 0.005, 0.01, 0.05, 0.10],
+                default_index: 2,
+            },
+        }
+    }
+
+    /// A reduced parameter space for quick smoke runs (3 values per axis).
+    pub fn quick(default_t: f64) -> Self {
+        let full = Self::paper(default_t);
+        fn shrink<T: Clone>(s: &SweepValues<T>) -> SweepValues<T> {
+            SweepValues {
+                values: vec![
+                    s.values[0].clone(),
+                    s.values[s.default_index].clone(),
+                    s.values[s.values.len() - 1].clone(),
+                ],
+                default_index: 1,
+            }
+        }
+        ParamSpace {
+            k: shrink(&full.k),
+            t: shrink(&full.t),
+            d: shrink(&full.d),
+            q_size: shrink(&full.q_size),
+            j: shrink(&full.j),
+            sigma: shrink(&full.sigma),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_space_matches_table_3() {
+        let p = ParamSpace::paper(1000.0);
+        assert_eq!(p.k.values, vec![4, 8, 16, 32, 64]);
+        assert_eq!(p.k.default_value(), 16);
+        assert_eq!(p.d.values, vec![2, 3, 4, 5, 6]);
+        assert_eq!(p.d.default_value(), 3);
+        assert_eq!(p.q_size.default_value(), 8);
+        assert_eq!(p.j.default_value(), 10);
+        assert!((p.sigma.default_value() - 0.01).abs() < 1e-12);
+        assert!((p.t.default_value() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quick_space_keeps_defaults() {
+        let q = ParamSpace::quick(100.0);
+        assert_eq!(q.k.values.len(), 3);
+        assert_eq!(q.k.default_value(), 16);
+        assert_eq!(q.d.default_value(), 3);
+    }
+}

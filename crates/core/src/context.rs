@@ -1,0 +1,151 @@
+//! Shared search context: the maximal (k,t)-core as a compact local graph,
+//! plus the r-dominance graph `G_d` built over it.
+//!
+//! Both the global search (Algorithm 1) and the local search framework
+//! (Algorithm 3) start with the same three steps — range filter, (k,t)-core
+//! extraction, `G_d` construction — so they share this context.
+
+use crate::error::MacError;
+use crate::ktcore::maximal_kt_core;
+use crate::network::RoadSocialNetwork;
+use crate::query::MacQuery;
+use crate::result::Community;
+use rsn_dom::dominance::DominanceGraph;
+use rsn_geom::weights::score_reduced;
+use rsn_graph::graph::{Graph, VertexId};
+
+/// Shared state for one MAC query.
+#[derive(Debug, Clone)]
+pub struct SearchContext<'a> {
+    /// The queried network.
+    pub rsn: &'a RoadSocialNetwork,
+    /// The query.
+    pub query: &'a MacQuery,
+    /// Members of the maximal (k,t)-core, as social ids (sorted).
+    pub core_vertices: Vec<VertexId>,
+    /// The (k,t)-core as an induced graph over local ids `0..n'`.
+    pub local_graph: Graph,
+    /// Query vertices translated to local ids.
+    pub local_q: Vec<u32>,
+    /// Attribute vectors of the core members, by local id.
+    pub attrs: Vec<Vec<f64>>,
+    /// The r-dominance graph over local ids.
+    pub gd: DominanceGraph,
+}
+
+impl<'a> SearchContext<'a> {
+    /// Builds the context. Returns `Ok(None)` when no (k,t)-core exists (the
+    /// query then has an empty answer).
+    pub fn build(rsn: &'a RoadSocialNetwork, query: &'a MacQuery) -> Result<Option<Self>, MacError> {
+        let Some(core) = maximal_kt_core(rsn, query)? else {
+            return Ok(None);
+        };
+        let (local_graph, new_to_old) = rsn.social().induced_subgraph(&core.vertices);
+        let mut old_to_new = vec![u32::MAX; rsn.num_users()];
+        for (new, &old) in new_to_old.iter().enumerate() {
+            old_to_new[old as usize] = new as u32;
+        }
+        let local_q: Vec<u32> = query.q.iter().map(|&v| old_to_new[v as usize]).collect();
+        let attrs: Vec<Vec<f64>> = new_to_old
+            .iter()
+            .map(|&old| rsn.attributes(old).to_vec())
+            .collect();
+        let local_ids: Vec<u32> = (0..new_to_old.len() as u32).collect();
+        let gd = DominanceGraph::build(&local_ids, &attrs, &query.region);
+        Ok(Some(SearchContext {
+            rsn,
+            query,
+            core_vertices: new_to_old,
+            local_graph,
+            local_q,
+            attrs,
+            gd,
+        }))
+    }
+
+    /// Number of vertices in the (k,t)-core.
+    pub fn core_size(&self) -> usize {
+        self.core_vertices.len()
+    }
+
+    /// Number of edges in the (k,t)-core.
+    pub fn core_edges(&self) -> usize {
+        self.local_graph.num_edges()
+    }
+
+    /// Score of a local vertex under a reduced weight vector.
+    #[inline]
+    pub fn score(&self, local: u32, reduced_w: &[f64]) -> f64 {
+        score_reduced(&self.attrs[local as usize], reduced_w)
+    }
+
+    /// Translates a set of local ids back to a [`Community`] of social ids.
+    pub fn community_from_locals(&self, locals: &[u32]) -> Community {
+        Community::new(
+            locals
+                .iter()
+                .map(|&v| self.core_vertices[v as usize])
+                .collect(),
+        )
+    }
+
+    /// Translates an alive-mask over local ids to a [`Community`].
+    pub fn community_from_mask(&self, mask: &[bool]) -> Community {
+        Community::new(
+            (0..mask.len())
+                .filter(|&v| mask[v])
+                .map(|v| self.core_vertices[v])
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsn_geom::region::PrefRegion;
+    use rsn_road::network::{Location, RoadNetwork};
+
+    fn simple_network() -> RoadSocialNetwork {
+        // K4 on users 0..3 plus pendant user 4
+        let social = Graph::from_edges(
+            5,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)],
+        );
+        let road = RoadNetwork::from_edges(2, &[(0, 1, 1.0)]);
+        let locations = vec![Location::vertex(0); 5];
+        let attrs = vec![
+            vec![5.0, 1.0],
+            vec![4.0, 2.0],
+            vec![3.0, 3.0],
+            vec![2.0, 4.0],
+            vec![1.0, 5.0],
+        ];
+        RoadSocialNetwork::new(social, road, locations, attrs).unwrap()
+    }
+
+    #[test]
+    fn context_builds_local_view() {
+        let rsn = simple_network();
+        let region = PrefRegion::from_ranges(&[(0.3, 0.7)]).unwrap();
+        let query = MacQuery::new(vec![0], 3, 10.0, region);
+        let ctx = SearchContext::build(&rsn, &query).unwrap().unwrap();
+        assert_eq!(ctx.core_size(), 4);
+        assert_eq!(ctx.core_edges(), 6);
+        assert_eq!(ctx.local_q.len(), 1);
+        assert_eq!(ctx.gd.num_vertices(), 4);
+        // local scores equal the direct weighted sums
+        let s = ctx.score(0, &[0.5]);
+        assert!((s - 3.0).abs() < 1e-12);
+        let community = ctx.community_from_locals(&[0, 1]);
+        assert_eq!(community.vertices.len(), 2);
+    }
+
+    #[test]
+    fn context_none_without_core() {
+        let rsn = simple_network();
+        let region = PrefRegion::from_ranges(&[(0.3, 0.7)]).unwrap();
+        let query = MacQuery::new(vec![4], 3, 10.0, region);
+        assert!(SearchContext::build(&rsn, &query).unwrap().is_none());
+    }
+}

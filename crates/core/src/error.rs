@@ -1,0 +1,91 @@
+//! Error type for MAC queries.
+
+use rsn_geom::GeomError;
+use rsn_graph::GraphError;
+use rsn_road::RoadError;
+
+/// Errors raised when validating or executing a MAC query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MacError {
+    /// The query vertex set is empty.
+    EmptyQuery,
+    /// A query vertex does not exist in the social network.
+    QueryVertexOutOfRange {
+        /// Offending social vertex id.
+        vertex: u32,
+        /// Number of social vertices.
+        num_vertices: usize,
+    },
+    /// The coreness threshold must be at least 1.
+    InvalidCoreness(u32),
+    /// The query-distance threshold must be non-negative and finite.
+    InvalidDistanceThreshold(f64),
+    /// The number of requested top communities must be at least 1.
+    InvalidTopJ(usize),
+    /// The region dimensionality does not match the attribute dimensionality.
+    DimensionMismatch {
+        /// d − 1 implied by the region.
+        region_dim: usize,
+        /// d of the attribute vectors.
+        attribute_dim: usize,
+    },
+    /// The network was constructed inconsistently.
+    InconsistentNetwork(String),
+    /// An error bubbled up from the graph substrate.
+    Graph(GraphError),
+    /// An error bubbled up from the road substrate.
+    Road(RoadError),
+    /// An error bubbled up from the preference-domain geometry.
+    Geom(GeomError),
+}
+
+impl std::fmt::Display for MacError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MacError::EmptyQuery => write!(f, "query vertex set must not be empty"),
+            MacError::QueryVertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "query vertex {vertex} out of range for social network with {num_vertices} users"
+            ),
+            MacError::InvalidCoreness(k) => write!(f, "coreness threshold k = {k} must be >= 1"),
+            MacError::InvalidDistanceThreshold(t) => {
+                write!(f, "query-distance threshold t = {t} must be finite and >= 0")
+            }
+            MacError::InvalidTopJ(j) => write!(f, "top-j parameter j = {j} must be >= 1"),
+            MacError::DimensionMismatch {
+                region_dim,
+                attribute_dim,
+            } => write!(
+                f,
+                "region has {region_dim} reduced dimensions but attributes have {attribute_dim} dimensions"
+            ),
+            MacError::InconsistentNetwork(msg) => write!(f, "inconsistent road-social network: {msg}"),
+            MacError::Graph(e) => write!(f, "graph error: {e}"),
+            MacError::Road(e) => write!(f, "road network error: {e}"),
+            MacError::Geom(e) => write!(f, "preference geometry error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MacError {}
+
+impl From<GraphError> for MacError {
+    fn from(e: GraphError) -> Self {
+        MacError::Graph(e)
+    }
+}
+
+impl From<RoadError> for MacError {
+    fn from(e: RoadError) -> Self {
+        MacError::Road(e)
+    }
+}
+
+impl From<GeomError> for MacError {
+    fn from(e: GeomError) -> Self {
+        MacError::Geom(e)
+    }
+}

@@ -1,0 +1,334 @@
+//! Global search: the DFS-based Algorithm 1 (`GS-T` / `GS-NC`).
+//!
+//! Starting from the maximal (k,t)-core `H^t_k`, the algorithm maintains a
+//! queue of `(subgraph, sub-partition of R, deletion history)` states. For a
+//! state it determines the candidate smallest-score vertices — the leaves of
+//! the current r-dominance graph — inserts the half-spaces between them into a
+//! local arrangement of the state's cell (Algorithm 2), and in every resulting
+//! sub-partition deletes the smallest-score vertex with the DFS cascade
+//! (lines 15–20). When Corollary 1 fires, the state's community is reported as
+//! the non-contained MAC of that sub-partition, and the top-j MACs are
+//! recovered by backtracking the deletion history.
+
+use crate::context::SearchContext;
+use crate::error::MacError;
+use crate::network::RoadSocialNetwork;
+use crate::query::MacQuery;
+use crate::result::{CellResult, Community, MacSearchResult, SearchStats};
+use rsn_geom::cell::Cell;
+use rsn_geom::halfspace::HalfSpace;
+use rsn_geom::partition::arrange;
+use rsn_graph::subgraph::SubgraphView;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::Instant;
+
+/// The DFS-based global search algorithm of Section V.
+#[derive(Debug, Clone)]
+pub struct GlobalSearch<'a> {
+    rsn: &'a RoadSocialNetwork,
+    query: &'a MacQuery,
+}
+
+struct State<'g> {
+    view: SubgraphView<'g>,
+    cell: Cell,
+    deletion_groups: Vec<Vec<u32>>,
+    /// Leaves whose pairwise order is already fixed inside `cell`, so their
+    /// half-spaces need not be re-inserted (the "directly locate" optimization
+    /// of Section V-B).
+    settled_leaves: Vec<u32>,
+}
+
+impl<'a> GlobalSearch<'a> {
+    /// Creates a global search for one query.
+    pub fn new(rsn: &'a RoadSocialNetwork, query: &'a MacQuery) -> Self {
+        GlobalSearch { rsn, query }
+    }
+
+    /// Problem 2: the non-contained MAC for every partition of `R` (GS-NC).
+    pub fn run_non_contained(&self) -> Result<MacSearchResult, MacError> {
+        self.run(false)
+    }
+
+    /// Problem 1: the top-j MACs for every partition of `R` (GS-T).
+    pub fn run_top_j(&self) -> Result<MacSearchResult, MacError> {
+        self.run(true)
+    }
+
+    fn run(&self, top_j_mode: bool) -> Result<MacSearchResult, MacError> {
+        let start = Instant::now();
+        let Some(ctx) = SearchContext::build(self.rsn, self.query)? else {
+            return Ok(MacSearchResult {
+                cells: Vec::new(),
+                stats: SearchStats {
+                    elapsed_seconds: start.elapsed().as_secs_f64(),
+                    ..SearchStats::default()
+                },
+            });
+        };
+        let mut stats = SearchStats {
+            kt_core_vertices: ctx.core_size(),
+            kt_core_edges: ctx.core_edges(),
+            dominance_tests: ctx.gd.tests_performed(),
+            memory_bytes: ctx.gd.memory_bytes(),
+            ..SearchStats::default()
+        };
+
+        let k = self.query.k;
+        let q = ctx.local_q.clone();
+        let j = if top_j_mode { self.query.j } else { 1 };
+
+        let mut hs_cache: HashMap<(u32, u32), HalfSpace> = HashMap::new();
+        let mut out_cells: Vec<CellResult> = Vec::new();
+        let mut worklist: VecDeque<State<'_>> = VecDeque::new();
+        worklist.push_back(State {
+            view: SubgraphView::full(&ctx.local_graph),
+            cell: Cell::from_region(&self.query.region),
+            deletion_groups: Vec::new(),
+            settled_leaves: Vec::new(),
+        });
+
+        while let Some(state) = worklist.pop_front() {
+            // Track an approximate peak of live search memory (Fig. 11(d)).
+            let live_bytes: usize = worklist
+                .iter()
+                .chain(std::iter::once(&state))
+                .map(|s| s.view.alive_mask().len() * 5 + s.cell.memory_bytes())
+                .sum::<usize>()
+                + ctx.gd.memory_bytes();
+            stats.memory_bytes = stats.memory_bytes.max(live_bytes);
+
+            let alive_mask = state.view.alive_mask();
+            let leaves: Vec<u32> = ctx
+                .gd
+                .leaves_within(alive_mask)
+                .into_iter()
+                .map(|v| v as u32)
+                .collect();
+
+            // Compute (or locate) the new hyperplanes among current leaves.
+            let settled: HashSet<u32> = state.settled_leaves.iter().copied().collect();
+            let mut hps: Vec<HalfSpace> = Vec::new();
+            for (i, &a) in leaves.iter().enumerate() {
+                for &b in leaves.iter().skip(i + 1) {
+                    if settled.contains(&a) && settled.contains(&b) {
+                        continue;
+                    }
+                    let key = (a.min(b), a.max(b));
+                    let hs = hs_cache.entry(key).or_insert_with(|| {
+                        stats.halfspaces_computed += 1;
+                        HalfSpace::score_at_least(
+                            &ctx.attrs[key.0 as usize],
+                            &ctx.attrs[key.1 as usize],
+                        )
+                    });
+                    hps.push(hs.clone());
+                }
+            }
+            stats.halfspace_insertions += hps.len();
+
+            let sub_cells = arrange(&state.cell, &hps);
+            stats.partitions_explored += sub_cells.len();
+
+            for sub_cell in sub_cells {
+                let Some(w) = sub_cell.sample_point() else {
+                    continue;
+                };
+                // Within the sub-partition the relative order of the leaves is
+                // fixed, so the minimum at the sample point is the minimum
+                // everywhere in the cell.
+                let &u = leaves
+                    .iter()
+                    .min_by(|&&a, &&b| ctx.score(a, &w).total_cmp(&ctx.score(b, &w)))
+                    .expect("a state always has at least one alive leaf");
+
+                // Corollary 1(1): the smallest-score vertex is a query vertex.
+                if q.contains(&u) {
+                    out_cells.push(make_cell_result(&ctx, &state, sub_cell, w, j));
+                    continue;
+                }
+                // Tentative deletion (lines 15-20) on a branch-local copy.
+                let mut view = state.view.clone();
+                let mut record = view.delete_cascade(u, k);
+                let mut ok = q.iter().all(|&qv| view.is_alive(qv));
+                if ok {
+                    record.merge(view.retain_component_of(q[0]));
+                    ok = q.iter().all(|&qv| view.is_alive(qv));
+                }
+                if !ok {
+                    // Corollary 1(2): deleting u destroys the community, so the
+                    // parent community is the non-contained MAC of this cell.
+                    out_cells.push(make_cell_result(&ctx, &state, sub_cell, w, j));
+                    continue;
+                }
+                let mut deletion_groups = state.deletion_groups.clone();
+                deletion_groups.push(record.removed.clone());
+                worklist.push_back(State {
+                    view,
+                    cell: sub_cell,
+                    deletion_groups,
+                    settled_leaves: leaves.clone(),
+                });
+            }
+        }
+
+        stats.elapsed_seconds = start.elapsed().as_secs_f64();
+        Ok(MacSearchResult {
+            cells: out_cells,
+            stats,
+        })
+    }
+}
+
+/// Builds the output for one finished cell: the current community plus, for
+/// top-j mode, the supersets obtained by backtracking the deletion history.
+fn make_cell_result(
+    ctx: &SearchContext<'_>,
+    state: &State<'_>,
+    cell: Cell,
+    sample_weight: Vec<f64>,
+    j: usize,
+) -> CellResult {
+    let mut communities: Vec<Community> = Vec::with_capacity(j);
+    let mut current: Vec<u32> = state.view.alive_vertices();
+    communities.push(ctx.community_from_locals(&current));
+    for group in state.deletion_groups.iter().rev() {
+        if communities.len() >= j {
+            break;
+        }
+        current.extend(group.iter().copied());
+        communities.push(ctx.community_from_locals(&current));
+    }
+    CellResult {
+        cell,
+        sample_weight,
+        communities,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peel::peel_at_weight;
+    use rsn_geom::region::PrefRegion;
+    use rsn_graph::graph::Graph;
+    use rsn_road::network::{Location, RoadNetwork};
+
+    /// The two-K4 network of the peel tests: {0,1,2,3} and {0,1,4,5} share the
+    /// edge (0,1); attribute space splits them cleanly.
+    fn network() -> RoadSocialNetwork {
+        let social = Graph::from_edges(
+            6,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (0, 4),
+                (0, 5),
+                (1, 4),
+                (1, 5),
+                (4, 5),
+            ],
+        );
+        let road = RoadNetwork::from_edges(2, &[(0, 1, 1.0)]);
+        let locations = vec![Location::vertex(0); 6];
+        let attrs = vec![
+            vec![6.0, 6.0],
+            vec![6.0, 6.0],
+            vec![9.0, 1.0],
+            vec![8.0, 2.0],
+            vec![1.0, 9.0],
+            vec![2.0, 8.0],
+        ];
+        RoadSocialNetwork::new(social, road, locations, attrs).unwrap()
+    }
+
+    #[test]
+    fn gs_nc_partitions_region_by_preference() {
+        let rsn = network();
+        let region = PrefRegion::from_ranges(&[(0.1, 0.9)]).unwrap();
+        let query = MacQuery::new(vec![0, 1], 3, 10.0, region);
+        let gs = GlobalSearch::new(&rsn, &query);
+        let result = gs.run_non_contained().unwrap();
+        assert!(!result.is_empty());
+        // both sides must appear among the distinct non-contained MACs
+        let distinct = result.distinct_communities();
+        let has_left = distinct.iter().any(|c| c.vertices == vec![0, 1, 2, 3]);
+        let has_right = distinct.iter().any(|c| c.vertices == vec![0, 1, 4, 5]);
+        assert!(has_left && has_right, "distinct = {distinct:?}");
+        assert!(result.stats.kt_core_vertices == 6);
+        assert!(result.stats.partitions_explored >= 2);
+    }
+
+    #[test]
+    fn gs_nc_cells_agree_with_fixed_weight_peeling() {
+        let rsn = network();
+        let region = PrefRegion::from_ranges(&[(0.1, 0.9)]).unwrap();
+        let query = MacQuery::new(vec![0, 1], 3, 10.0, region);
+        let gs = GlobalSearch::new(&rsn, &query);
+        let result = gs.run_non_contained().unwrap();
+        let ctx = SearchContext::build(&rsn, &query).unwrap().unwrap();
+        for cell in &result.cells {
+            let oracle = peel_at_weight(&ctx, &cell.sample_weight);
+            let expect = ctx.community_from_locals(&oracle.final_vertices);
+            assert_eq!(
+                cell.communities[0].vertices, expect.vertices,
+                "cell with sample {:?} disagrees with the peeling oracle",
+                cell.sample_weight
+            );
+        }
+    }
+
+    #[test]
+    fn gs_top_j_returns_nested_communities() {
+        let rsn = network();
+        let region = PrefRegion::from_ranges(&[(0.1, 0.9)]).unwrap();
+        let query = MacQuery::new(vec![0, 1], 3, 10.0, region).with_top_j(2);
+        let gs = GlobalSearch::new(&rsn, &query);
+        let result = gs.run_top_j().unwrap();
+        assert!(!result.is_empty());
+        for cell in &result.cells {
+            assert!(!cell.communities.is_empty() && cell.communities.len() <= 2);
+            for pair in cell.communities.windows(2) {
+                assert!(pair[1].contains_all(&pair[0]));
+                assert!(pair[1].len() > pair[0].len());
+            }
+            // every community is a connected k-core containing the query
+            for c in &cell.communities {
+                assert!(c.contains(0) && c.contains(1));
+            }
+        }
+    }
+
+    #[test]
+    fn gs_empty_when_no_kt_core() {
+        let rsn = network();
+        let region = PrefRegion::from_ranges(&[(0.1, 0.9)]).unwrap();
+        let query = MacQuery::new(vec![0], 5, 10.0, region);
+        let gs = GlobalSearch::new(&rsn, &query);
+        let result = gs.run_non_contained().unwrap();
+        assert!(result.is_empty());
+        assert_eq!(result.stats.kt_core_vertices, 0);
+    }
+
+    #[test]
+    fn gs_single_attribute_degenerates_to_single_cell() {
+        // d = 1: the preference domain is 0-dimensional, so the answer is a
+        // single cell identical to a fixed-weight peel.
+        let social = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (2, 3), (1, 3), (0, 3)]);
+        let road = RoadNetwork::from_edges(1, &[]);
+        let locations = vec![Location::vertex(0); 4];
+        let attrs = vec![vec![4.0], vec![3.0], vec![2.0], vec![1.0]];
+        let rsn = RoadSocialNetwork::new(social, road, locations, attrs).unwrap();
+        let region = PrefRegion::from_ranges(&[]).unwrap();
+        let query = MacQuery::new(vec![0], 2, 10.0, region);
+        let result = GlobalSearch::new(&rsn, &query).run_non_contained().unwrap();
+        assert_eq!(result.num_cells(), 1);
+        // vertices 3 then 2 are peeled away (scores 1 and 2), leaving a
+        // triangle is impossible at k=2? {0,1,2} is a triangle: yes.
+        assert_eq!(result.cells[0].communities[0].vertices, vec![0, 1, 2]);
+    }
+}

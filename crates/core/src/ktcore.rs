@@ -1,0 +1,152 @@
+//! Computation of the maximal (k,t)-core (Definition 7, Lemmas 1–3).
+//!
+//! The MAC search never needs to look outside the maximal (k,t)-core: Lemma 1
+//! removes every user whose query distance exceeds `t` with a road-network
+//! range query, Lemma 2 restricts to the maximal connected k-core containing
+//! `Q`, and the coreness upper bound of Section III provides a constant-time
+//! infeasibility check before the core decomposition runs.
+
+use crate::error::MacError;
+use crate::network::RoadSocialNetwork;
+use crate::query::MacQuery;
+use rsn_graph::core_decomp::{coreness_upper_bound, maximal_connected_k_core_containing};
+use rsn_graph::graph::VertexId;
+use rsn_graph::subgraph::SubgraphView;
+use rsn_road::network::Location;
+use rsn_road::querydist::QueryDistanceIndex;
+
+/// The maximal (k,t)-core of a query, i.e. `H^t_k`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KtCore {
+    /// Member users (social ids), sorted ascending.
+    pub vertices: Vec<VertexId>,
+}
+
+impl KtCore {
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Whether the core is empty (no (k,t)-core exists).
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+}
+
+/// Computes the maximal (k,t)-core for a query, or `None` when it does not
+/// exist.
+pub fn maximal_kt_core(
+    rsn: &RoadSocialNetwork,
+    query: &MacQuery,
+) -> Result<Option<KtCore>, MacError> {
+    query.validate(rsn)?;
+    let social = rsn.social();
+
+    // Lemma 1: road-network range filter, accelerated by bounding Dijkstra at t.
+    let q_locations: Vec<Location> = query.q.iter().map(|&v| *rsn.location(v)).collect();
+    let qdi = QueryDistanceIndex::build(rsn.road(), &q_locations, Some(query.t));
+    let within = qdi.within_threshold(rsn.locations(), query.t);
+    if query.q.iter().any(|&v| !within[v as usize]) {
+        // some query users are farther than t from each other
+        return Ok(None);
+    }
+
+    // Coreness upper bound on the filtered subgraph (Section III).
+    let filtered = SubgraphView::from_mask(social, &within);
+    let (n_f, m_f) = (filtered.num_alive(), filtered.num_alive_edges());
+    if n_f == 0 || query.k > coreness_upper_bound(n_f, m_f).max(1) {
+        return Ok(None);
+    }
+
+    // Lemma 2: maximal connected k-core containing Q within the filtered graph.
+    // Build the induced subgraph explicitly so the decomposition ignores
+    // filtered-out vertices entirely.
+    let kept: Vec<VertexId> = (0..social.num_vertices() as u32)
+        .filter(|&v| within[v as usize])
+        .collect();
+    let (induced, new_to_old) = social.induced_subgraph(&kept);
+    let mut old_to_new = vec![u32::MAX; social.num_vertices()];
+    for (new, &old) in new_to_old.iter().enumerate() {
+        old_to_new[old as usize] = new as u32;
+    }
+    let local_q: Vec<VertexId> = query.q.iter().map(|&v| old_to_new[v as usize]).collect();
+    let core = maximal_connected_k_core_containing(&induced, query.k, &local_q)?;
+    Ok(core.map(|local_vertices| {
+        let mut vertices: Vec<VertexId> = local_vertices
+            .into_iter()
+            .map(|v| new_to_old[v as usize])
+            .collect();
+        vertices.sort_unstable();
+        KtCore { vertices }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsn_geom::region::PrefRegion;
+    use rsn_graph::graph::Graph;
+    use rsn_road::network::RoadNetwork;
+
+    /// Two triangles of users; users 0-2 near road vertex 0, users 3-5 far away.
+    fn network() -> RoadSocialNetwork {
+        let social = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
+        );
+        // road: a long line 0 -1- 1 -1- 2 -10- 3
+        let road = RoadNetwork::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 10.0)]);
+        let locations = vec![
+            Location::vertex(0),
+            Location::vertex(0),
+            Location::vertex(1),
+            Location::vertex(3),
+            Location::vertex(3),
+            Location::vertex(3),
+        ];
+        let attrs = vec![vec![1.0, 1.0]; 6];
+        RoadSocialNetwork::new(social, road, locations, attrs).unwrap()
+    }
+
+    fn region() -> PrefRegion {
+        PrefRegion::from_ranges(&[(0.2, 0.4)]).unwrap()
+    }
+
+    #[test]
+    fn distance_filter_removes_far_users() {
+        let rsn = network();
+        // t = 2: only users located within distance 2 of user 0 remain
+        let q = MacQuery::new(vec![0], 2, 2.0, region());
+        let core = maximal_kt_core(&rsn, &q).unwrap().unwrap();
+        assert_eq!(core.vertices, vec![0, 1, 2]);
+
+        // t large enough: the 2-core containing 0 is still only the first
+        // triangle because vertex 3's triangle connects through vertex 2/3
+        // with enough degree -- actually the whole graph is a 2-core.
+        let q2 = MacQuery::new(vec![0], 2, 100.0, region());
+        let core2 = maximal_kt_core(&rsn, &q2).unwrap().unwrap();
+        assert_eq!(core2.vertices.len(), 6);
+    }
+
+    #[test]
+    fn no_core_when_query_too_far_apart() {
+        let rsn = network();
+        let q = MacQuery::new(vec![0, 3], 2, 2.0, region());
+        assert_eq!(maximal_kt_core(&rsn, &q).unwrap(), None);
+    }
+
+    #[test]
+    fn no_core_when_k_too_large() {
+        let rsn = network();
+        let q = MacQuery::new(vec![0], 5, 100.0, region());
+        assert_eq!(maximal_kt_core(&rsn, &q).unwrap(), None);
+    }
+
+    #[test]
+    fn invalid_query_is_an_error() {
+        let rsn = network();
+        let q = MacQuery::new(vec![], 2, 2.0, region());
+        assert!(maximal_kt_core(&rsn, &q).is_err());
+    }
+}

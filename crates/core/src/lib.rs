@@ -1,0 +1,45 @@
+//! # rsn-core
+//!
+//! The multi-attributed community (MAC) model and search algorithms of
+//! *"Multi-attributed Community Search in Road-social Networks"* (ICDE 2021).
+//!
+//! ## Model
+//!
+//! A road-social network pairs a social graph (users, friendships, a
+//! d-dimensional attribute vector per user) with a road network in which every
+//! user has a location. Given query users `Q`, a coreness threshold `k`, a
+//! query-distance threshold `t`, and a region `R` of the preference domain,
+//! a **MAC** (Definition 5) is a connected k-core containing `Q` whose query
+//! distance is at most `t` and that is not r-dominated (Definition 4) by any
+//! super-community; a **non-contained MAC** additionally has no r-dominating
+//! sub-community (Definition 6). Because community scores vary with the weight
+//! vector, the answer is a partition of `R`, each cell paired with its top-j
+//! MACs (Problem 1) or its non-contained MAC (Problem 2).
+//!
+//! ## Algorithms
+//!
+//! * [`GlobalSearch`] — the DFS-based Algorithm 1 (`GS-T` / `GS-NC`): peel the
+//!   maximal (k,t)-core guided by an arrangement of competitor half-spaces.
+//! * [`LocalSearch`] — the local framework of Algorithms 3–5 (`LS-T` /
+//!   `LS-NC`): expand candidates around `Q` with the Eq. 3 / Eq. 4
+//!   priorities, then verify them against the r-dominance graph.
+//! * [`peel`] — the fixed-weight peeling oracle shared by both algorithms and
+//!   by the test suite.
+
+pub mod context;
+pub mod error;
+pub mod global;
+pub mod ktcore;
+pub mod local;
+pub mod network;
+pub mod peel;
+pub mod query;
+pub mod result;
+
+pub use context::SearchContext;
+pub use error::MacError;
+pub use global::GlobalSearch;
+pub use local::{ExpandStrategy, LocalSearch};
+pub use network::RoadSocialNetwork;
+pub use query::MacQuery;
+pub use result::{CellResult, Community, MacSearchResult, SearchStats};

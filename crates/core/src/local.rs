@@ -1,0 +1,544 @@
+//! Local search: the framework of Algorithms 3–5 (`LS-T` / `LS-NC`).
+//!
+//! Instead of peeling the entire maximal (k,t)-core, the local search expands
+//! candidate communities outwards from the query vertices (`Expand`,
+//! Algorithm 4) using the priority functions of Eq. 3 / Eq. 4 — structural
+//! gain plus the r-dominance-layer term that pulls in vertices dominating as
+//! many others as possible — and then validates every candidate against the
+//! r-dominance graph (`Verify`, Algorithm 5 with Corollaries 2–3): a candidate
+//! `H` is a non-contained MAC exactly in the sub-region of `R` where the
+//! bottom-layer vertices of `G_e` out-score the effective top-layer vertices
+//! of `G_c` (with the anchor and bound-vertex refinements). Each reported
+//! `(community, cell)` pair is additionally confirmed against the fixed-weight
+//! peeling oracle at the cell's sample point, so reported results are always
+//! consistent with the global search.
+
+use crate::context::SearchContext;
+use crate::error::MacError;
+use crate::network::RoadSocialNetwork;
+use crate::peel::peel_at_weight;
+use crate::query::MacQuery;
+use crate::result::{CellResult, MacSearchResult, SearchStats};
+use rsn_geom::cell::Cell;
+use rsn_geom::halfspace::HalfSpace;
+use rsn_geom::partition::PartitionTree;
+use rsn_graph::subgraph::SubgraphView;
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Candidate-selection strategy for the `Expand` procedure (Section VI-A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExpandStrategy {
+    /// Eq. 3: `f(v) = λ·f2(v) + f3(v)` where `f2` is the degree of `v` towards
+    /// the current community (fastest average-degree growth).
+    DegreeDriven {
+        /// The trade-off factor λ (the paper uses λ = 10).
+        lambda: f64,
+    },
+    /// Eq. 4: `f(v) = ζ·f1(v) + f3(v)` where `f1 ∈ {0, 1}` rewards an
+    /// immediate increase of the minimum degree.
+    MinDegreeDriven {
+        /// The constant ζ (the paper uses ζ = 100).
+        zeta: f64,
+    },
+}
+
+impl Default for ExpandStrategy {
+    fn default() -> Self {
+        ExpandStrategy::DegreeDriven { lambda: 10.0 }
+    }
+}
+
+/// The local search framework of Section VI.
+#[derive(Debug, Clone)]
+pub struct LocalSearch<'a> {
+    rsn: &'a RoadSocialNetwork,
+    query: &'a MacQuery,
+    strategy: ExpandStrategy,
+    max_candidates: usize,
+}
+
+impl<'a> LocalSearch<'a> {
+    /// Creates a local search with the default strategy (Eq. 3, λ = 10) and
+    /// at most 12 expansion candidates.
+    pub fn new(rsn: &'a RoadSocialNetwork, query: &'a MacQuery) -> Self {
+        LocalSearch {
+            rsn,
+            query,
+            strategy: ExpandStrategy::default(),
+            max_candidates: 12,
+        }
+    }
+
+    /// Overrides the candidate-selection strategy.
+    pub fn with_strategy(mut self, strategy: ExpandStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Overrides the maximum number of expansion candidates.
+    pub fn with_max_candidates(mut self, max_candidates: usize) -> Self {
+        self.max_candidates = max_candidates.max(1);
+        self
+    }
+
+    /// Problem 2: non-contained MACs with their partitions (LS-NC).
+    pub fn run_non_contained(&self) -> Result<MacSearchResult, MacError> {
+        self.run(false)
+    }
+
+    /// Problem 1: top-j MACs with their partitions (LS-T).
+    pub fn run_top_j(&self) -> Result<MacSearchResult, MacError> {
+        self.run(true)
+    }
+
+    fn run(&self, top_j_mode: bool) -> Result<MacSearchResult, MacError> {
+        let start = Instant::now();
+        let Some(ctx) = SearchContext::build(self.rsn, self.query)? else {
+            return Ok(MacSearchResult {
+                cells: Vec::new(),
+                stats: SearchStats {
+                    elapsed_seconds: start.elapsed().as_secs_f64(),
+                    ..SearchStats::default()
+                },
+            });
+        };
+        let mut stats = SearchStats {
+            kt_core_vertices: ctx.core_size(),
+            kt_core_edges: ctx.core_edges(),
+            dominance_tests: ctx.gd.tests_performed(),
+            memory_bytes: ctx.gd.memory_bytes(),
+            ..SearchStats::default()
+        };
+
+        // --- Expand (Algorithm 4) ---
+        let candidates = self.expand(&ctx);
+        stats.candidates_generated = candidates.len();
+
+        // --- Verify (Algorithm 5) ---
+        let mut out_cells: Vec<CellResult> = Vec::new();
+        let mut seen: HashSet<Vec<u32>> = HashSet::new();
+        for cand in candidates {
+            if !seen.insert(cand.clone()) {
+                continue;
+            }
+            let verified = self.verify(&ctx, &cand, &mut stats);
+            for (cell, sample) in verified {
+                let communities = if top_j_mode {
+                    let outcome = peel_at_weight(&ctx, &sample);
+                    outcome
+                        .top_j(self.query.j)
+                        .into_iter()
+                        .map(|locals| ctx.community_from_locals(&locals))
+                        .collect()
+                } else {
+                    vec![ctx.community_from_locals(&cand)]
+                };
+                out_cells.push(CellResult {
+                    cell,
+                    sample_weight: sample,
+                    communities,
+                });
+            }
+        }
+
+        stats.elapsed_seconds = start.elapsed().as_secs_f64();
+        Ok(MacSearchResult {
+            cells: out_cells,
+            stats,
+        })
+    }
+
+    /// Algorithm 4: best-first expansion from `Q` collecting candidate
+    /// communities (each a connected k-core containing `Q`).
+    ///
+    /// As suggested by the paper (Algorithm 4, line 1), in addition to the
+    /// plain expansion starting from `Q` we also run one expansion per
+    /// neighbour of `Q`, seeding `V_H = Q ∪ {v}`; this diversifies candidates
+    /// when several disjoint communities surround the query vertices.
+    fn expand(&self, ctx: &SearchContext<'_>) -> Vec<Vec<u32>> {
+        let graph = &ctx.local_graph;
+        let mut seeds: Vec<Option<u32>> = vec![None];
+        let mut seen_seed: HashSet<u32> = HashSet::new();
+        for &qv in &ctx.local_q {
+            for &nb in graph.neighbors(qv) {
+                if !ctx.local_q.contains(&nb) && seen_seed.insert(nb) {
+                    seeds.push(Some(nb));
+                }
+            }
+        }
+        let mut candidates: Vec<Vec<u32>> = Vec::new();
+        for seed in seeds {
+            if candidates.len() >= self.max_candidates {
+                break;
+            }
+            let budget = self.max_candidates - candidates.len();
+            candidates.extend(self.expand_once(ctx, seed, budget));
+        }
+        candidates
+    }
+
+    /// One best-first expansion run, optionally seeded with an extra vertex.
+    fn expand_once(
+        &self,
+        ctx: &SearchContext<'_>,
+        extra_seed: Option<u32>,
+        budget: usize,
+    ) -> Vec<Vec<u32>> {
+        let n = ctx.core_size();
+        let k = self.query.k;
+        let graph = &ctx.local_graph;
+        let zeta_layer = ctx.gd.max_layer() as f64 + 1.0;
+
+        let mut in_h = vec![false; n];
+        let mut deg_in_h = vec![0u32; n];
+        let mut members: Vec<u32> = Vec::new();
+        for &qv in ctx.local_q.iter().chain(extra_seed.iter()) {
+            if !in_h[qv as usize] {
+                in_h[qv as usize] = true;
+                members.push(qv);
+            }
+        }
+        // deg_in_h[x] = number of neighbours of x currently inside H, for
+        // members (their within-H degree) and frontier vertices alike.
+        for &m in &members {
+            for &nb in graph.neighbors(m) {
+                deg_in_h[nb as usize] += 1;
+            }
+        }
+
+        let record_if_core = |members: &[u32], deg_in_h: &[u32], cands: &mut Vec<Vec<u32>>| {
+            let min_deg = members
+                .iter()
+                .map(|&m| deg_in_h[m as usize])
+                .min()
+                .unwrap_or(0);
+            if min_deg >= k && !members.is_empty() {
+                let mut c: Vec<u32> = members.to_vec();
+                c.sort_unstable();
+                cands.push(c);
+            }
+        };
+        let mut candidates: Vec<Vec<u32>> = Vec::new();
+        record_if_core(&members, &deg_in_h, &mut candidates);
+
+        // Lazy best-first frontier: priorities are recomputed on pop.
+        let mut frontier: HashSet<u32> = HashSet::new();
+        for &m in &members {
+            for &nb in graph.neighbors(m) {
+                if !in_h[nb as usize] {
+                    frontier.insert(nb);
+                }
+            }
+        }
+
+        while candidates.len() < budget && members.len() < n {
+            // Pick the frontier vertex with the best priority f(v).
+            let best = frontier
+                .iter()
+                .copied()
+                .map(|v| (self.priority(ctx, v, &members, &deg_in_h, zeta_layer), v))
+                .max_by(|a, b| a.0.total_cmp(&b.0).then(b.1.cmp(&a.1)));
+            let Some((_, v)) = best else { break };
+            frontier.remove(&v);
+            in_h[v as usize] = true;
+            members.push(v);
+            for &nb in graph.neighbors(v) {
+                deg_in_h[nb as usize] += 1;
+                if !in_h[nb as usize] {
+                    frontier.insert(nb);
+                }
+            }
+            record_if_core(&members, &deg_in_h, &mut candidates);
+        }
+        candidates
+    }
+
+    /// Priority `f(v)` of a frontier vertex (Eq. 3 / Eq. 4).
+    fn priority(
+        &self,
+        ctx: &SearchContext<'_>,
+        v: u32,
+        members: &[u32],
+        deg_in_h: &[u32],
+        zeta_layer: f64,
+    ) -> f64 {
+        let f3 = zeta_layer - ctx.gd.layer(v as usize) as f64;
+        match self.strategy {
+            ExpandStrategy::DegreeDriven { lambda } => {
+                let f2 = deg_in_h[v as usize] as f64;
+                lambda * f2 + f3
+            }
+            ExpandStrategy::MinDegreeDriven { zeta } => {
+                let graph = &ctx.local_graph;
+                let current_min = members
+                    .iter()
+                    .map(|&m| deg_in_h[m as usize])
+                    .min()
+                    .unwrap_or(0);
+                let new_min = members
+                    .iter()
+                    .map(|&m| {
+                        deg_in_h[m as usize] + u32::from(graph.has_edge(m, v))
+                    })
+                    .chain(std::iter::once(deg_in_h[v as usize]))
+                    .min()
+                    .unwrap_or(0);
+                let f1 = if new_min > current_min { 1.0 } else { 0.0 };
+                zeta * f1 + f3
+            }
+        }
+    }
+
+    /// Algorithm 5: verification of one candidate against `G_d`.
+    ///
+    /// Returns the sub-partitions of `R` (with sample weights) where the
+    /// candidate is the non-contained MAC.
+    fn verify(
+        &self,
+        ctx: &SearchContext<'_>,
+        cand: &[u32],
+        stats: &mut SearchStats,
+    ) -> Vec<(Cell, Vec<f64>)> {
+        let n = ctx.core_size();
+        let k = self.query.k;
+        let q = &ctx.local_q;
+
+        let mut in_h = vec![false; n];
+        for &v in cand {
+            in_h[v as usize] = true;
+        }
+        let out_mask: Vec<bool> = (0..n).map(|v| !in_h[v]).collect();
+
+        // If the candidate is the entire (k,t)-core there is nothing to beat:
+        // it is the non-contained MAC wherever no proper sub-community wins,
+        // which the sample-point oracle below settles directly.
+        // --- Corollary 2: structural feasibility of removing everything outside H ---
+        // U = vertices outside H that r-dominate some member of H; they can
+        // only leave through structural cascades.
+        let mut dominates_member = vec![false; n];
+        for &h in cand {
+            for u in ctx.gd.dominators(h as usize).iter() {
+                dominates_member[u] = true;
+            }
+        }
+        let free: Vec<u32> = (0..n as u32)
+            .filter(|&v| out_mask[v as usize] && !dominates_member[v as usize])
+            .collect();
+        // Simulate deleting the freely deletable vertices; everything outside H
+        // must disappear through this cascade, otherwise H is unreachable.
+        let mut sim = SubgraphView::full(&ctx.local_graph);
+        for &v in &free {
+            if sim.is_alive(v) {
+                sim.delete_cascade(v, k);
+            }
+        }
+        let mut structurally_bound: Vec<bool> = vec![false; n];
+        for v in 0..n as u32 {
+            if out_mask[v as usize] && dominates_member[v as usize] && !sim.is_alive(v) {
+                structurally_bound[v as usize] = true;
+            }
+        }
+        if (0..n).any(|v| out_mask[v] && dominates_member[v] && sim.is_alive(v as u32)) {
+            return Vec::new();
+        }
+
+        // --- Competitors (Corollary 3) ---
+        let lb_ge: Vec<usize> = ctx.gd.leaves_within(&in_h);
+        let mut gc_mask = out_mask.clone();
+        for v in 0..n {
+            if structurally_bound[v] {
+                gc_mask[v] = false;
+            }
+        }
+        let lt_gc: Vec<usize> = ctx.gd.top_within(&gc_mask);
+
+        // Anchors (Lemma 8): non-query leaf vertices of Ge whose removal keeps
+        // a connected k-core containing Q inside H.
+        let h_view = SubgraphView::from_vertices(&ctx.local_graph, cand);
+        let anchors: Vec<usize> = lb_ge
+            .iter()
+            .copied()
+            .filter(|&v| !q.contains(&(v as u32)))
+            .filter(|&v| {
+                let mut scratch = h_view.clone();
+                scratch.delete_cascade(v as u32, k);
+                q.iter().all(|&qv| scratch.is_alive(qv))
+                    && scratch.has_connected_k_core_with(k, q)
+            })
+            .collect();
+
+        // Constraint half-spaces: every bottom-layer member of Ge must beat
+        // every effective top-layer vertex of Gc, and every anchor must beat
+        // the other leaves of Ge.
+        let mut halfspaces: Vec<HalfSpace> = Vec::new();
+        for &x in &lb_ge {
+            for &y in &lt_gc {
+                halfspaces.push(HalfSpace::score_at_least(
+                    &ctx.attrs[x],
+                    &ctx.attrs[y],
+                ));
+            }
+        }
+        for &a in &anchors {
+            for &x in &lb_ge {
+                if x != a {
+                    halfspaces.push(HalfSpace::score_at_least(&ctx.attrs[a], &ctx.attrs[x]));
+                }
+            }
+        }
+        stats.halfspaces_computed += halfspaces.len();
+
+        // Arrangement of the competitor half-spaces inside R, keeping the
+        // cells where every constraint holds.
+        let base = Cell::from_region(&self.query.region);
+        let mut tree = PartitionTree::new(base);
+        for hs in &halfspaces {
+            tree.insert(hs);
+            stats.halfspace_insertions += 1;
+        }
+        stats.memory_bytes = stats.memory_bytes.max(ctx.gd.memory_bytes() + tree.memory_bytes());
+
+        let mut results = Vec::new();
+        let leaves = tree.leaves();
+        stats.partitions_explored += leaves.len();
+        for cell in leaves {
+            let Some(sample) = cell.sample_point() else {
+                continue;
+            };
+            // Within a leaf no constraint half-space straddles, so checking the
+            // sample point checks the whole cell.
+            if !halfspaces.iter().all(|hs| hs.contains(&sample)) {
+                continue;
+            }
+            // Final confirmation against the fixed-weight peeling oracle.
+            let oracle = peel_at_weight(ctx, &sample);
+            if oracle.final_vertices == cand {
+                results.push((cell.clone(), sample));
+            }
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::GlobalSearch;
+    use rsn_geom::region::PrefRegion;
+    use rsn_graph::graph::Graph;
+    use rsn_road::network::{Location, RoadNetwork};
+
+    /// Same two-K4 network used by the global-search tests.
+    fn network() -> RoadSocialNetwork {
+        let social = Graph::from_edges(
+            6,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (0, 4),
+                (0, 5),
+                (1, 4),
+                (1, 5),
+                (4, 5),
+            ],
+        );
+        let road = RoadNetwork::from_edges(2, &[(0, 1, 1.0)]);
+        let locations = vec![Location::vertex(0); 6];
+        let attrs = vec![
+            vec![6.0, 6.0],
+            vec![6.0, 6.0],
+            vec![9.0, 1.0],
+            vec![8.0, 2.0],
+            vec![1.0, 9.0],
+            vec![2.0, 8.0],
+        ];
+        RoadSocialNetwork::new(social, road, locations, attrs).unwrap()
+    }
+
+    #[test]
+    fn ls_nc_results_are_valid_and_subset_of_global() {
+        let rsn = network();
+        let region = PrefRegion::from_ranges(&[(0.1, 0.9)]).unwrap();
+        let query = MacQuery::new(vec![0, 1], 3, 10.0, region);
+
+        let ls = LocalSearch::new(&rsn, &query);
+        let local = ls.run_non_contained().unwrap();
+        let global = GlobalSearch::new(&rsn, &query).run_non_contained().unwrap();
+
+        assert!(!local.is_empty(), "local search should find communities");
+        let global_distinct: Vec<Vec<u32>> = global
+            .distinct_communities()
+            .iter()
+            .map(|c| c.vertices.clone())
+            .collect();
+        for c in local.distinct_communities() {
+            assert!(
+                global_distinct.contains(&c.vertices),
+                "local community {:?} not found by global search",
+                c.vertices
+            );
+        }
+        assert!(local.stats.candidates_generated > 0);
+    }
+
+    #[test]
+    fn ls_finds_both_preference_sides() {
+        let rsn = network();
+        let region = PrefRegion::from_ranges(&[(0.1, 0.9)]).unwrap();
+        let query = MacQuery::new(vec![0, 1], 3, 10.0, region);
+        let ls = LocalSearch::new(&rsn, &query).with_max_candidates(16);
+        let result = ls.run_non_contained().unwrap();
+        let distinct: Vec<Vec<u32>> = result
+            .distinct_communities()
+            .iter()
+            .map(|c| c.vertices.clone())
+            .collect();
+        assert!(distinct.contains(&vec![0, 1, 2, 3]));
+        assert!(distinct.contains(&vec![0, 1, 4, 5]));
+    }
+
+    #[test]
+    fn ls_top_j_matches_peeling_oracle() {
+        let rsn = network();
+        let region = PrefRegion::from_ranges(&[(0.1, 0.9)]).unwrap();
+        let query = MacQuery::new(vec![0, 1], 3, 10.0, region).with_top_j(2);
+        let ls = LocalSearch::new(&rsn, &query);
+        let result = ls.run_top_j().unwrap();
+        assert!(!result.is_empty());
+        for cell in &result.cells {
+            assert!(cell.communities.len() <= 2);
+            for pair in cell.communities.windows(2) {
+                assert!(pair[1].contains_all(&pair[0]));
+            }
+        }
+    }
+
+    #[test]
+    fn ls_both_strategies_work() {
+        let rsn = network();
+        let region = PrefRegion::from_ranges(&[(0.1, 0.9)]).unwrap();
+        let query = MacQuery::new(vec![0, 1], 3, 10.0, region);
+        for strategy in [
+            ExpandStrategy::DegreeDriven { lambda: 10.0 },
+            ExpandStrategy::MinDegreeDriven { zeta: 100.0 },
+        ] {
+            let ls = LocalSearch::new(&rsn, &query).with_strategy(strategy);
+            let result = ls.run_non_contained().unwrap();
+            assert!(!result.is_empty(), "strategy {strategy:?} found nothing");
+        }
+    }
+
+    #[test]
+    fn ls_empty_when_no_kt_core() {
+        let rsn = network();
+        let region = PrefRegion::from_ranges(&[(0.1, 0.9)]).unwrap();
+        let query = MacQuery::new(vec![0], 5, 10.0, region);
+        let result = LocalSearch::new(&rsn, &query).run_non_contained().unwrap();
+        assert!(result.is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! The multi-attributed road-social network `(G_r, G_s)`.
+
+use crate::error::MacError;
+use rsn_graph::graph::{Graph, VertexId};
+use rsn_road::network::{Location, RoadNetwork};
+
+/// A road-social network: a social graph whose users carry a location in a
+/// road network and a d-dimensional attribute vector (Section II-A).
+#[derive(Debug, Clone)]
+pub struct RoadSocialNetwork {
+    social: Graph,
+    road: RoadNetwork,
+    /// `locations[v]` = location of social user `v` in the road network.
+    locations: Vec<Location>,
+    /// `attrs[v]` = d-dimensional attribute vector of social user `v`.
+    attrs: Vec<Vec<f64>>,
+    dim: usize,
+}
+
+impl RoadSocialNetwork {
+    /// Assembles and validates a road-social network.
+    ///
+    /// Requirements: one location and one attribute vector per social user,
+    /// all attribute vectors of equal dimensionality `d ≥ 1`, and every
+    /// location valid in the road network.
+    pub fn new(
+        social: Graph,
+        road: RoadNetwork,
+        locations: Vec<Location>,
+        attrs: Vec<Vec<f64>>,
+    ) -> Result<Self, MacError> {
+        let n = social.num_vertices();
+        if locations.len() != n {
+            return Err(MacError::InconsistentNetwork(format!(
+                "{} locations for {} users",
+                locations.len(),
+                n
+            )));
+        }
+        if attrs.len() != n {
+            return Err(MacError::InconsistentNetwork(format!(
+                "{} attribute vectors for {} users",
+                attrs.len(),
+                n
+            )));
+        }
+        let dim = attrs.first().map(|a| a.len()).unwrap_or(0);
+        if n > 0 && dim == 0 {
+            return Err(MacError::InconsistentNetwork(
+                "attribute vectors must have at least one dimension".into(),
+            ));
+        }
+        for (v, a) in attrs.iter().enumerate() {
+            if a.len() != dim {
+                return Err(MacError::InconsistentNetwork(format!(
+                    "user {v} has {} attributes, expected {dim}",
+                    a.len()
+                )));
+            }
+            if a.iter().any(|x| !x.is_finite()) {
+                return Err(MacError::InconsistentNetwork(format!(
+                    "user {v} has a non-finite attribute value"
+                )));
+            }
+        }
+        for loc in &locations {
+            road.validate_location(loc)?;
+        }
+        Ok(RoadSocialNetwork {
+            social,
+            road,
+            locations,
+            attrs,
+            dim,
+        })
+    }
+
+    /// The social graph `G_s`.
+    pub fn social(&self) -> &Graph {
+        &self.social
+    }
+
+    /// The road network `G_r`.
+    pub fn road(&self) -> &RoadNetwork {
+        &self.road
+    }
+
+    /// Number of social users.
+    pub fn num_users(&self) -> usize {
+        self.social.num_vertices()
+    }
+
+    /// Attribute dimensionality `d`.
+    pub fn attribute_dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Location `L(v)` of a user.
+    pub fn location(&self, v: VertexId) -> &Location {
+        &self.locations[v as usize]
+    }
+
+    /// All user locations.
+    pub fn locations(&self) -> &[Location] {
+        &self.locations
+    }
+
+    /// Attribute vector `X(v)` of a user.
+    pub fn attributes(&self, v: VertexId) -> &[f64] {
+        &self.attrs[v as usize]
+    }
+
+    /// All attribute vectors.
+    pub fn all_attributes(&self) -> &[Vec<f64>] {
+        &self.attrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_road() -> RoadNetwork {
+        RoadNetwork::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0)])
+    }
+
+    #[test]
+    fn builds_valid_network() {
+        let social = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let road = tiny_road();
+        let locations = vec![
+            Location::vertex(0),
+            Location::vertex(1),
+            Location::vertex(2),
+        ];
+        let attrs = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let rsn = RoadSocialNetwork::new(social, road, locations, attrs).unwrap();
+        assert_eq!(rsn.num_users(), 3);
+        assert_eq!(rsn.attribute_dim(), 2);
+        assert_eq!(rsn.attributes(1), &[3.0, 4.0]);
+        assert_eq!(rsn.location(2), &Location::vertex(2));
+    }
+
+    #[test]
+    fn rejects_mismatched_lengths() {
+        let social = Graph::from_edges(2, &[(0, 1)]);
+        let road = tiny_road();
+        let err = RoadSocialNetwork::new(
+            social.clone(),
+            road.clone(),
+            vec![Location::vertex(0)],
+            vec![vec![1.0], vec![2.0]],
+        );
+        assert!(matches!(err, Err(MacError::InconsistentNetwork(_))));
+        let err2 = RoadSocialNetwork::new(
+            social,
+            road,
+            vec![Location::vertex(0), Location::vertex(1)],
+            vec![vec![1.0]],
+        );
+        assert!(matches!(err2, Err(MacError::InconsistentNetwork(_))));
+    }
+
+    #[test]
+    fn rejects_ragged_or_invalid_attributes() {
+        let social = Graph::from_edges(2, &[(0, 1)]);
+        let road = tiny_road();
+        let locations = vec![Location::vertex(0), Location::vertex(1)];
+        let err = RoadSocialNetwork::new(
+            social.clone(),
+            road.clone(),
+            locations.clone(),
+            vec![vec![1.0, 2.0], vec![3.0]],
+        );
+        assert!(matches!(err, Err(MacError::InconsistentNetwork(_))));
+        let err2 = RoadSocialNetwork::new(
+            social,
+            road,
+            locations,
+            vec![vec![1.0, f64::NAN], vec![3.0, 4.0]],
+        );
+        assert!(matches!(err2, Err(MacError::InconsistentNetwork(_))));
+    }
+
+    #[test]
+    fn rejects_invalid_locations() {
+        let social = Graph::from_edges(2, &[(0, 1)]);
+        let road = tiny_road();
+        let err = RoadSocialNetwork::new(
+            social,
+            road,
+            vec![Location::vertex(0), Location::vertex(9)],
+            vec![vec![1.0], vec![2.0]],
+        );
+        assert!(matches!(err, Err(MacError::Road(_))));
+    }
+}

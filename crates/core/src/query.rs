@@ -1,0 +1,142 @@
+//! MAC query parameters.
+
+use crate::error::MacError;
+use crate::network::RoadSocialNetwork;
+use rsn_geom::region::PrefRegion;
+use rsn_graph::graph::VertexId;
+
+/// A multi-attributed community search query (Problems 1 and 2).
+#[derive(Debug, Clone)]
+pub struct MacQuery {
+    /// Query users `Q`.
+    pub q: Vec<VertexId>,
+    /// Coreness threshold `k`.
+    pub k: u32,
+    /// Query-distance threshold `t`.
+    pub t: f64,
+    /// Region of interest `R` in the preference domain.
+    pub region: PrefRegion,
+    /// Number of communities to report per partition (Problem 1); `1`
+    /// corresponds to reporting only the top community.
+    pub j: usize,
+}
+
+impl MacQuery {
+    /// Creates a query with `j = 1`.
+    pub fn new(q: Vec<VertexId>, k: u32, t: f64, region: PrefRegion) -> Self {
+        MacQuery {
+            q,
+            k,
+            t,
+            region,
+            j: 1,
+        }
+    }
+
+    /// Sets the top-j parameter.
+    pub fn with_top_j(mut self, j: usize) -> Self {
+        self.j = j;
+        self
+    }
+
+    /// Validates the query against a network.
+    pub fn validate(&self, rsn: &RoadSocialNetwork) -> Result<(), MacError> {
+        if self.q.is_empty() {
+            return Err(MacError::EmptyQuery);
+        }
+        let n = rsn.num_users();
+        for &v in &self.q {
+            if v as usize >= n {
+                return Err(MacError::QueryVertexOutOfRange {
+                    vertex: v,
+                    num_vertices: n,
+                });
+            }
+        }
+        if self.k == 0 {
+            return Err(MacError::InvalidCoreness(self.k));
+        }
+        if !(self.t.is_finite() && self.t >= 0.0) {
+            return Err(MacError::InvalidDistanceThreshold(self.t));
+        }
+        if self.j == 0 {
+            return Err(MacError::InvalidTopJ(self.j));
+        }
+        if rsn.attribute_dim() != self.region.dim() + 1 {
+            return Err(MacError::DimensionMismatch {
+                region_dim: self.region.dim(),
+                attribute_dim: rsn.attribute_dim(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsn_graph::graph::Graph;
+    use rsn_road::network::{Location, RoadNetwork};
+
+    fn network() -> RoadSocialNetwork {
+        let social = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let road = RoadNetwork::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        let locations = vec![
+            Location::vertex(0),
+            Location::vertex(1),
+            Location::vertex(2),
+        ];
+        let attrs = vec![vec![1.0, 2.0], vec![2.0, 1.0], vec![3.0, 3.0]];
+        RoadSocialNetwork::new(social, road, locations, attrs).unwrap()
+    }
+
+    #[test]
+    fn valid_query_passes() {
+        let rsn = network();
+        let region = PrefRegion::from_ranges(&[(0.2, 0.4)]).unwrap();
+        let q = MacQuery::new(vec![0], 2, 5.0, region).with_top_j(3);
+        assert!(q.validate(&rsn).is_ok());
+        assert_eq!(q.j, 3);
+    }
+
+    #[test]
+    fn invalid_queries_rejected() {
+        let rsn = network();
+        let region = PrefRegion::from_ranges(&[(0.2, 0.4)]).unwrap();
+        let base = MacQuery::new(vec![0], 2, 5.0, region.clone());
+
+        let mut q = base.clone();
+        q.q = vec![];
+        assert_eq!(q.validate(&rsn), Err(MacError::EmptyQuery));
+
+        let mut q = base.clone();
+        q.q = vec![9];
+        assert!(matches!(
+            q.validate(&rsn),
+            Err(MacError::QueryVertexOutOfRange { .. })
+        ));
+
+        let mut q = base.clone();
+        q.k = 0;
+        assert_eq!(q.validate(&rsn), Err(MacError::InvalidCoreness(0)));
+
+        let mut q = base.clone();
+        q.t = f64::NAN;
+        assert!(matches!(
+            q.validate(&rsn),
+            Err(MacError::InvalidDistanceThreshold(_))
+        ));
+
+        let mut q = base.clone();
+        q.j = 0;
+        assert_eq!(q.validate(&rsn), Err(MacError::InvalidTopJ(0)));
+
+        // wrong dimensionality: 2-dim region for 2-dim attributes (needs 1)
+        let bad_region = PrefRegion::from_ranges(&[(0.1, 0.2), (0.1, 0.2)]).unwrap();
+        let q = MacQuery::new(vec![0], 2, 5.0, bad_region);
+        assert!(matches!(
+            q.validate(&rsn),
+            Err(MacError::DimensionMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,155 @@
+//! Result types shared by the global and local search algorithms.
+
+use rsn_geom::cell::Cell;
+use rsn_graph::graph::VertexId;
+
+/// A community: a set of social users.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Community {
+    /// Member user ids, sorted ascending.
+    pub vertices: Vec<VertexId>,
+}
+
+impl Community {
+    /// Creates a community from an unsorted member list.
+    pub fn new(mut vertices: Vec<VertexId>) -> Self {
+        vertices.sort_unstable();
+        vertices.dedup();
+        Community { vertices }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Whether the community has no members.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Whether the community contains a user.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.vertices.binary_search(&v).is_ok()
+    }
+
+    /// Whether this community contains all members of `other`.
+    pub fn contains_all(&self, other: &Community) -> bool {
+        other.vertices.iter().all(|&v| self.contains(v))
+    }
+}
+
+/// One partition of the region `R` together with its communities.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The sub-partition of `R` (in H-representation).
+    pub cell: Cell,
+    /// A representative reduced weight vector inside the cell.
+    pub sample_weight: Vec<f64>,
+    /// Communities for this cell, best first. For Problem 2 (non-contained
+    /// MAC) this has exactly one entry; for Problem 1 it holds the top-j MACs.
+    pub communities: Vec<Community>,
+}
+
+/// Counters describing the work a search performed (used by the benchmark
+/// harness to reproduce Fig. 11 and Fig. 12).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchStats {
+    /// Number of vertices in the maximal (k,t)-core.
+    pub kt_core_vertices: usize,
+    /// Number of edges in the maximal (k,t)-core.
+    pub kt_core_edges: usize,
+    /// Number of partitions of `R` materialized during the search.
+    pub partitions_explored: usize,
+    /// Number of distinct half-spaces computed.
+    pub halfspaces_computed: usize,
+    /// Number of half-space insertions into arrangements.
+    pub halfspace_insertions: usize,
+    /// Number of r-dominance tests performed while building `G_d`.
+    pub dominance_tests: usize,
+    /// Number of candidate communities generated (local search only).
+    pub candidates_generated: usize,
+    /// Approximate peak memory of the dominance graph + arrangements, bytes.
+    pub memory_bytes: usize,
+    /// Elapsed wall-clock time in seconds.
+    pub elapsed_seconds: f64,
+}
+
+/// The answer to a MAC query: a set of cells covering (part of) `R`, each with
+/// its communities, plus execution statistics.
+#[derive(Debug, Clone)]
+pub struct MacSearchResult {
+    /// Per-partition results.
+    pub cells: Vec<CellResult>,
+    /// Execution statistics.
+    pub stats: SearchStats,
+}
+
+impl MacSearchResult {
+    /// All distinct communities across cells (deduplicated, order of first
+    /// appearance). For Problem 2 this is the set of non-contained MACs.
+    pub fn distinct_communities(&self) -> Vec<&Community> {
+        let mut seen: Vec<&Community> = Vec::new();
+        for cell in &self.cells {
+            for c in &cell.communities {
+                if !seen.iter().any(|s| s.vertices == c.vertices) {
+                    seen.push(c);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Number of cells in the answer.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the query produced no community at all (e.g. no (k,t)-core).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsn_geom::region::PrefRegion;
+
+    #[test]
+    fn community_basics() {
+        let c = Community::new(vec![5, 1, 3, 3]);
+        assert_eq!(c.vertices, vec![1, 3, 5]);
+        assert_eq!(c.len(), 3);
+        assert!(c.contains(3));
+        assert!(!c.contains(2));
+        let sub = Community::new(vec![1, 5]);
+        assert!(c.contains_all(&sub));
+        assert!(!sub.contains_all(&c));
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn distinct_communities_deduplicate() {
+        let region = PrefRegion::from_ranges(&[(0.1, 0.5)]).unwrap();
+        let cell = Cell::from_region(&region);
+        let result = MacSearchResult {
+            cells: vec![
+                CellResult {
+                    cell: cell.clone(),
+                    sample_weight: vec![0.2],
+                    communities: vec![Community::new(vec![1, 2]), Community::new(vec![1, 2, 3])],
+                },
+                CellResult {
+                    cell,
+                    sample_weight: vec![0.4],
+                    communities: vec![Community::new(vec![2, 1])],
+                },
+            ],
+            stats: SearchStats::default(),
+        };
+        assert_eq!(result.num_cells(), 2);
+        assert_eq!(result.distinct_communities().len(), 2);
+        assert!(!result.is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! Dataset statistics (the columns of Table II).
+
+use rsn_core::network::RoadSocialNetwork;
+use rsn_graph::core_decomp::max_core_number;
+
+/// The Table II columns for one dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Number of social users.
+    pub social_vertices: usize,
+    /// Number of friendship edges.
+    pub social_edges: usize,
+    /// Average social degree.
+    pub dg_avg: f64,
+    /// Maximum social degree.
+    pub dg_max: usize,
+    /// Maximum core number of the social network.
+    pub k_max: u32,
+    /// Number of road vertices.
+    pub road_vertices: usize,
+    /// Number of road edges.
+    pub road_edges: usize,
+    /// Average road degree.
+    pub road_dg_avg: f64,
+}
+
+/// Computes the statistics of a road-social network.
+pub fn dataset_stats(rsn: &RoadSocialNetwork) -> DatasetStats {
+    let social = rsn.social();
+    let road = rsn.road();
+    DatasetStats {
+        social_vertices: social.num_vertices(),
+        social_edges: social.num_edges(),
+        dg_avg: social.avg_degree(),
+        dg_max: social.max_degree(),
+        k_max: max_core_number(social),
+        road_vertices: road.num_vertices(),
+        road_edges: road.num_edges(),
+        road_dg_avg: road.avg_degree(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example::paper_example_network;
+
+    #[test]
+    fn paper_example_stats() {
+        let rsn = paper_example_network();
+        let stats = dataset_stats(&rsn);
+        assert_eq!(stats.social_vertices, 15);
+        assert_eq!(stats.road_vertices, 15);
+        assert!(stats.k_max >= 3);
+        assert!(stats.dg_avg > 0.0);
+        assert!(stats.dg_max >= 6);
+    }
+}

@@ -1,0 +1,150 @@
+//! A compact fixed-capacity bit set used for dominator closures.
+
+/// Fixed-capacity bit set backed by `u64` blocks.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BitSet {
+    blocks: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty bit set able to hold `capacity` bits.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            blocks: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Capacity in bits.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.capacity);
+        self.blocks[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.capacity);
+        self.blocks[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Whether bit `i` is set.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.capacity {
+            return false;
+        }
+        self.blocks[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// In-place union with another bit set of the same capacity.
+    pub fn union_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.blocks.iter_mut().zip(other.blocks.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// Whether the intersection with `other` is non-empty.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.blocks
+            .iter()
+            .zip(other.blocks.iter())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Number of set bits that are also set in `mask`.
+    pub fn count_intersection(&self, mask: &BitSet) -> usize {
+        self.blocks
+            .iter()
+            .zip(mask.blocks.iter())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterator over the indices of set bits, in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(bi, &block)| {
+            (0..64)
+                .filter(move |bit| block & (1u64 << bit) != 0)
+                .map(move |bit| bi * 64 + bit)
+        })
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.blocks.len() * 8 + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_query() {
+        let mut s = BitSet::new(130);
+        assert!(s.is_empty());
+        s.set(0);
+        s.set(64);
+        s.set(129);
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1) && !s.contains(128));
+        assert!(!s.contains(500));
+        assert_eq!(s.count(), 3);
+        s.clear(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.set(1);
+        a.set(50);
+        b.set(50);
+        b.set(99);
+        assert!(a.intersects(&b));
+        assert_eq!(a.count_intersection(&b), 1);
+        a.union_with(&b);
+        assert_eq!(a.count(), 3);
+        let c = BitSet::new(100);
+        assert!(!c.intersects(&a));
+    }
+
+    #[test]
+    fn iteration_order() {
+        let mut s = BitSet::new(200);
+        for i in [5usize, 77, 3, 199] {
+            s.set(i);
+        }
+        let collected: Vec<usize> = s.iter().collect();
+        assert_eq!(collected, vec![3, 5, 77, 199]);
+    }
+
+    #[test]
+    fn empty_capacity() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.iter().count(), 0);
+    }
+}

@@ -1,0 +1,437 @@
+//! The r-dominance graph `G_d` (Section IV-B).
+//!
+//! `G_d` is a DAG over the vertices of the maximal (k,t)-core whose arcs are
+//! the transitive reduction of the pair-wise r-dominance relation w.r.t. the
+//! region `R`. Construction follows the paper's adapted BBS: vertices are
+//! visited in decreasing score under the *pivot vector* of `R` (so a vertex
+//! can only be r-dominated by vertices visited before it), and transitivity is
+//! exploited so that a dominance test against a vertex already implied by the
+//! closure is skipped.
+//!
+//! Besides the arcs, the structure exposes everything the search algorithms
+//! need: dominator closures, r-dominance counts, layers (`l(v)` used by the
+//! Eq. 3/Eq. 4 priorities), the leaf set, and the `G_e`/`G_c`, `l_b(G_e)`,
+//! `l_t(G_c)` selectors of the local-search verification (Section VI-B).
+
+use crate::bitset::BitSet;
+use crate::rtree::RTree;
+use rsn_geom::halfspace::HalfSpace;
+use rsn_geom::rdominance::{r_dominance_from_halfspace, DominanceRelation};
+use rsn_geom::region::PrefRegion;
+use std::collections::HashMap;
+
+/// The r-dominance graph over a set of attributed vertices.
+#[derive(Debug, Clone)]
+pub struct DominanceGraph {
+    /// External (social-graph) vertex ids, indexed by local id.
+    ids: Vec<u32>,
+    /// Map from external id to local id.
+    id_to_local: HashMap<u32, usize>,
+    /// Attribute vectors, indexed by local id.
+    attrs: Vec<Vec<f64>>,
+    /// The region the graph was built for.
+    region: PrefRegion,
+    /// Dominator closure: `dominators[v]` holds every local id that
+    /// r-dominates `v`.
+    dominators: Vec<BitSet>,
+    /// Transitive-reduction parents (direct dominators).
+    parents: Vec<Vec<u32>>,
+    /// Transitive-reduction children (directly dominated vertices).
+    children: Vec<Vec<u32>>,
+    /// Layer of each vertex: 0 for vertices with no dominator, otherwise
+    /// 1 + the maximum layer of its dominators.
+    layers: Vec<u32>,
+    /// Number of r-dominance tests performed during construction (profiling).
+    tests_performed: usize,
+    /// Memory used by the temporary R-tree during construction.
+    rtree_bytes: usize,
+}
+
+impl DominanceGraph {
+    /// Builds `G_d` for the given vertices.
+    ///
+    /// `ids[i]` is the external id of the vertex whose attribute vector is
+    /// `attrs[i]`; all vectors must share the same dimensionality `d` with
+    /// `region.dim() == d - 1`.
+    pub fn build(ids: &[u32], attrs: &[Vec<f64>], region: &PrefRegion) -> Self {
+        assert_eq!(ids.len(), attrs.len(), "ids and attrs must align");
+        let n = ids.len();
+        let dim = attrs.first().map(|a| a.len()).unwrap_or(region.dim() + 1);
+        debug_assert!(attrs.iter().all(|a| a.len() == dim));
+        debug_assert_eq!(region.dim() + 1, dim, "region dimensionality mismatch");
+
+        // BBS-style visit order: decreasing pivot score via the R-tree.
+        let rtree = RTree::bulk_load(attrs, dim);
+        let rtree_bytes = rtree.memory_bytes();
+        let pivot = region.pivot();
+        let order = rtree.pivot_order(pivot.reduced());
+
+        let mut dominators: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+        let mut tests = 0usize;
+        // `visited[k]` = local ids popped so far, in pop order.
+        let mut visited: Vec<usize> = Vec::with_capacity(n);
+        for &v in &order {
+            for &u in &visited {
+                // Transitivity pruning: if u already implied as dominator of v
+                // (because some earlier vertex dominated by u ... ), skip; more
+                // precisely, if u is already recorded we skip the test.
+                if dominators[v].contains(u) {
+                    continue;
+                }
+                let hs = HalfSpace::score_at_least(&attrs[u], &attrs[v]);
+                tests += 1;
+                match r_dominance_from_halfspace(&hs, region) {
+                    DominanceRelation::Dominates => {
+                        // u ≻ v: inherit u's dominators through transitivity.
+                        let u_doms = dominators[u].clone();
+                        dominators[v].set(u);
+                        dominators[v].union_with(&u_doms);
+                    }
+                    DominanceRelation::DominatedBy => {
+                        // Can only happen on pivot-score ties; record v ≻ u.
+                        let v_doms = dominators[v].clone();
+                        dominators[u].set(v);
+                        dominators[u].union_with(&v_doms);
+                    }
+                    DominanceRelation::Incomparable | DominanceRelation::Equivalent => {}
+                }
+            }
+            visited.push(v);
+        }
+
+        // Transitive reduction: u is a direct parent of v iff u dominates v
+        // and u is not a dominator of any other dominator of v.
+        let mut parents: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for v in 0..n {
+            let doms: Vec<usize> = dominators[v].iter().collect();
+            for &u in &doms {
+                let implied = doms
+                    .iter()
+                    .any(|&w| w != u && dominators[w].contains(u));
+                if !implied {
+                    parents[v].push(u as u32);
+                    children[u].push(v as u32);
+                }
+            }
+        }
+
+        // Layers: longest dominator chain above each vertex.
+        let mut layers = vec![0u32; n];
+        let mut order_by_count: Vec<usize> = (0..n).collect();
+        order_by_count.sort_by_key(|&v| dominators[v].count());
+        for &v in &order_by_count {
+            layers[v] = parents[v]
+                .iter()
+                .map(|&p| layers[p as usize] + 1)
+                .max()
+                .unwrap_or(0);
+        }
+
+        DominanceGraph {
+            ids: ids.to_vec(),
+            id_to_local: ids.iter().enumerate().map(|(i, &id)| (id, i)).collect(),
+            attrs: attrs.to_vec(),
+            region: region.clone(),
+            dominators,
+            parents,
+            children,
+            layers,
+            tests_performed: tests,
+            rtree_bytes,
+        }
+    }
+
+    /// Number of vertices in `G_d`.
+    pub fn num_vertices(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// External ids, indexed by local id.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Local id of an external id, if present.
+    pub fn local_of(&self, id: u32) -> Option<usize> {
+        self.id_to_local.get(&id).copied()
+    }
+
+    /// External id of a local id.
+    pub fn id_of(&self, local: usize) -> u32 {
+        self.ids[local]
+    }
+
+    /// Attribute vector of a local id.
+    pub fn attrs_of(&self, local: usize) -> &[f64] {
+        &self.attrs[local]
+    }
+
+    /// The region `G_d` was built for.
+    pub fn region(&self) -> &PrefRegion {
+        &self.region
+    }
+
+    /// Whether local vertex `a` r-dominates local vertex `b`.
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        self.dominators[b].contains(a)
+    }
+
+    /// Dominator closure of a local vertex.
+    pub fn dominators(&self, local: usize) -> &BitSet {
+        &self.dominators[local]
+    }
+
+    /// r-dominance count of a local vertex (number of vertices dominating it).
+    pub fn dom_count(&self, local: usize) -> usize {
+        self.dominators[local].count()
+    }
+
+    /// Direct parents (transitive reduction) of a local vertex.
+    pub fn parents(&self, local: usize) -> &[u32] {
+        &self.parents[local]
+    }
+
+    /// Direct children (transitive reduction) of a local vertex.
+    pub fn children(&self, local: usize) -> &[u32] {
+        &self.children[local]
+    }
+
+    /// Layer `l(v)` (0 = top layer, increasing downwards).
+    pub fn layer(&self, local: usize) -> u32 {
+        self.layers[local]
+    }
+
+    /// Maximum layer index (the constant ζ of Eq. 4 can be taken as this + 1).
+    pub fn max_layer(&self) -> u32 {
+        self.layers.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of r-dominance tests performed during construction.
+    pub fn tests_performed(&self) -> usize {
+        self.tests_performed
+    }
+
+    /// Vertices of `mask` that r-dominate **no other vertex of `mask`** — the
+    /// bottom layer / leaf vertices of the induced sub-DAG (`l_b(G_e)` when
+    /// `mask` selects the candidate community `H`, or the leaves of the
+    /// current `G'_d` during global search).
+    pub fn leaves_within(&self, mask: &[bool]) -> Vec<usize> {
+        debug_assert_eq!(mask.len(), self.num_vertices());
+        let n = self.num_vertices();
+        let mut dominates_someone = vec![false; n];
+        for v in 0..n {
+            if !mask[v] {
+                continue;
+            }
+            for u in self.dominators[v].iter() {
+                if mask[u] {
+                    dominates_someone[u] = true;
+                }
+            }
+        }
+        (0..n)
+            .filter(|&v| mask[v] && !dominates_someone[v])
+            .collect()
+    }
+
+    /// Vertices of `mask` that are r-dominated by **no other vertex of
+    /// `mask`** — the top layer of the induced sub-DAG (`l_t(G_c)` when `mask`
+    /// selects the complement of the candidate community).
+    pub fn top_within(&self, mask: &[bool]) -> Vec<usize> {
+        debug_assert_eq!(mask.len(), self.num_vertices());
+        (0..self.num_vertices())
+            .filter(|&v| mask[v] && self.dominators[v].iter().all(|u| !mask[u]))
+            .collect()
+    }
+
+    /// Like [`top_within`](Self::top_within) but with some vertices excluded
+    /// from the mask (used for the "replace a bound vertex by its next layer"
+    /// relaxation of Corollary 3).
+    pub fn top_within_excluding(&self, mask: &[bool], excluded: &[usize]) -> Vec<usize> {
+        let mut mask2 = mask.to_vec();
+        for &v in excluded {
+            mask2[v] = false;
+        }
+        self.top_within(&mask2)
+    }
+
+    /// Approximate memory footprint in bytes, including the construction-time
+    /// R-tree (the BBS column of Fig. 11(d)).
+    pub fn memory_bytes(&self) -> usize {
+        let mut total = std::mem::size_of::<Self>() + self.rtree_bytes;
+        total += self.ids.len() * 4;
+        total += self.attrs.iter().map(|a| a.len() * 8).sum::<usize>();
+        total += self.dominators.iter().map(|b| b.memory_bytes()).sum::<usize>();
+        total += self
+            .parents
+            .iter()
+            .chain(self.children.iter())
+            .map(|v| v.len() * 4)
+            .sum::<usize>();
+        total += self.layers.len() * 4;
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 2(a) attribute vectors of v1..v7 with the region of Fig. 2(b).
+    fn paper_setup() -> (Vec<u32>, Vec<Vec<f64>>, PrefRegion) {
+        let ids = vec![1, 2, 3, 4, 5, 6, 7];
+        let attrs = vec![
+            vec![8.8, 3.6, 2.2], // v1
+            vec![5.9, 6.2, 6.0], // v2
+            vec![2.8, 5.6, 5.1], // v3
+            vec![9.0, 3.3, 3.4], // v4
+            vec![5.0, 7.6, 3.1], // v5
+            vec![5.2, 8.3, 4.3], // v6
+            vec![2.1, 5.0, 5.1], // v7
+        ];
+        let region = PrefRegion::from_ranges(&[(0.1, 0.5), (0.2, 0.4)]).unwrap();
+        (ids, attrs, region)
+    }
+
+    #[test]
+    fn paper_dominance_graph_structure() {
+        let (ids, attrs, region) = paper_setup();
+        let gd = DominanceGraph::build(&ids, &attrs, &region);
+        assert_eq!(gd.num_vertices(), 7);
+        let local = |id: u32| gd.local_of(id).unwrap();
+
+        // Fig. 4(b): v7 is in the bottom layer, dominated by v2 and v6
+        // (transitively) and by v3 directly.
+        assert!(gd.dominates(local(2), local(7)));
+        assert!(gd.dominates(local(6), local(7)));
+        assert!(gd.dominates(local(3), local(7)));
+        // v7 dominates nothing
+        assert_eq!(gd.children(local(7)).len(), 0);
+        // the full-graph leaves include v7, v5 and v1 (initial leaves used in
+        // Fig. 5(a))
+        let all = vec![true; 7];
+        let leaves: Vec<u32> = gd.leaves_within(&all).iter().map(|&v| gd.id_of(v)).collect();
+        assert!(leaves.contains(&7) && leaves.contains(&5) && leaves.contains(&1));
+        // top layer contains v2, v6 and v4
+        let top: Vec<u32> = gd.top_within(&all).iter().map(|&v| gd.id_of(v)).collect();
+        assert!(top.contains(&2) && top.contains(&6) && top.contains(&4));
+        // layers: top vertices at layer 0, v7 strictly below its dominators
+        assert_eq!(gd.layer(local(2)), 0);
+        assert!(gd.layer(local(7)) > gd.layer(local(3)));
+    }
+
+    #[test]
+    fn ge_gc_selectors_match_paper_example() {
+        // Section VI-B walkthrough for H1 = {v2, v3, v6, v7}:
+        // lb(Ge) = {v7}, lt(Gc) = {v4, v5}.
+        let (ids, attrs, region) = paper_setup();
+        let gd = DominanceGraph::build(&ids, &attrs, &region);
+        let in_h = |id: u32| [2u32, 3, 6, 7].contains(&id);
+        let mask_e: Vec<bool> = (0..7).map(|i| in_h(gd.id_of(i))).collect();
+        let mask_c: Vec<bool> = (0..7).map(|i| !in_h(gd.id_of(i))).collect();
+        let lb: Vec<u32> = gd.leaves_within(&mask_e).iter().map(|&v| gd.id_of(v)).collect();
+        assert_eq!(lb, vec![7]);
+        let mut lt: Vec<u32> = gd.top_within(&mask_c).iter().map(|&v| gd.id_of(v)).collect();
+        lt.sort_unstable();
+        assert_eq!(lt, vec![4, 5]);
+        // excluding v5 pushes the top layer of Gc down to v1 (and keeps v4)
+        let v5_local = gd.local_of(5).unwrap();
+        let mut lt2: Vec<u32> = gd
+            .top_within_excluding(&mask_c, &[v5_local])
+            .iter()
+            .map(|&v| gd.id_of(v))
+            .collect();
+        lt2.sort_unstable();
+        assert!(lt2.contains(&4));
+    }
+
+    #[test]
+    fn closure_is_transitive_and_antisymmetric() {
+        use rand::prelude::*;
+        use rand::rngs::StdRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 60;
+        let ids: Vec<u32> = (0..n as u32).collect();
+        let attrs: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..4).map(|_| rng.random_range(0.0..10.0)).collect())
+            .collect();
+        let region = PrefRegion::from_ranges(&[(0.1, 0.3), (0.2, 0.4), (0.1, 0.2)]).unwrap();
+        let gd = DominanceGraph::build(&ids, &attrs, &region);
+        for a in 0..n {
+            assert!(!gd.dominates(a, a), "irreflexive");
+            for b in 0..n {
+                if gd.dominates(a, b) {
+                    assert!(!gd.dominates(b, a), "antisymmetric");
+                    for c in 0..n {
+                        if gd.dominates(b, c) {
+                            assert!(gd.dominates(a, c), "transitive closure");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closure_matches_pairwise_tests() {
+        use rand::prelude::*;
+        use rand::rngs::StdRng;
+        use rsn_geom::rdominance::r_dominance;
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 40;
+        let ids: Vec<u32> = (0..n as u32).collect();
+        let attrs: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..3).map(|_| rng.random_range(0.0..10.0)).collect())
+            .collect();
+        let region = PrefRegion::from_ranges(&[(0.15, 0.45), (0.2, 0.35)]).unwrap();
+        let gd = DominanceGraph::build(&ids, &attrs, &region);
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let expect = r_dominance(&attrs[a], &attrs[b], &region)
+                    == DominanceRelation::Dominates;
+                assert_eq!(
+                    gd.dominates(a, b),
+                    expect,
+                    "closure mismatch for {a} -> {b}"
+                );
+            }
+        }
+        // pruning means we performed fewer tests than the naive n*(n-1)
+        assert!(gd.tests_performed() <= n * (n - 1));
+    }
+
+    #[test]
+    fn reduction_has_no_redundant_arcs() {
+        let (ids, attrs, region) = paper_setup();
+        let gd = DominanceGraph::build(&ids, &attrs, &region);
+        for v in 0..gd.num_vertices() {
+            for &p in gd.parents(v) {
+                // no other dominator of v is dominated by p (otherwise the arc
+                // p -> v would be implied by transitivity)
+                for u in gd.dominators(v).iter() {
+                    if u == p as usize {
+                        continue;
+                    }
+                    assert!(
+                        !gd.dominators(u).contains(p as usize),
+                        "redundant arc {p} -> {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memory_and_empty_graph() {
+        let region = PrefRegion::from_ranges(&[(0.1, 0.5), (0.2, 0.4)]).unwrap();
+        let gd = DominanceGraph::build(&[], &[], &region);
+        assert_eq!(gd.num_vertices(), 0);
+        assert_eq!(gd.max_layer(), 0);
+        assert!(gd.memory_bytes() > 0);
+        assert!(gd.leaves_within(&[]).is_empty());
+    }
+}

@@ -1,0 +1,26 @@
+//! # rsn-dom
+//!
+//! Attribute index and r-dominance graph (`G_d`) for the reproduction of
+//! *"Multi-attributed Community Search in Road-social Networks"* (ICDE 2021).
+//!
+//! Section IV of the paper organizes the d-dimensional attribute vectors of
+//! the maximal (k,t)-core in an R-tree and adapts the BBS skyband algorithm to
+//! compute **all pair-wise r-dominance relationships** w.r.t. the region `R`,
+//! materialized as a DAG called the r-dominance graph. The adaptation keys the
+//! max-heap by the score of an R-tree node's upper-right corner (resp. a
+//! vertex) under the *pivot vector* of `R`, so that vertices are popped in an
+//! order in which later vertices can never r-dominate earlier ones.
+//!
+//! * [`bitset::BitSet`] — compact dominator sets.
+//! * [`rtree::RTree`] — STR bulk-loaded R-tree over attribute vectors.
+//! * [`dominance::DominanceGraph`] — the DAG `G_d` with transitive-reduction
+//!   arcs, layers, dominator closures, and the `G_e`/`G_c`, `l_b`/`l_t`
+//!   selectors used by the local search (Section VI-B).
+
+pub mod bitset;
+pub mod dominance;
+pub mod rtree;
+
+pub use bitset::BitSet;
+pub use dominance::DominanceGraph;
+pub use rtree::RTree;

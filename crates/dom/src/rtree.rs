@@ -1,0 +1,304 @@
+//! An STR bulk-loaded R-tree over d-dimensional attribute vectors.
+//!
+//! The paper organizes the attribute vectors `X` in a spatial index
+//! (Section II-C cites Guttman's R-tree) and traverses it with a BBS-style
+//! best-first search keyed by the score of a node's upper-right MBB corner
+//! under the pivot weight vector (Section IV-B). This module provides the
+//! index and the best-first traversal; the r-dominance bookkeeping lives in
+//! [`crate::dominance`].
+
+use rsn_geom::weights::score_reduced;
+
+/// Minimum bounding box of a set of d-dimensional points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mbb {
+    /// Per-dimension lower corner.
+    pub lo: Vec<f64>,
+    /// Per-dimension upper corner.
+    pub hi: Vec<f64>,
+}
+
+impl Mbb {
+    fn from_points<'a>(points: impl Iterator<Item = &'a [f64]>, dim: usize) -> Self {
+        let mut lo = vec![f64::INFINITY; dim];
+        let mut hi = vec![f64::NEG_INFINITY; dim];
+        for p in points {
+            for i in 0..dim {
+                lo[i] = lo[i].min(p[i]);
+                hi[i] = hi[i].max(p[i]);
+            }
+        }
+        Mbb { lo, hi }
+    }
+
+    fn merge(boxes: &[&Mbb], dim: usize) -> Self {
+        let mut lo = vec![f64::INFINITY; dim];
+        let mut hi = vec![f64::NEG_INFINITY; dim];
+        for b in boxes {
+            for i in 0..dim {
+                lo[i] = lo[i].min(b.lo[i]);
+                hi[i] = hi[i].max(b.hi[i]);
+            }
+        }
+        Mbb { lo, hi }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum RNode {
+    Leaf {
+        mbb: Mbb,
+        /// `(item index, attribute vector)` pairs.
+        entries: Vec<(usize, Vec<f64>)>,
+    },
+    Inner {
+        mbb: Mbb,
+        children: Vec<usize>,
+    },
+}
+
+/// STR bulk-loaded R-tree.
+#[derive(Debug, Clone)]
+pub struct RTree {
+    nodes: Vec<RNode>,
+    root: Option<usize>,
+    dim: usize,
+    fanout: usize,
+}
+
+/// Default node fanout.
+pub const DEFAULT_FANOUT: usize = 8;
+
+impl RTree {
+    /// Bulk loads the tree from `items` (indexed by position).
+    pub fn bulk_load(items: &[Vec<f64>], dim: usize) -> Self {
+        Self::bulk_load_with_fanout(items, dim, DEFAULT_FANOUT)
+    }
+
+    /// Bulk loads with an explicit fanout (minimum 2).
+    pub fn bulk_load_with_fanout(items: &[Vec<f64>], dim: usize, fanout: usize) -> Self {
+        let fanout = fanout.max(2);
+        let mut tree = RTree {
+            nodes: Vec::new(),
+            root: None,
+            dim,
+            fanout,
+        };
+        if items.is_empty() {
+            return tree;
+        }
+        let mut indexed: Vec<(usize, Vec<f64>)> =
+            items.iter().cloned().enumerate().collect();
+        let root = tree.build_str(&mut indexed, 0);
+        tree.root = Some(root);
+        tree
+    }
+
+    /// Number of indexed dimensions.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of tree nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Approximate memory footprint in bytes (Fig. 11(d) accounting: the BBS
+    /// process memory includes the R-tree over `X`).
+    pub fn memory_bytes(&self) -> usize {
+        let mut total = std::mem::size_of::<Self>();
+        for node in &self.nodes {
+            total += match node {
+                RNode::Leaf { entries, .. } => {
+                    entries.len() * (std::mem::size_of::<usize>() + self.dim * 8) + 2 * self.dim * 8
+                }
+                RNode::Inner { children, .. } => {
+                    children.len() * std::mem::size_of::<usize>() + 2 * self.dim * 8
+                }
+            };
+        }
+        total
+    }
+
+    /// Recursive Sort-Tile-Recursive build; returns node index.
+    fn build_str(&mut self, items: &mut [(usize, Vec<f64>)], depth: usize) -> usize {
+        if items.len() <= self.fanout {
+            let mbb = Mbb::from_points(items.iter().map(|(_, p)| p.as_slice()), self.dim);
+            let id = self.nodes.len();
+            self.nodes.push(RNode::Leaf {
+                mbb,
+                entries: items.to_vec(),
+            });
+            return id;
+        }
+        // sort along a rotating dimension and slice into `fanout` groups
+        let axis = depth % self.dim.max(1);
+        items.sort_by(|a, b| a.1[axis].total_cmp(&b.1[axis]));
+        let chunk = items.len().div_ceil(self.fanout);
+        let mut children = Vec::new();
+        let mut start = 0;
+        while start < items.len() {
+            let end = (start + chunk).min(items.len());
+            let child = {
+                let mut slice: Vec<(usize, Vec<f64>)> = items[start..end].to_vec();
+                self.build_str(&mut slice, depth + 1)
+            };
+            children.push(child);
+            start = end;
+        }
+        let boxes: Vec<&Mbb> = children.iter().map(|&c| self.mbb_of(c)).collect();
+        let mbb = Mbb::merge(&boxes, self.dim);
+        let id = self.nodes.len();
+        self.nodes.push(RNode::Inner { mbb, children });
+        id
+    }
+
+    fn mbb_of(&self, node: usize) -> &Mbb {
+        match &self.nodes[node] {
+            RNode::Leaf { mbb, .. } | RNode::Inner { mbb, .. } => mbb,
+        }
+    }
+
+    /// Best-first traversal in decreasing order of the score of the node's
+    /// upper-right corner (resp. the point itself) under the reduced pivot
+    /// weights. Returns the item indices in that order.
+    ///
+    /// This is the traversal order of the adapted BBS of Section IV-B: a
+    /// popped vertex can never be r-dominated by a vertex popped later,
+    /// because the pivot lies inside `R`.
+    pub fn pivot_order(&self, pivot_reduced: &[f64]) -> Vec<usize> {
+        use std::cmp::Ordering;
+        use std::collections::BinaryHeap;
+
+        #[derive(Debug)]
+        enum HeapItem {
+            Node(usize),
+            Point(usize),
+        }
+        struct Entry {
+            score: f64,
+            item: HeapItem,
+        }
+        impl PartialEq for Entry {
+            fn eq(&self, other: &Self) -> bool {
+                self.score == other.score
+            }
+        }
+        impl Eq for Entry {}
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> Ordering {
+                self.score.total_cmp(&other.score)
+            }
+        }
+
+        let mut order = Vec::new();
+        let Some(root) = self.root else {
+            return order;
+        };
+        let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+        heap.push(Entry {
+            score: score_reduced(&self.mbb_of(root).hi, pivot_reduced),
+            item: HeapItem::Node(root),
+        });
+        while let Some(Entry { item, .. }) = heap.pop() {
+            match item {
+                HeapItem::Point(idx) => order.push(idx),
+                HeapItem::Node(node) => match &self.nodes[node] {
+                    RNode::Leaf { entries, .. } => {
+                        for (idx, point) in entries {
+                            heap.push(Entry {
+                                score: score_reduced(point, pivot_reduced),
+                                item: HeapItem::Point(*idx),
+                            });
+                        }
+                    }
+                    RNode::Inner { children, .. } => {
+                        for &c in children {
+                            heap.push(Entry {
+                                score: score_reduced(&self.mbb_of(c).hi, pivot_reduced),
+                                item: HeapItem::Node(c),
+                            });
+                        }
+                    }
+                },
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.random_range(0.0..10.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn bulk_load_small_and_empty() {
+        let tree = RTree::bulk_load(&[], 3);
+        assert_eq!(tree.num_nodes(), 0);
+        assert!(tree.pivot_order(&[0.3, 0.3]).is_empty());
+
+        let pts = random_points(5, 3, 1);
+        let tree = RTree::bulk_load(&pts, 3);
+        assert_eq!(tree.num_nodes(), 1);
+        assert_eq!(tree.pivot_order(&[0.3, 0.3]).len(), 5);
+    }
+
+    #[test]
+    fn pivot_order_is_decreasing_score() {
+        let pts = random_points(200, 3, 2);
+        let tree = RTree::bulk_load(&pts, 3);
+        let pivot = [0.25, 0.35];
+        let order = tree.pivot_order(&pivot);
+        assert_eq!(order.len(), 200);
+        let mut seen = vec![false; 200];
+        let mut prev = f64::INFINITY;
+        for idx in order {
+            assert!(!seen[idx]);
+            seen[idx] = true;
+            let s = score_reduced(&pts[idx], &pivot);
+            assert!(s <= prev + 1e-9, "scores not non-increasing");
+            prev = s;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn pivot_order_various_dimensions() {
+        for d in [1usize, 2, 4, 6] {
+            let pts = random_points(64, d, d as u64);
+            let tree = RTree::bulk_load(&pts, d);
+            let pivot: Vec<f64> = vec![1.0 / d as f64; d - 1];
+            let order = tree.pivot_order(&pivot);
+            assert_eq!(order.len(), 64);
+            let mut prev = f64::INFINITY;
+            for idx in order {
+                let s = score_reduced(&pts[idx], &pivot);
+                assert!(s <= prev + 1e-9);
+                prev = s;
+            }
+        }
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let pts = random_points(50, 3, 3);
+        let tree = RTree::bulk_load(&pts, 3);
+        assert!(tree.memory_bytes() > 0);
+        assert!(tree.num_nodes() > 1);
+    }
+}

@@ -1,0 +1,291 @@
+//! Convex sub-partitions (cells) of the region `R` in H-representation.
+//!
+//! A cell is the intersection of the axis-parallel box of `R` with a set of
+//! half-space constraints accumulated by the arrangement of Algorithm 2.
+//! Classification of a cell against a new hyperplane (does the cell lie on the
+//! positive side, the negative side, or does the hyperplane split it?) is done
+//! with two small linear programs.
+
+use crate::halfspace::HalfSpace;
+use crate::lp::{self, LpOutcome};
+use crate::region::PrefRegion;
+use crate::EPS;
+use serde::{Deserialize, Serialize};
+
+/// Relation of a cell to a half-space `f(w) ≥ 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellSide {
+    /// The cell is entirely contained in the half-space (`f ≥ 0` everywhere).
+    Positive,
+    /// The cell is entirely contained in the complement (`f ≤ 0` everywhere).
+    Negative,
+    /// The hyperplane genuinely splits the cell.
+    Straddles,
+    /// The cell has no feasible point at all.
+    Empty,
+}
+
+/// A convex cell: box bounds plus accumulated half-space constraints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    lows: Vec<f64>,
+    highs: Vec<f64>,
+    constraints: Vec<HalfSpace>,
+}
+
+impl Cell {
+    /// The cell covering the whole region `R`.
+    pub fn from_region(region: &PrefRegion) -> Self {
+        Cell {
+            lows: region.lows().to_vec(),
+            highs: region.highs().to_vec(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Number of reduced dimensions.
+    pub fn dim(&self) -> usize {
+        self.lows.len()
+    }
+
+    /// Half-space constraints added on top of the box (not including the box
+    /// bounds themselves).
+    pub fn constraints(&self) -> &[HalfSpace] {
+        &self.constraints
+    }
+
+    /// A new cell with the half-space `f(w) ≥ 0` added as a constraint.
+    pub fn with_halfspace(&self, hs: HalfSpace) -> Cell {
+        let mut cell = self.clone();
+        cell.constraints.push(hs);
+        cell
+    }
+
+    /// Approximate memory footprint in bytes (Fig. 11(d) accounting).
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + (self.lows.len() + self.highs.len()) * std::mem::size_of::<f64>()
+            + self
+                .constraints
+                .iter()
+                .map(|c| (c.coeffs.len() + 1) * std::mem::size_of::<f64>())
+                .sum::<usize>()
+    }
+
+    /// Whether the point satisfies every constraint of the cell.
+    pub fn contains(&self, reduced_w: &[f64]) -> bool {
+        if reduced_w.len() != self.dim() {
+            return false;
+        }
+        for i in 0..self.dim() {
+            if reduced_w[i] < self.lows[i] - EPS || reduced_w[i] > self.highs[i] + EPS {
+                return false;
+            }
+        }
+        self.constraints.iter().all(|hs| hs.contains(reduced_w))
+    }
+
+    /// Builds the LP constraint system `A w ≤ b` of this cell.
+    fn lp_constraints(&self) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let dim = self.dim();
+        let mut a = Vec::with_capacity(2 * dim + self.constraints.len());
+        let mut b = Vec::with_capacity(2 * dim + self.constraints.len());
+        for i in 0..dim {
+            let mut row = vec![0.0; dim];
+            row[i] = 1.0;
+            a.push(row.clone());
+            b.push(self.highs[i]);
+            row[i] = -1.0;
+            a.push(row);
+            b.push(-self.lows[i]);
+        }
+        for hs in &self.constraints {
+            // offset + c·w >= 0  <=>  -c·w <= offset
+            a.push(hs.coeffs.iter().map(|c| -c).collect());
+            b.push(hs.offset);
+        }
+        (a, b)
+    }
+
+    /// Minimum of the affine form of `hs` over the cell; `None` when the cell
+    /// is empty.
+    pub fn min_of(&self, hs: &HalfSpace) -> Option<f64> {
+        let (a, b) = self.lp_constraints();
+        match lp::minimize(&hs.coeffs, &a, &b) {
+            LpOutcome::Optimal { value, .. } => Some(value + hs.offset),
+            LpOutcome::Infeasible => None,
+            // Cells are subsets of a bounded box; unbounded cannot happen.
+            LpOutcome::Unbounded => None,
+        }
+    }
+
+    /// Maximum of the affine form of `hs` over the cell; `None` when empty.
+    pub fn max_of(&self, hs: &HalfSpace) -> Option<f64> {
+        let (a, b) = self.lp_constraints();
+        match lp::maximize(&hs.coeffs, &a, &b) {
+            LpOutcome::Optimal { value, .. } => Some(value + hs.offset),
+            LpOutcome::Infeasible => None,
+            LpOutcome::Unbounded => None,
+        }
+    }
+
+    /// Whether the cell has no feasible point (or only a degenerate sliver
+    /// thinner than the numerical tolerance).
+    pub fn is_empty(&self) -> bool {
+        let dim = self.dim();
+        if dim == 0 {
+            // Zero-dimensional preference domain: the single point is feasible
+            // iff every constraint's constant term is non-negative.
+            return self.constraints.iter().any(|hs| hs.offset < -EPS);
+        }
+        let (a, b) = self.lp_constraints();
+        let zero = vec![0.0; dim];
+        matches!(lp::maximize(&zero, &a, &b), LpOutcome::Infeasible)
+    }
+
+    /// Classification of the cell against the half-space `f(w) ≥ 0`.
+    pub fn classify(&self, hs: &HalfSpace) -> CellSide {
+        let Some(min) = self.min_of(hs) else {
+            return CellSide::Empty;
+        };
+        if min >= -EPS {
+            return CellSide::Positive;
+        }
+        let Some(max) = self.max_of(hs) else {
+            return CellSide::Empty;
+        };
+        if max <= EPS {
+            return CellSide::Negative;
+        }
+        CellSide::Straddles
+    }
+
+    /// A representative point of the cell, roughly in its interior: the
+    /// average of the per-axis extreme points returned by the LP. Returns
+    /// `None` for empty cells.
+    pub fn sample_point(&self) -> Option<Vec<f64>> {
+        let dim = self.dim();
+        if dim == 0 {
+            return if self.is_empty() { None } else { Some(Vec::new()) };
+        }
+        let (a, b) = self.lp_constraints();
+        let mut acc = vec![0.0; dim];
+        let mut count = 0usize;
+        for i in 0..dim {
+            for sign in [1.0, -1.0] {
+                let mut c = vec![0.0; dim];
+                c[i] = sign;
+                match lp::maximize(&c, &a, &b) {
+                    LpOutcome::Optimal { point, .. } => {
+                        for (j, &x) in point.iter().enumerate() {
+                            acc[j] += x;
+                        }
+                        count += 1;
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        if count == 0 {
+            return None;
+        }
+        Some(acc.into_iter().map(|x| x / count as f64).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::PrefRegion;
+
+    fn paper_cell() -> Cell {
+        Cell::from_region(&PrefRegion::from_ranges(&[(0.1, 0.5), (0.2, 0.4)]).unwrap())
+    }
+
+    #[test]
+    fn region_cell_contains_and_samples() {
+        let cell = paper_cell();
+        assert_eq!(cell.dim(), 2);
+        assert!(cell.contains(&[0.3, 0.3]));
+        assert!(!cell.contains(&[0.6, 0.3]));
+        assert!(!cell.is_empty());
+        let p = cell.sample_point().unwrap();
+        assert!(cell.contains(&p));
+        // roughly centred
+        assert!((p[0] - 0.3).abs() < 0.21 && (p[1] - 0.3).abs() < 0.11);
+    }
+
+    #[test]
+    fn classify_against_halfspaces() {
+        let cell = paper_cell();
+        // w1 - 0.05 >= 0 holds everywhere in [0.1, 0.5]
+        let pos = HalfSpace::new(vec![1.0, 0.0], -0.05);
+        assert_eq!(cell.classify(&pos), CellSide::Positive);
+        // w1 - 0.9 >= 0 holds nowhere
+        let neg = HalfSpace::new(vec![1.0, 0.0], -0.9);
+        assert_eq!(cell.classify(&neg), CellSide::Negative);
+        // w1 - 0.3 >= 0 splits the region
+        let split = HalfSpace::new(vec![1.0, 0.0], -0.3);
+        assert_eq!(cell.classify(&split), CellSide::Straddles);
+    }
+
+    #[test]
+    fn with_halfspace_restricts_cell() {
+        let cell = paper_cell();
+        let hs = HalfSpace::new(vec![1.0, 0.0], -0.3); // w1 >= 0.3
+        let sub = cell.with_halfspace(hs.clone());
+        assert!(sub.contains(&[0.4, 0.3]));
+        assert!(!sub.contains(&[0.2, 0.3]));
+        assert!(!sub.is_empty());
+        assert_eq!(sub.constraints().len(), 1);
+        // the sub-cell is now entirely on the positive side
+        assert_eq!(sub.classify(&hs), CellSide::Positive);
+        // further restricting by the negation empties it
+        let empty = sub.with_halfspace(hs.negated());
+        // only the measure-zero boundary w1 = 0.3 remains; min/max of any
+        // genuine direction collapses
+        let w1 = HalfSpace::new(vec![1.0, 0.0], 0.0);
+        let min = empty.min_of(&w1).unwrap();
+        let max = empty.max_of(&w1).unwrap();
+        assert!((max - min).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_cell_detection() {
+        let cell = paper_cell();
+        // w1 >= 0.8 is outside the box entirely
+        let impossible = cell.with_halfspace(HalfSpace::new(vec![1.0, 0.0], -0.8));
+        assert!(impossible.is_empty());
+        assert_eq!(
+            impossible.classify(&HalfSpace::new(vec![0.0, 1.0], 0.0)),
+            CellSide::Empty
+        );
+        assert!(impossible.sample_point().is_none());
+    }
+
+    #[test]
+    fn min_max_values() {
+        let cell = paper_cell();
+        let hs = HalfSpace::new(vec![1.0, 1.0], 0.0); // w1 + w2
+        assert!((cell.min_of(&hs).unwrap() - 0.3).abs() < 1e-6);
+        assert!((cell.max_of(&hs).unwrap() - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_dimensional_cells() {
+        let region = PrefRegion::from_ranges(&[]).unwrap();
+        let cell = Cell::from_region(&region);
+        assert!(!cell.is_empty());
+        assert_eq!(cell.sample_point(), Some(vec![]));
+        let bad = cell.with_halfspace(HalfSpace::new(vec![], -1.0));
+        assert!(bad.is_empty());
+        let good = cell.with_halfspace(HalfSpace::new(vec![], 2.0));
+        assert!(!good.is_empty());
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let cell = paper_cell().with_halfspace(HalfSpace::new(vec![1.0, 0.0], -0.3));
+        assert!(cell.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! The binary arrangement index of Algorithm 2.
+//!
+//! The global search partitions (sub-regions of) `R` by inserting the
+//! supporting hyperplanes of competitor half-spaces. Algorithm 2 maintains a
+//! binary tree: a hyperplane either fully covers a leaf cell (no structural
+//! change) or splits it into a negative-side child and a positive-side child.
+//! The leaves of the tree are exactly the sub-partitions of the arrangement.
+
+use crate::cell::{Cell, CellSide};
+use crate::halfspace::HalfSpace;
+
+#[derive(Debug, Clone)]
+struct PartitionNode {
+    cell: Cell,
+    children: Option<(usize, usize)>,
+}
+
+/// Binary arrangement index over a base cell.
+#[derive(Debug, Clone)]
+pub struct PartitionTree {
+    nodes: Vec<PartitionNode>,
+    root: usize,
+    inserted: usize,
+}
+
+impl PartitionTree {
+    /// Creates the index for a base cell (usually the whole region `R` or one
+    /// sub-partition `ρ` of it).
+    pub fn new(base: Cell) -> Self {
+        PartitionTree {
+            nodes: vec![PartitionNode {
+                cell: base,
+                children: None,
+            }],
+            root: 0,
+            inserted: 0,
+        }
+    }
+
+    /// Number of hyperplanes inserted so far.
+    pub fn num_inserted(&self) -> usize {
+        self.inserted
+    }
+
+    /// Inserts a hyperplane, splitting every straddled leaf (Algorithm 2).
+    /// Degenerate half-spaces (identical score functions) are ignored.
+    pub fn insert(&mut self, hp: &HalfSpace) {
+        if hp.is_degenerate() {
+            return;
+        }
+        self.inserted += 1;
+        self.insert_at(self.root, hp);
+    }
+
+    fn insert_at(&mut self, node: usize, hp: &HalfSpace) {
+        match self.nodes[node].children {
+            Some((left, right)) => {
+                self.insert_at(left, hp);
+                self.insert_at(right, hp);
+            }
+            None => {
+                match self.nodes[node].cell.classify(hp) {
+                    // Lines 1-2 of Algorithm 2: the leaf is fully covered by
+                    // one side; nothing to split.
+                    CellSide::Positive | CellSide::Negative | CellSide::Empty => {}
+                    CellSide::Straddles => {
+                        let neg = self.nodes[node].cell.with_halfspace(hp.negated());
+                        let pos = self.nodes[node].cell.with_halfspace(hp.clone());
+                        let li = self.nodes.len();
+                        self.nodes.push(PartitionNode {
+                            cell: neg,
+                            children: None,
+                        });
+                        let ri = self.nodes.len();
+                        self.nodes.push(PartitionNode {
+                            cell: pos,
+                            children: None,
+                        });
+                        self.nodes[node].children = Some((li, ri));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The leaf cells (sub-partitions) of the arrangement.
+    pub fn leaves(&self) -> Vec<&Cell> {
+        let mut out = Vec::new();
+        self.collect_leaves(self.root, &mut out);
+        out
+    }
+
+    /// Number of leaf cells.
+    pub fn num_leaves(&self) -> usize {
+        self.leaves().len()
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| n.cell.memory_bytes() + std::mem::size_of::<Option<(usize, usize)>>())
+            .sum()
+    }
+
+    fn collect_leaves<'a>(&'a self, node: usize, out: &mut Vec<&'a Cell>) {
+        match self.nodes[node].children {
+            Some((l, r)) => {
+                self.collect_leaves(l, out);
+                self.collect_leaves(r, out);
+            }
+            None => out.push(&self.nodes[node].cell),
+        }
+    }
+}
+
+/// Convenience wrapper: builds the arrangement of `halfspaces` inside `base`
+/// and returns the resulting sub-partitions.
+pub fn arrange(base: &Cell, halfspaces: &[HalfSpace]) -> Vec<Cell> {
+    let mut tree = PartitionTree::new(base.clone());
+    for hp in halfspaces {
+        tree.insert(hp);
+    }
+    tree.leaves().into_iter().cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::PrefRegion;
+
+    fn base() -> Cell {
+        Cell::from_region(&PrefRegion::from_ranges(&[(0.1, 0.5), (0.2, 0.4)]).unwrap())
+    }
+
+    #[test]
+    fn single_split_produces_two_leaves() {
+        let mut tree = PartitionTree::new(base());
+        assert_eq!(tree.num_leaves(), 1);
+        tree.insert(&HalfSpace::new(vec![1.0, 0.0], -0.3)); // w1 >= 0.3
+        assert_eq!(tree.num_leaves(), 2);
+        assert_eq!(tree.num_inserted(), 1);
+    }
+
+    #[test]
+    fn covering_hyperplane_does_not_split() {
+        let mut tree = PartitionTree::new(base());
+        tree.insert(&HalfSpace::new(vec![1.0, 0.0], 0.5)); // w1 >= -0.5 always true
+        assert_eq!(tree.num_leaves(), 1);
+        tree.insert(&HalfSpace::new(vec![1.0, 0.0], -0.9)); // w1 >= 0.9 never true
+        assert_eq!(tree.num_leaves(), 1);
+    }
+
+    #[test]
+    fn degenerate_hyperplane_ignored() {
+        let mut tree = PartitionTree::new(base());
+        tree.insert(&HalfSpace::new(vec![0.0, 0.0], 0.0));
+        assert_eq!(tree.num_leaves(), 1);
+        assert_eq!(tree.num_inserted(), 0);
+    }
+
+    #[test]
+    fn paper_arrangement_of_three_halfspaces() {
+        // Fig. 5(a): inserting HS1, HS2, HS3 for the leaves {v7, v5, v1} of
+        // G_d produces 4 sub-partitions of R.
+        let v1 = [8.8, 3.6, 2.2];
+        let v5 = [5.0, 7.6, 3.1];
+        let v7 = [2.1, 5.0, 5.1];
+        let hs1 = HalfSpace::score_at_least(&v7, &v5);
+        let hs2 = HalfSpace::score_at_least(&v7, &v1);
+        let hs3 = HalfSpace::score_at_least(&v1, &v5);
+        let cells = arrange(&base(), &[hs1, hs2, hs3]);
+        assert_eq!(cells.len(), 4, "expected the 4 partitions of Fig. 5(a)");
+    }
+
+    #[test]
+    fn leaves_tile_the_base_cell() {
+        let halfspaces = vec![
+            HalfSpace::new(vec![1.0, 0.0], -0.3),
+            HalfSpace::new(vec![0.0, 1.0], -0.3),
+            HalfSpace::new(vec![1.0, -1.0], 0.0),
+        ];
+        let cells = arrange(&base(), &halfspaces);
+        assert!(cells.len() >= 4);
+        // every sampled point of the base lies in at least one leaf, and the
+        // interiors of distinct leaves do not overlap (checked via samples)
+        let b = base();
+        for i in 0..=10 {
+            for j in 0..=10 {
+                let w = [0.1 + 0.04 * i as f64, 0.2 + 0.02 * j as f64];
+                if !b.contains(&w) {
+                    continue;
+                }
+                let covering = cells.iter().filter(|c| c.contains(&w)).count();
+                assert!(covering >= 1, "point {w:?} not covered");
+            }
+        }
+        // interior samples of each leaf belong only to that leaf
+        for (i, c) in cells.iter().enumerate() {
+            if let Some(p) = c.sample_point() {
+                let owners: Vec<usize> = cells
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, other)| other.contains(&p))
+                    .map(|(j, _)| j)
+                    .collect();
+                assert!(owners.contains(&i));
+            }
+        }
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let mut tree = PartitionTree::new(base());
+        tree.insert(&HalfSpace::new(vec![1.0, 0.0], -0.3));
+        assert!(tree.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,475 @@
+//! Deletable view over a graph supporting the cascading DFS deletion of
+//! Algorithm 1 (lines 15–20) and its undo.
+//!
+//! The global search of the paper repeatedly removes the smallest-score
+//! vertex of the current community and then recursively removes every vertex
+//! whose degree drops below `k`. When the deletion would destroy the
+//! community containing the query vertices the step has to be rolled back
+//! (Corollary 1), and for top-j recovery the deleted groups are re-inserted
+//! in reverse order. [`SubgraphView`] provides exactly these operations while
+//! sharing the underlying immutable [`Graph`].
+
+use crate::connectivity::bfs_reachable;
+use crate::graph::{Graph, VertexId};
+
+/// Record of one cascading deletion round, sufficient to undo it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CascadeDelete {
+    /// Vertices removed in this round, in removal order.
+    pub removed: Vec<VertexId>,
+}
+
+impl CascadeDelete {
+    /// Whether any vertex of `set` was removed in this round.
+    pub fn removed_any_of(&self, set: &[VertexId]) -> bool {
+        self.removed.iter().any(|v| set.contains(v))
+    }
+
+    /// Number of removed vertices.
+    pub fn len(&self) -> usize {
+        self.removed.len()
+    }
+
+    /// Whether the round removed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.removed.is_empty()
+    }
+
+    /// Merges another deletion round into this one (used when a cascade is
+    /// followed by a connectivity trim and both should undo together).
+    pub fn merge(&mut self, other: CascadeDelete) {
+        self.removed.extend(other.removed);
+    }
+}
+
+/// A live/dead view over an immutable [`Graph`] with incremental degree
+/// maintenance.
+#[derive(Debug, Clone)]
+pub struct SubgraphView<'a> {
+    graph: &'a Graph,
+    alive: Vec<bool>,
+    degree: Vec<u32>,
+    num_alive: usize,
+}
+
+impl<'a> SubgraphView<'a> {
+    /// A view in which every vertex of `graph` is alive.
+    pub fn full(graph: &'a Graph) -> Self {
+        let n = graph.num_vertices();
+        let degree = (0..n as u32).map(|v| graph.degree(v) as u32).collect();
+        SubgraphView {
+            graph,
+            alive: vec![true; n],
+            degree,
+            num_alive: n,
+        }
+    }
+
+    /// A view restricted to the vertices whose mask entry is `true`.
+    pub fn from_mask(graph: &'a Graph, mask: &[bool]) -> Self {
+        let n = graph.num_vertices();
+        assert_eq!(mask.len(), n, "mask length must equal vertex count");
+        let mut degree = vec![0u32; n];
+        let mut num_alive = 0;
+        for v in 0..n {
+            if mask[v] {
+                num_alive += 1;
+                degree[v] = graph
+                    .neighbors(v as u32)
+                    .iter()
+                    .filter(|&&u| mask[u as usize])
+                    .count() as u32;
+            }
+        }
+        SubgraphView {
+            graph,
+            alive: mask.to_vec(),
+            degree,
+            num_alive,
+        }
+    }
+
+    /// A view restricted to an explicit vertex set.
+    pub fn from_vertices(graph: &'a Graph, vertices: &[VertexId]) -> Self {
+        let mut mask = vec![false; graph.num_vertices()];
+        for &v in vertices {
+            mask[v as usize] = true;
+        }
+        Self::from_mask(graph, &mask)
+    }
+
+    /// The underlying immutable graph.
+    #[inline]
+    pub fn graph(&self) -> &'a Graph {
+        self.graph
+    }
+
+    /// Whether `v` is currently alive.
+    #[inline]
+    pub fn is_alive(&self, v: VertexId) -> bool {
+        self.alive[v as usize]
+    }
+
+    /// Current degree of `v` within the alive subgraph (0 when dead).
+    #[inline]
+    pub fn degree_of(&self, v: VertexId) -> u32 {
+        if self.alive[v as usize] {
+            self.degree[v as usize]
+        } else {
+            0
+        }
+    }
+
+    /// Number of alive vertices.
+    #[inline]
+    pub fn num_alive(&self) -> usize {
+        self.num_alive
+    }
+
+    /// The alive mask (length = number of vertices in the underlying graph).
+    #[inline]
+    pub fn alive_mask(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Alive vertices in increasing id order.
+    pub fn alive_vertices(&self) -> Vec<VertexId> {
+        (0..self.alive.len() as u32)
+            .filter(|&v| self.alive[v as usize])
+            .collect()
+    }
+
+    /// Alive neighbours of `v`.
+    pub fn alive_neighbors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.graph
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(move |&u| self.alive[u as usize])
+    }
+
+    /// Minimum degree over alive vertices (`δ(H)` of the paper); `None` when
+    /// the view is empty.
+    pub fn min_degree(&self) -> Option<u32> {
+        (0..self.alive.len())
+            .filter(|&v| self.alive[v])
+            .map(|v| self.degree[v])
+            .min()
+    }
+
+    /// Number of alive edges (each edge counted once).
+    pub fn num_alive_edges(&self) -> usize {
+        let total: u64 = (0..self.alive.len())
+            .filter(|&v| self.alive[v])
+            .map(|v| u64::from(self.degree[v]))
+            .sum();
+        (total / 2) as usize
+    }
+
+    /// Removes `seed` and then recursively removes every alive vertex whose
+    /// degree drops below `k` (the DFS procedure of Algorithm 1).
+    ///
+    /// Returns the removal record; the caller is responsible for checking
+    /// Corollary 1 (query vertex removed / no k-core left) and calling
+    /// [`undo`](Self::undo) when the deletion must be rolled back.
+    pub fn delete_cascade(&mut self, seed: VertexId, k: u32) -> CascadeDelete {
+        let mut record = CascadeDelete::default();
+        if !self.alive[seed as usize] {
+            return record;
+        }
+        let mut stack = vec![seed];
+        self.kill(seed, &mut record);
+        while let Some(v) = stack.pop() {
+            // Decrement neighbours; cascade the ones that fall below k.
+            let neighbors: Vec<VertexId> = self.graph.neighbors(v).to_vec();
+            for u in neighbors {
+                if self.alive[u as usize] {
+                    self.degree[u as usize] -= 1;
+                    if self.degree[u as usize] < k {
+                        self.kill(u, &mut record);
+                        stack.push(u);
+                    }
+                }
+            }
+        }
+        record
+    }
+
+    /// Removes a single vertex (no cascade), updating neighbour degrees.
+    pub fn delete_single(&mut self, v: VertexId) -> CascadeDelete {
+        let mut record = CascadeDelete::default();
+        if !self.alive[v as usize] {
+            return record;
+        }
+        self.kill(v, &mut record);
+        let neighbors: Vec<VertexId> = self.graph.neighbors(v).to_vec();
+        for u in neighbors {
+            if self.alive[u as usize] {
+                self.degree[u as usize] -= 1;
+            }
+        }
+        record
+    }
+
+    /// Removes every alive vertex that is not reachable from `root` and
+    /// returns the removal record (empty when `root` is dead).
+    ///
+    /// After a cascade deletion the remaining graph may fall apart; only the
+    /// component containing the query vertices can still host MACs, so the
+    /// global search trims the rest with this method.
+    pub fn retain_component_of(&mut self, root: VertexId) -> CascadeDelete {
+        let mut record = CascadeDelete::default();
+        if !self.alive[root as usize] {
+            return record;
+        }
+        let reach = bfs_reachable(self.graph, root, &self.alive);
+        let to_remove: Vec<VertexId> = (0..self.alive.len() as u32)
+            .filter(|&v| self.alive[v as usize] && !reach[v as usize])
+            .collect();
+        for v in to_remove {
+            self.kill(v, &mut record);
+            let neighbors: Vec<VertexId> = self.graph.neighbors(v).to_vec();
+            for u in neighbors {
+                if self.alive[u as usize] {
+                    self.degree[u as usize] -= 1;
+                }
+            }
+        }
+        record
+    }
+
+    /// Restores the vertices removed by one or more deletion records.
+    ///
+    /// Records must be undone in reverse order of application when they
+    /// overlap structurally; for disjoint vertex sets (which is what the
+    /// global search produces, since a vertex is removed at most once along a
+    /// branch) any order is correct.
+    pub fn undo(&mut self, record: &CascadeDelete) {
+        let mut in_removed = vec![false; 0];
+        // Lazily allocate only when needed to keep the cheap path cheap.
+        if !record.removed.is_empty() {
+            in_removed = vec![false; self.alive.len()];
+        }
+        for &v in &record.removed {
+            in_removed[v as usize] = true;
+            self.alive[v as usize] = true;
+            self.num_alive += 1;
+        }
+        for &v in &record.removed {
+            let mut d = 0u32;
+            for &u in self.graph.neighbors(v) {
+                if self.alive[u as usize] {
+                    d += 1;
+                    if !in_removed[u as usize] {
+                        self.degree[u as usize] += 1;
+                    }
+                }
+            }
+            self.degree[v as usize] = d;
+        }
+    }
+
+    /// Whether the alive subgraph still contains a connected k-core containing
+    /// every vertex of `q`. This runs a peeling pass on a scratch copy and
+    /// does not modify the view.
+    pub fn has_connected_k_core_with(&self, k: u32, q: &[VertexId]) -> bool {
+        if q.iter().any(|&v| !self.alive[v as usize]) {
+            return false;
+        }
+        let mut scratch = self.clone();
+        // Peel all vertices below k.
+        let below: Vec<VertexId> = scratch
+            .alive_vertices()
+            .into_iter()
+            .filter(|&v| scratch.degree[v as usize] < k)
+            .collect();
+        for v in below {
+            if scratch.alive[v as usize] {
+                scratch.delete_cascade(v, k);
+            }
+        }
+        if q.iter().any(|&v| !scratch.alive[v as usize]) {
+            return false;
+        }
+        let reach = bfs_reachable(scratch.graph, q[0], &scratch.alive);
+        q.iter().all(|&v| reach[v as usize])
+    }
+
+    /// Peels every vertex with degree `< k` (in place) and returns the
+    /// combined removal record.
+    pub fn peel_to_k_core(&mut self, k: u32) -> CascadeDelete {
+        let mut record = CascadeDelete::default();
+        let below: Vec<VertexId> = self
+            .alive_vertices()
+            .into_iter()
+            .filter(|&v| self.degree[v as usize] < k)
+            .collect();
+        for v in below {
+            if self.alive[v as usize] {
+                record.merge(self.delete_cascade(v, k));
+            }
+        }
+        record
+    }
+
+    #[inline]
+    fn kill(&mut self, v: VertexId, record: &mut CascadeDelete) {
+        self.alive[v as usize] = false;
+        self.degree[v as usize] = 0;
+        self.num_alive -= 1;
+        record.removed.push(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    /// Triangle {0,1,2} + path 2-3-4 + triangle {4,5,6}.
+    fn chain_of_triangles() -> Graph {
+        Graph::from_edges(
+            7,
+            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (5, 6), (4, 6)],
+        )
+    }
+
+    #[test]
+    fn full_view_degrees() {
+        let g = chain_of_triangles();
+        let view = SubgraphView::full(&g);
+        assert_eq!(view.num_alive(), 7);
+        assert_eq!(view.degree_of(2), 3);
+        assert_eq!(view.min_degree(), Some(2));
+        assert_eq!(view.num_alive_edges(), 8);
+    }
+
+    #[test]
+    fn mask_view_recomputes_degrees() {
+        let g = chain_of_triangles();
+        let view = SubgraphView::from_vertices(&g, &[0, 1, 2, 3]);
+        assert_eq!(view.num_alive(), 4);
+        assert_eq!(view.degree_of(2), 3);
+        assert_eq!(view.degree_of(3), 1);
+        assert_eq!(view.degree_of(4), 0);
+        assert!(!view.is_alive(4));
+    }
+
+    #[test]
+    fn cascade_delete_peels_chain() {
+        let g = chain_of_triangles();
+        let mut view = SubgraphView::full(&g);
+        // Deleting vertex 0 with k = 2: the triangle {0,1,2} degrades, 1 and 2
+        // lose a neighbour but keep degree >= 2 (2 still has 1 and 3)?
+        // degrees after removing 0: 1 -> {2}, so degree 1 < 2: cascade.
+        let record = view.delete_cascade(0, 2);
+        assert!(record.removed.contains(&0));
+        assert!(record.removed.contains(&1));
+        // 2 drops to {3} after losing 0 and 1, so it cascades too, then 3.
+        assert!(record.removed.contains(&2));
+        assert!(record.removed.contains(&3));
+        // the far triangle survives
+        assert!(view.is_alive(4) && view.is_alive(5) && view.is_alive(6));
+        assert_eq!(view.min_degree(), Some(2));
+        assert_eq!(view.num_alive(), 3);
+    }
+
+    #[test]
+    fn undo_restores_exact_state() {
+        let g = chain_of_triangles();
+        let mut view = SubgraphView::full(&g);
+        let before_degrees: Vec<u32> = (0..7).map(|v| view.degree_of(v)).collect();
+        let record = view.delete_cascade(0, 2);
+        assert!(view.num_alive() < 7);
+        view.undo(&record);
+        assert_eq!(view.num_alive(), 7);
+        let after: Vec<u32> = (0..7).map(|v| view.degree_of(v)).collect();
+        assert_eq!(before_degrees, after);
+    }
+
+    #[test]
+    fn undo_overlapping_rounds_in_reverse_order() {
+        let g = chain_of_triangles();
+        let mut view = SubgraphView::full(&g);
+        let r1 = view.delete_single(3);
+        let r2 = view.delete_cascade(0, 2);
+        view.undo(&r2);
+        view.undo(&r1);
+        let fresh = SubgraphView::full(&g);
+        for v in 0..7 {
+            assert_eq!(view.degree_of(v), fresh.degree_of(v));
+            assert_eq!(view.is_alive(v), fresh.is_alive(v));
+        }
+    }
+
+    #[test]
+    fn retain_component_trims_other_side() {
+        let g = chain_of_triangles();
+        let mut view = SubgraphView::full(&g);
+        view.delete_single(3);
+        let record = view.retain_component_of(0);
+        assert_eq!(record.removed.len(), 3);
+        assert!(view.is_alive(0) && view.is_alive(1) && view.is_alive(2));
+        assert!(!view.is_alive(4) && !view.is_alive(5) && !view.is_alive(6));
+        assert_eq!(view.degree_of(2), 2);
+    }
+
+    /// Two K4s {0,1,2,3} and {5,6,7,8} joined through cut vertex 4.
+    fn two_k4_with_cut_vertex() -> Graph {
+        let mut edges = vec![(3, 4), (4, 5)];
+        for base in [0u32, 5u32] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+        Graph::from_edges(9, &edges)
+    }
+
+    #[test]
+    fn has_connected_k_core_checks() {
+        let g = two_k4_with_cut_vertex();
+        let view = SubgraphView::full(&g);
+        assert!(view.has_connected_k_core_with(3, &[0, 1]));
+        assert!(view.has_connected_k_core_with(3, &[5]));
+        // 0 and 8 live in different 3-core components
+        assert!(!view.has_connected_k_core_with(3, &[0, 8]));
+        assert!(!view.has_connected_k_core_with(4, &[0]));
+        // the whole graph is a single connected 2-core
+        assert!(view.has_connected_k_core_with(2, &[0, 8]));
+        // non-destructive
+        assert_eq!(view.num_alive(), 9);
+    }
+
+    #[test]
+    fn peel_to_k_core_matches_decomposition() {
+        let g = two_k4_with_cut_vertex();
+        let mut view = SubgraphView::full(&g);
+        let record = view.peel_to_k_core(3);
+        assert_eq!(record.removed, vec![4]);
+        assert_eq!(view.num_alive(), 8);
+        assert_eq!(view.min_degree(), Some(3));
+    }
+
+    #[test]
+    fn delete_dead_vertex_is_noop() {
+        let g = chain_of_triangles();
+        let mut view = SubgraphView::full(&g);
+        let r1 = view.delete_single(3);
+        assert_eq!(r1.len(), 1);
+        let r2 = view.delete_single(3);
+        assert!(r2.is_empty());
+        let r3 = view.delete_cascade(3, 2);
+        assert!(r3.is_empty());
+    }
+
+    #[test]
+    fn cascade_removed_any_of_query() {
+        let g = chain_of_triangles();
+        let mut view = SubgraphView::full(&g);
+        let record = view.delete_cascade(0, 2);
+        assert!(record.removed_any_of(&[1, 6]));
+        assert!(!record.removed_any_of(&[4, 5, 6]));
+    }
+}

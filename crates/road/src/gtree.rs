@@ -1,0 +1,643 @@
+//! A hierarchical graph-partition index over the road network, in the spirit
+//! of the G-tree of Zhong et al. (TKDE 2015), which the paper uses to
+//! accelerate the road-network range query of Lemma 1.
+//!
+//! The index recursively bisects the road network into nested regions. Every
+//! leaf stores the pairwise shortest distances *within its region*; every
+//! internal node stores the pairwise within-region distances between the
+//! borders of its children, assembled bottom-up over a reduced "border graph".
+//! Point-to-point queries combine the per-level matrices with a dynamic
+//! program over the ancestor chain; taking the minimum over **all** common
+//! ancestors (not only the LCA) makes the answer exact even when the true
+//! shortest path leaves the LCA's region. Exactness against Dijkstra is
+//! enforced by the property tests of this module.
+
+use crate::dijkstra::multi_source_dijkstra;
+use crate::network::{RoadNetwork, RoadVertexId};
+use std::collections::HashMap;
+
+/// Default maximum number of vertices per leaf region.
+pub const DEFAULT_LEAF_CAPACITY: usize = 32;
+
+#[derive(Debug, Clone)]
+struct GTreeNode {
+    parent: Option<usize>,
+    children: Vec<usize>,
+    /// Vertices of this node's region.
+    vertices: Vec<RoadVertexId>,
+    /// Vertices of the region with at least one road edge leaving the region.
+    borders: Vec<RoadVertexId>,
+    /// Matrix index space: all region vertices for leaves, the union of the
+    /// children's borders for internal nodes.
+    union_borders: Vec<RoadVertexId>,
+    /// Position of a vertex inside `union_borders`.
+    ub_index: HashMap<RoadVertexId, usize>,
+    /// Row-major `|union_borders| x |union_borders|` within-region distances.
+    matrix: Vec<f64>,
+}
+
+impl GTreeNode {
+    fn matrix_at(&self, i: usize, j: usize) -> f64 {
+        self.matrix[i * self.union_borders.len() + j]
+    }
+}
+
+/// Hierarchical road-network distance index.
+#[derive(Debug, Clone)]
+pub struct GTree {
+    nodes: Vec<GTreeNode>,
+    leaf_of: Vec<usize>,
+    root: usize,
+    num_vertices: usize,
+}
+
+impl GTree {
+    /// Builds the index with the default leaf capacity.
+    pub fn build(net: &RoadNetwork) -> Self {
+        Self::build_with_capacity(net, DEFAULT_LEAF_CAPACITY)
+    }
+
+    /// Builds the index with an explicit leaf capacity (minimum 4).
+    pub fn build_with_capacity(net: &RoadNetwork, leaf_capacity: usize) -> Self {
+        let leaf_capacity = leaf_capacity.max(4);
+        let n = net.num_vertices();
+        let mut tree = GTree {
+            nodes: Vec::new(),
+            leaf_of: vec![usize::MAX; n],
+            root: 0,
+            num_vertices: n,
+        };
+        let all: Vec<RoadVertexId> = (0..n as u32).collect();
+        if n == 0 {
+            tree.nodes.push(GTreeNode {
+                parent: None,
+                children: Vec::new(),
+                vertices: Vec::new(),
+                borders: Vec::new(),
+                union_borders: Vec::new(),
+                ub_index: HashMap::new(),
+                matrix: Vec::new(),
+            });
+            return tree;
+        }
+        tree.root = tree.partition(net, all, None, leaf_capacity);
+        tree.compute_borders(net);
+        tree.compute_matrices(net);
+        tree
+    }
+
+    /// Number of tree nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Height of the tree (a single leaf tree has height 1).
+    pub fn height(&self) -> usize {
+        fn depth(nodes: &[GTreeNode], i: usize) -> usize {
+            1 + nodes[i]
+                .children
+                .iter()
+                .map(|&c| depth(nodes, c))
+                .max()
+                .unwrap_or(0)
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            depth(&self.nodes, self.root)
+        }
+    }
+
+    /// Approximate memory footprint of the index in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|node| {
+                node.matrix.len() * std::mem::size_of::<f64>()
+                    + (node.vertices.len() + node.borders.len() + node.union_borders.len())
+                        * std::mem::size_of::<RoadVertexId>()
+                    + node.ub_index.len() * 2 * std::mem::size_of::<usize>()
+            })
+            .sum::<usize>()
+            + std::mem::size_of::<Self>()
+    }
+
+    /// Exact shortest-path distance between two road vertices.
+    pub fn dist(&self, u: RoadVertexId, v: RoadVertexId) -> f64 {
+        if u as usize >= self.num_vertices || v as usize >= self.num_vertices {
+            return f64::INFINITY;
+        }
+        if u == v {
+            return 0.0;
+        }
+        let leaf_u = self.leaf_of[u as usize];
+        let leaf_v = self.leaf_of[v as usize];
+
+        let mut best = f64::INFINITY;
+        if leaf_u == leaf_v {
+            let node = &self.nodes[leaf_u];
+            let iu = node.ub_index[&u];
+            let iv = node.ub_index[&v];
+            best = node.matrix_at(iu, iv);
+        }
+
+        // Ancestor chains from leaf to root.
+        let path_u = self.ancestor_chain(leaf_u);
+        let path_v = self.ancestor_chain(leaf_v);
+
+        // Distance vectors from u (resp. v) to the borders of each node on its
+        // ancestor chain, computed within that node's region.
+        let a_vecs = self.climb(u, &path_u);
+        let b_vecs = self.climb(v, &path_v);
+
+        // Combine at every common ancestor: the true path crosses the borders
+        // of the two children of the lowest ancestor whose region it stays in.
+        let set_u: HashMap<usize, usize> = path_u.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for (vi, &w) in path_v.iter().enumerate() {
+            let Some(&ui) = set_u.get(&w) else { continue };
+            // child of w on each side (the previous node on the chain);
+            // when the common ancestor is the leaf itself this is the leaf.
+            let cu = if ui == 0 { path_u[0] } else { path_u[ui - 1] };
+            let cv = if vi == 0 { path_v[0] } else { path_v[vi - 1] };
+            if ui == 0 && vi == 0 {
+                // same leaf: already handled via the leaf matrix
+                continue;
+            }
+            let wn = &self.nodes[w];
+            let cu_node = &self.nodes[cu];
+            let cv_node = &self.nodes[cv];
+            let au = &a_vecs[ui.saturating_sub(if ui == 0 { 0 } else { 1 })];
+            let bv = &b_vecs[vi.saturating_sub(if vi == 0 { 0 } else { 1 })];
+            for (xi, &x) in cu_node.borders.iter().enumerate() {
+                let ax = au[xi];
+                if !ax.is_finite() {
+                    continue;
+                }
+                let wx = wn.ub_index[&x];
+                for (yi, &y) in cv_node.borders.iter().enumerate() {
+                    let by = bv[yi];
+                    if !by.is_finite() {
+                        continue;
+                    }
+                    let wy = wn.ub_index[&y];
+                    let cand = ax + wn.matrix_at(wx, wy) + by;
+                    if cand < best {
+                        best = cand;
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Vertices grouped by leaf region (used by tests and diagnostics).
+    pub fn leaf_regions(&self) -> Vec<Vec<RoadVertexId>> {
+        self.nodes
+            .iter()
+            .filter(|n| n.children.is_empty())
+            .map(|n| n.vertices.clone())
+            .collect()
+    }
+
+    fn ancestor_chain(&self, leaf: usize) -> Vec<usize> {
+        let mut chain = vec![leaf];
+        let mut cur = leaf;
+        while let Some(p) = self.nodes[cur].parent {
+            chain.push(p);
+            cur = p;
+        }
+        chain
+    }
+
+    /// `result[i]` = distances from `u` to the borders of `path[i]`, computed
+    /// within the region of `path[i]`.
+    fn climb(&self, u: RoadVertexId, path: &[usize]) -> Vec<Vec<f64>> {
+        let mut result: Vec<Vec<f64>> = Vec::with_capacity(path.len());
+        // Leaf level.
+        let leaf = &self.nodes[path[0]];
+        let iu = leaf.ub_index[&u];
+        let leaf_dists: Vec<f64> = leaf
+            .borders
+            .iter()
+            .map(|b| leaf.matrix_at(iu, leaf.ub_index[b]))
+            .collect();
+        result.push(leaf_dists);
+        // Internal levels.
+        for level in 1..path.len() {
+            let node = &self.nodes[path[level]];
+            let child = &self.nodes[path[level - 1]];
+            let prev = &result[level - 1];
+            let dists: Vec<f64> = node
+                .borders
+                .iter()
+                .map(|&x| {
+                    let xi = node.ub_index[&x];
+                    let mut best = f64::INFINITY;
+                    for (bi, &b) in child.borders.iter().enumerate() {
+                        if !prev[bi].is_finite() {
+                            continue;
+                        }
+                        let bidx = node.ub_index[&b];
+                        let cand = prev[bi] + node.matrix_at(bidx, xi);
+                        if cand < best {
+                            best = cand;
+                        }
+                    }
+                    best
+                })
+                .collect();
+            result.push(dists);
+        }
+        result
+    }
+
+    /// Recursively partitions `vertices` into a subtree; returns the node id.
+    fn partition(
+        &mut self,
+        net: &RoadNetwork,
+        vertices: Vec<RoadVertexId>,
+        parent: Option<usize>,
+        leaf_capacity: usize,
+    ) -> usize {
+        let id = self.nodes.len();
+        self.nodes.push(GTreeNode {
+            parent,
+            children: Vec::new(),
+            vertices: vertices.clone(),
+            borders: Vec::new(),
+            union_borders: Vec::new(),
+            ub_index: HashMap::new(),
+            matrix: Vec::new(),
+        });
+        if vertices.len() <= leaf_capacity {
+            for &v in &vertices {
+                self.leaf_of[v as usize] = id;
+            }
+            return id;
+        }
+        let (left, right) = bisect(net, &vertices);
+        let left_id = self.partition(net, left, Some(id), leaf_capacity);
+        let right_id = self.partition(net, right, Some(id), leaf_capacity);
+        self.nodes[id].children = vec![left_id, right_id];
+        id
+    }
+
+    fn compute_borders(&mut self, net: &RoadNetwork) {
+        let n = self.num_vertices;
+        let mut in_region = vec![false; n];
+        for id in 0..self.nodes.len() {
+            for &v in &self.nodes[id].vertices {
+                in_region[v as usize] = true;
+            }
+            let borders: Vec<RoadVertexId> = self.nodes[id]
+                .vertices
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    net.neighbors(v)
+                        .iter()
+                        .any(|&(u, _)| !in_region[u as usize])
+                })
+                .collect();
+            for &v in &self.nodes[id].vertices {
+                in_region[v as usize] = false;
+            }
+            self.nodes[id].borders = borders;
+        }
+    }
+
+    fn compute_matrices(&mut self, net: &RoadNetwork) {
+        let n = self.num_vertices;
+        // Bottom-up order: children have larger ids than parents is NOT
+        // guaranteed by construction order (parents are created before
+        // children), so process in reverse creation order, which visits
+        // children before parents.
+        let order: Vec<usize> = (0..self.nodes.len()).rev().collect();
+        let mut region_mask = vec![false; n];
+        for &id in &order {
+            if self.nodes[id].children.is_empty() {
+                // Leaf: full pairwise within-region distances.
+                let vertices = self.nodes[id].vertices.clone();
+                for &v in &vertices {
+                    region_mask[v as usize] = true;
+                }
+                let ub_index: HashMap<RoadVertexId, usize> =
+                    vertices.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+                let size = vertices.len();
+                let mut matrix = vec![f64::INFINITY; size * size];
+                for (i, &v) in vertices.iter().enumerate() {
+                    let dists = multi_source_dijkstra(net, &[(v, 0.0)], None, Some(&region_mask));
+                    for (j, &u) in vertices.iter().enumerate() {
+                        matrix[i * size + j] = dists[u as usize];
+                    }
+                }
+                for &v in &vertices {
+                    region_mask[v as usize] = false;
+                }
+                let node = &mut self.nodes[id];
+                node.union_borders = vertices;
+                node.ub_index = ub_index;
+                node.matrix = matrix;
+            } else {
+                // Internal node: reduced border graph over children's borders.
+                let children = self.nodes[id].children.clone();
+                let mut union_borders: Vec<RoadVertexId> = Vec::new();
+                let mut child_of: HashMap<RoadVertexId, usize> = HashMap::new();
+                for (ci, &c) in children.iter().enumerate() {
+                    for &b in &self.nodes[c].borders {
+                        if !child_of.contains_key(&b) {
+                            union_borders.push(b);
+                        }
+                        child_of.insert(b, ci);
+                    }
+                }
+                let ub_index: HashMap<RoadVertexId, usize> = union_borders
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| (v, i))
+                    .collect();
+                let size = union_borders.len();
+                // adjacency of the reduced graph
+                let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); size];
+                // (a) intra-child shortcuts from the child's matrix
+                for &c in &children {
+                    let child = &self.nodes[c];
+                    for (i, &bi) in child.borders.iter().enumerate() {
+                        for &bj in child.borders.iter().skip(i + 1) {
+                            let d = child.matrix_at(child.ub_index[&bi], child.ub_index[&bj]);
+                            if d.is_finite() {
+                                let a = ub_index[&bi];
+                                let b = ub_index[&bj];
+                                adj[a].push((b, d));
+                                adj[b].push((a, d));
+                            }
+                        }
+                    }
+                }
+                // (b) original road edges crossing between children
+                for &b in &union_borders {
+                    for &(u, w) in net.neighbors(b) {
+                        if let (Some(&cb), Some(&cu)) = (child_of.get(&b), child_of.get(&u)) {
+                            if cb != cu {
+                                adj[ub_index[&b]].push((ub_index[&u], w));
+                            }
+                        }
+                    }
+                }
+                // Dijkstra on the reduced graph from every union border.
+                let mut matrix = vec![f64::INFINITY; size * size];
+                for s in 0..size {
+                    let row = reduced_dijkstra(&adj, s);
+                    matrix[s * size..(s + 1) * size].copy_from_slice(&row);
+                }
+                let node = &mut self.nodes[id];
+                node.union_borders = union_borders;
+                node.ub_index = ub_index;
+                node.matrix = matrix;
+            }
+        }
+    }
+}
+
+/// Dijkstra over the small reduced border graph.
+fn reduced_dijkstra(adj: &[Vec<(usize, f64)>], source: usize) -> Vec<f64> {
+    use std::cmp::Reverse;
+    let n = adj.len();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut heap: std::collections::BinaryHeap<Reverse<(u64, usize)>> =
+        std::collections::BinaryHeap::new();
+    dist[source] = 0.0;
+    heap.push(Reverse((0, source)));
+    while let Some(Reverse((key, v))) = heap.pop() {
+        let d = f64::from_bits(key);
+        if d > dist[v] {
+            continue;
+        }
+        for &(u, w) in &adj[v] {
+            let nd = d + w;
+            if nd < dist[u] {
+                dist[u] = nd;
+                heap.push(Reverse((nd.to_bits(), u)));
+            }
+        }
+    }
+    dist
+}
+
+/// Splits a vertex set into two balanced halves by growing BFS regions from
+/// two far-apart seeds. Disconnected leftovers are appended to the smaller
+/// half; a degenerate split falls back to halving the list.
+fn bisect(
+    net: &RoadNetwork,
+    vertices: &[RoadVertexId],
+) -> (Vec<RoadVertexId>, Vec<RoadVertexId>) {
+    use std::collections::VecDeque;
+    let set: HashMap<RoadVertexId, ()> = vertices.iter().map(|&v| (v, ())).collect();
+    let in_set = |v: RoadVertexId| set.contains_key(&v);
+
+    // seed 1: BFS-farthest vertex from vertices[0]; seed 2: farthest from seed 1
+    let farthest_from = |start: RoadVertexId| -> RoadVertexId {
+        let mut seen: HashMap<RoadVertexId, ()> = HashMap::new();
+        let mut queue = VecDeque::new();
+        seen.insert(start, ());
+        queue.push_back(start);
+        let mut last = start;
+        while let Some(v) = queue.pop_front() {
+            last = v;
+            for &(u, _) in net.neighbors(v) {
+                if in_set(u) && !seen.contains_key(&u) {
+                    seen.insert(u, ());
+                    queue.push_back(u);
+                }
+            }
+        }
+        last
+    };
+    let s1 = farthest_from(vertices[0]);
+    let s2 = farthest_from(s1);
+    if s1 == s2 {
+        let mid = vertices.len() / 2;
+        return (vertices[..mid].to_vec(), vertices[mid..].to_vec());
+    }
+
+    let mut owner: HashMap<RoadVertexId, u8> = HashMap::new();
+    let mut q1 = VecDeque::new();
+    let mut q2 = VecDeque::new();
+    owner.insert(s1, 1);
+    owner.insert(s2, 2);
+    q1.push_back(s1);
+    q2.push_back(s2);
+    let half = vertices.len().div_ceil(2);
+    let mut count1 = 1usize;
+    loop {
+        let mut progressed = false;
+        if count1 < half {
+            if let Some(v) = q1.pop_front() {
+                progressed = true;
+                for &(u, _) in net.neighbors(v) {
+                    if in_set(u) && !owner.contains_key(&u) && count1 < half {
+                        owner.insert(u, 1);
+                        count1 += 1;
+                        q1.push_back(u);
+                    }
+                }
+            }
+        }
+        if let Some(v) = q2.pop_front() {
+            progressed = true;
+            for &(u, _) in net.neighbors(v) {
+                if in_set(u) && !owner.contains_key(&u) {
+                    owner.insert(u, 2);
+                    q2.push_back(u);
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for &v in vertices {
+        match owner.get(&v) {
+            Some(1) => left.push(v),
+            Some(2) => right.push(v),
+            _ => {
+                // unreachable leftovers (disconnected part): balance
+                if left.len() <= right.len() {
+                    left.push(v);
+                } else {
+                    right.push(v);
+                }
+            }
+        }
+    }
+    if left.is_empty() || right.is_empty() {
+        let mid = vertices.len() / 2;
+        return (vertices[..mid].to_vec(), vertices[mid..].to_vec());
+    }
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::sssp;
+    use crate::network::RoadNetwork;
+
+    fn grid(rows: u32, cols: u32) -> RoadNetwork {
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = r * cols + c;
+                if c + 1 < cols {
+                    edges.push((v, v + 1, 1.0 + ((v % 3) as f64) * 0.25));
+                }
+                if r + 1 < rows {
+                    edges.push((v, v + cols, 1.0 + ((v % 5) as f64) * 0.2));
+                }
+            }
+        }
+        RoadNetwork::from_edges((rows * cols) as usize, &edges)
+    }
+
+    #[test]
+    fn single_leaf_tree_matches_dijkstra() {
+        let net = grid(3, 3);
+        let tree = GTree::build_with_capacity(&net, 16);
+        assert_eq!(tree.num_nodes(), 1);
+        let d0 = sssp(&net, 0);
+        for v in 0..9u32 {
+            assert!((tree.dist(0, v) - d0[v as usize]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn multi_level_tree_matches_dijkstra() {
+        let net = grid(6, 6);
+        let tree = GTree::build_with_capacity(&net, 6);
+        assert!(tree.num_nodes() > 3);
+        assert!(tree.height() >= 3);
+        for s in [0u32, 7, 17, 35] {
+            let d = sssp(&net, s);
+            for v in 0..36u32 {
+                assert!(
+                    (tree.dist(s, v) - d[v as usize]).abs() < 1e-9,
+                    "mismatch for {s}->{v}: gtree {} dijkstra {}",
+                    tree.dist(s, v),
+                    d[v as usize]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_regions_partition_vertices() {
+        let net = grid(5, 5);
+        let tree = GTree::build_with_capacity(&net, 5);
+        let mut seen = vec![false; 25];
+        for region in tree.leaf_regions() {
+            assert!(region.len() <= 5);
+            for v in region {
+                assert!(!seen[v as usize], "vertex {v} in two leaves");
+                seen[v as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn disconnected_components_are_infinite() {
+        let net = RoadNetwork::from_edges(6, &[(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0), (4, 5, 1.0)]);
+        let tree = GTree::build_with_capacity(&net, 4);
+        assert!(tree.dist(0, 5).is_infinite());
+        assert!((tree.dist(0, 2) - 2.0).abs() < 1e-9);
+        assert!((tree.dist(3, 5) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dist_identity_and_out_of_range() {
+        let net = grid(3, 3);
+        let tree = GTree::build_with_capacity(&net, 4);
+        assert_eq!(tree.dist(4, 4), 0.0);
+        assert!(tree.dist(0, 99).is_infinite());
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let net = grid(4, 4);
+        let tree = GTree::build_with_capacity(&net, 4);
+        assert!(tree.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn randomized_agreement_with_dijkstra() {
+        use rand::prelude::*;
+        use rand::rngs::StdRng;
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 60usize;
+        let mut edges = Vec::new();
+        // random connected-ish sparse graph: a ring plus chords
+        for v in 0..n as u32 {
+            edges.push((v, (v + 1) % n as u32, rng.random_range(1.0..5.0)));
+        }
+        for _ in 0..40 {
+            let u = rng.random_range(0..n as u32);
+            let v = rng.random_range(0..n as u32);
+            edges.push((u, v, rng.random_range(1.0..10.0)));
+        }
+        let net = RoadNetwork::from_edges(n, &edges);
+        let tree = GTree::build_with_capacity(&net, 8);
+        for _ in 0..30 {
+            let s = rng.random_range(0..n as u32);
+            let t = rng.random_range(0..n as u32);
+            let d = sssp(&net, s);
+            assert!(
+                (tree.dist(s, t) - d[t as usize]).abs() < 1e-9,
+                "mismatch {s}->{t}: gtree {} dijkstra {}",
+                tree.dist(s, t),
+                d[t as usize]
+            );
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! # rsn-road
+//!
+//! Road-network substrate for the reproduction of *"Multi-attributed
+//! Community Search in Road-social Networks"* (ICDE 2021).
+//!
+//! The paper models the road network `G_r` as an undirected weighted graph
+//! whose edge weights are travel costs; users of the social network are pinned
+//! to locations in `G_r` and the *query distance* (Definition 2) measures the
+//! communication cost of a community. This crate provides:
+//!
+//! * [`network::RoadNetwork`] — the weighted graph plus [`network::Location`]
+//!   (a point on a vertex or part-way along an edge).
+//! * [`dijkstra`] — exact single-source / multi-source / bounded shortest
+//!   paths used everywhere else.
+//! * [`querydist::QueryDistanceIndex`] — per-query-user distance fields, the
+//!   range filter of Lemma 1 and query-distance evaluation (Definition 2).
+//! * [`gtree::GTree`] — a hierarchical graph-partition index in the spirit of
+//!   the G-tree [Zhong et al., TKDE'15] the paper uses to accelerate range
+//!   queries; our variant assembles within-region border matrices bottom-up
+//!   and answers exact point-to-point distance queries.
+
+pub mod dijkstra;
+pub mod gtree;
+pub mod network;
+pub mod querydist;
+
+pub use dijkstra::{bounded_sssp, sssp, sssp_from_location};
+pub use gtree::GTree;
+pub use network::{Location, RoadNetwork, RoadNetworkBuilder, RoadVertexId};
+pub use querydist::QueryDistanceIndex;
+
+/// Errors produced by the road substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoadError {
+    /// A road vertex identifier was out of range.
+    VertexOutOfRange {
+        /// Offending vertex.
+        vertex: u32,
+        /// Number of road vertices.
+        num_vertices: usize,
+    },
+    /// A location referenced an edge that does not exist.
+    NoSuchEdge {
+        /// Edge endpoint.
+        u: u32,
+        /// Edge endpoint.
+        v: u32,
+    },
+    /// An edge weight was negative or not finite.
+    InvalidWeight(f64),
+    /// A location offset was outside `[0, weight(u, v)]`.
+    InvalidOffset {
+        /// Requested offset.
+        offset: f64,
+        /// Length of the edge.
+        edge_length: f64,
+    },
+}
+
+impl std::fmt::Display for RoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoadError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "road vertex {vertex} out of range for network with {num_vertices} vertices"
+            ),
+            RoadError::NoSuchEdge { u, v } => write!(f, "no road edge between {u} and {v}"),
+            RoadError::InvalidWeight(w) => write!(f, "invalid edge weight {w}"),
+            RoadError::InvalidOffset {
+                offset,
+                edge_length,
+            } => write!(
+                f,
+                "offset {offset} outside [0, {edge_length}] for on-edge location"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RoadError {}

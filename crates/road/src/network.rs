@@ -1,0 +1,348 @@
+//! The weighted road network `G_r` and user locations on it.
+
+use crate::RoadError;
+use serde::{Deserialize, Serialize};
+
+/// Dense road-vertex identifier.
+pub type RoadVertexId = u32;
+
+/// A location in the road network: either exactly on a vertex (road
+/// junction/end) or part-way along an edge, `offset` cost units away from the
+/// endpoint `u` (so `weight(u, v) - offset` away from `v`).
+///
+/// The paper allows user locations "either on a vertex or edge of G_r"
+/// (Section II-A); the on-edge form is normalized so that `u < v`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Location {
+    /// On road vertex.
+    Vertex(RoadVertexId),
+    /// On the edge `(u, v)`, `offset` away from `u`.
+    OnEdge {
+        /// Smaller endpoint of the edge.
+        u: RoadVertexId,
+        /// Larger endpoint of the edge.
+        v: RoadVertexId,
+        /// Distance from `u` along the edge.
+        offset: f64,
+    },
+}
+
+impl Location {
+    /// Convenience constructor for an on-vertex location.
+    pub fn vertex(v: RoadVertexId) -> Self {
+        Location::Vertex(v)
+    }
+
+    /// Convenience constructor for an on-edge location (endpoints are
+    /// normalized so that `u < v`, mirroring `ω(u, p)` in the paper).
+    pub fn on_edge(u: RoadVertexId, v: RoadVertexId, offset: f64, edge_length: f64) -> Self {
+        if u <= v {
+            Location::OnEdge { u, v, offset }
+        } else {
+            Location::OnEdge {
+                u: v,
+                v: u,
+                offset: edge_length - offset,
+            }
+        }
+    }
+}
+
+/// An undirected weighted road network.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RoadNetwork {
+    adj: Vec<Vec<(RoadVertexId, f64)>>,
+    num_edges: usize,
+}
+
+impl RoadNetwork {
+    /// Number of road vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of road segments (undirected edges).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Neighbours of `v` with edge weights.
+    #[inline]
+    pub fn neighbors(&self, v: RoadVertexId) -> &[(RoadVertexId, f64)] {
+        &self.adj[v as usize]
+    }
+
+    /// Degree of a road vertex.
+    #[inline]
+    pub fn degree(&self, v: RoadVertexId) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Weight of the edge `(u, v)` if it exists.
+    pub fn edge_weight(&self, u: RoadVertexId, v: RoadVertexId) -> Option<f64> {
+        self.adj[u as usize]
+            .iter()
+            .find(|&&(x, _)| x == v)
+            .map(|&(_, w)| w)
+    }
+
+    /// Iterator over undirected edges `(u, v, w)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (RoadVertexId, RoadVertexId, f64)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
+            let u = u as RoadVertexId;
+            nbrs.iter()
+                .copied()
+                .filter(move |&(v, _)| u < v)
+                .map(move |(v, w)| (u, v, w))
+        })
+    }
+
+    /// Average degree `2m / n`.
+    pub fn avg_degree(&self) -> f64 {
+        if self.adj.is_empty() {
+            0.0
+        } else {
+            2.0 * self.num_edges as f64 / self.adj.len() as f64
+        }
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Validates a location against this network.
+    pub fn validate_location(&self, loc: &Location) -> Result<(), RoadError> {
+        match *loc {
+            Location::Vertex(v) => {
+                if (v as usize) < self.num_vertices() {
+                    Ok(())
+                } else {
+                    Err(RoadError::VertexOutOfRange {
+                        vertex: v,
+                        num_vertices: self.num_vertices(),
+                    })
+                }
+            }
+            Location::OnEdge { u, v, offset } => {
+                if (u as usize) >= self.num_vertices() {
+                    return Err(RoadError::VertexOutOfRange {
+                        vertex: u,
+                        num_vertices: self.num_vertices(),
+                    });
+                }
+                if (v as usize) >= self.num_vertices() {
+                    return Err(RoadError::VertexOutOfRange {
+                        vertex: v,
+                        num_vertices: self.num_vertices(),
+                    });
+                }
+                let Some(w) = self.edge_weight(u, v) else {
+                    return Err(RoadError::NoSuchEdge { u, v });
+                };
+                if offset < 0.0 || offset > w {
+                    return Err(RoadError::InvalidOffset {
+                        offset,
+                        edge_length: w,
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Builder for [`RoadNetwork`] with weight validation.
+#[derive(Debug, Clone)]
+pub struct RoadNetworkBuilder {
+    n: usize,
+    edges: Vec<(RoadVertexId, RoadVertexId, f64)>,
+}
+
+impl RoadNetworkBuilder {
+    /// Creates a builder for a road network with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        RoadNetworkBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds an undirected road segment of cost `w`.
+    pub fn add_edge(
+        &mut self,
+        u: RoadVertexId,
+        v: RoadVertexId,
+        w: f64,
+    ) -> Result<&mut Self, RoadError> {
+        if !(w.is_finite() && w >= 0.0) {
+            return Err(RoadError::InvalidWeight(w));
+        }
+        if (u as usize) >= self.n {
+            return Err(RoadError::VertexOutOfRange {
+                vertex: u,
+                num_vertices: self.n,
+            });
+        }
+        if (v as usize) >= self.n {
+            return Err(RoadError::VertexOutOfRange {
+                vertex: v,
+                num_vertices: self.n,
+            });
+        }
+        if u != v {
+            let (a, b) = if u < v { (u, v) } else { (v, u) };
+            self.edges.push((a, b, w));
+        }
+        Ok(self)
+    }
+
+    /// Finalizes the network, keeping the cheapest copy of any parallel edge.
+    pub fn build(mut self) -> RoadNetwork {
+        self.edges
+            .sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2)));
+        self.edges.dedup_by_key(|e| (e.0, e.1));
+        let mut adj = vec![Vec::new(); self.n];
+        for &(u, v, w) in &self.edges {
+            adj[u as usize].push((v, w));
+            adj[v as usize].push((u, w));
+        }
+        for list in &mut adj {
+            list.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        RoadNetwork {
+            adj,
+            num_edges: self.edges.len(),
+        }
+    }
+}
+
+impl RoadNetwork {
+    /// Builds a road network from an edge list, ignoring invalid entries.
+    ///
+    /// This is the forgiving constructor used by generators; use
+    /// [`RoadNetworkBuilder`] for strict validation.
+    pub fn from_edges(n: usize, edges: &[(RoadVertexId, RoadVertexId, f64)]) -> Self {
+        let mut builder = RoadNetworkBuilder::new(n);
+        for &(u, v, w) in edges {
+            let _ = builder.add_edge(u, v, w);
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_net() -> RoadNetwork {
+        RoadNetwork::from_edges(4, &[(0, 1, 2.0), (1, 2, 3.0), (2, 3, 1.5), (0, 3, 10.0)])
+    }
+
+    #[test]
+    fn builds_weighted_network() {
+        let net = small_net();
+        assert_eq!(net.num_vertices(), 4);
+        assert_eq!(net.num_edges(), 4);
+        assert_eq!(net.edge_weight(1, 2), Some(3.0));
+        assert_eq!(net.edge_weight(2, 1), Some(3.0));
+        assert_eq!(net.edge_weight(0, 2), None);
+        assert_eq!(net.degree(0), 2);
+        assert!((net.avg_degree() - 2.0).abs() < 1e-12);
+        assert_eq!(net.max_degree(), 2);
+    }
+
+    #[test]
+    fn parallel_edges_keep_cheapest() {
+        let net = RoadNetwork::from_edges(2, &[(0, 1, 5.0), (1, 0, 2.0), (0, 1, 9.0)]);
+        assert_eq!(net.num_edges(), 1);
+        assert_eq!(net.edge_weight(0, 1), Some(2.0));
+    }
+
+    #[test]
+    fn builder_rejects_bad_inputs() {
+        let mut b = RoadNetworkBuilder::new(2);
+        assert!(matches!(
+            b.add_edge(0, 1, -1.0),
+            Err(RoadError::InvalidWeight(_))
+        ));
+        assert!(matches!(
+            b.add_edge(0, 1, f64::NAN),
+            Err(RoadError::InvalidWeight(_))
+        ));
+        assert!(matches!(
+            b.add_edge(0, 5, 1.0),
+            Err(RoadError::VertexOutOfRange { .. })
+        ));
+        b.add_edge(0, 1, 1.0).unwrap();
+        let net = b.build();
+        assert_eq!(net.num_edges(), 1);
+    }
+
+    #[test]
+    fn location_validation() {
+        let net = small_net();
+        assert!(net.validate_location(&Location::vertex(3)).is_ok());
+        assert!(matches!(
+            net.validate_location(&Location::vertex(9)),
+            Err(RoadError::VertexOutOfRange { .. })
+        ));
+        assert!(net
+            .validate_location(&Location::OnEdge {
+                u: 1,
+                v: 2,
+                offset: 1.0
+            })
+            .is_ok());
+        assert!(matches!(
+            net.validate_location(&Location::OnEdge {
+                u: 0,
+                v: 2,
+                offset: 0.5
+            }),
+            Err(RoadError::NoSuchEdge { .. })
+        ));
+        assert!(matches!(
+            net.validate_location(&Location::OnEdge {
+                u: 1,
+                v: 2,
+                offset: 7.5
+            }),
+            Err(RoadError::InvalidOffset { .. })
+        ));
+    }
+
+    #[test]
+    fn on_edge_normalization() {
+        let loc = Location::on_edge(3, 1, 0.5, 2.0);
+        assert_eq!(
+            loc,
+            Location::OnEdge {
+                u: 1,
+                v: 3,
+                offset: 1.5
+            }
+        );
+        let loc2 = Location::on_edge(1, 3, 0.5, 2.0);
+        assert_eq!(
+            loc2,
+            Location::OnEdge {
+                u: 1,
+                v: 3,
+                offset: 0.5
+            }
+        );
+    }
+
+    #[test]
+    fn edge_iterator_canonical() {
+        let net = small_net();
+        let mut edges: Vec<_> = net.edges().collect();
+        edges.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        assert_eq!(edges.len(), 4);
+        assert_eq!(edges[0], (0, 1, 2.0));
+        assert_eq!(edges[3], (2, 3, 1.5));
+    }
+}

@@ -1,0 +1,209 @@
+//! Query-distance evaluation (Definition 2) and the Lemma-1 range filter.
+//!
+//! For query users `Q` located at points `L(q)` in the road network, the query
+//! distance of a user `v` is `D_Q(v) = max_{q ∈ Q} dist(L(v), L(q))`, and the
+//! query distance of a community `H` is the maximum over its members. Lemma 1
+//! states that users with `D_Q(v) > t` can never belong to an MAC, so the MAC
+//! search first filters the social network with a road-network range query.
+//! [`QueryDistanceIndex`] precomputes one (optionally bounded) distance field
+//! per query location and answers all of these questions.
+
+use crate::dijkstra::{distance_to_location, sssp_from_location};
+use crate::network::{Location, RoadNetwork};
+
+/// Precomputed distance fields from every query location.
+#[derive(Debug, Clone)]
+pub struct QueryDistanceIndex<'a> {
+    net: &'a RoadNetwork,
+    /// `fields[i][r]` = network distance from query location `i` to road
+    /// vertex `r` (`f64::INFINITY` when unreachable or beyond the bound).
+    fields: Vec<Vec<f64>>,
+    bound: Option<f64>,
+}
+
+impl<'a> QueryDistanceIndex<'a> {
+    /// Builds the index by running one (bounded) Dijkstra per query location.
+    ///
+    /// Passing `bound = Some(t)` prunes the searches at radius `t`; distances
+    /// beyond the bound are reported as `f64::INFINITY`, which is sound for
+    /// the Lemma-1 filter and for any threshold check with threshold `<= t`.
+    pub fn build(net: &'a RoadNetwork, query_locations: &[Location], bound: Option<f64>) -> Self {
+        let fields = query_locations
+            .iter()
+            .map(|loc| sssp_from_location(net, loc, bound))
+            .collect();
+        QueryDistanceIndex { net, fields, bound }
+    }
+
+    /// Number of query locations the index was built for.
+    pub fn num_queries(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// The bound the index was built with, if any.
+    pub fn bound(&self) -> Option<f64> {
+        self.bound
+    }
+
+    /// Approximate memory footprint in bytes (used by the Fig. 11(d) memory
+    /// accounting harness).
+    pub fn memory_bytes(&self) -> usize {
+        self.fields
+            .iter()
+            .map(|f| f.len() * std::mem::size_of::<f64>())
+            .sum::<usize>()
+            + std::mem::size_of::<Self>()
+    }
+
+    /// Query distance `D_Q` of an arbitrary location: the maximum over all
+    /// query locations of the network distance to it.
+    pub fn query_distance(&self, loc: &Location) -> f64 {
+        self.fields
+            .iter()
+            .map(|field| distance_to_location(self.net, field, loc))
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// Query distance of a road vertex.
+    pub fn query_distance_of_vertex(&self, v: u32) -> f64 {
+        self.fields
+            .iter()
+            .map(|field| field[v as usize])
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// Query distance of a community given the locations of its members
+    /// (`D_Q(H)` of Definition 2). Returns 0.0 for an empty member list.
+    pub fn query_distance_of_members(&self, members: &[Location]) -> f64 {
+        members
+            .iter()
+            .map(|loc| self.query_distance(loc))
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// Lemma-1 filter: for each user location, whether `D_Q(v) <= t`.
+    ///
+    /// When the index was built with a bound smaller than `t`, distances past
+    /// the bound are unknown (∞) and the corresponding users are conservatively
+    /// rejected; callers should build with `bound >= t` (the MAC search builds
+    /// with exactly `t`).
+    pub fn within_threshold(&self, user_locations: &[Location], t: f64) -> Vec<bool> {
+        user_locations
+            .iter()
+            .map(|loc| self.query_distance(loc) <= t)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::RoadNetwork;
+
+    /// A 3x3 grid road network with unit weights.
+    ///
+    /// Vertex ids: row * 3 + col.
+    fn grid3() -> RoadNetwork {
+        let mut edges = Vec::new();
+        for r in 0..3u32 {
+            for c in 0..3u32 {
+                let v = r * 3 + c;
+                if c + 1 < 3 {
+                    edges.push((v, v + 1, 1.0));
+                }
+                if r + 1 < 3 {
+                    edges.push((v, v + 3, 1.0));
+                }
+            }
+        }
+        RoadNetwork::from_edges(9, &edges)
+    }
+
+    #[test]
+    fn query_distance_single_query() {
+        let net = grid3();
+        let idx = QueryDistanceIndex::build(&net, &[Location::vertex(0)], None);
+        assert_eq!(idx.num_queries(), 1);
+        assert!((idx.query_distance_of_vertex(8) - 4.0).abs() < 1e-12);
+        assert!((idx.query_distance(&Location::vertex(4)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn query_distance_is_max_over_queries() {
+        let net = grid3();
+        // queries at opposite corners
+        let idx =
+            QueryDistanceIndex::build(&net, &[Location::vertex(0), Location::vertex(8)], None);
+        // centre vertex is 2 away from both
+        assert!((idx.query_distance_of_vertex(4) - 2.0).abs() < 1e-12);
+        // corner 2 is 2 away from 0 but 2 away from 8? dist(2,8)=2, dist(2,0)=2
+        assert!((idx.query_distance_of_vertex(2) - 2.0).abs() < 1e-12);
+        // vertex 6: dist to 0 = 2, dist to 8 = 2
+        assert!((idx.query_distance_of_vertex(6) - 2.0).abs() < 1e-12);
+        // vertex 1: dist to 0 = 1, to 8 = 3 -> 3
+        assert!((idx.query_distance_of_vertex(1) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn within_threshold_filters_users() {
+        let net = grid3();
+        let idx = QueryDistanceIndex::build(&net, &[Location::vertex(0)], Some(2.0));
+        let users = vec![
+            Location::vertex(0),
+            Location::vertex(4),
+            Location::vertex(8),
+        ];
+        assert_eq!(idx.within_threshold(&users, 2.0), vec![true, true, false]);
+    }
+
+    #[test]
+    fn query_distance_of_members_is_max() {
+        let net = grid3();
+        let idx = QueryDistanceIndex::build(&net, &[Location::vertex(0)], None);
+        let members = vec![
+            Location::vertex(1),
+            Location::vertex(5),
+            Location::vertex(8),
+        ];
+        assert!((idx.query_distance_of_members(&members) - 4.0).abs() < 1e-12);
+        assert_eq!(idx.query_distance_of_members(&[]), 0.0);
+    }
+
+    #[test]
+    fn paper_example_query_distances() {
+        // Road network engineered so that dist(r7, r6) = 7 and
+        // dist(r3, r6) = 9, matching the Section II examples
+        // (DQ(v7) = 7, DQ({v2,v3,v6,v7}) = 9 for Q = {v2, v3, v6}).
+        // Vertices here: 0..=6 stand for r1..=r7.
+        let net = RoadNetwork::from_edges(
+            7,
+            &[
+                (1, 2, 4.0), // r2 - r3
+                (1, 5, 6.0), // r2 - r6
+                (2, 5, 9.0), // r3 - r6
+                (2, 6, 3.0), // r3 - r7
+                (5, 6, 7.0), // r6 - r7
+                (0, 1, 2.0), // r1 - r2
+                (3, 2, 5.0), // r4 - r3
+                (4, 5, 4.0), // r5 - r6
+            ],
+        );
+        let q = [Location::vertex(1), Location::vertex(2), Location::vertex(5)];
+        let idx = QueryDistanceIndex::build(&net, &q, None);
+        assert!((idx.query_distance_of_vertex(6) - 7.0).abs() < 1e-12);
+        let h = [
+            Location::vertex(1),
+            Location::vertex(2),
+            Location::vertex(5),
+            Location::vertex(6),
+        ];
+        assert!((idx.query_distance_of_members(&h) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let net = grid3();
+        let idx = QueryDistanceIndex::build(&net, &[Location::vertex(0)], None);
+        assert!(idx.memory_bytes() >= 9 * std::mem::size_of::<f64>());
+    }
+}

@@ -1,0 +1,47 @@
+//! Quickstart: run a MAC query on the paper's running example (Fig. 1/2).
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use road_social_mac::core::{GlobalSearch, LocalSearch, MacQuery};
+use road_social_mac::datagen::paper_example::{paper_example_network, paper_region};
+
+fn main() {
+    // The 15-user road-social network of Fig. 1 with the attributes of Fig. 2(a).
+    let rsn = paper_example_network();
+
+    // Example 2 of the paper: Q = {v2, v3, v6}, k = 3, t = 9,
+    // R = [0.1, 0.5] x [0.2, 0.4], top-2 MACs.
+    let query = MacQuery::new(vec![1, 2, 5], 3, 9.0, paper_region()).with_top_j(2);
+
+    let global = GlobalSearch::new(&rsn, &query).run_top_j().expect("valid query");
+    println!(
+        "GS-T: {} partition(s) of R, {} distinct communities, (k,t)-core size {}",
+        global.num_cells(),
+        global.distinct_communities().len(),
+        global.stats.kt_core_vertices
+    );
+    for (i, cell) in global.cells.iter().enumerate() {
+        let users: Vec<String> = cell.communities[0]
+            .vertices
+            .iter()
+            .map(|v| format!("v{}", v + 1))
+            .collect();
+        println!(
+            "  partition {i}: sample weights {:?} -> top-1 MAC {{{}}}",
+            cell.sample_weight,
+            users.join(", ")
+        );
+    }
+
+    let local = LocalSearch::new(&rsn, &query)
+        .run_non_contained()
+        .expect("valid query");
+    println!(
+        "LS-NC: {} non-contained MAC(s) found in {:.4}s (global took {:.4}s)",
+        local.distinct_communities().len(),
+        local.stats.elapsed_seconds,
+        global.stats.elapsed_seconds
+    );
+}

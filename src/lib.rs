@@ -1,0 +1,49 @@
+//! # road-social-mac
+//!
+//! Umbrella crate for the reproduction of *"Multi-attributed Community Search
+//! in Road-social Networks"* (ICDE 2021).
+//!
+//! This crate simply re-exports the workspace members under stable names so
+//! that examples and downstream users can depend on a single crate:
+//!
+//! * [`graph`] — social-graph substrate (k-core, k-truss, cascading deletion).
+//! * [`road`] — road-network substrate (Dijkstra, G-tree, range queries).
+//! * [`geom`] — preference-domain geometry (half-spaces, cells, partition tree).
+//! * [`dom`] — attribute R-tree and the r-dominance graph `G_d`.
+//! * [`core`] — the MAC model and the global/local search algorithms.
+//! * [`baselines`] — Influ/Influ+/Sky/Sky+/ATC-style comparison algorithms.
+//! * [`datagen`] — synthetic road-social network and attribute generators.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use road_social_mac::prelude::*;
+//!
+//! // Build the paper's running example (Fig. 1 / Fig. 2).
+//! let rsn = road_social_mac::datagen::paper_example::paper_example_network();
+//! let region = PrefRegion::from_ranges(&[(0.1, 0.5), (0.2, 0.4)]).unwrap();
+//! let query = MacQuery::new(vec![1], 2, 9.0, region).with_top_j(2);
+//! let result = GlobalSearch::new(&rsn, &query).run_non_contained().unwrap();
+//! assert!(!result.cells.is_empty());
+//! ```
+
+pub use rsn_baselines as baselines;
+pub use rsn_core as core;
+pub use rsn_datagen as datagen;
+pub use rsn_dom as dom;
+pub use rsn_geom as geom;
+pub use rsn_graph as graph;
+pub use rsn_road as road;
+
+/// Convenience prelude re-exporting the most commonly used types.
+pub mod prelude {
+    pub use rsn_core::{
+        ktcore::maximal_kt_core, query::MacQuery, result::MacSearchResult, GlobalSearch,
+        LocalSearch, RoadSocialNetwork,
+    };
+    pub use rsn_datagen::presets;
+    pub use rsn_dom::dominance::DominanceGraph;
+    pub use rsn_geom::{region::PrefRegion, weights::WeightVector};
+    pub use rsn_graph::graph::Graph;
+    pub use rsn_road::network::RoadNetwork;
+}

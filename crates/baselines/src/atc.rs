@@ -31,7 +31,7 @@ pub fn atc_community(
         old_to_new[old as usize] = new as u32;
     }
     let local_q: Vec<u32> = q.iter().map(|&v| old_to_new[v as usize]).collect();
-    if local_q.iter().any(|&v| v == u32::MAX) {
+    if local_q.contains(&u32::MAX) {
         return None;
     }
     let community = connected_k_truss_containing(&sub, k + 1, &local_q)?;

@@ -107,11 +107,7 @@ fn top_r_by_scores(graph: &Graph, scores: &[f64], k: u32, r: usize) -> Vec<Influ
     communities.split_off(start)
 }
 
-fn record_components(
-    view: &SubgraphView<'_>,
-    scores: &[f64],
-    out: &mut Vec<InfluentialCommunity>,
-) {
+fn record_components(view: &SubgraphView<'_>, scores: &[f64], out: &mut Vec<InfluentialCommunity>) {
     if view.num_alive() == 0 {
         return;
     }
@@ -150,9 +146,7 @@ mod tests {
             }
         }
         let graph = Graph::from_edges(9, &edges);
-        let attrs: Vec<Vec<f64>> = (0..9)
-            .map(|v| vec![v as f64, 2.0 * v as f64])
-            .collect();
+        let attrs: Vec<Vec<f64>> = (0..9).map(|v| vec![v as f64, 2.0 * v as f64]).collect();
         (graph, attrs)
     }
 

@@ -126,7 +126,12 @@ fn one_dimensional(
     out
 }
 
-fn record(graph: &Graph, attrs: &[Vec<f64>], view: &SubgraphView<'_>, out: &mut Vec<SkylineCommunity>) {
+fn record(
+    graph: &Graph,
+    attrs: &[Vec<f64>],
+    view: &SubgraphView<'_>,
+    out: &mut Vec<SkylineCommunity>,
+) {
     let alive = view.alive_mask();
     let (comp, count) = rsn_graph::connectivity::connected_components(graph, alive);
     for c in 0..count as u32 {

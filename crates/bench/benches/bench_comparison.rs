@@ -27,26 +27,35 @@ fn bench_comparison(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig13_comparison");
     group.sample_size(10);
     group.bench_function("GS-NC", |b| {
-        b.iter(|| GlobalSearch::new(&dataset.rsn, &query).run_non_contained().unwrap())
+        b.iter(|| {
+            GlobalSearch::new(&dataset.rsn, &query)
+                .run_non_contained()
+                .unwrap()
+        })
     });
     group.bench_function("LS-NC", |b| {
-        b.iter(|| LocalSearch::new(&dataset.rsn, &query).run_non_contained().unwrap())
+        b.iter(|| {
+            LocalSearch::new(&dataset.rsn, &query)
+                .run_non_contained()
+                .unwrap()
+        })
     });
+    let attr_rows = ctx.attrs.to_rows();
     group.bench_function("Influ", |b| {
-        let algo = Influ::new(&ctx.local_graph, &ctx.attrs);
+        let algo = Influ::new(&ctx.local_graph, &attr_rows);
         b.iter(|| algo.top_r(16, 10, pivot.reduced()))
     });
     group.bench_function("Influ+", |b| {
         b.iter(|| {
-            let idx = InfluPlus::build(&ctx.local_graph, &ctx.attrs, 16, pivot.reduced());
+            let idx = InfluPlus::build(&ctx.local_graph, &attr_rows, 16, pivot.reduced());
             idx.top_r(10)
         })
     });
     group.bench_function("Sky", |b| {
-        b.iter(|| skyline_communities(&ctx.local_graph, &ctx.attrs, 16))
+        b.iter(|| skyline_communities(&ctx.local_graph, &attr_rows, 16))
     });
     group.bench_function("Sky+", |b| {
-        b.iter(|| skyline_communities_pruned(&ctx.local_graph, &ctx.attrs, 16))
+        b.iter(|| skyline_communities_pruned(&ctx.local_graph, &attr_rows, 16))
     });
     group.finish();
 }

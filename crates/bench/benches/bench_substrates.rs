@@ -58,11 +58,9 @@ fn bench_substrates(c: &mut Criterion) {
             .map(|_| (1.0 / d as f64 - 0.005, 1.0 / d as f64 + 0.005))
             .collect();
         let region = PrefRegion::from_ranges(&ranges).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("dominance_graph_400", d),
-            &d,
-            |b, _| b.iter(|| DominanceGraph::build(&ids, &attrs, &region)),
-        );
+        group.bench_with_input(BenchmarkId::new("dominance_graph_400", d), &d, |b, _| {
+            b.iter(|| DominanceGraph::build(&ids, &attrs, &region))
+        });
     }
     group.finish();
 }

@@ -22,13 +22,21 @@ fn bench_mac_algorithms(c: &mut Criterion) {
         let spec = QuerySpec::defaults(&dataset, k, dataset.default_t, 10, 0.01, 3);
         let query = spec.to_query();
         group.bench_with_input(BenchmarkId::new("GS-NC", k), &k, |b, _| {
-            b.iter(|| GlobalSearch::new(&dataset.rsn, &query).run_non_contained().unwrap())
+            b.iter(|| {
+                GlobalSearch::new(&dataset.rsn, &query)
+                    .run_non_contained()
+                    .unwrap()
+            })
         });
         group.bench_with_input(BenchmarkId::new("GS-T", k), &k, |b, _| {
             b.iter(|| GlobalSearch::new(&dataset.rsn, &query).run_top_j().unwrap())
         });
         group.bench_with_input(BenchmarkId::new("LS-NC", k), &k, |b, _| {
-            b.iter(|| LocalSearch::new(&dataset.rsn, &query).run_non_contained().unwrap())
+            b.iter(|| {
+                LocalSearch::new(&dataset.rsn, &query)
+                    .run_non_contained()
+                    .unwrap()
+            })
         });
         group.bench_with_input(BenchmarkId::new("LS-T", k), &k, |b, _| {
             b.iter(|| LocalSearch::new(&dataset.rsn, &query).run_top_j().unwrap())
@@ -44,12 +52,24 @@ fn bench_mac_algorithms(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("GS-NC", format!("{sigma}")),
             &sigma,
-            |b, _| b.iter(|| GlobalSearch::new(&dataset.rsn, &query).run_non_contained().unwrap()),
+            |b, _| {
+                b.iter(|| {
+                    GlobalSearch::new(&dataset.rsn, &query)
+                        .run_non_contained()
+                        .unwrap()
+                })
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("LS-NC", format!("{sigma}")),
             &sigma,
-            |b, _| b.iter(|| LocalSearch::new(&dataset.rsn, &query).run_non_contained().unwrap()),
+            |b, _| {
+                b.iter(|| {
+                    LocalSearch::new(&dataset.rsn, &query)
+                        .run_non_contained()
+                        .unwrap()
+                })
+            },
         );
     }
     group.finish();

@@ -41,7 +41,10 @@ fn main() {
     let rsn = rsn_bench::runner::with_dimensionality(&dataset, 4);
     let query = spec.to_query();
 
-    println!("Case study (Fig. 15): NA+Aminer-like, k = 5, Q = {:?}", spec.q);
+    println!(
+        "Case study (Fig. 15): NA+Aminer-like, k = 5, Q = {:?}",
+        spec.q
+    );
 
     let gs = GlobalSearch::new(&rsn, &query).run_top_j().unwrap();
     if let Some(cell) = gs.cells.first() {
@@ -65,12 +68,16 @@ fn main() {
 
     // Baselines on the same (k,t)-core.
     if let Some(ctx) = SearchContext::build(&rsn, &query).unwrap() {
-        let sky = skyline_communities(&ctx.local_graph, &ctx.attrs, 5);
-        println!("SkyC: {} skyline communities (no query vertices, attribute-only)", sky.len());
+        let attr_rows = ctx.attrs.to_rows();
+        let sky = skyline_communities(&ctx.local_graph, &attr_rows, 5);
+        println!(
+            "SkyC: {} skyline communities (no query vertices, attribute-only)",
+            sky.len()
+        );
         if let Some(first) = sky.first() {
             println!("  largest SkyC example: {} members", first.vertices.len());
         }
-        let influ = Influ::new(&ctx.local_graph, &ctx.attrs);
+        let influ = Influ::new(&ctx.local_graph, &attr_rows);
         let inf = influ.top_r(5, 1, query.region.pivot().reduced());
         if let Some(c) = inf.first() {
             println!("InfC (w = pivot of R): {} members", c.vertices.len());

@@ -35,7 +35,10 @@ fn main() {
         d: 3,
     };
     let query = spec.to_query();
-    println!("Case study (Fig. 16): SF+Yelp-like, k = 6, Q = {:?}", spec.q);
+    println!(
+        "Case study (Fig. 16): SF+Yelp-like, k = 6, Q = {:?}",
+        spec.q
+    );
 
     let result = GlobalSearch::new(&dataset.rsn, &query).run_top_j().unwrap();
     println!(

@@ -44,7 +44,10 @@ fn main() {
         0,
     );
 
-    println!("Fig. 13/14 comparison on {} (scale {scale})", preset.label());
+    println!(
+        "Fig. 13/14 comparison on {} (scale {scale})",
+        preset.label()
+    );
     println!(
         "{:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "param", "GS-NC", "LS-NC", "Influ", "Influ+", "Sky", "Sky+"
@@ -98,7 +101,9 @@ fn compare(dataset: &Dataset, rsn: &RoadSocialNetwork, k: u32, d: usize) -> Row 
         };
     };
     let graph = &ctx.local_graph;
-    let attrs = &ctx.attrs;
+    // The baselines still take nested rows; materialize them once per run.
+    let attr_rows = ctx.attrs.to_rows();
+    let attrs = &attr_rows;
     let region = &query.region;
 
     let mut rng = StdRng::seed_from_u64(7);

@@ -48,8 +48,15 @@ fn main() {
     );
 
     println!("Figures 6-10 sweep on {} (scale {scale})", preset.label());
-    println!("defaults: k={} t={:.1} d={} |Q|={} j={} sigma={}",
-        defaults.k, defaults.t, defaults.d, defaults.q.len(), defaults.j, defaults.sigma);
+    println!(
+        "defaults: k={} t={:.1} d={} |Q|={} j={} sigma={}",
+        defaults.k,
+        defaults.t,
+        defaults.d,
+        defaults.q.len(),
+        defaults.j,
+        defaults.sigma
+    );
     println!();
 
     let header = format!(
@@ -61,7 +68,10 @@ fn main() {
     println!("(a) varying k");
     println!("{header}");
     for &k in &params.k.values {
-        let spec = QuerySpec { k, ..defaults.clone() };
+        let spec = QuerySpec {
+            k,
+            ..defaults.clone()
+        };
         print_row(&format!("{k}"), &measure_all(&dataset.rsn, &spec));
     }
 
@@ -69,7 +79,10 @@ fn main() {
     println!("\n(b) varying t");
     println!("{header}");
     for &t in &params.t.values {
-        let spec = QuerySpec { t, ..defaults.clone() };
+        let spec = QuerySpec {
+            t,
+            ..defaults.clone()
+        };
         print_row(&format!("{t:.0}"), &measure_all(&dataset.rsn, &spec));
     }
 
@@ -78,7 +91,10 @@ fn main() {
     println!("{header}");
     for &d in &params.d.values {
         let rsn = with_dimensionality(&dataset, d);
-        let spec = QuerySpec { d, ..defaults.clone() };
+        let spec = QuerySpec {
+            d,
+            ..defaults.clone()
+        };
         print_row(&format!("{d}"), &measure_all(&rsn, &spec));
     }
 
@@ -97,7 +113,10 @@ fn main() {
     println!("\n(e) varying j");
     println!("{header}");
     for &j in &params.j.values {
-        let spec = QuerySpec { j, ..defaults.clone() };
+        let spec = QuerySpec {
+            j,
+            ..defaults.clone()
+        };
         print_row(&format!("{j}"), &measure_all(&dataset.rsn, &spec));
     }
 
@@ -105,7 +124,10 @@ fn main() {
     println!("\n(f) varying sigma");
     println!("{header}");
     for &sigma in &params.sigma.values {
-        let spec = QuerySpec { sigma, ..defaults.clone() };
+        let spec = QuerySpec {
+            sigma,
+            ..defaults.clone()
+        };
         print_row(&format!("{sigma}"), &measure_all(&dataset.rsn, &spec));
     }
 }
@@ -118,5 +140,8 @@ fn print_row(value: &str, t: &rsn_bench::runner::AlgoTimings) {
 }
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
-    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }

@@ -1,0 +1,252 @@
+//! Cross-PR performance trajectory recorder.
+//!
+//! Runs the MAC search algorithms on fixed datagen presets and writes
+//! `BENCH_PR1.json` (in the current directory), so later PRs can diff their
+//! wall-clock against this PR's numbers instead of guessing. Alongside the
+//! current `GlobalSearch` it measures the clone-per-branch reference replica
+//! (`rsn_bench::legacy`) — the pre-refactor baseline — and the Lemma-1
+//! (k,t)-core extraction under both distance oracles.
+//!
+//! Usage: `cargo run --release -p rsn-bench --bin perf_trajectory`
+//! (an optional integer argument overrides the per-measurement repetitions,
+//! default 3; the best of the repetitions is recorded).
+
+use rsn_bench::legacy::legacy_gs_nc;
+use rsn_core::ktcore::maximal_kt_core;
+use rsn_core::{GlobalSearch, LocalSearch, MacQuery, SearchContext};
+use rsn_datagen::presets::{build_preset_scaled, Dataset, PresetName, PresetScale};
+use rsn_geom::region::PrefRegion;
+use rsn_geom::weights::WeightVector;
+use rsn_road::oracle::OracleChoice;
+use std::time::Instant;
+
+const OUTPUT: &str = "BENCH_PR1.json";
+
+struct PresetRow {
+    label: String,
+    users: usize,
+    road_vertices: usize,
+    k: u32,
+    t: f64,
+    sigma: f64,
+    kt_core: usize,
+    cells: usize,
+    gtree_build_s: f64,
+    ktcore_dijkstra_s: f64,
+    ktcore_gtree_s: f64,
+    gs_nc_s: f64,
+    gs_nc_clone_s: f64,
+    gs_nc_legacy_s: f64,
+    ls_nc_s: f64,
+}
+
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let r = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+struct Spec {
+    name: PresetName,
+    label_suffix: &'static str,
+    social_scale: f64,
+    road_scale: f64,
+    k: u32,
+    sigma: f64,
+}
+
+fn measure_preset(spec: &Spec, reps: usize) -> PresetRow {
+    let (name, k, sigma) = (spec.name, spec.k, spec.sigma);
+    let dataset: Dataset = build_preset_scaled(
+        name,
+        PresetScale {
+            social: spec.social_scale,
+            road: spec.road_scale,
+        },
+        11,
+    );
+    let center = WeightVector::uniform(3).expect("d = 3");
+    let region = PrefRegion::around(&center, sigma).expect("valid region");
+    let query = MacQuery::new(dataset.query_vertices(4), k, dataset.default_t, region);
+
+    // Distance-oracle trajectory: range filter with Dijkstra vs G-tree.
+    let (ktcore_dijkstra_s, core) = best_of(reps, || {
+        let q = query.clone().with_oracle(OracleChoice::Dijkstra);
+        maximal_kt_core(&dataset.rsn, &q).expect("query valid")
+    });
+    let (gtree_build_s, rsn_indexed) = best_of(1, || dataset.rsn.clone().with_gtree_index());
+    let (ktcore_gtree_s, core_gt) = best_of(reps, || {
+        let q = query.clone().with_oracle(OracleChoice::GTree);
+        maximal_kt_core(&rsn_indexed, &q).expect("query valid")
+    });
+    assert_eq!(core, core_gt, "oracles must agree on the (k,t)-core");
+
+    // Global search end-to-end (context build + exploration), three
+    // configurations: the current rollback DFS, the clone-based replica on
+    // the same cell geometry (isolates the undo-log refactor), and the full
+    // pre-refactor configuration (clone-based branches + dense-LP cells).
+    let (gs_nc_s, gs) = best_of(reps, || {
+        GlobalSearch::new(&dataset.rsn, &query)
+            .run_non_contained()
+            .expect("GS-NC runs")
+    });
+    let (gs_nc_clone_s, legacy) = best_of(reps, || {
+        let ctx = SearchContext::build(&dataset.rsn, &query)
+            .expect("query valid")
+            .expect("core exists");
+        legacy_gs_nc(&ctx, false)
+    });
+    assert_eq!(
+        gs.cells.len(),
+        legacy.len(),
+        "clone-based replica must report the same number of cells"
+    );
+    let (gs_nc_legacy_s, _) = best_of(reps, || {
+        let ctx = SearchContext::build(&dataset.rsn, &query)
+            .expect("query valid")
+            .expect("core exists");
+        legacy_gs_nc(&ctx, true)
+    });
+
+    let (ls_nc_s, _) = best_of(reps, || {
+        LocalSearch::new(&dataset.rsn, &query)
+            .run_non_contained()
+            .expect("LS-NC runs")
+    });
+
+    PresetRow {
+        label: format!("{}{}", dataset.name.label(), spec.label_suffix),
+        users: dataset.rsn.num_users(),
+        road_vertices: dataset.rsn.road().num_vertices(),
+        k,
+        t: dataset.default_t,
+        sigma,
+        kt_core: core.map(|c| c.len()).unwrap_or(0),
+        cells: gs.cells.len(),
+        gtree_build_s,
+        ktcore_dijkstra_s,
+        ktcore_gtree_s,
+        gs_nc_s,
+        gs_nc_clone_s,
+        gs_nc_legacy_s,
+        ls_nc_s,
+    }
+}
+
+fn json_row(r: &PresetRow) -> String {
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"preset\": \"{}\",\n",
+            "      \"users\": {},\n",
+            "      \"road_vertices\": {},\n",
+            "      \"k\": {},\n",
+            "      \"t\": {},\n",
+            "      \"sigma\": {},\n",
+            "      \"kt_core_vertices\": {},\n",
+            "      \"gs_cells\": {},\n",
+            "      \"gtree_build_seconds\": {:.6},\n",
+            "      \"ktcore_dijkstra_seconds\": {:.6},\n",
+            "      \"ktcore_gtree_seconds\": {:.6},\n",
+            "      \"ktcore_gtree_speedup\": {:.3},\n",
+            "      \"gs_nc_seconds\": {:.6},\n",
+            "      \"gs_nc_clone_branches_seconds\": {:.6},\n",
+            "      \"gs_nc_legacy_seconds\": {:.6},\n",
+            "      \"gs_nc_speedup_vs_legacy\": {:.3},\n",
+            "      \"ls_nc_seconds\": {:.6}\n",
+            "    }}"
+        ),
+        r.label,
+        r.users,
+        r.road_vertices,
+        r.k,
+        r.t,
+        r.sigma,
+        r.kt_core,
+        r.cells,
+        r.gtree_build_s,
+        r.ktcore_dijkstra_s,
+        r.ktcore_gtree_s,
+        r.ktcore_dijkstra_s / r.ktcore_gtree_s.max(1e-12),
+        r.gs_nc_s,
+        r.gs_nc_clone_s,
+        r.gs_nc_legacy_s,
+        r.gs_nc_legacy_s / r.gs_nc_s.max(1e-12),
+        r.ls_nc_s,
+    )
+}
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+
+    let specs = [
+        Spec {
+            name: PresetName::SfSlashdot,
+            label_suffix: "",
+            social_scale: 0.15,
+            road_scale: 0.15,
+            k: 8,
+            sigma: 0.05,
+        },
+        Spec {
+            name: PresetName::FlLastfm,
+            label_suffix: "",
+            social_scale: 0.15,
+            road_scale: 0.15,
+            k: 6,
+            sigma: 0.05,
+        },
+        // Sparse-users-on-large-road regime, closest we get to the paper's
+        // continent-scale setting for the G-tree oracle comparison.
+        Spec {
+            name: PresetName::SfSlashdot,
+            label_suffix: " (road-heavy)",
+            social_scale: 0.1,
+            road_scale: 4.0,
+            k: 8,
+            sigma: 0.03,
+        },
+    ];
+    let mut rows = Vec::new();
+    for spec in &specs {
+        eprintln!(
+            "measuring {}{} (k={}, sigma={}, reps={reps})...",
+            spec.name.label(),
+            spec.label_suffix,
+            spec.k,
+            spec.sigma
+        );
+        let row = measure_preset(spec, reps);
+        eprintln!(
+            "  kt-core {} vertices | range filter: dijkstra {:.4}s, gtree {:.4}s | GS-NC {:.4}s (clone-branches {:.4}s, pre-refactor {:.4}s, {:.2}x) | LS-NC {:.4}s",
+            row.kt_core,
+            row.ktcore_dijkstra_s,
+            row.ktcore_gtree_s,
+            row.gs_nc_s,
+            row.gs_nc_clone_s,
+            row.gs_nc_legacy_s,
+            row.gs_nc_legacy_s / row.gs_nc_s.max(1e-12),
+            row.ls_nc_s,
+        );
+        rows.push(row);
+    }
+
+    let body: Vec<String> = rows.iter().map(json_row).collect();
+    let json = format!(
+        "{{\n  \"pr\": 1,\n  \"description\": \"Perf trajectory after wiring the G-tree oracle into the MAC query path and making the GS/LS hot loops allocation-free\",\n  \"reps\": {reps},\n  \"presets\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    );
+    std::fs::write(OUTPUT, &json).expect("write BENCH_PR1.json");
+    println!("{json}");
+    eprintln!("wrote {OUTPUT}");
+}

@@ -84,7 +84,13 @@ pub fn with_dimensionality(dataset: &Dataset, d: usize) -> RoadSocialNetwork {
     if rsn.attribute_dim() == d {
         return rsn.clone();
     }
-    let attrs = generate_attrs(rsn.num_users(), d, dataset.attr_distribution, 10.0, 0xD1A & d as u64);
+    let attrs = generate_attrs(
+        rsn.num_users(),
+        d,
+        dataset.attr_distribution,
+        10.0,
+        0xD1A ^ d as u64,
+    );
     RoadSocialNetwork::new(
         rsn.social().clone(),
         rsn.road().clone(),
@@ -97,7 +103,7 @@ pub fn with_dimensionality(dataset: &Dataset, d: usize) -> RoadSocialNetwork {
 /// Re-attributes with an explicit distribution (used by the comparison runs).
 pub fn with_attrs(dataset: &Dataset, d: usize, dist: AttrDistribution) -> RoadSocialNetwork {
     let rsn = &dataset.rsn;
-    let attrs = generate_attrs(rsn.num_users(), d, dist, 10.0, 0xA77 & d as u64);
+    let attrs = generate_attrs(rsn.num_users(), d, dist, 10.0, 0xA77 ^ d as u64);
     RoadSocialNetwork::new(
         rsn.social().clone(),
         rsn.road().clone(),
@@ -111,11 +117,19 @@ pub fn with_attrs(dataset: &Dataset, d: usize, dist: AttrDistribution) -> RoadSo
 pub fn measure_all(rsn: &RoadSocialNetwork, spec: &QuerySpec) -> AlgoTimings {
     let query = spec.to_query();
     let gs = GlobalSearch::new(rsn, &query);
-    let gs_nc: MacSearchResult = gs.run_non_contained().unwrap_or_else(|e| panic!("GS-NC failed: {e}"));
-    let gs_t = gs.run_top_j().unwrap_or_else(|e| panic!("GS-T failed: {e}"));
+    let gs_nc: MacSearchResult = gs
+        .run_non_contained()
+        .unwrap_or_else(|e| panic!("GS-NC failed: {e}"));
+    let gs_t = gs
+        .run_top_j()
+        .unwrap_or_else(|e| panic!("GS-T failed: {e}"));
     let ls = LocalSearch::new(rsn, &query);
-    let ls_nc = ls.run_non_contained().unwrap_or_else(|e| panic!("LS-NC failed: {e}"));
-    let ls_t = ls.run_top_j().unwrap_or_else(|e| panic!("LS-T failed: {e}"));
+    let ls_nc = ls
+        .run_non_contained()
+        .unwrap_or_else(|e| panic!("LS-NC failed: {e}"));
+    let ls_t = ls
+        .run_top_j()
+        .unwrap_or_else(|e| panic!("LS-T failed: {e}"));
     AlgoTimings {
         gs_nc: gs_nc.stats.elapsed_seconds,
         gs_t: gs_t.stats.elapsed_seconds,

@@ -10,6 +10,7 @@ use crate::ktcore::maximal_kt_core;
 use crate::network::RoadSocialNetwork;
 use crate::query::MacQuery;
 use crate::result::Community;
+use rsn_dom::attrs::AttrMatrix;
 use rsn_dom::dominance::DominanceGraph;
 use rsn_geom::weights::score_reduced;
 use rsn_graph::graph::{Graph, VertexId};
@@ -27,8 +28,9 @@ pub struct SearchContext<'a> {
     pub local_graph: Graph,
     /// Query vertices translated to local ids.
     pub local_q: Vec<u32>,
-    /// Attribute vectors of the core members, by local id.
-    pub attrs: Vec<Vec<f64>>,
+    /// Attribute vectors of the core members, by local id, packed row-major
+    /// (`attrs[v]` / `attrs.row(v)` is the d-dimensional vector of `v`).
+    pub attrs: AttrMatrix,
     /// The r-dominance graph over local ids.
     pub gd: DominanceGraph,
 }
@@ -36,7 +38,10 @@ pub struct SearchContext<'a> {
 impl<'a> SearchContext<'a> {
     /// Builds the context. Returns `Ok(None)` when no (k,t)-core exists (the
     /// query then has an empty answer).
-    pub fn build(rsn: &'a RoadSocialNetwork, query: &'a MacQuery) -> Result<Option<Self>, MacError> {
+    pub fn build(
+        rsn: &'a RoadSocialNetwork,
+        query: &'a MacQuery,
+    ) -> Result<Option<Self>, MacError> {
         let Some(core) = maximal_kt_core(rsn, query)? else {
             return Ok(None);
         };
@@ -46,12 +51,12 @@ impl<'a> SearchContext<'a> {
             old_to_new[old as usize] = new as u32;
         }
         let local_q: Vec<u32> = query.q.iter().map(|&v| old_to_new[v as usize]).collect();
-        let attrs: Vec<Vec<f64>> = new_to_old
-            .iter()
-            .map(|&old| rsn.attributes(old).to_vec())
-            .collect();
+        let mut attrs = AttrMatrix::with_capacity(rsn.attribute_dim(), new_to_old.len());
+        for &old in &new_to_old {
+            attrs.push_row(rsn.attributes(old));
+        }
         let local_ids: Vec<u32> = (0..new_to_old.len() as u32).collect();
-        let gd = DominanceGraph::build(&local_ids, &attrs, &query.region);
+        let gd = DominanceGraph::build_flat(&local_ids, &attrs, &query.region);
         Ok(Some(SearchContext {
             rsn,
             query,
@@ -76,7 +81,7 @@ impl<'a> SearchContext<'a> {
     /// Score of a local vertex under a reduced weight vector.
     #[inline]
     pub fn score(&self, local: u32, reduced_w: &[f64]) -> f64 {
-        score_reduced(&self.attrs[local as usize], reduced_w)
+        score_reduced(self.attrs.row(local as usize), reduced_w)
     }
 
     /// Translates a set of local ids back to a [`Community`] of social ids.
@@ -108,10 +113,8 @@ mod tests {
 
     fn simple_network() -> RoadSocialNetwork {
         // K4 on users 0..3 plus pendant user 4
-        let social = Graph::from_edges(
-            5,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)],
-        );
+        let social =
+            Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)]);
         let road = RoadNetwork::from_edges(2, &[(0, 1, 1.0)]);
         let locations = vec![Location::vertex(0); 5];
         let attrs = vec![

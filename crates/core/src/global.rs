@@ -1,14 +1,21 @@
 //! Global search: the DFS-based Algorithm 1 (`GS-T` / `GS-NC`).
 //!
-//! Starting from the maximal (k,t)-core `H^t_k`, the algorithm maintains a
-//! queue of `(subgraph, sub-partition of R, deletion history)` states. For a
-//! state it determines the candidate smallest-score vertices — the leaves of
+//! Starting from the maximal (k,t)-core `H^t_k`, the algorithm explores
+//! `(subgraph, sub-partition of R, deletion history)` states depth-first. For
+//! a state it determines the candidate smallest-score vertices — the leaves of
 //! the current r-dominance graph — inserts the half-spaces between them into a
 //! local arrangement of the state's cell (Algorithm 2), and in every resulting
 //! sub-partition deletes the smallest-score vertex with the DFS cascade
 //! (lines 15–20). When Corollary 1 fires, the state's community is reported as
 //! the non-contained MAC of that sub-partition, and the top-j MACs are
 //! recovered by backtracking the deletion history.
+//!
+//! The exploration shares **one** [`SubgraphView`] across all branches: a
+//! branch takes a [checkpoint](SubgraphView::checkpoint) before its tentative
+//! deletion and [rolls back](SubgraphView::rollback) on return, so sibling
+//! cells reuse the same scratch state and no per-branch `view.clone()` /
+//! `deletion_groups.clone()` allocations happen (they dominated the runtime
+//! of the queue-based formulation this replaced).
 
 use crate::context::SearchContext;
 use crate::error::MacError;
@@ -19,7 +26,7 @@ use rsn_geom::cell::Cell;
 use rsn_geom::halfspace::HalfSpace;
 use rsn_geom::partition::arrange;
 use rsn_graph::subgraph::SubgraphView;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// The DFS-based global search algorithm of Section V.
@@ -29,14 +36,19 @@ pub struct GlobalSearch<'a> {
     query: &'a MacQuery,
 }
 
-struct State<'g> {
-    view: SubgraphView<'g>,
-    cell: Cell,
+/// Mutable state threaded through the depth-first exploration.
+struct Dfs<'c, 'g> {
+    ctx: &'c SearchContext<'g>,
+    k: u32,
+    q: &'c [u32],
+    j: usize,
+    /// Half-spaces between leaf pairs, computed once per pair per query.
+    hs_cache: HashMap<(u32, u32), HalfSpace>,
+    /// Deletion groups committed along the current DFS path (push on
+    /// descend, pop on return) — the backtracking history for top-j.
     deletion_groups: Vec<Vec<u32>>,
-    /// Leaves whose pairwise order is already fixed inside `cell`, so their
-    /// half-spaces need not be re-inserted (the "directly locate" optimization
-    /// of Section V-B).
-    settled_leaves: Vec<u32>,
+    out_cells: Vec<CellResult>,
+    stats: SearchStats,
 }
 
 impl<'a> GlobalSearch<'a> {
@@ -66,7 +78,7 @@ impl<'a> GlobalSearch<'a> {
                 },
             });
         };
-        let mut stats = SearchStats {
+        let stats = SearchStats {
             kt_core_vertices: ctx.core_size(),
             kt_core_edges: ctx.core_edges(),
             dominance_tests: ctx.gd.tests_performed(),
@@ -74,104 +86,25 @@ impl<'a> GlobalSearch<'a> {
             ..SearchStats::default()
         };
 
-        let k = self.query.k;
         let q = ctx.local_q.clone();
-        let j = if top_j_mode { self.query.j } else { 1 };
-
-        let mut hs_cache: HashMap<(u32, u32), HalfSpace> = HashMap::new();
-        let mut out_cells: Vec<CellResult> = Vec::new();
-        let mut worklist: VecDeque<State<'_>> = VecDeque::new();
-        worklist.push_back(State {
-            view: SubgraphView::full(&ctx.local_graph),
-            cell: Cell::from_region(&self.query.region),
+        let mut dfs = Dfs {
+            ctx: &ctx,
+            k: self.query.k,
+            q: &q,
+            j: if top_j_mode { self.query.j } else { 1 },
+            hs_cache: HashMap::new(),
             deletion_groups: Vec::new(),
-            settled_leaves: Vec::new(),
-        });
+            out_cells: Vec::new(),
+            stats,
+        };
+        let mut view = SubgraphView::full(&ctx.local_graph);
+        dfs.explore(&mut view, Cell::from_region(&self.query.region), &[], 1);
 
-        while let Some(state) = worklist.pop_front() {
-            // Track an approximate peak of live search memory (Fig. 11(d)).
-            let live_bytes: usize = worklist
-                .iter()
-                .chain(std::iter::once(&state))
-                .map(|s| s.view.alive_mask().len() * 5 + s.cell.memory_bytes())
-                .sum::<usize>()
-                + ctx.gd.memory_bytes();
-            stats.memory_bytes = stats.memory_bytes.max(live_bytes);
-
-            let alive_mask = state.view.alive_mask();
-            let leaves: Vec<u32> = ctx
-                .gd
-                .leaves_within(alive_mask)
-                .into_iter()
-                .map(|v| v as u32)
-                .collect();
-
-            // Compute (or locate) the new hyperplanes among current leaves.
-            let settled: HashSet<u32> = state.settled_leaves.iter().copied().collect();
-            let mut hps: Vec<HalfSpace> = Vec::new();
-            for (i, &a) in leaves.iter().enumerate() {
-                for &b in leaves.iter().skip(i + 1) {
-                    if settled.contains(&a) && settled.contains(&b) {
-                        continue;
-                    }
-                    let key = (a.min(b), a.max(b));
-                    let hs = hs_cache.entry(key).or_insert_with(|| {
-                        stats.halfspaces_computed += 1;
-                        HalfSpace::score_at_least(
-                            &ctx.attrs[key.0 as usize],
-                            &ctx.attrs[key.1 as usize],
-                        )
-                    });
-                    hps.push(hs.clone());
-                }
-            }
-            stats.halfspace_insertions += hps.len();
-
-            let sub_cells = arrange(&state.cell, &hps);
-            stats.partitions_explored += sub_cells.len();
-
-            for sub_cell in sub_cells {
-                let Some(w) = sub_cell.sample_point() else {
-                    continue;
-                };
-                // Within the sub-partition the relative order of the leaves is
-                // fixed, so the minimum at the sample point is the minimum
-                // everywhere in the cell.
-                let &u = leaves
-                    .iter()
-                    .min_by(|&&a, &&b| ctx.score(a, &w).total_cmp(&ctx.score(b, &w)))
-                    .expect("a state always has at least one alive leaf");
-
-                // Corollary 1(1): the smallest-score vertex is a query vertex.
-                if q.contains(&u) {
-                    out_cells.push(make_cell_result(&ctx, &state, sub_cell, w, j));
-                    continue;
-                }
-                // Tentative deletion (lines 15-20) on a branch-local copy.
-                let mut view = state.view.clone();
-                let mut record = view.delete_cascade(u, k);
-                let mut ok = q.iter().all(|&qv| view.is_alive(qv));
-                if ok {
-                    record.merge(view.retain_component_of(q[0]));
-                    ok = q.iter().all(|&qv| view.is_alive(qv));
-                }
-                if !ok {
-                    // Corollary 1(2): deleting u destroys the community, so the
-                    // parent community is the non-contained MAC of this cell.
-                    out_cells.push(make_cell_result(&ctx, &state, sub_cell, w, j));
-                    continue;
-                }
-                let mut deletion_groups = state.deletion_groups.clone();
-                deletion_groups.push(record.removed.clone());
-                worklist.push_back(State {
-                    view,
-                    cell: sub_cell,
-                    deletion_groups,
-                    settled_leaves: leaves.clone(),
-                });
-            }
-        }
-
+        let Dfs {
+            out_cells,
+            mut stats,
+            ..
+        } = dfs;
         stats.elapsed_seconds = start.elapsed().as_secs_f64();
         Ok(MacSearchResult {
             cells: out_cells,
@@ -180,29 +113,125 @@ impl<'a> GlobalSearch<'a> {
     }
 }
 
-/// Builds the output for one finished cell: the current community plus, for
-/// top-j mode, the supersets obtained by backtracking the deletion history.
-fn make_cell_result(
-    ctx: &SearchContext<'_>,
-    state: &State<'_>,
-    cell: Cell,
-    sample_weight: Vec<f64>,
-    j: usize,
-) -> CellResult {
-    let mut communities: Vec<Community> = Vec::with_capacity(j);
-    let mut current: Vec<u32> = state.view.alive_vertices();
-    communities.push(ctx.community_from_locals(&current));
-    for group in state.deletion_groups.iter().rev() {
-        if communities.len() >= j {
-            break;
+impl Dfs<'_, '_> {
+    /// Explores one `(subgraph, cell)` state. `settled` holds the parent
+    /// state's leaves — pairs of settled leaves are already separated by the
+    /// arrangement that produced `cell`, so their half-spaces need not be
+    /// re-inserted (the "directly locate" optimization of Section V-B).
+    /// `depth` is the number of states on the current DFS path.
+    fn explore(&mut self, view: &mut SubgraphView<'_>, cell: Cell, settled: &[u32], depth: usize) {
+        let ctx = self.ctx;
+        // Track an approximate peak of live search memory (Fig. 11(d)): the
+        // DFS path holds one view plus per-level cells and deletion groups.
+        let live_bytes = ctx.gd.memory_bytes()
+            + view.alive_mask().len() * 5
+            + depth * cell.memory_bytes()
+            + self
+                .deletion_groups
+                .iter()
+                .map(|g| g.len() * std::mem::size_of::<u32>())
+                .sum::<usize>();
+        self.stats.memory_bytes = self.stats.memory_bytes.max(live_bytes);
+
+        let leaves: Vec<u32> = ctx
+            .gd
+            .leaves_within(view.alive_mask())
+            .into_iter()
+            .map(|v| v as u32)
+            .collect();
+
+        // Compute (or locate) the new hyperplanes among current leaves;
+        // `settled` is sorted (leaves come out in increasing id order).
+        let is_settled = |v: u32| settled.binary_search(&v).is_ok();
+        let mut hps: Vec<HalfSpace> = Vec::new();
+        for (i, &a) in leaves.iter().enumerate() {
+            for &b in leaves.iter().skip(i + 1) {
+                if is_settled(a) && is_settled(b) {
+                    continue;
+                }
+                let key = (a.min(b), a.max(b));
+                if !self.hs_cache.contains_key(&key) {
+                    self.stats.halfspaces_computed += 1;
+                    let hs = HalfSpace::score_at_least(
+                        ctx.attrs.row(key.0 as usize),
+                        ctx.attrs.row(key.1 as usize),
+                    );
+                    self.hs_cache.insert(key, hs);
+                }
+                hps.push(self.hs_cache[&key].clone());
+            }
         }
-        current.extend(group.iter().copied());
-        communities.push(ctx.community_from_locals(&current));
+        self.stats.halfspace_insertions += hps.len();
+
+        let sub_cells = arrange(&cell, &hps);
+        self.stats.partitions_explored += sub_cells.len();
+
+        for sub_cell in sub_cells {
+            let Some(w) = sub_cell.sample_point() else {
+                continue;
+            };
+            // Within the sub-partition the relative order of the leaves is
+            // fixed, so the minimum at the sample point is the minimum
+            // everywhere in the cell. Exact score ties (e.g. identical
+            // attribute vectors, which no half-space can separate) are broken
+            // by smallest id — the same rule the fixed-weight peeling oracle
+            // applies, so both explorations delete the same vertex.
+            let u = leaves
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    ctx.score(a, &w)
+                        .total_cmp(&ctx.score(b, &w))
+                        .then_with(|| a.cmp(&b))
+                })
+                .expect("a state always has at least one alive leaf");
+
+            // Corollary 1(1): the smallest-score vertex is a query vertex.
+            if self.q.contains(&u) {
+                self.report_cell(view, sub_cell, w);
+                continue;
+            }
+            // Tentative deletion (lines 15-20) behind a checkpoint.
+            let cp = view.checkpoint();
+            view.delete_cascade_logged(u, self.k);
+            let mut ok = self.q.iter().all(|&qv| view.is_alive(qv));
+            if ok {
+                view.retain_component_of_logged(self.q[0]);
+                ok = self.q.iter().all(|&qv| view.is_alive(qv));
+            }
+            if !ok {
+                // Corollary 1(2): deleting u destroys the community, so the
+                // parent community is the non-contained MAC of this cell.
+                view.rollback(cp);
+                self.report_cell(view, sub_cell, w);
+                continue;
+            }
+            self.deletion_groups.push(view.log_since(cp).to_vec());
+            self.explore(view, sub_cell, &leaves, depth + 1);
+            self.deletion_groups.pop();
+            view.rollback(cp);
+        }
     }
-    CellResult {
-        cell,
-        sample_weight,
-        communities,
+
+    /// Reports one finished cell: the current community plus, for top-j mode,
+    /// the supersets obtained by backtracking the deletion history.
+    fn report_cell(&mut self, view: &SubgraphView<'_>, cell: Cell, sample_weight: Vec<f64>) {
+        let ctx = self.ctx;
+        let mut communities: Vec<Community> = Vec::with_capacity(self.j);
+        let mut current: Vec<u32> = view.alive_vertices();
+        communities.push(ctx.community_from_locals(&current));
+        for group in self.deletion_groups.iter().rev() {
+            if communities.len() >= self.j {
+                break;
+            }
+            current.extend(group.iter().copied());
+            communities.push(ctx.community_from_locals(&current));
+        }
+        self.out_cells.push(CellResult {
+            cell,
+            sample_weight,
+            communities,
+        });
     }
 }
 

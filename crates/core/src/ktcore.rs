@@ -43,9 +43,13 @@ pub fn maximal_kt_core(
     query.validate(rsn)?;
     let social = rsn.social();
 
-    // Lemma 1: road-network range filter, accelerated by bounding Dijkstra at t.
+    // Lemma 1: road-network range filter, served by the query's distance
+    // oracle — G-tree point queries when the network has the index built,
+    // otherwise one Dijkstra per query location bounded at t.
     let q_locations: Vec<Location> = query.q.iter().map(|&v| *rsn.location(v)).collect();
-    let qdi = QueryDistanceIndex::build(rsn.road(), &q_locations, Some(query.t));
+    let oracle = rsn.distance_oracle(query.oracle);
+    let qdi =
+        QueryDistanceIndex::build_with_oracle(rsn.road(), &oracle, &q_locations, Some(query.t));
     let within = qdi.within_threshold(rsn.locations(), query.t);
     if query.q.iter().any(|&v| !within[v as usize]) {
         // some query users are farther than t from each other
@@ -91,10 +95,8 @@ mod tests {
 
     /// Two triangles of users; users 0-2 near road vertex 0, users 3-5 far away.
     fn network() -> RoadSocialNetwork {
-        let social = Graph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
-        );
+        let social =
+            Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]);
         // road: a long line 0 -1- 1 -1- 2 -10- 3
         let road = RoadNetwork::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 10.0)]);
         let locations = vec![
@@ -148,5 +150,34 @@ mod tests {
         let rsn = network();
         let q = MacQuery::new(vec![], 2, 2.0, region());
         assert!(maximal_kt_core(&rsn, &q).is_err());
+    }
+
+    #[test]
+    fn gtree_oracle_yields_identical_kt_core_membership() {
+        use rsn_road::oracle::OracleChoice;
+        let rsn = network().with_gtree_index_capacity(4);
+        assert!(rsn.gtree().is_some());
+        assert!(rsn.distance_oracle(OracleChoice::GTree).is_gtree());
+        assert!(!rsn.distance_oracle(OracleChoice::Dijkstra).is_gtree());
+        for (k, t) in [(2u32, 2.0f64), (2, 100.0), (3, 2.0), (1, 11.0)] {
+            let dij = MacQuery::new(vec![0], k, t, region()).with_oracle(OracleChoice::Dijkstra);
+            let gt = MacQuery::new(vec![0], k, t, region()).with_oracle(OracleChoice::GTree);
+            assert_eq!(
+                maximal_kt_core(&rsn, &dij).unwrap(),
+                maximal_kt_core(&rsn, &gt).unwrap(),
+                "oracles disagree for k={k}, t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn gtree_choice_without_index_falls_back_to_dijkstra() {
+        use rsn_road::oracle::OracleChoice;
+        let rsn = network();
+        assert!(rsn.gtree().is_none());
+        assert!(!rsn.distance_oracle(OracleChoice::GTree).is_gtree());
+        let q = MacQuery::new(vec![0], 2, 2.0, region()).with_oracle(OracleChoice::GTree);
+        let core = maximal_kt_core(&rsn, &q).unwrap().unwrap();
+        assert_eq!(core.vertices, vec![0, 1, 2]);
     }
 }

@@ -278,9 +278,7 @@ impl<'a> LocalSearch<'a> {
                     .unwrap_or(0);
                 let new_min = members
                     .iter()
-                    .map(|&m| {
-                        deg_in_h[m as usize] + u32::from(graph.has_edge(m, v))
-                    })
+                    .map(|&m| deg_in_h[m as usize] + u32::from(graph.has_edge(m, v)))
                     .chain(std::iter::once(deg_in_h[v as usize]))
                     .min()
                     .unwrap_or(0);
@@ -354,19 +352,23 @@ impl<'a> LocalSearch<'a> {
         let lt_gc: Vec<usize> = ctx.gd.top_within(&gc_mask);
 
         // Anchors (Lemma 8): non-query leaf vertices of Ge whose removal keeps
-        // a connected k-core containing Q inside H.
-        let h_view = SubgraphView::from_vertices(&ctx.local_graph, cand);
-        let anchors: Vec<usize> = lb_ge
-            .iter()
-            .copied()
-            .filter(|&v| !q.contains(&(v as u32)))
-            .filter(|&v| {
-                let mut scratch = h_view.clone();
-                scratch.delete_cascade(v as u32, k);
-                q.iter().all(|&qv| scratch.is_alive(qv))
-                    && scratch.has_connected_k_core_with(k, q)
-            })
-            .collect();
+        // a connected k-core containing Q inside H. One view probed behind
+        // checkpoints — no per-anchor clone.
+        let mut h_view = SubgraphView::from_vertices(&ctx.local_graph, cand);
+        let mut anchors: Vec<usize> = Vec::new();
+        for &v in &lb_ge {
+            if q.contains(&(v as u32)) {
+                continue;
+            }
+            let cp = h_view.checkpoint();
+            h_view.delete_cascade_logged(v as u32, k);
+            let ok =
+                q.iter().all(|&qv| h_view.is_alive(qv)) && h_view.has_connected_k_core_with(k, q);
+            h_view.rollback(cp);
+            if ok {
+                anchors.push(v);
+            }
+        }
 
         // Constraint half-spaces: every bottom-layer member of Ge must beat
         // every effective top-layer vertex of Gc, and every anchor must beat
@@ -374,10 +376,7 @@ impl<'a> LocalSearch<'a> {
         let mut halfspaces: Vec<HalfSpace> = Vec::new();
         for &x in &lb_ge {
             for &y in &lt_gc {
-                halfspaces.push(HalfSpace::score_at_least(
-                    &ctx.attrs[x],
-                    &ctx.attrs[y],
-                ));
+                halfspaces.push(HalfSpace::score_at_least(&ctx.attrs[x], &ctx.attrs[y]));
             }
         }
         for &a in &anchors {
@@ -397,7 +396,9 @@ impl<'a> LocalSearch<'a> {
             tree.insert(hs);
             stats.halfspace_insertions += 1;
         }
-        stats.memory_bytes = stats.memory_bytes.max(ctx.gd.memory_bytes() + tree.memory_bytes());
+        stats.memory_bytes = stats
+            .memory_bytes
+            .max(ctx.gd.memory_bytes() + tree.memory_bytes());
 
         let mut results = Vec::new();
         let leaves = tree.leaves();

@@ -2,10 +2,17 @@
 
 use crate::error::MacError;
 use rsn_graph::graph::{Graph, VertexId};
+use rsn_road::gtree::GTree;
 use rsn_road::network::{Location, RoadNetwork};
+use rsn_road::oracle::{DistanceOracle, OracleChoice};
 
 /// A road-social network: a social graph whose users carry a location in a
 /// road network and a d-dimensional attribute vector (Section II-A).
+///
+/// A network optionally carries a prebuilt [`GTree`] index over its road
+/// network ([`with_gtree_index`](Self::with_gtree_index)); queries then serve
+/// the Lemma-1 range filter and all `D_Q` evaluations from the G-tree instead
+/// of running per-query Dijkstra sweeps.
 #[derive(Debug, Clone)]
 pub struct RoadSocialNetwork {
     social: Graph,
@@ -15,6 +22,8 @@ pub struct RoadSocialNetwork {
     /// `attrs[v]` = d-dimensional attribute vector of social user `v`.
     attrs: Vec<Vec<f64>>,
     dim: usize,
+    /// Optional hierarchical distance index over `road`.
+    gtree: Option<GTree>,
 }
 
 impl RoadSocialNetwork {
@@ -72,7 +81,45 @@ impl RoadSocialNetwork {
             locations,
             attrs,
             dim,
+            gtree: None,
         })
+    }
+
+    /// Builds (or rebuilds) the G-tree index over the road network, enabling
+    /// the G-tree distance oracle for subsequent queries.
+    pub fn with_gtree_index(mut self) -> Self {
+        self.gtree = Some(GTree::build(&self.road));
+        self
+    }
+
+    /// Like [`with_gtree_index`](Self::with_gtree_index) with an explicit
+    /// leaf capacity (G-tree fan-out tuning knob).
+    pub fn with_gtree_index_capacity(mut self, leaf_capacity: usize) -> Self {
+        self.gtree = Some(GTree::build_with_capacity(&self.road, leaf_capacity));
+        self
+    }
+
+    /// The G-tree index, when one has been built.
+    pub fn gtree(&self) -> Option<&GTree> {
+        self.gtree.as_ref()
+    }
+
+    /// Resolves the distance oracle for a query's [`OracleChoice`].
+    ///
+    /// An explicit `GTree` request on a network without an index falls back
+    /// to Dijkstra; the result is identical either way — the choice is purely
+    /// performance. `Auto` currently resolves to Dijkstra: the Lemma-1 filter
+    /// probes every user once, and the perf-trajectory measurements
+    /// (`BENCH_PR1.json`) show the t-bounded sweep beating per-user G-tree
+    /// point queries at every dataset scale we generate. The G-tree stays
+    /// explicitly selectable (and exactness-tested); `Auto` should start
+    /// preferring it once the leaf-batched range evaluation on the ROADMAP
+    /// lands.
+    pub fn distance_oracle(&self, choice: OracleChoice) -> DistanceOracle<'_> {
+        match (choice, &self.gtree) {
+            (OracleChoice::GTree, Some(tree)) => DistanceOracle::GTree(tree),
+            _ => DistanceOracle::dijkstra(),
+        }
     }
 
     /// The social graph `G_s`.

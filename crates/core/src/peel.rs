@@ -74,26 +74,27 @@ pub fn peel_at_weight(ctx: &SearchContext<'_>, reduced_w: &[f64]) -> PeelOutcome
         if q.contains(&u) {
             break;
         }
-        // Tentative deletion with cascade (Algorithm 1, lines 15-20).
-        let mut record = view.delete_cascade(u, k);
+        // Tentative deletion with cascade (Algorithm 1, lines 15-20), behind
+        // a checkpoint so a failed step rolls back without cloning.
+        let cp = view.checkpoint();
+        view.delete_cascade_logged(u, k);
         if q.iter().any(|&qv| !view.is_alive(qv)) {
-            view.undo(&record);
+            view.rollback(cp);
             break;
         }
-        let trim = view.retain_component_of(q[0]);
-        record.merge(trim);
+        view.retain_component_of_logged(q[0]);
         if q.iter().any(|&qv| !view.is_alive(qv)) {
-            view.undo(&record);
+            view.rollback(cp);
             break;
         }
         // Corollary 1(2): nothing left beyond Q-connected k-core means the
         // previous community was non-contained; but if the k-core survived we
         // commit the deletion and continue.
         if view.num_alive() == 0 {
-            view.undo(&record);
+            view.rollback(cp);
             break;
         }
-        groups.push(record.removed.clone());
+        groups.push(view.log_since(cp).to_vec());
     }
 
     let mut final_vertices = view.alive_vertices();
@@ -203,10 +204,7 @@ mod tests {
         }
         // the largest possible answer is the whole (k,t)-core
         let top_many = outcome.top_j(100);
-        assert_eq!(
-            top_many.last().unwrap().len(),
-            ctx.core_size()
-        );
+        assert_eq!(top_many.last().unwrap().len(), ctx.core_size());
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::error::MacError;
 use crate::network::RoadSocialNetwork;
 use rsn_geom::region::PrefRegion;
 use rsn_graph::graph::VertexId;
+use rsn_road::oracle::OracleChoice;
 
 /// A multi-attributed community search query (Problems 1 and 2).
 #[derive(Debug, Clone)]
@@ -19,10 +20,15 @@ pub struct MacQuery {
     /// Number of communities to report per partition (Problem 1); `1`
     /// corresponds to reporting only the top community.
     pub j: usize,
+    /// Which road-network distance oracle serves the Lemma-1 range filter and
+    /// the `D_Q` evaluations. Defaults to `Auto` (currently Dijkstra); pass
+    /// `OracleChoice::GTree` on a network built with `with_gtree_index` to
+    /// serve them from the G-tree instead.
+    pub oracle: OracleChoice,
 }
 
 impl MacQuery {
-    /// Creates a query with `j = 1`.
+    /// Creates a query with `j = 1` and the automatic oracle choice.
     pub fn new(q: Vec<VertexId>, k: u32, t: f64, region: PrefRegion) -> Self {
         MacQuery {
             q,
@@ -30,12 +36,19 @@ impl MacQuery {
             t,
             region,
             j: 1,
+            oracle: OracleChoice::default(),
         }
     }
 
     /// Sets the top-j parameter.
     pub fn with_top_j(mut self, j: usize) -> Self {
         self.j = j;
+        self
+    }
+
+    /// Selects the road-network distance oracle.
+    pub fn with_oracle(mut self, oracle: OracleChoice) -> Self {
+        self.oracle = oracle;
         self
     }
 

@@ -34,7 +34,9 @@ pub fn generate_attrs(
     seed: u64,
 ) -> Vec<Vec<f64>> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| one_vector(&mut rng, d, dist, scale)).collect()
+    (0..n)
+        .map(|_| one_vector(&mut rng, d, dist, scale))
+        .collect()
 }
 
 fn one_vector(rng: &mut StdRng, d: usize, dist: AttrDistribution, scale: f64) -> Vec<f64> {
@@ -125,14 +127,20 @@ mod tests {
         let isums: Vec<f64> = indep.iter().map(|a| a.iter().sum()).collect();
         let imean = isums.iter().sum::<f64>() / isums.len() as f64;
         let ivar = isums.iter().map(|s| (s - imean).powi(2)).sum::<f64>() / isums.len() as f64;
-        assert!(var < ivar, "anti-correlated sums should vary less ({var} vs {ivar})");
+        assert!(
+            var < ivar,
+            "anti-correlated sums should vary less ({var} vs {ivar})"
+        );
     }
 
     #[test]
     fn zero_inflation_present() {
         let attrs = generate_attrs(1000, 3, AttrDistribution::ZeroInflatedCorrelated, 10.0, 8);
         let zero_rows = attrs.iter().filter(|a| a.iter().all(|&x| x == 0.0)).count();
-        assert!(zero_rows > 400, "expected a large zero point-mass, got {zero_rows}");
+        assert!(
+            zero_rows > 400,
+            "expected a large zero point-mass, got {zero_rows}"
+        );
     }
 
     #[test]

@@ -121,7 +121,7 @@ mod tests {
         let locations = assign_locations(
             &road,
             500,
-            &[group.clone()],
+            std::slice::from_ref(&group),
             &LocationConfig {
                 clusters: 10,
                 radius: 8,

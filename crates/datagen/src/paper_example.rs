@@ -53,15 +53,15 @@ pub fn paper_road_network() -> RoadNetwork {
     RoadNetwork::from_edges(
         15,
         &[
-            (0, 1, 2.0),  // r1 - r2
-            (1, 2, 4.0),  // r2 - r3
-            (1, 5, 6.0),  // r2 - r6
-            (1, 3, 3.0),  // r2 - r4
-            (1, 4, 3.0),  // r2 - r5
-            (2, 5, 9.0),  // r3 - r6 (the distance quoted in Section II)
-            (2, 6, 3.0),  // r3 - r7
-            (5, 6, 7.0),  // r6 - r7 (the query distance of v7)
-            (4, 5, 4.0),  // r5 - r6
+            (0, 1, 2.0), // r1 - r2
+            (1, 2, 4.0), // r2 - r3
+            (1, 5, 6.0), // r2 - r6
+            (1, 3, 3.0), // r2 - r4
+            (1, 4, 3.0), // r2 - r5
+            (2, 5, 9.0), // r3 - r6 (the distance quoted in Section II)
+            (2, 6, 3.0), // r3 - r7
+            (5, 6, 7.0), // r6 - r7 (the query distance of v7)
+            (4, 5, 4.0), // r5 - r6
             // periphery, far from the query area
             (6, 7, 12.0),  // r7 - r8
             (7, 8, 2.0),   // r8 - r9
@@ -120,19 +120,33 @@ mod tests {
     fn example_distances_match_section_2() {
         let road = paper_road_network();
         // Q = {v2, v3, v6} -> road vertices r2, r3, r6 (ids 1, 2, 5)
-        let q = [Location::vertex(1), Location::vertex(2), Location::vertex(5)];
+        let q = [
+            Location::vertex(1),
+            Location::vertex(2),
+            Location::vertex(5),
+        ];
         let idx = QueryDistanceIndex::build(&road, &q, None);
-        assert!((idx.query_distance_of_vertex(6) - 7.0).abs() < 1e-9, "DQ(v7) = 7");
+        assert!(
+            (idx.query_distance_of_vertex(6) - 7.0).abs() < 1e-9,
+            "DQ(v7) = 7"
+        );
         let h1 = [
             Location::vertex(1),
             Location::vertex(2),
             Location::vertex(5),
             Location::vertex(6),
         ];
-        assert!((idx.query_distance_of_members(&h1) - 9.0).abs() < 1e-9, "DQ(H1) = 9");
+        assert!(
+            (idx.query_distance_of_members(&h1) - 9.0).abs() < 1e-9,
+            "DQ(H1) = 9"
+        );
         // all of r1..r7 are within query distance 9
         for v in 0..7u32 {
-            assert!(idx.query_distance_of_vertex(v) <= 9.0 + 1e-9, "r{} too far", v + 1);
+            assert!(
+                idx.query_distance_of_vertex(v) <= 9.0 + 1e-9,
+                "r{} too far",
+                v + 1
+            );
         }
         // the periphery is not
         assert!(idx.query_distance_of_vertex(7) > 9.0);

@@ -137,9 +137,23 @@ pub fn build_preset_scaled(name: PresetName, scale: PresetScale, seed: u64) -> D
         PresetName::SfDelicious => (1_600, 4_000, 3, 3, AttrDistribution::Independent, 30.0),
         PresetName::FlLastfm => (3_600, 6_000, 4, 3, AttrDistribution::Independent, 40.0),
         PresetName::FlFlixster => (3_600, 8_000, 3, 3, AttrDistribution::Independent, 40.0),
-        PresetName::FlYelp => (3_600, 9_000, 3, 3, AttrDistribution::ZeroInflatedCorrelated, 40.0),
+        PresetName::FlYelp => (
+            3_600,
+            9_000,
+            3,
+            3,
+            AttrDistribution::ZeroInflatedCorrelated,
+            40.0,
+        ),
         PresetName::AminerNa => (2_500, 3_000, 3, 4, AttrDistribution::Correlated, 50.0),
-        PresetName::YelpSf => (1_600, 3_000, 3, 3, AttrDistribution::ZeroInflatedCorrelated, 30.0),
+        PresetName::YelpSf => (
+            1_600,
+            3_000,
+            3,
+            3,
+            AttrDistribution::ZeroInflatedCorrelated,
+            30.0,
+        ),
     };
     let road_n = ((road_n as f64) * scale.road).round().max(64.0) as usize;
     let social_n = ((social_n as f64) * scale.social).round().max(256.0) as usize;
@@ -200,7 +214,10 @@ mod tests {
             let label = p.label();
             assert!(PresetName::parse(label).is_some(), "cannot parse {label}");
         }
-        assert_eq!(PresetName::parse("sf_slashdot"), Some(PresetName::SfSlashdot));
+        assert_eq!(
+            PresetName::parse("sf_slashdot"),
+            Some(PresetName::SfSlashdot)
+        );
         assert_eq!(PresetName::parse("nonsense"), None);
     }
 

@@ -158,7 +158,10 @@ mod tests {
         let cores = core_numbers(&net.graph);
         // every member of the first group has coreness at least its planted degree
         for &v in &net.groups[0] {
-            assert!(cores[v as usize] >= 40, "coreness of planted member too low");
+            assert!(
+                cores[v as usize] >= 40,
+                "coreness of planted member too low"
+            );
         }
         assert!(max_core_number(&net.graph) >= 40);
     }

@@ -13,6 +13,7 @@
 //! Eq. 3/Eq. 4 priorities), the leaf set, and the `G_e`/`G_c`, `l_b(G_e)`,
 //! `l_t(G_c)` selectors of the local-search verification (Section VI-B).
 
+use crate::attrs::AttrMatrix;
 use crate::bitset::BitSet;
 use crate::rtree::RTree;
 use rsn_geom::halfspace::HalfSpace;
@@ -27,8 +28,8 @@ pub struct DominanceGraph {
     ids: Vec<u32>,
     /// Map from external id to local id.
     id_to_local: HashMap<u32, usize>,
-    /// Attribute vectors, indexed by local id.
-    attrs: Vec<Vec<f64>>,
+    /// Attribute vectors, indexed by local id (row-major).
+    attrs: AttrMatrix,
     /// The region the graph was built for.
     region: PrefRegion,
     /// Dominator closure: `dominators[v]` holds every local id that
@@ -48,20 +49,30 @@ pub struct DominanceGraph {
 }
 
 impl DominanceGraph {
+    /// Builds `G_d` for the given vertices from nested attribute rows.
+    ///
+    /// Convenience wrapper over [`build_flat`](Self::build_flat); callers on
+    /// the query hot path should already hold an [`AttrMatrix`] and call
+    /// `build_flat` directly.
+    pub fn build(ids: &[u32], attrs: &[Vec<f64>], region: &PrefRegion) -> Self {
+        Self::build_flat(ids, &AttrMatrix::from_rows(attrs), region)
+    }
+
     /// Builds `G_d` for the given vertices.
     ///
     /// `ids[i]` is the external id of the vertex whose attribute vector is
-    /// `attrs[i]`; all vectors must share the same dimensionality `d` with
+    /// `attrs.row(i)`; all rows share the matrix dimensionality `d` with
     /// `region.dim() == d - 1`.
-    pub fn build(ids: &[u32], attrs: &[Vec<f64>], region: &PrefRegion) -> Self {
-        assert_eq!(ids.len(), attrs.len(), "ids and attrs must align");
+    pub fn build_flat(ids: &[u32], attrs: &AttrMatrix, region: &PrefRegion) -> Self {
+        assert_eq!(ids.len(), attrs.num_rows(), "ids and attrs must align");
         let n = ids.len();
-        let dim = attrs.first().map(|a| a.len()).unwrap_or(region.dim() + 1);
-        debug_assert!(attrs.iter().all(|a| a.len() == dim));
-        debug_assert_eq!(region.dim() + 1, dim, "region dimensionality mismatch");
+        debug_assert!(
+            n == 0 || region.dim() + 1 == attrs.dim(),
+            "region dimensionality mismatch"
+        );
 
         // BBS-style visit order: decreasing pivot score via the R-tree.
-        let rtree = RTree::bulk_load(attrs, dim);
+        let rtree = RTree::bulk_load_flat(attrs);
         let rtree_bytes = rtree.memory_bytes();
         let pivot = region.pivot();
         let order = rtree.pivot_order(pivot.reduced());
@@ -78,7 +89,7 @@ impl DominanceGraph {
                 if dominators[v].contains(u) {
                     continue;
                 }
-                let hs = HalfSpace::score_at_least(&attrs[u], &attrs[v]);
+                let hs = HalfSpace::score_at_least(attrs.row(u), attrs.row(v));
                 tests += 1;
                 match r_dominance_from_halfspace(&hs, region) {
                     DominanceRelation::Dominates => {
@@ -106,9 +117,7 @@ impl DominanceGraph {
         for v in 0..n {
             let doms: Vec<usize> = dominators[v].iter().collect();
             for &u in &doms {
-                let implied = doms
-                    .iter()
-                    .any(|&w| w != u && dominators[w].contains(u));
+                let implied = doms.iter().any(|&w| w != u && dominators[w].contains(u));
                 if !implied {
                     parents[v].push(u as u32);
                     children[u].push(v as u32);
@@ -131,7 +140,7 @@ impl DominanceGraph {
         DominanceGraph {
             ids: ids.to_vec(),
             id_to_local: ids.iter().enumerate().map(|(i, &id)| (id, i)).collect(),
-            attrs: attrs.to_vec(),
+            attrs: attrs.clone(),
             region: region.clone(),
             dominators,
             parents,
@@ -164,7 +173,7 @@ impl DominanceGraph {
 
     /// Attribute vector of a local id.
     pub fn attrs_of(&self, local: usize) -> &[f64] {
-        &self.attrs[local]
+        self.attrs.row(local)
     }
 
     /// The region `G_d` was built for.
@@ -261,8 +270,12 @@ impl DominanceGraph {
     pub fn memory_bytes(&self) -> usize {
         let mut total = std::mem::size_of::<Self>() + self.rtree_bytes;
         total += self.ids.len() * 4;
-        total += self.attrs.iter().map(|a| a.len() * 8).sum::<usize>();
-        total += self.dominators.iter().map(|b| b.memory_bytes()).sum::<usize>();
+        total += self.attrs.memory_bytes();
+        total += self
+            .dominators
+            .iter()
+            .map(|b| b.memory_bytes())
+            .sum::<usize>();
         total += self
             .parents
             .iter()
@@ -311,7 +324,11 @@ mod tests {
         // the full-graph leaves include v7, v5 and v1 (initial leaves used in
         // Fig. 5(a))
         let all = vec![true; 7];
-        let leaves: Vec<u32> = gd.leaves_within(&all).iter().map(|&v| gd.id_of(v)).collect();
+        let leaves: Vec<u32> = gd
+            .leaves_within(&all)
+            .iter()
+            .map(|&v| gd.id_of(v))
+            .collect();
         assert!(leaves.contains(&7) && leaves.contains(&5) && leaves.contains(&1));
         // top layer contains v2, v6 and v4
         let top: Vec<u32> = gd.top_within(&all).iter().map(|&v| gd.id_of(v)).collect();
@@ -330,9 +347,17 @@ mod tests {
         let in_h = |id: u32| [2u32, 3, 6, 7].contains(&id);
         let mask_e: Vec<bool> = (0..7).map(|i| in_h(gd.id_of(i))).collect();
         let mask_c: Vec<bool> = (0..7).map(|i| !in_h(gd.id_of(i))).collect();
-        let lb: Vec<u32> = gd.leaves_within(&mask_e).iter().map(|&v| gd.id_of(v)).collect();
+        let lb: Vec<u32> = gd
+            .leaves_within(&mask_e)
+            .iter()
+            .map(|&v| gd.id_of(v))
+            .collect();
         assert_eq!(lb, vec![7]);
-        let mut lt: Vec<u32> = gd.top_within(&mask_c).iter().map(|&v| gd.id_of(v)).collect();
+        let mut lt: Vec<u32> = gd
+            .top_within(&mask_c)
+            .iter()
+            .map(|&v| gd.id_of(v))
+            .collect();
         lt.sort_unstable();
         assert_eq!(lt, vec![4, 5]);
         // excluding v5 pushes the top layer of Gc down to v1 (and keeps v4)
@@ -391,8 +416,8 @@ mod tests {
                 if a == b {
                     continue;
                 }
-                let expect = r_dominance(&attrs[a], &attrs[b], &region)
-                    == DominanceRelation::Dominates;
+                let expect =
+                    r_dominance(&attrs[a], &attrs[b], &region) == DominanceRelation::Dominates;
                 assert_eq!(
                     gd.dominates(a, b),
                     expect,

@@ -11,16 +11,20 @@
 //! vertex) under the *pivot vector* of `R`, so that vertices are popped in an
 //! order in which later vertices can never r-dominate earlier ones.
 //!
+//! * [`attrs::AttrMatrix`] — flat row-major attribute storage shared with
+//!   the search hot loops.
 //! * [`bitset::BitSet`] — compact dominator sets.
 //! * [`rtree::RTree`] — STR bulk-loaded R-tree over attribute vectors.
 //! * [`dominance::DominanceGraph`] — the DAG `G_d` with transitive-reduction
 //!   arcs, layers, dominator closures, and the `G_e`/`G_c`, `l_b`/`l_t`
 //!   selectors used by the local search (Section VI-B).
 
+pub mod attrs;
 pub mod bitset;
 pub mod dominance;
 pub mod rtree;
 
+pub use attrs::AttrMatrix;
 pub use bitset::BitSet;
 pub use dominance::DominanceGraph;
 pub use rtree::RTree;

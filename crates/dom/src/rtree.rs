@@ -75,6 +75,11 @@ impl RTree {
         Self::bulk_load_with_fanout(items, dim, DEFAULT_FANOUT)
     }
 
+    /// Bulk loads the tree from a flat row-major attribute matrix.
+    pub fn bulk_load_flat(attrs: &crate::attrs::AttrMatrix) -> Self {
+        Self::bulk_load_with_fanout(&attrs.to_rows(), attrs.dim(), DEFAULT_FANOUT)
+    }
+
     /// Bulk loads with an explicit fanout (minimum 2).
     pub fn bulk_load_with_fanout(items: &[Vec<f64>], dim: usize, fanout: usize) -> Self {
         let fanout = fanout.max(2);
@@ -87,8 +92,7 @@ impl RTree {
         if items.is_empty() {
             return tree;
         }
-        let mut indexed: Vec<(usize, Vec<f64>)> =
-            items.iter().cloned().enumerate().collect();
+        let mut indexed: Vec<(usize, Vec<f64>)> = items.iter().cloned().enumerate().collect();
         let root = tree.build_str(&mut indexed, 0);
         tree.root = Some(root);
         tree
@@ -265,7 +269,7 @@ mod tests {
         let pivot = [0.25, 0.35];
         let order = tree.pivot_order(&pivot);
         assert_eq!(order.len(), 200);
-        let mut seen = vec![false; 200];
+        let mut seen = [false; 200];
         let mut prev = f64::INFINITY;
         for idx in order {
             assert!(!seen[idx]);

@@ -26,20 +26,43 @@ pub enum CellSide {
 }
 
 /// A convex cell: box bounds plus accumulated half-space constraints.
+///
+/// Two-dimensional cells (the `d = 3` attribute regime of every preset and
+/// the paper's running example) additionally carry their vertex
+/// representation — a convex polygon maintained by Sutherland–Hodgman
+/// clipping. Classification, extreme values, and sample points then cost
+/// O(#vertices) affine evaluations instead of dense-simplex LP solves, which
+/// is where the global search spent almost all of its time. Other
+/// dimensionalities fall back to the LP path.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Cell {
     lows: Vec<f64>,
     highs: Vec<f64>,
     constraints: Vec<HalfSpace>,
+    /// Convex-polygon vertices (counter-clockwise) when `dim() == 2`.
+    poly: Option<Vec<(f64, f64)>>,
 }
 
 impl Cell {
     /// The cell covering the whole region `R`.
     pub fn from_region(region: &PrefRegion) -> Self {
+        let lows = region.lows().to_vec();
+        let highs = region.highs().to_vec();
+        let poly = if lows.len() == 2 {
+            Some(vec![
+                (lows[0], lows[1]),
+                (highs[0], lows[1]),
+                (highs[0], highs[1]),
+                (lows[0], highs[1]),
+            ])
+        } else {
+            None
+        };
         Cell {
-            lows: region.lows().to_vec(),
-            highs: region.highs().to_vec(),
+            lows,
+            highs,
             constraints: Vec::new(),
+            poly,
         }
     }
 
@@ -54,9 +77,21 @@ impl Cell {
         &self.constraints
     }
 
+    /// Drops the cached vertex representation, forcing this cell (and every
+    /// cell derived from it) onto the dense-LP path. A benchmarking knob —
+    /// the perf-trajectory harness uses it to measure the pre-optimization
+    /// configuration; results are identical either way.
+    pub fn disable_vertex_cache(mut self) -> Self {
+        self.poly = None;
+        self
+    }
+
     /// A new cell with the half-space `f(w) ≥ 0` added as a constraint.
     pub fn with_halfspace(&self, hs: HalfSpace) -> Cell {
         let mut cell = self.clone();
+        if let Some(poly) = &cell.poly {
+            cell.poly = Some(clip_polygon(poly, &hs));
+        }
         cell.constraints.push(hs);
         cell
     }
@@ -77,8 +112,8 @@ impl Cell {
         if reduced_w.len() != self.dim() {
             return false;
         }
-        for i in 0..self.dim() {
-            if reduced_w[i] < self.lows[i] - EPS || reduced_w[i] > self.highs[i] + EPS {
+        for ((&w, &lo), &hi) in reduced_w.iter().zip(&self.lows).zip(&self.highs) {
+            if w < lo - EPS || w > hi + EPS {
                 return false;
             }
         }
@@ -107,9 +142,34 @@ impl Cell {
         (a, b)
     }
 
+    /// `(min, max)` of the affine form over the polygon vertices; `None` when
+    /// no vertex representation exists (LP fallback) or the polygon is empty.
+    fn poly_extremes(&self, hs: &HalfSpace) -> Option<(f64, f64)> {
+        let poly = self.poly.as_ref()?;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &(x, y) in poly {
+            let v = hs.eval(&[x, y]);
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if min.is_finite() {
+            Some((min, max))
+        } else {
+            None
+        }
+    }
+
     /// Minimum of the affine form of `hs` over the cell; `None` when the cell
     /// is empty.
     pub fn min_of(&self, hs: &HalfSpace) -> Option<f64> {
+        if let Some(poly) = &self.poly {
+            return if poly.is_empty() {
+                None
+            } else {
+                self.poly_extremes(hs).map(|(min, _)| min)
+            };
+        }
         let (a, b) = self.lp_constraints();
         match lp::minimize(&hs.coeffs, &a, &b) {
             LpOutcome::Optimal { value, .. } => Some(value + hs.offset),
@@ -121,6 +181,13 @@ impl Cell {
 
     /// Maximum of the affine form of `hs` over the cell; `None` when empty.
     pub fn max_of(&self, hs: &HalfSpace) -> Option<f64> {
+        if let Some(poly) = &self.poly {
+            return if poly.is_empty() {
+                None
+            } else {
+                self.poly_extremes(hs).map(|(_, max)| max)
+            };
+        }
         let (a, b) = self.lp_constraints();
         match lp::maximize(&hs.coeffs, &a, &b) {
             LpOutcome::Optimal { value, .. } => Some(value + hs.offset),
@@ -138,6 +205,9 @@ impl Cell {
             // iff every constraint's constant term is non-negative.
             return self.constraints.iter().any(|hs| hs.offset < -EPS);
         }
+        if let Some(poly) = &self.poly {
+            return poly.is_empty();
+        }
         let (a, b) = self.lp_constraints();
         let zero = vec![0.0; dim];
         matches!(lp::maximize(&zero, &a, &b), LpOutcome::Infeasible)
@@ -145,6 +215,21 @@ impl Cell {
 
     /// Classification of the cell against the half-space `f(w) ≥ 0`.
     pub fn classify(&self, hs: &HalfSpace) -> CellSide {
+        if let Some(poly) = &self.poly {
+            if poly.is_empty() {
+                return CellSide::Empty;
+            }
+            let (min, max) = self
+                .poly_extremes(hs)
+                .expect("non-empty polygon has extremes");
+            if min >= -EPS {
+                return CellSide::Positive;
+            }
+            if max <= EPS {
+                return CellSide::Negative;
+            }
+            return CellSide::Straddles;
+        }
         let Some(min) = self.min_of(hs) else {
             return CellSide::Empty;
         };
@@ -161,12 +246,30 @@ impl Cell {
     }
 
     /// A representative point of the cell, roughly in its interior: the
-    /// average of the per-axis extreme points returned by the LP. Returns
-    /// `None` for empty cells.
+    /// average of the per-axis extreme points returned by the LP.
+    ///
+    /// Returns `None` for empty cells **and for degenerate slivers** whose
+    /// representative cannot be pushed clear of a constraint boundary. A
+    /// sample on a boundary is where symbolic reasoning ("the score order is
+    /// fixed inside the cell") and concrete evaluation at the sample diverge
+    /// — the score difference is exactly zero there — so such measure-zero
+    /// cells are skipped rather than reported with an ambiguous witness.
     pub fn sample_point(&self) -> Option<Vec<f64>> {
         let dim = self.dim();
         if dim == 0 {
-            return if self.is_empty() { None } else { Some(Vec::new()) };
+            return if self.is_empty() {
+                None
+            } else {
+                Some(Vec::new())
+            };
+        }
+        if let Some(poly) = &self.poly {
+            let point = polygon_centroid(poly)?;
+            let point = vec![point.0, point.1];
+            if self.constraints.iter().any(|hs| hs.eval(&point) <= EPS) {
+                return None;
+            }
+            return Some(point);
         }
         let (a, b) = self.lp_constraints();
         let mut acc = vec![0.0; dim];
@@ -189,8 +292,61 @@ impl Cell {
         if count == 0 {
             return None;
         }
-        Some(acc.into_iter().map(|x| x / count as f64).collect())
+        let point: Vec<f64> = acc.into_iter().map(|x| x / count as f64).collect();
+        // Degeneracy guard: the interior representative must clear every
+        // half-space constraint strictly. (The box bounds are region-scale
+        // and cannot pinch a cell at EPS scale; only accumulated half-spaces
+        // can squeeze it flat.)
+        if self.constraints.iter().any(|hs| hs.eval(&point) <= EPS) {
+            return None;
+        }
+        Some(point)
     }
+}
+
+/// Sutherland–Hodgman clip of a convex polygon against `f(w) ≥ 0`.
+fn clip_polygon(poly: &[(f64, f64)], hs: &HalfSpace) -> Vec<(f64, f64)> {
+    let eval = |p: (f64, f64)| hs.eval(&[p.0, p.1]);
+    let n = poly.len();
+    let mut out = Vec::with_capacity(n + 1);
+    for i in 0..n {
+        let p = poly[i];
+        let q = poly[(i + 1) % n];
+        let (fp, fq) = (eval(p), eval(q));
+        if fp >= 0.0 {
+            out.push(p);
+        }
+        if (fp > 0.0 && fq < 0.0) || (fp < 0.0 && fq > 0.0) {
+            // Edge crosses the boundary: interpolate the intersection.
+            let t = fp / (fp - fq);
+            out.push((p.0 + t * (q.0 - p.0), p.1 + t * (q.1 - p.1)));
+        }
+    }
+    out
+}
+
+/// Area centroid of a convex polygon; `None` when the polygon is degenerate
+/// (fewer than three vertices or numerically zero area), in which case the
+/// cell has no strictly interior representative.
+fn polygon_centroid(poly: &[(f64, f64)]) -> Option<(f64, f64)> {
+    if poly.len() < 3 {
+        return None;
+    }
+    let mut area2 = 0.0;
+    let mut cx = 0.0;
+    let mut cy = 0.0;
+    for i in 0..poly.len() {
+        let (x0, y0) = poly[i];
+        let (x1, y1) = poly[(i + 1) % poly.len()];
+        let cross = x0 * y1 - x1 * y0;
+        area2 += cross;
+        cx += (x0 + x1) * cross;
+        cy += (y0 + y1) * cross;
+    }
+    if area2.abs() < 1e-300 {
+        return None;
+    }
+    Some((cx / (3.0 * area2), cy / (3.0 * area2)))
 }
 
 #[cfg(test)]
@@ -287,5 +443,62 @@ mod tests {
     fn memory_accounting_positive() {
         let cell = paper_cell().with_halfspace(HalfSpace::new(vec![1.0, 0.0], -0.3));
         assert!(cell.memory_bytes() > 0);
+    }
+
+    /// The 2-D polygon fast path must agree with the dense-LP fallback on
+    /// extremes and classification for random constraint sequences.
+    #[test]
+    fn polygon_path_matches_lp_path() {
+        use rand::prelude::*;
+        use rand::rngs::StdRng;
+        let mut rng = StdRng::seed_from_u64(0x9E0);
+        for round in 0..200 {
+            let mut cell = paper_cell();
+            assert!(cell.poly.is_some(), "2-D cells carry a polygon");
+            for _ in 0..rng.random_range(0..5usize) {
+                let hs = HalfSpace::new(
+                    vec![rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)],
+                    rng.random_range(-0.6..0.6),
+                );
+                if cell.classify(&hs) == CellSide::Straddles {
+                    cell = cell.with_halfspace(hs);
+                }
+            }
+            let probe = HalfSpace::new(
+                vec![rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)],
+                rng.random_range(-0.6..0.6),
+            );
+            // LP reference on a polygon-less twin of the same H-representation.
+            let mut lp_cell = cell.clone();
+            lp_cell.poly = None;
+            match (cell.min_of(&probe), lp_cell.min_of(&probe)) {
+                (Some(a), Some(b)) => {
+                    assert!((a - b).abs() < 1e-6, "round {round}: min {a} vs lp {b}")
+                }
+                (a, b) => assert_eq!(a.is_some(), b.is_some(), "round {round}"),
+            }
+            match (cell.max_of(&probe), lp_cell.max_of(&probe)) {
+                (Some(a), Some(b)) => {
+                    assert!((a - b).abs() < 1e-6, "round {round}: max {a} vs lp {b}")
+                }
+                (a, b) => assert_eq!(a.is_some(), b.is_some(), "round {round}"),
+            }
+            // Classification may legitimately differ only within EPS of a
+            // boundary; for the random probes used here it must match.
+            let (pc, lc) = (cell.classify(&probe), lp_cell.classify(&probe));
+            if pc != lc {
+                // tolerate only near-degenerate disagreement
+                let min = lp_cell.min_of(&probe).unwrap_or(0.0);
+                let max = lp_cell.max_of(&probe).unwrap_or(0.0);
+                assert!(
+                    min.abs() < 1e-6 || max.abs() < 1e-6,
+                    "round {round}: poly {pc:?} vs lp {lc:?} (min {min}, max {max})"
+                );
+            }
+            // The sample point, when it exists, lies strictly inside.
+            if let Some(p) = cell.sample_point() {
+                assert!(cell.contains(&p), "round {round}: sample escapes the cell");
+            }
+        }
     }
 }

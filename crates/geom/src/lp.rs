@@ -168,7 +168,7 @@ pub fn minimize(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> LpOutcome {
 
 fn simplex_iterate(
     tab: &mut [Vec<f64>],
-    obj: &mut Vec<f64>,
+    obj: &mut [f64],
     basis: &mut [usize],
     cols: usize,
 ) -> bool {
@@ -179,7 +179,7 @@ fn simplex_iterate(
 /// (returns false). Columns `>= forbidden_from` never enter the basis.
 fn simplex_iterate_restricted(
     tab: &mut [Vec<f64>],
-    obj: &mut Vec<f64>,
+    obj: &mut [f64],
     basis: &mut [usize],
     cols: usize,
     forbidden_from: usize,
@@ -221,6 +221,9 @@ fn simplex_iterate_restricted(
     }
 }
 
+// Gaussian pivot over parallel rows; indexed loops keep the split borrows of
+// `tab[row]` vs `tab[i]` obvious.
+#[allow(clippy::needless_range_loop)]
 fn pivot_with_obj(
     tab: &mut [Vec<f64>],
     obj: &mut [f64],
@@ -252,7 +255,7 @@ fn pivot_with_obj(
 
 fn pivot(
     tab: &mut [Vec<f64>],
-    obj: &mut Vec<f64>,
+    obj: &mut [f64],
     basis: &mut [usize],
     row: usize,
     col: usize,
@@ -378,7 +381,10 @@ mod tests {
         // linear function over a box is attained at a corner.
         for _ in 0..50 {
             let lows: Vec<f64> = (0..3).map(|_| rng.random_range(-1.0..0.5)).collect();
-            let highs: Vec<f64> = lows.iter().map(|&l| l + rng.random_range(0.1..1.0)).collect();
+            let highs: Vec<f64> = lows
+                .iter()
+                .map(|&l| l + rng.random_range(0.1..1.0))
+                .collect();
             let c: Vec<f64> = (0..3).map(|_| rng.random_range(-2.0..2.0)).collect();
             let mut a = Vec::new();
             let mut b = Vec::new();
@@ -396,7 +402,11 @@ mod tests {
             for mask in 0..8u32 {
                 let val: f64 = (0..3)
                     .map(|i| {
-                        let x = if mask & (1 << i) != 0 { highs[i] } else { lows[i] };
+                        let x = if mask & (1 << i) != 0 {
+                            highs[i]
+                        } else {
+                            lows[i]
+                        };
                         c[i] * x
                     })
                     .sum();

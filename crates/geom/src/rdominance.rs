@@ -126,7 +126,10 @@ mod tests {
     #[test]
     fn equivalent_vectors() {
         let a = [3.0, 4.0, 5.0];
-        assert_eq!(r_dominance(&a, &a, &region()), DominanceRelation::Equivalent);
+        assert_eq!(
+            r_dominance(&a, &a, &region()),
+            DominanceRelation::Equivalent
+        );
         assert!(!traditional_dominates(&a, &a));
     }
 

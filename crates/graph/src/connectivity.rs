@@ -88,7 +88,16 @@ mod tests {
     fn two_triangles_with_bridge() -> Graph {
         Graph::from_edges(
             7,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (5, 6), (4, 6)],
+            &[
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (4, 6),
+            ],
         )
     }
 
@@ -144,10 +153,10 @@ mod tests {
     #[test]
     fn induced_connectivity() {
         let g = two_triangles_with_bridge();
-        assert!(is_induced_connected(&g, &vec![true; 7]));
+        assert!(is_induced_connected(&g, &[true; 7]));
         let mut alive = vec![true; 7];
         alive[3] = false;
         assert!(!is_induced_connected(&g, &alive));
-        assert!(is_induced_connected(&g, &vec![false; 7]));
+        assert!(is_induced_connected(&g, &[false; 7]));
     }
 }

@@ -42,14 +42,29 @@ impl CascadeDelete {
     }
 }
 
+/// A position in a view's undo log, marking a state to roll back to.
+///
+/// Checkpoints are cheap (an index into the log) and strictly nested: rolling
+/// back to a checkpoint invalidates every checkpoint taken after it. This is
+/// exactly the discipline of a DFS — take a checkpoint before exploring a
+/// branch, roll back when the branch returns — and lets the global search
+/// reuse *one* view across all branches instead of cloning per branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checkpoint(usize);
+
 /// A live/dead view over an immutable [`Graph`] with incremental degree
-/// maintenance.
+/// maintenance and an undo log for O(|undone|) rollback.
 #[derive(Debug, Clone)]
 pub struct SubgraphView<'a> {
     graph: &'a Graph,
     alive: Vec<bool>,
     degree: Vec<u32>,
     num_alive: usize,
+    /// Every killed vertex, in kill order (the undo log).
+    log: Vec<VertexId>,
+    /// Epoch-stamped scratch marks used by rollback/undo (no per-call allocs).
+    mark: Vec<u32>,
+    epoch: u32,
 }
 
 impl<'a> SubgraphView<'a> {
@@ -62,6 +77,9 @@ impl<'a> SubgraphView<'a> {
             alive: vec![true; n],
             degree,
             num_alive: n,
+            log: Vec::new(),
+            mark: vec![0; n],
+            epoch: 0,
         }
     }
 
@@ -86,6 +104,9 @@ impl<'a> SubgraphView<'a> {
             alive: mask.to_vec(),
             degree,
             num_alive,
+            log: Vec::new(),
+            mark: vec![0; n],
+            epoch: 0,
         }
     }
 
@@ -166,33 +187,105 @@ impl<'a> SubgraphView<'a> {
         (total / 2) as usize
     }
 
+    /// A checkpoint of the current state; pass to [`rollback`](Self::rollback)
+    /// to restore it.
+    #[inline]
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint(self.log.len())
+    }
+
+    /// The vertices removed since `cp`, in removal order.
+    #[inline]
+    pub fn log_since(&self, cp: Checkpoint) -> &[VertexId] {
+        &self.log[cp.0..]
+    }
+
+    /// Restores every vertex removed since `cp`, in O(restored + their
+    /// incident edges), without allocating.
+    ///
+    /// Checkpoints are nested: rolling back invalidates checkpoints taken
+    /// after `cp`.
+    pub fn rollback(&mut self, cp: Checkpoint) {
+        debug_assert!(cp.0 <= self.log.len(), "rollback past the log");
+        self.restore_suffix(cp.0);
+        self.log.truncate(cp.0);
+    }
+
+    /// Revives `log[start..]` and repairs degrees (log is left untouched).
+    fn restore_suffix(&mut self, start: usize) {
+        // Epoch-stamp the restored set so neighbour repair can tell restored
+        // vertices (full degree recount) from survivors (increment).
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // wrap-around: clear stale stamps the hard way, once every 2^32
+            self.mark.fill(0);
+            self.epoch = 1;
+        }
+        let epoch = self.epoch;
+        for i in start..self.log.len() {
+            let v = self.log[i] as usize;
+            self.mark[v] = epoch;
+            self.alive[v] = true;
+            self.num_alive += 1;
+        }
+        for i in start..self.log.len() {
+            let v = self.log[i];
+            let mut d = 0u32;
+            for &u in self.graph.neighbors(v) {
+                if self.alive[u as usize] {
+                    d += 1;
+                    if self.mark[u as usize] != epoch {
+                        self.degree[u as usize] += 1;
+                    }
+                }
+            }
+            self.degree[v as usize] = d;
+        }
+    }
+
     /// Removes `seed` and then recursively removes every alive vertex whose
     /// degree drops below `k` (the DFS procedure of Algorithm 1).
     ///
     /// Returns the removal record; the caller is responsible for checking
     /// Corollary 1 (query vertex removed / no k-core left) and calling
-    /// [`undo`](Self::undo) when the deletion must be rolled back.
+    /// [`undo`](Self::undo) — or taking a [`checkpoint`](Self::checkpoint)
+    /// first and [`rollback`](Self::rollback)ing — when the deletion must be
+    /// reverted. Prefer [`delete_cascade_logged`](Self::delete_cascade_logged)
+    /// in hot loops that don't need an owned record.
     pub fn delete_cascade(&mut self, seed: VertexId, k: u32) -> CascadeDelete {
-        let mut record = CascadeDelete::default();
-        if !self.alive[seed as usize] {
-            return record;
+        let start = self.log.len();
+        self.delete_cascade_logged(seed, k);
+        CascadeDelete {
+            removed: self.log[start..].to_vec(),
         }
-        let mut stack = vec![seed];
-        self.kill(seed, &mut record);
-        while let Some(v) = stack.pop() {
+    }
+
+    /// [`delete_cascade`](Self::delete_cascade) without materializing a
+    /// record: the removals land only in the undo log (readable through
+    /// [`log_since`](Self::log_since)).
+    pub fn delete_cascade_logged(&mut self, seed: VertexId, k: u32) {
+        if !self.alive[seed as usize] {
+            return;
+        }
+        let graph = self.graph;
+        let mut cursor = self.log.len();
+        self.kill(seed);
+        // The log doubles as the work queue: vertices killed but not yet
+        // processed are exactly log[cursor..]. The cascade's fixed point (the
+        // k-core of the remainder) does not depend on processing order.
+        while cursor < self.log.len() {
+            let v = self.log[cursor];
+            cursor += 1;
             // Decrement neighbours; cascade the ones that fall below k.
-            let neighbors: Vec<VertexId> = self.graph.neighbors(v).to_vec();
-            for u in neighbors {
+            for &u in graph.neighbors(v) {
                 if self.alive[u as usize] {
                     self.degree[u as usize] -= 1;
                     if self.degree[u as usize] < k {
-                        self.kill(u, &mut record);
-                        stack.push(u);
+                        self.kill(u);
                     }
                 }
             }
         }
-        record
     }
 
     /// Removes a single vertex (no cascade), updating neighbour degrees.
@@ -201,9 +294,10 @@ impl<'a> SubgraphView<'a> {
         if !self.alive[v as usize] {
             return record;
         }
-        self.kill(v, &mut record);
-        let neighbors: Vec<VertexId> = self.graph.neighbors(v).to_vec();
-        for u in neighbors {
+        let graph = self.graph;
+        self.kill(v);
+        record.removed.push(v);
+        for &u in graph.neighbors(v) {
             if self.alive[u as usize] {
                 self.degree[u as usize] -= 1;
             }
@@ -218,106 +312,106 @@ impl<'a> SubgraphView<'a> {
     /// component containing the query vertices can still host MACs, so the
     /// global search trims the rest with this method.
     pub fn retain_component_of(&mut self, root: VertexId) -> CascadeDelete {
-        let mut record = CascadeDelete::default();
-        if !self.alive[root as usize] {
-            return record;
+        let start = self.log.len();
+        self.retain_component_of_logged(root);
+        CascadeDelete {
+            removed: self.log[start..].to_vec(),
         }
-        let reach = bfs_reachable(self.graph, root, &self.alive);
-        let to_remove: Vec<VertexId> = (0..self.alive.len() as u32)
-            .filter(|&v| self.alive[v as usize] && !reach[v as usize])
-            .collect();
-        for v in to_remove {
-            self.kill(v, &mut record);
-            let neighbors: Vec<VertexId> = self.graph.neighbors(v).to_vec();
-            for u in neighbors {
-                if self.alive[u as usize] {
-                    self.degree[u as usize] -= 1;
+    }
+
+    /// [`retain_component_of`](Self::retain_component_of) without
+    /// materializing a record.
+    pub fn retain_component_of_logged(&mut self, root: VertexId) {
+        if !self.alive[root as usize] {
+            return;
+        }
+        let graph = self.graph;
+        let reach = bfs_reachable(graph, root, &self.alive);
+        for v in 0..self.alive.len() as u32 {
+            if self.alive[v as usize] && !reach[v as usize] {
+                self.kill(v);
+                for &u in graph.neighbors(v) {
+                    if self.alive[u as usize] {
+                        self.degree[u as usize] -= 1;
+                    }
                 }
             }
         }
-        record
     }
 
     /// Restores the vertices removed by one or more deletion records.
     ///
-    /// Records must be undone in reverse order of application when they
-    /// overlap structurally; for disjoint vertex sets (which is what the
-    /// global search produces, since a vertex is removed at most once along a
-    /// branch) any order is correct.
+    /// Records must be undone in reverse order of application (most recent
+    /// first), which is what every caller naturally does; the fast path pops
+    /// the record straight off the undo log.
     pub fn undo(&mut self, record: &CascadeDelete) {
-        let mut in_removed = vec![false; 0];
-        // Lazily allocate only when needed to keep the cheap path cheap.
-        if !record.removed.is_empty() {
-            in_removed = vec![false; self.alive.len()];
+        if record.removed.is_empty() {
+            return;
         }
-        for &v in &record.removed {
-            in_removed[v as usize] = true;
-            self.alive[v as usize] = true;
-            self.num_alive += 1;
-        }
-        for &v in &record.removed {
-            let mut d = 0u32;
-            for &u in self.graph.neighbors(v) {
-                if self.alive[u as usize] {
-                    d += 1;
-                    if !in_removed[u as usize] {
-                        self.degree[u as usize] += 1;
-                    }
-                }
-            }
-            self.degree[v as usize] = d;
-        }
+        let n = record.removed.len();
+        let tail_matches = self.log.len() >= n && self.log[self.log.len() - n..] == record.removed;
+        debug_assert!(
+            tail_matches,
+            "undo out of order: the record must be the most recent removals"
+        );
+        let start = if tail_matches {
+            self.log.len() - n
+        } else {
+            // Release-mode fallback for out-of-order undo of disjoint records:
+            // rewrite the log without the record's vertices, then restore.
+            let in_record: std::collections::HashSet<VertexId> =
+                record.removed.iter().copied().collect();
+            self.log.retain(|v| !in_record.contains(v));
+            self.log.extend_from_slice(&record.removed);
+            self.log.len() - n
+        };
+        self.restore_suffix(start);
+        self.log.truncate(start);
     }
 
     /// Whether the alive subgraph still contains a connected k-core containing
-    /// every vertex of `q`. This runs a peeling pass on a scratch copy and
-    /// does not modify the view.
-    pub fn has_connected_k_core_with(&self, k: u32, q: &[VertexId]) -> bool {
+    /// every vertex of `q`. Peels on the view itself behind a checkpoint, so
+    /// the state is unchanged on return and nothing is cloned.
+    pub fn has_connected_k_core_with(&mut self, k: u32, q: &[VertexId]) -> bool {
         if q.iter().any(|&v| !self.alive[v as usize]) {
             return false;
         }
-        let mut scratch = self.clone();
-        // Peel all vertices below k.
-        let below: Vec<VertexId> = scratch
-            .alive_vertices()
-            .into_iter()
-            .filter(|&v| scratch.degree[v as usize] < k)
-            .collect();
-        for v in below {
-            if scratch.alive[v as usize] {
-                scratch.delete_cascade(v, k);
-            }
-        }
-        if q.iter().any(|&v| !scratch.alive[v as usize]) {
-            return false;
-        }
-        let reach = bfs_reachable(scratch.graph, q[0], &scratch.alive);
-        q.iter().all(|&v| reach[v as usize])
+        let cp = self.checkpoint();
+        self.peel_to_k_core_logged(k);
+        let ok = q.iter().all(|&v| self.alive[v as usize]) && {
+            let reach = bfs_reachable(self.graph, q[0], &self.alive);
+            q.iter().all(|&v| reach[v as usize])
+        };
+        self.rollback(cp);
+        ok
     }
 
     /// Peels every vertex with degree `< k` (in place) and returns the
     /// combined removal record.
     pub fn peel_to_k_core(&mut self, k: u32) -> CascadeDelete {
-        let mut record = CascadeDelete::default();
-        let below: Vec<VertexId> = self
-            .alive_vertices()
-            .into_iter()
-            .filter(|&v| self.degree[v as usize] < k)
-            .collect();
-        for v in below {
-            if self.alive[v as usize] {
-                record.merge(self.delete_cascade(v, k));
+        let start = self.log.len();
+        self.peel_to_k_core_logged(k);
+        CascadeDelete {
+            removed: self.log[start..].to_vec(),
+        }
+    }
+
+    /// [`peel_to_k_core`](Self::peel_to_k_core) without materializing a
+    /// record.
+    pub fn peel_to_k_core_logged(&mut self, k: u32) {
+        for v in 0..self.alive.len() as u32 {
+            if self.alive[v as usize] && self.degree[v as usize] < k {
+                self.delete_cascade_logged(v, k);
             }
         }
-        record
     }
 
     #[inline]
-    fn kill(&mut self, v: VertexId, record: &mut CascadeDelete) {
+    fn kill(&mut self, v: VertexId) {
         self.alive[v as usize] = false;
         self.degree[v as usize] = 0;
         self.num_alive -= 1;
-        record.removed.push(v);
+        self.log.push(v);
     }
 }
 
@@ -330,7 +424,16 @@ mod tests {
     fn chain_of_triangles() -> Graph {
         Graph::from_edges(
             7,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (5, 6), (4, 6)],
+            &[
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (4, 6),
+            ],
         )
     }
 
@@ -430,7 +533,7 @@ mod tests {
     #[test]
     fn has_connected_k_core_checks() {
         let g = two_k4_with_cut_vertex();
-        let view = SubgraphView::full(&g);
+        let mut view = SubgraphView::full(&g);
         assert!(view.has_connected_k_core_with(3, &[0, 1]));
         assert!(view.has_connected_k_core_with(3, &[5]));
         // 0 and 8 live in different 3-core components
@@ -471,5 +574,92 @@ mod tests {
         let record = view.delete_cascade(0, 2);
         assert!(record.removed_any_of(&[1, 6]));
         assert!(!record.removed_any_of(&[4, 5, 6]));
+    }
+
+    #[test]
+    fn checkpoint_rollback_restores_exact_state() {
+        let g = chain_of_triangles();
+        let mut view = SubgraphView::full(&g);
+        let cp = view.checkpoint();
+        view.delete_cascade_logged(0, 2);
+        assert!(!view.log_since(cp).is_empty());
+        assert!(view.num_alive() < 7);
+        view.rollback(cp);
+        let fresh = SubgraphView::full(&g);
+        for v in 0..7 {
+            assert_eq!(view.degree_of(v), fresh.degree_of(v));
+            assert_eq!(view.is_alive(v), fresh.is_alive(v));
+        }
+        assert_eq!(view.num_alive(), 7);
+        assert_eq!(view.num_alive_edges(), fresh.num_alive_edges());
+    }
+
+    #[test]
+    fn nested_checkpoints_roll_back_in_layers() {
+        let g = two_k4_with_cut_vertex();
+        let mut view = SubgraphView::full(&g);
+        let cp0 = view.checkpoint();
+        view.delete_cascade_logged(4, 3);
+        let alive_after_first = view.alive_vertices();
+        let cp1 = view.checkpoint();
+        view.delete_cascade_logged(0, 3);
+        view.rollback(cp1);
+        assert_eq!(view.alive_vertices(), alive_after_first);
+        view.rollback(cp0);
+        assert_eq!(view.num_alive(), 9);
+        assert_eq!(view.min_degree(), Some(2));
+    }
+
+    /// Randomized property: an arbitrary interleaving of cascades, trims, and
+    /// peels rolled back from a checkpoint restores the alive set, every
+    /// degree, and the edge count exactly.
+    #[test]
+    fn randomized_rollback_is_exact() {
+        use rand::prelude::*;
+        use rand::rngs::StdRng;
+        let mut rng = StdRng::seed_from_u64(0xC0DE);
+        for round in 0..40 {
+            let n = rng.random_range(8..40usize);
+            let mut edges = Vec::new();
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.random_range(0.0..1.0) < 0.25 {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g = Graph::from_edges(n, &edges);
+            let mut view = SubgraphView::full(&g);
+            // A few committed deletions first, so rollback does not always
+            // land on the pristine state.
+            for _ in 0..rng.random_range(0..3usize) {
+                view.delete_single(rng.random_range(0..n as u32));
+            }
+            let before_alive: Vec<bool> = (0..n as u32).map(|v| view.is_alive(v)).collect();
+            let before_deg: Vec<u32> = (0..n as u32).map(|v| view.degree_of(v)).collect();
+            let before_edges = view.num_alive_edges();
+            let cp = view.checkpoint();
+            for _ in 0..rng.random_range(1..6usize) {
+                match rng.random_range(0..3u32) {
+                    0 => view.delete_cascade_logged(rng.random_range(0..n as u32), 2),
+                    1 => view.retain_component_of_logged(rng.random_range(0..n as u32)),
+                    _ => view.peel_to_k_core_logged(rng.random_range(1..4u32)),
+                }
+            }
+            view.rollback(cp);
+            for v in 0..n as u32 {
+                assert_eq!(
+                    view.is_alive(v),
+                    before_alive[v as usize],
+                    "round {round}: alive set diverged at {v}"
+                );
+                assert_eq!(
+                    view.degree_of(v),
+                    before_deg[v as usize],
+                    "round {round}: degree diverged at {v}"
+                );
+            }
+            assert_eq!(view.num_alive_edges(), before_edges, "round {round}");
+        }
     }
 }

@@ -35,56 +35,119 @@ impl PartialOrd for HeapEntry {
     }
 }
 
+/// Reusable Dijkstra state: the distance field, the heap, and the list of
+/// vertices touched by the last run.
+///
+/// A fresh SSSP allocates `vec![INFINITY; |V|]` plus a heap every call, which
+/// dominates the cost of the many small bounded searches the MAC query path
+/// issues. A scratch instead clears only the entries the *previous* run
+/// touched, so repeated calls are allocation-free once the buffers have grown
+/// to the network size.
+#[derive(Debug, Default)]
+pub struct SsspScratch {
+    dist: Vec<f64>,
+    touched: Vec<RoadVertexId>,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl SsspScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        SsspScratch::default()
+    }
+
+    /// Runs multi-source Dijkstra, reusing this scratch's buffers, and
+    /// returns the distance field (`f64::INFINITY` beyond `bound` or for
+    /// unreachable vertices). The field stays valid until the next `run`.
+    pub fn run(
+        &mut self,
+        net: &RoadNetwork,
+        seeds: &[(RoadVertexId, f64)],
+        bound: Option<f64>,
+        allowed: Option<&[bool]>,
+    ) -> &[f64] {
+        let n = net.num_vertices();
+        // Reset only what the previous run wrote; (re)grow on size change.
+        if self.dist.len() != n {
+            self.dist.clear();
+            self.dist.resize(n, f64::INFINITY);
+        } else {
+            for &v in &self.touched {
+                self.dist[v as usize] = f64::INFINITY;
+            }
+        }
+        self.touched.clear();
+        self.heap.clear();
+
+        let bound = bound.unwrap_or(f64::INFINITY);
+        for &(s, d0) in seeds {
+            if (s as usize) < n
+                && d0 <= bound
+                && allowed.map(|a| a[s as usize]).unwrap_or(true)
+                && d0 < self.dist[s as usize]
+            {
+                if self.dist[s as usize].is_infinite() {
+                    self.touched.push(s);
+                }
+                self.dist[s as usize] = d0;
+                self.heap.push(HeapEntry {
+                    dist: d0,
+                    vertex: s,
+                });
+            }
+        }
+        while let Some(HeapEntry { dist: d, vertex: v }) = self.heap.pop() {
+            if d > self.dist[v as usize] {
+                continue;
+            }
+            if d > bound {
+                break;
+            }
+            for &(u, w) in net.neighbors(v) {
+                if let Some(allowed) = allowed {
+                    if !allowed[u as usize] {
+                        continue;
+                    }
+                }
+                let nd = d + w;
+                if nd < self.dist[u as usize] && nd <= bound {
+                    if self.dist[u as usize].is_infinite() {
+                        self.touched.push(u);
+                    }
+                    self.dist[u as usize] = nd;
+                    self.heap.push(HeapEntry {
+                        dist: nd,
+                        vertex: u,
+                    });
+                }
+            }
+        }
+        // Values strictly above the bound were never inserted, so the field
+        // needs no cleanup.
+        &self.dist
+    }
+
+    /// The distance field of the last [`run`](Self::run).
+    pub fn dist(&self) -> &[f64] {
+        &self.dist
+    }
+}
+
 /// Runs Dijkstra from multiple `(vertex, initial_distance)` seeds.
 ///
 /// `bound` limits expansion: vertices whose final distance exceeds it keep
 /// `f64::INFINITY`. `allowed` optionally restricts the search to a vertex
-/// subset (used by the G-tree to compute within-region matrices).
+/// subset (used by the G-tree to compute within-region matrices). Allocates a
+/// fresh field per call; hot paths should hold an [`SsspScratch`] instead.
 pub fn multi_source_dijkstra(
     net: &RoadNetwork,
     seeds: &[(RoadVertexId, f64)],
     bound: Option<f64>,
     allowed: Option<&[bool]>,
 ) -> Vec<f64> {
-    let n = net.num_vertices();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut heap = BinaryHeap::new();
-    for &(s, d0) in seeds {
-        if (s as usize) < n
-            && allowed.map(|a| a[s as usize]).unwrap_or(true)
-            && d0 < dist[s as usize]
-        {
-            dist[s as usize] = d0;
-            heap.push(HeapEntry { dist: d0, vertex: s });
-        }
-    }
-    let bound = bound.unwrap_or(f64::INFINITY);
-    while let Some(HeapEntry { dist: d, vertex: v }) = heap.pop() {
-        if d > dist[v as usize] {
-            continue;
-        }
-        if d > bound {
-            break;
-        }
-        for &(u, w) in net.neighbors(v) {
-            if let Some(allowed) = allowed {
-                if !allowed[u as usize] {
-                    continue;
-                }
-            }
-            let nd = d + w;
-            if nd < dist[u as usize] && nd <= bound {
-                dist[u as usize] = nd;
-                heap.push(HeapEntry {
-                    dist: nd,
-                    vertex: u,
-                });
-            }
-        }
-    }
-    // Anything beyond the bound that still got a tentative value stays; values
-    // strictly above the bound were never inserted, so no cleanup is needed.
-    dist
+    let mut scratch = SsspScratch::new();
+    scratch.run(net, seeds, bound, allowed);
+    scratch.dist
 }
 
 /// Single-source shortest distances from a road vertex.
@@ -125,8 +188,25 @@ pub fn distance_to_location(net: &RoadNetwork, dist: &[f64], loc: &Location) -> 
 /// Network distance between two locations (`dist(p, p')` of the paper);
 /// `f64::INFINITY` when they are not connected.
 pub fn location_distance(net: &RoadNetwork, a: &Location, b: &Location) -> f64 {
-    // Special-case two points on the same edge: the direct along-edge path may
-    // be shorter than any vertex-to-vertex route.
+    location_distance_bounded(net, a, b, None)
+}
+
+/// Network distance between two locations, pruning the search at `bound`
+/// (returns `f64::INFINITY` when the true distance exceeds the bound).
+///
+/// Two points on the same edge additionally bound the search by their direct
+/// along-edge cost: any strictly better route must be shorter than that, so
+/// when the along-edge path is already minimal the Dijkstra terminates after
+/// settling only the vertices closer than it — instead of the full network
+/// sweep the unbounded version pays.
+pub fn location_distance_bounded(
+    net: &RoadNetwork,
+    a: &Location,
+    b: &Location,
+    bound: Option<f64>,
+) -> f64 {
+    let mut search_bound = bound;
+    let mut along_edge = f64::INFINITY;
     if let (
         Location::OnEdge {
             u: u1,
@@ -141,15 +221,15 @@ pub fn location_distance(net: &RoadNetwork, a: &Location, b: &Location) -> f64 {
     ) = (a, b)
     {
         if u1 == u2 && v1 == v2 {
-            let via_graph = {
-                let dist = sssp_from_location(net, a, None);
-                distance_to_location(net, &dist, b)
-            };
-            return via_graph.min((o1 - o2).abs());
+            along_edge = (o1 - o2).abs();
+            if along_edge == 0.0 {
+                return 0.0;
+            }
+            search_bound = Some(search_bound.unwrap_or(f64::INFINITY).min(along_edge));
         }
     }
-    let dist = sssp_from_location(net, a, None);
-    distance_to_location(net, &dist, b)
+    let dist = sssp_from_location(net, a, search_bound);
+    distance_to_location(net, &dist, b).min(along_edge)
 }
 
 #[cfg(test)]
@@ -239,6 +319,22 @@ mod tests {
             offset: 4.0,
         };
         assert!((location_distance(&net, &p, &q) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_location_distance_respects_bound_for_on_edge_seeds() {
+        // Seeds carry the partial edge offsets; a bound below the offset must
+        // report INFINITY instead of leaking the seed distance.
+        let net = RoadNetwork::from_edges(2, &[(0, 1, 10.0)]);
+        let a = Location::OnEdge {
+            u: 0,
+            v: 1,
+            offset: 4.0,
+        };
+        let b = Location::Vertex(0);
+        assert!(location_distance_bounded(&net, &a, &b, Some(2.0)).is_infinite());
+        assert!((location_distance_bounded(&net, &a, &b, Some(5.0)) - 4.0).abs() < 1e-12);
+        assert!((location_distance(&net, &a, &b) - 4.0).abs() < 1e-12);
     }
 
     #[test]

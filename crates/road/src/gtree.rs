@@ -12,7 +12,7 @@
 //! shortest path leaves the LCA's region. Exactness against Dijkstra is
 //! enforced by the property tests of this module.
 
-use crate::dijkstra::multi_source_dijkstra;
+use crate::dijkstra::SsspScratch;
 use crate::network::{RoadNetwork, RoadVertexId};
 use std::collections::HashMap;
 
@@ -49,6 +49,45 @@ pub struct GTree {
     leaf_of: Vec<usize>,
     root: usize,
     num_vertices: usize,
+}
+
+/// Precomputed source side of a point query: the ancestor chain of the
+/// source's leaf and the distance vectors from the source to the borders of
+/// every node on that chain.
+///
+/// Query-distance evaluation probes the same few source locations (the query
+/// users) against many targets; sharing this state across targets halves the
+/// per-query work and removes the per-call source-side allocations.
+#[derive(Debug, Clone)]
+pub struct SourceState {
+    vertex: RoadVertexId,
+    leaf: usize,
+    /// Ancestor chain from the source's leaf (inclusive) to the root.
+    path: Vec<usize>,
+    /// `vecs[i]` = distances from the source to the borders of `path[i]`,
+    /// computed within that node's region.
+    vecs: Vec<Vec<f64>>,
+    /// Position of each chain node within `path`.
+    on_path: HashMap<usize, usize>,
+}
+
+impl SourceState {
+    /// The source road vertex.
+    pub fn vertex(&self) -> RoadVertexId {
+        self.vertex
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.path.len() * std::mem::size_of::<usize>()
+            + self
+                .vecs
+                .iter()
+                .map(|v| v.len() * std::mem::size_of::<f64>())
+                .sum::<usize>()
+            + self.on_path.len() * 2 * std::mem::size_of::<usize>()
+    }
 }
 
 impl GTree {
@@ -124,13 +163,44 @@ impl GTree {
 
     /// Exact shortest-path distance between two road vertices.
     pub fn dist(&self, u: RoadVertexId, v: RoadVertexId) -> f64 {
-        if u as usize >= self.num_vertices || v as usize >= self.num_vertices {
+        match self.source_state(u) {
+            Some(state) => self.dist_from_source(&state, v),
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Precomputes the source-side climb for `u` so that many point queries
+    /// from the same source (the query users of the MAC range filter) share
+    /// the ancestor chain and border-distance vectors instead of recomputing
+    /// them per target. Returns `None` for an out-of-range vertex.
+    pub fn source_state(&self, u: RoadVertexId) -> Option<SourceState> {
+        if u as usize >= self.num_vertices {
+            return None;
+        }
+        let leaf = self.leaf_of[u as usize];
+        let path = self.ancestor_chain(leaf);
+        let vecs = self.climb(u, &path);
+        let on_path = path.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        Some(SourceState {
+            vertex: u,
+            leaf,
+            path,
+            vecs,
+            on_path,
+        })
+    }
+
+    /// Exact distance from a precomputed source state to `v` (equals
+    /// `self.dist(state.vertex(), v)`).
+    pub fn dist_from_source(&self, state: &SourceState, v: RoadVertexId) -> f64 {
+        let u = state.vertex;
+        if v as usize >= self.num_vertices {
             return f64::INFINITY;
         }
         if u == v {
             return 0.0;
         }
-        let leaf_u = self.leaf_of[u as usize];
+        let leaf_u = state.leaf;
         let leaf_v = self.leaf_of[v as usize];
 
         let mut best = f64::INFINITY;
@@ -142,17 +212,17 @@ impl GTree {
         }
 
         // Ancestor chains from leaf to root.
-        let path_u = self.ancestor_chain(leaf_u);
+        let path_u = &state.path;
         let path_v = self.ancestor_chain(leaf_v);
 
         // Distance vectors from u (resp. v) to the borders of each node on its
         // ancestor chain, computed within that node's region.
-        let a_vecs = self.climb(u, &path_u);
+        let a_vecs = &state.vecs;
         let b_vecs = self.climb(v, &path_v);
 
         // Combine at every common ancestor: the true path crosses the borders
         // of the two children of the lowest ancestor whose region it stays in.
-        let set_u: HashMap<usize, usize> = path_u.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let set_u = &state.on_path;
         for (vi, &w) in path_v.iter().enumerate() {
             let Some(&ui) = set_u.get(&w) else { continue };
             // child of w on each side (the previous node on the chain);
@@ -314,6 +384,7 @@ impl GTree {
         // children before parents.
         let order: Vec<usize> = (0..self.nodes.len()).rev().collect();
         let mut region_mask = vec![false; n];
+        let mut scratch = SsspScratch::new();
         for &id in &order {
             if self.nodes[id].children.is_empty() {
                 // Leaf: full pairwise within-region distances.
@@ -326,7 +397,7 @@ impl GTree {
                 let size = vertices.len();
                 let mut matrix = vec![f64::INFINITY; size * size];
                 for (i, &v) in vertices.iter().enumerate() {
-                    let dists = multi_source_dijkstra(net, &[(v, 0.0)], None, Some(&region_mask));
+                    let dists = scratch.run(net, &[(v, 0.0)], None, Some(&region_mask));
                     for (j, &u) in vertices.iter().enumerate() {
                         matrix[i * size + j] = dists[u as usize];
                     }
@@ -427,10 +498,7 @@ fn reduced_dijkstra(adj: &[Vec<(usize, f64)>], source: usize) -> Vec<f64> {
 /// Splits a vertex set into two balanced halves by growing BFS regions from
 /// two far-apart seeds. Disconnected leftovers are appended to the smaller
 /// half; a degenerate split falls back to halving the list.
-fn bisect(
-    net: &RoadNetwork,
-    vertices: &[RoadVertexId],
-) -> (Vec<RoadVertexId>, Vec<RoadVertexId>) {
+fn bisect(net: &RoadNetwork, vertices: &[RoadVertexId]) -> (Vec<RoadVertexId>, Vec<RoadVertexId>) {
     use std::collections::VecDeque;
     let set: HashMap<RoadVertexId, ()> = vertices.iter().map(|&v| (v, ())).collect();
     let in_set = |v: RoadVertexId| set.contains_key(&v);
@@ -575,7 +643,7 @@ mod tests {
     fn leaf_regions_partition_vertices() {
         let net = grid(5, 5);
         let tree = GTree::build_with_capacity(&net, 5);
-        let mut seen = vec![false; 25];
+        let mut seen = [false; 25];
         for region in tree.leaf_regions() {
             assert!(region.len() <= 5);
             for v in region {

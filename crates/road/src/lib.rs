@@ -11,9 +11,14 @@
 //! * [`network::RoadNetwork`] — the weighted graph plus [`network::Location`]
 //!   (a point on a vertex or part-way along an edge).
 //! * [`dijkstra`] — exact single-source / multi-source / bounded shortest
-//!   paths used everywhere else.
-//! * [`querydist::QueryDistanceIndex`] — per-query-user distance fields, the
-//!   range filter of Lemma 1 and query-distance evaluation (Definition 2).
+//!   paths, plus [`dijkstra::SsspScratch`] so repeated searches reuse their
+//!   buffers instead of allocating per call.
+//! * [`oracle::DistanceOracle`] — the abstraction the MAC query path talks
+//!   to: Dijkstra with a pooled scratch, or distances assembled from the
+//!   G-tree. Both are exact; the choice is purely performance.
+//! * [`querydist::QueryDistanceIndex`] — per-query-user distance evaluation,
+//!   the range filter of Lemma 1 and query-distance evaluation
+//!   (Definition 2), served by either oracle backend.
 //! * [`gtree::GTree`] — a hierarchical graph-partition index in the spirit of
 //!   the G-tree [Zhong et al., TKDE'15] the paper uses to accelerate range
 //!   queries; our variant assembles within-region border matrices bottom-up
@@ -22,11 +27,13 @@
 pub mod dijkstra;
 pub mod gtree;
 pub mod network;
+pub mod oracle;
 pub mod querydist;
 
-pub use dijkstra::{bounded_sssp, sssp, sssp_from_location};
+pub use dijkstra::{bounded_sssp, sssp, sssp_from_location, SsspScratch};
 pub use gtree::GTree;
 pub use network::{Location, RoadNetwork, RoadNetworkBuilder, RoadVertexId};
+pub use oracle::{DistanceOracle, OracleChoice, ScratchPool};
 pub use querydist::QueryDistanceIndex;
 
 /// Errors produced by the road substrate.

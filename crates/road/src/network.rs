@@ -210,7 +210,7 @@ impl RoadNetworkBuilder {
             adj[v as usize].push((u, w));
         }
         for list in &mut adj {
-            list.sort_by(|a, b| a.0.cmp(&b.0));
+            list.sort_by_key(|a| a.0);
         }
         RoadNetwork {
             adj,
@@ -340,7 +340,7 @@ mod tests {
     fn edge_iterator_canonical() {
         let net = small_net();
         let mut edges: Vec<_> = net.edges().collect();
-        edges.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        edges.sort_by_key(|a| (a.0, a.1));
         assert_eq!(edges.len(), 4);
         assert_eq!(edges[0], (0, 1, 2.0));
         assert_eq!(edges[3], (2, 3, 1.5));

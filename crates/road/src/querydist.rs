@@ -5,19 +5,52 @@
 //! query distance of a community `H` is the maximum over its members. Lemma 1
 //! states that users with `D_Q(v) > t` can never belong to an MAC, so the MAC
 //! search first filters the social network with a road-network range query.
-//! [`QueryDistanceIndex`] precomputes one (optionally bounded) distance field
-//! per query location and answers all of these questions.
+//!
+//! [`QueryDistanceIndex`] answers all of these questions through either
+//! backend of the [`DistanceOracle`]:
+//!
+//! * **Dijkstra**: one (bounded) SSSP per query location, materialized into a
+//!   flat row-major `|Q| × |V|` distance matrix; evaluation then indexes the
+//!   matrix. One allocation for the matrix, scratch state pooled.
+//! * **G-tree**: no fields at all — each evaluation assembles the exact
+//!   distance from the G-tree's border matrices, reusing one precomputed
+//!   source-side climb per query location. This is the paper's accelerator:
+//!   with `|Q|` locations probed against `m ≪ |V|·|Q|` user locations, point
+//!   queries beat sweeping the whole road network.
 
-use crate::dijkstra::{distance_to_location, sssp_from_location};
+use crate::dijkstra::distance_to_location;
+use crate::gtree::{GTree, SourceState};
 use crate::network::{Location, RoadNetwork};
+use crate::oracle::{along_edge_distance, location_seeds, DistanceOracle, ScratchPool};
 
-/// Precomputed distance fields from every query location.
+/// One query location prepared for repeated G-tree point queries: the seeds
+/// (`(vertex, offset)` pairs) with their precomputed source-side climbs.
+#[derive(Debug, Clone)]
+struct GTreeSource {
+    location: Location,
+    seeds: Vec<(SourceState, f64)>,
+}
+
+#[derive(Debug, Clone)]
+enum Backend<'a> {
+    /// Row-major `num_queries × num_vertices` distance matrix.
+    Fields {
+        matrix: Vec<f64>,
+        num_vertices: usize,
+    },
+    /// Prepared per-query-location G-tree states.
+    GTree {
+        tree: &'a GTree,
+        sources: Vec<GTreeSource>,
+    },
+}
+
+/// Distance fields / point-query states from every query location.
 #[derive(Debug, Clone)]
 pub struct QueryDistanceIndex<'a> {
     net: &'a RoadNetwork,
-    /// `fields[i][r]` = network distance from query location `i` to road
-    /// vertex `r` (`f64::INFINITY` when unreachable or beyond the bound).
-    fields: Vec<Vec<f64>>,
+    query_locations: Vec<Location>,
+    backend: Backend<'a>,
     bound: Option<f64>,
 }
 
@@ -28,16 +61,75 @@ impl<'a> QueryDistanceIndex<'a> {
     /// beyond the bound are reported as `f64::INFINITY`, which is sound for
     /// the Lemma-1 filter and for any threshold check with threshold `<= t`.
     pub fn build(net: &'a RoadNetwork, query_locations: &[Location], bound: Option<f64>) -> Self {
-        let fields = query_locations
-            .iter()
-            .map(|loc| sssp_from_location(net, loc, bound))
-            .collect();
-        QueryDistanceIndex { net, fields, bound }
+        let oracle = DistanceOracle::dijkstra();
+        Self::build_with_oracle(net, &oracle, query_locations, bound)
+    }
+
+    /// Builds the index through an explicit [`DistanceOracle`].
+    ///
+    /// The G-tree backend ignores `bound` (point queries are exact and never
+    /// sweep), so its distances are exact even past the bound; every
+    /// threshold predicate agrees between the backends for thresholds
+    /// `<= bound`.
+    pub fn build_with_oracle(
+        net: &'a RoadNetwork,
+        oracle: &DistanceOracle<'a>,
+        query_locations: &[Location],
+        bound: Option<f64>,
+    ) -> Self {
+        let backend = match oracle {
+            DistanceOracle::Dijkstra(pool) => Self::build_fields(net, pool, query_locations, bound),
+            DistanceOracle::GTree(tree) => {
+                let sources = query_locations
+                    .iter()
+                    .map(|loc| GTreeSource {
+                        location: *loc,
+                        seeds: location_seeds(net, loc)
+                            .into_iter()
+                            .filter(|&(_, off)| off.is_finite())
+                            .filter_map(|(v, off)| tree.source_state(v).map(|s| (s, off)))
+                            .collect(),
+                    })
+                    .collect();
+                Backend::GTree { tree, sources }
+            }
+        };
+        QueryDistanceIndex {
+            net,
+            query_locations: query_locations.to_vec(),
+            backend,
+            bound,
+        }
+    }
+
+    fn build_fields(
+        net: &RoadNetwork,
+        pool: &ScratchPool,
+        query_locations: &[Location],
+        bound: Option<f64>,
+    ) -> Backend<'static> {
+        let n = net.num_vertices();
+        let mut matrix = vec![f64::INFINITY; n * query_locations.len()];
+        pool.with_scratch(|scratch| {
+            for (i, loc) in query_locations.iter().enumerate() {
+                let field = scratch.run(net, &location_seeds(net, loc), bound, None);
+                matrix[i * n..(i + 1) * n].copy_from_slice(field);
+            }
+        });
+        Backend::Fields {
+            matrix,
+            num_vertices: n,
+        }
     }
 
     /// Number of query locations the index was built for.
     pub fn num_queries(&self) -> usize {
-        self.fields.len()
+        self.query_locations.len()
+    }
+
+    /// The query locations themselves.
+    pub fn query_locations(&self) -> &[Location] {
+        &self.query_locations
     }
 
     /// The bound the index was built with, if any.
@@ -45,31 +137,84 @@ impl<'a> QueryDistanceIndex<'a> {
         self.bound
     }
 
+    /// Whether the index answers from the G-tree backend.
+    pub fn is_gtree_backed(&self) -> bool {
+        matches!(self.backend, Backend::GTree { .. })
+    }
+
     /// Approximate memory footprint in bytes (used by the Fig. 11(d) memory
     /// accounting harness).
     pub fn memory_bytes(&self) -> usize {
-        self.fields
-            .iter()
-            .map(|f| f.len() * std::mem::size_of::<f64>())
-            .sum::<usize>()
-            + std::mem::size_of::<Self>()
+        let backend = match &self.backend {
+            Backend::Fields { matrix, .. } => matrix.len() * std::mem::size_of::<f64>(),
+            Backend::GTree { sources, .. } => sources
+                .iter()
+                .flat_map(|s| s.seeds.iter())
+                .map(|(state, _)| state.memory_bytes())
+                .sum(),
+        };
+        backend + std::mem::size_of::<Self>()
+    }
+
+    /// Distance from query location `i` to an arbitrary location.
+    fn distance_from_query(&self, i: usize, loc: &Location) -> f64 {
+        match &self.backend {
+            Backend::Fields {
+                matrix,
+                num_vertices,
+            } => {
+                let row = &matrix[i * num_vertices..(i + 1) * num_vertices];
+                let via_vertices = distance_to_location(self.net, row, loc);
+                via_vertices.min(along_edge_distance(&self.query_locations[i], loc))
+            }
+            Backend::GTree { tree, sources } => {
+                let source = &sources[i];
+                let target_seeds = location_seeds(self.net, loc);
+                let mut best = along_edge_distance(&source.location, loc);
+                for &(ref state, off_src) in &source.seeds {
+                    for &(target, off_dst) in &target_seeds {
+                        if !off_dst.is_finite() {
+                            continue;
+                        }
+                        let cand = off_src + tree.dist_from_source(state, target) + off_dst;
+                        if cand < best {
+                            best = cand;
+                        }
+                    }
+                }
+                best
+            }
+        }
     }
 
     /// Query distance `D_Q` of an arbitrary location: the maximum over all
     /// query locations of the network distance to it.
     pub fn query_distance(&self, loc: &Location) -> f64 {
-        self.fields
-            .iter()
-            .map(|field| distance_to_location(self.net, field, loc))
+        (0..self.num_queries())
+            .map(|i| self.distance_from_query(i, loc))
             .fold(0.0_f64, f64::max)
     }
 
     /// Query distance of a road vertex.
     pub fn query_distance_of_vertex(&self, v: u32) -> f64 {
-        self.fields
-            .iter()
-            .map(|field| field[v as usize])
-            .fold(0.0_f64, f64::max)
+        match &self.backend {
+            Backend::Fields {
+                matrix,
+                num_vertices,
+            } => (0..self.num_queries())
+                .map(|i| matrix[i * num_vertices + v as usize])
+                .fold(0.0_f64, f64::max),
+            Backend::GTree { tree, sources } => sources
+                .iter()
+                .map(|source| {
+                    source
+                        .seeds
+                        .iter()
+                        .map(|(state, off)| off + tree.dist_from_source(state, v))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .fold(0.0_f64, f64::max),
+        }
     }
 
     /// Query distance of a community given the locations of its members
@@ -188,7 +333,11 @@ mod tests {
                 (4, 5, 4.0), // r5 - r6
             ],
         );
-        let q = [Location::vertex(1), Location::vertex(2), Location::vertex(5)];
+        let q = [
+            Location::vertex(1),
+            Location::vertex(2),
+            Location::vertex(5),
+        ];
         let idx = QueryDistanceIndex::build(&net, &q, None);
         assert!((idx.query_distance_of_vertex(6) - 7.0).abs() < 1e-12);
         let h = [
@@ -205,5 +354,66 @@ mod tests {
         let net = grid3();
         let idx = QueryDistanceIndex::build(&net, &[Location::vertex(0)], None);
         assert!(idx.memory_bytes() >= 9 * std::mem::size_of::<f64>());
+    }
+
+    #[test]
+    fn same_edge_locations_use_the_along_edge_path() {
+        // A single heavy edge: two interior points are 1 apart along the edge
+        // even though the endpoint detours cost 9 / 11.
+        let net = RoadNetwork::from_edges(2, &[(0, 1, 10.0)]);
+        let q = Location::OnEdge {
+            u: 0,
+            v: 1,
+            offset: 4.0,
+        };
+        let member = Location::OnEdge {
+            u: 0,
+            v: 1,
+            offset: 5.0,
+        };
+        let idx = QueryDistanceIndex::build(&net, &[q], None);
+        assert!((idx.query_distance(&member) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gtree_backend_matches_dijkstra_backend() {
+        use crate::gtree::GTree;
+        let net = grid3();
+        let tree = GTree::build_with_capacity(&net, 4);
+        let q = [
+            Location::vertex(0),
+            Location::OnEdge {
+                u: 4,
+                v: 5,
+                offset: 0.25,
+            },
+        ];
+        let dij = QueryDistanceIndex::build(&net, &q, None);
+        let oracle = DistanceOracle::GTree(&tree);
+        let gt = QueryDistanceIndex::build_with_oracle(&net, &oracle, &q, None);
+        assert!(gt.is_gtree_backed() && !dij.is_gtree_backed());
+        for v in 0..9u32 {
+            let a = dij.query_distance_of_vertex(v);
+            let b = gt.query_distance_of_vertex(v);
+            assert!((a - b).abs() < 1e-9, "vertex {v}: fields {a} gtree {b}");
+        }
+        let probes = [
+            Location::vertex(7),
+            Location::OnEdge {
+                u: 1,
+                v: 2,
+                offset: 0.5,
+            },
+            Location::OnEdge {
+                u: 4,
+                v: 5,
+                offset: 0.75,
+            },
+        ];
+        for loc in &probes {
+            let a = dij.query_distance(loc);
+            let b = gt.query_distance(loc);
+            assert!((a - b).abs() < 1e-9, "{loc:?}: fields {a} gtree {b}");
+        }
     }
 }

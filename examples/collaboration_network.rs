@@ -33,7 +33,9 @@ fn main() {
     let query = MacQuery::new(authors.clone(), 5, dataset.default_t, region).with_top_j(2);
 
     println!("Query researchers: {:?} (k = 5)", authors);
-    let result = GlobalSearch::new(rsn, &query).run_top_j().expect("valid query");
+    let result = GlobalSearch::new(rsn, &query)
+        .run_top_j()
+        .expect("valid query");
     for (i, cell) in result.cells.iter().enumerate().take(3) {
         println!("preference partition {i}:");
         for (rank, c) in cell.communities.iter().enumerate() {
@@ -45,9 +47,13 @@ fn main() {
     // user preferences, the influential community collapses everything to one
     // score.
     if let Some(ctx) = SearchContext::build(rsn, &query).expect("valid query") {
-        let sky = skyline_communities(&ctx.local_graph, &ctx.attrs, 5);
-        println!("SkyC finds {} skyline communities (query-agnostic)", sky.len());
-        let influ = Influ::new(&ctx.local_graph, &ctx.attrs);
+        let attr_rows = ctx.attrs.to_rows();
+        let sky = skyline_communities(&ctx.local_graph, &attr_rows, 5);
+        println!(
+            "SkyC finds {} skyline communities (query-agnostic)",
+            sky.len()
+        );
+        let influ = Influ::new(&ctx.local_graph, &attr_rows);
         let top = influ.top_r(5, 1, query.region.pivot().reduced());
         if let Some(c) = top.first() {
             println!(

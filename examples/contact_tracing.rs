@@ -21,8 +21,14 @@ fn main() {
         n: 2_000,
         attach_m: 3,
         planted: vec![
-            PlantedGroup { size: 40, degree: 12 },
-            PlantedGroup { size: 25, degree: 8 },
+            PlantedGroup {
+                size: 40,
+                degree: 12,
+            },
+            PlantedGroup {
+                size: 25,
+                degree: 8,
+            },
         ],
         seed: 7,
     });
@@ -41,7 +47,7 @@ fn main() {
     let query = MacQuery::new(cases.clone(), 4, 20.0, region);
 
     let result = LocalSearch::new(&rsn, &query)
-        .with_max_candidates(16)
+        .with_max_candidates(64)
         .run_non_contained()
         .expect("valid query");
 

@@ -15,7 +15,9 @@ fn main() {
     // R = [0.1, 0.5] x [0.2, 0.4], top-2 MACs.
     let query = MacQuery::new(vec![1, 2, 5], 3, 9.0, paper_region()).with_top_j(2);
 
-    let global = GlobalSearch::new(&rsn, &query).run_top_j().expect("valid query");
+    let global = GlobalSearch::new(&rsn, &query)
+        .run_top_j()
+        .expect("valid query");
     println!(
         "GS-T: {} partition(s) of R, {} distinct communities, (k,t)-core size {}",
         global.num_cells(),

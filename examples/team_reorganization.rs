@@ -19,7 +19,10 @@ fn main() {
     let social = generate_social(&SocialConfig {
         n: 400,
         attach_m: 3,
-        planted: vec![PlantedGroup { size: 30, degree: 10 }],
+        planted: vec![PlantedGroup {
+            size: 30,
+            degree: 10,
+        }],
         seed: 42,
     });
     let road = generate_road(&RoadConfig::with_size(400, 42));
@@ -35,7 +38,9 @@ fn main() {
     let region = PrefRegion::from_ranges(&[(0.4, 0.6), (0.15, 0.3)]).unwrap();
     let query = MacQuery::new(anchors.clone(), 6, 25.0, region).with_top_j(3);
 
-    let result = GlobalSearch::new(&rsn, &query).run_top_j().expect("valid query");
+    let result = GlobalSearch::new(&rsn, &query)
+        .run_top_j()
+        .expect("valid query");
     println!(
         "Rebuilding the team around players {:?} (k = 6, t = 25):",
         anchors
@@ -50,7 +55,12 @@ fn main() {
             cell.sample_weight
         );
         for (rank, c) in cell.communities.iter().enumerate() {
-            println!("  top-{} roster ({} players): {:?}", rank + 1, c.len(), c.vertices);
+            println!(
+                "  top-{} roster ({} players): {:?}",
+                rank + 1,
+                c.len(),
+                c.vertices
+            );
         }
     }
 }

@@ -2,8 +2,8 @@
 //! spanning every crate: datagen → road filter → (k,t)-core → r-dominance
 //! graph → global and local search.
 
-use road_social_mac::core::{GlobalSearch, LocalSearch, MacQuery, SearchContext};
 use road_social_mac::core::peel::peel_at_weight;
+use road_social_mac::core::{GlobalSearch, LocalSearch, MacQuery, SearchContext};
 use road_social_mac::datagen::paper_example::{paper_example_network, paper_region};
 
 /// Q = {v2, v3, v6} (ids 1, 2, 5), k = 3, t = 9 — the setting of Example 2.

@@ -6,7 +6,9 @@
 
 use proptest::prelude::*;
 use road_social_mac::core::peel::peel_at_weight;
-use road_social_mac::core::{GlobalSearch, LocalSearch, MacQuery, RoadSocialNetwork, SearchContext};
+use road_social_mac::core::{
+    GlobalSearch, LocalSearch, MacQuery, RoadSocialNetwork, SearchContext,
+};
 use road_social_mac::datagen::attrs::{generate_attrs, AttrDistribution};
 use road_social_mac::datagen::locations::{assign_locations, LocationConfig};
 use road_social_mac::datagen::road::{generate_road, RoadConfig};
@@ -26,7 +28,13 @@ fn random_network(seed: u64, n_users: usize, d: usize) -> (RoadSocialNetwork, Ve
         seed,
     });
     let road = generate_road(&RoadConfig::with_size(n_users / 2, seed ^ 0x5EED));
-    let attrs = generate_attrs(n_users, d, AttrDistribution::Independent, 10.0, seed ^ 0xA77);
+    let attrs = generate_attrs(
+        n_users,
+        d,
+        AttrDistribution::Independent,
+        10.0,
+        seed ^ 0xA77,
+    );
     let locations = assign_locations(
         &road,
         n_users,
@@ -47,7 +55,12 @@ fn random_network(seed: u64, n_users: usize, d: usize) -> (RoadSocialNetwork, Ve
 fn region_for(d: usize, sigma: f64) -> PrefRegion {
     let center = 1.0 / d as f64;
     let ranges: Vec<(f64, f64)> = (0..d - 1)
-        .map(|_| ((center - sigma / 2.0).max(0.0), (center + sigma / 2.0).min(1.0)))
+        .map(|_| {
+            (
+                (center - sigma / 2.0).max(0.0),
+                (center + sigma / 2.0).min(1.0),
+            )
+        })
         .collect();
     PrefRegion::from_ranges(&ranges).unwrap()
 }

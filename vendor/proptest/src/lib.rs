@@ -1,0 +1,140 @@
+//! Vendored stand-in for `proptest` covering the API subset the workspace's
+//! property tests use: the `proptest!` macro with a `#![proptest_config]`
+//! header, range strategies over integers and floats, and
+//! `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Instead of random sampling with shrinking, each argument range is swept
+//! with an evenly spaced, deterministic grid of `cases` values, so failures
+//! reproduce exactly and CI runs are stable. That trades shrinking power for
+//! determinism — a reasonable deal for the cross-crate consistency suites
+//! this workspace runs.
+
+use std::ops::Range;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of deterministic cases per test.
+    pub cases: u32,
+    /// Accepted for API compatibility; unused by the deterministic sweep.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 16,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// A value source for one macro argument (`x in strategy`).
+pub trait Strategy {
+    /// The produced value type.
+    type Value;
+    /// Returns the value for deterministic case `case` of `cases`.
+    fn pick(&self, case: u64, cases: u64) -> Self::Value;
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn pick(&self, case: u64, cases: u64) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (span * case as u128 / cases.max(1) as u128).min(span - 1);
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn pick(&self, case: u64, cases: u64) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let frac = (case as $t + 0.5) / cases.max(1) as $t;
+                self.start + frac * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_strategy!(f32, f64);
+
+/// Assertion inside a property (maps to `assert!` in the deterministic sweep).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Equality assertion inside a property (maps to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Declares property tests swept over deterministic value grids.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($config:expr)
+      $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strategy:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let cases = config.cases.max(1) as u64;
+                for case in 0..cases {
+                    $( let $arg = $crate::Strategy::pick(&($strategy), case, cases); )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+        #[test]
+        fn sweeps_cover_the_range(x in 0u64..100, f in 0.5f64..1.5) {
+            prop_assert!(x < 100);
+            prop_assert!((0.5..1.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn int_grid_is_monotonic_and_in_range() {
+        let values: Vec<u64> = (0..8).map(|c| Strategy::pick(&(10u64..50), c, 8)).collect();
+        assert!(values.windows(2).all(|w| w[0] <= w[1]));
+        assert!(values.iter().all(|&v| (10..50).contains(&v)));
+        prop_assert_eq!(values[0], 10);
+    }
+}

@@ -1,0 +1,217 @@
+//! Vendored stand-in for the `rand` crate (0.9 API surface).
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! the subset of `rand` it actually calls: `StdRng::seed_from_u64`,
+//! `Rng::random_range` over integer and float ranges, `Rng::random`, and
+//! slice `shuffle`. The generator is xoshiro256++ seeded via SplitMix64, so
+//! every dataset and test input is deterministic across runs and platforms.
+
+pub mod rngs;
+pub mod seq;
+
+/// Core entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding interface (only the `u64` entry point is provided).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from a range (half-open or inclusive).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Samples a value of a type with a standard uniform distribution.
+    fn random<T>(&mut self) -> T
+    where
+        T: Standard,
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Maps 64 random bits to a uniform `f64` in `[0, 1)`.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types samplable with a standard uniform distribution.
+pub trait Standard: Sized {
+    /// Samples one value.
+    fn from_rng<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_rng<R: RngCore>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for u64 {
+    fn from_rng<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn from_rng<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn from_rng<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that can produce a uniform sample of `T`.
+pub trait SampleRange<T> {
+    /// Draws one sample from the range.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Element types uniformly samplable from a range.
+///
+/// Mirroring upstream `rand`, the blanket `SampleRange` impls below tie the
+/// range's element type to the sampled type with a single type parameter, so
+/// float-literal ranges (`-0.5..0.5`) infer cleanly from the use site.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Samples from the half-open range `[start, end)`.
+    fn sample_half_open<R: RngCore>(rng: &mut R, start: Self, end: Self) -> Self;
+    /// Samples from the closed range `[start, end]`.
+    fn sample_inclusive<R: RngCore>(rng: &mut R, start: Self, end: Self) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample from empty range");
+        T::sample_inclusive(rng, start, end)
+    }
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore>(rng: &mut R, start: Self, end: Self) -> Self {
+                let span = (end as i128 - start as i128) as u128;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (start as i128 + off) as $t
+            }
+            fn sample_inclusive<R: RngCore>(rng: &mut R, start: Self, end: Self) -> Self {
+                let span = (end as i128 - start as i128 + 1) as u128;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore>(rng: &mut R, start: Self, end: Self) -> Self {
+                start + (unit_f64(rng.next_u64()) as $t) * (end - start)
+            }
+            fn sample_inclusive<R: RngCore>(rng: &mut R, start: Self, end: Self) -> Self {
+                Self::sample_half_open(rng, start, end)
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f32, f64);
+
+/// Common imports, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SampleRange, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x: u32 = a.random_range(3..17);
+            let y: u32 = b.random_range(3..17);
+            assert_eq!(x, y);
+            assert!((3..17).contains(&x));
+            let f = a.random_range(-2.0..5.0);
+            assert!((-2.0..5.0).contains(&f));
+            b.random_range(-2.0..5.0);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "shuffle should move at least one element");
+    }
+
+    #[test]
+    fn unit_floats_cover_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        assert!(lo < 0.01 && hi > 0.99);
+    }
+}

@@ -1,0 +1,16 @@
+//! Vendored stand-in for `serde`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as forward
+//! declarations of serializability — nothing actually serializes through
+//! serde yet (the benchmark harness writes its JSON by hand). Since the build
+//! environment cannot reach crates.io, this crate provides the two trait
+//! names as markers plus no-op derives, so the annotations compile and a
+//! future PR can swap in the real serde without touching call sites.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types declared serializable.
+pub trait Serialize {}
+
+/// Marker for types declared deserializable.
+pub trait Deserialize {}

@@ -1,0 +1,39 @@
+//! No-op `Serialize` / `Deserialize` derives for the vendored serde stub.
+//!
+//! Emits an empty marker-trait impl for the derived type. Written against the
+//! bare `proc_macro` API (no `syn`/`quote` — the build environment has no
+//! registry access), so it supports exactly what the workspace derives on:
+//! non-generic structs and enums.
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(kw) = &tt {
+            let kw = kw.to_string();
+            if kw == "struct" || kw == "enum" {
+                for tt in tokens.by_ref() {
+                    if let TokenTree::Ident(name) = tt {
+                        return format!("impl {trait_path} for {name} {{}}")
+                            .parse()
+                            .expect("generated impl parses");
+                    }
+                }
+            }
+        }
+    }
+    panic!("serde stub derive supports only plain structs and enums");
+}
+
+/// Derives the `Serialize` marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize")
+}
+
+/// Derives the `Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize")
+}

@@ -8,6 +8,7 @@
 //! weighted sum of its d attributes under one concrete weight vector (sampled
 //! from `R`), which is exactly how the paper adapts this baseline.
 
+use rsn_dom::attrs::AttrMatrix;
 use rsn_geom::weights::score_reduced;
 use rsn_graph::graph::{Graph, VertexId};
 use rsn_graph::subgraph::SubgraphView;
@@ -25,12 +26,12 @@ pub struct InfluentialCommunity {
 #[derive(Debug, Clone)]
 pub struct Influ<'a> {
     graph: &'a Graph,
-    attrs: &'a [Vec<f64>],
+    attrs: &'a AttrMatrix,
 }
 
 impl<'a> Influ<'a> {
-    /// Creates the baseline over a graph and the per-vertex attributes.
-    pub fn new(graph: &'a Graph, attrs: &'a [Vec<f64>]) -> Self {
+    /// Creates the baseline over a graph and the per-vertex attribute matrix.
+    pub fn new(graph: &'a Graph, attrs: &'a AttrMatrix) -> Self {
         Influ { graph, attrs }
     }
 
@@ -39,7 +40,7 @@ impl<'a> Influ<'a> {
     pub fn top_r(&self, k: u32, r: usize, reduced_w: &[f64]) -> Vec<InfluentialCommunity> {
         let scores: Vec<f64> = self
             .attrs
-            .iter()
+            .rows()
             .map(|a| score_reduced(a, reduced_w))
             .collect();
         top_r_by_scores(self.graph, &scores, k, r)
@@ -56,8 +57,8 @@ pub struct InfluPlus {
 
 impl InfluPlus {
     /// Builds the index for a fixed `k` and weight vector.
-    pub fn build(graph: &Graph, attrs: &[Vec<f64>], k: u32, reduced_w: &[f64]) -> Self {
-        let scores: Vec<f64> = attrs.iter().map(|a| score_reduced(a, reduced_w)).collect();
+    pub fn build(graph: &Graph, attrs: &AttrMatrix, k: u32, reduced_w: &[f64]) -> Self {
+        let scores: Vec<f64> = attrs.rows().map(|a| score_reduced(a, reduced_w)).collect();
         // Record every community produced along the full peeling.
         let snapshots = top_r_by_scores(graph, &scores, k, usize::MAX);
         InfluPlus { snapshots }
@@ -136,7 +137,7 @@ mod tests {
     use super::*;
 
     /// Two K4s joined by a bridge vertex; attributes favour the second K4.
-    fn setup() -> (Graph, Vec<Vec<f64>>) {
+    fn setup() -> (Graph, AttrMatrix) {
         let mut edges = vec![(3, 4), (4, 5)];
         for base in [0u32, 5u32] {
             for i in 0..4 {
@@ -146,8 +147,8 @@ mod tests {
             }
         }
         let graph = Graph::from_edges(9, &edges);
-        let attrs: Vec<Vec<f64>> = (0..9).map(|v| vec![v as f64, 2.0 * v as f64]).collect();
-        (graph, attrs)
+        let rows: Vec<Vec<f64>> = (0..9).map(|v| vec![v as f64, 2.0 * v as f64]).collect();
+        (graph, AttrMatrix::from_rows(&rows))
     }
 
     #[test]

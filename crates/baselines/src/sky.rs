@@ -11,6 +11,7 @@
 //! minimum-`x_1` vertices while a k-core survives — and both blow up with d,
 //! which is the behaviour the comparison figures report.
 
+use rsn_dom::attrs::AttrMatrix;
 use rsn_geom::rdominance::traditional_dominates;
 use rsn_graph::graph::{Graph, VertexId};
 use rsn_graph::subgraph::SubgraphView;
@@ -25,8 +26,8 @@ pub struct SkylineCommunity {
 }
 
 /// The basic skyline community algorithm (`Sky`).
-pub fn skyline_communities(graph: &Graph, attrs: &[Vec<f64>], k: u32) -> Vec<SkylineCommunity> {
-    let d = attrs.first().map(|a| a.len()).unwrap_or(0);
+pub fn skyline_communities(graph: &Graph, attrs: &AttrMatrix, k: u32) -> Vec<SkylineCommunity> {
+    let d = attrs.dim();
     let alive = vec![true; graph.num_vertices()];
     let mut out = Vec::new();
     recurse(graph, attrs, k, d, &alive, false, &mut out);
@@ -37,10 +38,10 @@ pub fn skyline_communities(graph: &Graph, attrs: &[Vec<f64>], k: u32) -> Vec<Sky
 /// calls thanks to threshold pruning.
 pub fn skyline_communities_pruned(
     graph: &Graph,
-    attrs: &[Vec<f64>],
+    attrs: &AttrMatrix,
     k: u32,
 ) -> Vec<SkylineCommunity> {
-    let d = attrs.first().map(|a| a.len()).unwrap_or(0);
+    let d = attrs.dim();
     let alive = vec![true; graph.num_vertices()];
     let mut out = Vec::new();
     recurse(graph, attrs, k, d, &alive, true, &mut out);
@@ -49,7 +50,7 @@ pub fn skyline_communities_pruned(
 
 fn recurse(
     graph: &Graph,
-    attrs: &[Vec<f64>],
+    attrs: &AttrMatrix,
     k: u32,
     dim: usize,
     alive: &[bool],
@@ -69,14 +70,14 @@ fn recurse(
     // this dimension.
     let mut thresholds: Vec<f64> = (0..alive.len())
         .filter(|&v| alive[v])
-        .map(|v| attrs[v][dim - 1])
+        .map(|v| attrs.row(v)[dim - 1])
         .collect();
     thresholds.sort_by(f64::total_cmp);
     thresholds.dedup();
     let mut previous_count = usize::MAX;
     for &threshold in &thresholds {
         let constrained: Vec<bool> = (0..alive.len())
-            .map(|v| alive[v] && attrs[v][dim - 1] >= threshold)
+            .map(|v| alive[v] && attrs.row(v)[dim - 1] >= threshold)
             .collect();
         let count = constrained.iter().filter(|&&b| b).count();
         if prune && count == previous_count {
@@ -102,7 +103,7 @@ fn recurse(
 /// minimum-value vertices of dimension `dim_index`, scored by the full vector.
 fn one_dimensional(
     graph: &Graph,
-    attrs: &[Vec<f64>],
+    attrs: &AttrMatrix,
     k: u32,
     dim_index: usize,
     alive: &[bool],
@@ -116,10 +117,9 @@ fn one_dimensional(
         }
         record(graph, attrs, &view, &mut out);
         // delete the minimum-value alive vertex in the peeling dimension
-        let min_v = view
-            .alive_vertices()
-            .into_iter()
-            .min_by(|&a, &b| attrs[a as usize][dim_index].total_cmp(&attrs[b as usize][dim_index]));
+        let min_v = view.alive_vertices().into_iter().min_by(|&a, &b| {
+            attrs.row(a as usize)[dim_index].total_cmp(&attrs.row(b as usize)[dim_index])
+        });
         let Some(v) = min_v else { break };
         view.delete_cascade(v, k);
     }
@@ -128,7 +128,7 @@ fn one_dimensional(
 
 fn record(
     graph: &Graph,
-    attrs: &[Vec<f64>],
+    attrs: &AttrMatrix,
     view: &SubgraphView<'_>,
     out: &mut Vec<SkylineCommunity>,
 ) {
@@ -141,12 +141,12 @@ fn record(
         if vertices.is_empty() {
             continue;
         }
-        let d = attrs[vertices[0] as usize].len();
+        let d = attrs.dim();
         let score: Vec<f64> = (0..d)
             .map(|i| {
                 vertices
                     .iter()
-                    .map(|&v| attrs[v as usize][i])
+                    .map(|&v| attrs.row(v as usize)[i])
                     .fold(f64::INFINITY, f64::min)
             })
             .collect();
@@ -178,7 +178,7 @@ mod tests {
     use super::*;
 
     /// Two K4s with opposite attribute strengths plus a weak bridge.
-    fn setup() -> (Graph, Vec<Vec<f64>>) {
+    fn setup() -> (Graph, AttrMatrix) {
         let mut edges = vec![(3, 4), (4, 5)];
         for base in [0u32, 5u32] {
             for i in 0..4 {
@@ -198,7 +198,7 @@ mod tests {
                 attrs.push(vec![2.0, 8.0 + v as f64 * 0.1]);
             }
         }
-        (graph, attrs)
+        (graph, AttrMatrix::from_rows(&attrs))
     }
 
     #[test]

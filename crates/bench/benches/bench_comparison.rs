@@ -40,22 +40,21 @@ fn bench_comparison(c: &mut Criterion) {
                 .unwrap()
         })
     });
-    let attr_rows = ctx.attrs.to_rows();
     group.bench_function("Influ", |b| {
-        let algo = Influ::new(&ctx.local_graph, &attr_rows);
+        let algo = Influ::new(&ctx.local_graph, &ctx.attrs);
         b.iter(|| algo.top_r(16, 10, pivot.reduced()))
     });
     group.bench_function("Influ+", |b| {
         b.iter(|| {
-            let idx = InfluPlus::build(&ctx.local_graph, &attr_rows, 16, pivot.reduced());
+            let idx = InfluPlus::build(&ctx.local_graph, &ctx.attrs, 16, pivot.reduced());
             idx.top_r(10)
         })
     });
     group.bench_function("Sky", |b| {
-        b.iter(|| skyline_communities(&ctx.local_graph, &attr_rows, 16))
+        b.iter(|| skyline_communities(&ctx.local_graph, &ctx.attrs, 16))
     });
     group.bench_function("Sky+", |b| {
-        b.iter(|| skyline_communities_pruned(&ctx.local_graph, &attr_rows, 16))
+        b.iter(|| skyline_communities_pruned(&ctx.local_graph, &ctx.attrs, 16))
     });
     group.finish();
 }

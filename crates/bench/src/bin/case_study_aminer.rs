@@ -68,8 +68,7 @@ fn main() {
 
     // Baselines on the same (k,t)-core.
     if let Some(ctx) = SearchContext::build(&rsn, &query).unwrap() {
-        let attr_rows = ctx.attrs.to_rows();
-        let sky = skyline_communities(&ctx.local_graph, &attr_rows, 5);
+        let sky = skyline_communities(&ctx.local_graph, &ctx.attrs, 5);
         println!(
             "SkyC: {} skyline communities (no query vertices, attribute-only)",
             sky.len()
@@ -77,7 +76,7 @@ fn main() {
         if let Some(first) = sky.first() {
             println!("  largest SkyC example: {} members", first.vertices.len());
         }
-        let influ = Influ::new(&ctx.local_graph, &attr_rows);
+        let influ = Influ::new(&ctx.local_graph, &ctx.attrs);
         let inf = influ.top_r(5, 1, query.region.pivot().reduced());
         if let Some(c) = inf.first() {
             println!("InfC (w = pivot of R): {} members", c.vertices.len());

@@ -101,9 +101,8 @@ fn compare(dataset: &Dataset, rsn: &RoadSocialNetwork, k: u32, d: usize) -> Row 
         };
     };
     let graph = &ctx.local_graph;
-    // The baselines still take nested rows; materialize them once per run.
-    let attr_rows = ctx.attrs.to_rows();
-    let attrs = &attr_rows;
+    // The baselines consume the flat attribute matrix directly.
+    let attrs = &ctx.attrs;
     let region = &query.region;
 
     let mut rng = StdRng::seed_from_u64(7);

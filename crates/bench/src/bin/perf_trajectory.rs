@@ -1,26 +1,37 @@
 //! Cross-PR performance trajectory recorder.
 //!
 //! Runs the MAC search algorithms on fixed datagen presets and writes
-//! `BENCH_PR1.json` (in the current directory), so later PRs can diff their
-//! wall-clock against this PR's numbers instead of guessing. Alongside the
-//! current `GlobalSearch` it measures the clone-per-branch reference replica
-//! (`rsn_bench::legacy`) — the pre-refactor baseline — and the Lemma-1
-//! (k,t)-core extraction under both distance oracles.
+//! `BENCH_PR2.json` (in the current directory), so later PRs can diff their
+//! wall-clock against this PR's numbers instead of guessing. The PR-2 record
+//! focuses on the two engine changes of this PR:
 //!
-//! Usage: `cargo run --release -p rsn-bench --bin perf_trajectory`
-//! (an optional integer argument overrides the per-measurement repetitions,
-//! default 3; the best of the repetitions is recorded).
+//! * the Lemma-1 **range filter** under its three strategies — bounded
+//!   Dijkstra sweep, per-user G-tree point queries, and the leaf-batched
+//!   G-tree evaluation — with the strategies asserted set-identical on every
+//!   preset before their timings are recorded;
+//! * **parallel global search** over independent top-level GS cells versus
+//!   the serial exploration (identical outputs, asserted).
+//!
+//! Usage: `cargo run --release -p rsn-bench --bin perf_trajectory [reps]`
+//! (`reps` overrides the per-measurement repetitions, default 3; the best of
+//! the repetitions is recorded). `--smoke` runs a single tiny preset once and
+//! writes nothing — a CI guard that keeps this binary from bit-rotting.
 
-use rsn_bench::legacy::legacy_gs_nc;
 use rsn_core::ktcore::maximal_kt_core;
-use rsn_core::{GlobalSearch, LocalSearch, MacQuery, SearchContext};
+use rsn_core::{GlobalSearch, LocalSearch, MacQuery};
 use rsn_datagen::presets::{build_preset_scaled, Dataset, PresetName, PresetScale};
 use rsn_geom::region::PrefRegion;
 use rsn_geom::weights::WeightVector;
-use rsn_road::oracle::OracleChoice;
+use rsn_road::network::Location;
+use rsn_road::rangefilter::RangeFilterChoice;
 use std::time::Instant;
 
-const OUTPUT: &str = "BENCH_PR1.json";
+const OUTPUT: &str = "BENCH_PR2.json";
+/// Worker count for the parallel-GS measurement. Fixed (rather than
+/// `available_parallelism`) so records from different machines stay
+/// comparable; the achievable speedup is still bounded by the actual cores,
+/// which the record lists alongside.
+const GS_WORKERS: usize = 4;
 
 struct PresetRow {
     label: String,
@@ -32,11 +43,12 @@ struct PresetRow {
     kt_core: usize,
     cells: usize,
     gtree_build_s: f64,
-    ktcore_dijkstra_s: f64,
-    ktcore_gtree_s: f64,
-    gs_nc_s: f64,
-    gs_nc_clone_s: f64,
-    gs_nc_legacy_s: f64,
+    filter_dijkstra_s: f64,
+    filter_gtree_point_s: f64,
+    filter_gtree_batched_s: f64,
+    ktcore_batched_s: f64,
+    gs_nc_serial_s: f64,
+    gs_nc_parallel_s: f64,
     ls_nc_s: f64,
 }
 
@@ -74,45 +86,75 @@ fn measure_preset(spec: &Spec, reps: usize) -> PresetRow {
     let center = WeightVector::uniform(3).expect("d = 3");
     let region = PrefRegion::around(&center, sigma).expect("valid region");
     let query = MacQuery::new(dataset.query_vertices(4), k, dataset.default_t, region);
-
-    // Distance-oracle trajectory: range filter with Dijkstra vs G-tree.
-    let (ktcore_dijkstra_s, core) = best_of(reps, || {
-        let q = query.clone().with_oracle(OracleChoice::Dijkstra);
-        maximal_kt_core(&dataset.rsn, &q).expect("query valid")
-    });
     let (gtree_build_s, rsn_indexed) = best_of(1, || dataset.rsn.clone().with_gtree_index());
-    let (ktcore_gtree_s, core_gt) = best_of(reps, || {
-        let q = query.clone().with_oracle(OracleChoice::GTree);
+
+    // Range-filter trajectory: the three strategies on the same inputs,
+    // proven set-identical before their timings are recorded.
+    let q_locations: Vec<Location> = query.q.iter().map(|&v| *rsn_indexed.location(v)).collect();
+    let filter_of = |choice: RangeFilterChoice| rsn_indexed.range_filter(choice);
+    let reference = filter_of(RangeFilterChoice::DijkstraSweep).users_within(
+        rsn_indexed.road(),
+        &q_locations,
+        query.t,
+        rsn_indexed.locations(),
+    );
+    for choice in [
+        RangeFilterChoice::GTreePoint,
+        RangeFilterChoice::GTreeLeafBatched,
+    ] {
+        let got = filter_of(choice).users_within(
+            rsn_indexed.road(),
+            &q_locations,
+            query.t,
+            rsn_indexed.locations(),
+        );
+        assert_eq!(got, reference, "{choice:?} disagrees with the sweep");
+    }
+    let time_filter = |choice: RangeFilterChoice| {
+        best_of(reps, || {
+            filter_of(choice).users_within(
+                rsn_indexed.road(),
+                &q_locations,
+                query.t,
+                rsn_indexed.locations(),
+            )
+        })
+        .0
+    };
+    let filter_dijkstra_s = time_filter(RangeFilterChoice::DijkstraSweep);
+    let filter_gtree_point_s = time_filter(RangeFilterChoice::GTreePoint);
+    let filter_gtree_batched_s = time_filter(RangeFilterChoice::GTreeLeafBatched);
+
+    // End-to-end (k,t)-core extraction through the batched filter.
+    let (ktcore_batched_s, core) = best_of(reps, || {
+        let q = query
+            .clone()
+            .with_range_filter(RangeFilterChoice::GTreeLeafBatched);
         maximal_kt_core(&rsn_indexed, &q).expect("query valid")
     });
-    assert_eq!(core, core_gt, "oracles must agree on the (k,t)-core");
 
-    // Global search end-to-end (context build + exploration), three
-    // configurations: the current rollback DFS, the clone-based replica on
-    // the same cell geometry (isolates the undo-log refactor), and the full
-    // pre-refactor configuration (clone-based branches + dense-LP cells).
-    let (gs_nc_s, gs) = best_of(reps, || {
+    // Global search: serial vs parallel over top-level cells, identical
+    // output asserted.
+    let (gs_nc_serial_s, gs) = best_of(reps, || {
         GlobalSearch::new(&dataset.rsn, &query)
             .run_non_contained()
             .expect("GS-NC runs")
     });
-    let (gs_nc_clone_s, legacy) = best_of(reps, || {
-        let ctx = SearchContext::build(&dataset.rsn, &query)
-            .expect("query valid")
-            .expect("core exists");
-        legacy_gs_nc(&ctx, false)
+    let (gs_nc_parallel_s, gs_par) = best_of(reps, || {
+        GlobalSearch::new(&dataset.rsn, &query)
+            .with_parallelism(GS_WORKERS)
+            .run_non_contained()
+            .expect("parallel GS-NC runs")
     });
     assert_eq!(
         gs.cells.len(),
-        legacy.len(),
-        "clone-based replica must report the same number of cells"
+        gs_par.cells.len(),
+        "parallel GS must report the same cells"
     );
-    let (gs_nc_legacy_s, _) = best_of(reps, || {
-        let ctx = SearchContext::build(&dataset.rsn, &query)
-            .expect("query valid")
-            .expect("core exists");
-        legacy_gs_nc(&ctx, true)
-    });
+    for (a, b) in gs.cells.iter().zip(&gs_par.cells) {
+        assert_eq!(a.sample_weight, b.sample_weight);
+        assert_eq!(a.communities.len(), b.communities.len());
+    }
 
     let (ls_nc_s, _) = best_of(reps, || {
         LocalSearch::new(&dataset.rsn, &query)
@@ -130,11 +172,12 @@ fn measure_preset(spec: &Spec, reps: usize) -> PresetRow {
         kt_core: core.map(|c| c.len()).unwrap_or(0),
         cells: gs.cells.len(),
         gtree_build_s,
-        ktcore_dijkstra_s,
-        ktcore_gtree_s,
-        gs_nc_s,
-        gs_nc_clone_s,
-        gs_nc_legacy_s,
+        filter_dijkstra_s,
+        filter_gtree_point_s,
+        filter_gtree_batched_s,
+        ktcore_batched_s,
+        gs_nc_serial_s,
+        gs_nc_parallel_s,
         ls_nc_s,
     }
 }
@@ -152,13 +195,15 @@ fn json_row(r: &PresetRow) -> String {
             "      \"kt_core_vertices\": {},\n",
             "      \"gs_cells\": {},\n",
             "      \"gtree_build_seconds\": {:.6},\n",
-            "      \"ktcore_dijkstra_seconds\": {:.6},\n",
-            "      \"ktcore_gtree_seconds\": {:.6},\n",
-            "      \"ktcore_gtree_speedup\": {:.3},\n",
-            "      \"gs_nc_seconds\": {:.6},\n",
-            "      \"gs_nc_clone_branches_seconds\": {:.6},\n",
-            "      \"gs_nc_legacy_seconds\": {:.6},\n",
-            "      \"gs_nc_speedup_vs_legacy\": {:.3},\n",
+            "      \"filter_dijkstra_seconds\": {:.6},\n",
+            "      \"filter_gtree_point_seconds\": {:.6},\n",
+            "      \"filter_gtree_batched_seconds\": {:.6},\n",
+            "      \"batched_vs_point_speedup\": {:.3},\n",
+            "      \"batched_vs_dijkstra_speedup\": {:.3},\n",
+            "      \"ktcore_batched_seconds\": {:.6},\n",
+            "      \"gs_nc_serial_seconds\": {:.6},\n",
+            "      \"gs_nc_parallel_seconds\": {:.6},\n",
+            "      \"gs_parallel_speedup\": {:.3},\n",
             "      \"ls_nc_seconds\": {:.6}\n",
             "    }}"
         ),
@@ -171,24 +216,61 @@ fn json_row(r: &PresetRow) -> String {
         r.kt_core,
         r.cells,
         r.gtree_build_s,
-        r.ktcore_dijkstra_s,
-        r.ktcore_gtree_s,
-        r.ktcore_dijkstra_s / r.ktcore_gtree_s.max(1e-12),
-        r.gs_nc_s,
-        r.gs_nc_clone_s,
-        r.gs_nc_legacy_s,
-        r.gs_nc_legacy_s / r.gs_nc_s.max(1e-12),
+        r.filter_dijkstra_s,
+        r.filter_gtree_point_s,
+        r.filter_gtree_batched_s,
+        r.filter_gtree_point_s / r.filter_gtree_batched_s.max(1e-12),
+        r.filter_dijkstra_s / r.filter_gtree_batched_s.max(1e-12),
+        r.ktcore_batched_s,
+        r.gs_nc_serial_s,
+        r.gs_nc_parallel_s,
+        r.gs_nc_serial_s / r.gs_nc_parallel_s.max(1e-12),
         r.ls_nc_s,
     )
 }
 
+fn print_row(row: &PresetRow) {
+    eprintln!(
+        "  kt-core {} | filter: dijkstra {:.5}s, gtree-point {:.5}s, gtree-batched {:.5}s ({:.1}x vs point) | GS-NC serial {:.4}s, parallel({GS_WORKERS}) {:.4}s ({:.2}x) | LS-NC {:.4}s",
+        row.kt_core,
+        row.filter_dijkstra_s,
+        row.filter_gtree_point_s,
+        row.filter_gtree_batched_s,
+        row.filter_gtree_point_s / row.filter_gtree_batched_s.max(1e-12),
+        row.gs_nc_serial_s,
+        row.gs_nc_parallel_s,
+        row.gs_nc_serial_s / row.gs_nc_parallel_s.max(1e-12),
+        row.ls_nc_s,
+    );
+}
+
 fn main() {
-    let reps: usize = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        // CI guard: one tiny preset, one repetition, no file output. Any
+        // regression that breaks a measured code path fails this run.
+        let spec = Spec {
+            name: PresetName::SfSlashdot,
+            label_suffix: " (smoke)",
+            social_scale: 0.1,
+            road_scale: 0.1,
+            k: 8,
+            sigma: 0.02,
+        };
+        let row = measure_preset(&spec, 1);
+        print_row(&row);
+        println!("smoke ok: {}", row.label);
+        return;
+    }
+    let reps: usize = args
+        .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(3)
         .max(1);
 
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let specs = [
         Spec {
             name: PresetName::SfSlashdot,
@@ -207,7 +289,7 @@ fn main() {
             sigma: 0.05,
         },
         // Sparse-users-on-large-road regime, closest we get to the paper's
-        // continent-scale setting for the G-tree oracle comparison.
+        // continent-scale setting for the G-tree filter comparison.
         Spec {
             name: PresetName::SfSlashdot,
             label_suffix: " (road-heavy)",
@@ -227,26 +309,16 @@ fn main() {
             spec.sigma
         );
         let row = measure_preset(spec, reps);
-        eprintln!(
-            "  kt-core {} vertices | range filter: dijkstra {:.4}s, gtree {:.4}s | GS-NC {:.4}s (clone-branches {:.4}s, pre-refactor {:.4}s, {:.2}x) | LS-NC {:.4}s",
-            row.kt_core,
-            row.ktcore_dijkstra_s,
-            row.ktcore_gtree_s,
-            row.gs_nc_s,
-            row.gs_nc_clone_s,
-            row.gs_nc_legacy_s,
-            row.gs_nc_legacy_s / row.gs_nc_s.max(1e-12),
-            row.ls_nc_s,
-        );
+        print_row(&row);
         rows.push(row);
     }
 
     let body: Vec<String> = rows.iter().map(json_row).collect();
     let json = format!(
-        "{{\n  \"pr\": 1,\n  \"description\": \"Perf trajectory after wiring the G-tree oracle into the MAC query path and making the GS/LS hot loops allocation-free\",\n  \"reps\": {reps},\n  \"presets\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"pr\": 2,\n  \"description\": \"Perf trajectory after the RangeFilter layer (leaf-batched G-tree evaluation) and parallel top-level GS cells; filter strategies asserted set-identical, parallel GS asserted output-identical\",\n  \"reps\": {reps},\n  \"gs_parallel_workers\": {GS_WORKERS},\n  \"available_cores\": {cores},\n  \"presets\": [\n{}\n  ]\n}}\n",
         body.join(",\n")
     );
-    std::fs::write(OUTPUT, &json).expect("write BENCH_PR1.json");
+    std::fs::write(OUTPUT, &json).expect("write BENCH_PR2.json");
     println!("{json}");
     eprintln!("wrote {OUTPUT}");
 }

@@ -13,7 +13,6 @@ use rsn_graph::core_decomp::{coreness_upper_bound, maximal_connected_k_core_cont
 use rsn_graph::graph::VertexId;
 use rsn_graph::subgraph::SubgraphView;
 use rsn_road::network::Location;
-use rsn_road::querydist::QueryDistanceIndex;
 
 /// The maximal (k,t)-core of a query, i.e. `H^t_k`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,14 +42,12 @@ pub fn maximal_kt_core(
     query.validate(rsn)?;
     let social = rsn.social();
 
-    // Lemma 1: road-network range filter, served by the query's distance
-    // oracle — G-tree point queries when the network has the index built,
-    // otherwise one Dijkstra per query location bounded at t.
+    // Lemma 1: the road-network range filter, evaluated as one set operation
+    // through the query's RangeFilter strategy (bounded Dijkstra sweep,
+    // per-user G-tree point queries, or the leaf-batched G-tree walk).
     let q_locations: Vec<Location> = query.q.iter().map(|&v| *rsn.location(v)).collect();
-    let oracle = rsn.distance_oracle(query.oracle);
-    let qdi =
-        QueryDistanceIndex::build_with_oracle(rsn.road(), &oracle, &q_locations, Some(query.t));
-    let within = qdi.within_threshold(rsn.locations(), query.t);
+    let filter = rsn.range_filter(query.effective_filter());
+    let within = filter.users_within(rsn.road(), &q_locations, query.t, rsn.locations());
     if query.q.iter().any(|&v| !within[v as usize]) {
         // some query users are farther than t from each other
         return Ok(None);
@@ -167,6 +164,34 @@ mod tests {
                 maximal_kt_core(&rsn, &gt).unwrap(),
                 "oracles disagree for k={k}, t={t}"
             );
+        }
+    }
+
+    #[test]
+    fn all_range_filter_strategies_yield_identical_kt_cores() {
+        use rsn_road::rangefilter::RangeFilterChoice;
+        let rsn = network().with_gtree_index_capacity(4);
+        let strategies = [
+            RangeFilterChoice::Auto,
+            RangeFilterChoice::DijkstraSweep,
+            RangeFilterChoice::GTreePoint,
+            RangeFilterChoice::GTreeLeafBatched,
+        ];
+        for (k, t) in [(2u32, 2.0f64), (2, 100.0), (3, 2.0), (1, 11.0)] {
+            let reference = maximal_kt_core(
+                &rsn,
+                &MacQuery::new(vec![0], k, t, region())
+                    .with_range_filter(RangeFilterChoice::DijkstraSweep),
+            )
+            .unwrap();
+            for &choice in &strategies {
+                let q = MacQuery::new(vec![0], k, t, region()).with_range_filter(choice);
+                assert_eq!(
+                    maximal_kt_core(&rsn, &q).unwrap(),
+                    reference,
+                    "filter {choice:?} disagrees for k={k}, t={t}"
+                );
+            }
         }
     }
 

@@ -5,6 +5,7 @@ use rsn_graph::graph::{Graph, VertexId};
 use rsn_road::gtree::GTree;
 use rsn_road::network::{Location, RoadNetwork};
 use rsn_road::oracle::{DistanceOracle, OracleChoice};
+use rsn_road::rangefilter::{RangeFilter, RangeFilterChoice};
 
 /// A road-social network: a social graph whose users carry a location in a
 /// road network and a d-dimensional attribute vector (Section II-A).
@@ -108,17 +109,34 @@ impl RoadSocialNetwork {
     ///
     /// An explicit `GTree` request on a network without an index falls back
     /// to Dijkstra; the result is identical either way — the choice is purely
-    /// performance. `Auto` currently resolves to Dijkstra: the Lemma-1 filter
-    /// probes every user once, and the perf-trajectory measurements
-    /// (`BENCH_PR1.json`) show the t-bounded sweep beating per-user G-tree
-    /// point queries at every dataset scale we generate. The G-tree stays
-    /// explicitly selectable (and exactness-tested); `Auto` should start
-    /// preferring it once the leaf-batched range evaluation on the ROADMAP
-    /// lands.
+    /// performance. `Auto` currently resolves to Dijkstra for *point-wise*
+    /// evaluations; the set-valued Lemma-1 filter goes through
+    /// [`range_filter`](Self::range_filter) instead.
     pub fn distance_oracle(&self, choice: OracleChoice) -> DistanceOracle<'_> {
         match (choice, &self.gtree) {
             (OracleChoice::GTree, Some(tree)) => DistanceOracle::GTree(tree),
             _ => DistanceOracle::dijkstra(),
+        }
+    }
+
+    /// Resolves the Lemma-1 range filter for a query's [`RangeFilterChoice`].
+    ///
+    /// Every strategy is exact, so the resolution is purely a performance
+    /// decision. G-tree strategies require a built index and fall back to the
+    /// bounded Dijkstra sweep without one. `Auto` resolves to the sweep: the
+    /// leaf-batched G-tree filter closed the gap to it by 2–4 orders of
+    /// magnitude versus the per-user point path, but the t-bounded sweep
+    /// still wins outright at every dataset scale we can generate
+    /// (`BENCH_PR2.json` — the sweep's cost is the radius-t ball, which is
+    /// tiny on laptop-scale road networks). The batched filter stays
+    /// explicitly selectable for the paper's continent-scale regime.
+    pub fn range_filter(&self, choice: RangeFilterChoice) -> RangeFilter<'_> {
+        match (choice, &self.gtree) {
+            (RangeFilterChoice::GTreePoint, Some(tree)) => RangeFilter::GTreePoint(tree),
+            (RangeFilterChoice::GTreeLeafBatched, Some(tree)) => {
+                RangeFilter::GTreeLeafBatched(tree)
+            }
+            _ => RangeFilter::DijkstraSweep,
         }
     }
 

@@ -5,6 +5,7 @@ use crate::network::RoadSocialNetwork;
 use rsn_geom::region::PrefRegion;
 use rsn_graph::graph::VertexId;
 use rsn_road::oracle::OracleChoice;
+use rsn_road::rangefilter::RangeFilterChoice;
 
 /// A multi-attributed community search query (Problems 1 and 2).
 #[derive(Debug, Clone)]
@@ -20,15 +21,23 @@ pub struct MacQuery {
     /// Number of communities to report per partition (Problem 1); `1`
     /// corresponds to reporting only the top community.
     pub j: usize,
-    /// Which road-network distance oracle serves the Lemma-1 range filter and
-    /// the `D_Q` evaluations. Defaults to `Auto` (currently Dijkstra); pass
-    /// `OracleChoice::GTree` on a network built with `with_gtree_index` to
-    /// serve them from the G-tree instead.
+    /// Legacy distance-oracle knob, kept for API compatibility: since the
+    /// range filter became a set operation its only effect is on
+    /// [`effective_filter`](Self::effective_filter), where an explicit
+    /// `OracleChoice::GTree` (with `filter` left at `Auto`) selects the
+    /// per-user G-tree point path, exactly as it did before the
+    /// `RangeFilter` layer existed. Prefer
+    /// [`with_range_filter`](Self::with_range_filter) in new code.
     pub oracle: OracleChoice,
+    /// Which strategy answers the Lemma-1 range filter ("which users are
+    /// within t") as a set operation. `Auto` currently resolves to the
+    /// bounded Dijkstra sweep (the measured fastest at laptop scale, see
+    /// `BENCH_PR2.json`); all strategies return identical user sets.
+    pub filter: RangeFilterChoice,
 }
 
 impl MacQuery {
-    /// Creates a query with `j = 1` and the automatic oracle choice.
+    /// Creates a query with `j = 1` and automatic oracle / filter choices.
     pub fn new(q: Vec<VertexId>, k: u32, t: f64, region: PrefRegion) -> Self {
         MacQuery {
             q,
@@ -37,6 +46,7 @@ impl MacQuery {
             region,
             j: 1,
             oracle: OracleChoice::default(),
+            filter: RangeFilterChoice::default(),
         }
     }
 
@@ -46,10 +56,28 @@ impl MacQuery {
         self
     }
 
-    /// Selects the road-network distance oracle.
+    /// Sets the legacy oracle knob (see the [`oracle`](Self::oracle) field);
+    /// prefer [`with_range_filter`](Self::with_range_filter) in new code.
     pub fn with_oracle(mut self, oracle: OracleChoice) -> Self {
         self.oracle = oracle;
         self
+    }
+
+    /// Selects the Lemma-1 range-filter strategy.
+    pub fn with_range_filter(mut self, filter: RangeFilterChoice) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// The range-filter strategy this query resolves to, accounting for the
+    /// legacy oracle knob: an explicit `filter` wins; otherwise an explicit
+    /// `OracleChoice::GTree` keeps selecting the per-user G-tree point path it
+    /// selected before the filter layer existed.
+    pub fn effective_filter(&self) -> RangeFilterChoice {
+        match (self.filter, self.oracle) {
+            (RangeFilterChoice::Auto, OracleChoice::GTree) => RangeFilterChoice::GTreePoint,
+            (choice, _) => choice,
+        }
     }
 
     /// Validates the query against a network.

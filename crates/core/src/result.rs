@@ -71,8 +71,25 @@ pub struct SearchStats {
     pub candidates_generated: usize,
     /// Approximate peak memory of the dominance graph + arrangements, bytes.
     pub memory_bytes: usize,
+    /// Number of worker threads used by a parallel global search (0 when the
+    /// exploration ran serially on the calling thread).
+    pub parallel_workers: usize,
     /// Elapsed wall-clock time in seconds.
     pub elapsed_seconds: f64,
+}
+
+impl SearchStats {
+    /// Folds the counters of one parallel worker into this (root) record:
+    /// work counters add up, peak memory takes the maximum, and the
+    /// query-level fields (core size, dominance tests, elapsed time) keep the
+    /// root's values.
+    pub fn merge_worker(&mut self, worker: &SearchStats) {
+        self.partitions_explored += worker.partitions_explored;
+        self.halfspaces_computed += worker.halfspaces_computed;
+        self.halfspace_insertions += worker.halfspace_insertions;
+        self.candidates_generated += worker.candidates_generated;
+        self.memory_bytes = self.memory_bytes.max(worker.memory_bytes);
+    }
 }
 
 /// The answer to a MAC query: a set of cells covering (part of) `R`, each with

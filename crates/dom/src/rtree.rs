@@ -48,8 +48,8 @@ impl Mbb {
 enum RNode {
     Leaf {
         mbb: Mbb,
-        /// `(item index, attribute vector)` pairs.
-        entries: Vec<(usize, Vec<f64>)>,
+        /// Item indices (rows of the tree's point matrix).
+        entries: Vec<usize>,
     },
     Inner {
         mbb: Mbb,
@@ -58,13 +58,20 @@ enum RNode {
 }
 
 /// STR bulk-loaded R-tree.
+///
+/// The indexed points live in one flat row-major [`AttrMatrix`]; tree nodes
+/// reference them by row index, so the build sorts a single index permutation
+/// and never materializes per-point `Vec<f64>` rows.
 #[derive(Debug, Clone)]
 pub struct RTree {
     nodes: Vec<RNode>,
     root: Option<usize>,
+    points: AttrMatrix,
     dim: usize,
     fanout: usize,
 }
+
+use crate::attrs::AttrMatrix;
 
 /// Default node fanout.
 pub const DEFAULT_FANOUT: usize = 8;
@@ -75,27 +82,39 @@ impl RTree {
         Self::bulk_load_with_fanout(items, dim, DEFAULT_FANOUT)
     }
 
-    /// Bulk loads the tree from a flat row-major attribute matrix.
-    pub fn bulk_load_flat(attrs: &crate::attrs::AttrMatrix) -> Self {
-        Self::bulk_load_with_fanout(&attrs.to_rows(), attrs.dim(), DEFAULT_FANOUT)
+    /// Bulk loads the tree from a flat row-major attribute matrix, indexing
+    /// into it directly (one buffer copy, no nested rows).
+    pub fn bulk_load_flat(attrs: &AttrMatrix) -> Self {
+        Self::bulk_load_flat_with_fanout(attrs, DEFAULT_FANOUT)
     }
 
-    /// Bulk loads with an explicit fanout (minimum 2).
-    pub fn bulk_load_with_fanout(items: &[Vec<f64>], dim: usize, fanout: usize) -> Self {
+    /// [`bulk_load_flat`](Self::bulk_load_flat) with an explicit fanout
+    /// (minimum 2).
+    pub fn bulk_load_flat_with_fanout(attrs: &AttrMatrix, fanout: usize) -> Self {
         let fanout = fanout.max(2);
         let mut tree = RTree {
             nodes: Vec::new(),
             root: None,
-            dim,
+            points: attrs.clone(),
+            dim: attrs.dim(),
             fanout,
         };
-        if items.is_empty() {
+        if attrs.num_rows() == 0 {
             return tree;
         }
-        let mut indexed: Vec<(usize, Vec<f64>)> = items.iter().cloned().enumerate().collect();
-        let root = tree.build_str(&mut indexed, 0);
+        let mut order: Vec<usize> = (0..attrs.num_rows()).collect();
+        let root = build_str(&mut tree.nodes, &tree.points, tree.fanout, &mut order, 0);
         tree.root = Some(root);
         tree
+    }
+
+    /// Bulk loads with an explicit fanout (minimum 2).
+    pub fn bulk_load_with_fanout(items: &[Vec<f64>], dim: usize, fanout: usize) -> Self {
+        let mut points = AttrMatrix::new(dim);
+        for row in items {
+            points.push_row(row);
+        }
+        Self::bulk_load_flat_with_fanout(&points, fanout)
     }
 
     /// Number of indexed dimensions.
@@ -111,11 +130,11 @@ impl RTree {
     /// Approximate memory footprint in bytes (Fig. 11(d) accounting: the BBS
     /// process memory includes the R-tree over `X`).
     pub fn memory_bytes(&self) -> usize {
-        let mut total = std::mem::size_of::<Self>();
+        let mut total = std::mem::size_of::<Self>() + self.points.memory_bytes();
         for node in &self.nodes {
             total += match node {
                 RNode::Leaf { entries, .. } => {
-                    entries.len() * (std::mem::size_of::<usize>() + self.dim * 8) + 2 * self.dim * 8
+                    entries.len() * std::mem::size_of::<usize>() + 2 * self.dim * 8
                 }
                 RNode::Inner { children, .. } => {
                     children.len() * std::mem::size_of::<usize>() + 2 * self.dim * 8
@@ -123,39 +142,6 @@ impl RTree {
             };
         }
         total
-    }
-
-    /// Recursive Sort-Tile-Recursive build; returns node index.
-    fn build_str(&mut self, items: &mut [(usize, Vec<f64>)], depth: usize) -> usize {
-        if items.len() <= self.fanout {
-            let mbb = Mbb::from_points(items.iter().map(|(_, p)| p.as_slice()), self.dim);
-            let id = self.nodes.len();
-            self.nodes.push(RNode::Leaf {
-                mbb,
-                entries: items.to_vec(),
-            });
-            return id;
-        }
-        // sort along a rotating dimension and slice into `fanout` groups
-        let axis = depth % self.dim.max(1);
-        items.sort_by(|a, b| a.1[axis].total_cmp(&b.1[axis]));
-        let chunk = items.len().div_ceil(self.fanout);
-        let mut children = Vec::new();
-        let mut start = 0;
-        while start < items.len() {
-            let end = (start + chunk).min(items.len());
-            let child = {
-                let mut slice: Vec<(usize, Vec<f64>)> = items[start..end].to_vec();
-                self.build_str(&mut slice, depth + 1)
-            };
-            children.push(child);
-            start = end;
-        }
-        let boxes: Vec<&Mbb> = children.iter().map(|&c| self.mbb_of(c)).collect();
-        let mbb = Mbb::merge(&boxes, self.dim);
-        let id = self.nodes.len();
-        self.nodes.push(RNode::Inner { mbb, children });
-        id
     }
 
     fn mbb_of(&self, node: usize) -> &Mbb {
@@ -215,10 +201,10 @@ impl RTree {
                 HeapItem::Point(idx) => order.push(idx),
                 HeapItem::Node(node) => match &self.nodes[node] {
                     RNode::Leaf { entries, .. } => {
-                        for (idx, point) in entries {
+                        for &idx in entries {
                             heap.push(Entry {
-                                score: score_reduced(point, pivot_reduced),
-                                item: HeapItem::Point(*idx),
+                                score: score_reduced(self.points.row(idx), pivot_reduced),
+                                item: HeapItem::Point(idx),
                             });
                         }
                     }
@@ -235,6 +221,49 @@ impl RTree {
         }
         order
     }
+}
+
+/// Recursive Sort-Tile-Recursive build over an index permutation; sorts
+/// `order` in place along a rotating axis, reading coordinates straight from
+/// the flat point matrix. Returns the created node's index.
+fn build_str(
+    nodes: &mut Vec<RNode>,
+    points: &AttrMatrix,
+    fanout: usize,
+    order: &mut [usize],
+    depth: usize,
+) -> usize {
+    let dim = points.dim();
+    if order.len() <= fanout {
+        let mbb = Mbb::from_points(order.iter().map(|&i| points.row(i)), dim);
+        let id = nodes.len();
+        nodes.push(RNode::Leaf {
+            mbb,
+            entries: order.to_vec(),
+        });
+        return id;
+    }
+    // sort along a rotating dimension and slice into `fanout` groups
+    let axis = depth % dim.max(1);
+    order.sort_by(|&a, &b| points.row(a)[axis].total_cmp(&points.row(b)[axis]));
+    let chunk = order.len().div_ceil(fanout);
+    let mut children = Vec::new();
+    let mut rest = order;
+    while !rest.is_empty() {
+        let (head, tail) = rest.split_at_mut(chunk.min(rest.len()));
+        children.push(build_str(nodes, points, fanout, head, depth + 1));
+        rest = tail;
+    }
+    let boxes: Vec<&Mbb> = children
+        .iter()
+        .map(|&c| match &nodes[c] {
+            RNode::Leaf { mbb, .. } | RNode::Inner { mbb, .. } => mbb,
+        })
+        .collect();
+    let mbb = Mbb::merge(&boxes, dim);
+    let id = nodes.len();
+    nodes.push(RNode::Inner { mbb, children });
+    id
 }
 
 #[cfg(test)]
@@ -304,5 +333,28 @@ mod tests {
         let tree = RTree::bulk_load(&pts, 3);
         assert!(tree.memory_bytes() > 0);
         assert!(tree.num_nodes() > 1);
+    }
+
+    #[test]
+    fn flat_build_matches_nested_build() {
+        use crate::attrs::AttrMatrix;
+        for (n, d, fanout) in [
+            (1usize, 2usize, 4usize),
+            (17, 3, 4),
+            (128, 4, 8),
+            (200, 2, 3),
+        ] {
+            let pts = random_points(n, d, (n * d) as u64);
+            let matrix = AttrMatrix::from_rows(&pts);
+            let nested = RTree::bulk_load_with_fanout(&pts, d, fanout);
+            let flat = RTree::bulk_load_flat_with_fanout(&matrix, fanout);
+            assert_eq!(nested.num_nodes(), flat.num_nodes());
+            let pivot: Vec<f64> = vec![1.0 / d as f64; d - 1];
+            assert_eq!(
+                nested.pivot_order(&pivot),
+                flat.pivot_order(&pivot),
+                "flat/nested builds diverge for n={n}, d={d}, fanout={fanout}"
+            );
+        }
     }
 }

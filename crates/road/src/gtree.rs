@@ -90,6 +90,37 @@ impl SourceState {
     }
 }
 
+/// Target seeds of a batched one-to-many evaluation, grouped by G-tree leaf.
+///
+/// Built once per query via [`GTree::group_targets`] and shared by every
+/// source seed; `occupied` lets the walk skip subtrees containing no target.
+#[derive(Debug, Clone)]
+pub struct LeafTargets {
+    /// `per_leaf[node]` = `(item, vertex, offset)` seeds in that leaf.
+    per_leaf: Vec<Vec<(u32, RoadVertexId, f64)>>,
+    /// `occupied[node]` = number of seeds in the node's subtree.
+    occupied: Vec<u32>,
+}
+
+impl LeafTargets {
+    /// Total number of grouped seeds.
+    pub fn num_seeds(&self) -> usize {
+        self.per_leaf.iter().map(|v| v.len()).sum()
+    }
+}
+
+/// Reusable buffers for [`GTree::accumulate_source_distances`]: the per-node
+/// entry vectors — the walk's large allocations — are recycled across source
+/// seeds and queries. Small per-visit locals (border-index and cross/through
+/// lookup tables) still allocate, because they stay live across the recursive
+/// descent; pooling them per depth is a noted follow-up.
+#[derive(Debug, Default)]
+pub struct RangeScratch {
+    /// `entry[node][i]` = exact distance from the current source to the node's
+    /// `borders[i]` over paths whose final segment stays inside the node.
+    entry: Vec<Vec<f64>>,
+}
+
 impl GTree {
     /// Builds the index with the default leaf capacity.
     pub fn build(net: &RoadNetwork) -> Self {
@@ -267,6 +298,184 @@ impl GTree {
             .filter(|n| n.children.is_empty())
             .map(|n| n.vertices.clone())
             .collect()
+    }
+
+    /// Groups target seeds `(item, vertex, offset)` by the leaf containing the
+    /// vertex and records per-subtree occupancy, so that batched evaluation
+    /// ([`accumulate_source_distances`](Self::accumulate_source_distances))
+    /// can skip empty subtrees entirely. Seeds with out-of-range vertices are
+    /// dropped.
+    pub fn group_targets<I>(&self, seeds: I) -> LeafTargets
+    where
+        I: IntoIterator<Item = (u32, RoadVertexId, f64)>,
+    {
+        let mut per_leaf: Vec<Vec<(u32, RoadVertexId, f64)>> = vec![Vec::new(); self.nodes.len()];
+        let mut occupied = vec![0u32; self.nodes.len()];
+        for (item, v, off) in seeds {
+            if v as usize >= self.num_vertices {
+                continue;
+            }
+            let leaf = self.leaf_of[v as usize];
+            per_leaf[leaf].push((item, v, off));
+            occupied[leaf] += 1;
+            let mut cur = leaf;
+            while let Some(p) = self.nodes[cur].parent {
+                occupied[p] += 1;
+                cur = p;
+            }
+        }
+        LeafTargets { per_leaf, occupied }
+    }
+
+    /// Leaf-batched one-to-many evaluation: for every target seed
+    /// `(item, v, toff)` of `targets`, lowers `best[item]` to
+    /// `soff + dist(u, v) + toff` when that candidate is smaller.
+    ///
+    /// Unlike per-item point queries ([`dist_from_source`](Self::dist_from_source)),
+    /// this climbs the tree **once** for the source and then walks it top-down,
+    /// carrying for each node the exact entry distances to its borders; every
+    /// occupied leaf is evaluated with a single pass over its border rows of
+    /// the leaf matrix. Subtrees whose minimum entry distance already exceeds
+    /// `prune_at - soff` are skipped wholesale (their candidates can only be
+    /// larger), which is the Lemma-1 accelerator: with `prune_at = t`, only the
+    /// part of the hierarchy within range of the query is ever touched. Pass
+    /// `f64::INFINITY` to disable pruning; candidates are exact in either case.
+    pub fn accumulate_source_distances(
+        &self,
+        u: RoadVertexId,
+        soff: f64,
+        targets: &LeafTargets,
+        prune_at: f64,
+        best: &mut [f64],
+        scratch: &mut RangeScratch,
+    ) {
+        if self.nodes.is_empty() || u as usize >= self.num_vertices {
+            return;
+        }
+        debug_assert_eq!(targets.per_leaf.len(), self.nodes.len());
+        let leaf_u = self.leaf_of[u as usize];
+        let path = self.ancestor_chain(leaf_u);
+        let a_vecs = self.climb(u, &path);
+        scratch.entry.resize(self.nodes.len(), Vec::new());
+        self.batched_visit(
+            self.root, false, u, soff, &path, &a_vecs, leaf_u, targets, prune_at, best, scratch,
+        );
+    }
+
+    /// One step of the top-down batched walk: `node` is visited with
+    /// `scratch.entry[node]` filled (unless `node` is the root, flagged by
+    /// `has_entry == false`) with the exact distances from `u` to the node's
+    /// borders over paths whose final segment stays inside the node's region.
+    #[allow(clippy::too_many_arguments)]
+    fn batched_visit(
+        &self,
+        node: usize,
+        has_entry: bool,
+        u: RoadVertexId,
+        soff: f64,
+        path: &[usize],
+        a_vecs: &[Vec<f64>],
+        leaf_u: usize,
+        targets: &LeafTargets,
+        prune_at: f64,
+        best: &mut [f64],
+        scratch: &mut RangeScratch,
+    ) {
+        let n = &self.nodes[node];
+        if n.children.is_empty() {
+            // Leaf: one pass over the border rows of the leaf matrix per item.
+            let border_idx: Vec<usize> = n.borders.iter().map(|b| n.ub_index[b]).collect();
+            let iu = if node == leaf_u {
+                Some(n.ub_index[&u])
+            } else {
+                None
+            };
+            for &(item, tv, toff) in &targets.per_leaf[node] {
+                let iv = n.ub_index[&tv];
+                let mut within = f64::INFINITY;
+                if has_entry {
+                    let entry = &scratch.entry[node];
+                    for (bi, &bidx) in border_idx.iter().enumerate() {
+                        let e = entry[bi];
+                        if e.is_finite() {
+                            within = within.min(e + n.matrix_at(bidx, iv));
+                        }
+                    }
+                }
+                if let Some(iu) = iu {
+                    within = within.min(n.matrix_at(iu, iv));
+                }
+                let cand = soff + within + toff;
+                if cand < best[item as usize] {
+                    best[item as usize] = cand;
+                }
+            }
+            return;
+        }
+
+        // Internal node: position on the source's ancestor chain (if any) and
+        // the union-border indices needed to extend entry vectors downwards.
+        let chain_pos = path.iter().position(|&p| p == node);
+        let cross: Option<Vec<(usize, f64)>> = chain_pos.map(|i| {
+            // `node == path[i]` with i >= 1 (a leaf never has children), so the
+            // child on the chain is path[i - 1] and a_vecs[i - 1] holds the
+            // distances from u to its borders, computed within its region.
+            let cu = &self.nodes[path[i - 1]];
+            cu.borders
+                .iter()
+                .zip(&a_vecs[i - 1])
+                .filter(|&(_, &d)| d.is_finite())
+                .map(|(&x, &d)| (n.ub_index[&x], d))
+                .collect()
+        });
+        let through: Option<Vec<(usize, f64)>> = if has_entry {
+            Some(
+                n.borders
+                    .iter()
+                    .zip(&scratch.entry[node])
+                    .filter(|&(_, &d)| d.is_finite())
+                    .map(|(&b, &d)| (n.ub_index[&b], d))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+
+        for &child in &n.children {
+            if targets.occupied[child] == 0 {
+                continue;
+            }
+            let mut min_entry = f64::INFINITY;
+            let mut entry = std::mem::take(&mut scratch.entry[child]);
+            entry.clear();
+            for &b in &self.nodes[child].borders {
+                let bi = n.ub_index[&b];
+                let mut e = f64::INFINITY;
+                if let Some(cross) = &cross {
+                    for &(xi, d) in cross {
+                        e = e.min(d + n.matrix_at(xi, bi));
+                    }
+                }
+                if let Some(through) = &through {
+                    for &(yi, d) in through {
+                        e = e.min(d + n.matrix_at(yi, bi));
+                    }
+                }
+                min_entry = min_entry.min(e);
+                entry.push(e);
+            }
+            scratch.entry[child] = entry;
+            // The source lies outside any subtree not on its ancestor chain,
+            // so every path into `child` pays at least `min_entry`; target
+            // offsets only add to that.
+            let child_on_chain = path.contains(&child);
+            if !child_on_chain && soff + min_entry > prune_at {
+                continue;
+            }
+            self.batched_visit(
+                child, true, u, soff, path, a_vecs, leaf_u, targets, prune_at, best, scratch,
+            );
+        }
     }
 
     fn ancestor_chain(&self, leaf: usize) -> Vec<usize> {
@@ -676,6 +885,111 @@ mod tests {
         let net = grid(4, 4);
         let tree = GTree::build_with_capacity(&net, 4);
         assert!(tree.memory_bytes() > 0);
+    }
+
+    /// Runs the batched walk from one source over every vertex as a target.
+    fn batched_from(tree: &GTree, n: usize, source: RoadVertexId, prune_at: f64) -> Vec<f64> {
+        let targets = tree.group_targets((0..n as u32).map(|v| (v, v, 0.0)));
+        assert_eq!(targets.num_seeds(), n);
+        let mut best = vec![f64::INFINITY; n];
+        let mut scratch = RangeScratch::default();
+        tree.accumulate_source_distances(source, 0.0, &targets, prune_at, &mut best, &mut scratch);
+        best
+    }
+
+    #[test]
+    fn batched_walk_matches_point_queries_exactly() {
+        let net = grid(6, 6);
+        let tree = GTree::build_with_capacity(&net, 6);
+        for s in [0u32, 7, 17, 35] {
+            let best = batched_from(&tree, 36, s, f64::INFINITY);
+            for v in 0..36u32 {
+                let expect = tree.dist(s, v);
+                assert!(
+                    (best[v as usize] - expect).abs() < 1e-9,
+                    "batched {s}->{v}: got {} expected {expect}",
+                    best[v as usize]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_walk_pruning_is_sound() {
+        let net = grid(6, 6);
+        let tree = GTree::build_with_capacity(&net, 6);
+        let t = 3.0;
+        for s in [0u32, 17, 35] {
+            let pruned = batched_from(&tree, 36, s, t);
+            for v in 0..36u32 {
+                let exact = tree.dist(s, v);
+                if exact <= t {
+                    assert!(
+                        (pruned[v as usize] - exact).abs() < 1e-9,
+                        "pruned walk lost an in-range target {s}->{v}"
+                    );
+                } else {
+                    assert!(
+                        pruned[v as usize] > t,
+                        "pruned walk reported {} <= t for out-of-range {s}->{v}",
+                        pruned[v as usize]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_walk_respects_offsets_and_lowers_only() {
+        let net = grid(4, 4);
+        let tree = GTree::build_with_capacity(&net, 5);
+        let targets = tree.group_targets([(0u32, 5u32, 0.25), (1, 10, 1.5)]);
+        let mut best = vec![0.1, f64::INFINITY];
+        let mut scratch = RangeScratch::default();
+        tree.accumulate_source_distances(0, 0.5, &targets, f64::INFINITY, &mut best, &mut scratch);
+        // item 0 already had a better candidate than 0.5 + dist + 0.25
+        assert_eq!(best[0], 0.1);
+        assert!((best[1] - (0.5 + tree.dist(0, 10) + 1.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batched_walk_on_disconnected_components() {
+        let net = RoadNetwork::from_edges(6, &[(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0), (4, 5, 1.0)]);
+        let tree = GTree::build_with_capacity(&net, 4);
+        let best = batched_from(&tree, 6, 0, f64::INFINITY);
+        assert!((best[2] - 2.0).abs() < 1e-9);
+        assert!(best[4].is_infinite() && best[5].is_infinite());
+    }
+
+    #[test]
+    fn randomized_batched_agreement_with_point_queries() {
+        use rand::prelude::*;
+        use rand::rngs::StdRng;
+        let mut rng = StdRng::seed_from_u64(21);
+        for round in 0..8 {
+            let n = rng.random_range(20..90usize);
+            let mut edges = Vec::new();
+            for v in 0..n as u32 {
+                edges.push((v, (v + 1) % n as u32, rng.random_range(1.0..5.0)));
+            }
+            for _ in 0..n {
+                let u = rng.random_range(0..n as u32);
+                let v = rng.random_range(0..n as u32);
+                edges.push((u, v, rng.random_range(1.0..10.0)));
+            }
+            let net = RoadNetwork::from_edges(n, &edges);
+            let tree = GTree::build_with_capacity(&net, rng.random_range(4..12));
+            let s = rng.random_range(0..n as u32);
+            let best = batched_from(&tree, n, s, f64::INFINITY);
+            for v in 0..n as u32 {
+                let expect = tree.dist(s, v);
+                assert!(
+                    (best[v as usize] - expect).abs() < 1e-9,
+                    "round {round}: batched {s}->{v} got {} expected {expect}",
+                    best[v as usize]
+                );
+            }
+        }
     }
 
     #[test]

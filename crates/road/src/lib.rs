@@ -16,9 +16,12 @@
 //! * [`oracle::DistanceOracle`] — the abstraction the MAC query path talks
 //!   to: Dijkstra with a pooled scratch, or distances assembled from the
 //!   G-tree. Both are exact; the choice is purely performance.
-//! * [`querydist::QueryDistanceIndex`] — per-query-user distance evaluation,
-//!   the range filter of Lemma 1 and query-distance evaluation
-//!   (Definition 2), served by either oracle backend.
+//! * [`querydist::QueryDistanceIndex`] — per-query-user distance evaluation
+//!   (`D_Q`, Definition 2), served by either oracle backend.
+//! * [`rangefilter::RangeFilter`] — the Lemma-1 range filter as a **set**
+//!   operation: bounded Dijkstra sweep, per-user G-tree point queries, or the
+//!   leaf-batched G-tree evaluation that walks the hierarchy once per query
+//!   seed and prunes whole subtrees beyond `t`.
 //! * [`gtree::GTree`] — a hierarchical graph-partition index in the spirit of
 //!   the G-tree [Zhong et al., TKDE'15] the paper uses to accelerate range
 //!   queries; our variant assembles within-region border matrices bottom-up
@@ -29,12 +32,14 @@ pub mod gtree;
 pub mod network;
 pub mod oracle;
 pub mod querydist;
+pub mod rangefilter;
 
 pub use dijkstra::{bounded_sssp, sssp, sssp_from_location, SsspScratch};
 pub use gtree::GTree;
 pub use network::{Location, RoadNetwork, RoadNetworkBuilder, RoadVertexId};
 pub use oracle::{DistanceOracle, OracleChoice, ScratchPool};
 pub use querydist::QueryDistanceIndex;
+pub use rangefilter::{RangeFilter, RangeFilterChoice};
 
 /// Errors produced by the road substrate.
 #[derive(Debug, Clone, PartialEq)]

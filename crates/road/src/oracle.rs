@@ -24,11 +24,10 @@ use std::sync::Mutex;
 /// Which oracle a query should use (carried by `MacQuery` upstream).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum OracleChoice {
-    /// Let the network pick. Currently resolves to Dijkstra — measured
-    /// per-user G-tree point queries lose to the t-bounded sweep at every
-    /// generatable dataset scale (see `BENCH_PR1.json`); this will start
-    /// preferring a built G-tree once the leaf-batched range evaluation
-    /// lands.
+    /// Let the network pick. Currently resolves to Dijkstra for the
+    /// *point-wise* queries this oracle serves; the set-valued Lemma-1 range
+    /// filter has its own dispatch (`rangefilter::RangeFilterChoice`) with
+    /// measured trade-offs recorded in `BENCH_PR2.json`.
     #[default]
     Auto,
     /// Always run (bounded) Dijkstra.

@@ -1,0 +1,233 @@
+//! The Lemma-1 range filter as a first-class layer.
+//!
+//! The MAC search opens with a set question, not a point question: *which
+//! users are within query distance `t`*? Earlier revisions answered it by
+//! probing the [`DistanceOracle`] once per user, which wastes the structure of
+//! the problem — the filter evaluates **one** small query set against **all**
+//! user locations. [`RangeFilter`] makes that set operation the unit of
+//! dispatch, with three interchangeable strategies:
+//!
+//! * [`RangeFilter::DijkstraSweep`] — one t-bounded multi-source sweep per
+//!   query location over the road graph; the strongest baseline at laptop
+//!   scale, linear in the edges within radius `t`.
+//! * [`RangeFilter::GTreePoint`] — the per-user G-tree point oracle of PR 1,
+//!   kept selectable for equivalence testing and for the regime the paper
+//!   measures (few users, continent-scale road networks).
+//! * [`RangeFilter::GTreeLeafBatched`] — the leaf-batched G-tree evaluation:
+//!   one climb per query seed, entry vectors pushed top-down, subtrees beyond
+//!   `t` pruned wholesale, and every occupied leaf evaluated with a single
+//!   pass over its border rows ([`GTree::accumulate_source_distances`]).
+//!
+//! All three are exact and must return identical user sets; the integration
+//! property tests (`tests/range_filter_equivalence.rs`) enforce this.
+
+use crate::gtree::{GTree, RangeScratch};
+use crate::network::{Location, RoadNetwork};
+use crate::oracle::{along_edge_distance, location_seeds, DistanceOracle};
+use crate::querydist::QueryDistanceIndex;
+
+/// Which range-filter strategy a query should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RangeFilterChoice {
+    /// Let the network pick. Currently resolves to the bounded Dijkstra
+    /// sweep — the measured fastest at every generatable dataset scale
+    /// (`BENCH_PR2.json`): its cost is the radius-t ball, which stays tiny on
+    /// laptop-scale road networks. The G-tree strategies remain explicitly
+    /// selectable for the paper's continent-scale regime, where sweeping the
+    /// ball is the expensive part.
+    #[default]
+    Auto,
+    /// Always run one t-bounded Dijkstra sweep per query location.
+    DijkstraSweep,
+    /// Per-user G-tree point queries; falls back to Dijkstra without an index.
+    GTreePoint,
+    /// Leaf-batched G-tree evaluation; falls back to Dijkstra without an index.
+    GTreeLeafBatched,
+}
+
+/// An exact "users within t" filter (Lemma 1) over the road network.
+#[derive(Debug)]
+pub enum RangeFilter<'a> {
+    /// One bounded multi-source Dijkstra sweep per query location.
+    DijkstraSweep,
+    /// Per-user point queries against a prebuilt G-tree.
+    GTreePoint(&'a GTree),
+    /// Leaf-batched evaluation against a prebuilt G-tree.
+    GTreeLeafBatched(&'a GTree),
+}
+
+impl<'a> RangeFilter<'a> {
+    /// Short label for benchmark output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RangeFilter::DijkstraSweep => "dijkstra-sweep",
+            RangeFilter::GTreePoint(_) => "gtree-point",
+            RangeFilter::GTreeLeafBatched(_) => "gtree-leaf-batched",
+        }
+    }
+
+    /// Lemma-1 set filter: `result[v]` is `true` iff user `v` is within
+    /// network distance `t` of **every** query location (`D_Q(v) <= t`).
+    pub fn users_within(
+        &self,
+        net: &RoadNetwork,
+        query_locations: &[Location],
+        t: f64,
+        user_locations: &[Location],
+    ) -> Vec<bool> {
+        match self {
+            RangeFilter::DijkstraSweep => {
+                let qdi = QueryDistanceIndex::build(net, query_locations, Some(t));
+                qdi.within_threshold(user_locations, t)
+            }
+            RangeFilter::GTreePoint(tree) => {
+                let oracle = DistanceOracle::GTree(tree);
+                let qdi =
+                    QueryDistanceIndex::build_with_oracle(net, &oracle, query_locations, Some(t));
+                qdi.within_threshold(user_locations, t)
+            }
+            RangeFilter::GTreeLeafBatched(tree) => {
+                leaf_batched_within(tree, net, query_locations, t, user_locations)
+            }
+        }
+    }
+}
+
+/// The leaf-batched strategy: group the user seeds by leaf once, then run one
+/// pruned top-down walk per query seed, intersecting the per-query-location
+/// threshold predicates.
+fn leaf_batched_within(
+    tree: &GTree,
+    net: &RoadNetwork,
+    query_locations: &[Location],
+    t: f64,
+    user_locations: &[Location],
+) -> Vec<bool> {
+    let n = user_locations.len();
+    let mut within = vec![true; n];
+    if n == 0 {
+        return within;
+    }
+    let targets = tree.group_targets(user_locations.iter().enumerate().flat_map(|(i, loc)| {
+        location_seeds(net, loc)
+            .into_iter()
+            .filter(|&(_, off)| off.is_finite())
+            .map(move |(v, off)| (i as u32, v, off))
+    }));
+    let mut scratch = RangeScratch::default();
+    let mut best = vec![f64::INFINITY; n];
+    for qloc in query_locations {
+        // Seed each user with the along-edge shortcut (exact when both points
+        // share an edge; INFINITY otherwise), then lower through the tree.
+        for (b, uloc) in best.iter_mut().zip(user_locations) {
+            *b = along_edge_distance(qloc, uloc);
+        }
+        for (sv, soff) in location_seeds(net, qloc)
+            .into_iter()
+            .filter(|&(_, off)| off.is_finite())
+        {
+            tree.accumulate_source_distances(sv, soff, &targets, t, &mut best, &mut scratch);
+        }
+        for (w, &d) in within.iter_mut().zip(&best) {
+            if d > t {
+                *w = false;
+            }
+        }
+    }
+    within
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(rows: u32, cols: u32) -> RoadNetwork {
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = r * cols + c;
+                if c + 1 < cols {
+                    edges.push((v, v + 1, 1.0 + ((v % 3) as f64) * 0.25));
+                }
+                if r + 1 < rows {
+                    edges.push((v, v + cols, 1.0 + ((v % 5) as f64) * 0.2));
+                }
+            }
+        }
+        RoadNetwork::from_edges((rows * cols) as usize, &edges)
+    }
+
+    fn all_filters(tree: &GTree) -> [RangeFilter<'_>; 3] {
+        [
+            RangeFilter::DijkstraSweep,
+            RangeFilter::GTreePoint(tree),
+            RangeFilter::GTreeLeafBatched(tree),
+        ]
+    }
+
+    #[test]
+    fn strategies_agree_on_vertex_users() {
+        let net = grid(5, 5);
+        let tree = GTree::build_with_capacity(&net, 6);
+        let users: Vec<Location> = (0..25u32).map(Location::vertex).collect();
+        let q = [Location::vertex(0), Location::vertex(12)];
+        for t in [0.0, 1.0, 2.5, 4.0, 100.0] {
+            let reference = RangeFilter::DijkstraSweep.users_within(&net, &q, t, &users);
+            for filter in all_filters(&tree) {
+                assert_eq!(
+                    filter.users_within(&net, &q, t, &users),
+                    reference,
+                    "{} disagrees at t = {t}",
+                    filter.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strategies_agree_on_edge_users_and_edge_queries() {
+        let net = grid(4, 4);
+        let tree = GTree::build_with_capacity(&net, 5);
+        let users = vec![
+            Location::vertex(0),
+            Location::OnEdge {
+                u: 0,
+                v: 1,
+                offset: 0.25,
+            },
+            Location::OnEdge {
+                u: 4,
+                v: 5,
+                offset: 0.75,
+            },
+            Location::vertex(15),
+        ];
+        let q = [Location::OnEdge {
+            u: 0,
+            v: 1,
+            offset: 0.5,
+        }];
+        for t in [0.2, 0.25, 1.0, 3.0] {
+            let reference = RangeFilter::DijkstraSweep.users_within(&net, &q, t, &users);
+            for filter in all_filters(&tree) {
+                assert_eq!(
+                    filter.users_within(&net, &q, t, &users),
+                    reference,
+                    "{} disagrees at t = {t}",
+                    filter.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let net = grid(3, 3);
+        let tree = GTree::build_with_capacity(&net, 4);
+        for filter in all_filters(&tree) {
+            assert!(filter
+                .users_within(&net, &[Location::vertex(0)], 1.0, &[])
+                .is_empty());
+        }
+    }
+}

@@ -47,13 +47,12 @@ fn main() {
     // user preferences, the influential community collapses everything to one
     // score.
     if let Some(ctx) = SearchContext::build(rsn, &query).expect("valid query") {
-        let attr_rows = ctx.attrs.to_rows();
-        let sky = skyline_communities(&ctx.local_graph, &attr_rows, 5);
+        let sky = skyline_communities(&ctx.local_graph, &ctx.attrs, 5);
         println!(
             "SkyC finds {} skyline communities (query-agnostic)",
             sky.len()
         );
-        let influ = Influ::new(&ctx.local_graph, &attr_rows);
+        let influ = Influ::new(&ctx.local_graph, &ctx.attrs);
         let top = influ.top_r(5, 1, query.region.pivot().reduced());
         if let Some(c) = top.first() {
             println!(

@@ -1,0 +1,193 @@
+//! Property tests for the range-filter layer: the bounded Dijkstra sweep, the
+//! per-user G-tree point oracle, and the leaf-batched G-tree evaluation are
+//! three implementations of the same exact set operation — "which users have
+//! `D_Q(v) <= t`" — and must return identical user sets on every input,
+//! including users located on the same edge as a query location and users at
+//! distance exactly `t`.
+
+use proptest::prelude::*;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use road_social_mac::datagen::road::{generate_road, RoadConfig};
+use road_social_mac::road::rangefilter::RangeFilter;
+use road_social_mac::road::{GTree, Location, RoadNetwork};
+
+/// Random locations over a road network: a mix of vertex locations and
+/// on-edge locations with offsets drawn inside the edge length (edge
+/// endpoints inclusive, so "exactly at a vertex" shows up too).
+fn random_locations(net: &RoadNetwork, count: usize, rng: &mut StdRng) -> Vec<Location> {
+    let n = net.num_vertices() as u32;
+    (0..count)
+        .map(|_| {
+            let v = rng.random_range(0..n);
+            let neighbors = net.neighbors(v);
+            if neighbors.is_empty() || rng.random_range(0.0..1.0) < 0.4 {
+                Location::vertex(v)
+            } else {
+                let (u, w) = neighbors[rng.random_range(0..neighbors.len())];
+                Location::OnEdge {
+                    u: v,
+                    v: u,
+                    offset: rng.random_range(0.0..=w),
+                }
+            }
+        })
+        .collect()
+}
+
+fn assert_filters_agree(
+    net: &RoadNetwork,
+    tree: &GTree,
+    q: &[Location],
+    t: f64,
+    users: &[Location],
+) {
+    let reference = RangeFilter::DijkstraSweep.users_within(net, q, t, users);
+    for filter in [
+        RangeFilter::GTreePoint(tree),
+        RangeFilter::GTreeLeafBatched(tree),
+    ] {
+        let got = filter.users_within(net, q, t, users);
+        prop_assert_eq!(
+            &got,
+            &reference,
+            "{} disagrees with the Dijkstra sweep at t = {}",
+            filter.name(),
+            t
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// On generated road networks with arbitrary query/user placements, all
+    /// three strategies return the same user set for every threshold.
+    #[test]
+    fn filters_agree_on_random_networks(
+        seed in 0u64..10_000,
+        road_n in 60usize..220,
+        leaf_capacity in 4usize..24,
+        t in 0.0f64..80.0,
+    ) {
+        let net = generate_road(&RoadConfig::with_size(road_n, seed));
+        let tree = GTree::build_with_capacity(&net, leaf_capacity);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF117E5);
+        let q = random_locations(&net, rng.random_range(1..4), &mut rng);
+        let users = random_locations(&net, 120, &mut rng);
+        assert_filters_agree(&net, &tree, &q, t, &users);
+    }
+
+    /// Same-edge placements: every user shares an edge with the (on-edge)
+    /// query location, so the along-edge shortcut decides most memberships.
+    #[test]
+    fn filters_agree_for_users_on_the_query_edge(
+        seed in 0u64..10_000,
+        edge_weight in 2.0f64..40.0,
+        q_offset in 0.0f64..1.0,
+        t in 0.0f64..20.0,
+    ) {
+        // A heavy edge 0-1 inside a small ring, so the along-edge path and the
+        // detour through the ring compete.
+        let net = RoadNetwork::from_edges(
+            5,
+            &[
+                (0, 1, edge_weight),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 4, 1.0),
+                (4, 0, 1.0),
+            ],
+        );
+        let tree = GTree::build_with_capacity(&net, 4);
+        let q = [Location::OnEdge { u: 0, v: 1, offset: q_offset * edge_weight }];
+        let mut users: Vec<Location> = (0..=10)
+            .map(|i| Location::OnEdge { u: 0, v: 1, offset: edge_weight * (i as f64) / 10.0 })
+            .collect();
+        users.extend((0..5).map(Location::vertex));
+        assert_filters_agree(&net, &tree, &q, t, &users);
+    }
+}
+
+/// Users at distance **exactly** `t` must be kept by every strategy: the
+/// threshold predicate is `<= t`, and with integer edge weights all assembled
+/// distances are exact, so there is no tolerance to hide behind.
+#[test]
+fn users_exactly_at_distance_t_are_kept_by_all_filters() {
+    // A line 0-1-2-...-7 with unit weights plus a long chord 0-7.
+    let mut edges: Vec<(u32, u32, f64)> = (0..7).map(|i| (i, i + 1, 1.0)).collect();
+    edges.push((0, 7, 16.0));
+    let net = RoadNetwork::from_edges(8, &edges);
+    let tree = GTree::build_with_capacity(&net, 4);
+    let q = [Location::vertex(0)];
+    let t = 3.0;
+    let users = vec![
+        Location::vertex(0), // 0
+        Location::vertex(3), // exactly t
+        Location::OnEdge {
+            u: 2,
+            v: 3,
+            offset: 1.0,
+        }, // exactly t (edge endpoint)
+        Location::OnEdge {
+            u: 3,
+            v: 4,
+            offset: 0.0,
+        }, // exactly t (edge start)
+        Location::OnEdge {
+            u: 2,
+            v: 3,
+            offset: 0.5,
+        }, // 2.5 < t
+        Location::OnEdge {
+            u: 3,
+            v: 4,
+            offset: 0.5,
+        }, // 3.5 > t
+        Location::vertex(4), // 4 > t
+        Location::vertex(7), // 7 > t (chord longer)
+    ];
+    let expected = vec![true, true, true, true, true, false, false, false];
+    for filter in [
+        RangeFilter::DijkstraSweep,
+        RangeFilter::GTreePoint(&tree),
+        RangeFilter::GTreeLeafBatched(&tree),
+    ] {
+        assert_eq!(
+            filter.users_within(&net, &q, t, &users),
+            expected,
+            "{} broke the boundary-exact membership",
+            filter.name()
+        );
+    }
+}
+
+/// Multi-location queries intersect the per-location predicates; a user
+/// exactly at distance t from one query location and within t of the other
+/// stays, a user beyond t from either goes.
+#[test]
+fn multi_query_intersection_is_identical_across_filters() {
+    let edges: Vec<(u32, u32, f64)> = (0..9).map(|i| (i, i + 1, 1.0)).collect();
+    let net = RoadNetwork::from_edges(10, &edges);
+    let tree = GTree::build_with_capacity(&net, 4);
+    let q = [Location::vertex(2), Location::vertex(6)];
+    let t = 4.0;
+    // D_Q(v) = max(dist to 2, dist to 6) <= 4 keeps vertices 2..=6; vertex 0
+    // is 6 away from vertex 6; vertices at the exact boundary stay.
+    let users: Vec<Location> = (0..10).map(Location::vertex).collect();
+    let expected: Vec<bool> = (0..10u32)
+        .map(|v| (v as i64 - 2).abs().max((v as i64 - 6).abs()) <= 4)
+        .collect();
+    for filter in [
+        RangeFilter::DijkstraSweep,
+        RangeFilter::GTreePoint(&tree),
+        RangeFilter::GTreeLeafBatched(&tree),
+    ] {
+        assert_eq!(
+            filter.users_within(&net, &q, t, &users),
+            expected,
+            "{} broke the multi-query intersection",
+            filter.name()
+        );
+    }
+}

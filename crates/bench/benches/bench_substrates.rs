@@ -11,6 +11,8 @@ use rsn_dom::dominance::DominanceGraph;
 use rsn_geom::region::PrefRegion;
 use rsn_road::dijkstra::bounded_sssp;
 use rsn_road::gtree::GTree;
+use rsn_road::network::Location;
+use rsn_road::rangefilter::RangeFilter;
 
 fn bench_substrates(c: &mut Criterion) {
     // k-core decomposition
@@ -49,6 +51,29 @@ fn bench_substrates(c: &mut Criterion) {
             gtree.dist(i, (i * 31 + 7) % n)
         })
     });
+
+    // Lemma-1 range filter strategies: the same set question ("which of the
+    // users are within t of every query location") under the sweep, the
+    // per-seed batched walk, and the multi-seed batched walk.
+    {
+        let road = generate_road(&RoadConfig::with_size(10_000, 7));
+        let tree = GTree::build(&road);
+        let n = road.num_vertices() as u32;
+        let users: Vec<Location> = (0..256u32).map(|i| Location::vertex(i * 37 % n)).collect();
+        let q: Vec<Location> = (0..4u32)
+            .map(|i| Location::vertex((500 + i * 3) % n))
+            .collect();
+        let t = 60.0;
+        for filter in [
+            RangeFilter::DijkstraSweep,
+            RangeFilter::GTreeLeafBatched(&tree),
+            RangeFilter::GTreeMultiSeedBatched(&tree),
+        ] {
+            group.bench_function(format!("rangefilter_10k_{}", filter.name()), |b| {
+                b.iter(|| filter.users_within(&road, &q, t, &users))
+            });
+        }
+    }
 
     // r-dominance graph construction for increasing d (Fig. 11(d) driver)
     for &d in &[2usize, 4, 6] {

@@ -1,16 +1,22 @@
 //! Cross-PR performance trajectory recorder.
 //!
 //! Runs the MAC search algorithms on fixed datagen presets and writes
-//! `BENCH_PR2.json` (in the current directory), so later PRs can diff their
-//! wall-clock against this PR's numbers instead of guessing. The PR-2 record
-//! focuses on the two engine changes of this PR:
+//! `BENCH_PR3.json` (in the current directory), so later PRs can diff their
+//! wall-clock against this PR's numbers instead of guessing. The PR-3 record
+//! focuses on the multi-seed range-filter work of this PR:
 //!
-//! * the Lemma-1 **range filter** under its three strategies — bounded
-//!   Dijkstra sweep, per-user G-tree point queries, and the leaf-batched
-//!   G-tree evaluation — with the strategies asserted set-identical on every
-//!   preset before their timings are recorded;
-//! * **parallel global search** over independent top-level GS cells versus
-//!   the serial exploration (identical outputs, asserted).
+//! * the Lemma-1 **range filter** under its four strategies — bounded
+//!   Dijkstra sweep, per-user G-tree point queries, the PR-2 per-seed
+//!   leaf-batched walk, and the new **multi-seed** batched walk (one pruned
+//!   top-down pass for all query seeds, zero hash lookups in the leaf inner
+//!   loops) — with the strategies asserted set-identical on every preset
+//!   before their timings are recorded;
+//! * the **measured sweep/batched crossover** on synthetic
+//!   large-road/sparse-user configurations, which backs the calibrated
+//!   `RangeFilterChoice::Auto` rule (`resolve_auto`); each crossover row
+//!   records what `Auto` decided and which strategy actually won;
+//! * serial vs parallel GS-NC (identical outputs, asserted), carried over
+//!   from PR 2 for continuity.
 //!
 //! Usage: `cargo run --release -p rsn-bench --bin perf_trajectory [reps]`
 //! (`reps` overrides the per-measurement repetitions, default 3; the best of
@@ -20,13 +26,15 @@
 use rsn_core::ktcore::maximal_kt_core;
 use rsn_core::{GlobalSearch, LocalSearch, MacQuery};
 use rsn_datagen::presets::{build_preset_scaled, Dataset, PresetName, PresetScale};
+use rsn_datagen::road::{generate_road, RoadConfig};
 use rsn_geom::region::PrefRegion;
 use rsn_geom::weights::WeightVector;
+use rsn_road::gtree::GTree;
 use rsn_road::network::Location;
-use rsn_road::rangefilter::RangeFilterChoice;
+use rsn_road::rangefilter::{resolve_auto, RangeFilter, RangeFilterChoice};
 use std::time::Instant;
 
-const OUTPUT: &str = "BENCH_PR2.json";
+const OUTPUT: &str = "BENCH_PR3.json";
 /// Worker count for the parallel-GS measurement. Fixed (rather than
 /// `available_parallelism`) so records from different machines stay
 /// comparable; the achievable speedup is still bounded by the actual cores,
@@ -42,14 +50,41 @@ struct PresetRow {
     sigma: f64,
     kt_core: usize,
     cells: usize,
+    auto_choice: &'static str,
     gtree_build_s: f64,
     filter_dijkstra_s: f64,
     filter_gtree_point_s: f64,
     filter_gtree_batched_s: f64,
-    ktcore_batched_s: f64,
+    filter_gtree_multiseed_s: f64,
+    ktcore_multiseed_s: f64,
     gs_nc_serial_s: f64,
     gs_nc_parallel_s: f64,
     ls_nc_s: f64,
+}
+
+/// One sweep-vs-multiseed crossover measurement on a synthetic
+/// large-road/sparse-user configuration (the regime the calibrated `Auto`
+/// rule has to get right).
+struct CrossoverRow {
+    topology: &'static str,
+    road_vertices: usize,
+    users: usize,
+    q: usize,
+    t: f64,
+    sweep_s: f64,
+    multiseed_s: f64,
+    auto_choice: &'static str,
+    auto_correct: bool,
+}
+
+/// A corridor/highway-like road network: a long unit-weight path with a
+/// shortcut every fifth vertex — the small-separator topology whose G-tree
+/// border sets stay tiny at any size (mirrors the regression tests in
+/// `rsn_road::rangefilter`).
+fn corridor_road(n: u32) -> rsn_road::network::RoadNetwork {
+    let mut edges: Vec<(u32, u32, f64)> = (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
+    edges.extend((0..n.saturating_sub(5)).step_by(5).map(|i| (i, i + 5, 2.5)));
+    rsn_road::network::RoadNetwork::from_edges(n as usize, &edges)
 }
 
 fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
@@ -88,10 +123,11 @@ fn measure_preset(spec: &Spec, reps: usize) -> PresetRow {
     let query = MacQuery::new(dataset.query_vertices(4), k, dataset.default_t, region);
     let (gtree_build_s, rsn_indexed) = best_of(1, || dataset.rsn.clone().with_gtree_index());
 
-    // Range-filter trajectory: the three strategies on the same inputs,
+    // Range-filter trajectory: the four strategies on the same inputs,
     // proven set-identical before their timings are recorded.
     let q_locations: Vec<Location> = query.q.iter().map(|&v| *rsn_indexed.location(v)).collect();
-    let filter_of = |choice: RangeFilterChoice| rsn_indexed.range_filter(choice);
+    let filter_of =
+        |choice: RangeFilterChoice| rsn_indexed.range_filter(choice, q_locations.len(), query.t);
     let reference = filter_of(RangeFilterChoice::DijkstraSweep).users_within(
         rsn_indexed.road(),
         &q_locations,
@@ -101,6 +137,7 @@ fn measure_preset(spec: &Spec, reps: usize) -> PresetRow {
     for choice in [
         RangeFilterChoice::GTreePoint,
         RangeFilterChoice::GTreeLeafBatched,
+        RangeFilterChoice::GTreeMultiSeedBatched,
     ] {
         let got = filter_of(choice).users_within(
             rsn_indexed.road(),
@@ -110,6 +147,14 @@ fn measure_preset(spec: &Spec, reps: usize) -> PresetRow {
         );
         assert_eq!(got, reference, "{choice:?} disagrees with the sweep");
     }
+    let auto_choice = resolve_auto(
+        rsn_indexed.road(),
+        rsn_indexed.gtree(),
+        q_locations.len(),
+        query.t,
+        rsn_indexed.num_users(),
+    )
+    .name();
     let time_filter = |choice: RangeFilterChoice| {
         best_of(reps, || {
             filter_of(choice).users_within(
@@ -124,12 +169,13 @@ fn measure_preset(spec: &Spec, reps: usize) -> PresetRow {
     let filter_dijkstra_s = time_filter(RangeFilterChoice::DijkstraSweep);
     let filter_gtree_point_s = time_filter(RangeFilterChoice::GTreePoint);
     let filter_gtree_batched_s = time_filter(RangeFilterChoice::GTreeLeafBatched);
+    let filter_gtree_multiseed_s = time_filter(RangeFilterChoice::GTreeMultiSeedBatched);
 
-    // End-to-end (k,t)-core extraction through the batched filter.
-    let (ktcore_batched_s, core) = best_of(reps, || {
+    // End-to-end (k,t)-core extraction through the multi-seed filter.
+    let (ktcore_multiseed_s, core) = best_of(reps, || {
         let q = query
             .clone()
-            .with_range_filter(RangeFilterChoice::GTreeLeafBatched);
+            .with_range_filter(RangeFilterChoice::GTreeMultiSeedBatched);
         maximal_kt_core(&rsn_indexed, &q).expect("query valid")
     });
 
@@ -171,14 +217,70 @@ fn measure_preset(spec: &Spec, reps: usize) -> PresetRow {
         sigma,
         kt_core: core.map(|c| c.len()).unwrap_or(0),
         cells: gs.cells.len(),
+        auto_choice,
         gtree_build_s,
         filter_dijkstra_s,
         filter_gtree_point_s,
         filter_gtree_batched_s,
-        ktcore_batched_s,
+        filter_gtree_multiseed_s,
+        ktcore_multiseed_s,
         gs_nc_serial_s,
         gs_nc_parallel_s,
         ls_nc_s,
+    }
+}
+
+/// Measures the sweep-vs-multiseed crossover on one synthetic configuration:
+/// `users` random user locations on a prebuilt road network and G-tree, `q`
+/// query locations, threshold `t`. Both strategies are asserted
+/// set-identical before timing.
+fn measure_crossover(
+    topology: &'static str,
+    net: &rsn_road::network::RoadNetwork,
+    tree: &GTree,
+    users: usize,
+    q: usize,
+    t: f64,
+    reps: usize,
+) -> CrossoverRow {
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+    let mut rng = StdRng::seed_from_u64(net.num_vertices() as u64 ^ 0xC0DE);
+    let n = net.num_vertices() as u32;
+    let user_locs: Vec<Location> = (0..users)
+        .map(|_| Location::vertex(rng.random_range(0..n)))
+        .collect();
+    // Query locations clustered near one vertex's neighborhood, as MAC query
+    // users are.
+    let center = rng.random_range(0..n);
+    let q_locs: Vec<Location> = (0..q)
+        .map(|i| Location::vertex((center + i as u32 * 3) % n))
+        .collect();
+    let sweep = RangeFilter::DijkstraSweep;
+    let multi = RangeFilter::GTreeMultiSeedBatched(tree);
+    let reference = sweep.users_within(net, &q_locs, t, &user_locs);
+    assert_eq!(
+        multi.users_within(net, &q_locs, t, &user_locs),
+        reference,
+        "multi-seed disagrees with the sweep on the crossover config"
+    );
+    let (sweep_s, _) = best_of(reps, || sweep.users_within(net, &q_locs, t, &user_locs));
+    let (multiseed_s, _) = best_of(reps, || multi.users_within(net, &q_locs, t, &user_locs));
+    let auto = resolve_auto(net, Some(tree), q, t, users);
+    let auto_correct = match auto {
+        RangeFilterChoice::GTreeMultiSeedBatched => multiseed_s <= sweep_s,
+        _ => sweep_s <= multiseed_s,
+    };
+    CrossoverRow {
+        topology,
+        road_vertices: net.num_vertices(),
+        users,
+        q,
+        t,
+        sweep_s,
+        multiseed_s,
+        auto_choice: auto.name(),
+        auto_correct,
     }
 }
 
@@ -194,13 +296,16 @@ fn json_row(r: &PresetRow) -> String {
             "      \"sigma\": {},\n",
             "      \"kt_core_vertices\": {},\n",
             "      \"gs_cells\": {},\n",
+            "      \"auto_choice\": \"{}\",\n",
             "      \"gtree_build_seconds\": {:.6},\n",
             "      \"filter_dijkstra_seconds\": {:.6},\n",
             "      \"filter_gtree_point_seconds\": {:.6},\n",
             "      \"filter_gtree_batched_seconds\": {:.6},\n",
-            "      \"batched_vs_point_speedup\": {:.3},\n",
-            "      \"batched_vs_dijkstra_speedup\": {:.3},\n",
-            "      \"ktcore_batched_seconds\": {:.6},\n",
+            "      \"filter_gtree_multiseed_seconds\": {:.6},\n",
+            "      \"multiseed_vs_batched_speedup\": {:.3},\n",
+            "      \"multiseed_vs_point_speedup\": {:.3},\n",
+            "      \"multiseed_vs_dijkstra_speedup\": {:.3},\n",
+            "      \"ktcore_multiseed_seconds\": {:.6},\n",
             "      \"gs_nc_serial_seconds\": {:.6},\n",
             "      \"gs_nc_parallel_seconds\": {:.6},\n",
             "      \"gs_parallel_speedup\": {:.3},\n",
@@ -215,13 +320,16 @@ fn json_row(r: &PresetRow) -> String {
         r.sigma,
         r.kt_core,
         r.cells,
+        r.auto_choice,
         r.gtree_build_s,
         r.filter_dijkstra_s,
         r.filter_gtree_point_s,
         r.filter_gtree_batched_s,
-        r.filter_gtree_point_s / r.filter_gtree_batched_s.max(1e-12),
-        r.filter_dijkstra_s / r.filter_gtree_batched_s.max(1e-12),
-        r.ktcore_batched_s,
+        r.filter_gtree_multiseed_s,
+        r.filter_gtree_batched_s / r.filter_gtree_multiseed_s.max(1e-12),
+        r.filter_gtree_point_s / r.filter_gtree_multiseed_s.max(1e-12),
+        r.filter_dijkstra_s / r.filter_gtree_multiseed_s.max(1e-12),
+        r.ktcore_multiseed_s,
         r.gs_nc_serial_s,
         r.gs_nc_parallel_s,
         r.gs_nc_serial_s / r.gs_nc_parallel_s.max(1e-12),
@@ -229,14 +337,45 @@ fn json_row(r: &PresetRow) -> String {
     )
 }
 
+fn json_crossover(r: &CrossoverRow) -> String {
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"topology\": \"{}\",\n",
+            "      \"road_vertices\": {},\n",
+            "      \"users\": {},\n",
+            "      \"q\": {},\n",
+            "      \"t\": {},\n",
+            "      \"sweep_seconds\": {:.6},\n",
+            "      \"multiseed_seconds\": {:.6},\n",
+            "      \"multiseed_vs_sweep_speedup\": {:.3},\n",
+            "      \"auto_choice\": \"{}\",\n",
+            "      \"auto_correct\": {}\n",
+            "    }}"
+        ),
+        r.topology,
+        r.road_vertices,
+        r.users,
+        r.q,
+        r.t,
+        r.sweep_s,
+        r.multiseed_s,
+        r.sweep_s / r.multiseed_s.max(1e-12),
+        r.auto_choice,
+        r.auto_correct,
+    )
+}
+
 fn print_row(row: &PresetRow) {
     eprintln!(
-        "  kt-core {} | filter: dijkstra {:.5}s, gtree-point {:.5}s, gtree-batched {:.5}s ({:.1}x vs point) | GS-NC serial {:.4}s, parallel({GS_WORKERS}) {:.4}s ({:.2}x) | LS-NC {:.4}s",
+        "  kt-core {} | filter: dijkstra {:.5}s, gtree-point {:.5}s, gtree-batched {:.5}s, multi-seed {:.5}s ({:.1}x vs per-seed) | auto -> {} | GS-NC serial {:.4}s, parallel({GS_WORKERS}) {:.4}s ({:.2}x) | LS-NC {:.4}s",
         row.kt_core,
         row.filter_dijkstra_s,
         row.filter_gtree_point_s,
         row.filter_gtree_batched_s,
-        row.filter_gtree_point_s / row.filter_gtree_batched_s.max(1e-12),
+        row.filter_gtree_multiseed_s,
+        row.filter_gtree_batched_s / row.filter_gtree_multiseed_s.max(1e-12),
+        row.auto_choice,
         row.gs_nc_serial_s,
         row.gs_nc_parallel_s,
         row.gs_nc_serial_s / row.gs_nc_parallel_s.max(1e-12),
@@ -259,6 +398,13 @@ fn main() {
         };
         let row = measure_preset(&spec, 1);
         print_row(&row);
+        let net = generate_road(&RoadConfig::with_size(2_500, 23));
+        let tree = GTree::build(&net);
+        let cross = measure_crossover("grid", &net, &tree, 64, 2, 100.0, 1);
+        eprintln!(
+            "  crossover smoke: sweep {:.5}s vs multi-seed {:.5}s, auto -> {}",
+            cross.sweep_s, cross.multiseed_s, cross.auto_choice
+        );
         println!("smoke ok: {}", row.label);
         return;
     }
@@ -313,12 +459,75 @@ fn main() {
         rows.push(row);
     }
 
-    let body: Vec<String> = rows.iter().map(json_row).collect();
-    let json = format!(
-        "{{\n  \"pr\": 2,\n  \"description\": \"Perf trajectory after the RangeFilter layer (leaf-batched G-tree evaluation) and parallel top-level GS cells; filter strategies asserted set-identical, parallel GS asserted output-identical\",\n  \"reps\": {reps},\n  \"gs_parallel_workers\": {GS_WORKERS},\n  \"available_cores\": {cores},\n  \"presets\": [\n{}\n  ]\n}}\n",
-        body.join(",\n")
+    // Sweep-vs-multiseed crossover surface: the sweep's cost is the radius-t
+    // ball regardless of user count, while the indexed walk scales with
+    // occupancy and with the size of the border sets along the hierarchy.
+    // Grid-like networks (√n cuts) keep the sweep ahead at every generatable
+    // scale; corridor/highway-like networks (tiny separators) cross over as
+    // soon as the ball is large. Both topologies are measured and the rows
+    // back the `resolve_auto` calibration. One network and G-tree per
+    // config group, reused across rows.
+    eprintln!("measuring sweep/multi-seed crossover (reps={reps})...");
+    let mut crossovers = Vec::new();
+    let run_group = |label: &'static str,
+                     net: &rsn_road::network::RoadNetwork,
+                     configs: &[(usize, usize, f64)],
+                     crossovers: &mut Vec<CrossoverRow>| {
+        let build_start = Instant::now();
+        let tree = GTree::build(net);
+        eprintln!(
+            "  [{label}] built G-tree over {} vertices in {:.2}s",
+            net.num_vertices(),
+            build_start.elapsed().as_secs_f64()
+        );
+        for &(users, q, t) in configs {
+            let row = measure_crossover(label, net, &tree, users, q, t, reps);
+            eprintln!(
+                "  [{label}] n={} users={} q={} t={}: sweep {:.5}s vs multi-seed {:.5}s ({:.2}x), auto -> {} ({})",
+                row.road_vertices,
+                row.users,
+                row.q,
+                row.t,
+                row.sweep_s,
+                row.multiseed_s,
+                row.sweep_s / row.multiseed_s.max(1e-12),
+                row.auto_choice,
+                if row.auto_correct { "correct" } else { "WRONG" },
+            );
+            crossovers.push(row);
+        }
+    };
+    for (road_n, configs) in [
+        (
+            2_500usize,
+            &[(256usize, 4usize, 30.0f64), (16, 4, 60.0)][..],
+        ),
+        (10_000, &[(64, 4, 100.0), (8, 4, 130.0)][..]),
+    ] {
+        let net = generate_road(&RoadConfig::with_size(road_n, 23));
+        run_group("grid", &net, configs, &mut crossovers);
+    }
+    let net = corridor_road(50_000);
+    run_group(
+        "corridor",
+        &net,
+        &[
+            (64, 4, 50.0),
+            (64, 4, 25_000.0),
+            (8, 4, 25_000.0),
+            (512, 4, 25_000.0),
+        ],
+        &mut crossovers,
     );
-    std::fs::write(OUTPUT, &json).expect("write BENCH_PR2.json");
+
+    let body: Vec<String> = rows.iter().map(json_row).collect();
+    let cross_body: Vec<String> = crossovers.iter().map(json_crossover).collect();
+    let json = format!(
+        "{{\n  \"pr\": 3,\n  \"description\": \"Perf trajectory after the multi-seed leaf-batched range filter (per-seed entry columns, precomputed border indices, zero hashing in the hot loops) and the calibrated Auto strategy selection; all four filter strategies asserted set-identical, parallel GS asserted output-identical\",\n  \"reps\": {reps},\n  \"gs_parallel_workers\": {GS_WORKERS},\n  \"available_cores\": {cores},\n  \"presets\": [\n{}\n  ],\n  \"sweep_multiseed_crossover\": [\n{}\n  ]\n}}\n",
+        body.join(",\n"),
+        cross_body.join(",\n")
+    );
+    std::fs::write(OUTPUT, &json).expect("write BENCH_PR3.json");
     println!("{json}");
     eprintln!("wrote {OUTPUT}");
 }

@@ -43,10 +43,12 @@ pub fn maximal_kt_core(
     let social = rsn.social();
 
     // Lemma 1: the road-network range filter, evaluated as one set operation
-    // through the query's RangeFilter strategy (bounded Dijkstra sweep,
-    // per-user G-tree point queries, or the leaf-batched G-tree walk).
+    // through the query's RangeFilter strategy (see `RangeFilterChoice`:
+    // bounded Dijkstra sweep, per-user G-tree point queries, the per-seed
+    // leaf-batched walk, or the multi-seed batched walk; `Auto` resolves
+    // from the calibrated crossover with the query's |Q| and t).
     let q_locations: Vec<Location> = query.q.iter().map(|&v| *rsn.location(v)).collect();
-    let filter = rsn.range_filter(query.effective_filter());
+    let filter = rsn.range_filter(query.effective_filter(), q_locations.len(), query.t);
     let within = filter.users_within(rsn.road(), &q_locations, query.t, rsn.locations());
     if query.q.iter().any(|&v| !within[v as usize]) {
         // some query users are farther than t from each other
@@ -176,6 +178,7 @@ mod tests {
             RangeFilterChoice::DijkstraSweep,
             RangeFilterChoice::GTreePoint,
             RangeFilterChoice::GTreeLeafBatched,
+            RangeFilterChoice::GTreeMultiSeedBatched,
         ];
         for (k, t) in [(2u32, 2.0f64), (2, 100.0), (3, 2.0), (1, 11.0)] {
             let reference = maximal_kt_core(

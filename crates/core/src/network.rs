@@ -5,7 +5,7 @@ use rsn_graph::graph::{Graph, VertexId};
 use rsn_road::gtree::GTree;
 use rsn_road::network::{Location, RoadNetwork};
 use rsn_road::oracle::{DistanceOracle, OracleChoice};
-use rsn_road::rangefilter::{RangeFilter, RangeFilterChoice};
+use rsn_road::rangefilter::{resolve_auto, RangeFilter, RangeFilterChoice};
 
 /// A road-social network: a social graph whose users carry a location in a
 /// road network and a d-dimensional attribute vector (Section II-A).
@@ -119,22 +119,41 @@ impl RoadSocialNetwork {
         }
     }
 
-    /// Resolves the Lemma-1 range filter for a query's [`RangeFilterChoice`].
+    /// Resolves the Lemma-1 range filter for a query's [`RangeFilterChoice`],
+    /// given the query context (`|Q|` and `t`) the calibrated `Auto` rule
+    /// needs.
     ///
     /// Every strategy is exact, so the resolution is purely a performance
     /// decision. G-tree strategies require a built index and fall back to the
-    /// bounded Dijkstra sweep without one. `Auto` resolves to the sweep: the
-    /// leaf-batched G-tree filter closed the gap to it by 2–4 orders of
-    /// magnitude versus the per-user point path, but the t-bounded sweep
-    /// still wins outright at every dataset scale we can generate
-    /// (`BENCH_PR2.json` — the sweep's cost is the radius-t ball, which is
-    /// tiny on laptop-scale road networks). The batched filter stays
-    /// explicitly selectable for the paper's continent-scale regime.
-    pub fn range_filter(&self, choice: RangeFilterChoice) -> RangeFilter<'_> {
-        match (choice, &self.gtree) {
+    /// bounded Dijkstra sweep without one. `Auto` goes through
+    /// [`rsn_road::rangefilter::resolve_auto`]: the t-bounded sweep wherever
+    /// the radius-t ball is small (every laptop-scale preset), the
+    /// multi-seed batched G-tree walk when an index exists and the estimated
+    /// ball dwarfs the indexed work (see `BENCH_PR3.json` for the crossover
+    /// measurements behind the calibration).
+    pub fn range_filter(
+        &self,
+        choice: RangeFilterChoice,
+        num_query_locations: usize,
+        t: f64,
+    ) -> RangeFilter<'_> {
+        let resolved = match choice {
+            RangeFilterChoice::Auto => resolve_auto(
+                &self.road,
+                self.gtree.as_ref(),
+                num_query_locations,
+                t,
+                self.num_users(),
+            ),
+            explicit => explicit,
+        };
+        match (resolved, &self.gtree) {
             (RangeFilterChoice::GTreePoint, Some(tree)) => RangeFilter::GTreePoint(tree),
             (RangeFilterChoice::GTreeLeafBatched, Some(tree)) => {
                 RangeFilter::GTreeLeafBatched(tree)
+            }
+            (RangeFilterChoice::GTreeMultiSeedBatched, Some(tree)) => {
+                RangeFilter::GTreeMultiSeedBatched(tree)
             }
             _ => RangeFilter::DijkstraSweep,
         }

@@ -30,9 +30,11 @@ pub struct MacQuery {
     /// [`with_range_filter`](Self::with_range_filter) in new code.
     pub oracle: OracleChoice,
     /// Which strategy answers the Lemma-1 range filter ("which users are
-    /// within t") as a set operation. `Auto` currently resolves to the
-    /// bounded Dijkstra sweep (the measured fastest at laptop scale, see
-    /// `BENCH_PR2.json`); all strategies return identical user sets.
+    /// within t") as a set operation. `Auto` resolves through the calibrated
+    /// crossover rule (`rsn_road::rangefilter::resolve_auto`): the bounded
+    /// Dijkstra sweep at laptop scale, the multi-seed batched G-tree walk on
+    /// indexed networks whose estimated radius-t ball dwarfs the indexed
+    /// work (`BENCH_PR3.json`); all strategies return identical user sets.
     pub filter: RangeFilterChoice,
 }
 

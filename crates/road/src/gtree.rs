@@ -30,8 +30,17 @@ struct GTreeNode {
     /// Matrix index space: all region vertices for leaves, the union of the
     /// children's borders for internal nodes.
     union_borders: Vec<RoadVertexId>,
-    /// Position of a vertex inside `union_borders`.
+    /// Position of a vertex inside `union_borders`. Retained for construction
+    /// and as the reference the precomputed index arrays are validated
+    /// against; the query hot loops never touch it.
     ub_index: HashMap<RoadVertexId, usize>,
+    /// `border_rows[i]` = position of `borders[i]` inside `union_borders`,
+    /// precomputed at build time so matrix access is pure slice indexing.
+    border_rows: Vec<usize>,
+    /// `child_border_rows[k][i]` = position of child `k`'s `borders[i]`
+    /// inside this node's `union_borders` (every child border is a union
+    /// border by construction).
+    child_border_rows: Vec<Vec<usize>>,
     /// Row-major `|union_borders| x |union_borders|` within-region distances.
     matrix: Vec<f64>,
 }
@@ -47,6 +56,10 @@ impl GTreeNode {
 pub struct GTree {
     nodes: Vec<GTreeNode>,
     leaf_of: Vec<usize>,
+    /// `leaf_pos[v]` = position of vertex `v` inside its leaf's
+    /// `union_borders` (leaf matrix row), precomputed so leaf evaluation
+    /// never hashes.
+    leaf_pos: Vec<u32>,
     root: usize,
     num_vertices: usize,
 }
@@ -94,10 +107,14 @@ impl SourceState {
 ///
 /// Built once per query via [`GTree::group_targets`] and shared by every
 /// source seed; `occupied` lets the walk skip subtrees containing no target.
+/// Each grouped seed carries its **leaf matrix row** (the vertex's position in
+/// the leaf's matrix index space, resolved at grouping time), so the leaf
+/// evaluation inner loop indexes the distance matrix directly without any
+/// hashing.
 #[derive(Debug, Clone)]
 pub struct LeafTargets {
-    /// `per_leaf[node]` = `(item, vertex, offset)` seeds in that leaf.
-    per_leaf: Vec<Vec<(u32, RoadVertexId, f64)>>,
+    /// `per_leaf[node]` = `(item, leaf matrix row, offset)` seeds in that leaf.
+    per_leaf: Vec<Vec<(u32, u32, f64)>>,
     /// `occupied[node]` = number of seeds in the node's subtree.
     occupied: Vec<u32>,
 }
@@ -109,16 +126,36 @@ impl LeafTargets {
     }
 }
 
-/// Reusable buffers for [`GTree::accumulate_source_distances`]: the per-node
-/// entry vectors — the walk's large allocations — are recycled across source
-/// seeds and queries. Small per-visit locals (border-index and cross/through
-/// lookup tables) still allocate, because they stay live across the recursive
-/// descent; pooling them per depth is a noted follow-up.
+/// Reusable buffers for the batched walks
+/// ([`GTree::accumulate_source_distances`] and
+/// [`GTree::accumulate_multi_source_distances`]): the per-node entry columns —
+/// the walk's large allocations — plus the small per-seed locals are all
+/// recycled across walks and queries, so the hot path allocates nothing
+/// beyond the per-query source climbs.
 #[derive(Debug, Default)]
 pub struct RangeScratch {
-    /// `entry[node][i]` = exact distance from the current source to the node's
-    /// `borders[i]` over paths whose final segment stays inside the node.
+    /// `entry[node]` = flat `|borders| x |seeds|` matrix: exact distance from
+    /// seed `s` to the node's `borders[i]` over paths whose final segment
+    /// stays inside the node, at `entry[node][i * seeds + s]`.
     entry: Vec<Vec<f64>>,
+    /// Per-seed minimum entry distance of the child being considered.
+    seed_min: Vec<f64>,
+    /// Per-seed distance accumulator for one leaf target.
+    seed_dist: Vec<f64>,
+}
+
+/// One precomputed source seed of a multi-seed walk: the seed's ancestor
+/// chain and climb vectors, plus which output column its candidates lower.
+#[derive(Debug)]
+struct SeedClimb {
+    vertex: RoadVertexId,
+    offset: f64,
+    column: u32,
+    /// Ancestor chain from the seed's leaf (inclusive) to the root.
+    path: Vec<usize>,
+    /// `vecs[i]` = distances from the seed to the borders of `path[i]`,
+    /// computed within that node's region.
+    vecs: Vec<Vec<f64>>,
 }
 
 impl GTree {
@@ -134,6 +171,7 @@ impl GTree {
         let mut tree = GTree {
             nodes: Vec::new(),
             leaf_of: vec![usize::MAX; n],
+            leaf_pos: vec![0; n],
             root: 0,
             num_vertices: n,
         };
@@ -146,6 +184,8 @@ impl GTree {
                 borders: Vec::new(),
                 union_borders: Vec::new(),
                 ub_index: HashMap::new(),
+                border_rows: Vec::new(),
+                child_border_rows: Vec::new(),
                 matrix: Vec::new(),
             });
             return tree;
@@ -153,6 +193,7 @@ impl GTree {
         tree.root = tree.partition(net, all, None, leaf_capacity);
         tree.compute_borders(net);
         tree.compute_matrices(net);
+        tree.precompute_index_rows();
         tree
     }
 
@@ -187,9 +228,119 @@ impl GTree {
                     + (node.vertices.len() + node.borders.len() + node.union_borders.len())
                         * std::mem::size_of::<RoadVertexId>()
                     + node.ub_index.len() * 2 * std::mem::size_of::<usize>()
+                    + (node.border_rows.len()
+                        + node.child_border_rows.iter().map(Vec::len).sum::<usize>())
+                        * std::mem::size_of::<usize>()
             })
             .sum::<usize>()
+            + self.leaf_pos.len() * std::mem::size_of::<u32>()
             + std::mem::size_of::<Self>()
+    }
+
+    /// Number of leaf nodes.
+    pub fn num_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| n.children.is_empty()).count()
+    }
+
+    /// Entry-extension cells one walk touches at one internal node:
+    /// `(|node borders| + |chain-child borders|) x Σ |child borders|`
+    /// (zero for leaves).
+    fn node_walk_cells(&self, id: usize) -> usize {
+        let n = &self.nodes[id];
+        let child_borders: usize = n
+            .children
+            .iter()
+            .map(|&c| self.nodes[c].borders.len())
+            .sum();
+        let max_child = n
+            .children
+            .iter()
+            .map(|&c| self.nodes[c].borders.len())
+            .max()
+            .unwrap_or(0);
+        (n.borders.len() + max_child) * child_borders
+    }
+
+    /// Entry-extension cells of a full unpruned walk, per seed: the sum of
+    /// [`node_walk_cells`](Self::node_walk_cells) over all internal nodes —
+    /// an occupancy-independent upper bound and an `Auto` calibration input.
+    pub fn walk_cells_total(&self) -> usize {
+        (0..self.nodes.len())
+            .map(|id| self.node_walk_cells(id))
+            .sum()
+    }
+
+    /// Entry-extension cells touched at the top of the tree (the root's
+    /// children) — every walk pays this regardless of occupancy, so it is
+    /// the walk's fixed overhead floor; an `Auto` calibration input.
+    pub fn walk_cells_root(&self) -> usize {
+        self.node_walk_cells(self.root)
+    }
+
+    /// Root node id.
+    pub fn root_id(&self) -> usize {
+        self.root
+    }
+
+    /// Parent of a node (`None` for the root).
+    pub fn parent_of(&self, id: usize) -> Option<usize> {
+        self.nodes[id].parent
+    }
+
+    /// Children of a node (empty for leaves).
+    pub fn children_of(&self, id: usize) -> &[usize] {
+        &self.nodes[id].children
+    }
+
+    /// Region vertices of a node.
+    pub fn vertices_of(&self, id: usize) -> &[RoadVertexId] {
+        &self.nodes[id].vertices
+    }
+
+    /// Border vertices of a node (region vertices with an edge leaving the
+    /// region).
+    pub fn borders_of(&self, id: usize) -> &[RoadVertexId] {
+        &self.nodes[id].borders
+    }
+
+    /// Matrix index space of a node: all region vertices for leaves, the
+    /// union of the children's borders for internal nodes.
+    pub fn union_borders_of(&self, id: usize) -> &[RoadVertexId] {
+        &self.nodes[id].union_borders
+    }
+
+    /// Precomputed positions of [`borders_of`](Self::borders_of) inside
+    /// [`union_borders_of`](Self::union_borders_of).
+    pub fn border_rows_of(&self, id: usize) -> &[usize] {
+        &self.nodes[id].border_rows
+    }
+
+    /// Precomputed positions of child `k`'s borders inside this node's
+    /// union borders.
+    pub fn child_border_rows_of(&self, id: usize, k: usize) -> &[usize] {
+        &self.nodes[id].child_border_rows[k]
+    }
+
+    /// Position of a vertex inside a node's union borders, answered from the
+    /// build-time hash map (the reference the precomputed arrays round-trip
+    /// against in the structural property tests).
+    pub fn ub_position_of(&self, id: usize, v: RoadVertexId) -> Option<usize> {
+        self.nodes[id].ub_index.get(&v).copied()
+    }
+
+    /// Within-region distance between two union borders of a node.
+    pub fn matrix_entry(&self, id: usize, i: usize, j: usize) -> f64 {
+        self.nodes[id].matrix_at(i, j)
+    }
+
+    /// Leaf node containing a road vertex.
+    pub fn leaf_id_of(&self, v: RoadVertexId) -> usize {
+        self.leaf_of[v as usize]
+    }
+
+    /// Precomputed position of a vertex inside its leaf's matrix index space.
+    pub fn leaf_position_of(&self, v: RoadVertexId) -> usize {
+        self.leaf_pos[v as usize] as usize
     }
 
     /// Exact shortest-path distance between two road vertices.
@@ -237,8 +388,8 @@ impl GTree {
         let mut best = f64::INFINITY;
         if leaf_u == leaf_v {
             let node = &self.nodes[leaf_u];
-            let iu = node.ub_index[&u];
-            let iv = node.ub_index[&v];
+            let iu = self.leaf_pos[u as usize] as usize;
+            let iv = self.leaf_pos[v as usize] as usize;
             best = node.matrix_at(iu, iv);
         }
 
@@ -253,35 +404,40 @@ impl GTree {
 
         // Combine at every common ancestor: the true path crosses the borders
         // of the two children of the lowest ancestor whose region it stays in.
+        // A leaf of one chain can only appear on the other chain when the two
+        // leaves coincide (handled above), so both chain positions are >= 1
+        // in the active branch and the chain children are real children of
+        // `w`, addressable through the precomputed border-row arrays.
         let set_u = &state.on_path;
         for (vi, &w) in path_v.iter().enumerate() {
             let Some(&ui) = set_u.get(&w) else { continue };
-            // child of w on each side (the previous node on the chain);
-            // when the common ancestor is the leaf itself this is the leaf.
-            let cu = if ui == 0 { path_u[0] } else { path_u[ui - 1] };
-            let cv = if vi == 0 { path_v[0] } else { path_v[vi - 1] };
-            if ui == 0 && vi == 0 {
+            if ui == 0 || vi == 0 {
                 // same leaf: already handled via the leaf matrix
                 continue;
             }
+            let cu = path_u[ui - 1];
+            let cv = path_v[vi - 1];
             let wn = &self.nodes[w];
-            let cu_node = &self.nodes[cu];
-            let cv_node = &self.nodes[cv];
-            let au = &a_vecs[ui.saturating_sub(if ui == 0 { 0 } else { 1 })];
-            let bv = &b_vecs[vi.saturating_sub(if vi == 0 { 0 } else { 1 })];
-            for (xi, &x) in cu_node.borders.iter().enumerate() {
-                let ax = au[xi];
+            let ub = wn.union_borders.len();
+            let cu_pos = wn
+                .children
+                .iter()
+                .position(|&c| c == cu)
+                .expect("chain child of u");
+            let cv_pos = wn
+                .children
+                .iter()
+                .position(|&c| c == cv)
+                .expect("chain child of v");
+            let au = &a_vecs[ui - 1];
+            let bv = &b_vecs[vi - 1];
+            for (&wx, &ax) in wn.child_border_rows[cu_pos].iter().zip(au) {
                 if !ax.is_finite() {
                     continue;
                 }
-                let wx = wn.ub_index[&x];
-                for (yi, &y) in cv_node.borders.iter().enumerate() {
-                    let by = bv[yi];
-                    if !by.is_finite() {
-                        continue;
-                    }
-                    let wy = wn.ub_index[&y];
-                    let cand = ax + wn.matrix_at(wx, wy) + by;
+                let mrow = &wn.matrix[wx * ub..(wx + 1) * ub];
+                for (&wy, &by) in wn.child_border_rows[cv_pos].iter().zip(bv) {
+                    let cand = ax + mrow[wy] + by;
                     if cand < best {
                         best = cand;
                     }
@@ -303,20 +459,21 @@ impl GTree {
     /// Groups target seeds `(item, vertex, offset)` by the leaf containing the
     /// vertex and records per-subtree occupancy, so that batched evaluation
     /// ([`accumulate_source_distances`](Self::accumulate_source_distances))
-    /// can skip empty subtrees entirely. Seeds with out-of-range vertices are
-    /// dropped.
+    /// can skip empty subtrees entirely. The vertex is resolved to its leaf
+    /// matrix row here, once, so the leaf evaluation never hashes. Seeds with
+    /// out-of-range vertices are dropped.
     pub fn group_targets<I>(&self, seeds: I) -> LeafTargets
     where
         I: IntoIterator<Item = (u32, RoadVertexId, f64)>,
     {
-        let mut per_leaf: Vec<Vec<(u32, RoadVertexId, f64)>> = vec![Vec::new(); self.nodes.len()];
+        let mut per_leaf: Vec<Vec<(u32, u32, f64)>> = vec![Vec::new(); self.nodes.len()];
         let mut occupied = vec![0u32; self.nodes.len()];
         for (item, v, off) in seeds {
             if v as usize >= self.num_vertices {
                 continue;
             }
             let leaf = self.leaf_of[v as usize];
-            per_leaf[leaf].push((item, v, off));
+            per_leaf[leaf].push((item, self.leaf_pos[v as usize], off));
             occupied[leaf] += 1;
             let mut cur = leaf;
             while let Some(p) = self.nodes[cur].parent {
@@ -327,19 +484,14 @@ impl GTree {
         LeafTargets { per_leaf, occupied }
     }
 
-    /// Leaf-batched one-to-many evaluation: for every target seed
-    /// `(item, v, toff)` of `targets`, lowers `best[item]` to
-    /// `soff + dist(u, v) + toff` when that candidate is smaller.
+    /// Leaf-batched one-to-many evaluation from a **single** source seed: for
+    /// every target seed `(item, v, toff)` of `targets`, lowers `best[item]`
+    /// to `soff + dist(u, v) + toff` when that candidate is smaller.
     ///
-    /// Unlike per-item point queries ([`dist_from_source`](Self::dist_from_source)),
-    /// this climbs the tree **once** for the source and then walks it top-down,
-    /// carrying for each node the exact entry distances to its borders; every
-    /// occupied leaf is evaluated with a single pass over its border rows of
-    /// the leaf matrix. Subtrees whose minimum entry distance already exceeds
-    /// `prune_at - soff` are skipped wholesale (their candidates can only be
-    /// larger), which is the Lemma-1 accelerator: with `prune_at = t`, only the
-    /// part of the hierarchy within range of the query is ever touched. Pass
-    /// `f64::INFINITY` to disable pruning; candidates are exact in either case.
+    /// This is the PR-2 per-seed walk, now a thin wrapper over the multi-seed
+    /// machinery ([`accumulate_multi_source_distances`](Self::accumulate_multi_source_distances))
+    /// with one seed and one output column. It is kept as the unit the
+    /// per-seed `GTreeLeafBatched` strategy (and its benchmarks) build on.
     pub fn accumulate_source_distances(
         &self,
         u: RoadVertexId,
@@ -349,133 +501,301 @@ impl GTree {
         best: &mut [f64],
         scratch: &mut RangeScratch,
     ) {
-        if self.nodes.is_empty() || u as usize >= self.num_vertices {
-            return;
-        }
-        debug_assert_eq!(targets.per_leaf.len(), self.nodes.len());
-        let leaf_u = self.leaf_of[u as usize];
-        let path = self.ancestor_chain(leaf_u);
-        let a_vecs = self.climb(u, &path);
-        scratch.entry.resize(self.nodes.len(), Vec::new());
-        self.batched_visit(
-            self.root, false, u, soff, &path, &a_vecs, leaf_u, targets, prune_at, best, scratch,
+        self.accumulate_multi_source_distances(
+            &[(u, soff, 0)],
+            1,
+            targets,
+            prune_at,
+            best,
+            scratch,
         );
     }
 
-    /// One step of the top-down batched walk: `node` is visited with
-    /// `scratch.entry[node]` filled (unless `node` is the root, flagged by
-    /// `has_entry == false`) with the exact distances from `u` to the node's
-    /// borders over paths whose final segment stays inside the node's region.
-    #[allow(clippy::too_many_arguments)]
-    fn batched_visit(
+    /// Multi-seed leaf-batched evaluation: folds **all** source seeds
+    /// `(u, soff, column)` into a single top-down walk. For every target seed
+    /// `(item, v, toff)` of `targets` and every source seed, lowers
+    /// `best[item * num_columns + column]` to `soff + dist(u, v) + toff` when
+    /// that candidate is smaller (`best` is an item-major matrix with one
+    /// column per query location; seeds of the same location share a column).
+    ///
+    /// Each node of the walk carries a flat `|borders| x |seeds|` matrix of
+    /// per-seed entry distances; a subtree is pruned only when **every**
+    /// seed's lower bound exceeds `prune_at` (a seed whose leaf lies inside
+    /// the subtree is never pruned), and each occupied leaf is evaluated once
+    /// against all seed columns. All matrix accesses go through the
+    /// precomputed border-index arrays — the inner loops perform zero hash
+    /// lookups. Pass `f64::INFINITY` to disable pruning; candidates are exact
+    /// in either case.
+    pub fn accumulate_multi_source_distances(
         &self,
-        node: usize,
-        has_entry: bool,
-        u: RoadVertexId,
-        soff: f64,
-        path: &[usize],
-        a_vecs: &[Vec<f64>],
-        leaf_u: usize,
+        seeds: &[(RoadVertexId, f64, u32)],
+        num_columns: usize,
         targets: &LeafTargets,
         prune_at: f64,
         best: &mut [f64],
         scratch: &mut RangeScratch,
     ) {
+        self.multi_source_walk(seeds, num_columns, targets, prune_at, best, None, scratch);
+    }
+
+    /// Multi-seed walk with the Lemma-1 **intersection computed in-walk**:
+    /// `best` must be pre-seeded per `(item, column)` (typically with the
+    /// along-edge shortcut distances) and `within[item]` is maintained as
+    /// "every column of the item's row is `<= t`". Rows only ever decrease,
+    /// so the flag is recomputed whenever a leaf lowers a row and converges
+    /// to the exact intersection predicate; items in pruned subtrees keep
+    /// the flag derived from their pre-seeded row.
+    #[allow(clippy::too_many_arguments)]
+    pub fn multi_source_within(
+        &self,
+        seeds: &[(RoadVertexId, f64, u32)],
+        num_columns: usize,
+        targets: &LeafTargets,
+        t: f64,
+        best: &mut [f64],
+        within: &mut [bool],
+        scratch: &mut RangeScratch,
+    ) {
+        debug_assert_eq!(best.len(), within.len() * num_columns);
+        for (i, w) in within.iter_mut().enumerate() {
+            *w = best[i * num_columns..(i + 1) * num_columns]
+                .iter()
+                .all(|&d| d <= t);
+        }
+        self.multi_source_walk(seeds, num_columns, targets, t, best, Some(within), scratch);
+    }
+
+    /// Shared driver of the two public multi-seed entry points: precomputes
+    /// one [`SeedClimb`] per in-range seed and starts the recursive walk.
+    #[allow(clippy::too_many_arguments)]
+    fn multi_source_walk(
+        &self,
+        seeds: &[(RoadVertexId, f64, u32)],
+        num_columns: usize,
+        targets: &LeafTargets,
+        prune_at: f64,
+        best: &mut [f64],
+        mut within: Option<&mut [bool]>,
+        scratch: &mut RangeScratch,
+    ) {
+        if self.nodes.is_empty() {
+            return;
+        }
+        debug_assert_eq!(targets.per_leaf.len(), self.nodes.len());
+        let climbs: Vec<SeedClimb> = seeds
+            .iter()
+            .filter(|&&(u, _, col)| {
+                (u as usize) < self.num_vertices && (col as usize) < num_columns
+            })
+            .map(|&(u, offset, column)| {
+                let path = self.ancestor_chain(self.leaf_of[u as usize]);
+                let vecs = self.climb(u, &path);
+                SeedClimb {
+                    vertex: u,
+                    offset,
+                    column,
+                    path,
+                    vecs,
+                }
+            })
+            .collect();
+        if climbs.is_empty() {
+            return;
+        }
+        scratch.entry.resize(self.nodes.len(), Vec::new());
+        self.multi_visit(
+            self.root,
+            0,
+            false,
+            &climbs,
+            num_columns,
+            targets,
+            prune_at,
+            best,
+            &mut within,
+            scratch,
+        );
+    }
+
+    /// One step of the top-down multi-seed walk: `node` is visited at `depth`
+    /// (root = 0) with `scratch.entry[node]` holding the flat
+    /// `|borders| x |seeds|` entry-distance matrix (unless `node` is the
+    /// root, flagged by `has_entry == false`). A seed's chain passes through
+    /// `node` iff `path[len - 1 - depth] == node` — checked by slice
+    /// indexing, no per-node hash set.
+    #[allow(clippy::too_many_arguments)]
+    fn multi_visit(
+        &self,
+        node: usize,
+        depth: usize,
+        has_entry: bool,
+        climbs: &[SeedClimb],
+        num_columns: usize,
+        targets: &LeafTargets,
+        prune_at: f64,
+        best: &mut [f64],
+        within: &mut Option<&mut [bool]>,
+        scratch: &mut RangeScratch,
+    ) {
+        let s_count = climbs.len();
         let n = &self.nodes[node];
+        let ub = n.union_borders.len();
         if n.children.is_empty() {
-            // Leaf: one pass over the border rows of the leaf matrix per item.
-            let border_idx: Vec<usize> = n.borders.iter().map(|b| n.ub_index[b]).collect();
-            let iu = if node == leaf_u {
-                Some(n.ub_index[&u])
-            } else {
-                None
-            };
-            for &(item, tv, toff) in &targets.per_leaf[node] {
-                let iv = n.ub_index[&tv];
-                let mut within = f64::INFINITY;
+            // Leaf: one pass over the border rows of the leaf matrix lowers
+            // every seed's accumulator for each target; candidates then land
+            // in their seed's output column. Infinite entries flow through
+            // the arithmetic harmlessly (inf + x = inf), so the loops carry
+            // no finiteness branches.
+            let RangeScratch {
+                entry, seed_dist, ..
+            } = scratch;
+            let node_entry = &entry[node];
+            for &(item, trow, toff) in &targets.per_leaf[node] {
+                let trow = trow as usize;
+                seed_dist.clear();
+                seed_dist.resize(s_count, f64::INFINITY);
                 if has_entry {
-                    let entry = &scratch.entry[node];
-                    for (bi, &bidx) in border_idx.iter().enumerate() {
-                        let e = entry[bi];
-                        if e.is_finite() {
-                            within = within.min(e + n.matrix_at(bidx, iv));
+                    for (bi, &brow) in n.border_rows.iter().enumerate() {
+                        let m = n.matrix[brow * ub + trow];
+                        for (sd, &e) in seed_dist
+                            .iter_mut()
+                            .zip(&node_entry[bi * s_count..(bi + 1) * s_count])
+                        {
+                            let cand = e + m;
+                            if cand < *sd {
+                                *sd = cand;
+                            }
                         }
                     }
                 }
-                if let Some(iu) = iu {
-                    within = within.min(n.matrix_at(iu, iv));
+                for (sd, climb) in seed_dist.iter_mut().zip(climbs) {
+                    if climb.path[0] == node {
+                        // The seed lives in this leaf: the direct
+                        // within-region row competes with border entries.
+                        let urow = self.leaf_pos[climb.vertex as usize] as usize;
+                        let direct = n.matrix[urow * ub + trow];
+                        if direct < *sd {
+                            *sd = direct;
+                        }
+                    }
                 }
-                let cand = soff + within + toff;
-                if cand < best[item as usize] {
-                    best[item as usize] = cand;
+                let row = &mut best[item as usize * num_columns..][..num_columns];
+                let mut lowered = false;
+                for (sd, climb) in seed_dist.iter().zip(climbs) {
+                    let cand = climb.offset + sd + toff;
+                    let slot = &mut row[climb.column as usize];
+                    if cand < *slot {
+                        *slot = cand;
+                        lowered = true;
+                    }
+                }
+                if lowered {
+                    if let Some(w) = within.as_deref_mut() {
+                        w[item as usize] = row.iter().all(|&d| d <= prune_at);
+                    }
                 }
             }
             return;
         }
 
-        // Internal node: position on the source's ancestor chain (if any) and
-        // the union-border indices needed to extend entry vectors downwards.
-        let chain_pos = path.iter().position(|&p| p == node);
-        let cross: Option<Vec<(usize, f64)>> = chain_pos.map(|i| {
-            // `node == path[i]` with i >= 1 (a leaf never has children), so the
-            // child on the chain is path[i - 1] and a_vecs[i - 1] holds the
-            // distances from u to its borders, computed within its region.
-            let cu = &self.nodes[path[i - 1]];
-            cu.borders
-                .iter()
-                .zip(&a_vecs[i - 1])
-                .filter(|&(_, &d)| d.is_finite())
-                .map(|(&x, &d)| (n.ub_index[&x], d))
-                .collect()
-        });
-        let through: Option<Vec<(usize, f64)>> = if has_entry {
-            Some(
-                n.borders
-                    .iter()
-                    .zip(&scratch.entry[node])
-                    .filter(|&(_, &d)| d.is_finite())
-                    .map(|(&b, &d)| (n.ub_index[&b], d))
-                    .collect(),
-            )
-        } else {
-            None
-        };
-
-        for &child in &n.children {
+        // Internal node: extend the entry matrix into each occupied child.
+        // `node_entry` is taken out of the scratch so the child buffer can be
+        // filled while reading it; both go back before returning.
+        let node_entry = std::mem::take(&mut scratch.entry[node]);
+        for (k, &child) in n.children.iter().enumerate() {
             if targets.occupied[child] == 0 {
                 continue;
             }
-            let mut min_entry = f64::INFINITY;
+            let crows = &n.child_border_rows[k];
+            let cb = crows.len();
             let mut entry = std::mem::take(&mut scratch.entry[child]);
             entry.clear();
-            for &b in &self.nodes[child].borders {
-                let bi = n.ub_index[&b];
-                let mut e = f64::INFINITY;
-                if let Some(cross) = &cross {
-                    for &(xi, d) in cross {
-                        e = e.min(d + n.matrix_at(xi, bi));
+            entry.resize(cb * s_count, f64::INFINITY);
+            // (a) through this node's own borders (top-down entries).
+            if has_entry {
+                for (j, &jrow) in n.border_rows.iter().enumerate() {
+                    let erow = &node_entry[j * s_count..(j + 1) * s_count];
+                    for (bi, &brow) in crows.iter().enumerate() {
+                        let m = n.matrix[jrow * ub + brow];
+                        for (slot, &e) in
+                            entry[bi * s_count..(bi + 1) * s_count].iter_mut().zip(erow)
+                        {
+                            let cand = e + m;
+                            if cand < *slot {
+                                *slot = cand;
+                            }
+                        }
                     }
                 }
-                if let Some(through) = &through {
-                    for &(yi, d) in through {
-                        e = e.min(d + n.matrix_at(yi, bi));
-                    }
-                }
-                min_entry = min_entry.min(e);
-                entry.push(e);
             }
+            // (b) cross from each seed whose ancestor chain passes through
+            // this node: its climb vector over the chain child's borders.
+            for (s, climb) in climbs.iter().enumerate() {
+                let plen = climb.path.len();
+                if plen <= depth || climb.path[plen - 1 - depth] != node {
+                    continue;
+                }
+                // `node` has children, so it is not the seed's leaf and the
+                // chain continues one level down.
+                let cc = climb.path[plen - 2 - depth];
+                let ccpos = n
+                    .children
+                    .iter()
+                    .position(|&c| c == cc)
+                    .expect("chain child is a child of its parent");
+                let avec = &climb.vecs[plen - 2 - depth];
+                for (&xrow, &d) in n.child_border_rows[ccpos].iter().zip(avec) {
+                    if !d.is_finite() {
+                        continue;
+                    }
+                    for (bi, &brow) in crows.iter().enumerate() {
+                        let cand = d + n.matrix[xrow * ub + brow];
+                        let slot = &mut entry[bi * s_count + s];
+                        if cand < *slot {
+                            *slot = cand;
+                        }
+                    }
+                }
+            }
+            // Prune only when EVERY seed is both outside the child's subtree
+            // and too far to enter it within `prune_at`: a seed inside the
+            // subtree reaches its targets without crossing the borders, and
+            // any other seed pays at least its minimum entry distance.
+            scratch.seed_min.clear();
+            scratch.seed_min.resize(s_count, f64::INFINITY);
+            for bi in 0..cb {
+                for (mn, &e) in scratch
+                    .seed_min
+                    .iter_mut()
+                    .zip(&entry[bi * s_count..(bi + 1) * s_count])
+                {
+                    if e < *mn {
+                        *mn = e;
+                    }
+                }
+            }
+            let visit = climbs.iter().zip(&scratch.seed_min).any(|(climb, &mn)| {
+                let plen = climb.path.len();
+                let inside = plen > depth + 1 && climb.path[plen - 2 - depth] == child;
+                inside || climb.offset + mn <= prune_at
+            });
             scratch.entry[child] = entry;
-            // The source lies outside any subtree not on its ancestor chain,
-            // so every path into `child` pays at least `min_entry`; target
-            // offsets only add to that.
-            let child_on_chain = path.contains(&child);
-            if !child_on_chain && soff + min_entry > prune_at {
-                continue;
+            if visit {
+                self.multi_visit(
+                    child,
+                    depth + 1,
+                    true,
+                    climbs,
+                    num_columns,
+                    targets,
+                    prune_at,
+                    best,
+                    within,
+                    scratch,
+                );
             }
-            self.batched_visit(
-                child, true, u, soff, path, a_vecs, leaf_u, targets, prune_at, best, scratch,
-            );
         }
+        scratch.entry[node] = node_entry;
     }
 
     fn ancestor_chain(&self, leaf: usize) -> Vec<usize> {
@@ -494,30 +814,33 @@ impl GTree {
         let mut result: Vec<Vec<f64>> = Vec::with_capacity(path.len());
         // Leaf level.
         let leaf = &self.nodes[path[0]];
-        let iu = leaf.ub_index[&u];
+        let iu = self.leaf_pos[u as usize] as usize;
+        let lub = leaf.union_borders.len();
+        let leaf_row = &leaf.matrix[iu * lub..(iu + 1) * lub];
         let leaf_dists: Vec<f64> = leaf
-            .borders
+            .border_rows
             .iter()
-            .map(|b| leaf.matrix_at(iu, leaf.ub_index[b]))
+            .map(|&brow| leaf_row[brow])
             .collect();
         result.push(leaf_dists);
         // Internal levels.
         for level in 1..path.len() {
             let node = &self.nodes[path[level]];
-            let child = &self.nodes[path[level - 1]];
+            let cpos = node
+                .children
+                .iter()
+                .position(|&c| c == path[level - 1])
+                .expect("chain child is a child of its parent");
+            let crows = &node.child_border_rows[cpos];
+            let ub = node.union_borders.len();
             let prev = &result[level - 1];
             let dists: Vec<f64> = node
-                .borders
+                .border_rows
                 .iter()
-                .map(|&x| {
-                    let xi = node.ub_index[&x];
+                .map(|&xrow| {
                     let mut best = f64::INFINITY;
-                    for (bi, &b) in child.borders.iter().enumerate() {
-                        if !prev[bi].is_finite() {
-                            continue;
-                        }
-                        let bidx = node.ub_index[&b];
-                        let cand = prev[bi] + node.matrix_at(bidx, xi);
+                    for (&brow, &d) in crows.iter().zip(prev) {
+                        let cand = d + node.matrix[brow * ub + xrow];
                         if cand < best {
                             best = cand;
                         }
@@ -546,6 +869,8 @@ impl GTree {
             borders: Vec::new(),
             union_borders: Vec::new(),
             ub_index: HashMap::new(),
+            border_rows: Vec::new(),
+            child_border_rows: Vec::new(),
             matrix: Vec::new(),
         });
         if vertices.len() <= leaf_capacity {
@@ -675,6 +1000,38 @@ impl GTree {
                 node.ub_index = ub_index;
                 node.matrix = matrix;
             }
+        }
+    }
+    /// Fills the precomputed index arrays (`border_rows`, `child_border_rows`,
+    /// `leaf_pos`) from the `ub_index` maps after the matrices are built, so
+    /// every query hot loop is pure slice indexing with zero hashing.
+    fn precompute_index_rows(&mut self) {
+        for id in 0..self.nodes.len() {
+            let border_rows: Vec<usize> = self.nodes[id]
+                .borders
+                .iter()
+                .map(|b| self.nodes[id].ub_index[b])
+                .collect();
+            let child_border_rows: Vec<Vec<usize>> = self.nodes[id]
+                .children
+                .clone()
+                .iter()
+                .map(|&c| {
+                    self.nodes[c]
+                        .borders
+                        .iter()
+                        .map(|b| self.nodes[id].ub_index[b])
+                        .collect()
+                })
+                .collect();
+            if self.nodes[id].children.is_empty() {
+                for (i, &v) in self.nodes[id].union_borders.iter().enumerate() {
+                    self.leaf_pos[v as usize] = i as u32;
+                }
+            }
+            let node = &mut self.nodes[id];
+            node.border_rows = border_rows;
+            node.child_border_rows = child_border_rows;
         }
     }
 }
@@ -989,6 +1346,172 @@ mod tests {
                     best[v as usize]
                 );
             }
+        }
+    }
+
+    #[test]
+    fn multi_seed_walk_matches_per_seed_walks() {
+        let net = grid(6, 6);
+        let tree = GTree::build_with_capacity(&net, 6);
+        let n = 36usize;
+        let targets = tree.group_targets((0..n as u32).map(|v| (v, v, 0.0)));
+        // Three seeds in distinct columns, with offsets.
+        let seeds = [(0u32, 0.25, 0u32), (17, 0.0, 1), (35, 1.5, 2)];
+        let cols = 3usize;
+        let mut multi = vec![f64::INFINITY; n * cols];
+        let mut scratch = RangeScratch::default();
+        tree.accumulate_multi_source_distances(
+            &seeds,
+            cols,
+            &targets,
+            f64::INFINITY,
+            &mut multi,
+            &mut scratch,
+        );
+        for (u, soff, col) in seeds {
+            let mut single = vec![f64::INFINITY; n];
+            tree.accumulate_source_distances(
+                u,
+                soff,
+                &targets,
+                f64::INFINITY,
+                &mut single,
+                &mut scratch,
+            );
+            for item in 0..n {
+                assert!(
+                    (multi[item * cols + col as usize] - single[item]).abs() < 1e-9,
+                    "seed {u} col {col} item {item}: multi {} single {}",
+                    multi[item * cols + col as usize],
+                    single[item]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_seed_shared_column_takes_the_minimum() {
+        // Two seeds feeding one column model the two endpoints of an on-edge
+        // query location: the column must hold the min over both seeds.
+        let net = grid(5, 5);
+        let tree = GTree::build_with_capacity(&net, 5);
+        let n = 25usize;
+        let targets = tree.group_targets((0..n as u32).map(|v| (v, v, 0.0)));
+        let seeds = [(3u32, 0.5, 0u32), (23, 0.25, 0)];
+        let mut multi = vec![f64::INFINITY; n];
+        let mut scratch = RangeScratch::default();
+        tree.accumulate_multi_source_distances(
+            &seeds,
+            1,
+            &targets,
+            f64::INFINITY,
+            &mut multi,
+            &mut scratch,
+        );
+        for v in 0..n as u32 {
+            let expect = (0.5 + tree.dist(3, v)).min(0.25 + tree.dist(23, v));
+            assert!(
+                (multi[v as usize] - expect).abs() < 1e-9,
+                "item {v}: got {} expected {expect}",
+                multi[v as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn multi_seed_pruning_is_sound_per_column() {
+        let net = grid(6, 6);
+        let tree = GTree::build_with_capacity(&net, 6);
+        let n = 36usize;
+        let t = 3.0;
+        let targets = tree.group_targets((0..n as u32).map(|v| (v, v, 0.0)));
+        let seeds = [(0u32, 0.0, 0u32), (35, 0.0, 1)];
+        let mut multi = vec![f64::INFINITY; n * 2];
+        let mut scratch = RangeScratch::default();
+        tree.accumulate_multi_source_distances(&seeds, 2, &targets, t, &mut multi, &mut scratch);
+        for v in 0..n as u32 {
+            for (col, s) in [(0usize, 0u32), (1, 35)] {
+                let exact = tree.dist(s, v);
+                let got = multi[v as usize * 2 + col];
+                if exact <= t {
+                    assert!(
+                        (got - exact).abs() < 1e-9,
+                        "pruned multi-seed walk lost in-range {s}->{v}"
+                    );
+                } else {
+                    assert!(got > t, "multi-seed walk reported {got} <= t for {s}->{v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_source_within_intersects_columns_in_walk() {
+        let net = grid(6, 6);
+        let tree = GTree::build_with_capacity(&net, 6);
+        let n = 36usize;
+        let t = 4.0;
+        let targets = tree.group_targets((0..n as u32).map(|v| (v, v, 0.0)));
+        let seeds = [(0u32, 0.0, 0u32), (35, 0.0, 1)];
+        let mut best = vec![f64::INFINITY; n * 2];
+        let mut within = vec![false; n];
+        let mut scratch = RangeScratch::default();
+        tree.multi_source_within(&seeds, 2, &targets, t, &mut best, &mut within, &mut scratch);
+        for v in 0..n as u32 {
+            let expect = tree.dist(0, v) <= t && tree.dist(35, v) <= t;
+            assert_eq!(within[v as usize], expect, "within mismatch for target {v}");
+        }
+    }
+
+    #[test]
+    fn multi_source_within_keeps_preseeded_rows_for_pruned_targets() {
+        // Target 5 is far from both seeds, but its row is pre-seeded within
+        // range (modelling the along-edge shortcut): the walk must keep it.
+        let net = RoadNetwork::from_edges(6, &[(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0), (4, 5, 1.0)]);
+        let tree = GTree::build_with_capacity(&net, 4);
+        let targets = tree.group_targets([(0u32, 2u32, 0.0), (1, 5, 0.0)]);
+        let seeds = [(0u32, 0.0, 0u32)];
+        let mut best = vec![f64::INFINITY; 2];
+        best[1] = 0.5; // pre-seeded shortcut for item 1
+        let mut within = vec![false; 2];
+        let mut scratch = RangeScratch::default();
+        tree.multi_source_within(
+            &seeds,
+            1,
+            &targets,
+            2.0,
+            &mut best,
+            &mut within,
+            &mut scratch,
+        );
+        assert!(within[0], "item 0 is two hops from the seed");
+        assert!(within[1], "pre-seeded row must survive pruning");
+        assert_eq!(best[1], 0.5);
+    }
+
+    #[test]
+    fn precomputed_rows_round_trip_through_ub_index() {
+        let net = grid(6, 6);
+        let tree = GTree::build_with_capacity(&net, 6);
+        for id in 0..tree.num_nodes() {
+            for (i, &b) in tree.borders_of(id).iter().enumerate() {
+                assert_eq!(
+                    tree.border_rows_of(id)[i],
+                    tree.ub_position_of(id, b).unwrap()
+                );
+            }
+            for (k, &c) in tree.children_of(id).iter().enumerate() {
+                for (i, &b) in tree.borders_of(c).iter().enumerate() {
+                    assert_eq!(
+                        tree.child_border_rows_of(id, k)[i],
+                        tree.ub_position_of(id, b).unwrap()
+                    );
+                }
+            }
+        }
+        for v in 0..36u32 {
+            let leaf = tree.leaf_id_of(v);
+            assert_eq!(tree.union_borders_of(leaf)[tree.leaf_position_of(v)], v);
         }
     }
 

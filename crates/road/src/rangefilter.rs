@@ -5,7 +5,7 @@
 //! probing the [`DistanceOracle`] once per user, which wastes the structure of
 //! the problem — the filter evaluates **one** small query set against **all**
 //! user locations. [`RangeFilter`] makes that set operation the unit of
-//! dispatch, with three interchangeable strategies:
+//! dispatch, with four interchangeable strategies:
 //!
 //! * [`RangeFilter::DijkstraSweep`] — one t-bounded multi-source sweep per
 //!   query location over the road graph; the strongest baseline at laptop
@@ -13,36 +13,60 @@
 //! * [`RangeFilter::GTreePoint`] — the per-user G-tree point oracle of PR 1,
 //!   kept selectable for equivalence testing and for the regime the paper
 //!   measures (few users, continent-scale road networks).
-//! * [`RangeFilter::GTreeLeafBatched`] — the leaf-batched G-tree evaluation:
-//!   one climb per query seed, entry vectors pushed top-down, subtrees beyond
-//!   `t` pruned wholesale, and every occupied leaf evaluated with a single
-//!   pass over its border rows ([`GTree::accumulate_source_distances`]).
+//! * [`RangeFilter::GTreeLeafBatched`] — the PR-2 per-seed leaf-batched
+//!   G-tree evaluation: one pruned top-down walk **per query seed**, merged
+//!   per query location ([`GTree::accumulate_source_distances`]).
+//! * [`RangeFilter::GTreeMultiSeedBatched`] — the multi-seed walk: **all**
+//!   query seeds fold into a single top-down pass with per-seed entry
+//!   columns; a subtree is pruned only when every seed is out of range, each
+//!   occupied leaf is evaluated once against all columns, and the Lemma-1
+//!   intersection is maintained in-walk
+//!   ([`GTree::multi_source_within`]).
 //!
-//! All three are exact and must return identical user sets; the integration
+//! All four are exact and must return identical user sets; the integration
 //! property tests (`tests/range_filter_equivalence.rs`) enforce this.
+//! [`resolve_auto`] turns `Auto` into a concrete strategy from the measured
+//! sweep/batched crossover.
 
 use crate::gtree::{GTree, RangeScratch};
-use crate::network::{Location, RoadNetwork};
+use crate::network::{Location, RoadNetwork, RoadVertexId};
 use crate::oracle::{along_edge_distance, location_seeds, DistanceOracle};
 use crate::querydist::QueryDistanceIndex;
 
 /// Which range-filter strategy a query should use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RangeFilterChoice {
-    /// Let the network pick. Currently resolves to the bounded Dijkstra
-    /// sweep — the measured fastest at every generatable dataset scale
-    /// (`BENCH_PR2.json`): its cost is the radius-t ball, which stays tiny on
-    /// laptop-scale road networks. The G-tree strategies remain explicitly
-    /// selectable for the paper's continent-scale regime, where sweeping the
-    /// ball is the expensive part.
+    /// Let the network pick from the measured crossover ([`resolve_auto`]):
+    /// the bounded Dijkstra sweep when the radius-t ball is small (every
+    /// laptop-scale preset), the multi-seed batched G-tree walk when an
+    /// index exists and the estimated ball dwarfs the indexed work
+    /// (`BENCH_PR3.json` records the crossover measurements).
     #[default]
     Auto,
     /// Always run one t-bounded Dijkstra sweep per query location.
     DijkstraSweep,
     /// Per-user G-tree point queries; falls back to Dijkstra without an index.
     GTreePoint,
-    /// Leaf-batched G-tree evaluation; falls back to Dijkstra without an index.
+    /// Per-seed leaf-batched G-tree evaluation (the PR-2 path); falls back to
+    /// Dijkstra without an index.
     GTreeLeafBatched,
+    /// Multi-seed leaf-batched G-tree evaluation — one walk for all query
+    /// seeds; falls back to Dijkstra without an index.
+    GTreeMultiSeedBatched,
+}
+
+impl RangeFilterChoice {
+    /// Short label for benchmark and diagnostic output; resolved strategies
+    /// share the vocabulary of [`RangeFilter::name`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            RangeFilterChoice::Auto => "auto",
+            RangeFilterChoice::DijkstraSweep => "dijkstra-sweep",
+            RangeFilterChoice::GTreePoint => "gtree-point",
+            RangeFilterChoice::GTreeLeafBatched => "gtree-leaf-batched",
+            RangeFilterChoice::GTreeMultiSeedBatched => "gtree-multi-seed-batched",
+        }
+    }
 }
 
 /// An exact "users within t" filter (Lemma 1) over the road network.
@@ -52,8 +76,10 @@ pub enum RangeFilter<'a> {
     DijkstraSweep,
     /// Per-user point queries against a prebuilt G-tree.
     GTreePoint(&'a GTree),
-    /// Leaf-batched evaluation against a prebuilt G-tree.
+    /// Per-seed leaf-batched evaluation against a prebuilt G-tree.
     GTreeLeafBatched(&'a GTree),
+    /// Multi-seed leaf-batched evaluation against a prebuilt G-tree.
+    GTreeMultiSeedBatched(&'a GTree),
 }
 
 impl<'a> RangeFilter<'a> {
@@ -63,6 +89,7 @@ impl<'a> RangeFilter<'a> {
             RangeFilter::DijkstraSweep => "dijkstra-sweep",
             RangeFilter::GTreePoint(_) => "gtree-point",
             RangeFilter::GTreeLeafBatched(_) => "gtree-leaf-batched",
+            RangeFilter::GTreeMultiSeedBatched(_) => "gtree-multi-seed-batched",
         }
     }
 
@@ -89,13 +116,32 @@ impl<'a> RangeFilter<'a> {
             RangeFilter::GTreeLeafBatched(tree) => {
                 leaf_batched_within(tree, net, query_locations, t, user_locations)
             }
+            RangeFilter::GTreeMultiSeedBatched(tree) => {
+                multi_seed_batched_within(tree, net, query_locations, t, user_locations)
+            }
         }
     }
 }
 
-/// The leaf-batched strategy: group the user seeds by leaf once, then run one
-/// pruned top-down walk per query seed, intersecting the per-query-location
-/// threshold predicates.
+/// Groups the user seeds by G-tree leaf (shared by both batched strategies):
+/// an on-edge user contributes a seed at each endpoint.
+fn group_user_targets(
+    tree: &GTree,
+    net: &RoadNetwork,
+    user_locations: &[Location],
+) -> crate::gtree::LeafTargets {
+    tree.group_targets(user_locations.iter().enumerate().flat_map(|(i, loc)| {
+        location_seeds(net, loc)
+            .into_iter()
+            .filter(|&(_, off)| off.is_finite())
+            .map(move |(v, off)| (i as u32, v, off))
+    }))
+}
+
+/// The PR-2 per-seed leaf-batched strategy: group the user seeds by leaf
+/// once, then run one pruned top-down walk per query seed, intersecting the
+/// per-query-location threshold predicates in this merge loop. Kept as the
+/// baseline the multi-seed walk is measured against.
 fn leaf_batched_within(
     tree: &GTree,
     net: &RoadNetwork,
@@ -108,12 +154,7 @@ fn leaf_batched_within(
     if n == 0 {
         return within;
     }
-    let targets = tree.group_targets(user_locations.iter().enumerate().flat_map(|(i, loc)| {
-        location_seeds(net, loc)
-            .into_iter()
-            .filter(|&(_, off)| off.is_finite())
-            .map(move |(v, off)| (i as u32, v, off))
-    }));
+    let targets = group_user_targets(tree, net, user_locations);
     let mut scratch = RangeScratch::default();
     let mut best = vec![f64::INFINITY; n];
     for qloc in query_locations {
@@ -137,6 +178,163 @@ fn leaf_batched_within(
     within
 }
 
+/// The multi-seed strategy: all query seeds fold into **one** top-down walk
+/// with per-seed entry columns (seeds of the same query location share an
+/// output column), and the Lemma-1 intersection is maintained in-walk by
+/// [`GTree::multi_source_within`]. The per-user rows are pre-seeded with the
+/// along-edge shortcuts, so users in pruned subtrees keep their exact
+/// same-edge memberships.
+fn multi_seed_batched_within(
+    tree: &GTree,
+    net: &RoadNetwork,
+    query_locations: &[Location],
+    t: f64,
+    user_locations: &[Location],
+) -> Vec<bool> {
+    let n = user_locations.len();
+    let cols = query_locations.len();
+    let mut within = vec![true; n];
+    if n == 0 || cols == 0 {
+        return within;
+    }
+    let targets = group_user_targets(tree, net, user_locations);
+    let mut seeds: Vec<(RoadVertexId, f64, u32)> = Vec::new();
+    for (q, qloc) in query_locations.iter().enumerate() {
+        for (sv, soff) in location_seeds(net, qloc)
+            .into_iter()
+            .filter(|&(_, off)| off.is_finite())
+        {
+            seeds.push((sv, soff, q as u32));
+        }
+    }
+    let mut best = vec![f64::INFINITY; n * cols];
+    for (i, uloc) in user_locations.iter().enumerate() {
+        for (q, qloc) in query_locations.iter().enumerate() {
+            best[i * cols + q] = along_edge_distance(qloc, uloc);
+        }
+    }
+    let mut scratch = RangeScratch::default();
+    tree.multi_source_within(
+        &seeds,
+        cols,
+        &targets,
+        t,
+        &mut best,
+        &mut within,
+        &mut scratch,
+    );
+    within
+}
+
+/// Sweep-vs-batched conversion factor of [`resolve_auto`]'s cost model,
+/// calibrated from the `BENCH_PR3.json` crossover measurements: one modeled
+/// sweep relaxation (a heap operation plus an edge scan) costs about as much
+/// as this many batched matrix-cell touches (the measured unit costs were
+/// ~10 ns per batched cell and ~40 ns per modeled sweep relaxation on the
+/// recorder machine). Lowering the constant makes `Auto` keep the sweep
+/// longer.
+pub const AUTO_SWEEP_CELL_COST: f64 = 16.0;
+
+/// Calibrated `Auto` resolution for the Lemma-1 range filter.
+///
+/// The sweep's cost is the radius-`t` ball: every vertex within distance `t`
+/// of a query location is settled once per location, so it grows with `t`
+/// and is independent of the index. The multi-seed batched walk instead pays
+/// in distance-matrix cells: the entry-column extensions over the occupied
+/// part of the hierarchy (at most one pass over the matrices, whatever `t`
+/// is) plus one border-row pass per user seed — independent of how many
+/// road vertices the ball covers. `Auto` estimates both in common units:
+///
+/// * ball estimate — `t` over a sampled average edge weight gives the ball
+///   radius in hops; the ball then grows quadratically (`~2·hops²`,
+///   grid-like fill) but no faster than `2·hops` times the network's
+///   separator width, probed as the G-tree root cut (corridor-like networks
+///   have tiny cuts and near-linear growth), capped at `|V|`;
+/// * sweep estimate — `|Q| · ball · avg_degree` edge relaxations, each worth
+///   [`AUTO_SWEEP_CELL_COST`] matrix cells;
+/// * batched estimate — per seed, the walk's fixed floor (the root-level
+///   entry extension, paid regardless of occupancy) plus the
+///   occupancy-scaled share of all entry extensions, plus each user seed's
+///   leaf border rows for all `|Q|` columns.
+///
+/// The crossover measurements (`BENCH_PR3.json`) show what this model
+/// encodes: on grid-like road networks the walk's fixed floor grows with
+/// the same `√|V|` cut that makes the ball expensive, so the sweep wins at
+/// every generatable scale and `Auto` keeps it; on small-separator
+/// (corridor/highway-like) networks the floor collapses and the batched
+/// walk wins as soon as the ball is large, so `Auto` switches. A network
+/// without an index always resolves to the sweep. The regression tests pin
+/// both directions so heuristic edits cannot silently flip laptop-scale
+/// queries off the sweep.
+pub fn resolve_auto(
+    net: &RoadNetwork,
+    tree: Option<&GTree>,
+    num_query_locations: usize,
+    t: f64,
+    num_users: usize,
+) -> RangeFilterChoice {
+    let Some(tree) = tree else {
+        return RangeFilterChoice::DijkstraSweep;
+    };
+    let n = net.num_vertices();
+    if n == 0 || num_query_locations == 0 || num_users == 0 {
+        return RangeFilterChoice::DijkstraSweep;
+    }
+    let avg_w = sampled_avg_edge_weight(net);
+    if !avg_w.is_finite() || avg_w <= 0.0 {
+        return RangeFilterChoice::DijkstraSweep;
+    }
+    let hops = t / avg_w;
+    // Separator-width probe: the widest child cut at the G-tree root.
+    let sep = tree
+        .children_of(tree.root_id())
+        .iter()
+        .map(|&c| tree.borders_of(c).len())
+        .max()
+        .unwrap_or(2)
+        .max(2) as f64;
+    let est_ball = (2.0 * hops * hops + 4.0 * hops + 1.0)
+        .min(2.0 * hops * sep)
+        .min(n as f64)
+        .max(1.0);
+    let q = num_query_locations as f64;
+    // Each query location contributes up to two on-edge seeds to the walk.
+    let seeds = 2.0 * q;
+    let sweep_cells = q * est_ball * net.avg_degree().max(2.0) * AUTO_SWEEP_CELL_COST;
+    let leaves = tree.num_leaves().max(1) as f64;
+    let avg_leaf = n as f64 / leaves;
+    // The walk's t-pruning skips occupied subtrees beyond the ball, so only
+    // the users inside the estimated ball drive its occupancy cost.
+    let users_eff = num_users as f64 * (est_ball / n as f64).min(1.0);
+    let occ_frac = (users_eff / leaves).min(1.0);
+    let batched_cells = seeds
+        * (tree.walk_cells_root() as f64
+            + occ_frac * tree.walk_cells_total() as f64
+            + 2.0 * users_eff * avg_leaf.sqrt());
+    if sweep_cells > batched_cells {
+        RangeFilterChoice::GTreeMultiSeedBatched
+    } else {
+        RangeFilterChoice::DijkstraSweep
+    }
+}
+
+/// Average edge weight over a deterministic sample of the network's edges
+/// (the first 1024 in canonical order) — enough signal to turn `t` into an
+/// expected hop radius without an O(m) scan per query.
+fn sampled_avg_edge_weight(net: &RoadNetwork) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for (_, _, w) in net.edges().take(1024) {
+        sum += w;
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,11 +355,12 @@ mod tests {
         RoadNetwork::from_edges((rows * cols) as usize, &edges)
     }
 
-    fn all_filters(tree: &GTree) -> [RangeFilter<'_>; 3] {
+    fn all_filters(tree: &GTree) -> [RangeFilter<'_>; 4] {
         [
             RangeFilter::DijkstraSweep,
             RangeFilter::GTreePoint(tree),
             RangeFilter::GTreeLeafBatched(tree),
+            RangeFilter::GTreeMultiSeedBatched(tree),
         ]
     }
 
@@ -228,6 +427,78 @@ mod tests {
             assert!(filter
                 .users_within(&net, &[Location::vertex(0)], 1.0, &[])
                 .is_empty());
+        }
+    }
+
+    #[test]
+    fn auto_without_index_is_the_sweep() {
+        let net = grid(8, 8);
+        assert_eq!(
+            resolve_auto(&net, None, 3, 10.0, 64),
+            RangeFilterChoice::DijkstraSweep
+        );
+    }
+
+    #[test]
+    fn auto_on_small_indexed_networks_stays_on_the_sweep() {
+        // Laptop-scale regression pin: on a small road network the whole
+        // vertex set is a small ball, so Auto must keep the sweep even with
+        // an index built — future heuristic edits cannot silently flip
+        // laptop-scale queries off the sweep.
+        let net = grid(16, 16);
+        let tree = GTree::build_with_capacity(&net, 16);
+        for t in [0.5, 2.0, 10.0, 1000.0] {
+            for q in [1usize, 2, 4] {
+                assert_eq!(
+                    resolve_auto(&net, Some(&tree), q, t, 256),
+                    RangeFilterChoice::DijkstraSweep,
+                    "small indexed network must sweep (t = {t}, |Q| = {q})"
+                );
+            }
+        }
+    }
+
+    /// A corridor/highway-like road network: a long weighted path with a
+    /// shortcut every fifth vertex. Its separators (and so the G-tree border
+    /// sets) stay tiny at any size — the topology where the batched walk
+    /// genuinely beats the sweep (`BENCH_PR3.json` crossover rows).
+    fn corridor(n: u32) -> RoadNetwork {
+        let mut edges: Vec<(u32, u32, f64)> = (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
+        edges.extend((0..n.saturating_sub(5)).step_by(5).map(|i| (i, i + 5, 2.5)));
+        RoadNetwork::from_edges(n as usize, &edges)
+    }
+
+    #[test]
+    fn auto_on_indexed_large_corridor_switches_to_the_batched_walk() {
+        // The other direction of the pin: on an indexed large small-separator
+        // network the walk's border sets stay tiny and the measured crossover
+        // rows (`BENCH_PR3.json`) show the multi-seed walk winning from
+        // moderate radii up to full-graph balls — Auto must use the index.
+        let net = corridor(20_000);
+        let tree = GTree::build(&net);
+        for t in [50.0, 1_000.0, 10_000.0] {
+            assert_eq!(
+                resolve_auto(&net, Some(&tree), 4, t, 64),
+                RangeFilterChoice::GTreeMultiSeedBatched,
+                "indexed-large corridor must use the index at t = {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn auto_on_grid_like_networks_keeps_the_sweep_at_any_radius() {
+        // Grid-like networks have √n-sized cuts: the walk's fixed floor grows
+        // with the same structure that makes the ball expensive, and the
+        // measured crossover rows show the sweep winning at every generatable
+        // scale — Auto must not flip on them.
+        let net = grid(50, 50);
+        let tree = GTree::build(&net);
+        for t in [1.0, 10.0, 100.0, 10_000.0] {
+            assert_eq!(
+                resolve_auto(&net, Some(&tree), 4, t, 64),
+                RangeFilterChoice::DijkstraSweep,
+                "grid-like network must sweep at t = {t}"
+            );
         }
     }
 }

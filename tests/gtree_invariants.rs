@@ -1,0 +1,180 @@
+//! Structural property tests for the G-tree build.
+//!
+//! The multi-seed batched walk leans entirely on build-time structure: the
+//! partition hierarchy, the border sets, the per-node distance matrices, and
+//! the precomputed border-index arrays that replaced the hot-loop hash
+//! lookups. These tests pin the invariants that make the walk exact:
+//!
+//! * every node's region is the disjoint union of its children's regions,
+//!   and the leaves partition the vertex set;
+//! * border sets are supersets of the child cut vertices — any vertex with a
+//!   road edge leaving its (child) region is a border of that child, and a
+//!   parent's borders all appear among its children's borders (the union
+//!   border space), so entry vectors can always be extended downwards;
+//! * distance matrices are symmetric with a zero diagonal (the road network
+//!   is undirected), and matrix values never beat the global shortest path;
+//! * the precomputed index arrays (`border_rows`, `child_border_rows`,
+//!   `leaf_pos`) round-trip through the build-time `ub_index` hash maps they
+//!   replaced.
+
+use proptest::prelude::*;
+use road_social_mac::datagen::road::{generate_road, RoadConfig};
+use road_social_mac::road::{GTree, RoadNetwork};
+
+fn check_invariants(net: &RoadNetwork, tree: &GTree) {
+    let n = net.num_vertices();
+
+    // Leaves partition the vertex set, and leaf_pos round-trips.
+    let mut seen = vec![false; n];
+    for id in 0..tree.num_nodes() {
+        if !tree.children_of(id).is_empty() {
+            continue;
+        }
+        for &v in tree.vertices_of(id) {
+            prop_assert!(!seen[v as usize], "vertex {v} in two leaves");
+            seen[v as usize] = true;
+            prop_assert_eq!(tree.leaf_id_of(v), id);
+            prop_assert_eq!(tree.union_borders_of(id)[tree.leaf_position_of(v)], v);
+        }
+    }
+    prop_assert!(seen.iter().all(|&b| b), "some vertex is in no leaf");
+
+    let mut in_region = vec![false; n];
+    for id in 0..tree.num_nodes() {
+        let children = tree.children_of(id);
+
+        // A node's region is the disjoint union of its children's regions.
+        if !children.is_empty() {
+            let child_total: usize = children.iter().map(|&c| tree.vertices_of(c).len()).sum();
+            prop_assert_eq!(child_total, tree.vertices_of(id).len());
+            for &c in children {
+                prop_assert_eq!(tree.parent_of(c), Some(id));
+                for &v in tree.vertices_of(c) {
+                    prop_assert!(!in_region[v as usize]);
+                    in_region[v as usize] = true;
+                }
+            }
+            for &v in tree.vertices_of(id) {
+                prop_assert!(in_region[v as usize], "child regions miss vertex {v}");
+                in_region[v as usize] = false;
+            }
+        }
+
+        // Border supersets: every vertex with an edge leaving the region is a
+        // border (in particular every cut vertex towards a sibling child).
+        for &v in tree.vertices_of(id) {
+            in_region[v as usize] = true;
+        }
+        for &v in tree.vertices_of(id) {
+            let leaves_region = net
+                .neighbors(v)
+                .iter()
+                .any(|&(u, _)| !in_region[u as usize]);
+            if leaves_region {
+                prop_assert!(
+                    tree.borders_of(id).contains(&v),
+                    "cut vertex {v} missing from borders of node {id}"
+                );
+            }
+        }
+        for &v in tree.vertices_of(id) {
+            in_region[v as usize] = false;
+        }
+
+        // A parent's borders all appear in its union-border space (they are
+        // borders of some child), so entry vectors extend downwards.
+        for &b in tree.borders_of(id) {
+            prop_assert!(
+                tree.ub_position_of(id, b).is_some(),
+                "border {b} of node {id} missing from its union borders"
+            );
+        }
+
+        // Matrices: symmetric, zero diagonal, never better than the global
+        // shortest path (within-region distances are restrictions).
+        let ub = tree.union_borders_of(id);
+        for i in 0..ub.len() {
+            prop_assert_eq!(tree.matrix_entry(id, i, i), 0.0);
+            for j in (i + 1)..ub.len() {
+                let a = tree.matrix_entry(id, i, j);
+                let b = tree.matrix_entry(id, j, i);
+                prop_assert!(
+                    (a == b) || (a - b).abs() < 1e-9,
+                    "matrix of node {id} not symmetric at ({i},{j}): {a} vs {b}"
+                );
+                let global = tree.dist(ub[i], ub[j]);
+                prop_assert!(
+                    a >= global - 1e-9,
+                    "within-region distance {a} beats global {global} for node {id}"
+                );
+            }
+        }
+
+        // Precomputed border-index arrays round-trip through the build-time
+        // ub_index maps they replaced.
+        for (i, &b) in tree.borders_of(id).iter().enumerate() {
+            prop_assert_eq!(
+                tree.border_rows_of(id)[i],
+                tree.ub_position_of(id, b).unwrap()
+            );
+        }
+        for (k, &c) in children.iter().enumerate() {
+            for (i, &b) in tree.borders_of(c).iter().enumerate() {
+                prop_assert_eq!(
+                    tree.child_border_rows_of(id, k)[i],
+                    tree.ub_position_of(id, b).unwrap()
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: if cfg!(debug_assertions) { 8 } else { 24 },
+        .. ProptestConfig::default()
+    })]
+
+    /// The invariants hold on generated road networks across sizes and leaf
+    /// capacities.
+    #[test]
+    fn gtree_build_invariants_on_generated_networks(
+        seed in 0u64..10_000,
+        road_n in 40usize..260,
+        leaf_capacity in 4usize..40,
+    ) {
+        let net = generate_road(&RoadConfig::with_size(road_n, seed));
+        let tree = GTree::build_with_capacity(&net, leaf_capacity);
+        check_invariants(&net, &tree);
+    }
+}
+
+/// Invariants also hold on a disconnected network (infinite matrix entries
+/// stay symmetric; unreachable borders stay consistent).
+#[test]
+fn gtree_build_invariants_on_disconnected_network() {
+    let net = RoadNetwork::from_edges(
+        10,
+        &[
+            (0, 1, 1.0),
+            (1, 2, 2.0),
+            (2, 3, 1.5),
+            (5, 6, 1.0),
+            (6, 7, 3.0),
+            (8, 9, 0.5),
+        ],
+    );
+    let tree = GTree::build_with_capacity(&net, 4);
+    check_invariants(&net, &tree);
+}
+
+/// A single-leaf tree (capacity covering the whole network) satisfies the
+/// same invariants degenerately.
+#[test]
+fn gtree_build_invariants_single_leaf() {
+    let net = generate_road(&RoadConfig::with_size(30, 3));
+    let tree = GTree::build_with_capacity(&net, 64);
+    assert_eq!(tree.num_nodes(), 1);
+    assert_eq!(tree.num_leaves(), 1);
+    check_invariants(&net, &tree);
+}

@@ -1,16 +1,31 @@
 //! Property tests for the range-filter layer: the bounded Dijkstra sweep, the
-//! per-user G-tree point oracle, and the leaf-batched G-tree evaluation are
-//! three implementations of the same exact set operation — "which users have
-//! `D_Q(v) <= t`" — and must return identical user sets on every input,
-//! including users located on the same edge as a query location and users at
-//! distance exactly `t`.
+//! per-user G-tree point oracle, the per-seed leaf-batched G-tree walk, and
+//! the multi-seed batched G-tree walk are four implementations of the same
+//! exact set operation — "which users have `D_Q(v) <= t`" — and must return
+//! identical user sets on every input, including users located on the same
+//! edge as a query location, users at distance exactly `t`, larger query sets
+//! (|Q| up to 6, every location contributing its own entry columns to the
+//! multi-seed walk), and thresholds yielding empty results.
+//!
+//! The full fuzz sweep is heavy for debug builds, so the case counts scale
+//! with the profile: the debug CI job runs a reduced deterministic grid, the
+//! release CI job (`cargo test --release`) runs the full one.
 
 use proptest::prelude::*;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use road_social_mac::datagen::road::{generate_road, RoadConfig};
+use road_social_mac::road::dijkstra::sssp;
 use road_social_mac::road::rangefilter::RangeFilter;
 use road_social_mac::road::{GTree, Location, RoadNetwork};
+
+fn fuzz_cases(full: u32) -> u32 {
+    if cfg!(debug_assertions) {
+        (full / 4).max(4)
+    } else {
+        full
+    }
+}
 
 /// Random locations over a road network: a mix of vertex locations and
 /// on-edge locations with offsets drawn inside the edge length (edge
@@ -35,6 +50,14 @@ fn random_locations(net: &RoadNetwork, count: usize, rng: &mut StdRng) -> Vec<Lo
         .collect()
 }
 
+fn gtree_filters(tree: &GTree) -> [RangeFilter<'_>; 3] {
+    [
+        RangeFilter::GTreePoint(tree),
+        RangeFilter::GTreeLeafBatched(tree),
+        RangeFilter::GTreeMultiSeedBatched(tree),
+    ]
+}
+
 fn assert_filters_agree(
     net: &RoadNetwork,
     tree: &GTree,
@@ -43,10 +66,7 @@ fn assert_filters_agree(
     users: &[Location],
 ) {
     let reference = RangeFilter::DijkstraSweep.users_within(net, q, t, users);
-    for filter in [
-        RangeFilter::GTreePoint(tree),
-        RangeFilter::GTreeLeafBatched(tree),
-    ] {
+    for filter in gtree_filters(tree) {
         let got = filter.users_within(net, q, t, users);
         prop_assert_eq!(
             &got,
@@ -59,10 +79,10 @@ fn assert_filters_agree(
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: fuzz_cases(24), .. ProptestConfig::default() })]
 
     /// On generated road networks with arbitrary query/user placements, all
-    /// three strategies return the same user set for every threshold.
+    /// four strategies return the same user set for every threshold.
     #[test]
     fn filters_agree_on_random_networks(
         seed in 0u64..10_000,
@@ -75,6 +95,24 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xF117E5);
         let q = random_locations(&net, rng.random_range(1..4), &mut rng);
         let users = random_locations(&net, 120, &mut rng);
+        assert_filters_agree(&net, &tree, &q, t, &users);
+    }
+
+    /// Larger query sets: |Q| swept through 1..6, so the multi-seed walk
+    /// carries up to a dozen entry columns whose intersection must match the
+    /// per-location merges of the other strategies exactly.
+    #[test]
+    fn filters_agree_for_larger_query_sets(
+        seed in 0u64..10_000,
+        q_count in 1usize..6,
+        leaf_capacity in 4usize..20,
+        t in 0.0f64..60.0,
+    ) {
+        let net = generate_road(&RoadConfig::with_size(150, seed));
+        let tree = GTree::build_with_capacity(&net, leaf_capacity);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF ^ q_count as u64);
+        let q = random_locations(&net, q_count, &mut rng);
+        let users = random_locations(&net, 100, &mut rng);
         assert_filters_agree(&net, &tree, &q, t, &users);
     }
 
@@ -106,7 +144,135 @@ proptest! {
             .collect();
         users.extend((0..5).map(Location::vertex));
         assert_filters_agree(&net, &tree, &q, t, &users);
+        let _ = seed;
     }
+
+    /// All query locations on the same edge: the multi-seed walk then holds
+    /// several columns whose seeds sit on the same two vertices with
+    /// different offsets — a worst case for column bookkeeping.
+    #[test]
+    fn filters_agree_for_query_seeds_on_one_edge(
+        seed in 0u64..10_000,
+        q_count in 2usize..6,
+        t in 0.0f64..40.0,
+    ) {
+        let net = generate_road(&RoadConfig::with_size(120, seed));
+        let tree = GTree::build_with_capacity(&net, 8);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        // Pick one edge and spread all query locations along it.
+        let (eu, ev, ew) = {
+            let n = net.num_vertices() as u32;
+            let mut edge = None;
+            for _ in 0..64 {
+                let v = rng.random_range(0..n);
+                let nbrs = net.neighbors(v);
+                if !nbrs.is_empty() {
+                    let (u, w) = nbrs[rng.random_range(0..nbrs.len())];
+                    edge = Some((v, u, w));
+                    break;
+                }
+            }
+            match edge {
+                Some(e) => e,
+                None => return, // fully disconnected sample; nothing to test
+            }
+        };
+        let q: Vec<Location> = (0..q_count)
+            .map(|i| Location::OnEdge {
+                u: eu.min(ev),
+                v: eu.max(ev),
+                offset: ew * (i as f64 + 0.5) / q_count as f64,
+            })
+            .collect();
+        let mut users = random_locations(&net, 80, &mut rng);
+        // ...including users on the very same edge.
+        users.extend((0..=6).map(|i| Location::OnEdge {
+            u: eu.min(ev),
+            v: eu.max(ev),
+            offset: ew * (i as f64) / 6.0,
+        }));
+        assert_filters_agree(&net, &tree, &q, t, &users);
+    }
+
+    /// `t` exactly equal to a shortest-path distance: the threshold predicate
+    /// is `<= t`, and on **integer-weighted** networks every strategy
+    /// assembles path sums exactly (f64 adds integers below 2^53 without
+    /// rounding, in any association order), so boundary users must be kept by
+    /// every strategy with no tolerance to hide behind. Continuous weights
+    /// are excluded deliberately: there, differently-associated sums of the
+    /// same path legitimately differ in the last ulp.
+    #[test]
+    fn filters_agree_at_exact_shortest_path_thresholds(
+        seed in 0u64..10_000,
+        leaf_capacity in 4usize..20,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD157);
+        // Random integer-weighted network: a ring plus chords.
+        let n = rng.random_range(60..140usize) as u32;
+        let mut edges: Vec<(u32, u32, f64)> = (0..n)
+            .map(|v| (v, (v + 1) % n, rng.random_range(1..9u32) as f64))
+            .collect();
+        for _ in 0..n {
+            let u = rng.random_range(0..n);
+            let v = rng.random_range(0..n);
+            edges.push((u, v, rng.random_range(1..15u32) as f64));
+        }
+        let net = RoadNetwork::from_edges(n as usize, &edges);
+        let tree = GTree::build_with_capacity(&net, leaf_capacity);
+        let qv = rng.random_range(0..n);
+        let dists = sssp(&net, qv);
+        // Use a reachable vertex's exact distance as t (preferring a far one
+        // so the boundary is non-trivial).
+        let mut t = 0.0f64;
+        for _ in 0..32 {
+            let v = rng.random_range(0..n) as usize;
+            if dists[v].is_finite() && dists[v] > t {
+                t = dists[v];
+            }
+        }
+        let q = [Location::vertex(qv)];
+        let users: Vec<Location> = (0..n).map(Location::vertex).collect();
+        assert_filters_agree(&net, &tree, &q, t, &users);
+    }
+
+    /// Thresholds below every distance: all four strategies must agree on the
+    /// empty result (and on the singleton result at the query vertex itself).
+    #[test]
+    fn filters_agree_on_empty_results(
+        seed in 0u64..10_000,
+        leaf_capacity in 4usize..20,
+    ) {
+        let net = generate_road(&RoadConfig::with_size(100, seed));
+        let tree = GTree::build_with_capacity(&net, leaf_capacity);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xE397);
+        let n = net.num_vertices() as u32;
+        let qv = rng.random_range(0..n);
+        let q = [Location::vertex(qv)];
+        // Users strictly away from the query vertex, t = 0: nobody qualifies.
+        let users: Vec<Location> = (0..n).filter(|&v| v != qv).map(Location::vertex).collect();
+        let reference = RangeFilter::DijkstraSweep.users_within(&net, &q, 0.0, &users);
+        prop_assert!(
+            reference.iter().all(|&w| !w),
+            "t = 0 with users off the query vertex must filter everyone"
+        );
+        for filter in gtree_filters(&tree) {
+            prop_assert_eq!(
+                filter.users_within(&net, &q, 0.0, &users),
+                reference.clone(),
+                "{} disagrees on the empty result",
+                filter.name()
+            );
+        }
+    }
+}
+
+fn all_filters(tree: &GTree) -> [RangeFilter<'_>; 4] {
+    [
+        RangeFilter::DijkstraSweep,
+        RangeFilter::GTreePoint(tree),
+        RangeFilter::GTreeLeafBatched(tree),
+        RangeFilter::GTreeMultiSeedBatched(tree),
+    ]
 }
 
 /// Users at distance **exactly** `t` must be kept by every strategy: the
@@ -148,11 +314,7 @@ fn users_exactly_at_distance_t_are_kept_by_all_filters() {
         Location::vertex(7), // 7 > t (chord longer)
     ];
     let expected = vec![true, true, true, true, true, false, false, false];
-    for filter in [
-        RangeFilter::DijkstraSweep,
-        RangeFilter::GTreePoint(&tree),
-        RangeFilter::GTreeLeafBatched(&tree),
-    ] {
+    for filter in all_filters(&tree) {
         assert_eq!(
             filter.users_within(&net, &q, t, &users),
             expected,
@@ -178,11 +340,7 @@ fn multi_query_intersection_is_identical_across_filters() {
     let expected: Vec<bool> = (0..10u32)
         .map(|v| (v as i64 - 2).abs().max((v as i64 - 6).abs()) <= 4)
         .collect();
-    for filter in [
-        RangeFilter::DijkstraSweep,
-        RangeFilter::GTreePoint(&tree),
-        RangeFilter::GTreeLeafBatched(&tree),
-    ] {
+    for filter in all_filters(&tree) {
         assert_eq!(
             filter.users_within(&net, &q, t, &users),
             expected,

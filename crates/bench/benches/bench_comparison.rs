@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rsn_baselines::influ::{Influ, InfluPlus};
 use rsn_baselines::sky::{skyline_communities, skyline_communities_pruned};
 use rsn_bench::runner::QuerySpec;
-use rsn_core::{GlobalSearch, LocalSearch, SearchContext};
+use rsn_core::{AlgorithmChoice, MacEngine, SearchContext};
 use rsn_datagen::presets::{build_preset_scaled, PresetName, PresetScale};
 
 fn bench_comparison(c: &mut Criterion) {
@@ -19,6 +19,7 @@ fn bench_comparison(c: &mut Criterion) {
     );
     let spec = QuerySpec::defaults(&dataset, 16, dataset.default_t, 10, 0.01, 3);
     let query = spec.to_query();
+    let engine = MacEngine::build(dataset.rsn.clone());
     let ctx = SearchContext::build(&dataset.rsn, &query)
         .unwrap()
         .expect("the default query must have a (k,t)-core");
@@ -27,18 +28,14 @@ fn bench_comparison(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig13_comparison");
     group.sample_size(10);
     group.bench_function("GS-NC", |b| {
-        b.iter(|| {
-            GlobalSearch::new(&dataset.rsn, &query)
-                .run_non_contained()
-                .unwrap()
-        })
+        let mut session = engine.session();
+        let query = query.clone().with_algorithm(AlgorithmChoice::Global);
+        b.iter(move || session.execute_non_contained(&query).unwrap())
     });
     group.bench_function("LS-NC", |b| {
-        b.iter(|| {
-            LocalSearch::new(&dataset.rsn, &query)
-                .run_non_contained()
-                .unwrap()
-        })
+        let mut session = engine.session();
+        let query = query.clone().with_algorithm(AlgorithmChoice::Local);
+        b.iter(move || session.execute_non_contained(&query).unwrap())
     });
     group.bench_function("Influ", |b| {
         let algo = Influ::new(&ctx.local_graph, &ctx.attrs);

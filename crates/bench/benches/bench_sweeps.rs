@@ -1,10 +1,11 @@
 //! Criterion benches for the Fig. 6–10 sweeps: GS-NC / GS-T / LS-NC / LS-T at
 //! the Table III defaults and at the extreme k values, on a small
-//! SF+Slashdot-like dataset.
+//! SF+Slashdot-like dataset, served through a prepared engine with one
+//! reused session per benchmark.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rsn_bench::runner::QuerySpec;
-use rsn_core::{GlobalSearch, LocalSearch};
+use rsn_core::{AlgorithmChoice, MacEngine};
 use rsn_datagen::presets::{build_preset_scaled, PresetName, PresetScale};
 
 fn bench_mac_algorithms(c: &mut Criterion) {
@@ -16,30 +17,28 @@ fn bench_mac_algorithms(c: &mut Criterion) {
         },
         0,
     );
+    let engine = MacEngine::build(dataset.rsn.clone());
     let mut group = c.benchmark_group("fig6_sweep_k");
     group.sample_size(10);
     for &k in &[8u32, 16, 32] {
         let spec = QuerySpec::defaults(&dataset, k, dataset.default_t, 10, 0.01, 3);
-        let query = spec.to_query();
+        let global = spec.to_query().with_algorithm(AlgorithmChoice::Global);
+        let local = spec.to_query().with_algorithm(AlgorithmChoice::Local);
         group.bench_with_input(BenchmarkId::new("GS-NC", k), &k, |b, _| {
-            b.iter(|| {
-                GlobalSearch::new(&dataset.rsn, &query)
-                    .run_non_contained()
-                    .unwrap()
-            })
+            let mut session = engine.session();
+            b.iter(|| session.execute_non_contained(&global).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("GS-T", k), &k, |b, _| {
-            b.iter(|| GlobalSearch::new(&dataset.rsn, &query).run_top_j().unwrap())
+            let mut session = engine.session();
+            b.iter(|| session.execute_top_j(&global).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("LS-NC", k), &k, |b, _| {
-            b.iter(|| {
-                LocalSearch::new(&dataset.rsn, &query)
-                    .run_non_contained()
-                    .unwrap()
-            })
+            let mut session = engine.session();
+            b.iter(|| session.execute_non_contained(&local).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("LS-T", k), &k, |b, _| {
-            b.iter(|| LocalSearch::new(&dataset.rsn, &query).run_top_j().unwrap())
+            let mut session = engine.session();
+            b.iter(|| session.execute_top_j(&local).unwrap())
         });
     }
     group.finish();
@@ -48,27 +47,22 @@ fn bench_mac_algorithms(c: &mut Criterion) {
     group.sample_size(10);
     for &sigma in &[0.001f64, 0.01, 0.05] {
         let spec = QuerySpec::defaults(&dataset, 16, dataset.default_t, 10, sigma, 3);
-        let query = spec.to_query();
+        let global = spec.to_query().with_algorithm(AlgorithmChoice::Global);
+        let local = spec.to_query().with_algorithm(AlgorithmChoice::Local);
         group.bench_with_input(
             BenchmarkId::new("GS-NC", format!("{sigma}")),
             &sigma,
             |b, _| {
-                b.iter(|| {
-                    GlobalSearch::new(&dataset.rsn, &query)
-                        .run_non_contained()
-                        .unwrap()
-                })
+                let mut session = engine.session();
+                b.iter(|| session.execute_non_contained(&global).unwrap())
             },
         );
         group.bench_with_input(
             BenchmarkId::new("LS-NC", format!("{sigma}")),
             &sigma,
             |b, _| {
-                b.iter(|| {
-                    LocalSearch::new(&dataset.rsn, &query)
-                        .run_non_contained()
-                        .unwrap()
-                })
+                let mut session = engine.session();
+                b.iter(|| session.execute_non_contained(&local).unwrap())
             },
         );
     }

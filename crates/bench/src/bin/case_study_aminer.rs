@@ -10,7 +10,7 @@ use rsn_baselines::atc::atc_community;
 use rsn_baselines::influ::Influ;
 use rsn_baselines::sky::skyline_communities;
 use rsn_bench::runner::QuerySpec;
-use rsn_core::{GlobalSearch, LocalSearch, SearchContext};
+use rsn_core::{AlgorithmChoice, MacEngine, SearchContext};
 use rsn_datagen::presets::{build_preset_scaled, PresetName, PresetScale};
 
 fn main() {
@@ -40,13 +40,18 @@ fn main() {
     };
     let rsn = rsn_bench::runner::with_dimensionality(&dataset, 4);
     let query = spec.to_query();
+    let engine = MacEngine::build(rsn);
+    let mut session = engine.session();
+    let rsn = engine.network();
 
     println!(
         "Case study (Fig. 15): NA+Aminer-like, k = 5, Q = {:?}",
         spec.q
     );
 
-    let gs = GlobalSearch::new(&rsn, &query).run_top_j().unwrap();
+    let gs = session
+        .execute_top_j(&query.clone().with_algorithm(AlgorithmChoice::Global))
+        .unwrap();
     if let Some(cell) = gs.cells.first() {
         for (rank, community) in cell.communities.iter().enumerate() {
             println!(
@@ -59,7 +64,9 @@ fn main() {
     } else {
         println!("no MAC found (increase --scale)");
     }
-    let ls = LocalSearch::new(&rsn, &query).run_non_contained().unwrap();
+    let ls = session
+        .execute_non_contained(&query.clone().with_algorithm(AlgorithmChoice::Local))
+        .unwrap();
     println!(
         "LS-NC found {} non-contained MAC(s) across {} partition(s)",
         ls.distinct_communities().len(),
@@ -67,7 +74,7 @@ fn main() {
     );
 
     // Baselines on the same (k,t)-core.
-    if let Some(ctx) = SearchContext::build(&rsn, &query).unwrap() {
+    if let Some(ctx) = SearchContext::build(rsn, &query).unwrap() {
         let sky = skyline_communities(&ctx.local_graph, &ctx.attrs, 5);
         println!(
             "SkyC: {} skyline communities (no query vertices, attribute-only)",

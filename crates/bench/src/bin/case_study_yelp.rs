@@ -7,7 +7,7 @@
 //! ```
 
 use rsn_bench::runner::QuerySpec;
-use rsn_core::GlobalSearch;
+use rsn_core::{AlgorithmChoice, MacEngine};
 use rsn_datagen::presets::{build_preset_scaled, PresetName, PresetScale};
 
 fn main() {
@@ -40,7 +40,11 @@ fn main() {
         spec.q
     );
 
-    let result = GlobalSearch::new(&dataset.rsn, &query).run_top_j().unwrap();
+    let engine = MacEngine::build(dataset.rsn.clone());
+    let result = engine
+        .session()
+        .execute_top_j(&query.with_algorithm(AlgorithmChoice::Global))
+        .unwrap();
     println!(
         "partitions of R: {} (real attributes are correlated/zero-inflated, so few branches)",
         result.num_cells()

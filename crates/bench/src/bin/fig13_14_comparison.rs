@@ -14,7 +14,7 @@ use rand::rngs::StdRng;
 use rsn_baselines::influ::{Influ, InfluPlus};
 use rsn_baselines::sky::{skyline_communities, skyline_communities_pruned};
 use rsn_bench::runner::{with_dimensionality, QuerySpec};
-use rsn_core::{GlobalSearch, LocalSearch, RoadSocialNetwork, SearchContext};
+use rsn_core::{AlgorithmChoice, MacEngine, RoadSocialNetwork, SearchContext};
 use rsn_datagen::presets::{build_preset_scaled, Dataset, PresetName, PresetScale};
 use std::time::Instant;
 
@@ -79,13 +79,19 @@ struct Row {
 fn compare(dataset: &Dataset, rsn: &RoadSocialNetwork, k: u32, d: usize) -> Row {
     let spec = QuerySpec::defaults(dataset, k, dataset.default_t, 10, 0.01, d);
     let query = spec.to_query();
+    let engine = MacEngine::build_uncalibrated(rsn.clone());
+    let mut session = engine.session();
 
     let start = Instant::now();
-    let _ = GlobalSearch::new(rsn, &query).run_non_contained().unwrap();
+    let _ = session
+        .execute_non_contained(&query.clone().with_algorithm(AlgorithmChoice::Global))
+        .unwrap();
     let gs_nc = start.elapsed().as_secs_f64();
 
     let start = Instant::now();
-    let _ = LocalSearch::new(rsn, &query).run_non_contained().unwrap();
+    let _ = session
+        .execute_non_contained(&query.clone().with_algorithm(AlgorithmChoice::Local))
+        .unwrap();
     let ls_nc = start.elapsed().as_secs_f64();
 
     // Baselines run on the same maximal (k,t)-core, mirroring the paper's

@@ -1,6 +1,6 @@
 //! Shared query-execution helpers for the harness binaries.
 
-use rsn_core::{GlobalSearch, LocalSearch, MacQuery, MacSearchResult, RoadSocialNetwork};
+use rsn_core::{AlgorithmChoice, MacEngine, MacQuery, MacSearchResult, RoadSocialNetwork};
 use rsn_datagen::attrs::{generate_attrs, AttrDistribution};
 use rsn_datagen::presets::Dataset;
 use rsn_geom::region::PrefRegion;
@@ -113,22 +113,25 @@ pub fn with_attrs(dataset: &Dataset, d: usize, dist: AttrDistribution) -> RoadSo
     .expect("re-attributed network is consistent")
 }
 
-/// Runs all four MAC algorithms for one spec and returns their timings.
+/// Runs all four MAC algorithms for one spec through a prepared engine and
+/// returns their timings (the engine build itself is not timed — it is the
+/// once-per-network preparation the serving model amortizes away).
 pub fn measure_all(rsn: &RoadSocialNetwork, spec: &QuerySpec) -> AlgoTimings {
-    let query = spec.to_query();
-    let gs = GlobalSearch::new(rsn, &query);
-    let gs_nc: MacSearchResult = gs
-        .run_non_contained()
+    let engine = MacEngine::build_uncalibrated(rsn.clone());
+    let mut session = engine.session();
+    let global = spec.to_query().with_algorithm(AlgorithmChoice::Global);
+    let local = spec.to_query().with_algorithm(AlgorithmChoice::Local);
+    let gs_nc: MacSearchResult = session
+        .execute_non_contained(&global)
         .unwrap_or_else(|e| panic!("GS-NC failed: {e}"));
-    let gs_t = gs
-        .run_top_j()
+    let gs_t = session
+        .execute_top_j(&global)
         .unwrap_or_else(|e| panic!("GS-T failed: {e}"));
-    let ls = LocalSearch::new(rsn, &query);
-    let ls_nc = ls
-        .run_non_contained()
+    let ls_nc = session
+        .execute_non_contained(&local)
         .unwrap_or_else(|e| panic!("LS-NC failed: {e}"));
-    let ls_t = ls
-        .run_top_j()
+    let ls_t = session
+        .execute_top_j(&local)
         .unwrap_or_else(|e| panic!("LS-T failed: {e}"));
     AlgoTimings {
         gs_nc: gs_nc.stats.elapsed_seconds,

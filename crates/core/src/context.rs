@@ -6,7 +6,7 @@
 //! extraction, `G_d` construction — so they share this context.
 
 use crate::error::MacError;
-use crate::ktcore::maximal_kt_core;
+use crate::ktcore::{maximal_kt_core_with, KtScratch};
 use crate::network::RoadSocialNetwork;
 use crate::query::MacQuery;
 use crate::result::Community;
@@ -14,6 +14,31 @@ use rsn_dom::attrs::AttrMatrix;
 use rsn_dom::dominance::DominanceGraph;
 use rsn_geom::weights::score_reduced;
 use rsn_graph::graph::{Graph, VertexId};
+use rsn_road::gtree::LeafTargets;
+use rsn_road::rangefilter::RangeFilterChoice;
+
+/// Reusable buffers for repeated [`SearchContext`] builds against one
+/// network: the (k,t)-core extraction scratch plus the context's own
+/// id-translation array. Owned by a
+/// [`QuerySession`](crate::session::QuerySession) and threaded through every
+/// query it executes, so the network-sized allocations happen once per
+/// session instead of once per query. (The core-local structures — induced
+/// graph, attribute matrix, dominance graph — are *returned* inside the
+/// context and therefore owned per query by construction.)
+#[derive(Debug, Default)]
+pub struct ContextScratch {
+    /// (k,t)-core extraction buffers (filter scratch, masks, id maps).
+    pub(crate) kt: KtScratch,
+    /// Social-id → core-local-id translation for the context build.
+    pub(crate) old_to_new: Vec<u32>,
+}
+
+impl ContextScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        ContextScratch::default()
+    }
+}
 
 /// Shared state for one MAC query.
 #[derive(Debug, Clone)]
@@ -38,15 +63,37 @@ pub struct SearchContext<'a> {
 impl<'a> SearchContext<'a> {
     /// Builds the context. Returns `Ok(None)` when no (k,t)-core exists (the
     /// query then has an empty answer).
+    ///
+    /// One-shot convenience over [`build_with`](Self::build_with): allocates
+    /// fresh scratch and resolves the range filter through the query's legacy
+    /// [`effective_filter`](MacQuery::effective_filter).
     pub fn build(
         rsn: &'a RoadSocialNetwork,
         query: &'a MacQuery,
     ) -> Result<Option<Self>, MacError> {
-        let Some(core) = maximal_kt_core(rsn, query)? else {
+        let mut scratch = ContextScratch::new();
+        Self::build_with(rsn, query, query.effective_filter(), None, &mut scratch)
+    }
+
+    /// Builds the context with an explicit (engine-resolved) range-filter
+    /// strategy, optional pre-grouped G-tree user targets, and caller-owned
+    /// scratch — the serving path of
+    /// [`QuerySession`](crate::session::QuerySession).
+    pub fn build_with(
+        rsn: &'a RoadSocialNetwork,
+        query: &'a MacQuery,
+        filter_choice: RangeFilterChoice,
+        targets: Option<&LeafTargets>,
+        scratch: &mut ContextScratch,
+    ) -> Result<Option<Self>, MacError> {
+        let Some(core) = maximal_kt_core_with(rsn, query, filter_choice, targets, &mut scratch.kt)?
+        else {
             return Ok(None);
         };
         let (local_graph, new_to_old) = rsn.social().induced_subgraph(&core.vertices);
-        let mut old_to_new = vec![u32::MAX; rsn.num_users()];
+        let old_to_new = &mut scratch.old_to_new;
+        old_to_new.clear();
+        old_to_new.resize(rsn.num_users(), u32::MAX);
         for (new, &old) in new_to_old.iter().enumerate() {
             old_to_new[old as usize] = new as u32;
         }

@@ -1,0 +1,405 @@
+//! The prepared, shareable query-serving engine.
+//!
+//! The paper frames MAC search as an *online query service* over a fixed
+//! road-social network: the network, its G-tree index, and the cost-model
+//! constants are all per-network state that should be prepared **once** and
+//! then serve many queries. [`MacEngine`] is that preparation:
+//!
+//! * it owns the [`RoadSocialNetwork`] behind an `Arc`, so an engine is
+//!   cheaply `Clone + Send + Sync` — one engine can be shared by any number
+//!   of serving threads;
+//! * when the network carries a G-tree index it pre-groups every user
+//!   location by G-tree leaf ([`rsn_road::rangefilter::group_user_targets`]),
+//!   a per-network computation the batched range filters would otherwise
+//!   repeat per query;
+//! * at build time it runs a **measured calibration probe** — one timed
+//!   t-bounded Dijkstra sweep and one timed multi-seed G-tree walk over the
+//!   same probe query — replacing the analytic constant of the `Auto`
+//!   range-filter cost model with the measured per-network/per-machine unit
+//!   cost ratio (see [`AutoCalibration`]).
+//!
+//! Per-thread execution state lives in [`QuerySession`] (obtained via
+//! [`MacEngine::session`]); the engine itself holds no mutable state.
+
+use crate::network::RoadSocialNetwork;
+use crate::query::MacQuery;
+use crate::session::QuerySession;
+use rsn_road::gtree::LeafTargets;
+use rsn_road::network::Location;
+use rsn_road::rangefilter::{
+    auto_cost_estimates, group_user_targets, resolve_auto_calibrated, AutoCalibration,
+    FilterScratch, RangeFilter, RangeFilterChoice,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which search algorithm answers a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AlgorithmChoice {
+    /// Let the executing session resolve through its engine's calibration:
+    /// the exact global search while the maximal (k,t)-core fits under the
+    /// calibrated size threshold
+    /// ([`EngineCalibration::local_core_threshold`]), the local
+    /// expand-and-verify framework beyond it (the paper's scalable path,
+    /// Section VI).
+    #[default]
+    Auto,
+    /// Always run the DFS-based global search (Algorithm 1) — exact.
+    Global,
+    /// Always run the local expand-and-verify framework (Algorithms 3–5) —
+    /// the paper's heuristic for large cores; results are confirmed against
+    /// the fixed-weight peeling oracle but cells may be missed.
+    Local,
+}
+
+/// Default (k,t)-core size above which `AlgorithmChoice::Auto` switches from
+/// the exact global search to the local framework. The global search's
+/// arrangement work grows super-linearly with the core (every level of the
+/// peel re-arranges the surviving leaves), while the local framework's
+/// expand-and-verify cost is governed by the candidate budget; the paper's
+/// evaluation (Fig. 13–14) shows the local algorithms winning by orders of
+/// magnitude on large cores.
+pub const DEFAULT_LOCAL_CORE_THRESHOLD: usize = 4096;
+
+/// Maximum number of query locations the calibration probe uses.
+const PROBE_QUERY_LOCATIONS: usize = 4;
+/// Hop radius the probe's threshold aims for (multiplied by the sampled
+/// average edge weight); large enough to make both strategies do real work,
+/// small enough to keep engine builds fast.
+const PROBE_HOP_RADIUS: f64 = 12.0;
+
+/// What the engine measured (or assumed) at build time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineCalibration {
+    /// The `Auto` range-filter conversion factor: measured per-network when
+    /// the probe ran and was trusted, the analytic default otherwise.
+    pub filter: AutoCalibration,
+    /// Wall-clock seconds of the timed probe sweep (0.0 when no probe ran).
+    pub sweep_probe_seconds: f64,
+    /// Wall-clock seconds of the timed probe walk (0.0 when no probe ran).
+    pub walk_probe_seconds: f64,
+    /// The distance threshold the probe used (0.0 when no probe ran).
+    pub probe_t: f64,
+    /// (k,t)-core size above which `AlgorithmChoice::Auto` resolves to the
+    /// local framework instead of the exact global search.
+    pub local_core_threshold: usize,
+}
+
+impl Default for EngineCalibration {
+    fn default() -> Self {
+        EngineCalibration {
+            filter: AutoCalibration::default(),
+            sweep_probe_seconds: 0.0,
+            walk_probe_seconds: 0.0,
+            probe_t: 0.0,
+            local_core_threshold: DEFAULT_LOCAL_CORE_THRESHOLD,
+        }
+    }
+}
+
+impl EngineCalibration {
+    /// Whether the filter constant came from an accepted build-time
+    /// measurement (as opposed to the analytic fallback).
+    pub fn is_measured(&self) -> bool {
+        self.filter.is_measured()
+    }
+}
+
+#[derive(Debug)]
+struct EngineInner {
+    rsn: RoadSocialNetwork,
+    calibration: EngineCalibration,
+    /// User seeds pre-grouped by G-tree leaf (present iff the network has an
+    /// index) — shared by every session's batched filter evaluations.
+    user_targets: Option<LeafTargets>,
+}
+
+/// A prepared query-serving engine over one road-social network.
+///
+/// Build once ([`build`](Self::build)), then open one [`QuerySession`] per
+/// serving thread ([`session`](Self::session)) and execute many queries
+/// through it. Cloning an engine clones an `Arc` — all clones share the
+/// network, the index, the pre-grouped user targets, and the calibration.
+///
+/// ```
+/// use rsn_core::{MacEngine, MacQuery};
+/// use rsn_geom::region::PrefRegion;
+/// # use rsn_graph::graph::Graph;
+/// # use rsn_road::network::{Location, RoadNetwork};
+/// # let social = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3)]);
+/// # let road = RoadNetwork::from_edges(2, &[(0, 1, 1.0)]);
+/// # let locations = vec![Location::vertex(0); 4];
+/// # let attrs = vec![vec![1.0, 2.0], vec![2.0, 1.0], vec![3.0, 3.0], vec![1.5, 2.5]];
+/// # let rsn = rsn_core::RoadSocialNetwork::new(social, road, locations, attrs).unwrap();
+/// let engine = MacEngine::build(rsn); // calibration runs here, once
+/// let mut session = engine.session(); // per-thread scratch lives here
+/// let region = PrefRegion::from_ranges(&[(0.2, 0.8)]).unwrap();
+/// let query = MacQuery::new(vec![0], 2, 10.0, region);
+/// let result = session.execute(&query).unwrap();
+/// assert!(!result.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MacEngine {
+    inner: Arc<EngineInner>,
+}
+
+impl MacEngine {
+    /// Prepares an engine, running the measured calibration probe (one timed
+    /// sweep + one timed multi-seed walk) when the network carries a G-tree
+    /// index. Build cost is one probe — milliseconds on laptop-scale
+    /// networks — plus the user-target grouping.
+    pub fn build(rsn: RoadSocialNetwork) -> Self {
+        Self::assemble(rsn, true)
+    }
+
+    /// Prepares an engine **without** the timed probe: the `Auto` cost model
+    /// keeps its analytic constants. Deterministic-build escape hatch for
+    /// tests and reproducible benchmarks.
+    pub fn build_uncalibrated(rsn: RoadSocialNetwork) -> Self {
+        Self::assemble(rsn, false)
+    }
+
+    fn assemble(rsn: RoadSocialNetwork, measure: bool) -> Self {
+        let user_targets = rsn
+            .gtree()
+            .map(|tree| group_user_targets(tree, rsn.road(), rsn.locations()));
+        let mut calibration = EngineCalibration::default();
+        if measure {
+            if let (Some(tree), Some(targets)) = (rsn.gtree(), user_targets.as_ref()) {
+                calibration = Self::probe(&rsn, tree, targets);
+            }
+        }
+        MacEngine {
+            inner: Arc::new(EngineInner {
+                rsn,
+                calibration,
+                user_targets,
+            }),
+        }
+    }
+
+    /// The build-time calibration probe: times one t-bounded sweep and one
+    /// multi-seed walk over the same probe query (the first few user
+    /// locations, threshold ≈ [`PROBE_HOP_RADIUS`] average edge weights),
+    /// divides each by its modeled unit count, and accepts the measured
+    /// ratio when both timings clear the noise floor
+    /// ([`AutoCalibration::from_probe`]).
+    fn probe(
+        rsn: &RoadSocialNetwork,
+        tree: &rsn_road::gtree::GTree,
+        targets: &LeafTargets,
+    ) -> EngineCalibration {
+        let mut calibration = EngineCalibration::default();
+        let users = rsn.locations();
+        if users.is_empty() || rsn.road().num_vertices() == 0 {
+            return calibration;
+        }
+        let q_locs: Vec<Location> = users
+            .iter()
+            .copied()
+            .take(PROBE_QUERY_LOCATIONS.min(users.len()))
+            .collect();
+        // The same deterministic sample the cost model turns t into a hop
+        // radius with, so the probe threshold and the unit estimates agree.
+        let avg_w = rsn_road::rangefilter::sampled_avg_edge_weight(rsn.road());
+        if !(avg_w.is_finite() && avg_w > 0.0) {
+            return calibration;
+        }
+        let probe_t = avg_w * PROBE_HOP_RADIUS;
+        let Some((sweep_units, batched_units)) =
+            auto_cost_estimates(rsn.road(), tree, q_locs.len(), probe_t, users.len())
+        else {
+            return calibration;
+        };
+
+        let mut scratch = FilterScratch::new();
+        let mut out = Vec::new();
+        let mut time_filter = |filter: &RangeFilter<'_>| {
+            // Best of two repetitions: the first run grows the scratch
+            // buffers, the second measures the steady state.
+            let mut best = f64::INFINITY;
+            for _ in 0..2 {
+                let start = Instant::now();
+                filter.users_within_with(
+                    rsn.road(),
+                    &q_locs,
+                    probe_t,
+                    users,
+                    Some(targets),
+                    &mut scratch,
+                    &mut out,
+                );
+                best = best.min(start.elapsed().as_secs_f64());
+            }
+            best
+        };
+        let sweep_seconds = time_filter(&RangeFilter::DijkstraSweep);
+        let walk_seconds = time_filter(&RangeFilter::GTreeMultiSeedBatched(tree));
+        calibration.filter =
+            AutoCalibration::from_probe(sweep_seconds, sweep_units, walk_seconds, batched_units);
+        calibration.sweep_probe_seconds = sweep_seconds;
+        calibration.walk_probe_seconds = walk_seconds;
+        calibration.probe_t = probe_t;
+        calibration
+    }
+
+    /// The served network (shared by all clones of this engine).
+    pub fn network(&self) -> &RoadSocialNetwork {
+        &self.inner.rsn
+    }
+
+    /// What the engine measured (or assumed) at build time.
+    pub fn calibration(&self) -> &EngineCalibration {
+        &self.inner.calibration
+    }
+
+    /// User seeds pre-grouped by G-tree leaf, when the network has an index.
+    pub fn user_targets(&self) -> Option<&LeafTargets> {
+        self.inner.user_targets.as_ref()
+    }
+
+    /// Opens a per-thread serving session holding all reusable query scratch.
+    pub fn session(&self) -> QuerySession {
+        QuerySession::new(self.clone())
+    }
+
+    /// Resolves a query's range-filter strategy through the engine's
+    /// calibration. The compat mapping of the deprecated oracle knob is
+    /// honoured first ([`MacQuery::effective_filter`]: explicit `filter`
+    /// wins, legacy `OracleChoice::GTree` selects the per-user point path);
+    /// a remaining `Auto` goes through the calibrated crossover rule with
+    /// the measured per-network constant.
+    pub fn resolve_filter(&self, query: &MacQuery) -> RangeFilterChoice {
+        match query.effective_filter() {
+            RangeFilterChoice::Auto => resolve_auto_calibrated(
+                self.inner.rsn.road(),
+                self.inner.rsn.gtree(),
+                query.q.len(),
+                query.t,
+                self.inner.rsn.num_users(),
+                &self.inner.calibration.filter,
+            ),
+            explicit => explicit,
+        }
+    }
+
+    /// Resolves an [`AlgorithmChoice`] given the query's maximal (k,t)-core
+    /// size (known after the shared context build). Never returns `Auto`.
+    pub fn resolve_algorithm(
+        &self,
+        requested: AlgorithmChoice,
+        core_size: usize,
+    ) -> AlgorithmChoice {
+        match requested {
+            AlgorithmChoice::Auto => {
+                if core_size <= self.inner.calibration.local_core_threshold {
+                    AlgorithmChoice::Global
+                } else {
+                    AlgorithmChoice::Local
+                }
+            }
+            explicit => explicit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsn_geom::region::PrefRegion;
+    use rsn_graph::graph::Graph;
+    use rsn_road::network::RoadNetwork;
+
+    fn network(indexed: bool) -> RoadSocialNetwork {
+        let social =
+            Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]);
+        let road = RoadNetwork::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 10.0)]);
+        let locations = vec![
+            Location::vertex(0),
+            Location::vertex(0),
+            Location::vertex(1),
+            Location::vertex(3),
+            Location::vertex(3),
+            Location::vertex(3),
+        ];
+        let attrs = vec![vec![1.0, 1.0]; 6];
+        let rsn = RoadSocialNetwork::new(social, road, locations, attrs).unwrap();
+        if indexed {
+            rsn.with_gtree_index_capacity(4)
+        } else {
+            rsn
+        }
+    }
+
+    fn query() -> MacQuery {
+        let region = PrefRegion::from_ranges(&[(0.2, 0.4)]).unwrap();
+        MacQuery::new(vec![0], 2, 2.0, region)
+    }
+
+    #[test]
+    fn engine_clones_share_the_network() {
+        let engine = MacEngine::build_uncalibrated(network(true));
+        let clone = engine.clone();
+        assert!(std::ptr::eq(engine.network(), clone.network()));
+        assert!(engine.user_targets().is_some());
+    }
+
+    #[test]
+    fn unindexed_engine_has_no_targets_and_sweeps() {
+        let engine = MacEngine::build(network(false));
+        assert!(engine.user_targets().is_none());
+        assert!(!engine.calibration().is_measured());
+        assert_eq!(
+            engine.resolve_filter(&query()),
+            RangeFilterChoice::DijkstraSweep
+        );
+    }
+
+    #[test]
+    fn measured_calibration_stays_in_trusted_bounds() {
+        use rsn_road::rangefilter::AUTO_SWEEP_CELL_COST_BOUNDS;
+        let engine = MacEngine::build(network(true));
+        let c = engine.calibration().filter.sweep_cell_cost;
+        let (lo, hi) = AUTO_SWEEP_CELL_COST_BOUNDS;
+        assert!(
+            (lo..=hi).contains(&c),
+            "measured constant {c} outside trusted bounds"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_oracle_knob_still_selects_the_point_path() {
+        use rsn_road::oracle::OracleChoice;
+        let engine = MacEngine::build_uncalibrated(network(true));
+        let q = query().with_oracle(OracleChoice::GTree);
+        assert_eq!(engine.resolve_filter(&q), RangeFilterChoice::GTreePoint);
+        // An explicit filter always wins over the oracle knob.
+        let q2 = query()
+            .with_oracle(OracleChoice::GTree)
+            .with_range_filter(RangeFilterChoice::DijkstraSweep);
+        assert_eq!(engine.resolve_filter(&q2), RangeFilterChoice::DijkstraSweep);
+    }
+
+    #[test]
+    fn algorithm_auto_switches_on_core_size() {
+        let engine = MacEngine::build_uncalibrated(network(true));
+        let thr = engine.calibration().local_core_threshold;
+        assert_eq!(
+            engine.resolve_algorithm(AlgorithmChoice::Auto, thr),
+            AlgorithmChoice::Global
+        );
+        assert_eq!(
+            engine.resolve_algorithm(AlgorithmChoice::Auto, thr + 1),
+            AlgorithmChoice::Local
+        );
+        assert_eq!(
+            engine.resolve_algorithm(AlgorithmChoice::Local, 1),
+            AlgorithmChoice::Local
+        );
+        assert_eq!(
+            engine.resolve_algorithm(AlgorithmChoice::Global, usize::MAX),
+            AlgorithmChoice::Global
+        );
+    }
+}

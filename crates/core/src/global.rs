@@ -123,13 +123,13 @@ impl<'a> GlobalSearch<'a> {
         self.run(true)
     }
 
-    fn resolved_workers(&self, top_cells: usize) -> usize {
-        let requested = if self.parallelism == 0 {
+    fn resolved_workers(parallelism: usize, top_cells: usize) -> usize {
+        let requested = if parallelism == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
         } else {
-            self.parallelism
+            parallelism
         };
         requested.max(1).min(top_cells.max(1))
     }
@@ -145,6 +145,24 @@ impl<'a> GlobalSearch<'a> {
                 },
             });
         };
+        let mut result = Self::explore_context(&ctx, self.parallelism, top_j_mode);
+        result.stats.elapsed_seconds = start.elapsed().as_secs_f64();
+        Ok(result)
+    }
+
+    /// Explores a prebuilt [`SearchContext`] to completion — the engine-level
+    /// entry point shared by the one-shot wrappers
+    /// ([`run_non_contained`](Self::run_non_contained) /
+    /// [`run_top_j`](Self::run_top_j)) and by
+    /// [`QuerySession`](crate::session::QuerySession), which builds the
+    /// context from session-held scratch. `elapsed_seconds` covers only the
+    /// exploration; callers overwrite it with their end-to-end timing.
+    pub(crate) fn explore_context(
+        ctx: &SearchContext<'_>,
+        parallelism: usize,
+        top_j_mode: bool,
+    ) -> MacSearchResult {
+        let start = Instant::now();
         let base_stats = SearchStats {
             kt_core_vertices: ctx.core_size(),
             kt_core_edges: ctx.core_edges(),
@@ -152,12 +170,13 @@ impl<'a> GlobalSearch<'a> {
             memory_bytes: ctx.gd.memory_bytes(),
             ..SearchStats::default()
         };
+        let k = ctx.query.k;
         let q = ctx.local_q.clone();
-        let j = if top_j_mode { self.query.j } else { 1 };
+        let j = if top_j_mode { ctx.query.j } else { 1 };
 
         // Root arrangement: determines the independent top-level cells.
-        let root_cell = Cell::from_region(&self.query.region);
-        let mut root_worker = Worker::new(&ctx, self.query.k, &q, j, base_stats);
+        let root_cell = Cell::from_region(&ctx.query.region);
+        let mut root_worker = Worker::new(ctx, k, &q, j, base_stats);
         let mut view = SubgraphView::full(&ctx.local_graph);
         root_worker.account_memory(&view, &root_cell, 1);
         let leaves0: Vec<u32> = ctx
@@ -170,7 +189,7 @@ impl<'a> GlobalSearch<'a> {
         let top_cells = arrange(&root_cell, &hps);
         root_worker.stats.partitions_explored += top_cells.len();
 
-        let workers = self.resolved_workers(top_cells.len());
+        let workers = Self::resolved_workers(parallelism, top_cells.len());
         let (out_cells, mut stats) = if workers <= 1 {
             // Serial: one worker, one view, cells in root order.
             let leaves0 = Rc::new(leaves0);
@@ -179,14 +198,23 @@ impl<'a> GlobalSearch<'a> {
             }
             (root_worker.out_cells, root_worker.stats)
         } else {
-            self.run_parallel(&ctx, &q, j, workers, leaves0, &top_cells, root_worker.stats)
+            Self::run_parallel(
+                ctx,
+                k,
+                &q,
+                j,
+                workers,
+                leaves0,
+                &top_cells,
+                root_worker.stats,
+            )
         };
 
         stats.elapsed_seconds = start.elapsed().as_secs_f64();
-        Ok(MacSearchResult {
+        MacSearchResult {
             cells: out_cells,
             stats,
-        })
+        }
     }
 
     /// Distributes the top-level cells over `workers` scoped threads. Each
@@ -195,8 +223,8 @@ impl<'a> GlobalSearch<'a> {
     /// atomic cursor; per-cell outputs are merged in root order afterwards.
     #[allow(clippy::too_many_arguments)]
     fn run_parallel(
-        &self,
         ctx: &SearchContext<'_>,
+        k: u32,
         q: &[u32],
         j: usize,
         workers: usize,
@@ -204,7 +232,6 @@ impl<'a> GlobalSearch<'a> {
         top_cells: &[Cell],
         root_stats: SearchStats,
     ) -> (Vec<CellResult>, SearchStats) {
-        let k = self.query.k;
         let cursor = AtomicUsize::new(0);
         let leaves0 = &leaves0;
         let mut per_cell: Vec<Vec<CellResult>> = Vec::new();

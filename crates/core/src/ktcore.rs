@@ -12,7 +12,38 @@ use crate::query::MacQuery;
 use rsn_graph::core_decomp::{coreness_upper_bound, maximal_connected_k_core_containing};
 use rsn_graph::graph::VertexId;
 use rsn_graph::subgraph::SubgraphView;
+use rsn_road::gtree::LeafTargets;
 use rsn_road::network::Location;
+use rsn_road::rangefilter::{FilterScratch, RangeFilterChoice};
+
+/// Reusable buffers for repeated (k,t)-core extractions against one network.
+///
+/// Everything network-sized that the extraction used to allocate per query
+/// lives here: the query-location list, the Lemma-1 membership mask, the
+/// filter's own scratch ([`FilterScratch`]), and the id-translation arrays of
+/// the induced-subgraph step. A [`QuerySession`](crate::session::QuerySession)
+/// owns one and threads it through every query, so the steady state performs
+/// none of these allocations.
+#[derive(Debug, Default)]
+pub struct KtScratch {
+    /// Locations of the query users.
+    pub(crate) q_locations: Vec<Location>,
+    /// Lemma-1 membership mask over all users.
+    pub(crate) within: Vec<bool>,
+    /// Social-id → induced-id translation (u32::MAX = not kept).
+    pub(crate) old_to_new: Vec<u32>,
+    /// Users surviving the Lemma-1 filter, ascending.
+    pub(crate) kept: Vec<VertexId>,
+    /// Range-filter working buffers (Dijkstra field, walk matrices, rows).
+    pub(crate) filter: FilterScratch,
+}
+
+impl KtScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        KtScratch::default()
+    }
+}
 
 /// The maximal (k,t)-core of a query, i.e. `H^t_k`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,28 +66,63 @@ impl KtCore {
 
 /// Computes the maximal (k,t)-core for a query, or `None` when it does not
 /// exist.
+///
+/// One-shot convenience: allocates a fresh [`KtScratch`] and resolves the
+/// range filter through the query's legacy
+/// [`effective_filter`](MacQuery::effective_filter) (analytic `Auto`).
+/// Serving loops go through [`maximal_kt_core_with`] with session-held
+/// scratch and an engine-resolved strategy.
 pub fn maximal_kt_core(
     rsn: &RoadSocialNetwork,
     query: &MacQuery,
+) -> Result<Option<KtCore>, MacError> {
+    let mut scratch = KtScratch::new();
+    maximal_kt_core_with(rsn, query, query.effective_filter(), None, &mut scratch)
+}
+
+/// Computes the maximal (k,t)-core with an explicit (engine-resolved)
+/// range-filter strategy, optional pre-grouped G-tree user targets, and
+/// caller-owned scratch — the allocation-free serving path.
+pub fn maximal_kt_core_with(
+    rsn: &RoadSocialNetwork,
+    query: &MacQuery,
+    filter_choice: RangeFilterChoice,
+    targets: Option<&LeafTargets>,
+    scratch: &mut KtScratch,
 ) -> Result<Option<KtCore>, MacError> {
     query.validate(rsn)?;
     let social = rsn.social();
 
     // Lemma 1: the road-network range filter, evaluated as one set operation
-    // through the query's RangeFilter strategy (see `RangeFilterChoice`:
+    // through the resolved RangeFilter strategy (see `RangeFilterChoice`:
     // bounded Dijkstra sweep, per-user G-tree point queries, the per-seed
-    // leaf-batched walk, or the multi-seed batched walk; `Auto` resolves
-    // from the calibrated crossover with the query's |Q| and t).
-    let q_locations: Vec<Location> = query.q.iter().map(|&v| *rsn.location(v)).collect();
-    let filter = rsn.range_filter(query.effective_filter(), q_locations.len(), query.t);
-    let within = filter.users_within(rsn.road(), &q_locations, query.t, rsn.locations());
+    // leaf-batched walk, or the multi-seed batched walk).
+    let KtScratch {
+        q_locations,
+        within,
+        old_to_new,
+        kept,
+        filter: filter_scratch,
+    } = scratch;
+    q_locations.clear();
+    q_locations.extend(query.q.iter().map(|&v| *rsn.location(v)));
+    let filter = rsn.range_filter(filter_choice, q_locations.len(), query.t);
+    filter.users_within_with(
+        rsn.road(),
+        q_locations,
+        query.t,
+        rsn.locations(),
+        targets,
+        filter_scratch,
+        within,
+    );
     if query.q.iter().any(|&v| !within[v as usize]) {
         // some query users are farther than t from each other
         return Ok(None);
     }
 
     // Coreness upper bound on the filtered subgraph (Section III).
-    let filtered = SubgraphView::from_mask(social, &within);
+    let filtered = SubgraphView::from_mask(social, within);
     let (n_f, m_f) = (filtered.num_alive(), filtered.num_alive_edges());
     if n_f == 0 || query.k > coreness_upper_bound(n_f, m_f).max(1) {
         return Ok(None);
@@ -65,11 +131,11 @@ pub fn maximal_kt_core(
     // Lemma 2: maximal connected k-core containing Q within the filtered graph.
     // Build the induced subgraph explicitly so the decomposition ignores
     // filtered-out vertices entirely.
-    let kept: Vec<VertexId> = (0..social.num_vertices() as u32)
-        .filter(|&v| within[v as usize])
-        .collect();
-    let (induced, new_to_old) = social.induced_subgraph(&kept);
-    let mut old_to_new = vec![u32::MAX; social.num_vertices()];
+    kept.clear();
+    kept.extend((0..social.num_vertices() as u32).filter(|&v| within[v as usize]));
+    let (induced, new_to_old) = social.induced_subgraph(kept);
+    old_to_new.clear();
+    old_to_new.resize(social.num_vertices(), u32::MAX);
     for (new, &old) in new_to_old.iter().enumerate() {
         old_to_new[old as usize] = new as u32;
     }
@@ -152,6 +218,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn gtree_oracle_yields_identical_kt_core_membership() {
         use rsn_road::oracle::OracleChoice;
         let rsn = network().with_gtree_index_capacity(4);
@@ -199,6 +266,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn gtree_choice_without_index_falls_back_to_dijkstra() {
         use rsn_road::oracle::OracleChoice;
         let rsn = network();

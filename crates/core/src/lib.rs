@@ -16,6 +16,34 @@
 //! vector, the answer is a partition of `R`, each cell paired with its top-j
 //! MACs (Problem 1) or its non-contained MAC (Problem 2).
 //!
+//! ## Serving API
+//!
+//! MAC search is an online query service over a fixed network, and the API is
+//! shaped accordingly: build a [`MacEngine`] **once** per network (it owns
+//! the network behind an `Arc`, pre-groups the G-tree user targets, and runs
+//! the measured `Auto` calibration probe), open one [`QuerySession`] per
+//! serving thread, and execute many queries through it — every network-sized
+//! buffer is session-held and reused, so the steady state is allocation-free.
+//!
+//! ```
+//! use rsn_core::{MacEngine, MacQuery};
+//! # use rsn_geom::region::PrefRegion;
+//! # use rsn_graph::graph::Graph;
+//! # use rsn_road::network::{Location, RoadNetwork};
+//! # let social = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3)]);
+//! # let road = RoadNetwork::from_edges(2, &[(0, 1, 1.0)]);
+//! # let locations = vec![Location::vertex(0); 4];
+//! # let attrs = vec![vec![1.0, 2.0], vec![2.0, 1.0], vec![3.0, 3.0], vec![1.5, 2.5]];
+//! # let rsn = rsn_core::RoadSocialNetwork::new(social, road, locations, attrs).unwrap();
+//! let engine = MacEngine::build(rsn);          // once per network
+//! let mut session = engine.session();          // once per thread
+//! # let region = PrefRegion::from_ranges(&[(0.2, 0.8)]).unwrap();
+//! # let query = MacQuery::new(vec![0], 2, 10.0, region);
+//! let result = session.execute(&query)?;       // many times
+//! # assert!(!result.is_empty());
+//! # Ok::<(), rsn_core::MacError>(())
+//! ```
+//!
 //! ## Algorithms
 //!
 //! * [`GlobalSearch`] — the DFS-based Algorithm 1 (`GS-T` / `GS-NC`): peel the
@@ -25,8 +53,14 @@
 //!   priorities, then verify them against the r-dominance graph.
 //! * [`peel`] — the fixed-weight peeling oracle shared by both algorithms and
 //!   by the test suite.
+//!
+//! `GlobalSearch::new(...)` / `LocalSearch::new(...)` survive as one-shot
+//! wrappers (fresh scratch per call) for scripts and tests; a
+//! [`QuerySession`] resolves `AlgorithmChoice::Auto` between them through
+//! the engine's calibration.
 
 pub mod context;
+pub mod engine;
 pub mod error;
 pub mod global;
 pub mod ktcore;
@@ -35,11 +69,14 @@ pub mod network;
 pub mod peel;
 pub mod query;
 pub mod result;
+pub mod session;
 
-pub use context::SearchContext;
+pub use context::{ContextScratch, SearchContext};
+pub use engine::{AlgorithmChoice, EngineCalibration, MacEngine};
 pub use error::MacError;
 pub use global::GlobalSearch;
 pub use local::{ExpandStrategy, LocalSearch};
 pub use network::RoadSocialNetwork;
 pub use query::MacQuery;
 pub use result::{CellResult, Community, MacSearchResult, SearchStats};
+pub use session::{BatchOutcome, BatchStats, QuerySession};

@@ -103,6 +103,23 @@ impl<'a> LocalSearch<'a> {
                 },
             });
         };
+        let mut result = Self::run_context(&ctx, self.strategy, self.max_candidates, top_j_mode);
+        result.stats.elapsed_seconds = start.elapsed().as_secs_f64();
+        Ok(result)
+    }
+
+    /// Runs the expand-and-verify framework on a prebuilt [`SearchContext`] —
+    /// the engine-level entry point shared by the one-shot wrappers and by
+    /// [`QuerySession`](crate::session::QuerySession). `elapsed_seconds`
+    /// covers only this phase; callers overwrite it with their end-to-end
+    /// timing.
+    pub(crate) fn run_context(
+        ctx: &SearchContext<'_>,
+        strategy: ExpandStrategy,
+        max_candidates: usize,
+        top_j_mode: bool,
+    ) -> MacSearchResult {
+        let start = Instant::now();
         let mut stats = SearchStats {
             kt_core_vertices: ctx.core_size(),
             kt_core_edges: ctx.core_edges(),
@@ -112,7 +129,7 @@ impl<'a> LocalSearch<'a> {
         };
 
         // --- Expand (Algorithm 4) ---
-        let candidates = self.expand(&ctx);
+        let candidates = Self::expand(ctx, strategy, max_candidates);
         stats.candidates_generated = candidates.len();
 
         // --- Verify (Algorithm 5) ---
@@ -122,12 +139,12 @@ impl<'a> LocalSearch<'a> {
             if !seen.insert(cand.clone()) {
                 continue;
             }
-            let verified = self.verify(&ctx, &cand, &mut stats);
+            let verified = Self::verify(ctx, &cand, &mut stats);
             for (cell, sample) in verified {
                 let communities = if top_j_mode {
-                    let outcome = peel_at_weight(&ctx, &sample);
+                    let outcome = peel_at_weight(ctx, &sample);
                     outcome
-                        .top_j(self.query.j)
+                        .top_j(ctx.query.j)
                         .into_iter()
                         .map(|locals| ctx.community_from_locals(&locals))
                         .collect()
@@ -143,10 +160,10 @@ impl<'a> LocalSearch<'a> {
         }
 
         stats.elapsed_seconds = start.elapsed().as_secs_f64();
-        Ok(MacSearchResult {
+        MacSearchResult {
             cells: out_cells,
             stats,
-        })
+        }
     }
 
     /// Algorithm 4: best-first expansion from `Q` collecting candidate
@@ -156,7 +173,11 @@ impl<'a> LocalSearch<'a> {
     /// plain expansion starting from `Q` we also run one expansion per
     /// neighbour of `Q`, seeding `V_H = Q ∪ {v}`; this diversifies candidates
     /// when several disjoint communities surround the query vertices.
-    fn expand(&self, ctx: &SearchContext<'_>) -> Vec<Vec<u32>> {
+    fn expand(
+        ctx: &SearchContext<'_>,
+        strategy: ExpandStrategy,
+        max_candidates: usize,
+    ) -> Vec<Vec<u32>> {
         let graph = &ctx.local_graph;
         let mut seeds: Vec<Option<u32>> = vec![None];
         let mut seen_seed: HashSet<u32> = HashSet::new();
@@ -169,24 +190,24 @@ impl<'a> LocalSearch<'a> {
         }
         let mut candidates: Vec<Vec<u32>> = Vec::new();
         for seed in seeds {
-            if candidates.len() >= self.max_candidates {
+            if candidates.len() >= max_candidates {
                 break;
             }
-            let budget = self.max_candidates - candidates.len();
-            candidates.extend(self.expand_once(ctx, seed, budget));
+            let budget = max_candidates - candidates.len();
+            candidates.extend(Self::expand_once(ctx, strategy, seed, budget));
         }
         candidates
     }
 
     /// One best-first expansion run, optionally seeded with an extra vertex.
     fn expand_once(
-        &self,
         ctx: &SearchContext<'_>,
+        strategy: ExpandStrategy,
         extra_seed: Option<u32>,
         budget: usize,
     ) -> Vec<Vec<u32>> {
         let n = ctx.core_size();
-        let k = self.query.k;
+        let k = ctx.query.k;
         let graph = &ctx.local_graph;
         let zeta_layer = ctx.gd.max_layer() as f64 + 1.0;
 
@@ -237,7 +258,12 @@ impl<'a> LocalSearch<'a> {
             let best = frontier
                 .iter()
                 .copied()
-                .map(|v| (self.priority(ctx, v, &members, &deg_in_h, zeta_layer), v))
+                .map(|v| {
+                    (
+                        Self::priority(ctx, strategy, v, &members, &deg_in_h, zeta_layer),
+                        v,
+                    )
+                })
                 .max_by(|a, b| a.0.total_cmp(&b.0).then(b.1.cmp(&a.1)));
             let Some((_, v)) = best else { break };
             frontier.remove(&v);
@@ -256,15 +282,15 @@ impl<'a> LocalSearch<'a> {
 
     /// Priority `f(v)` of a frontier vertex (Eq. 3 / Eq. 4).
     fn priority(
-        &self,
         ctx: &SearchContext<'_>,
+        strategy: ExpandStrategy,
         v: u32,
         members: &[u32],
         deg_in_h: &[u32],
         zeta_layer: f64,
     ) -> f64 {
         let f3 = zeta_layer - ctx.gd.layer(v as usize) as f64;
-        match self.strategy {
+        match strategy {
             ExpandStrategy::DegreeDriven { lambda } => {
                 let f2 = deg_in_h[v as usize] as f64;
                 lambda * f2 + f3
@@ -293,13 +319,12 @@ impl<'a> LocalSearch<'a> {
     /// Returns the sub-partitions of `R` (with sample weights) where the
     /// candidate is the non-contained MAC.
     fn verify(
-        &self,
         ctx: &SearchContext<'_>,
         cand: &[u32],
         stats: &mut SearchStats,
     ) -> Vec<(Cell, Vec<f64>)> {
         let n = ctx.core_size();
-        let k = self.query.k;
+        let k = ctx.query.k;
         let q = &ctx.local_q;
 
         let mut in_h = vec![false; n];
@@ -390,7 +415,7 @@ impl<'a> LocalSearch<'a> {
 
         // Arrangement of the competitor half-spaces inside R, keeping the
         // cells where every constraint holds.
-        let base = Cell::from_region(&self.query.region);
+        let base = Cell::from_region(&ctx.query.region);
         let mut tree = PartitionTree::new(base);
         for hs in &halfspaces {
             tree.insert(hs);

@@ -4,7 +4,9 @@ use crate::error::MacError;
 use rsn_graph::graph::{Graph, VertexId};
 use rsn_road::gtree::GTree;
 use rsn_road::network::{Location, RoadNetwork};
-use rsn_road::oracle::{DistanceOracle, OracleChoice};
+use rsn_road::oracle::DistanceOracle;
+#[allow(deprecated)]
+use rsn_road::oracle::OracleChoice;
 use rsn_road::rangefilter::{resolve_auto, RangeFilter, RangeFilterChoice};
 
 /// A road-social network: a social graph whose users carry a location in a
@@ -112,6 +114,7 @@ impl RoadSocialNetwork {
     /// performance. `Auto` currently resolves to Dijkstra for *point-wise*
     /// evaluations; the set-valued Lemma-1 filter goes through
     /// [`range_filter`](Self::range_filter) instead.
+    #[allow(deprecated)]
     pub fn distance_oracle(&self, choice: OracleChoice) -> DistanceOracle<'_> {
         match (choice, &self.gtree) {
             (OracleChoice::GTree, Some(tree)) => DistanceOracle::GTree(tree),

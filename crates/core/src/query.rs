@@ -1,9 +1,11 @@
 //! MAC query parameters.
 
+use crate::engine::AlgorithmChoice;
 use crate::error::MacError;
 use crate::network::RoadSocialNetwork;
 use rsn_geom::region::PrefRegion;
 use rsn_graph::graph::VertexId;
+#[allow(deprecated)]
 use rsn_road::oracle::OracleChoice;
 use rsn_road::rangefilter::RangeFilterChoice;
 
@@ -28,18 +30,30 @@ pub struct MacQuery {
     /// per-user G-tree point path, exactly as it did before the
     /// `RangeFilter` layer existed. Prefer
     /// [`with_range_filter`](Self::with_range_filter) in new code.
+    #[allow(deprecated)]
     pub oracle: OracleChoice,
     /// Which strategy answers the Lemma-1 range filter ("which users are
     /// within t") as a set operation. `Auto` resolves through the calibrated
-    /// crossover rule (`rsn_road::rangefilter::resolve_auto`): the bounded
-    /// Dijkstra sweep at laptop scale, the multi-seed batched G-tree walk on
-    /// indexed networks whose estimated radius-t ball dwarfs the indexed
-    /// work (`BENCH_PR3.json`); all strategies return identical user sets.
+    /// crossover rule — measured per-network constants when executed through
+    /// a [`MacEngine`](crate::engine::MacEngine), the analytic fallback
+    /// (`rsn_road::rangefilter::resolve_auto`) on the one-shot path: the
+    /// bounded Dijkstra sweep at laptop scale, the multi-seed batched G-tree
+    /// walk on indexed networks whose estimated radius-t ball dwarfs the
+    /// indexed work (`BENCH_PR3.json`); all strategies return identical user
+    /// sets.
     pub filter: RangeFilterChoice,
+    /// Which search algorithm answers the query. `Auto` (the default) lets
+    /// the executing [`QuerySession`](crate::session::QuerySession) resolve
+    /// through its engine's calibration: the exact global search up to the
+    /// calibrated (k,t)-core size threshold, the local expand-and-verify
+    /// framework beyond it.
+    pub algorithm: AlgorithmChoice,
 }
 
 impl MacQuery {
-    /// Creates a query with `j = 1` and automatic oracle / filter choices.
+    /// Creates a query with `j = 1` and automatic oracle / filter / algorithm
+    /// choices.
+    #[allow(deprecated)]
     pub fn new(q: Vec<VertexId>, k: u32, t: f64, region: PrefRegion) -> Self {
         MacQuery {
             q,
@@ -49,6 +63,7 @@ impl MacQuery {
             j: 1,
             oracle: OracleChoice::default(),
             filter: RangeFilterChoice::default(),
+            algorithm: AlgorithmChoice::default(),
         }
     }
 
@@ -60,6 +75,12 @@ impl MacQuery {
 
     /// Sets the legacy oracle knob (see the [`oracle`](Self::oracle) field);
     /// prefer [`with_range_filter`](Self::with_range_filter) in new code.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `with_range_filter` (or the engine's calibrated Auto \
+                resolution) instead of the legacy oracle knob"
+    )]
+    #[allow(deprecated)]
     pub fn with_oracle(mut self, oracle: OracleChoice) -> Self {
         self.oracle = oracle;
         self
@@ -71,10 +92,22 @@ impl MacQuery {
         self
     }
 
+    /// Selects the search algorithm (global / local / calibrated auto).
+    pub fn with_algorithm(mut self, algorithm: AlgorithmChoice) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
     /// The range-filter strategy this query resolves to, accounting for the
     /// legacy oracle knob: an explicit `filter` wins; otherwise an explicit
     /// `OracleChoice::GTree` keeps selecting the per-user G-tree point path it
     /// selected before the filter layer existed.
+    ///
+    /// This is the *compat* half of strategy resolution; `Auto` is resolved
+    /// by [`MacEngine::resolve_filter`](crate::engine::MacEngine::resolve_filter)
+    /// (measured calibration) or, on the one-shot path, by
+    /// [`RoadSocialNetwork::range_filter`] (analytic fallback).
+    #[allow(deprecated)]
     pub fn effective_filter(&self) -> RangeFilterChoice {
         match (self.filter, self.oracle) {
             (RangeFilterChoice::Auto, OracleChoice::GTree) => RangeFilterChoice::GTreePoint,

@@ -1,0 +1,330 @@
+//! Per-thread query execution with reusable scratch.
+//!
+//! A [`QuerySession`] is the mutable half of the serving API: it borrows the
+//! immutable prepared state from its [`MacEngine`] (network, index,
+//! pre-grouped user targets, calibration) and owns every buffer a query
+//! execution needs — the Dijkstra sweep scratch, the G-tree walk's
+//! entry/intersection matrices, the Lemma-1 membership mask, and the
+//! id-translation arrays of the context build. Executing many queries
+//! through one session reaches an allocation-free steady state for all
+//! network-sized structures; only the per-query core-local structures (the
+//! induced (k,t)-core graph and its dominance graph, which the result
+//! borrows from) are built per query.
+//!
+//! Sessions are deliberately `!Sync`: one session per serving thread, all
+//! sharing one cloned engine. See the scoped-thread test in
+//! `tests/engine_session.rs` for the intended concurrent shape.
+
+use crate::context::{ContextScratch, SearchContext};
+use crate::engine::{AlgorithmChoice, MacEngine};
+use crate::error::MacError;
+use crate::global::GlobalSearch;
+use crate::local::{ExpandStrategy, LocalSearch};
+use crate::query::MacQuery;
+use crate::result::{MacSearchResult, SearchStats};
+use std::time::Instant;
+
+/// A per-thread handle executing MAC queries against a prepared engine.
+///
+/// Obtained from [`MacEngine::session`]. The entry points mirror the
+/// one-shot wrappers: [`execute`](Self::execute) infers the problem from the
+/// query's `j` (Problem 1 / top-j when `j > 1`, Problem 2 / non-contained
+/// otherwise); [`execute_non_contained`](Self::execute_non_contained) and
+/// [`execute_top_j`](Self::execute_top_j) select explicitly. Batch serving
+/// goes through [`execute_batch`](Self::execute_batch).
+#[derive(Debug)]
+pub struct QuerySession {
+    engine: MacEngine,
+    scratch: ContextScratch,
+    /// Worker threads for the global search's top-level cells (1 = serial).
+    parallelism: usize,
+    /// Candidate-selection strategy of the local framework.
+    strategy: ExpandStrategy,
+    /// Candidate budget of the local framework.
+    max_candidates: usize,
+    executed: u64,
+}
+
+/// The outcome of one [`QuerySession::execute_batch`] call.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Per-query results, in input order.
+    pub results: Vec<MacSearchResult>,
+    /// Aggregate throughput statistics for the batch.
+    pub stats: BatchStats,
+}
+
+/// Aggregate statistics of one executed batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchStats {
+    /// Number of queries executed.
+    pub queries: usize,
+    /// Wall-clock seconds for the whole batch.
+    pub elapsed_seconds: f64,
+    /// Executed queries per second (0.0 for an empty batch).
+    pub queries_per_second: f64,
+}
+
+impl QuerySession {
+    pub(crate) fn new(engine: MacEngine) -> Self {
+        QuerySession {
+            engine,
+            scratch: ContextScratch::new(),
+            parallelism: 1,
+            strategy: ExpandStrategy::default(),
+            max_candidates: 12,
+            executed: 0,
+        }
+    }
+
+    /// Sets the number of worker threads the global search uses for
+    /// independent top-level cells (`1` = serial, `0` = all cores). Serving
+    /// deployments usually keep `1` and scale with one session per thread
+    /// instead.
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers;
+        self
+    }
+
+    /// Overrides the local framework's candidate-selection strategy.
+    pub fn with_expand_strategy(mut self, strategy: ExpandStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Overrides the local framework's candidate budget (minimum 1).
+    pub fn with_max_candidates(mut self, max_candidates: usize) -> Self {
+        self.max_candidates = max_candidates.max(1);
+        self
+    }
+
+    /// The engine this session serves from.
+    pub fn engine(&self) -> &MacEngine {
+        &self.engine
+    }
+
+    /// Number of queries this session has executed.
+    pub fn queries_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Executes one query, resolving the algorithm and range-filter strategy
+    /// through the engine's calibration. The problem is inferred from the
+    /// query: top-j (Problem 1) when `j > 1`, non-contained MAC (Problem 2)
+    /// otherwise — the two coincide at `j = 1`.
+    pub fn execute(&mut self, query: &MacQuery) -> Result<MacSearchResult, MacError> {
+        self.run(query, query.j > 1)
+    }
+
+    /// Executes one query as Problem 2: the non-contained MAC per partition.
+    pub fn execute_non_contained(&mut self, query: &MacQuery) -> Result<MacSearchResult, MacError> {
+        self.run(query, false)
+    }
+
+    /// Executes one query as Problem 1: the top-j MACs per partition.
+    pub fn execute_top_j(&mut self, query: &MacQuery) -> Result<MacSearchResult, MacError> {
+        self.run(query, true)
+    }
+
+    /// Executes a batch of queries through this session's scratch, returning
+    /// per-query results plus aggregate throughput statistics. Fails on the
+    /// first invalid query (results computed so far are discarded, matching
+    /// the all-or-nothing contract of a batch).
+    pub fn execute_batch(&mut self, queries: &[MacQuery]) -> Result<BatchOutcome, MacError> {
+        let start = Instant::now();
+        let mut results = Vec::with_capacity(queries.len());
+        for query in queries {
+            results.push(self.execute(query)?);
+        }
+        let elapsed_seconds = start.elapsed().as_secs_f64();
+        let queries_per_second = if queries.is_empty() {
+            0.0
+        } else {
+            queries.len() as f64 / elapsed_seconds.max(1e-12)
+        };
+        Ok(BatchOutcome {
+            results,
+            stats: BatchStats {
+                queries: queries.len(),
+                elapsed_seconds,
+                queries_per_second,
+            },
+        })
+    }
+
+    fn run(&mut self, query: &MacQuery, top_j_mode: bool) -> Result<MacSearchResult, MacError> {
+        let start = Instant::now();
+        let filter = self.engine.resolve_filter(query);
+        let rsn = self.engine.network();
+        // The context borrows the engine's network and the caller's query;
+        // everything network-sized it consumes comes from session scratch.
+        let ctx = SearchContext::build_with(
+            rsn,
+            query,
+            filter,
+            self.engine.user_targets(),
+            &mut self.scratch,
+        )?;
+        let Some(ctx) = ctx else {
+            self.executed += 1;
+            return Ok(MacSearchResult {
+                cells: Vec::new(),
+                stats: SearchStats {
+                    elapsed_seconds: start.elapsed().as_secs_f64(),
+                    ..SearchStats::default()
+                },
+            });
+        };
+        let algorithm = self
+            .engine
+            .resolve_algorithm(query.algorithm, ctx.core_size());
+        let mut result = match algorithm {
+            AlgorithmChoice::Local => {
+                LocalSearch::run_context(&ctx, self.strategy, self.max_candidates, top_j_mode)
+            }
+            // resolve_algorithm never returns Auto.
+            _ => GlobalSearch::explore_context(&ctx, self.parallelism, top_j_mode),
+        };
+        result.stats.elapsed_seconds = start.elapsed().as_secs_f64();
+        self.executed += 1;
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::RoadSocialNetwork;
+    use rsn_geom::region::PrefRegion;
+    use rsn_graph::graph::Graph;
+    use rsn_road::network::{Location, RoadNetwork};
+
+    /// The two-K4 network of the global/local tests.
+    fn network() -> RoadSocialNetwork {
+        let social = Graph::from_edges(
+            6,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (0, 4),
+                (0, 5),
+                (1, 4),
+                (1, 5),
+                (4, 5),
+            ],
+        );
+        let road = RoadNetwork::from_edges(2, &[(0, 1, 1.0)]);
+        let locations = vec![Location::vertex(0); 6];
+        let attrs = vec![
+            vec![6.0, 6.0],
+            vec![6.0, 6.0],
+            vec![9.0, 1.0],
+            vec![8.0, 2.0],
+            vec![1.0, 9.0],
+            vec![2.0, 8.0],
+        ];
+        RoadSocialNetwork::new(social, road, locations, attrs).unwrap()
+    }
+
+    fn query() -> MacQuery {
+        let region = PrefRegion::from_ranges(&[(0.1, 0.9)]).unwrap();
+        MacQuery::new(vec![0, 1], 3, 10.0, region)
+    }
+
+    fn assert_results_identical(a: &MacSearchResult, b: &MacSearchResult) {
+        assert_eq!(a.cells.len(), b.cells.len(), "cell count diverged");
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(ca.sample_weight, cb.sample_weight);
+            assert_eq!(
+                ca.communities
+                    .iter()
+                    .map(|c| &c.vertices)
+                    .collect::<Vec<_>>(),
+                cb.communities
+                    .iter()
+                    .map(|c| &c.vertices)
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn session_matches_one_shot_global_search() {
+        let rsn = network();
+        let q = query();
+        let reference = crate::GlobalSearch::new(&rsn, &q)
+            .run_non_contained()
+            .unwrap();
+        let engine = MacEngine::build_uncalibrated(rsn);
+        let mut session = engine.session();
+        let got = session.execute(&q).unwrap();
+        assert_results_identical(&reference, &got);
+        assert_eq!(session.queries_executed(), 1);
+    }
+
+    #[test]
+    fn session_infers_the_problem_from_j() {
+        let engine = MacEngine::build_uncalibrated(network());
+        let mut session = engine.session();
+        let q1 = query();
+        let q2 = query().with_top_j(2);
+        let nc = session.execute(&q1).unwrap();
+        for cell in &nc.cells {
+            assert_eq!(cell.communities.len(), 1);
+        }
+        let top2 = session.execute(&q2).unwrap();
+        assert!(top2.cells.iter().any(|c| c.communities.len() == 2));
+        let explicit = session.execute_top_j(&q2).unwrap();
+        assert_results_identical(&top2, &explicit);
+    }
+
+    #[test]
+    fn session_runs_the_local_framework_on_request() {
+        let rsn = network();
+        let q = query().with_algorithm(AlgorithmChoice::Local);
+        let reference = crate::LocalSearch::new(&rsn, &q)
+            .run_non_contained()
+            .unwrap();
+        let engine = MacEngine::build_uncalibrated(rsn);
+        let mut session = engine.session();
+        let got = session.execute(&q).unwrap();
+        assert_results_identical(&reference, &got);
+    }
+
+    #[test]
+    fn batch_matches_individual_execution_and_counts_throughput() {
+        let engine = MacEngine::build_uncalibrated(network());
+        let queries = vec![query(), query().with_top_j(2), query()];
+        let mut individual = engine.session();
+        let expect: Vec<_> = queries
+            .iter()
+            .map(|q| individual.execute(q).unwrap())
+            .collect();
+        let mut session = engine.session();
+        let batch = session.execute_batch(&queries).unwrap();
+        assert_eq!(batch.results.len(), 3);
+        assert_eq!(batch.stats.queries, 3);
+        assert!(batch.stats.queries_per_second > 0.0);
+        for (a, b) in expect.iter().zip(&batch.results) {
+            assert_results_identical(a, b);
+        }
+        assert_eq!(session.queries_executed(), 3);
+    }
+
+    #[test]
+    fn invalid_query_is_an_error_and_empty_core_is_an_empty_result() {
+        let engine = MacEngine::build_uncalibrated(network());
+        let mut session = engine.session();
+        let mut bad = query();
+        bad.q.clear();
+        assert!(session.execute(&bad).is_err());
+        let region = PrefRegion::from_ranges(&[(0.1, 0.9)]).unwrap();
+        let impossible = MacQuery::new(vec![0], 5, 10.0, region);
+        let result = session.execute(&impossible).unwrap();
+        assert!(result.is_empty());
+    }
+}

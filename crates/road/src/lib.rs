@@ -37,9 +37,11 @@ pub mod rangefilter;
 pub use dijkstra::{bounded_sssp, sssp, sssp_from_location, SsspScratch};
 pub use gtree::GTree;
 pub use network::{Location, RoadNetwork, RoadNetworkBuilder, RoadVertexId};
-pub use oracle::{DistanceOracle, OracleChoice, ScratchPool};
+#[allow(deprecated)]
+pub use oracle::OracleChoice;
+pub use oracle::{DistanceOracle, ScratchPool};
 pub use querydist::QueryDistanceIndex;
-pub use rangefilter::{RangeFilter, RangeFilterChoice};
+pub use rangefilter::{AutoCalibration, FilterScratch, RangeFilter, RangeFilterChoice};
 
 /// Errors produced by the road substrate.
 #[derive(Debug, Clone, PartialEq)]

@@ -28,7 +28,8 @@
 //! [`resolve_auto`] turns `Auto` into a concrete strategy from the measured
 //! sweep/batched crossover.
 
-use crate::gtree::{GTree, RangeScratch};
+use crate::dijkstra::{distance_to_location, SsspScratch};
+use crate::gtree::{GTree, LeafTargets, RangeScratch};
 use crate::network::{Location, RoadNetwork, RoadVertexId};
 use crate::oracle::{along_edge_distance, location_seeds, DistanceOracle};
 use crate::querydist::QueryDistanceIndex;
@@ -69,6 +70,35 @@ impl RangeFilterChoice {
     }
 }
 
+/// Reusable buffers for repeated range-filter evaluations.
+///
+/// A fresh [`RangeFilter::users_within`] call allocates the buffers its
+/// strategy needs every time — a `|V_road|`-sized Dijkstra distance field (or
+/// a `|Q| × |V_road|` matrix on the sweep path of the legacy
+/// `QueryDistanceIndex`), the G-tree walk's entry-column matrices, and the
+/// per-user best-distance rows. A `FilterScratch` owns all of them and is
+/// handed to [`RangeFilter::users_within_with`], so a serving loop that
+/// issues many queries against one network reaches an allocation-free steady
+/// state once the buffers have grown to the network size.
+#[derive(Debug, Default)]
+pub struct FilterScratch {
+    /// Bounded-sweep Dijkstra state (distance field + heap + touched list).
+    sssp: SsspScratch,
+    /// G-tree walk state (entry-column matrices + per-seed locals).
+    range: RangeScratch,
+    /// Item-major best-distance matrix of the batched walks.
+    best: Vec<f64>,
+    /// Flattened `(vertex, offset, column)` source seeds of a walk.
+    seeds: Vec<(RoadVertexId, f64, u32)>,
+}
+
+impl FilterScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        FilterScratch::default()
+    }
+}
+
 /// An exact "users within t" filter (Lemma 1) over the road network.
 #[derive(Debug)]
 pub enum RangeFilter<'a> {
@@ -95,6 +125,10 @@ impl<'a> RangeFilter<'a> {
 
     /// Lemma-1 set filter: `result[v]` is `true` iff user `v` is within
     /// network distance `t` of **every** query location (`D_Q(v) <= t`).
+    ///
+    /// Allocates fresh working buffers per call; serving loops should hold a
+    /// [`FilterScratch`] and call
+    /// [`users_within_with`](Self::users_within_with) instead.
     pub fn users_within(
         &self,
         net: &RoadNetwork,
@@ -102,34 +136,130 @@ impl<'a> RangeFilter<'a> {
         t: f64,
         user_locations: &[Location],
     ) -> Vec<bool> {
+        let mut scratch = FilterScratch::new();
+        let mut out = Vec::new();
+        self.users_within_with(
+            net,
+            query_locations,
+            t,
+            user_locations,
+            None,
+            &mut scratch,
+            &mut out,
+        );
+        out
+    }
+
+    /// Lemma-1 set filter writing into `out`, reusing `scratch` buffers across
+    /// calls (see [`FilterScratch`]) — identical results to
+    /// [`users_within`](Self::users_within).
+    ///
+    /// `targets` optionally supplies the user seeds already grouped by G-tree
+    /// leaf ([`group_user_targets`]); the grouping depends only on the tree
+    /// and the user locations, so a prepared engine computes it once per
+    /// network instead of once per query. It is ignored by the non-batched
+    /// strategies, and the batched strategies group on the fly when `None`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn users_within_with(
+        &self,
+        net: &RoadNetwork,
+        query_locations: &[Location],
+        t: f64,
+        user_locations: &[Location],
+        targets: Option<&LeafTargets>,
+        scratch: &mut FilterScratch,
+        out: &mut Vec<bool>,
+    ) {
+        let n = user_locations.len();
+        out.clear();
+        out.resize(n, true);
+        if n == 0 {
+            return;
+        }
         match self {
             RangeFilter::DijkstraSweep => {
-                let qdi = QueryDistanceIndex::build(net, query_locations, Some(t));
-                qdi.within_threshold(user_locations, t)
+                // One t-bounded sweep per query location, evaluated straight
+                // off the scratch's distance field — no |Q| x |V| matrix.
+                for qloc in query_locations {
+                    let field = scratch
+                        .sssp
+                        .run(net, &location_seeds(net, qloc), Some(t), None);
+                    for (w, uloc) in out.iter_mut().zip(user_locations) {
+                        if *w {
+                            let d = distance_to_location(net, field, uloc)
+                                .min(along_edge_distance(qloc, uloc));
+                            if d > t {
+                                *w = false;
+                            }
+                        }
+                    }
+                }
             }
             RangeFilter::GTreePoint(tree) => {
+                // The per-user point path is kept for equivalence testing and
+                // the legacy oracle knob; its per-query source climbs are
+                // small and not worth pooling.
                 let oracle = DistanceOracle::GTree(tree);
                 let qdi =
                     QueryDistanceIndex::build_with_oracle(net, &oracle, query_locations, Some(t));
-                qdi.within_threshold(user_locations, t)
+                for (w, loc) in out.iter_mut().zip(user_locations) {
+                    *w = qdi.query_distance(loc) <= t;
+                }
             }
             RangeFilter::GTreeLeafBatched(tree) => {
-                leaf_batched_within(tree, net, query_locations, t, user_locations)
+                let owned;
+                let targets = match targets {
+                    Some(targets) => targets,
+                    None => {
+                        owned = group_user_targets(tree, net, user_locations);
+                        &owned
+                    }
+                };
+                leaf_batched_within(
+                    tree,
+                    net,
+                    query_locations,
+                    t,
+                    user_locations,
+                    targets,
+                    scratch,
+                    out,
+                );
             }
             RangeFilter::GTreeMultiSeedBatched(tree) => {
-                multi_seed_batched_within(tree, net, query_locations, t, user_locations)
+                let owned;
+                let targets = match targets {
+                    Some(targets) => targets,
+                    None => {
+                        owned = group_user_targets(tree, net, user_locations);
+                        &owned
+                    }
+                };
+                multi_seed_batched_within(
+                    tree,
+                    net,
+                    query_locations,
+                    t,
+                    user_locations,
+                    targets,
+                    scratch,
+                    out,
+                );
             }
         }
     }
 }
 
 /// Groups the user seeds by G-tree leaf (shared by both batched strategies):
-/// an on-edge user contributes a seed at each endpoint.
-fn group_user_targets(
+/// an on-edge user contributes a seed at each endpoint. The grouping depends
+/// only on the tree and the user locations — a prepared engine builds it once
+/// per network and passes it to every
+/// [`RangeFilter::users_within_with`] call.
+pub fn group_user_targets(
     tree: &GTree,
     net: &RoadNetwork,
     user_locations: &[Location],
-) -> crate::gtree::LeafTargets {
+) -> LeafTargets {
     tree.group_targets(user_locations.iter().enumerate().flat_map(|(i, loc)| {
         location_seeds(net, loc)
             .into_iter()
@@ -138,25 +268,25 @@ fn group_user_targets(
     }))
 }
 
-/// The PR-2 per-seed leaf-batched strategy: group the user seeds by leaf
-/// once, then run one pruned top-down walk per query seed, intersecting the
+/// The PR-2 per-seed leaf-batched strategy: one pruned top-down walk per
+/// query seed over the pre-grouped user targets, intersecting the
 /// per-query-location threshold predicates in this merge loop. Kept as the
 /// baseline the multi-seed walk is measured against.
+#[allow(clippy::too_many_arguments)]
 fn leaf_batched_within(
     tree: &GTree,
     net: &RoadNetwork,
     query_locations: &[Location],
     t: f64,
     user_locations: &[Location],
-) -> Vec<bool> {
+    targets: &LeafTargets,
+    scratch: &mut FilterScratch,
+    within: &mut [bool],
+) {
     let n = user_locations.len();
-    let mut within = vec![true; n];
-    if n == 0 {
-        return within;
-    }
-    let targets = group_user_targets(tree, net, user_locations);
-    let mut scratch = RangeScratch::default();
-    let mut best = vec![f64::INFINITY; n];
+    let best = &mut scratch.best;
+    best.clear();
+    best.resize(n, f64::INFINITY);
     for qloc in query_locations {
         // Seed each user with the along-edge shortcut (exact when both points
         // share an edge; INFINITY otherwise), then lower through the tree.
@@ -167,15 +297,14 @@ fn leaf_batched_within(
             .into_iter()
             .filter(|&(_, off)| off.is_finite())
         {
-            tree.accumulate_source_distances(sv, soff, &targets, t, &mut best, &mut scratch);
+            tree.accumulate_source_distances(sv, soff, targets, t, best, &mut scratch.range);
         }
-        for (w, &d) in within.iter_mut().zip(&best) {
+        for (w, &d) in within.iter_mut().zip(best.iter()) {
             if d > t {
                 *w = false;
             }
         }
     }
-    within
 }
 
 /// The multi-seed strategy: all query seeds fold into **one** top-down walk
@@ -184,21 +313,24 @@ fn leaf_batched_within(
 /// [`GTree::multi_source_within`]. The per-user rows are pre-seeded with the
 /// along-edge shortcuts, so users in pruned subtrees keep their exact
 /// same-edge memberships.
+#[allow(clippy::too_many_arguments)]
 fn multi_seed_batched_within(
     tree: &GTree,
     net: &RoadNetwork,
     query_locations: &[Location],
     t: f64,
     user_locations: &[Location],
-) -> Vec<bool> {
+    targets: &LeafTargets,
+    scratch: &mut FilterScratch,
+    within: &mut [bool],
+) {
     let n = user_locations.len();
     let cols = query_locations.len();
-    let mut within = vec![true; n];
-    if n == 0 || cols == 0 {
-        return within;
+    if cols == 0 {
+        return;
     }
-    let targets = group_user_targets(tree, net, user_locations);
-    let mut seeds: Vec<(RoadVertexId, f64, u32)> = Vec::new();
+    let seeds = &mut scratch.seeds;
+    seeds.clear();
     for (q, qloc) in query_locations.iter().enumerate() {
         for (sv, soff) in location_seeds(net, qloc)
             .into_iter()
@@ -207,23 +339,15 @@ fn multi_seed_batched_within(
             seeds.push((sv, soff, q as u32));
         }
     }
-    let mut best = vec![f64::INFINITY; n * cols];
+    let best = &mut scratch.best;
+    best.clear();
+    best.resize(n * cols, f64::INFINITY);
     for (i, uloc) in user_locations.iter().enumerate() {
         for (q, qloc) in query_locations.iter().enumerate() {
             best[i * cols + q] = along_edge_distance(qloc, uloc);
         }
     }
-    let mut scratch = RangeScratch::default();
-    tree.multi_source_within(
-        &seeds,
-        cols,
-        &targets,
-        t,
-        &mut best,
-        &mut within,
-        &mut scratch,
-    );
-    within
+    tree.multi_source_within(seeds, cols, targets, t, best, within, &mut scratch.range);
 }
 
 /// Sweep-vs-batched conversion factor of [`resolve_auto`]'s cost model,
@@ -232,8 +356,77 @@ fn multi_seed_batched_within(
 /// as this many batched matrix-cell touches (the measured unit costs were
 /// ~10 ns per batched cell and ~40 ns per modeled sweep relaxation on the
 /// recorder machine). Lowering the constant makes `Auto` keep the sweep
-/// longer.
+/// longer. This is the *analytic fallback*; a prepared engine measures the
+/// constant per network at build time (see [`AutoCalibration`]).
 pub const AUTO_SWEEP_CELL_COST: f64 = 16.0;
+
+/// Bounds for a measured [`AutoCalibration::sweep_cell_cost`]: a ratio
+/// outside this range means the probe timings were dominated by noise (a
+/// sub-microsecond measurement on a tiny network), so callers clamp into it.
+pub const AUTO_SWEEP_CELL_COST_BOUNDS: (f64, f64) = (0.5, 512.0);
+
+/// Per-network calibration of the `Auto` range-filter resolution.
+///
+/// The cost model of [`resolve_auto`] compares modeled sweep relaxations
+/// against modeled batched matrix-cell touches; the one free parameter is the
+/// conversion factor between the two units. The analytic default
+/// ([`AUTO_SWEEP_CELL_COST`]) was fitted on one recorder machine — a prepared
+/// engine instead *measures* it on the actual network and hardware at build
+/// time: one timed t-bounded sweep and one timed multi-seed walk over the
+/// same probe query, each divided by its modeled unit count, give the
+/// measured cost of a sweep relaxation in batched-cell units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoCalibration {
+    /// Measured (or analytic-default) cost of one sweep relaxation in
+    /// batched-cell units. Higher values make `Auto` abandon the sweep
+    /// earlier.
+    pub sweep_cell_cost: f64,
+}
+
+impl Default for AutoCalibration {
+    fn default() -> Self {
+        AutoCalibration {
+            sweep_cell_cost: AUTO_SWEEP_CELL_COST,
+        }
+    }
+}
+
+impl AutoCalibration {
+    /// Builds a calibration from one timed sweep and one timed multi-seed
+    /// walk over the same probe configuration, whose modeled unit counts are
+    /// `sweep_relaxations` / `batched_cells` (from [`auto_cost_estimates`]).
+    /// Falls back to the analytic default when either measurement is too
+    /// small to trust (noise floor) and clamps the ratio into
+    /// [`AUTO_SWEEP_CELL_COST_BOUNDS`].
+    pub fn from_probe(
+        sweep_seconds: f64,
+        sweep_relaxations: f64,
+        walk_seconds: f64,
+        batched_cells: f64,
+    ) -> Self {
+        const NOISE_FLOOR_SECONDS: f64 = 1e-6;
+        if !(sweep_seconds.is_finite() && walk_seconds.is_finite())
+            || sweep_seconds < NOISE_FLOOR_SECONDS
+            || walk_seconds < NOISE_FLOOR_SECONDS
+            || sweep_relaxations <= 0.0
+            || batched_cells <= 0.0
+        {
+            return AutoCalibration::default();
+        }
+        let sweep_unit = sweep_seconds / sweep_relaxations;
+        let walk_unit = walk_seconds / batched_cells;
+        let (lo, hi) = AUTO_SWEEP_CELL_COST_BOUNDS;
+        AutoCalibration {
+            sweep_cell_cost: (sweep_unit / walk_unit).clamp(lo, hi),
+        }
+    }
+
+    /// Whether this calibration differs from the analytic default (i.e. a
+    /// probe measurement was accepted).
+    pub fn is_measured(&self) -> bool {
+        self.sweep_cell_cost != AUTO_SWEEP_CELL_COST
+    }
+}
 
 /// Calibrated `Auto` resolution for the Lemma-1 range filter.
 ///
@@ -273,16 +466,61 @@ pub fn resolve_auto(
     t: f64,
     num_users: usize,
 ) -> RangeFilterChoice {
+    resolve_auto_calibrated(
+        net,
+        tree,
+        num_query_locations,
+        t,
+        num_users,
+        &AutoCalibration::default(),
+    )
+}
+
+/// [`resolve_auto`] with an explicit (typically measured) [`AutoCalibration`]
+/// instead of the analytic default constant.
+pub fn resolve_auto_calibrated(
+    net: &RoadNetwork,
+    tree: Option<&GTree>,
+    num_query_locations: usize,
+    t: f64,
+    num_users: usize,
+    calibration: &AutoCalibration,
+) -> RangeFilterChoice {
     let Some(tree) = tree else {
         return RangeFilterChoice::DijkstraSweep;
     };
+    let Some((sweep_relaxations, batched_cells)) =
+        auto_cost_estimates(net, tree, num_query_locations, t, num_users)
+    else {
+        return RangeFilterChoice::DijkstraSweep;
+    };
+    if sweep_relaxations * calibration.sweep_cell_cost > batched_cells {
+        RangeFilterChoice::GTreeMultiSeedBatched
+    } else {
+        RangeFilterChoice::DijkstraSweep
+    }
+}
+
+/// The raw unit counts of the `Auto` cost model for one configuration:
+/// `(modeled sweep edge-relaxations, modeled batched matrix-cell touches)`.
+/// The two are in *different* units — [`AutoCalibration::sweep_cell_cost`]
+/// converts between them. Returns `None` for degenerate configurations
+/// (empty network / query / user set, or no usable edge-weight sample),
+/// where `Auto` always resolves to the sweep.
+pub fn auto_cost_estimates(
+    net: &RoadNetwork,
+    tree: &GTree,
+    num_query_locations: usize,
+    t: f64,
+    num_users: usize,
+) -> Option<(f64, f64)> {
     let n = net.num_vertices();
     if n == 0 || num_query_locations == 0 || num_users == 0 {
-        return RangeFilterChoice::DijkstraSweep;
+        return None;
     }
     let avg_w = sampled_avg_edge_weight(net);
     if !avg_w.is_finite() || avg_w <= 0.0 {
-        return RangeFilterChoice::DijkstraSweep;
+        return None;
     }
     let hops = t / avg_w;
     // Separator-width probe: the widest child cut at the G-tree root.
@@ -300,7 +538,7 @@ pub fn resolve_auto(
     let q = num_query_locations as f64;
     // Each query location contributes up to two on-edge seeds to the walk.
     let seeds = 2.0 * q;
-    let sweep_cells = q * est_ball * net.avg_degree().max(2.0) * AUTO_SWEEP_CELL_COST;
+    let sweep_relaxations = q * est_ball * net.avg_degree().max(2.0);
     let leaves = tree.num_leaves().max(1) as f64;
     let avg_leaf = n as f64 / leaves;
     // The walk's t-pruning skips occupied subtrees beyond the ball, so only
@@ -311,17 +549,15 @@ pub fn resolve_auto(
         * (tree.walk_cells_root() as f64
             + occ_frac * tree.walk_cells_total() as f64
             + 2.0 * users_eff * avg_leaf.sqrt());
-    if sweep_cells > batched_cells {
-        RangeFilterChoice::GTreeMultiSeedBatched
-    } else {
-        RangeFilterChoice::DijkstraSweep
-    }
+    Some((sweep_relaxations, batched_cells))
 }
 
 /// Average edge weight over a deterministic sample of the network's edges
 /// (the first 1024 in canonical order) — enough signal to turn `t` into an
-/// expected hop radius without an O(m) scan per query.
-fn sampled_avg_edge_weight(net: &RoadNetwork) -> f64 {
+/// expected hop radius without an O(m) scan per query. Public so the
+/// engine's calibration probe derives its probe threshold from the *same*
+/// sample the cost model uses for its hop estimate.
+pub fn sampled_avg_edge_weight(net: &RoadNetwork) -> f64 {
     let mut sum = 0.0;
     let mut count = 0usize;
     for (_, _, w) in net.edges().take(1024) {
@@ -428,6 +664,95 @@ mod tests {
                 .users_within(&net, &[Location::vertex(0)], 1.0, &[])
                 .is_empty());
         }
+    }
+
+    #[test]
+    fn scratch_reuse_and_pregrouped_targets_match_fresh_calls() {
+        let net = grid(6, 6);
+        let tree = GTree::build_with_capacity(&net, 6);
+        let users: Vec<Location> = (0..36u32).map(Location::vertex).collect();
+        let targets = group_user_targets(&tree, &net, &users);
+        let mut scratch = FilterScratch::new();
+        let mut out = Vec::new();
+        // Interleave strategies, thresholds, and query sets through ONE
+        // scratch: every call must match a fresh users_within call.
+        for t in [0.0, 1.5, 3.0, 100.0] {
+            for q in [
+                vec![Location::vertex(0)],
+                vec![Location::vertex(0), Location::vertex(35)],
+                vec![Location::OnEdge {
+                    u: 14,
+                    v: 15,
+                    offset: 0.5,
+                }],
+            ] {
+                for filter in all_filters(&tree) {
+                    let fresh = filter.users_within(&net, &q, t, &users);
+                    filter.users_within_with(
+                        &net,
+                        &q,
+                        t,
+                        &users,
+                        Some(&targets),
+                        &mut scratch,
+                        &mut out,
+                    );
+                    assert_eq!(out, fresh, "{} diverges with reused scratch", filter.name());
+                    filter.users_within_with(&net, &q, t, &users, None, &mut scratch, &mut out);
+                    assert_eq!(out, fresh, "{} diverges without targets", filter.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn calibration_from_probe_clamps_and_rejects_noise() {
+        // Trustworthy probe: ratio = (1e-3/1e4) / (1e-3/1e5) = 10.
+        let cal = AutoCalibration::from_probe(1e-3, 1e4, 1e-3, 1e5);
+        assert!((cal.sweep_cell_cost - 10.0).abs() < 1e-9);
+        assert!(cal.is_measured());
+        // Sub-noise-floor measurements fall back to the analytic default.
+        let noisy = AutoCalibration::from_probe(1e-8, 1e4, 1e-3, 1e5);
+        assert_eq!(noisy.sweep_cell_cost, AUTO_SWEEP_CELL_COST);
+        assert!(!noisy.is_measured());
+        // Extreme ratios clamp into the trusted bounds.
+        let huge = AutoCalibration::from_probe(1.0, 1.0, 1e-3, 1e6);
+        assert_eq!(huge.sweep_cell_cost, AUTO_SWEEP_CELL_COST_BOUNDS.1);
+        let tiny = AutoCalibration::from_probe(1e-3, 1e9, 1.0, 1.0);
+        assert_eq!(tiny.sweep_cell_cost, AUTO_SWEEP_CELL_COST_BOUNDS.0);
+    }
+
+    #[test]
+    fn calibrated_resolution_shifts_the_crossover() {
+        // A corridor where the default calibration picks the batched walk:
+        // an implausibly cheap sweep unit must flip the decision back, and
+        // the estimates must be finite and positive.
+        let net = corridor(20_000);
+        let tree = GTree::build(&net);
+        let (sweep_units, batched_units) =
+            auto_cost_estimates(&net, &tree, 4, 1_000.0, 64).expect("non-degenerate configuration");
+        assert!(sweep_units > 0.0 && batched_units > 0.0);
+        assert_eq!(
+            resolve_auto(&net, Some(&tree), 4, 1_000.0, 64),
+            RangeFilterChoice::GTreeMultiSeedBatched
+        );
+        // The decision flips exactly at the measured unit-cost ratio.
+        let crossover = batched_units / sweep_units;
+        let sweep_cheaper = AutoCalibration {
+            sweep_cell_cost: crossover * 0.99,
+        };
+        assert_eq!(
+            resolve_auto_calibrated(&net, Some(&tree), 4, 1_000.0, 64, &sweep_cheaper),
+            RangeFilterChoice::DijkstraSweep,
+            "a cheap-enough measured sweep must keep the sweep"
+        );
+        let sweep_dearer = AutoCalibration {
+            sweep_cell_cost: crossover * 1.01,
+        };
+        assert_eq!(
+            resolve_auto_calibrated(&net, Some(&tree), 4, 1_000.0, 64, &sweep_dearer),
+            RangeFilterChoice::GTreeMultiSeedBatched
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use road_social_mac::baselines::influ::Influ;
 use road_social_mac::baselines::sky::skyline_communities;
-use road_social_mac::core::{GlobalSearch, MacQuery, SearchContext};
+use road_social_mac::core::{MacEngine, MacQuery, SearchContext};
 use road_social_mac::datagen::presets::{build_preset_scaled, PresetName, PresetScale};
 use road_social_mac::geom::PrefRegion;
 
@@ -22,7 +22,11 @@ fn main() {
         },
         0,
     );
-    let rsn = &dataset.rsn;
+    // Prepare the collaboration network once; the engine is what a service
+    // would keep warm between author queries.
+    let engine = MacEngine::build(dataset.rsn.clone());
+    let mut session = engine.session();
+    let rsn = engine.network();
 
     // Four senior researchers (co-located, high coreness) as query authors;
     // the user mostly cares about activeness (attribute 3) but cannot commit
@@ -33,9 +37,7 @@ fn main() {
     let query = MacQuery::new(authors.clone(), 5, dataset.default_t, region).with_top_j(2);
 
     println!("Query researchers: {:?} (k = 5)", authors);
-    let result = GlobalSearch::new(rsn, &query)
-        .run_top_j()
-        .expect("valid query");
+    let result = session.execute_top_j(&query).expect("valid query");
     for (i, cell) in result.cells.iter().enumerate().take(3) {
         println!("preference partition {i}:");
         for (rank, c) in cell.communities.iter().enumerate() {

@@ -7,7 +7,7 @@
 //! cargo run --release --example contact_tracing
 //! ```
 
-use road_social_mac::core::{LocalSearch, MacQuery, RoadSocialNetwork};
+use road_social_mac::core::{AlgorithmChoice, MacEngine, MacQuery, RoadSocialNetwork};
 use road_social_mac::datagen::attrs::{generate_attrs, AttrDistribution};
 use road_social_mac::datagen::locations::{assign_locations, LocationConfig};
 use road_social_mac::datagen::road::{generate_road, RoadConfig};
@@ -39,17 +39,22 @@ fn main() {
     let locations = assign_locations(&road, 2_000, &social.groups, &LocationConfig::default());
     let rsn = RoadSocialNetwork::new(social.graph, road, locations, attrs).unwrap();
 
+    // The health authority serves many tracing queries against the same
+    // district, so the network is prepared once and queries stream through a
+    // reused session.
+    let engine = MacEngine::build(rsn);
+    let mut session = engine.session().with_max_candidates(64);
+
     // Two confirmed cases from the first venue; possible contacts must be
     // within road distance 20 and form a 4-core with them. The investigator
-    // cannot pin exact attribute weights, only a rough region.
+    // cannot pin exact attribute weights, only a rough region. The local
+    // framework streams results out quickly.
     let cases = vec![social.groups[0][0], social.groups[0][5]];
     let region = PrefRegion::from_ranges(&[(0.3, 0.7)]).unwrap();
-    let query = MacQuery::new(cases.clone(), 4, 20.0, region);
+    let query =
+        MacQuery::new(cases.clone(), 4, 20.0, region).with_algorithm(AlgorithmChoice::Local);
 
-    let result = LocalSearch::new(&rsn, &query)
-        .with_max_candidates(64)
-        .run_non_contained()
-        .expect("valid query");
+    let result = session.execute_non_contained(&query).expect("valid query");
 
     println!("Confirmed cases: {:?}", cases);
     if result.is_empty() {

@@ -6,7 +6,7 @@
 //! cargo run --release --example team_reorganization
 //! ```
 
-use road_social_mac::core::{GlobalSearch, MacQuery, RoadSocialNetwork};
+use road_social_mac::core::{MacEngine, MacQuery, RoadSocialNetwork};
 use road_social_mac::datagen::attrs::{generate_attrs, AttrDistribution};
 use road_social_mac::datagen::locations::{assign_locations, LocationConfig};
 use road_social_mac::datagen::road::{generate_road, RoadConfig};
@@ -31,6 +31,10 @@ fn main() {
     let locations = assign_locations(&road, 400, &social.groups, &LocationConfig::default());
     let rsn = RoadSocialNetwork::new(social.graph, road, locations, attrs).unwrap();
 
+    // One prepared engine serves every what-if roster query the coach tries.
+    let engine = MacEngine::build(rsn);
+    let mut session = engine.session();
+
     // The coach builds the team around two key players from the varsity squad,
     // cares mostly about offense (points weight 0.4-0.6), and limits the
     // search to players living close to the school (t = 25).
@@ -38,9 +42,7 @@ fn main() {
     let region = PrefRegion::from_ranges(&[(0.4, 0.6), (0.15, 0.3)]).unwrap();
     let query = MacQuery::new(anchors.clone(), 6, 25.0, region).with_top_j(3);
 
-    let result = GlobalSearch::new(&rsn, &query)
-        .run_top_j()
-        .expect("valid query");
+    let result = session.execute_top_j(&query).expect("valid query");
     println!(
         "Rebuilding the team around players {:?} (k = 6, t = 25):",
         anchors

@@ -16,16 +16,33 @@
 //!
 //! ## Quick start
 //!
+//! MAC search is an online query service over a fixed network, and the API is
+//! shaped accordingly: build a [`core::MacEngine`] **once** per network (it
+//! owns the network behind an `Arc`, pre-groups the G-tree user targets, and
+//! runs the measured `Auto` calibration probe), open one
+//! [`core::QuerySession`] per serving thread, and execute many queries
+//! through it.
+//!
 //! ```
 //! use road_social_mac::prelude::*;
 //!
-//! // Build the paper's running example (Fig. 1 / Fig. 2).
+//! // Build the paper's running example (Fig. 1 / Fig. 2) and prepare it
+//! // for serving — calibration runs here, once.
 //! let rsn = road_social_mac::datagen::paper_example::paper_example_network();
+//! let engine = MacEngine::build(rsn);
+//! let mut session = engine.session(); // one per serving thread
+//!
 //! let region = PrefRegion::from_ranges(&[(0.1, 0.5), (0.2, 0.4)]).unwrap();
 //! let query = MacQuery::new(vec![1], 2, 9.0, region).with_top_j(2);
-//! let result = GlobalSearch::new(&rsn, &query).run_non_contained().unwrap();
+//! let result = session.execute(&query).unwrap(); // many times
 //! assert!(!result.cells.is_empty());
 //! ```
+//!
+//! The one-shot wrappers (`GlobalSearch::new(..)` / `LocalSearch::new(..)`)
+//! remain for scripts and tests; a session resolves
+//! `AlgorithmChoice::{Global, Local, Auto}` between the same algorithms
+//! through its engine's calibration, with all network-sized scratch reused
+//! across queries.
 
 pub use rsn_baselines as baselines;
 pub use rsn_core as core;
@@ -38,8 +55,8 @@ pub use rsn_road as road;
 /// Convenience prelude re-exporting the most commonly used types.
 pub mod prelude {
     pub use rsn_core::{
-        ktcore::maximal_kt_core, query::MacQuery, result::MacSearchResult, GlobalSearch,
-        LocalSearch, RoadSocialNetwork,
+        ktcore::maximal_kt_core, query::MacQuery, result::MacSearchResult, AlgorithmChoice,
+        GlobalSearch, LocalSearch, MacEngine, QuerySession, RoadSocialNetwork,
     };
     pub use rsn_datagen::presets;
     pub use rsn_dom::dominance::DominanceGraph;

@@ -1,0 +1,314 @@
+//! Session-reuse equivalence: queries executed through one reused
+//! [`QuerySession`] (scratch carried across queries, engine-resolved
+//! strategies) must return results identical to fresh per-query construction
+//! through the one-shot `GlobalSearch` / `LocalSearch` wrappers — across
+//! interleaved query shapes, algorithms, filter strategies, and thread-shared
+//! engines.
+
+use proptest::prelude::*;
+use road_social_mac::core::{
+    AlgorithmChoice, GlobalSearch, LocalSearch, MacEngine, MacQuery, MacSearchResult,
+    RoadSocialNetwork,
+};
+use road_social_mac::datagen::attrs::{generate_attrs, AttrDistribution};
+use road_social_mac::datagen::locations::{assign_locations, LocationConfig};
+use road_social_mac::datagen::road::{generate_road, RoadConfig};
+use road_social_mac::datagen::social::{generate_social, PlantedGroup, SocialConfig};
+use road_social_mac::geom::PrefRegion;
+use road_social_mac::road::RangeFilterChoice;
+
+/// Builds a small random road-social network from a seed; the returned group
+/// holds co-located high-coreness users to query from.
+fn random_network(seed: u64, n_users: usize, indexed: bool) -> (RoadSocialNetwork, Vec<u32>) {
+    let d = 3;
+    let social = generate_social(&SocialConfig {
+        n: n_users,
+        attach_m: 3,
+        planted: vec![PlantedGroup {
+            size: 18,
+            degree: 6,
+        }],
+        seed,
+    });
+    let road = generate_road(&RoadConfig::with_size(n_users / 2, seed ^ 0x5EED));
+    let attrs = generate_attrs(
+        n_users,
+        d,
+        AttrDistribution::Independent,
+        10.0,
+        seed ^ 0xA77,
+    );
+    let locations = assign_locations(
+        &road,
+        n_users,
+        &social.groups,
+        &LocationConfig {
+            clusters: 8,
+            radius: 5,
+            seed: seed ^ 0x10C,
+        },
+    );
+    let group = social.groups[0].clone();
+    let rsn = RoadSocialNetwork::new(social.graph, road, locations, attrs).unwrap();
+    let rsn = if indexed {
+        rsn.with_gtree_index_capacity(16)
+    } else {
+        rsn
+    };
+    (rsn, group)
+}
+
+fn region_for(sigma: f64) -> PrefRegion {
+    let ranges: Vec<(f64, f64)> = (0..2)
+        .map(|_| {
+            (
+                (1.0 / 3.0 - sigma / 2.0).max(0.0),
+                (1.0 / 3.0 + sigma / 2.0).min(1.0),
+            )
+        })
+        .collect();
+    PrefRegion::from_ranges(&ranges).unwrap()
+}
+
+/// An interleaved query workload: varying |Q| (group and background users),
+/// k, t, region width, algorithm, filter strategy, and problem (via j).
+fn workload(rsn: &RoadSocialNetwork, group: &[u32], indexed: bool) -> Vec<MacQuery> {
+    let n = rsn.num_users() as u32;
+    let background: Vec<u32> = (0..n).filter(|v| !group.contains(v)).collect();
+    let filters = if indexed {
+        vec![
+            RangeFilterChoice::Auto,
+            RangeFilterChoice::DijkstraSweep,
+            RangeFilterChoice::GTreePoint,
+            RangeFilterChoice::GTreeLeafBatched,
+            RangeFilterChoice::GTreeMultiSeedBatched,
+        ]
+    } else {
+        vec![RangeFilterChoice::Auto, RangeFilterChoice::DijkstraSweep]
+    };
+    let mut queries = Vec::new();
+    for i in 0..10usize {
+        let q: Vec<u32> = if i % 3 == 2 {
+            // scattered background users: mostly selective / empty answers
+            (0..2)
+                .map(|j| background[(i * 11 + j * 17) % background.len()])
+                .collect()
+        } else {
+            group.iter().copied().take(1 + i % 3).collect()
+        };
+        let k = 4 + (i % 3) as u32;
+        let t = [25.0, 50.0, 80.0][i % 3];
+        let sigma = [0.05, 0.1, 0.15][(i / 3) % 3];
+        let algorithm = match i % 4 {
+            0 | 1 => AlgorithmChoice::Global,
+            2 => AlgorithmChoice::Local,
+            _ => AlgorithmChoice::Auto,
+        };
+        let mut query = MacQuery::new(q, k, t, region_for(sigma))
+            .with_algorithm(algorithm)
+            .with_range_filter(filters[i % filters.len()]);
+        if i % 4 == 1 {
+            query = query.with_top_j(2);
+        }
+        queries.push(query);
+    }
+    queries
+}
+
+/// The fresh per-query construction this PR's session path must match: the
+/// legacy one-shot wrappers, with `Auto` resolved the way the session
+/// resolves it (the engine's `local_core_threshold` is far above these core
+/// sizes, so `Auto` is `Global` here).
+fn fresh_reference(rsn: &RoadSocialNetwork, query: &MacQuery) -> MacSearchResult {
+    let top_j = query.j > 1;
+    match query.algorithm {
+        AlgorithmChoice::Local => {
+            let ls = LocalSearch::new(rsn, query);
+            if top_j {
+                ls.run_top_j().unwrap()
+            } else {
+                ls.run_non_contained().unwrap()
+            }
+        }
+        _ => {
+            let gs = GlobalSearch::new(rsn, query);
+            if top_j {
+                gs.run_top_j().unwrap()
+            } else {
+                gs.run_non_contained().unwrap()
+            }
+        }
+    }
+}
+
+fn assert_results_identical(label: &str, a: &MacSearchResult, b: &MacSearchResult) {
+    assert_eq!(a.cells.len(), b.cells.len(), "{label}: cell count diverged");
+    for (ca, cb) in a.cells.iter().zip(&b.cells) {
+        assert_eq!(ca.sample_weight, cb.sample_weight, "{label}: sample weight");
+        assert_eq!(
+            ca.communities
+                .iter()
+                .map(|c| &c.vertices)
+                .collect::<Vec<_>>(),
+            cb.communities
+                .iter()
+                .map(|c| &c.vertices)
+                .collect::<Vec<_>>(),
+            "{label}: communities"
+        );
+    }
+    assert_eq!(
+        a.stats.kt_core_vertices, b.stats.kt_core_vertices,
+        "{label}: core size"
+    );
+}
+
+/// Reduced deterministic grid under the debug profile; the full grid runs in
+/// the release CI job (same convention as the range-filter fuzz harness).
+const FUZZ_CASES: u32 = if cfg!(debug_assertions) { 3 } else { 10 };
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: FUZZ_CASES, .. ProptestConfig::default() })]
+
+    /// Interleaved queries through ONE reused session return results
+    /// identical to fresh per-query construction — on indexed and unindexed
+    /// networks, with the measured calibration probe enabled.
+    #[test]
+    fn session_reuse_matches_fresh_construction(seed in 0u64..400) {
+        let indexed = seed % 2 == 0;
+        let (rsn, group) = random_network(seed, 130, indexed);
+        let engine = MacEngine::build(rsn.clone());
+        let mut session = engine.session();
+        for (i, query) in workload(&rsn, &group, indexed).iter().enumerate() {
+            let fresh = fresh_reference(&rsn, query);
+            let served = session.execute(query).unwrap();
+            assert_results_identical(&format!("seed {seed}, query {i}"), &fresh, &served);
+        }
+    }
+}
+
+/// N threads sharing one cloned engine, each with its own session, must all
+/// produce the serial reference results.
+#[test]
+fn threads_sharing_one_engine_match_serial_execution() {
+    let (rsn, group) = random_network(42, 130, true);
+    let engine = MacEngine::build(rsn.clone());
+    let queries = workload(&rsn, &group, true);
+
+    let mut serial_session = engine.session();
+    let reference: Vec<MacSearchResult> = queries
+        .iter()
+        .map(|q| serial_session.execute(q).unwrap())
+        .collect();
+
+    const THREADS: usize = 4;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let engine = engine.clone();
+                let queries = &queries;
+                scope.spawn(move || {
+                    let mut session = engine.session();
+                    queries
+                        .iter()
+                        .map(|q| session.execute(q).unwrap())
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            let results = handle.join().expect("worker panicked");
+            assert_eq!(results.len(), reference.len());
+            for (i, (a, b)) in reference.iter().zip(&results).enumerate() {
+                assert_results_identical(&format!("thread query {i}"), a, b);
+            }
+        }
+    });
+}
+
+/// A batch through one session equals the same queries executed
+/// individually through a fresh session.
+#[test]
+fn batch_execution_matches_individual_execution() {
+    let (rsn, group) = random_network(7, 120, true);
+    let engine = MacEngine::build(rsn.clone());
+    let queries = workload(&rsn, &group, true);
+    let mut individual = engine.session();
+    let expect: Vec<MacSearchResult> = queries
+        .iter()
+        .map(|q| individual.execute(q).unwrap())
+        .collect();
+    let mut batched = engine.session();
+    let outcome = batched.execute_batch(&queries).unwrap();
+    assert_eq!(outcome.stats.queries, queries.len());
+    assert!(outcome.stats.queries_per_second > 0.0);
+    for (i, (a, b)) in expect.iter().zip(&outcome.results).enumerate() {
+        assert_results_identical(&format!("batch query {i}"), a, b);
+    }
+}
+
+/// Regression pin for the deprecated oracle knob: `OracleChoice::GTree` with
+/// the filter left at `Auto` must keep selecting the per-user G-tree point
+/// path — through the engine's resolution and end-to-end — exactly as it did
+/// before the engine existed.
+#[test]
+#[allow(deprecated)]
+fn legacy_oracle_knob_keeps_selecting_the_gtree_point_path() {
+    use road_social_mac::road::OracleChoice;
+    let (rsn, group) = random_network(11, 120, true);
+    let engine = MacEngine::build(rsn.clone());
+    let base = MacQuery::new(
+        group.iter().copied().take(2).collect(),
+        4,
+        60.0,
+        region_for(0.15),
+    );
+    let legacy = base.clone().with_oracle(OracleChoice::GTree);
+    assert_eq!(
+        engine.resolve_filter(&legacy),
+        RangeFilterChoice::GTreePoint,
+        "oracle knob must keep selecting the point path"
+    );
+    // End-to-end: the legacy knob, the explicit point filter, and the legacy
+    // one-shot path all agree.
+    let mut session = engine.session();
+    let via_knob = session.execute(&legacy).unwrap();
+    let via_filter = session
+        .execute(
+            &base
+                .clone()
+                .with_range_filter(RangeFilterChoice::GTreePoint),
+        )
+        .unwrap();
+    let via_oneshot = GlobalSearch::new(&rsn, &legacy)
+        .run_non_contained()
+        .unwrap();
+    assert_results_identical("knob vs explicit filter", &via_knob, &via_filter);
+    assert_results_identical("knob vs one-shot", &via_knob, &via_oneshot);
+    // An explicit filter choice always wins over the knob.
+    let overridden = base
+        .with_oracle(OracleChoice::GTree)
+        .with_range_filter(RangeFilterChoice::DijkstraSweep);
+    assert_eq!(
+        engine.resolve_filter(&overridden),
+        RangeFilterChoice::DijkstraSweep
+    );
+}
+
+/// The measured calibration probe only affects *strategy selection*, never
+/// results: engines with measured and analytic constants agree on every
+/// workload query.
+#[test]
+fn measured_and_analytic_engines_agree_on_results() {
+    let (rsn, group) = random_network(23, 120, true);
+    let measured = MacEngine::build(rsn.clone());
+    let analytic = MacEngine::build_uncalibrated(rsn.clone());
+    assert!(!analytic.calibration().is_measured());
+    let mut m_session = measured.session();
+    let mut a_session = analytic.session();
+    for (i, query) in workload(&rsn, &group, true).iter().enumerate() {
+        let m = m_session.execute(query).unwrap();
+        let a = a_session.execute(query).unwrap();
+        assert_results_identical(&format!("calibration query {i}"), &m, &a);
+    }
+}

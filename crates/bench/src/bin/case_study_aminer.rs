@@ -42,7 +42,8 @@ fn main() {
     let query = spec.to_query();
     let engine = MacEngine::build(rsn);
     let mut session = engine.session();
-    let rsn = engine.network();
+    let epoch = engine.epoch();
+    let rsn = epoch.network();
 
     println!(
         "Case study (Fig. 15): NA+Aminer-like, k = 5, Q = {:?}",

@@ -1,82 +1,133 @@
 //! Cross-PR performance trajectory recorder.
 //!
-//! Runs the MAC search on fixed datagen presets and writes `BENCH_PR4.json`
+//! Runs the MAC search on fixed datagen presets and writes `BENCH_PR5.json`
 //! (in the current directory), so later PRs can diff their wall-clock against
-//! this PR's numbers instead of guessing. The PR-4 record focuses on the
-//! prepared-engine serving API of this PR:
+//! this PR's numbers instead of guessing. The PR-5 record focuses on the
+//! **dynamic_traffic** workload this PR opens: a long-lived engine absorbing
+//! interleaved road-edge reweights and user churn through
+//! `MacEngine::apply_updates` while serving the PR-4 high-QPS query mix.
 //!
-//! * **Engine throughput** — a fixed workload of varying queries (different
-//!   query groups, |Q|, k, t) executed three ways, with the results asserted
-//!   identical first: per-query construction (the legacy
-//!   `GlobalSearch::new(..).run()` one-shot path, fresh scratch every
-//!   query), one **reused session** (`MacEngine::session()` +
-//!   `execute_batch`, scratch reused across the workload), and **N threads
-//!   sharing one cloned engine** (one session per thread, each running the
-//!   full workload).
-//! * **Measured calibration** — what the engine's build-time probe measured
-//!   (`sweep_cell_cost`, probe timings) on each preset's network.
-//!
-//! The PR-3 range-filter strategy and sweep/batched crossover measurements
-//! remain on record in `BENCH_PR3.json`; the strategies themselves are still
-//! pinned set-identical by the test suite.
+//! * **Correctness gate** — after every update batch, the incrementally
+//!   updated engine is compared against an engine **rebuilt from scratch**
+//!   on independently tracked shadow state (edge list + location vector the
+//!   recorder mutates itself): all workload queries must return identical
+//!   cells before anything is timed.
+//! * **Incremental vs rebuild** — the same delta schedule is then replayed
+//!   twice under the clock: once through `apply_updates` (dirty G-tree
+//!   matrix paths, per-leaf user-row edits, epoch swap) and once as the full
+//!   alternative (`with_gtree_index` + `MacEngine::build` on the post-batch
+//!   network). The record asserts the incremental path wins on every preset.
+//! * **Serving through churn** — steady-state session throughput after the
+//!   final epoch, for continuity with the PR-4 serving rows.
 //!
 //! Usage: `cargo run --release -p rsn-bench --bin perf_trajectory [reps]`
 //! (`reps` overrides the per-measurement repetitions, default 3; the best of
-//! the repetitions is recorded). `--smoke` runs a single tiny preset once and
-//! writes nothing — a CI guard that keeps this binary from bit-rotting.
+//! the repetitions is recorded). `--smoke` runs a single tiny preset once —
+//! including the full apply_updates gate — and writes `BENCH_SMOKE.json`,
+//! which CI uploads as a workflow artifact on every run.
 
-use rsn_core::{AlgorithmChoice, GlobalSearch, MacEngine, MacQuery, MacSearchResult};
+use rsn_core::{
+    AlgorithmChoice, MacEngine, MacQuery, MacSearchResult, NetworkDelta, RoadSocialNetwork,
+};
 use rsn_datagen::presets::{build_preset_scaled, Dataset, PresetName, PresetScale};
 use rsn_geom::region::PrefRegion;
 use rsn_geom::weights::WeightVector;
+use rsn_road::network::{Location, RoadNetwork};
 use std::time::Instant;
 
-const OUTPUT: &str = "BENCH_PR4.json";
-/// Threads for the engine-sharing measurement. Fixed (rather than
-/// `available_parallelism`) so records from different machines stay
-/// comparable; the achievable scaling is still bounded by the actual cores,
-/// which the record lists alongside.
-const SHARING_THREADS: usize = 4;
-/// Queries per workload (per preset).
+const OUTPUT: &str = "BENCH_PR5.json";
+const SMOKE_OUTPUT: &str = "BENCH_SMOKE.json";
+/// Queries per serving workload (per preset).
 const WORKLOAD_QUERIES: usize = 12;
-/// Passes over the workload per timed repetition: the serving queries are
-/// microsecond-scale, so a repetition must aggregate enough passes to rise
-/// above scheduler/timer noise (~tens of milliseconds per repetition).
-const WORKLOAD_PASSES: usize = 200;
+/// Update batches per preset (each = edge reweights + user moves).
+const UPDATE_BATCHES: usize = 5;
+/// Passes over the workload for the serving-throughput measurement.
+const SERVING_PASSES: usize = 50;
+
+struct Spec {
+    name: PresetName,
+    label_suffix: &'static str,
+    social_scale: f64,
+    road_scale: f64,
+    k: u32,
+    sigma: f64,
+    t_scale: f64,
+}
+
+/// One dynamic-traffic batch composition: how many reweights and moves per
+/// batch and where the reweights land.
+#[derive(Clone, Copy)]
+struct Scenario {
+    name: &'static str,
+    /// Road-segment reweights per batch.
+    edges_per_batch: usize,
+    /// User moves per batch.
+    users_per_batch: usize,
+    /// `Some(frac)`: all reweights land in one contiguous window covering
+    /// `frac` of the canonical edge order (vertex ids are spatially coherent,
+    /// so this models a congested metro area); `None`: network-wide traffic.
+    edge_window: Option<f64>,
+}
+
+const SCENARIOS: [Scenario; 3] = [
+    // Users move, roads stay: the dominant delta mix of a serving workload.
+    // The G-tree is untouched, so an update is pure per-leaf row editing.
+    Scenario {
+        name: "user-churn",
+        edges_per_batch: 0,
+        users_per_batch: 48,
+        edge_window: None,
+    },
+    // A congested metro area: reweights concentrate spatially.
+    Scenario {
+        name: "regional-traffic",
+        edges_per_batch: 24,
+        users_per_batch: 12,
+        edge_window: Some(0.04),
+    },
+    // Network-wide traffic shifts: the adversarial case for incrementality
+    // (almost every batch drags the top-of-tree matrices along).
+    Scenario {
+        name: "global-traffic",
+        edges_per_batch: 24,
+        users_per_batch: 12,
+        edge_window: None,
+    },
+];
 
 struct PresetRow {
     label: String,
+    scenario: &'static str,
     users: usize,
     road_vertices: usize,
-    k: u32,
-    t: f64,
-    sigma: f64,
-    kt_core: usize,
     workload: usize,
+    batches: usize,
+    edge_updates_total: usize,
+    user_moves_total: usize,
     gtree_build_s: f64,
     engine_build_s: f64,
-    calibration_measured: bool,
-    sweep_cell_cost: f64,
-    /// Seconds for ONE pass over the workload (best over reps, each rep
-    /// averaging WORKLOAD_PASSES passes).
-    oneshot_total_s: f64,
-    session_total_s: f64,
-    threads_total_s: f64,
-    /// The result-bearing analytic query, for context (identical work in
-    /// both paths).
-    analytic_oneshot_s: f64,
-    analytic_session_s: f64,
+    /// Summed apply_updates wall-clock over the whole schedule (best rep).
+    incremental_total_s: f64,
+    /// Summed index+engine rebuild wall-clock over the schedule (best rep).
+    rebuild_total_s: f64,
+    /// Mean fraction of G-tree nodes recomputed per batch.
+    dirty_fraction_mean: f64,
+    /// How many batches re-ran the calibration probe.
+    recalibrations: usize,
+    /// Serving throughput through one session after the final epoch.
+    serving_qps_after_churn: f64,
+    final_epoch: u64,
 }
 
 impl PresetRow {
-    fn oneshot_qps(&self) -> f64 {
-        self.workload as f64 / self.oneshot_total_s.max(1e-12)
+    fn incremental_mean_batch_s(&self) -> f64 {
+        self.incremental_total_s / self.batches.max(1) as f64
     }
-    fn session_qps(&self) -> f64 {
-        self.workload as f64 / self.session_total_s.max(1e-12)
+    fn rebuild_mean_batch_s(&self) -> f64 {
+        self.rebuild_total_s / self.batches.max(1) as f64
     }
-    fn threads_qps(&self) -> f64 {
-        (self.workload * SHARING_THREADS) as f64 / self.threads_total_s.max(1e-12)
+    fn speedup(&self) -> f64 {
+        self.rebuild_total_s / self.incremental_total_s.max(1e-12)
     }
 }
 
@@ -92,26 +143,9 @@ fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
     (best, out.expect("reps >= 1"))
 }
 
-struct Spec {
-    name: PresetName,
-    label_suffix: &'static str,
-    social_scale: f64,
-    road_scale: f64,
-    k: u32,
-    sigma: f64,
-    /// Multiplier on the dataset's default query-distance threshold: below
-    /// 1.0 the workload is high-selectivity (small radius-t balls, small
-    /// (k,t)-cores), the regime an online service mostly runs in.
-    t_scale: f64,
-}
-
-/// A deterministic high-QPS serving workload: queries from ordinary
-/// *background* users (outside the planted deep groups), varying |Q| and t.
-/// Most return small or empty answers quickly — the regime an online service
-/// spends most of its time in, and the one where per-query construction
-/// overhead (fresh Dijkstra fields, the |Q| x |V| sweep matrix, id maps) is
-/// a visible fraction of the query. All Problem 2 through the exact global
-/// search so the one-shot baseline is well-defined.
+/// The PR-4 high-QPS serving workload: queries from ordinary *background*
+/// users (outside the planted deep groups), varying |Q| and t; all Problem 2
+/// through the exact global search so the rebuilt reference is well-defined.
 fn build_workload(dataset: &Dataset, spec: &Spec, queries: usize) -> Vec<MacQuery> {
     let center = WeightVector::uniform(3).expect("d = 3");
     let region = PrefRegion::around(&center, spec.sigma).expect("valid region");
@@ -122,10 +156,6 @@ fn build_workload(dataset: &Dataset, spec: &Spec, queries: usize) -> Vec<MacQuer
         .collect();
     (0..queries)
         .map(|i| {
-            // |Q| in {1, 2, 3}: single-user queries always pass the mutual
-            // Lemma-1 check and exercise the full filter + core-decomposition
-            // path; multi-user queries from scattered background users mostly
-            // reject early — together the mix an online service sees.
             let q_len = 1 + i % 3;
             let q: Vec<u32> = (0..q_len)
                 .map(|j| background[(i * 7 + j * 13 + 3) % background.len()])
@@ -136,17 +166,76 @@ fn build_workload(dataset: &Dataset, spec: &Spec, queries: usize) -> Vec<MacQuer
         .collect()
 }
 
-/// The result-bearing analytic query of a preset: the co-located planted
-/// group members the PR-1..3 records queried. Its cost is dominated by the
-/// context build and the GS exploration — identical work in both execution
-/// paths — so it is recorded for context but kept out of the throughput
-/// comparison.
-fn analytic_query(dataset: &Dataset, spec: &Spec) -> MacQuery {
-    let center = WeightVector::uniform(3).expect("d = 3");
-    let region = PrefRegion::around(&center, spec.sigma).expect("valid region");
-    let q: Vec<u32> = dataset.deep_groups[0].iter().copied().take(4).collect();
-    MacQuery::new(q, spec.k, dataset.default_t * spec.t_scale, region)
-        .with_algorithm(AlgorithmChoice::Global)
+/// The deterministic dynamic-traffic schedule: per batch, a set of edge
+/// reweights (multiplier cycle over deterministically picked segments,
+/// clamped so no resident on-edge user is stranded past its edge's new
+/// length) interleaved with user moves (background users hopping to vertex
+/// and on-edge locations). Returns the deltas paired with a snapshot of the
+/// shadow `(edges, locations)` state after each batch — the single source of
+/// truth the from-scratch reference engines are built from.
+#[allow(clippy::type_complexity)]
+fn build_update_schedule(
+    dataset: &Dataset,
+    edges: &mut [(u32, u32, f64)],
+    locations: &mut [Location],
+    batches: usize,
+    scenario: Scenario,
+) -> (
+    Vec<NetworkDelta>,
+    Vec<(Vec<(u32, u32, f64)>, Vec<Location>)>,
+) {
+    let edges_per_batch = scenario.edges_per_batch;
+    let users_per_batch = scenario.users_per_batch;
+    const MULTIPLIERS: [f64; 5] = [0.6, 0.85, 1.2, 1.6, 2.3];
+    let n_users = locations.len();
+    let n_road = dataset.rsn.road().num_vertices() as u32;
+    let m = edges.len();
+    // The canonical edge order is sorted by (u, v) and vertex ids are
+    // row-major, so a contiguous index window is a spatial region.
+    let (window_start, window_len) = match scenario.edge_window {
+        Some(frac) => {
+            let len = ((m as f64 * frac).ceil() as usize).clamp(1, m);
+            (m / 3, len)
+        }
+        None => (0, m),
+    };
+    let mut schedule = Vec::with_capacity(batches);
+    let mut post_states = Vec::with_capacity(batches);
+    for b in 0..batches {
+        let mut delta = NetworkDelta::new();
+        for i in 0..edges_per_batch.min(window_len) {
+            let idx = (window_start + (b * 9973 + i * 101 + 7) % window_len) % m;
+            let (u, v, w) = edges[idx];
+            let min_allowed = locations
+                .iter()
+                .filter_map(|loc| match *loc {
+                    Location::OnEdge {
+                        u: lu,
+                        v: lv,
+                        offset,
+                    } if (lu, lv) == (u, v) => Some(offset),
+                    _ => None,
+                })
+                .fold(0.0f64, f64::max);
+            let w_new = (w * MULTIPLIERS[(b + i) % MULTIPLIERS.len()]).max(min_allowed);
+            edges[idx].2 = w_new;
+            delta = delta.reweight_edge(u, v, w_new);
+        }
+        for i in 0..users_per_batch.min(n_users) {
+            let user = ((b * 677 + i * 397 + 11) % n_users) as u32;
+            let loc = if i % 3 == 0 {
+                let (u, v, w) = edges[(b * 131 + i * 29) % m];
+                Location::on_edge(u, v, 0.5 * w, w)
+            } else {
+                Location::Vertex(((b * 283 + i * 173) as u32 * 7 + 1) % n_road)
+            };
+            locations[user as usize] = loc;
+            delta = delta.move_user(user, loc);
+        }
+        schedule.push(delta);
+        post_states.push((edges.to_vec(), locations.to_vec()));
+    }
+    (schedule, post_states)
 }
 
 fn assert_results_identical(label: &str, a: &MacSearchResult, b: &MacSearchResult) {
@@ -167,7 +256,13 @@ fn assert_results_identical(label: &str, a: &MacSearchResult, b: &MacSearchResul
     }
 }
 
-fn measure_preset(spec: &Spec, reps: usize, queries: usize) -> PresetRow {
+fn measure_preset(
+    spec: &Spec,
+    scenario: Scenario,
+    reps: usize,
+    queries: usize,
+    batches: usize,
+) -> PresetRow {
     let dataset: Dataset = build_preset_scaled(
         spec.name,
         PresetScale {
@@ -177,108 +272,122 @@ fn measure_preset(spec: &Spec, reps: usize, queries: usize) -> PresetRow {
         11,
     );
     let workload = build_workload(&dataset, spec, queries);
-    let analytic = analytic_query(&dataset, spec);
 
-    // Index once (shared by both execution paths), then prepare the engine:
-    // target grouping + the measured calibration probe happen in the build.
+    // Shadow state the reference engines rebuild from.
+    let mut edges: Vec<(u32, u32, f64)> = dataset.rsn.road().edges().collect();
+    let mut locations: Vec<Location> = dataset.rsn.locations().to_vec();
+    let (schedule, post_states) =
+        build_update_schedule(&dataset, &mut edges, &mut locations, batches, scenario);
+    let rebuild_rsn = |state: &(Vec<(u32, u32, f64)>, Vec<Location>)| -> RoadSocialNetwork {
+        RoadSocialNetwork::new(
+            dataset.rsn.social().clone(),
+            RoadNetwork::from_edges(dataset.rsn.road().num_vertices(), &state.0),
+            state.1.clone(),
+            dataset.rsn.all_attributes().to_vec(),
+        )
+        .expect("shadow state stays consistent")
+    };
+
+    // Prepare the base indexed network + engine (both timed once, for the
+    // record's scale context).
     let (gtree_build_s, indexed) = best_of(1, || dataset.rsn.clone().with_gtree_index());
     let (engine_build_s, engine) = best_of(1, || MacEngine::build(indexed.clone()));
 
-    // Correctness gate before any timing: the reused session must return
-    // results identical to fresh per-query construction on every workload
-    // query (and on the analytic query).
+    // ---- Correctness gate (untimed): after every batch, the incrementally
+    // updated engine must answer the whole workload identically to an engine
+    // rebuilt from scratch on the shadow post-batch state.
     let mut session = engine.session();
-    let mut kt_core = 0usize;
-    for (i, query) in workload
-        .iter()
-        .chain(std::iter::once(&analytic))
-        .enumerate()
-    {
-        let fresh = GlobalSearch::new(&indexed, query)
-            .run_non_contained()
-            .expect("one-shot GS-NC runs");
-        let served = session
-            .execute_non_contained(query)
-            .expect("session execution runs");
-        assert_results_identical(&format!("query {i}"), &fresh, &served);
-        kt_core = kt_core.max(served.stats.kt_core_vertices);
+    let mut dirty_fraction_sum = 0.0;
+    let mut recalibrations = 0usize;
+    for (bi, delta) in schedule.iter().enumerate() {
+        let stats = engine
+            .apply_updates(delta)
+            .expect("schedule deltas are valid");
+        assert_eq!(stats.epoch, bi as u64 + 1);
+        if let Some(g) = stats.gtree {
+            dirty_fraction_sum += g.dirty_fraction();
+        }
+        if stats.recalibrated {
+            recalibrations += 1;
+        }
+        let reference =
+            MacEngine::build_uncalibrated(rebuild_rsn(&post_states[bi]).with_gtree_index());
+        let mut reference_session = reference.session();
+        for (qi, query) in workload.iter().enumerate() {
+            let updated = session
+                .execute_non_contained(query)
+                .expect("updated engine serves");
+            let rebuilt = reference_session
+                .execute_non_contained(query)
+                .expect("rebuilt engine serves");
+            assert_results_identical(&format!("batch {bi}, query {qi}"), &updated, &rebuilt);
+        }
+    }
+    let final_epoch = engine.epoch().id();
+
+    // ---- Incremental timing: replay the same schedule on fresh engines
+    // (rebuilt untimed per rep so every rep starts from the base epoch),
+    // clocking only the apply_updates calls.
+    let mut incremental_total_s = f64::INFINITY;
+    for _ in 0..reps {
+        let replay = MacEngine::build(indexed.clone());
+        let mut total = 0.0;
+        for delta in &schedule {
+            let start = Instant::now();
+            replay
+                .apply_updates(delta)
+                .expect("replay deltas are valid");
+            total += start.elapsed().as_secs_f64();
+        }
+        incremental_total_s = incremental_total_s.min(total);
     }
 
-    // Per-query construction: the legacy one-shot wrappers, fresh scratch
-    // per query. Each rep averages WORKLOAD_PASSES passes (single passes
-    // are microsecond-scale); reported seconds are for one pass.
-    let (oneshot_total_s, _) = best_of(reps, || {
-        for _ in 0..WORKLOAD_PASSES {
+    // ---- Full-rebuild timing: what absorbing each batch costs without the
+    // update subsystem — rebuild the index and re-prepare the engine on the
+    // post-batch network (network assembly excluded from the clock; the
+    // serving system would have it either way).
+    let mut rebuild_total_s = f64::INFINITY;
+    for _ in 0..reps {
+        let mut total = 0.0;
+        for state in &post_states {
+            let plain = rebuild_rsn(state);
+            let start = Instant::now();
+            let engine = MacEngine::build(plain.with_gtree_index());
+            total += start.elapsed().as_secs_f64();
+            std::hint::black_box(engine);
+        }
+        rebuild_total_s = rebuild_total_s.min(total);
+    }
+
+    // ---- Serving throughput after the final epoch (context row).
+    let (serving_s, _) = best_of(reps, || {
+        for _ in 0..SERVING_PASSES {
             for query in &workload {
-                let _ = GlobalSearch::new(&indexed, query)
-                    .run_non_contained()
-                    .expect("one-shot GS-NC runs");
+                session
+                    .execute_non_contained(query)
+                    .expect("post-churn serving works");
             }
         }
     });
-    let oneshot_total_s = oneshot_total_s / WORKLOAD_PASSES as f64;
-
-    // Reused session: batches through session-held scratch.
-    let (session_total_s, _) = best_of(reps, || {
-        for _ in 0..WORKLOAD_PASSES {
-            let outcome = session.execute_batch(&workload).expect("batch runs");
-            assert_eq!(outcome.stats.queries, workload.len());
-        }
-    });
-    let session_total_s = session_total_s / WORKLOAD_PASSES as f64;
-
-    // N threads sharing one cloned engine, one session per thread, each
-    // running the full workload (total work = N x workload x passes).
-    let (threads_total_s, _) = best_of(reps, || {
-        std::thread::scope(|scope| {
-            for _ in 0..SHARING_THREADS {
-                let engine = engine.clone();
-                let workload = &workload;
-                scope.spawn(move || {
-                    let mut session = engine.session();
-                    for _ in 0..WORKLOAD_PASSES {
-                        for query in workload {
-                            let _ = session
-                                .execute_non_contained(query)
-                                .expect("threaded execution runs");
-                        }
-                    }
-                });
-            }
-        });
-    });
-    let threads_total_s = threads_total_s / WORKLOAD_PASSES as f64;
-
-    // The analytic query, once per path, for context.
-    let (analytic_oneshot_s, _) = best_of(reps, || {
-        GlobalSearch::new(&indexed, &analytic)
-            .run_non_contained()
-            .expect("one-shot analytic query runs")
-    });
-    let (analytic_session_s, _) = best_of(reps, || {
-        session
-            .execute_non_contained(&analytic)
-            .expect("session analytic query runs")
-    });
+    let serving_qps_after_churn = (SERVING_PASSES * workload.len()) as f64 / serving_s.max(1e-12);
 
     PresetRow {
         label: format!("{}{}", dataset.name.label(), spec.label_suffix),
+        scenario: scenario.name,
         users: dataset.rsn.num_users(),
         road_vertices: dataset.rsn.road().num_vertices(),
-        k: spec.k,
-        t: dataset.default_t,
-        sigma: spec.sigma,
-        kt_core,
         workload: workload.len(),
+        batches: schedule.len(),
+        edge_updates_total: schedule.iter().map(|d| d.edge_updates.len()).sum(),
+        user_moves_total: schedule.iter().map(|d| d.user_moves.len()).sum(),
         gtree_build_s,
         engine_build_s,
-        calibration_measured: engine.calibration().is_measured(),
-        sweep_cell_cost: engine.calibration().filter.sweep_cell_cost,
-        oneshot_total_s,
-        session_total_s,
-        threads_total_s,
-        analytic_oneshot_s,
-        analytic_session_s,
+        incremental_total_s,
+        rebuild_total_s,
+        dirty_fraction_mean: dirty_fraction_sum / schedule.len().max(1) as f64,
+        recalibrations,
+        serving_qps_after_churn,
+        final_epoch,
     }
 }
 
@@ -287,85 +396,97 @@ fn json_row(r: &PresetRow) -> String {
         concat!(
             "    {{\n",
             "      \"preset\": \"{}\",\n",
+            "      \"scenario\": \"{}\",\n",
             "      \"users\": {},\n",
             "      \"road_vertices\": {},\n",
-            "      \"k\": {},\n",
-            "      \"t\": {},\n",
-            "      \"sigma\": {},\n",
-            "      \"kt_core_vertices\": {},\n",
             "      \"workload_queries\": {},\n",
+            "      \"update_batches\": {},\n",
+            "      \"edge_reweights_total\": {},\n",
+            "      \"user_moves_total\": {},\n",
             "      \"gtree_build_seconds\": {:.6},\n",
             "      \"engine_build_seconds\": {:.6},\n",
-            "      \"calibration_measured\": {},\n",
-            "      \"calibrated_sweep_cell_cost\": {:.3},\n",
-            "      \"per_query_construction_seconds\": {:.6},\n",
-            "      \"reused_session_seconds\": {:.6},\n",
-            "      \"per_query_construction_qps\": {:.1},\n",
-            "      \"reused_session_qps\": {:.1},\n",
-            "      \"reused_session_speedup\": {:.3},\n",
-            "      \"shared_engine_threads\": {},\n",
-            "      \"shared_engine_total_seconds\": {:.6},\n",
-            "      \"shared_engine_qps\": {:.1},\n",
-            "      \"thread_scaling\": {:.3},\n",
-            "      \"analytic_query_per_query_construction_seconds\": {:.6},\n",
-            "      \"analytic_query_reused_session_seconds\": {:.6}\n",
+            "      \"incremental_total_seconds\": {:.6},\n",
+            "      \"incremental_mean_batch_seconds\": {:.6},\n",
+            "      \"full_rebuild_total_seconds\": {:.6},\n",
+            "      \"full_rebuild_mean_batch_seconds\": {:.6},\n",
+            "      \"incremental_speedup\": {:.2},\n",
+            "      \"incremental_beats_rebuild\": {},\n",
+            "      \"gtree_dirty_fraction_mean\": {:.4},\n",
+            "      \"recalibrations\": {},\n",
+            "      \"serving_qps_after_churn\": {:.1},\n",
+            "      \"final_epoch\": {}\n",
             "    }}"
         ),
         r.label,
+        r.scenario,
         r.users,
         r.road_vertices,
-        r.k,
-        r.t,
-        r.sigma,
-        r.kt_core,
         r.workload,
+        r.batches,
+        r.edge_updates_total,
+        r.user_moves_total,
         r.gtree_build_s,
         r.engine_build_s,
-        r.calibration_measured,
-        r.sweep_cell_cost,
-        r.oneshot_total_s,
-        r.session_total_s,
-        r.oneshot_qps(),
-        r.session_qps(),
-        r.session_qps() / r.oneshot_qps().max(1e-12),
-        SHARING_THREADS,
-        r.threads_total_s,
-        r.threads_qps(),
-        r.threads_qps() / r.session_qps().max(1e-12),
-        r.analytic_oneshot_s,
-        r.analytic_session_s,
+        r.incremental_total_s,
+        r.incremental_mean_batch_s(),
+        r.rebuild_total_s,
+        r.rebuild_mean_batch_s(),
+        r.speedup(),
+        r.incremental_total_s < r.rebuild_total_s,
+        r.dirty_fraction_mean,
+        r.recalibrations,
+        r.serving_qps_after_churn,
+        r.final_epoch,
     )
 }
 
 fn print_row(row: &PresetRow) {
     eprintln!(
-        "  kt-core {} | engine build {:.4}s (calibrated sweep_cell_cost {:.1}{}) | per-query {:.1} q/s vs reused session {:.1} q/s ({:.2}x) | {SHARING_THREADS} threads sharing the engine: {:.1} q/s ({:.2}x of one session)",
-        row.kt_core,
-        row.engine_build_s,
-        row.sweep_cell_cost,
-        if row.calibration_measured {
-            ", measured"
-        } else {
-            ", analytic"
-        },
-        row.oneshot_qps(),
-        row.session_qps(),
-        row.session_qps() / row.oneshot_qps().max(1e-12),
-        row.threads_qps(),
-        row.threads_qps() / row.session_qps().max(1e-12),
-    );
-    eprintln!(
-        "    analytic group query: per-query {:.4}s vs session {:.4}s (same algorithmic work, recorded for context)",
-        row.analytic_oneshot_s, row.analytic_session_s,
+        "  [{}] {} batches ({} reweights + {} moves) | incremental {:.4}s total ({:.1} ms/batch, {:.0}% of tree dirty, {} recalibrations) vs full rebuild {:.3}s total ({:.1} ms/batch) -> {:.1}x | serving after churn {:.1} q/s (epoch {})",
+        row.scenario,
+        row.batches,
+        row.edge_updates_total,
+        row.user_moves_total,
+        row.incremental_total_s,
+        row.incremental_mean_batch_s() * 1e3,
+        row.dirty_fraction_mean * 100.0,
+        row.recalibrations,
+        row.rebuild_total_s,
+        row.rebuild_mean_batch_s() * 1e3,
+        row.speedup(),
+        row.serving_qps_after_churn,
+        row.final_epoch,
     );
 }
+
+fn write_record(path: &str, description: &str, pr: u32, reps: usize, rows: &[PresetRow]) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let body: Vec<String> = rows.iter().map(json_row).collect();
+    let json = format!(
+        "{{\n  \"pr\": {pr},\n  \"description\": \"{description}\",\n  \"reps\": {reps},\n  \"available_cores\": {cores},\n  \"presets\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    );
+    std::fs::write(path, &json).expect("write bench record");
+    println!("{json}");
+    eprintln!("wrote {path}");
+}
+
+const DESCRIPTION: &str = "Perf trajectory for the dynamic road-network update subsystem: \
+MacEngine::apply_updates absorbs interleaved edge reweights and user churn by patching the \
+current epoch copy-on-write (incremental G-tree matrix refresh over dirty leaf-to-root paths, \
+per-leaf user-target row edits, drift-gated recalibration) and swapping it in; after every \
+batch the updated engine is asserted query-identical to an engine rebuilt from scratch on \
+independently tracked shadow state before any timing runs";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--smoke") {
-        // CI guard: one tiny preset, a short workload, one repetition, no
-        // file output. The equivalence gate inside measure_preset still runs,
-        // so any regression that breaks a measured code path fails this run.
+        // CI guard: one tiny preset, a short dynamic_traffic schedule, one
+        // repetition. The per-batch equivalence gate inside measure_preset
+        // still runs, so the apply_updates path cannot bit-rot silently; the
+        // small record is uploaded as a CI artifact on every run.
         let spec = Spec {
             name: PresetName::SfSlashdot,
             label_suffix: " (smoke)",
@@ -375,9 +496,24 @@ fn main() {
             sigma: 0.02,
             t_scale: 0.5,
         };
-        let row = measure_preset(&spec, 1, 4);
+        let smoke_scenario = Scenario {
+            name: "smoke",
+            edges_per_batch: 6,
+            users_per_batch: 4,
+            edge_window: None,
+        };
+        let row = measure_preset(&spec, smoke_scenario, 1, 4, 2);
         print_row(&row);
-        println!("smoke ok: {}", row.label);
+        write_record(
+            SMOKE_OUTPUT,
+            "CI smoke record of the dynamic_traffic preset (tiny scale, 1 rep): \
+             apply_updates exercised end-to-end with the per-batch scratch-rebuild \
+             equivalence gate; timings are noise-scale and not comparable across runs",
+            5,
+            1,
+            &[row],
+        );
+        println!("smoke ok");
         return;
     }
     let reps: usize = args
@@ -386,14 +522,6 @@ fn main() {
         .unwrap_or(3)
         .max(1);
 
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    // Serving workloads: ks chosen so the (k,t)-cores stay moderate and a
-    // query costs milliseconds — the regime a query service actually runs
-    // in, where the per-query construction overhead (fresh Dijkstra fields,
-    // the |Q| x |V| sweep matrix, id maps) is a visible fraction of the
-    // query and the reused session's steady-state reuse pays off.
     let specs = [
         Spec {
             name: PresetName::SfSlashdot,
@@ -413,9 +541,8 @@ fn main() {
             sigma: 0.02,
             t_scale: 0.4,
         },
-        // Sparse-users-on-large-road regime: the range filter dominates the
-        // per-query cost here, so this row shows the steady-state win of
-        // session-held filter scratch most directly.
+        // Sparse-users-on-large-road regime: the G-tree rebuild dominates
+        // here, so this row shows the incremental win most directly.
         Spec {
             name: PresetName::SfSlashdot,
             label_suffix: " (road-heavy)",
@@ -429,23 +556,25 @@ fn main() {
     let mut rows = Vec::new();
     for spec in &specs {
         eprintln!(
-            "measuring {}{} (k={}, sigma={}, workload={WORKLOAD_QUERIES}, reps={reps})...",
+            "measuring {}{} (k={}, {} batches per scenario, reps={reps})...",
             spec.name.label(),
             spec.label_suffix,
             spec.k,
-            spec.sigma
+            UPDATE_BATCHES,
         );
-        let row = measure_preset(spec, reps, WORKLOAD_QUERIES);
-        print_row(&row);
-        rows.push(row);
+        for scenario in SCENARIOS {
+            let row = measure_preset(spec, scenario, reps, WORKLOAD_QUERIES, UPDATE_BATCHES);
+            print_row(&row);
+            assert!(
+                row.incremental_total_s < row.rebuild_total_s,
+                "{} [{}]: incremental updates ({:.4}s) must beat full rebuilds ({:.4}s)",
+                row.label,
+                row.scenario,
+                row.incremental_total_s,
+                row.rebuild_total_s
+            );
+            rows.push(row);
+        }
     }
-
-    let body: Vec<String> = rows.iter().map(json_row).collect();
-    let json = format!(
-        "{{\n  \"pr\": 4,\n  \"description\": \"Perf trajectory after the MacEngine/QuerySession serving API: per-network engine preparation (Arc-shared network, pre-grouped G-tree user targets, measured Auto calibration probe) with per-thread sessions holding all reusable scratch; workload results asserted identical between per-query construction and the reused session before timing\",\n  \"reps\": {reps},\n  \"workload_queries\": {WORKLOAD_QUERIES},\n  \"shared_engine_threads\": {SHARING_THREADS},\n  \"available_cores\": {cores},\n  \"presets\": [\n{}\n  ]\n}}\n",
-        body.join(",\n")
-    );
-    std::fs::write(OUTPUT, &json).expect("write BENCH_PR4.json");
-    println!("{json}");
-    eprintln!("wrote {OUTPUT}");
+    write_record(OUTPUT, DESCRIPTION, 5, reps, &rows);
 }

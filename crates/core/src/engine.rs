@@ -1,6 +1,6 @@
-//! The prepared, shareable query-serving engine.
+//! The prepared, shareable — and now **mutable** — query-serving engine.
 //!
-//! The paper frames MAC search as an *online query service* over a fixed
+//! The paper frames MAC search as an *online query service* over a
 //! road-social network: the network, its G-tree index, and the cost-model
 //! constants are all per-network state that should be prepared **once** and
 //! then serve many queries. [`MacEngine`] is that preparation:
@@ -18,19 +18,36 @@
 //!   range-filter cost model with the measured per-network/per-machine unit
 //!   cost ratio (see [`AutoCalibration`]).
 //!
+//! Real road networks change while a service runs — traffic reweights edges,
+//! users appear and move. [`MacEngine::apply_updates`] absorbs a
+//! [`NetworkDelta`] **without** a rebuild: the prepared state lives in an
+//! immutable *epoch* behind an `RwLock`ed `Arc`, updates copy the current
+//! epoch, patch it incrementally (edge weights in place, dirty G-tree matrix
+//! paths via [`rsn_road::gtree::GTree::apply_edge_updates`], per-leaf user
+//! rows via the incremental target maintenance), and swap the pointer. Every
+//! [`QuerySession`] pins one epoch per query, so in-flight queries finish on
+//! a consistent snapshot, the next query sees the new network, and all
+//! session scratch survives untouched. The calibration probe re-runs only
+//! when the sampled average edge weight has drifted past
+//! [`RECALIBRATION_DRIFT`] — the one network statistic the `Auto` cost model
+//! reads.
+//!
 //! Per-thread execution state lives in [`QuerySession`] (obtained via
-//! [`MacEngine::session`]); the engine itself holds no mutable state.
+//! [`MacEngine::session`]); the engine itself holds no per-query state.
 
+use crate::error::MacError;
 use crate::network::RoadSocialNetwork;
 use crate::query::MacQuery;
 use crate::session::QuerySession;
-use rsn_road::gtree::LeafTargets;
-use rsn_road::network::Location;
+use rsn_graph::graph::VertexId;
+use rsn_road::gtree::{GTreeUpdateStats, LeafTargets};
+use rsn_road::network::{EdgeUpdate, Location};
 use rsn_road::rangefilter::{
-    auto_cost_estimates, group_user_targets, resolve_auto_calibrated, AutoCalibration,
-    FilterScratch, RangeFilter, RangeFilterChoice,
+    add_user_target, auto_cost_estimates, group_user_targets, remove_user_target,
+    resolve_auto_calibrated, sampled_avg_edge_weight, AutoCalibration, FilterScratch, RangeFilter,
+    RangeFilterChoice,
 };
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 /// Which search algorithm answers a query.
@@ -60,6 +77,14 @@ pub enum AlgorithmChoice {
 /// evaluation (Fig. 13–14) shows the local algorithms winning by orders of
 /// magnitude on large cores.
 pub const DEFAULT_LOCAL_CORE_THRESHOLD: usize = 4096;
+
+/// Relative drift of the sampled average edge weight beyond which
+/// [`MacEngine::apply_updates`] re-runs the calibration probe. The average
+/// edge weight is the only network statistic the `Auto` cost model reads
+/// from the weights (it turns `t` into an expected hop radius), so while it
+/// holds steady the measured sweep-vs-walk constant keeps describing the
+/// network and the probe would be wasted work.
+pub const RECALIBRATION_DRIFT: f64 = 0.2;
 
 /// Maximum number of query locations the calibration probe uses.
 const PROBE_QUERY_LOCATIONS: usize = 4;
@@ -105,6 +130,79 @@ impl EngineCalibration {
     }
 }
 
+/// A batch of road-network changes for [`MacEngine::apply_updates`]: traffic
+/// reweights of existing road segments plus user location churn. Applied
+/// atomically — an invalid entry rejects the whole delta and the served
+/// state is unchanged.
+///
+/// Topology is fixed: updates reweight existing edges only (the G-tree
+/// partition and border structure depend on the adjacency alone, which is
+/// what makes the incremental refresh exact); adding or removing road
+/// segments or social users requires building a new engine.
+///
+/// A delta applies **sequentially — all `edge_updates`, then all
+/// `user_moves` — and every step must leave a valid network.** In
+/// particular, shrinking a segment below a *currently* resident on-edge
+/// user's offset is rejected even when a later move in the same delta would
+/// have taken that user elsewhere: issue the moves as their own delta first.
+/// (The opposite order would be worse: a move targeting an offset that only
+/// exists after a reweight grows the segment.)
+#[derive(Debug, Clone, Default)]
+pub struct NetworkDelta {
+    /// Road-segment reweights (the last update of an edge wins).
+    pub edge_updates: Vec<EdgeUpdate>,
+    /// `(user, new location)` moves — covering arrivals ("appear at their
+    /// first real location") and departures ("park far away") as well.
+    pub user_moves: Vec<(VertexId, Location)>,
+}
+
+impl NetworkDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        NetworkDelta::default()
+    }
+
+    /// Adds a road-segment reweight.
+    pub fn reweight_edge(mut self, u: u32, v: u32, weight: f64) -> Self {
+        self.edge_updates.push(EdgeUpdate::new(u, v, weight));
+        self
+    }
+
+    /// Adds a user move.
+    pub fn move_user(mut self, user: VertexId, location: Location) -> Self {
+        self.user_moves.push((user, location));
+        self
+    }
+
+    /// Whether the delta carries no changes.
+    pub fn is_empty(&self) -> bool {
+        self.edge_updates.is_empty() && self.user_moves.is_empty()
+    }
+}
+
+/// What one [`MacEngine::apply_updates`] call did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UpdateStats {
+    /// Epoch id the engine now serves (monotonically increasing from 0).
+    pub epoch: u64,
+    /// Road-segment reweights applied.
+    pub edges_reweighted: usize,
+    /// User moves applied.
+    pub users_moved: usize,
+    /// Users whose grouped filter seeds were refreshed: every moved user
+    /// plus every on-edge user sitting on a reweighted segment (indexed
+    /// engines only — an unindexed engine keeps no grouping).
+    pub user_targets_refreshed: usize,
+    /// G-tree incremental-refresh statistics (`None` without an index or
+    /// without edge updates).
+    pub gtree: Option<GTreeUpdateStats>,
+    /// Whether the calibration probe re-ran (sampled average edge weight
+    /// drifted past [`RECALIBRATION_DRIFT`]).
+    pub recalibrated: bool,
+    /// Wall-clock seconds for the whole update.
+    pub elapsed_seconds: f64,
+}
+
 #[derive(Debug)]
 struct EngineInner {
     rsn: RoadSocialNetwork,
@@ -112,14 +210,33 @@ struct EngineInner {
     /// User seeds pre-grouped by G-tree leaf (present iff the network has an
     /// index) — shared by every session's batched filter evaluations.
     user_targets: Option<LeafTargets>,
+    /// Monotonic epoch id (0 at build, +1 per applied delta).
+    epoch: u64,
+    /// The sampled average edge weight at the last calibration (0.0 when no
+    /// probe ran) — the drift reference for re-probing.
+    calibrated_avg_edge_weight: f64,
+    /// Whether the build requested measurement (updates only re-probe then).
+    measured_build: bool,
+}
+
+#[derive(Debug)]
+struct EngineShared {
+    /// The epoch currently being served. Readers clone the `Arc` (one brief
+    /// read lock per query); updates build the next epoch off-lock and swap.
+    current: RwLock<Arc<EngineInner>>,
+    /// Serializes writers so concurrent deltas cannot lose updates.
+    update_lock: Mutex<()>,
 }
 
 /// A prepared query-serving engine over one road-social network.
 ///
 /// Build once ([`build`](Self::build)), then open one [`QuerySession`] per
 /// serving thread ([`session`](Self::session)) and execute many queries
-/// through it. Cloning an engine clones an `Arc` — all clones share the
-/// network, the index, the pre-grouped user targets, and the calibration.
+/// through it. Cloning an engine clones an `Arc` — all clones (and all
+/// sessions opened from them) share the network, the index, the pre-grouped
+/// user targets, and the calibration, **including every later
+/// [`apply_updates`](Self::apply_updates)**: a delta applied through any
+/// clone is visible to all of them from their next query on.
 ///
 /// ```
 /// use rsn_core::{MacEngine, MacQuery};
@@ -137,10 +254,87 @@ struct EngineInner {
 /// let query = MacQuery::new(vec![0], 2, 10.0, region);
 /// let result = session.execute(&query).unwrap();
 /// assert!(!result.is_empty());
+/// // Traffic: reweight the road edge; the session serves the new epoch.
+/// use rsn_core::NetworkDelta;
+/// let stats = engine
+///     .apply_updates(&NetworkDelta::new().reweight_edge(0, 1, 2.5))
+///     .unwrap();
+/// assert_eq!(stats.epoch, 1);
+/// assert!(!session.execute(&query).unwrap().is_empty());
 /// ```
 #[derive(Debug, Clone)]
 pub struct MacEngine {
+    shared: Arc<EngineShared>,
+}
+
+/// One immutable snapshot of the engine's prepared state. Obtained from
+/// [`MacEngine::epoch`]; a query pins one epoch for its whole execution, so
+/// a concurrently applied [`NetworkDelta`] never changes the network under a
+/// running query. Cloning an epoch clones an `Arc`.
+#[derive(Debug, Clone)]
+pub struct EngineEpoch {
     inner: Arc<EngineInner>,
+}
+
+impl EngineEpoch {
+    /// The served network of this epoch.
+    pub fn network(&self) -> &RoadSocialNetwork {
+        &self.inner.rsn
+    }
+
+    /// What the engine measured (or assumed) when this epoch was prepared.
+    pub fn calibration(&self) -> &EngineCalibration {
+        &self.inner.calibration
+    }
+
+    /// User seeds pre-grouped by G-tree leaf, when the network has an index.
+    pub fn user_targets(&self) -> Option<&LeafTargets> {
+        self.inner.user_targets.as_ref()
+    }
+
+    /// Monotonic epoch id (0 at build, +1 per applied delta).
+    pub fn id(&self) -> u64 {
+        self.inner.epoch
+    }
+
+    /// Resolves a query's range-filter strategy through this epoch's
+    /// calibration. The compat mapping of the deprecated oracle knob is
+    /// honoured first ([`MacQuery::effective_filter`]: explicit `filter`
+    /// wins, legacy `OracleChoice::GTree` selects the per-user point path);
+    /// a remaining `Auto` goes through the calibrated crossover rule with
+    /// the measured per-network constant.
+    pub fn resolve_filter(&self, query: &MacQuery) -> RangeFilterChoice {
+        match query.effective_filter() {
+            RangeFilterChoice::Auto => resolve_auto_calibrated(
+                self.inner.rsn.road(),
+                self.inner.rsn.gtree(),
+                query.q.len(),
+                query.t,
+                self.inner.rsn.num_users(),
+                &self.inner.calibration.filter,
+            ),
+            explicit => explicit,
+        }
+    }
+
+    /// Resolves an [`AlgorithmChoice`] given the query's maximal (k,t)-core
+    /// size (known after the shared context build). Never returns `Auto`.
+    pub fn resolve_algorithm(
+        &self,
+        requested: AlgorithmChoice,
+        core_size: usize,
+    ) -> AlgorithmChoice {
+        match requested {
+            AlgorithmChoice::Auto => {
+                if core_size <= self.inner.calibration.local_core_threshold {
+                    AlgorithmChoice::Global
+                } else {
+                    AlgorithmChoice::Local
+                }
+            }
+            explicit => explicit,
+        }
+    }
 }
 
 impl MacEngine {
@@ -153,8 +347,9 @@ impl MacEngine {
     }
 
     /// Prepares an engine **without** the timed probe: the `Auto` cost model
-    /// keeps its analytic constants. Deterministic-build escape hatch for
-    /// tests and reproducible benchmarks.
+    /// keeps its analytic constants (and [`apply_updates`](Self::apply_updates)
+    /// never re-probes). Deterministic-build escape hatch for tests and
+    /// reproducible benchmarks.
     pub fn build_uncalibrated(rsn: RoadSocialNetwork) -> Self {
         Self::assemble(rsn, false)
     }
@@ -164,16 +359,24 @@ impl MacEngine {
             .gtree()
             .map(|tree| group_user_targets(tree, rsn.road(), rsn.locations()));
         let mut calibration = EngineCalibration::default();
+        let mut calibrated_avg_edge_weight = 0.0;
         if measure {
             if let (Some(tree), Some(targets)) = (rsn.gtree(), user_targets.as_ref()) {
                 calibration = Self::probe(&rsn, tree, targets);
+                calibrated_avg_edge_weight = sampled_avg_edge_weight(rsn.road());
             }
         }
         MacEngine {
-            inner: Arc::new(EngineInner {
-                rsn,
-                calibration,
-                user_targets,
+            shared: Arc::new(EngineShared {
+                current: RwLock::new(Arc::new(EngineInner {
+                    rsn,
+                    calibration,
+                    user_targets,
+                    epoch: 0,
+                    calibrated_avg_edge_weight,
+                    measured_build: measure,
+                })),
+                update_lock: Mutex::new(()),
             }),
         }
     }
@@ -201,7 +404,7 @@ impl MacEngine {
             .collect();
         // The same deterministic sample the cost model turns t into a hop
         // radius with, so the probe threshold and the unit estimates agree.
-        let avg_w = rsn_road::rangefilter::sampled_avg_edge_weight(rsn.road());
+        let avg_w = sampled_avg_edge_weight(rsn.road());
         if !(avg_w.is_finite() && avg_w > 0.0) {
             return calibration;
         }
@@ -243,19 +446,23 @@ impl MacEngine {
         calibration
     }
 
-    /// The served network (shared by all clones of this engine).
-    pub fn network(&self) -> &RoadSocialNetwork {
-        &self.inner.rsn
+    /// Pins the epoch currently being served: one brief read lock, one `Arc`
+    /// clone. All state accessors live on the returned [`EngineEpoch`] so a
+    /// caller reads a consistent snapshot even while updates land.
+    pub fn epoch(&self) -> EngineEpoch {
+        EngineEpoch {
+            inner: self
+                .shared
+                .current
+                .read()
+                .expect("engine epoch lock")
+                .clone(),
+        }
     }
 
-    /// What the engine measured (or assumed) at build time.
-    pub fn calibration(&self) -> &EngineCalibration {
-        &self.inner.calibration
-    }
-
-    /// User seeds pre-grouped by G-tree leaf, when the network has an index.
-    pub fn user_targets(&self) -> Option<&LeafTargets> {
-        self.inner.user_targets.as_ref()
+    /// What the engine measured (or assumed) for the current epoch.
+    pub fn calibration(&self) -> EngineCalibration {
+        *self.epoch().calibration()
     }
 
     /// Opens a per-thread serving session holding all reusable query scratch.
@@ -263,43 +470,130 @@ impl MacEngine {
         QuerySession::new(self.clone())
     }
 
-    /// Resolves a query's range-filter strategy through the engine's
-    /// calibration. The compat mapping of the deprecated oracle knob is
-    /// honoured first ([`MacQuery::effective_filter`]: explicit `filter`
-    /// wins, legacy `OracleChoice::GTree` selects the per-user point path);
-    /// a remaining `Auto` goes through the calibrated crossover rule with
-    /// the measured per-network constant.
+    /// Resolves a query's range-filter strategy through the current epoch
+    /// (see [`EngineEpoch::resolve_filter`]).
     pub fn resolve_filter(&self, query: &MacQuery) -> RangeFilterChoice {
-        match query.effective_filter() {
-            RangeFilterChoice::Auto => resolve_auto_calibrated(
-                self.inner.rsn.road(),
-                self.inner.rsn.gtree(),
-                query.q.len(),
-                query.t,
-                self.inner.rsn.num_users(),
-                &self.inner.calibration.filter,
-            ),
-            explicit => explicit,
-        }
+        self.epoch().resolve_filter(query)
     }
 
-    /// Resolves an [`AlgorithmChoice`] given the query's maximal (k,t)-core
-    /// size (known after the shared context build). Never returns `Auto`.
+    /// Resolves an [`AlgorithmChoice`] through the current epoch (see
+    /// [`EngineEpoch::resolve_algorithm`]). Never returns `Auto`.
     pub fn resolve_algorithm(
         &self,
         requested: AlgorithmChoice,
         core_size: usize,
     ) -> AlgorithmChoice {
-        match requested {
-            AlgorithmChoice::Auto => {
-                if core_size <= self.inner.calibration.local_core_threshold {
-                    AlgorithmChoice::Global
-                } else {
-                    AlgorithmChoice::Local
+        self.epoch().resolve_algorithm(requested, core_size)
+    }
+
+    /// Applies a batch of network changes **without rebuilding**: copies the
+    /// current epoch, patches the copy incrementally, and swaps it in as the
+    /// next epoch. All-or-nothing — an invalid entry (missing edge, bad
+    /// weight, an on-edge user stranded past its edge's new length, an
+    /// out-of-range user, an invalid location) rejects the delta and the
+    /// served epoch is unchanged.
+    ///
+    /// Incremental work per delta:
+    /// * road edge weights are patched in place;
+    /// * the G-tree recomputes only the matrices of nodes whose region
+    ///   contains both endpoints of a reweighted edge, climbing toward the
+    ///   root only while a recomputed matrix actually changed
+    ///   ([`GTree::apply_edge_updates`](rsn_road::gtree::GTree::apply_edge_updates));
+    /// * the pre-grouped per-leaf user rows are edited for exactly the moved
+    ///   users and the on-edge users of reweighted segments;
+    /// * the calibration probe re-runs only when the sampled average edge
+    ///   weight drifted past [`RECALIBRATION_DRIFT`] (measured builds only).
+    ///
+    /// Sessions (and engine clones) observe the new epoch from their next
+    /// query; queries already executing finish on the epoch they pinned.
+    /// An empty delta is a no-op: no copy is made and the epoch id does not
+    /// advance.
+    pub fn apply_updates(&self, delta: &NetworkDelta) -> Result<UpdateStats, MacError> {
+        let start = Instant::now();
+        let _serialize = self.shared.update_lock.lock().expect("engine update lock");
+        let prev: Arc<EngineInner> = self
+            .shared
+            .current
+            .read()
+            .expect("engine epoch lock")
+            .clone();
+        if delta.is_empty() {
+            return Ok(UpdateStats {
+                epoch: prev.epoch,
+                elapsed_seconds: start.elapsed().as_secs_f64(),
+                ..UpdateStats::default()
+            });
+        }
+
+        // Copy-on-write: patch a private copy; on any error it is dropped
+        // and the served epoch stays live.
+        let mut rsn = prev.rsn.clone();
+        let mut user_targets = prev.user_targets.clone();
+        let mut stats = UpdateStats {
+            epoch: prev.epoch + 1,
+            edges_reweighted: delta.edge_updates.len(),
+            users_moved: delta.user_moves.len(),
+            ..UpdateStats::default()
+        };
+
+        if !delta.edge_updates.is_empty() {
+            let outcome = rsn.apply_edge_updates(&delta.edge_updates)?;
+            stats.gtree = outcome.gtree;
+            // On-edge users of reweighted segments carry a stale far-endpoint
+            // seed offset (w - offset): refresh their grouped rows.
+            if let (Some(tree), Some(targets)) = (rsn.gtree(), user_targets.as_mut()) {
+                for &user in &outcome.users_on_reweighted_edges {
+                    let loc = *rsn.location(user);
+                    remove_user_target(tree, rsn.road(), targets, user, &loc);
+                    add_user_target(tree, rsn.road(), targets, user, &loc);
+                    stats.user_targets_refreshed += 1;
                 }
             }
-            explicit => explicit,
         }
+
+        for &(user, location) in &delta.user_moves {
+            let old = rsn.set_user_location(user, location)?;
+            if let (Some(tree), Some(targets)) = (rsn.gtree(), user_targets.as_mut()) {
+                remove_user_target(tree, rsn.road(), targets, user, &old);
+                add_user_target(tree, rsn.road(), targets, user, &location);
+                stats.user_targets_refreshed += 1;
+            }
+        }
+
+        // Drift-gated recalibration: the cost model's only weight-dependent
+        // input is the sampled average edge weight; re-probe when it moved.
+        let mut calibration = prev.calibration;
+        let mut calibrated_avg_edge_weight = prev.calibrated_avg_edge_weight;
+        if prev.measured_build && !delta.edge_updates.is_empty() {
+            if let (Some(tree), Some(targets)) = (rsn.gtree(), user_targets.as_ref()) {
+                let avg_w = sampled_avg_edge_weight(rsn.road());
+                let reference = prev.calibrated_avg_edge_weight;
+                let drifted = if reference > 0.0 {
+                    ((avg_w - reference) / reference).abs() > RECALIBRATION_DRIFT
+                } else {
+                    true
+                };
+                if drifted {
+                    let threshold = calibration.local_core_threshold;
+                    calibration = Self::probe(&rsn, tree, targets);
+                    calibration.local_core_threshold = threshold;
+                    calibrated_avg_edge_weight = avg_w;
+                    stats.recalibrated = true;
+                }
+            }
+        }
+
+        let next = Arc::new(EngineInner {
+            rsn,
+            calibration,
+            user_targets,
+            epoch: prev.epoch + 1,
+            calibrated_avg_edge_weight,
+            measured_build: prev.measured_build,
+        });
+        *self.shared.current.write().expect("engine epoch lock") = next;
+        stats.elapsed_seconds = start.elapsed().as_secs_f64();
+        Ok(stats)
     }
 }
 
@@ -337,17 +631,28 @@ mod tests {
     }
 
     #[test]
-    fn engine_clones_share_the_network() {
+    fn engine_clones_share_the_network_and_see_updates() {
         let engine = MacEngine::build_uncalibrated(network(true));
         let clone = engine.clone();
-        assert!(std::ptr::eq(engine.network(), clone.network()));
-        assert!(engine.user_targets().is_some());
+        let (a, b) = (engine.epoch(), clone.epoch());
+        assert!(std::ptr::eq(a.network(), b.network()));
+        assert!(a.user_targets().is_some());
+        assert_eq!(a.id(), 0);
+        // An update through one clone is the other's next epoch.
+        let stats = clone
+            .apply_updates(&NetworkDelta::new().reweight_edge(0, 1, 4.0))
+            .unwrap();
+        assert_eq!(stats.epoch, 1);
+        assert_eq!(engine.epoch().id(), 1);
+        assert_eq!(engine.epoch().network().road().edge_weight(0, 1), Some(4.0));
+        // The pinned old epoch still reads the old weight.
+        assert_eq!(a.network().road().edge_weight(0, 1), Some(1.0));
     }
 
     #[test]
     fn unindexed_engine_has_no_targets_and_sweeps() {
         let engine = MacEngine::build(network(false));
-        assert!(engine.user_targets().is_none());
+        assert!(engine.epoch().user_targets().is_none());
         assert!(!engine.calibration().is_measured());
         assert_eq!(
             engine.resolve_filter(&query()),
@@ -401,5 +706,192 @@ mod tests {
             engine.resolve_algorithm(AlgorithmChoice::Global, usize::MAX),
             AlgorithmChoice::Global
         );
+    }
+
+    #[test]
+    fn rejected_delta_leaves_the_served_epoch_unchanged() {
+        let engine = MacEngine::build_uncalibrated(network(true));
+        // Edge (0, 2) does not exist; the batch also carries a valid entry
+        // that must NOT land.
+        let delta = NetworkDelta::new()
+            .reweight_edge(0, 1, 9.0)
+            .reweight_edge(0, 2, 1.0);
+        assert!(engine.apply_updates(&delta).is_err());
+        let epoch = engine.epoch();
+        assert_eq!(epoch.id(), 0);
+        assert_eq!(epoch.network().road().edge_weight(0, 1), Some(1.0));
+        // Same for an invalid user move after a valid edge update.
+        let delta = NetworkDelta::new()
+            .reweight_edge(0, 1, 9.0)
+            .move_user(99, Location::vertex(0));
+        assert!(engine.apply_updates(&delta).is_err());
+        assert_eq!(engine.epoch().id(), 0);
+        assert_eq!(engine.epoch().network().road().edge_weight(0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn updates_refresh_user_targets_incrementally() {
+        let engine = MacEngine::build_uncalibrated(network(true));
+        let delta = NetworkDelta::new().move_user(0, Location::vertex(2));
+        let stats = engine.apply_updates(&delta).unwrap();
+        assert_eq!(stats.users_moved, 1);
+        assert_eq!(stats.user_targets_refreshed, 1);
+        let epoch = engine.epoch();
+        assert_eq!(epoch.network().location(0), &Location::vertex(2));
+        // The maintained grouping equals a from-scratch regrouping.
+        let regrouped = group_user_targets(
+            epoch.network().gtree().unwrap(),
+            epoch.network().road(),
+            epoch.network().locations(),
+        );
+        assert_eq!(
+            epoch.user_targets().unwrap().num_seeds(),
+            regrouped.num_seeds()
+        );
+    }
+
+    #[test]
+    fn deltas_apply_reweights_before_moves() {
+        // Pin of the documented sequential semantics: shrinking a segment
+        // below a resident on-edge user's offset rejects the delta even when
+        // a later move in the same delta takes the user elsewhere — the
+        // moves must come as their own delta first.
+        let social = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let road = RoadNetwork::from_edges(3, &[(0, 1, 5.0), (1, 2, 1.0)]);
+        let locations = vec![
+            Location::OnEdge {
+                u: 0,
+                v: 1,
+                offset: 3.0,
+            },
+            Location::vertex(1),
+            Location::vertex(2),
+        ];
+        let attrs = vec![vec![1.0]; 3];
+        let rsn = RoadSocialNetwork::new(social, road, locations, attrs)
+            .unwrap()
+            .with_gtree_index_capacity(4);
+        let engine = MacEngine::build_uncalibrated(rsn);
+        let combined = NetworkDelta::new()
+            .reweight_edge(0, 1, 1.0)
+            .move_user(0, Location::vertex(2));
+        assert!(engine.apply_updates(&combined).is_err());
+        assert_eq!(engine.epoch().id(), 0);
+        // Split into moves-first deltas, the same end state is reachable.
+        engine
+            .apply_updates(&NetworkDelta::new().move_user(0, Location::vertex(2)))
+            .unwrap();
+        engine
+            .apply_updates(&NetworkDelta::new().reweight_edge(0, 1, 1.0))
+            .unwrap();
+        let epoch = engine.epoch();
+        assert_eq!(epoch.id(), 2);
+        assert_eq!(epoch.network().location(0), &Location::vertex(2));
+        assert_eq!(epoch.network().road().edge_weight(0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn empty_delta_is_a_no_op() {
+        let engine = MacEngine::build_uncalibrated(network(true));
+        let stats = engine.apply_updates(&NetworkDelta::new()).unwrap();
+        assert_eq!(stats.epoch, 0, "empty delta must not advance the epoch");
+        assert_eq!(engine.epoch().id(), 0);
+        // And after a real update, still no advance on empty.
+        engine
+            .apply_updates(&NetworkDelta::new().reweight_edge(0, 1, 2.0))
+            .unwrap();
+        let stats = engine.apply_updates(&NetworkDelta::new()).unwrap();
+        assert_eq!(stats.epoch, 1);
+        assert_eq!(engine.epoch().id(), 1);
+    }
+
+    #[test]
+    fn non_normalized_on_edge_users_are_refreshed_and_guarded() {
+        // Location::OnEdge's fields are public, so a location may store its
+        // endpoints in either order; reweight matching must canonicalize.
+        let social = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let road = RoadNetwork::from_edges(3, &[(0, 1, 2.0), (1, 2, 2.0)]);
+        let locations = vec![
+            Location::vertex(0),
+            Location::OnEdge {
+                u: 2,
+                v: 1,
+                offset: 1.9,
+            },
+            Location::vertex(2),
+        ];
+        let attrs = vec![vec![1.0]; 3];
+        let rsn = RoadSocialNetwork::new(social, road, locations, attrs)
+            .unwrap()
+            .with_gtree_index_capacity(4);
+        let engine = MacEngine::build_uncalibrated(rsn);
+        // Shrinking the edge below the stored offset must reject the delta
+        // even though the update names the edge in canonical order.
+        let err = engine.apply_updates(&NetworkDelta::new().reweight_edge(1, 2, 1.0));
+        assert!(err.is_err(), "stranded non-normalized offset must reject");
+        assert_eq!(engine.epoch().id(), 0);
+        // A valid reweight must refresh the user's grouped seeds (the
+        // far-endpoint offset changed with the weight).
+        let stats = engine
+            .apply_updates(&NetworkDelta::new().reweight_edge(1, 2, 4.0))
+            .unwrap();
+        assert_eq!(stats.user_targets_refreshed, 1);
+        // Behavioral pin: user 1 now sits 1.9 from vertex 2 on a 4.0-long
+        // edge, i.e. 2.1 from vertex 1, so D(vertex 0, user 1) = 2.0 + 2.1.
+        // A stale far-endpoint seed (2.0 - 1.9 = 0.1 from vertex 1) would
+        // report 2.1 and wrongly keep the user within t = 3.
+        let epoch = engine.epoch();
+        let net = epoch.network();
+        let mut scratch = FilterScratch::new();
+        let mut within = Vec::new();
+        RangeFilter::GTreeMultiSeedBatched(net.gtree().unwrap()).users_within_with(
+            net.road(),
+            &[Location::vertex(0)],
+            3.0,
+            net.locations(),
+            epoch.user_targets(),
+            &mut scratch,
+            &mut within,
+        );
+        assert_eq!(
+            within,
+            vec![true, false, false],
+            "refreshed seeds must exclude the now-distant on-edge user"
+        );
+    }
+
+    #[test]
+    fn recalibration_is_drift_gated() {
+        // Measured build: a tiny reweight keeps the calibration, a massive
+        // uniform reweight re-probes.
+        let engine = MacEngine::build(network(true));
+        let small = engine
+            .apply_updates(&NetworkDelta::new().reweight_edge(0, 1, 1.05))
+            .unwrap();
+        assert!(
+            !small.recalibrated,
+            "5% drift on one edge must not re-probe"
+        );
+        let big = engine
+            .apply_updates(
+                &NetworkDelta::new()
+                    .reweight_edge(0, 1, 10.0)
+                    .reweight_edge(1, 2, 10.0)
+                    .reweight_edge(2, 3, 100.0),
+            )
+            .unwrap();
+        assert!(big.recalibrated, "10x uniform reweight must re-probe");
+        // Uncalibrated builds never probe, whatever the drift.
+        let analytic = MacEngine::build_uncalibrated(network(true));
+        let stats = analytic
+            .apply_updates(
+                &NetworkDelta::new()
+                    .reweight_edge(0, 1, 10.0)
+                    .reweight_edge(1, 2, 10.0)
+                    .reweight_edge(2, 3, 100.0),
+            )
+            .unwrap();
+        assert!(!stats.recalibrated);
+        assert!(!analytic.calibration().is_measured());
     }
 }

@@ -13,10 +13,10 @@
 //! Two engine-level departures from a literal transcription of the paper:
 //!
 //! * **Explicit stack.** The exploration runs on an explicit task stack
-//!   ([`Task`]) instead of call recursion, so the search depth is bounded by
-//!   heap memory rather than thread stack — peel paths through a 10^5-vertex
-//!   (k,t)-core are just more stack entries. A worker shares **one**
-//!   [`SubgraphView`] across all branches: a [`Task::Retreat`] entry rolls the
+//!   (the private `Task` enum) instead of call recursion, so the search depth
+//!   is bounded by heap memory rather than thread stack — peel paths through a
+//!   10^5-vertex (k,t)-core are just more stack entries. A worker shares
+//!   **one** [`SubgraphView`] across all branches: a `Task::Retreat` entry rolls the
 //!   view back to the checkpoint taken when the branch was entered, so sibling
 //!   cells reuse the same scratch state and no per-branch clones happen.
 //!

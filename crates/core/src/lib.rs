@@ -24,6 +24,10 @@
 //! the measured `Auto` calibration probe), open one [`QuerySession`] per
 //! serving thread, and execute many queries through it — every network-sized
 //! buffer is session-held and reused, so the steady state is allocation-free.
+//! When the road network changes (traffic reweights, user churn), apply a
+//! [`NetworkDelta`] through [`MacEngine::apply_updates`]: the engine patches
+//! its prepared state incrementally and swaps in a new epoch; live sessions
+//! pick it up at their next query without losing any scratch.
 //!
 //! ```
 //! use rsn_core::{MacEngine, MacQuery};
@@ -72,7 +76,9 @@ pub mod result;
 pub mod session;
 
 pub use context::{ContextScratch, SearchContext};
-pub use engine::{AlgorithmChoice, EngineCalibration, MacEngine};
+pub use engine::{
+    AlgorithmChoice, EngineCalibration, EngineEpoch, MacEngine, NetworkDelta, UpdateStats,
+};
 pub use error::MacError;
 pub use global::GlobalSearch;
 pub use local::{ExpandStrategy, LocalSearch};

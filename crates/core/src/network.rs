@@ -2,12 +2,24 @@
 
 use crate::error::MacError;
 use rsn_graph::graph::{Graph, VertexId};
-use rsn_road::gtree::GTree;
-use rsn_road::network::{Location, RoadNetwork};
+use rsn_road::gtree::{GTree, GTreeUpdateStats};
+use rsn_road::network::{EdgeUpdate, Location, RoadNetwork};
 use rsn_road::oracle::DistanceOracle;
 #[allow(deprecated)]
 use rsn_road::oracle::OracleChoice;
 use rsn_road::rangefilter::{resolve_auto, RangeFilter, RangeFilterChoice};
+
+/// What [`RoadSocialNetwork::apply_edge_updates`] changed beyond the edge
+/// weights themselves.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeUpdateOutcome {
+    /// G-tree incremental-refresh statistics (`None` without an index).
+    pub gtree: Option<GTreeUpdateStats>,
+    /// Users whose location sits part-way along one of the reweighted edges:
+    /// their far-endpoint seed offsets (`w - offset`) changed with the
+    /// weight, so any grouped filter seeds must be refreshed.
+    pub users_on_reweighted_edges: Vec<VertexId>,
+}
 
 /// A road-social network: a social graph whose users carry a location in a
 /// road network and a d-dimensional attribute vector (Section II-A).
@@ -105,6 +117,84 @@ impl RoadSocialNetwork {
     /// The G-tree index, when one has been built.
     pub fn gtree(&self) -> Option<&GTree> {
         self.gtree.as_ref()
+    }
+
+    /// Applies a batch of road-edge **reweights** to the network, refreshing
+    /// the G-tree index incrementally (dirty leaf-to-root matrix paths only,
+    /// [`GTree::apply_edge_updates`]) instead of rebuilding it.
+    ///
+    /// All updates are validated first — every named edge must exist with a
+    /// finite non-negative weight, and no user's on-edge location may be left
+    /// with an offset beyond its edge's new length — so an invalid batch is
+    /// rejected whole and the network is untouched. Returns the index's
+    /// update statistics (`None` without an index) and the users located on
+    /// the reweighted edges (their grouped filter seeds carry partial-edge
+    /// offsets that the new weights changed — see
+    /// [`rsn_road::rangefilter::add_user_target`]).
+    pub fn apply_edge_updates(
+        &mut self,
+        updates: &[EdgeUpdate],
+    ) -> Result<EdgeUpdateOutcome, MacError> {
+        // Stranded-offset validation + affected-user collection: a user
+        // part-way along a reweighted edge keeps its absolute offset from its
+        // location's `u`, so the final weight must still cover it (the last
+        // update of an edge wins). Both the update endpoints and a stored
+        // `Location::OnEdge` may name the edge in either order, so everything
+        // is canonicalized to `(min, max)` before matching.
+        let canonical = |a: u32, b: u32| if a < b { (a, b) } else { (b, a) };
+        let mut final_weight: std::collections::HashMap<(u32, u32), f64> =
+            std::collections::HashMap::new();
+        for upd in updates {
+            final_weight.insert(canonical(upd.u, upd.v), upd.weight);
+        }
+        let mut users_on_reweighted_edges = Vec::new();
+        for (user, loc) in self.locations.iter().enumerate() {
+            if let Location::OnEdge { u, v, offset } = *loc {
+                if let Some(&w) = final_weight.get(&canonical(u, v)) {
+                    if offset > w {
+                        return Err(MacError::Road(rsn_road::RoadError::InvalidOffset {
+                            offset,
+                            edge_length: w,
+                        }));
+                    }
+                    users_on_reweighted_edges.push(user as VertexId);
+                }
+            }
+        }
+        // The road network validates the whole batch (existence, weight
+        // range) before mutating, so an invalid entry still rejects the
+        // delta with this network untouched.
+        self.road.apply_edge_updates(updates)?;
+        let gtree = self
+            .gtree
+            .as_mut()
+            .map(|tree| tree.apply_edge_updates(&self.road, updates));
+        Ok(EdgeUpdateOutcome {
+            gtree,
+            users_on_reweighted_edges,
+        })
+    }
+
+    /// Moves a user to a new (validated) location, returning the previous
+    /// one. Callers maintaining grouped filter seeds must move the user's
+    /// rows too ([`rsn_road::rangefilter::remove_user_target`] /
+    /// [`add_user_target`](rsn_road::rangefilter::add_user_target)).
+    pub fn set_user_location(
+        &mut self,
+        user: VertexId,
+        location: Location,
+    ) -> Result<Location, MacError> {
+        if (user as usize) >= self.locations.len() {
+            return Err(MacError::QueryVertexOutOfRange {
+                vertex: user,
+                num_vertices: self.locations.len(),
+            });
+        }
+        self.road.validate_location(&location)?;
+        Ok(std::mem::replace(
+            &mut self.locations[user as usize],
+            location,
+        ))
     }
 
     /// Resolves the distance oracle for a query's [`OracleChoice`].
@@ -267,6 +357,66 @@ mod tests {
             vec![vec![1.0, f64::NAN], vec![3.0, 4.0]],
         );
         assert!(matches!(err2, Err(MacError::InconsistentNetwork(_))));
+    }
+
+    #[test]
+    fn edge_updates_refresh_the_index_and_report_on_edge_users() {
+        let social = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let road = tiny_road();
+        let locations = vec![
+            Location::vertex(0),
+            Location::OnEdge {
+                u: 1,
+                v: 2,
+                offset: 1.5,
+            },
+            Location::vertex(2),
+        ];
+        let attrs = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let mut rsn = RoadSocialNetwork::new(social, road, locations, attrs)
+            .unwrap()
+            .with_gtree_index_capacity(4);
+        // Shrinking edge (1,2) below user 1's offset must reject the batch
+        // whole and leave the network untouched.
+        let err = rsn.apply_edge_updates(&[EdgeUpdate::new(1, 2, 1.0)]);
+        assert!(matches!(
+            err,
+            Err(MacError::Road(rsn_road::RoadError::InvalidOffset { .. }))
+        ));
+        assert_eq!(rsn.road().edge_weight(1, 2), Some(2.0));
+        // A valid reweight refreshes the index and names the on-edge user.
+        let outcome = rsn
+            .apply_edge_updates(&[EdgeUpdate::new(1, 2, 5.0)])
+            .unwrap();
+        assert_eq!(outcome.users_on_reweighted_edges, vec![1]);
+        let stats = outcome.gtree.expect("indexed network reports stats");
+        assert!(stats.dirty_leaves + stats.dirty_internal > 0);
+        assert_eq!(rsn.road().edge_weight(1, 2), Some(5.0));
+        let tree = rsn.gtree().unwrap();
+        assert!((tree.dist(0, 2) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_user_location_validates_and_returns_the_old_location() {
+        let social = Graph::from_edges(2, &[(0, 1)]);
+        let mut rsn = RoadSocialNetwork::new(
+            social,
+            tiny_road(),
+            vec![Location::vertex(0), Location::vertex(1)],
+            vec![vec![1.0], vec![2.0]],
+        )
+        .unwrap();
+        let old = rsn.set_user_location(1, Location::vertex(2)).unwrap();
+        assert_eq!(old, Location::vertex(1));
+        assert_eq!(rsn.location(1), &Location::vertex(2));
+        assert!(matches!(
+            rsn.set_user_location(9, Location::vertex(0)),
+            Err(MacError::QueryVertexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            rsn.set_user_location(0, Location::vertex(99)),
+            Err(MacError::Road(_))
+        ));
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Per-thread query execution with reusable scratch.
 //!
-//! A [`QuerySession`] is the mutable half of the serving API: it borrows the
-//! immutable prepared state from its [`MacEngine`] (network, index,
-//! pre-grouped user targets, calibration) and owns every buffer a query
+//! A [`QuerySession`] is the mutable half of the serving API: it pins one
+//! immutable epoch of its [`MacEngine`] per query (network, index,
+//! pre-grouped user targets, calibration — see [`MacEngine::epoch`]; applied
+//! [`NetworkDelta`](crate::engine::NetworkDelta)s become visible at the next
+//! query, with all scratch intact) and owns every buffer a query
 //! execution needs — the Dijkstra sweep scratch, the G-tree walk's
 //! entry/intersection matrices, the Lemma-1 membership mask, and the
 //! id-translation arrays of the context build. Executing many queries
@@ -154,17 +156,16 @@ impl QuerySession {
 
     fn run(&mut self, query: &MacQuery, top_j_mode: bool) -> Result<MacSearchResult, MacError> {
         let start = Instant::now();
-        let filter = self.engine.resolve_filter(query);
-        let rsn = self.engine.network();
-        // The context borrows the engine's network and the caller's query;
+        // Pin the epoch being served: a concurrently applied NetworkDelta
+        // swaps the engine's pointer but never mutates this snapshot, so the
+        // whole query runs against one consistent network + index + grouping.
+        let epoch = self.engine.epoch();
+        let filter = epoch.resolve_filter(query);
+        let rsn = epoch.network();
+        // The context borrows the epoch's network and the caller's query;
         // everything network-sized it consumes comes from session scratch.
-        let ctx = SearchContext::build_with(
-            rsn,
-            query,
-            filter,
-            self.engine.user_targets(),
-            &mut self.scratch,
-        )?;
+        let ctx =
+            SearchContext::build_with(rsn, query, filter, epoch.user_targets(), &mut self.scratch)?;
         let Some(ctx) = ctx else {
             self.executed += 1;
             return Ok(MacSearchResult {
@@ -175,9 +176,7 @@ impl QuerySession {
                 },
             });
         };
-        let algorithm = self
-            .engine
-            .resolve_algorithm(query.algorithm, ctx.core_size());
+        let algorithm = epoch.resolve_algorithm(query.algorithm, ctx.core_size());
         let mut result = match algorithm {
             AlgorithmChoice::Local => {
                 LocalSearch::run_context(&ctx, self.strategy, self.max_candidates, top_j_mode)

@@ -13,7 +13,7 @@
 //! enforced by the property tests of this module.
 
 use crate::dijkstra::SsspScratch;
-use crate::network::{RoadNetwork, RoadVertexId};
+use crate::network::{EdgeUpdate, RoadNetwork, RoadVertexId};
 use std::collections::HashMap;
 
 /// Default maximum number of vertices per leaf region.
@@ -123,6 +123,37 @@ impl LeafTargets {
     /// Total number of grouped seeds.
     pub fn num_seeds(&self) -> usize {
         self.per_leaf.iter().map(|v| v.len()).sum()
+    }
+}
+
+/// What [`GTree::apply_edge_updates`] recomputed: the dirty set starts at
+/// the nodes whose region contains both endpoints of a reweighted edge (the
+/// containing leaf when the endpoints share one, otherwise the leaves'
+/// lowest common ancestor) and climbs toward the root only while a
+/// recomputed matrix **actually changed** — everything else keeps its
+/// matrices untouched.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GTreeUpdateStats {
+    /// Number of edge updates applied.
+    pub updates: usize,
+    /// Leaf nodes whose within-region matrix was recomputed.
+    pub dirty_leaves: usize,
+    /// Internal nodes whose border matrix was recomputed.
+    pub dirty_internal: usize,
+    /// Total matrix cells rewritten.
+    pub recomputed_matrix_cells: usize,
+    /// Total nodes in the tree (for dirty-fraction reporting).
+    pub total_nodes: usize,
+}
+
+impl GTreeUpdateStats {
+    /// Fraction of tree nodes that were recomputed.
+    pub fn dirty_fraction(&self) -> f64 {
+        if self.total_nodes == 0 {
+            0.0
+        } else {
+            (self.dirty_leaves + self.dirty_internal) as f64 / self.total_nodes as f64
+        }
     }
 }
 
@@ -262,7 +293,7 @@ impl GTree {
     }
 
     /// Entry-extension cells of a full unpruned walk, per seed: the sum of
-    /// [`node_walk_cells`](Self::node_walk_cells) over all internal nodes —
+    /// the per-node walk cells over all internal nodes —
     /// an occupancy-independent upper bound and an `Auto` calibration input.
     pub fn walk_cells_total(&self) -> usize {
         (0..self.nodes.len())
@@ -466,22 +497,168 @@ impl GTree {
     where
         I: IntoIterator<Item = (u32, RoadVertexId, f64)>,
     {
-        let mut per_leaf: Vec<Vec<(u32, u32, f64)>> = vec![Vec::new(); self.nodes.len()];
-        let mut occupied = vec![0u32; self.nodes.len()];
+        let mut targets = LeafTargets {
+            per_leaf: vec![Vec::new(); self.nodes.len()],
+            occupied: vec![0u32; self.nodes.len()],
+        };
+        self.add_target_seeds(&mut targets, seeds);
+        targets
+    }
+
+    /// Adds target seeds to an existing grouping (the incremental counterpart
+    /// of [`group_targets`](Self::group_targets), same semantics per seed):
+    /// each seed lands in its vertex's leaf with its precomputed leaf matrix
+    /// row, and the subtree occupancy counts along the leaf-to-root path are
+    /// raised. Seeds with out-of-range vertices are dropped.
+    pub fn add_target_seeds<I>(&self, targets: &mut LeafTargets, seeds: I)
+    where
+        I: IntoIterator<Item = (u32, RoadVertexId, f64)>,
+    {
         for (item, v, off) in seeds {
             if v as usize >= self.num_vertices {
                 continue;
             }
             let leaf = self.leaf_of[v as usize];
-            per_leaf[leaf].push((item, self.leaf_pos[v as usize], off));
-            occupied[leaf] += 1;
+            targets.per_leaf[leaf].push((item, self.leaf_pos[v as usize], off));
+            targets.occupied[leaf] += 1;
             let mut cur = leaf;
             while let Some(p) = self.nodes[cur].parent {
-                occupied[p] += 1;
+                targets.occupied[p] += 1;
                 cur = p;
             }
         }
-        LeafTargets { per_leaf, occupied }
+    }
+
+    /// Removes **every** grouped seed of `item` from the leaves containing
+    /// `seed_vertices` (an item's seeds live only in the leaves of its
+    /// location's endpoints, so passing those endpoints clears the item), and
+    /// lowers the occupancy counts along the affected leaf-to-root paths.
+    /// Returns the number of seeds removed.
+    pub fn remove_target_item(
+        &self,
+        targets: &mut LeafTargets,
+        item: u32,
+        seed_vertices: &[RoadVertexId],
+    ) -> usize {
+        let mut total = 0usize;
+        // Dedup the vertices' leaves so a same-leaf pair (the common case: a
+        // location's two endpoints) is cleared — and decremented — once.
+        let mut cleared: Vec<usize> = Vec::with_capacity(seed_vertices.len().min(2));
+        for &v in seed_vertices {
+            if v as usize >= self.num_vertices {
+                continue;
+            }
+            let leaf = self.leaf_of[v as usize];
+            if cleared.contains(&leaf) {
+                continue;
+            }
+            cleared.push(leaf);
+            let before = targets.per_leaf[leaf].len();
+            targets.per_leaf[leaf].retain(|&(it, _, _)| it != item);
+            let removed = (before - targets.per_leaf[leaf].len()) as u32;
+            if removed > 0 {
+                targets.occupied[leaf] -= removed;
+                let mut cur = leaf;
+                while let Some(p) = self.nodes[cur].parent {
+                    targets.occupied[p] -= removed;
+                    cur = p;
+                }
+                total += removed as usize;
+            }
+        }
+        total
+    }
+
+    /// Incrementally refreshes the distance matrices after a batch of edge
+    /// **reweights**, instead of rebuilding the tree.
+    ///
+    /// `net` must be the updated road network: identical topology to the one
+    /// the tree was built from (the partition hierarchy, border sets, and
+    /// leaf assignment depend only on the adjacency structure, so they remain
+    /// valid), with the new weights already applied
+    /// ([`RoadNetwork::apply_edge_updates`]).
+    ///
+    /// A reweighted edge `(u, v)` can only change the matrices of nodes whose
+    /// region contains **both** endpoints: the shared leaf when
+    /// `leaf(u) == leaf(v)`, otherwise the lowest common ancestor of the two
+    /// leaves (where the edge appears as a cross-child edge of the reduced
+    /// border graph). From there the change propagates upward **only while it
+    /// is observable**: a node's matrix depends on exactly its children's
+    /// matrices and the cross-child edge weights at its own level, so a
+    /// parent is recomputed only when a reweighted edge lives at its level or
+    /// a child's recomputed matrix actually changed (recomputation is
+    /// deterministic, so "changed" is an exact slice comparison). A reweight
+    /// that leaves the local border-to-border distances intact — the common
+    /// case for modest traffic factors on non-critical segments — stops dead
+    /// instead of dragging the expensive top-of-tree reduced-graph Dijkstras
+    /// along. Everything else is untouched; out-of-range endpoints are
+    /// ignored (the paired [`RoadNetwork`] mutation already rejected them).
+    pub fn apply_edge_updates(
+        &mut self,
+        net: &RoadNetwork,
+        updates: &[EdgeUpdate],
+    ) -> GTreeUpdateStats {
+        let mut stats = GTreeUpdateStats {
+            updates: updates.len(),
+            total_nodes: self.nodes.len(),
+            ..GTreeUpdateStats::default()
+        };
+        if self.nodes.is_empty() || self.num_vertices == 0 {
+            return stats;
+        }
+        debug_assert_eq!(net.num_vertices(), self.num_vertices);
+        // `source_dirty[id]`: a reweighted edge lives at this node's level.
+        let mut source_dirty = vec![false; self.nodes.len()];
+        for upd in updates {
+            if upd.u as usize >= self.num_vertices || upd.v as usize >= self.num_vertices {
+                continue;
+            }
+            let lu = self.leaf_of[upd.u as usize];
+            let lv = self.leaf_of[upd.v as usize];
+            let from = if lu == lv {
+                lu
+            } else {
+                self.lowest_common_ancestor(lu, lv)
+            };
+            source_dirty[from] = true;
+        }
+        // Reverse creation order visits children before parents, so every
+        // recomputed internal matrix reads already-refreshed child matrices
+        // and the children's change flags are final before the parent asks.
+        let mut changed = vec![false; self.nodes.len()];
+        let mut region_mask = vec![false; self.num_vertices];
+        let mut scratch = SsspScratch::new();
+        for id in (0..self.nodes.len()).rev() {
+            let recompute = source_dirty[id] || self.nodes[id].children.iter().any(|&c| changed[c]);
+            if !recompute {
+                continue;
+            }
+            if self.nodes[id].children.is_empty() {
+                changed[id] = self.fill_leaf_matrix(net, id, &mut region_mask, &mut scratch);
+                stats.dirty_leaves += 1;
+            } else {
+                changed[id] = self.fill_internal_matrix(net, id);
+                stats.dirty_internal += 1;
+            }
+            stats.recomputed_matrix_cells += self.nodes[id].matrix.len();
+        }
+        stats
+    }
+
+    /// Lowest common ancestor of two nodes (`O(height²)` scan — the chains
+    /// are logarithmic and updates are rare next to queries).
+    fn lowest_common_ancestor(&self, a: usize, b: usize) -> usize {
+        let chain_a = self.ancestor_chain(a);
+        let mut cur = b;
+        loop {
+            if chain_a.contains(&cur) {
+                return cur;
+            }
+            match self.nodes[cur].parent {
+                Some(p) => cur = p,
+                None => return self.root,
+            }
+        }
     }
 
     /// Leaf-batched one-to-many evaluation from a **single** source seed: for
@@ -921,39 +1098,26 @@ impl GTree {
         let mut scratch = SsspScratch::new();
         for &id in &order {
             if self.nodes[id].children.is_empty() {
-                // Leaf: full pairwise within-region distances.
+                // Leaf: the matrix index space is the whole region.
                 let vertices = self.nodes[id].vertices.clone();
-                for &v in &vertices {
-                    region_mask[v as usize] = true;
-                }
                 let ub_index: HashMap<RoadVertexId, usize> =
                     vertices.iter().enumerate().map(|(i, &v)| (v, i)).collect();
-                let size = vertices.len();
-                let mut matrix = vec![f64::INFINITY; size * size];
-                for (i, &v) in vertices.iter().enumerate() {
-                    let dists = scratch.run(net, &[(v, 0.0)], None, Some(&region_mask));
-                    for (j, &u) in vertices.iter().enumerate() {
-                        matrix[i * size + j] = dists[u as usize];
-                    }
-                }
-                for &v in &vertices {
-                    region_mask[v as usize] = false;
-                }
                 let node = &mut self.nodes[id];
                 node.union_borders = vertices;
                 node.ub_index = ub_index;
-                node.matrix = matrix;
+                self.fill_leaf_matrix(net, id, &mut region_mask, &mut scratch);
             } else {
-                // Internal node: reduced border graph over children's borders.
+                // Internal node: index space is the union of children borders
+                // (disjoint across children, since children partition the
+                // region).
                 let children = self.nodes[id].children.clone();
                 let mut union_borders: Vec<RoadVertexId> = Vec::new();
-                let mut child_of: HashMap<RoadVertexId, usize> = HashMap::new();
-                for (ci, &c) in children.iter().enumerate() {
+                let mut seen: HashMap<RoadVertexId, ()> = HashMap::new();
+                for &c in &children {
                     for &b in &self.nodes[c].borders {
-                        if !child_of.contains_key(&b) {
+                        if seen.insert(b, ()).is_none() {
                             union_borders.push(b);
                         }
-                        child_of.insert(b, ci);
                     }
                 }
                 let ub_index: HashMap<RoadVertexId, usize> = union_borders
@@ -961,46 +1125,97 @@ impl GTree {
                     .enumerate()
                     .map(|(i, &v)| (v, i))
                     .collect();
-                let size = union_borders.len();
-                // adjacency of the reduced graph
-                let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); size];
-                // (a) intra-child shortcuts from the child's matrix
-                for &c in &children {
-                    let child = &self.nodes[c];
-                    for (i, &bi) in child.borders.iter().enumerate() {
-                        for &bj in child.borders.iter().skip(i + 1) {
-                            let d = child.matrix_at(child.ub_index[&bi], child.ub_index[&bj]);
-                            if d.is_finite() {
-                                let a = ub_index[&bi];
-                                let b = ub_index[&bj];
-                                adj[a].push((b, d));
-                                adj[b].push((a, d));
-                            }
-                        }
-                    }
-                }
-                // (b) original road edges crossing between children
-                for &b in &union_borders {
-                    for &(u, w) in net.neighbors(b) {
-                        if let (Some(&cb), Some(&cu)) = (child_of.get(&b), child_of.get(&u)) {
-                            if cb != cu {
-                                adj[ub_index[&b]].push((ub_index[&u], w));
-                            }
-                        }
-                    }
-                }
-                // Dijkstra on the reduced graph from every union border.
-                let mut matrix = vec![f64::INFINITY; size * size];
-                for s in 0..size {
-                    let row = reduced_dijkstra(&adj, s);
-                    matrix[s * size..(s + 1) * size].copy_from_slice(&row);
-                }
                 let node = &mut self.nodes[id];
                 node.union_borders = union_borders;
                 node.ub_index = ub_index;
-                node.matrix = matrix;
+                self.fill_internal_matrix(net, id);
             }
         }
+    }
+
+    /// (Re)computes a leaf's full pairwise within-region distance matrix from
+    /// the current network weights. The node's index space (`union_borders` =
+    /// region vertices) must already be set; only `matrix` is written.
+    /// Returns whether the matrix actually changed (recomputation is
+    /// deterministic, so unchanged inputs reproduce the matrix exactly).
+    fn fill_leaf_matrix(
+        &mut self,
+        net: &RoadNetwork,
+        id: usize,
+        region_mask: &mut [bool],
+        scratch: &mut SsspScratch,
+    ) -> bool {
+        let vertices = self.nodes[id].union_borders.clone();
+        for &v in &vertices {
+            region_mask[v as usize] = true;
+        }
+        let size = vertices.len();
+        let mut matrix = vec![f64::INFINITY; size * size];
+        for (i, &v) in vertices.iter().enumerate() {
+            let dists = scratch.run(net, &[(v, 0.0)], None, Some(region_mask));
+            for (j, &u) in vertices.iter().enumerate() {
+                matrix[i * size + j] = dists[u as usize];
+            }
+        }
+        for &v in &vertices {
+            region_mask[v as usize] = false;
+        }
+        let changed = self.nodes[id].matrix != matrix;
+        self.nodes[id].matrix = matrix;
+        changed
+    }
+
+    /// (Re)computes an internal node's border matrix over the reduced graph
+    /// assembled from the children's **current** matrices (intra-child
+    /// shortcuts) and the current weights of the road edges crossing between
+    /// children. The node's `union_borders`/`ub_index` must already be set;
+    /// only `matrix` is written. Returns whether the matrix actually changed.
+    fn fill_internal_matrix(&mut self, net: &RoadNetwork, id: usize) -> bool {
+        let children = self.nodes[id].children.clone();
+        let size = self.nodes[id].union_borders.len();
+        let mut child_of: HashMap<RoadVertexId, usize> = HashMap::new();
+        for (ci, &c) in children.iter().enumerate() {
+            for &b in &self.nodes[c].borders {
+                child_of.insert(b, ci);
+            }
+        }
+        // adjacency of the reduced graph
+        let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); size];
+        let ub_index = &self.nodes[id].ub_index;
+        // (a) intra-child shortcuts from the child's matrix
+        for &c in &children {
+            let child = &self.nodes[c];
+            for (i, &bi) in child.borders.iter().enumerate() {
+                for &bj in child.borders.iter().skip(i + 1) {
+                    let d = child.matrix_at(child.ub_index[&bi], child.ub_index[&bj]);
+                    if d.is_finite() {
+                        let a = ub_index[&bi];
+                        let b = ub_index[&bj];
+                        adj[a].push((b, d));
+                        adj[b].push((a, d));
+                    }
+                }
+            }
+        }
+        // (b) original road edges crossing between children
+        for &b in &self.nodes[id].union_borders {
+            for &(u, w) in net.neighbors(b) {
+                if let (Some(&cb), Some(&cu)) = (child_of.get(&b), child_of.get(&u)) {
+                    if cb != cu {
+                        adj[ub_index[&b]].push((ub_index[&u], w));
+                    }
+                }
+            }
+        }
+        // Dijkstra on the reduced graph from every union border.
+        let mut matrix = vec![f64::INFINITY; size * size];
+        for (s, row_out) in matrix.chunks_mut(size.max(1)).enumerate().take(size) {
+            let row = reduced_dijkstra(&adj, s);
+            row_out.copy_from_slice(&row);
+        }
+        let changed = self.nodes[id].matrix != matrix;
+        self.nodes[id].matrix = matrix;
+        changed
     }
     /// Fills the precomputed index arrays (`border_rows`, `child_border_rows`,
     /// `leaf_pos`) from the `ub_index` maps after the matrices are built, so
@@ -1512,6 +1727,167 @@ mod tests {
         for v in 0..36u32 {
             let leaf = tree.leaf_id_of(v);
             assert_eq!(tree.union_borders_of(leaf)[tree.leaf_position_of(v)], v);
+        }
+    }
+
+    #[test]
+    fn incremental_reweight_matches_dijkstra_and_fresh_build() {
+        use crate::network::EdgeUpdate;
+        let mut edges = Vec::new();
+        for r in 0..6u32 {
+            for c in 0..6u32 {
+                let v = r * 6 + c;
+                if c + 1 < 6 {
+                    edges.push((v, v + 1, 1.0 + ((v % 3) as f64) * 0.25));
+                }
+                if r + 1 < 6 {
+                    edges.push((v, v + 6, 1.0 + ((v % 5) as f64) * 0.2));
+                }
+            }
+        }
+        let net0 = RoadNetwork::from_edges(36, &edges);
+        let mut tree = GTree::build_with_capacity(&net0, 6);
+        // Two rounds: an intra-leaf-ish local edge, then a batch spanning the
+        // whole grid (distinct leaves -> LCA paths), then verify.
+        let batches: Vec<Vec<EdgeUpdate>> = vec![
+            vec![EdgeUpdate::new(0, 1, 9.0)],
+            vec![
+                EdgeUpdate::new(14, 15, 0.1),
+                EdgeUpdate::new(20, 26, 5.0),
+                EdgeUpdate::new(0, 1, 0.5),
+            ],
+        ];
+        for (bi, batch) in batches.iter().enumerate() {
+            for upd in batch {
+                let pos = edges
+                    .iter()
+                    .position(|&(a, b, _)| (a, b) == (upd.u, upd.v) || (a, b) == (upd.v, upd.u))
+                    .unwrap();
+                edges[pos].2 = upd.weight;
+            }
+            let net = RoadNetwork::from_edges(36, &edges);
+            let stats = tree.apply_edge_updates(&net, batch);
+            assert!(stats.dirty_leaves + stats.dirty_internal > 0);
+            assert!(stats.dirty_leaves + stats.dirty_internal <= stats.total_nodes);
+            let fresh = GTree::build_with_capacity(&net, 6);
+            assert_eq!(tree.num_nodes(), fresh.num_nodes());
+            for s in 0..36u32 {
+                let d = sssp(&net, s);
+                for v in 0..36u32 {
+                    assert!(
+                        (tree.dist(s, v) - d[v as usize]).abs() < 1e-9,
+                        "updated tree wrong for {s}->{v}: {} vs {}",
+                        tree.dist(s, v),
+                        d[v as usize]
+                    );
+                }
+            }
+            for id in 0..tree.num_nodes() {
+                for i in 0..tree.union_borders_of(id).len() {
+                    for j in 0..tree.union_borders_of(id).len() {
+                        let a = tree.matrix_entry(id, i, j);
+                        let b = fresh.matrix_entry(id, i, j);
+                        assert!(
+                            a == b || (a - b).abs() < 1e-9,
+                            "batch {bi} node {id} matrix diverged from fresh build at ({i},{j}): {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_update_leaves_untouched_nodes_alone() {
+        use crate::network::EdgeUpdate;
+        // Two disconnected chains land in separate subtrees: reweighting an
+        // edge of one must not recompute the other's leaves.
+        let net0 = RoadNetwork::from_edges(
+            8,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (4, 5, 1.0),
+                (5, 6, 1.0),
+                (6, 7, 1.0),
+            ],
+        );
+        let mut tree = GTree::build_with_capacity(&net0, 4);
+        let mut net = net0.clone();
+        net.set_edge_weight(0, 1, 3.0).unwrap();
+        let stats = tree.apply_edge_updates(&net, &[EdgeUpdate::new(0, 1, 3.0)]);
+        // Endpoints share a leaf: exactly one dirty leaf plus its ancestors.
+        assert_eq!(stats.dirty_leaves, 1);
+        assert!((tree.dist(0, 3) - 5.0).abs() < 1e-9);
+        assert!((tree.dist(4, 7) - 3.0).abs() < 1e-9);
+        assert!(tree.dist(0, 7).is_infinite());
+    }
+
+    #[test]
+    fn target_seed_add_remove_round_trip() {
+        let net = grid(5, 5);
+        let tree = GTree::build_with_capacity(&net, 5);
+        let mut targets = tree.group_targets((0..25u32).map(|v| (v, v, 0.0)));
+        let reference = tree.group_targets((0..25u32).map(|v| (v, v, 0.0)));
+        // Move item 7 from vertex 7 to vertex 22 (remove + add), then back.
+        let removed = tree.remove_target_item(&mut targets, 7, &[7]);
+        assert_eq!(removed, 1);
+        tree.add_target_seeds(&mut targets, [(7u32, 22u32, 0.25)]);
+        let moved =
+            tree.group_targets(
+                (0..25u32).map(|v| if v == 7 { (v, 22, 0.25) } else { (v, v, 0.0) }),
+            );
+        assert_eq!(targets.num_seeds(), moved.num_seeds());
+        assert_eq!(targets.occupied, moved.occupied);
+        tree.remove_target_item(&mut targets, 7, &[22]);
+        tree.add_target_seeds(&mut targets, [(7u32, 7u32, 0.0)]);
+        assert_eq!(targets.num_seeds(), reference.num_seeds());
+        assert_eq!(targets.occupied, reference.occupied);
+        for leaf in 0..tree.num_nodes() {
+            let mut a = targets.per_leaf[leaf].clone();
+            let mut b = reference.per_leaf[leaf].clone();
+            a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            assert_eq!(a, b, "leaf {leaf} seeds diverged after round trip");
+        }
+        // Removing a two-seed on-edge item whose seeds share a leaf must not
+        // double-decrement occupancy.
+        let mut t2 = tree.group_targets([(0u32, 1u32, 0.5), (0, 2, 0.5), (1, 24, 0.0)]);
+        let removed = tree.remove_target_item(&mut t2, 0, &[1, 2]);
+        assert_eq!(removed, 2);
+        assert_eq!(t2.num_seeds(), 1);
+        let only = tree.group_targets([(1u32, 24u32, 0.0)]);
+        assert_eq!(t2.occupied, only.occupied);
+    }
+
+    #[test]
+    fn updated_tree_serves_batched_walks() {
+        use crate::network::EdgeUpdate;
+        let net0 = grid(6, 6);
+        let mut tree = GTree::build_with_capacity(&net0, 6);
+        let mut net = net0.clone();
+        net.set_edge_weight(17, 23, 0.05).unwrap();
+        net.set_edge_weight(0, 6, 4.0).unwrap();
+        tree.apply_edge_updates(
+            &net,
+            &[EdgeUpdate::new(17, 23, 0.05), EdgeUpdate::new(0, 6, 4.0)],
+        );
+        let targets = tree.group_targets((0..36u32).map(|v| (v, v, 0.0)));
+        let mut best = vec![f64::INFINITY; 36];
+        let mut scratch = RangeScratch::default();
+        tree.accumulate_source_distances(17, 0.0, &targets, 3.0, &mut best, &mut scratch);
+        let d = sssp(&net, 17);
+        for v in 0..36u32 {
+            let exact = d[v as usize];
+            if exact <= 3.0 {
+                assert!(
+                    (best[v as usize] - exact).abs() < 1e-9,
+                    "walk on updated tree lost in-range 17->{v}"
+                );
+            } else {
+                assert!(best[v as usize] > 3.0);
+            }
         }
     }
 

@@ -35,8 +35,8 @@ pub mod querydist;
 pub mod rangefilter;
 
 pub use dijkstra::{bounded_sssp, sssp, sssp_from_location, SsspScratch};
-pub use gtree::GTree;
-pub use network::{Location, RoadNetwork, RoadNetworkBuilder, RoadVertexId};
+pub use gtree::{GTree, GTreeUpdateStats};
+pub use network::{EdgeUpdate, Location, RoadNetwork, RoadNetworkBuilder, RoadVertexId};
 #[allow(deprecated)]
 pub use oracle::OracleChoice;
 pub use oracle::{DistanceOracle, ScratchPool};

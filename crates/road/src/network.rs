@@ -48,6 +48,29 @@ impl Location {
     }
 }
 
+/// A reweight of one existing road segment: traffic conditions changed the
+/// travel cost of `(u, v)` to `weight`.
+///
+/// Updates never add or remove segments — the network topology (and with it
+/// the G-tree partition, border sets, and leaf assignment) is fixed at build
+/// time; only costs move. Topology changes require a full rebuild.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdgeUpdate {
+    /// One endpoint of the existing segment.
+    pub u: RoadVertexId,
+    /// The other endpoint.
+    pub v: RoadVertexId,
+    /// The new travel cost (finite, non-negative).
+    pub weight: f64,
+}
+
+impl EdgeUpdate {
+    /// Convenience constructor.
+    pub fn new(u: RoadVertexId, v: RoadVertexId, weight: f64) -> Self {
+        EdgeUpdate { u, v, weight }
+    }
+}
+
 /// An undirected weighted road network.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RoadNetwork {
@@ -86,6 +109,71 @@ impl RoadNetwork {
             .iter()
             .find(|&&(x, _)| x == v)
             .map(|&(_, w)| w)
+    }
+
+    /// Sets the weight of the **existing** edge `(u, v)` to `w`, returning
+    /// the previous weight. Reweighting never changes the topology; an update
+    /// naming a missing edge is [`RoadError::NoSuchEdge`].
+    ///
+    /// Callers that keep derived state (a G-tree index, grouped user seeds of
+    /// on-edge locations) must refresh it afterwards — see
+    /// [`GTree::apply_edge_updates`](crate::gtree::GTree::apply_edge_updates).
+    pub fn set_edge_weight(
+        &mut self,
+        u: RoadVertexId,
+        v: RoadVertexId,
+        w: f64,
+    ) -> Result<f64, RoadError> {
+        if !(w.is_finite() && w >= 0.0) {
+            return Err(RoadError::InvalidWeight(w));
+        }
+        for &x in &[u, v] {
+            if (x as usize) >= self.num_vertices() {
+                return Err(RoadError::VertexOutOfRange {
+                    vertex: x,
+                    num_vertices: self.num_vertices(),
+                });
+            }
+        }
+        let forward = self.adj[u as usize]
+            .iter_mut()
+            .find(|(x, _)| *x == v)
+            .ok_or(RoadError::NoSuchEdge { u, v })?;
+        let old = forward.1;
+        forward.1 = w;
+        let backward = self.adj[v as usize]
+            .iter_mut()
+            .find(|(x, _)| *x == u)
+            .expect("undirected adjacency is symmetric");
+        backward.1 = w;
+        Ok(old)
+    }
+
+    /// Applies a batch of reweights ([`set_edge_weight`](Self::set_edge_weight)
+    /// per update), validating **all** of them first so an invalid entry
+    /// leaves the network untouched.
+    pub fn apply_edge_updates(&mut self, updates: &[EdgeUpdate]) -> Result<(), RoadError> {
+        for upd in updates {
+            if !(upd.weight.is_finite() && upd.weight >= 0.0) {
+                return Err(RoadError::InvalidWeight(upd.weight));
+            }
+            for &x in &[upd.u, upd.v] {
+                if (x as usize) >= self.num_vertices() {
+                    return Err(RoadError::VertexOutOfRange {
+                        vertex: x,
+                        num_vertices: self.num_vertices(),
+                    });
+                }
+            }
+            if self.edge_weight(upd.u, upd.v).is_none() {
+                return Err(RoadError::NoSuchEdge { u: upd.u, v: upd.v });
+            }
+        }
+        for upd in updates {
+            self.set_edge_weight(upd.u, upd.v, upd.weight)
+                .expect("updates were validated");
+        }
+        Ok(())
     }
 
     /// Iterator over undirected edges `(u, v, w)` with `u < v`.
@@ -334,6 +422,47 @@ mod tests {
                 offset: 0.5
             }
         );
+    }
+
+    #[test]
+    fn set_edge_weight_updates_both_directions() {
+        let mut net = small_net();
+        let old = net.set_edge_weight(2, 1, 7.5).unwrap();
+        assert_eq!(old, 3.0);
+        assert_eq!(net.edge_weight(1, 2), Some(7.5));
+        assert_eq!(net.edge_weight(2, 1), Some(7.5));
+        assert_eq!(net.num_edges(), 4, "reweighting must not change topology");
+        assert!(matches!(
+            net.set_edge_weight(0, 2, 1.0),
+            Err(RoadError::NoSuchEdge { .. })
+        ));
+        assert!(matches!(
+            net.set_edge_weight(0, 1, -1.0),
+            Err(RoadError::InvalidWeight(_))
+        ));
+        assert!(matches!(
+            net.set_edge_weight(0, 9, 1.0),
+            Err(RoadError::VertexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn batched_updates_are_all_or_nothing() {
+        let mut net = small_net();
+        let bad = [EdgeUpdate::new(0, 1, 4.0), EdgeUpdate::new(0, 2, 1.0)];
+        assert!(matches!(
+            net.apply_edge_updates(&bad),
+            Err(RoadError::NoSuchEdge { .. })
+        ));
+        assert_eq!(
+            net.edge_weight(0, 1),
+            Some(2.0),
+            "failed batch must leave the network untouched"
+        );
+        let good = [EdgeUpdate::new(0, 1, 4.0), EdgeUpdate::new(2, 3, 0.5)];
+        net.apply_edge_updates(&good).unwrap();
+        assert_eq!(net.edge_weight(0, 1), Some(4.0));
+        assert_eq!(net.edge_weight(2, 3), Some(0.5));
     }
 
     #[test]

@@ -268,6 +268,45 @@ pub fn group_user_targets(
     }))
 }
 
+/// Removes the grouped seeds of one user from a [`group_user_targets`]
+/// grouping, given the location the user held when the grouping was built
+/// (its endpoints name the leaves holding the user's rows). Returns the
+/// number of seeds removed. Incremental counterpart of rebuilding the
+/// grouping after a user departs or moves.
+pub fn remove_user_target(
+    tree: &GTree,
+    net: &RoadNetwork,
+    targets: &mut LeafTargets,
+    user: u32,
+    old_location: &Location,
+) -> usize {
+    let seeds = location_seeds(net, old_location);
+    let vertices: Vec<crate::network::RoadVertexId> = seeds.into_iter().map(|(v, _)| v).collect();
+    tree.remove_target_item(targets, user, &vertices)
+}
+
+/// Adds one user's seeds at `location` to a [`group_user_targets`] grouping
+/// (same per-seed semantics: an on-edge user contributes a seed at each
+/// endpoint with the current partial-edge offsets). Incremental counterpart
+/// of rebuilding the grouping after a user arrives or moves — and the
+/// refresh path after an edge reweight changes an on-edge user's
+/// far-endpoint offset (remove, then re-add at the same location).
+pub fn add_user_target(
+    tree: &GTree,
+    net: &RoadNetwork,
+    targets: &mut LeafTargets,
+    user: u32,
+    location: &Location,
+) {
+    tree.add_target_seeds(
+        targets,
+        location_seeds(net, location)
+            .into_iter()
+            .filter(|&(_, off)| off.is_finite())
+            .map(|(v, off)| (user, v, off)),
+    );
+}
+
 /// The PR-2 per-seed leaf-batched strategy: one pruned top-down walk per
 /// query seed over the pre-grouped user targets, intersecting the
 /// per-query-location threshold predicates in this merge loop. Kept as the
@@ -701,6 +740,93 @@ mod tests {
                     filter.users_within_with(&net, &q, t, &users, None, &mut scratch, &mut out);
                     assert_eq!(out, fresh, "{} diverges without targets", filter.name());
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn incrementally_maintained_targets_match_regrouping() {
+        use crate::network::EdgeUpdate;
+        let net0 = grid(6, 6);
+        let mut tree = GTree::build_with_capacity(&net0, 6);
+        let mut users: Vec<Location> = (0..36u32).map(Location::vertex).collect();
+        users[3] = Location::OnEdge {
+            u: 3,
+            v: 4,
+            offset: 0.25,
+        };
+        let mut targets = group_user_targets(&tree, &net0, &users);
+
+        // Reweight the edge under user 3 and refresh its rows, then move two
+        // users; the maintained grouping must serve filter results identical
+        // to a from-scratch regrouping at every step.
+        let mut net = net0.clone();
+        net.set_edge_weight(3, 4, 2.0).unwrap();
+        tree.apply_edge_updates(&net, &[EdgeUpdate::new(3, 4, 2.0)]);
+        let old = users[3];
+        remove_user_target(&tree, &net, &mut targets, 3, &old);
+        add_user_target(&tree, &net, &mut targets, 3, &old);
+
+        let moves = [
+            (3u32, Location::vertex(30)),
+            (
+                10,
+                Location::OnEdge {
+                    u: 14,
+                    v: 15,
+                    offset: 0.5,
+                },
+            ),
+        ];
+        for &(user, loc) in &moves {
+            let old = users[user as usize];
+            remove_user_target(&tree, &net, &mut targets, user, &old);
+            add_user_target(&tree, &net, &mut targets, user, &loc);
+            users[user as usize] = loc;
+        }
+
+        let regrouped = group_user_targets(&tree, &net, &users);
+        assert_eq!(targets.num_seeds(), regrouped.num_seeds());
+        let q = [Location::vertex(0), Location::vertex(21)];
+        let mut scratch = FilterScratch::new();
+        let mut via_maintained = Vec::new();
+        let mut via_regrouped = Vec::new();
+        for t in [0.5, 2.0, 4.0, 100.0] {
+            for filter in [
+                RangeFilter::GTreeLeafBatched(&tree),
+                RangeFilter::GTreeMultiSeedBatched(&tree),
+            ] {
+                filter.users_within_with(
+                    &net,
+                    &q,
+                    t,
+                    &users,
+                    Some(&targets),
+                    &mut scratch,
+                    &mut via_maintained,
+                );
+                filter.users_within_with(
+                    &net,
+                    &q,
+                    t,
+                    &users,
+                    Some(&regrouped),
+                    &mut scratch,
+                    &mut via_regrouped,
+                );
+                assert_eq!(
+                    via_maintained,
+                    via_regrouped,
+                    "{} diverges on maintained targets at t = {t}",
+                    filter.name()
+                );
+                let sweep = RangeFilter::DijkstraSweep.users_within(&net, &q, t, &users);
+                assert_eq!(
+                    via_maintained,
+                    sweep,
+                    "{} diverges from the sweep at t = {t}",
+                    filter.name()
+                );
             }
         }
     }

@@ -26,7 +26,8 @@ fn main() {
     // would keep warm between author queries.
     let engine = MacEngine::build(dataset.rsn.clone());
     let mut session = engine.session();
-    let rsn = engine.network();
+    let epoch = engine.epoch();
+    let rsn = epoch.network();
 
     // Four senior researchers (co-located, high coreness) as query authors;
     // the user mostly cares about activeness (attribute 3) but cannot commit

@@ -18,8 +18,10 @@
 //!   replaced.
 
 use proptest::prelude::*;
+use rand::prelude::*;
+use rand::rngs::StdRng;
 use road_social_mac::datagen::road::{generate_road, RoadConfig};
-use road_social_mac::road::{GTree, RoadNetwork};
+use road_social_mac::road::{sssp, EdgeUpdate, GTree, RoadNetwork};
 
 fn check_invariants(net: &RoadNetwork, tree: &GTree) {
     let n = net.num_vertices();
@@ -146,6 +148,67 @@ proptest! {
         let net = generate_road(&RoadConfig::with_size(road_n, seed));
         let tree = GTree::build_with_capacity(&net, leaf_capacity);
         check_invariants(&net, &tree);
+    }
+
+    /// Incremental maintenance preserves every build invariant: after random
+    /// reweight batches, the updated tree still satisfies the full structural
+    /// suite (in particular, the precomputed `border_rows`/`leaf_pos` arrays
+    /// stay consistent with the `ub_index` reference maps — updates must
+    /// never touch the index structure), its matrices match a from-scratch
+    /// build on the updated network node for node, and distances match
+    /// Dijkstra.
+    #[test]
+    fn gtree_incremental_updates_preserve_invariants(
+        seed in 0u64..10_000,
+        road_n in 40usize..180,
+        leaf_capacity in 4usize..32,
+    ) {
+        let net0 = generate_road(&RoadConfig::with_size(road_n, seed));
+        let mut edges: Vec<(u32, u32, f64)> = net0.edges().collect();
+        prop_assert!(!edges.is_empty(), "generated road networks are non-trivial");
+        let mut tree = GTree::build_with_capacity(&net0, leaf_capacity);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD9);
+        for _round in 0..3 {
+            let mut batch = Vec::new();
+            for _ in 0..rng.random_range(1..5usize) {
+                let idx = rng.random_range(0..edges.len());
+                let w = rng.random_range(0.25..8.0);
+                edges[idx].2 = w;
+                batch.push(EdgeUpdate::new(edges[idx].0, edges[idx].1, w));
+            }
+            let net = RoadNetwork::from_edges(net0.num_vertices(), &edges);
+            let stats = tree.apply_edge_updates(&net, &batch);
+            prop_assert!(stats.dirty_leaves + stats.dirty_internal <= stats.total_nodes);
+            check_invariants(&net, &tree);
+            let fresh = GTree::build_with_capacity(&net, leaf_capacity);
+            prop_assert_eq!(tree.num_nodes(), fresh.num_nodes());
+            for id in 0..tree.num_nodes() {
+                let ub = tree.union_borders_of(id).len();
+                prop_assert_eq!(fresh.union_borders_of(id).len(), ub);
+                for i in 0..ub {
+                    for j in 0..ub {
+                        let a = tree.matrix_entry(id, i, j);
+                        let b = fresh.matrix_entry(id, i, j);
+                        prop_assert!(
+                            a == b || (a - b).abs() < 1e-9,
+                            "node {} matrix diverged from fresh build at ({}, {}): {} vs {}",
+                            id, i, j, a, b
+                        );
+                    }
+                }
+            }
+            let s = rng.random_range(0..net.num_vertices() as u32);
+            let d = sssp(&net, s);
+            for v in 0..net.num_vertices() as u32 {
+                let got = d[v as usize];
+                let want = tree.dist(s, v);
+                prop_assert!(
+                    got == want || (got - want).abs() < 1e-9,
+                    "updated tree distance {} -> {} is {} but Dijkstra says {}",
+                    s, v, want, got
+                );
+            }
+        }
     }
 }
 

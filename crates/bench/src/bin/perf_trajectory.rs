@@ -1,48 +1,40 @@
 //! Cross-PR performance trajectory recorder.
 //!
-//! Runs the MAC search on fixed datagen presets and writes `BENCH_PR5.json`
+//! Runs the MAC search on fixed datagen presets and writes `BENCH_PR6.json`
 //! (in the current directory), so later PRs can diff their wall-clock against
-//! this PR's numbers instead of guessing. The PR-5 record focuses on the
-//! **dynamic_traffic** workload this PR opens: a long-lived engine absorbing
-//! interleaved road-edge reweights and user churn through
-//! `MacEngine::apply_updates` while serving the PR-4 high-QPS query mix.
+//! this PR's numbers instead of guessing. The PR-6 record measures what this
+//! PR's robustness layer costs: **budget polling overhead** on the PR-4
+//! serving presets — the same workload served unbudgeted (the exact path)
+//! and under an *armed* budget (finite work limit + far deadline, so the
+//! amortized ticker checks actually run on every pipeline stage).
 //!
-//! * **Correctness gate** — after every update batch, the incrementally
-//!   updated engine is compared against an engine **rebuilt from scratch**
-//!   on independently tracked shadow state (edge list + location vector the
-//!   recorder mutates itself): all workload queries must return identical
-//!   cells before anything is timed.
-//! * **Incremental vs rebuild** — the same delta schedule is then replayed
-//!   twice under the clock: once through `apply_updates` (dirty G-tree
-//!   matrix paths, per-leaf user-row edits, epoch swap) and once as the full
-//!   alternative (`with_gtree_index` + `MacEngine::build` on the post-batch
-//!   network). The record asserts the incremental path wins on every preset.
-//! * **Serving through churn** — steady-state session throughput after the
-//!   final epoch, for continuity with the PR-4 serving rows.
+//! * **Identity gate** — before anything is timed, every armed-budget answer
+//!   is asserted cell-identical to the unbudgeted answer (budget polling
+//!   must never change a result), and a zero deadline is asserted to degrade
+//!   every query to `QueryOutcome::Partial` without panicking.
+//! * **Overhead gate** — the armed serving rate must stay within 5% of the
+//!   unbudgeted rate on every preset (best-of-`reps` on both sides).
 //!
 //! Usage: `cargo run --release -p rsn-bench --bin perf_trajectory [reps]`
-//! (`reps` overrides the per-measurement repetitions, default 3; the best of
+//! (`reps` overrides the per-measurement repetitions, default 5; the best of
 //! the repetitions is recorded). `--smoke` runs a single tiny preset once —
-//! including the full apply_updates gate — and writes `BENCH_SMOKE.json`,
-//! which CI uploads as a workflow artifact on every run.
+//! including both gates — and writes `BENCH_SMOKE.json`, which CI uploads as
+//! a workflow artifact on every run.
 
-use rsn_core::{
-    AlgorithmChoice, MacEngine, MacQuery, MacSearchResult, NetworkDelta, RoadSocialNetwork,
-};
+use rsn_core::{AlgorithmChoice, MacEngine, MacQuery, MacSearchResult, QueryBudget, QueryOutcome};
 use rsn_datagen::presets::{build_preset_scaled, Dataset, PresetName, PresetScale};
 use rsn_geom::region::PrefRegion;
 use rsn_geom::weights::WeightVector;
-use rsn_road::network::{Location, RoadNetwork};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-const OUTPUT: &str = "BENCH_PR5.json";
+const OUTPUT: &str = "BENCH_PR6.json";
 const SMOKE_OUTPUT: &str = "BENCH_SMOKE.json";
 /// Queries per serving workload (per preset).
 const WORKLOAD_QUERIES: usize = 12;
-/// Update batches per preset (each = edge reweights + user moves).
-const UPDATE_BATCHES: usize = 5;
-/// Passes over the workload for the serving-throughput measurement.
+/// Passes over the workload for each serving-rate measurement.
 const SERVING_PASSES: usize = 50;
+/// The acceptance ceiling on the armed-budget overhead.
+const MAX_OVERHEAD_FRACTION: f64 = 0.05;
 
 struct Spec {
     name: PresetName,
@@ -54,80 +46,32 @@ struct Spec {
     t_scale: f64,
 }
 
-/// One dynamic-traffic batch composition: how many reweights and moves per
-/// batch and where the reweights land.
-#[derive(Clone, Copy)]
-struct Scenario {
-    name: &'static str,
-    /// Road-segment reweights per batch.
-    edges_per_batch: usize,
-    /// User moves per batch.
-    users_per_batch: usize,
-    /// `Some(frac)`: all reweights land in one contiguous window covering
-    /// `frac` of the canonical edge order (vertex ids are spatially coherent,
-    /// so this models a congested metro area); `None`: network-wide traffic.
-    edge_window: Option<f64>,
-}
-
-const SCENARIOS: [Scenario; 3] = [
-    // Users move, roads stay: the dominant delta mix of a serving workload.
-    // The G-tree is untouched, so an update is pure per-leaf row editing.
-    Scenario {
-        name: "user-churn",
-        edges_per_batch: 0,
-        users_per_batch: 48,
-        edge_window: None,
-    },
-    // A congested metro area: reweights concentrate spatially.
-    Scenario {
-        name: "regional-traffic",
-        edges_per_batch: 24,
-        users_per_batch: 12,
-        edge_window: Some(0.04),
-    },
-    // Network-wide traffic shifts: the adversarial case for incrementality
-    // (almost every batch drags the top-of-tree matrices along).
-    Scenario {
-        name: "global-traffic",
-        edges_per_batch: 24,
-        users_per_batch: 12,
-        edge_window: None,
-    },
-];
-
 struct PresetRow {
     label: String,
-    scenario: &'static str,
     users: usize,
     road_vertices: usize,
     workload: usize,
-    batches: usize,
-    edge_updates_total: usize,
-    user_moves_total: usize,
+    passes: usize,
     gtree_build_s: f64,
     engine_build_s: f64,
-    /// Summed apply_updates wall-clock over the whole schedule (best rep).
-    incremental_total_s: f64,
-    /// Summed index+engine rebuild wall-clock over the schedule (best rep).
-    rebuild_total_s: f64,
-    /// Mean fraction of G-tree nodes recomputed per batch.
-    dirty_fraction_mean: f64,
-    /// How many batches re-ran the calibration probe.
-    recalibrations: usize,
-    /// Serving throughput through one session after the final epoch.
-    serving_qps_after_churn: f64,
-    final_epoch: u64,
+    /// Wall-clock of one full serving sweep, exact (unbudgeted) path.
+    unbudgeted_s: f64,
+    /// Wall-clock of the same sweep under the armed budget.
+    armed_s: f64,
+    /// Zero-deadline queries that degraded to `Partial` (must equal the
+    /// workload size — every one, no panics).
+    zero_deadline_partials: usize,
 }
 
 impl PresetRow {
-    fn incremental_mean_batch_s(&self) -> f64 {
-        self.incremental_total_s / self.batches.max(1) as f64
+    fn unbudgeted_qps(&self) -> f64 {
+        (self.passes * self.workload) as f64 / self.unbudgeted_s.max(1e-12)
     }
-    fn rebuild_mean_batch_s(&self) -> f64 {
-        self.rebuild_total_s / self.batches.max(1) as f64
+    fn armed_qps(&self) -> f64 {
+        (self.passes * self.workload) as f64 / self.armed_s.max(1e-12)
     }
-    fn speedup(&self) -> f64 {
-        self.rebuild_total_s / self.incremental_total_s.max(1e-12)
+    fn overhead_fraction(&self) -> f64 {
+        self.armed_s / self.unbudgeted_s.max(1e-12) - 1.0
     }
 }
 
@@ -145,7 +89,8 @@ fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
 
 /// The PR-4 high-QPS serving workload: queries from ordinary *background*
 /// users (outside the planted deep groups), varying |Q| and t; all Problem 2
-/// through the exact global search so the rebuilt reference is well-defined.
+/// through the exact global search so both serving paths take identical
+/// algorithmic routes.
 fn build_workload(dataset: &Dataset, spec: &Spec, queries: usize) -> Vec<MacQuery> {
     let center = WeightVector::uniform(3).expect("d = 3");
     let region = PrefRegion::around(&center, spec.sigma).expect("valid region");
@@ -166,76 +111,13 @@ fn build_workload(dataset: &Dataset, spec: &Spec, queries: usize) -> Vec<MacQuer
         .collect()
 }
 
-/// The deterministic dynamic-traffic schedule: per batch, a set of edge
-/// reweights (multiplier cycle over deterministically picked segments,
-/// clamped so no resident on-edge user is stranded past its edge's new
-/// length) interleaved with user moves (background users hopping to vertex
-/// and on-edge locations). Returns the deltas paired with a snapshot of the
-/// shadow `(edges, locations)` state after each batch — the single source of
-/// truth the from-scratch reference engines are built from.
-#[allow(clippy::type_complexity)]
-fn build_update_schedule(
-    dataset: &Dataset,
-    edges: &mut [(u32, u32, f64)],
-    locations: &mut [Location],
-    batches: usize,
-    scenario: Scenario,
-) -> (
-    Vec<NetworkDelta>,
-    Vec<(Vec<(u32, u32, f64)>, Vec<Location>)>,
-) {
-    let edges_per_batch = scenario.edges_per_batch;
-    let users_per_batch = scenario.users_per_batch;
-    const MULTIPLIERS: [f64; 5] = [0.6, 0.85, 1.2, 1.6, 2.3];
-    let n_users = locations.len();
-    let n_road = dataset.rsn.road().num_vertices() as u32;
-    let m = edges.len();
-    // The canonical edge order is sorted by (u, v) and vertex ids are
-    // row-major, so a contiguous index window is a spatial region.
-    let (window_start, window_len) = match scenario.edge_window {
-        Some(frac) => {
-            let len = ((m as f64 * frac).ceil() as usize).clamp(1, m);
-            (m / 3, len)
-        }
-        None => (0, m),
-    };
-    let mut schedule = Vec::with_capacity(batches);
-    let mut post_states = Vec::with_capacity(batches);
-    for b in 0..batches {
-        let mut delta = NetworkDelta::new();
-        for i in 0..edges_per_batch.min(window_len) {
-            let idx = (window_start + (b * 9973 + i * 101 + 7) % window_len) % m;
-            let (u, v, w) = edges[idx];
-            let min_allowed = locations
-                .iter()
-                .filter_map(|loc| match *loc {
-                    Location::OnEdge {
-                        u: lu,
-                        v: lv,
-                        offset,
-                    } if (lu, lv) == (u, v) => Some(offset),
-                    _ => None,
-                })
-                .fold(0.0f64, f64::max);
-            let w_new = (w * MULTIPLIERS[(b + i) % MULTIPLIERS.len()]).max(min_allowed);
-            edges[idx].2 = w_new;
-            delta = delta.reweight_edge(u, v, w_new);
-        }
-        for i in 0..users_per_batch.min(n_users) {
-            let user = ((b * 677 + i * 397 + 11) % n_users) as u32;
-            let loc = if i % 3 == 0 {
-                let (u, v, w) = edges[(b * 131 + i * 29) % m];
-                Location::on_edge(u, v, 0.5 * w, w)
-            } else {
-                Location::Vertex(((b * 283 + i * 173) as u32 * 7 + 1) % n_road)
-            };
-            locations[user as usize] = loc;
-            delta = delta.move_user(user, loc);
-        }
-        schedule.push(delta);
-        post_states.push((edges.to_vec(), locations.to_vec()));
-    }
-    (schedule, post_states)
+/// An *armed* budget: finite limits far beyond any preset's real cost, so
+/// the ticker polls on every stage but never trips. (`QueryBudget::unlimited`
+/// would skip the polling entirely and measure nothing.)
+fn armed_budget() -> QueryBudget {
+    QueryBudget::new()
+        .with_work_limit(u64::MAX)
+        .with_deadline(Duration::from_secs(3600))
 }
 
 fn assert_results_identical(label: &str, a: &MacSearchResult, b: &MacSearchResult) {
@@ -256,13 +138,7 @@ fn assert_results_identical(label: &str, a: &MacSearchResult, b: &MacSearchResul
     }
 }
 
-fn measure_preset(
-    spec: &Spec,
-    scenario: Scenario,
-    reps: usize,
-    queries: usize,
-    batches: usize,
-) -> PresetRow {
+fn measure_preset(spec: &Spec, reps: usize, queries: usize) -> PresetRow {
     let dataset: Dataset = build_preset_scaled(
         spec.name,
         PresetScale {
@@ -273,121 +149,73 @@ fn measure_preset(
     );
     let workload = build_workload(&dataset, spec, queries);
 
-    // Shadow state the reference engines rebuild from.
-    let mut edges: Vec<(u32, u32, f64)> = dataset.rsn.road().edges().collect();
-    let mut locations: Vec<Location> = dataset.rsn.locations().to_vec();
-    let (schedule, post_states) =
-        build_update_schedule(&dataset, &mut edges, &mut locations, batches, scenario);
-    let rebuild_rsn = |state: &(Vec<(u32, u32, f64)>, Vec<Location>)| -> RoadSocialNetwork {
-        RoadSocialNetwork::new(
-            dataset.rsn.social().clone(),
-            RoadNetwork::from_edges(dataset.rsn.road().num_vertices(), &state.0),
-            state.1.clone(),
-            dataset.rsn.all_attributes().to_vec(),
-        )
-        .expect("shadow state stays consistent")
-    };
-
-    // Prepare the base indexed network + engine (both timed once, for the
-    // record's scale context).
     let (gtree_build_s, indexed) = best_of(1, || dataset.rsn.clone().with_gtree_index());
     let (engine_build_s, engine) = best_of(1, || MacEngine::build(indexed.clone()));
 
-    // ---- Correctness gate (untimed): after every batch, the incrementally
-    // updated engine must answer the whole workload identically to an engine
-    // rebuilt from scratch on the shadow post-batch state.
+    // ---- Identity gate (untimed): armed-budget answers must be Complete
+    // and cell-identical to the exact path, for every workload query.
     let mut session = engine.session();
-    let mut dirty_fraction_sum = 0.0;
-    let mut recalibrations = 0usize;
-    for (bi, delta) in schedule.iter().enumerate() {
-        let stats = engine
-            .apply_updates(delta)
-            .expect("schedule deltas are valid");
-        assert_eq!(stats.epoch, bi as u64 + 1);
-        if let Some(g) = stats.gtree {
-            dirty_fraction_sum += g.dirty_fraction();
-        }
-        if stats.recalibrated {
-            recalibrations += 1;
-        }
-        let reference =
-            MacEngine::build_uncalibrated(rebuild_rsn(&post_states[bi]).with_gtree_index());
-        let mut reference_session = reference.session();
-        for (qi, query) in workload.iter().enumerate() {
-            let updated = session
-                .execute_non_contained(query)
-                .expect("updated engine serves");
-            let rebuilt = reference_session
-                .execute_non_contained(query)
-                .expect("rebuilt engine serves");
-            assert_results_identical(&format!("batch {bi}, query {qi}"), &updated, &rebuilt);
-        }
-    }
-    let final_epoch = engine.epoch().id();
-
-    // ---- Incremental timing: replay the same schedule on fresh engines
-    // (rebuilt untimed per rep so every rep starts from the base epoch),
-    // clocking only the apply_updates calls.
-    let mut incremental_total_s = f64::INFINITY;
-    for _ in 0..reps {
-        let replay = MacEngine::build(indexed.clone());
-        let mut total = 0.0;
-        for delta in &schedule {
-            let start = Instant::now();
-            replay
-                .apply_updates(delta)
-                .expect("replay deltas are valid");
-            total += start.elapsed().as_secs_f64();
-        }
-        incremental_total_s = incremental_total_s.min(total);
+    let budget = armed_budget();
+    for (qi, query) in workload.iter().enumerate() {
+        let exact = session
+            .execute_non_contained(query)
+            .expect("exact path serves");
+        let outcome = session
+            .execute_with_budget(query, &budget)
+            .expect("armed path serves");
+        let QueryOutcome::Complete(armed) = outcome else {
+            panic!("query {qi}: the armed budget must never trip");
+        };
+        assert_results_identical(&format!("query {qi}"), &exact, &armed);
     }
 
-    // ---- Full-rebuild timing: what absorbing each batch costs without the
-    // update subsystem — rebuild the index and re-prepare the engine on the
-    // post-batch network (network assembly excluded from the clock; the
-    // serving system would have it either way).
-    let mut rebuild_total_s = f64::INFINITY;
-    for _ in 0..reps {
-        let mut total = 0.0;
-        for state in &post_states {
-            let plain = rebuild_rsn(state);
-            let start = Instant::now();
-            let engine = MacEngine::build(plain.with_gtree_index());
-            total += start.elapsed().as_secs_f64();
-            std::hint::black_box(engine);
+    // ---- Degradation gate (untimed): a zero deadline returns Partial on
+    // every query, never panics, never errors.
+    let zero = QueryBudget::new().with_deadline(Duration::ZERO);
+    let mut zero_deadline_partials = 0usize;
+    for (qi, query) in workload.iter().enumerate() {
+        match session
+            .execute_with_budget(query, &zero)
+            .expect("zero deadline is not an error")
+        {
+            QueryOutcome::Partial(_) => zero_deadline_partials += 1,
+            QueryOutcome::Complete(_) => panic!("query {qi}: zero deadline cannot complete"),
         }
-        rebuild_total_s = rebuild_total_s.min(total);
     }
 
-    // ---- Serving throughput after the final epoch (context row).
-    let (serving_s, _) = best_of(reps, || {
+    // ---- Serving rates: the same sweep, exact vs armed (best of reps).
+    let (unbudgeted_s, _) = best_of(reps, || {
         for _ in 0..SERVING_PASSES {
             for query in &workload {
                 session
                     .execute_non_contained(query)
-                    .expect("post-churn serving works");
+                    .expect("exact serving works");
             }
         }
     });
-    let serving_qps_after_churn = (SERVING_PASSES * workload.len()) as f64 / serving_s.max(1e-12);
+    let (armed_s, _) = best_of(reps, || {
+        for _ in 0..SERVING_PASSES {
+            for query in &workload {
+                let outcome = session
+                    .execute_with_budget(query, &budget)
+                    .expect("armed serving works");
+                assert!(outcome.is_complete(), "armed budget tripped mid-benchmark");
+                std::hint::black_box(outcome);
+            }
+        }
+    });
 
     PresetRow {
         label: format!("{}{}", dataset.name.label(), spec.label_suffix),
-        scenario: scenario.name,
         users: dataset.rsn.num_users(),
         road_vertices: dataset.rsn.road().num_vertices(),
         workload: workload.len(),
-        batches: schedule.len(),
-        edge_updates_total: schedule.iter().map(|d| d.edge_updates.len()).sum(),
-        user_moves_total: schedule.iter().map(|d| d.user_moves.len()).sum(),
+        passes: SERVING_PASSES,
         gtree_build_s,
         engine_build_s,
-        incremental_total_s,
-        rebuild_total_s,
-        dirty_fraction_mean: dirty_fraction_sum / schedule.len().max(1) as f64,
-        recalibrations,
-        serving_qps_after_churn,
-        final_epoch,
+        unbudgeted_s,
+        armed_s,
+        zero_deadline_partials,
     }
 }
 
@@ -396,66 +224,48 @@ fn json_row(r: &PresetRow) -> String {
         concat!(
             "    {{\n",
             "      \"preset\": \"{}\",\n",
-            "      \"scenario\": \"{}\",\n",
             "      \"users\": {},\n",
             "      \"road_vertices\": {},\n",
             "      \"workload_queries\": {},\n",
-            "      \"update_batches\": {},\n",
-            "      \"edge_reweights_total\": {},\n",
-            "      \"user_moves_total\": {},\n",
+            "      \"serving_passes\": {},\n",
             "      \"gtree_build_seconds\": {:.6},\n",
             "      \"engine_build_seconds\": {:.6},\n",
-            "      \"incremental_total_seconds\": {:.6},\n",
-            "      \"incremental_mean_batch_seconds\": {:.6},\n",
-            "      \"full_rebuild_total_seconds\": {:.6},\n",
-            "      \"full_rebuild_mean_batch_seconds\": {:.6},\n",
-            "      \"incremental_speedup\": {:.2},\n",
-            "      \"incremental_beats_rebuild\": {},\n",
-            "      \"gtree_dirty_fraction_mean\": {:.4},\n",
-            "      \"recalibrations\": {},\n",
-            "      \"serving_qps_after_churn\": {:.1},\n",
-            "      \"final_epoch\": {}\n",
+            "      \"unbudgeted_sweep_seconds\": {:.6},\n",
+            "      \"armed_budget_sweep_seconds\": {:.6},\n",
+            "      \"unbudgeted_qps\": {:.1},\n",
+            "      \"armed_budget_qps\": {:.1},\n",
+            "      \"budget_overhead_fraction\": {:.4},\n",
+            "      \"overhead_within_5_percent\": {},\n",
+            "      \"results_identical_to_unbudgeted\": true,\n",
+            "      \"zero_deadline_partials\": {}\n",
             "    }}"
         ),
         r.label,
-        r.scenario,
         r.users,
         r.road_vertices,
         r.workload,
-        r.batches,
-        r.edge_updates_total,
-        r.user_moves_total,
+        r.passes,
         r.gtree_build_s,
         r.engine_build_s,
-        r.incremental_total_s,
-        r.incremental_mean_batch_s(),
-        r.rebuild_total_s,
-        r.rebuild_mean_batch_s(),
-        r.speedup(),
-        r.incremental_total_s < r.rebuild_total_s,
-        r.dirty_fraction_mean,
-        r.recalibrations,
-        r.serving_qps_after_churn,
-        r.final_epoch,
+        r.unbudgeted_s,
+        r.armed_s,
+        r.unbudgeted_qps(),
+        r.armed_qps(),
+        r.overhead_fraction(),
+        r.overhead_fraction() <= MAX_OVERHEAD_FRACTION,
+        r.zero_deadline_partials,
     )
 }
 
 fn print_row(row: &PresetRow) {
     eprintln!(
-        "  [{}] {} batches ({} reweights + {} moves) | incremental {:.4}s total ({:.1} ms/batch, {:.0}% of tree dirty, {} recalibrations) vs full rebuild {:.3}s total ({:.1} ms/batch) -> {:.1}x | serving after churn {:.1} q/s (epoch {})",
-        row.scenario,
-        row.batches,
-        row.edge_updates_total,
-        row.user_moves_total,
-        row.incremental_total_s,
-        row.incremental_mean_batch_s() * 1e3,
-        row.dirty_fraction_mean * 100.0,
-        row.recalibrations,
-        row.rebuild_total_s,
-        row.rebuild_mean_batch_s() * 1e3,
-        row.speedup(),
-        row.serving_qps_after_churn,
-        row.final_epoch,
+        "  {} | exact {:.1} q/s vs armed {:.1} q/s -> overhead {:+.2}% | zero-deadline: {}/{} partial, 0 panics",
+        row.label,
+        row.unbudgeted_qps(),
+        row.armed_qps(),
+        row.overhead_fraction() * 100.0,
+        row.zero_deadline_partials,
+        row.workload,
     );
 }
 
@@ -473,20 +283,20 @@ fn write_record(path: &str, description: &str, pr: u32, reps: usize, rows: &[Pre
     eprintln!("wrote {path}");
 }
 
-const DESCRIPTION: &str = "Perf trajectory for the dynamic road-network update subsystem: \
-MacEngine::apply_updates absorbs interleaved edge reweights and user churn by patching the \
-current epoch copy-on-write (incremental G-tree matrix refresh over dirty leaf-to-root paths, \
-per-leaf user-target row edits, drift-gated recalibration) and swapping it in; after every \
-batch the updated engine is asserted query-identical to an engine rebuilt from scratch on \
-independently tracked shadow state before any timing runs";
+const DESCRIPTION: &str = "Perf trajectory for deadline-aware serving: the PR-4 serving \
+workload executed unbudgeted (exact path) and under an armed QueryBudget (work limit + far \
+deadline, amortized ticker polling active on every pipeline stage). Armed answers are asserted \
+cell-identical to the exact path and a zero deadline is asserted to degrade every query to a \
+Partial outcome without panicking before anything is timed; the armed sweep must stay within \
+5% of the unbudgeted sweep on every preset";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--smoke") {
-        // CI guard: one tiny preset, a short dynamic_traffic schedule, one
-        // repetition. The per-batch equivalence gate inside measure_preset
-        // still runs, so the apply_updates path cannot bit-rot silently; the
-        // small record is uploaded as a CI artifact on every run.
+        // CI guard: one tiny preset, one repetition. Both untimed gates
+        // (identity + zero-deadline degradation) still run, so the budgeted
+        // serving path cannot bit-rot silently; the small record is uploaded
+        // as a CI artifact on every run.
         let spec = Spec {
             name: PresetName::SfSlashdot,
             label_suffix: " (smoke)",
@@ -496,20 +306,14 @@ fn main() {
             sigma: 0.02,
             t_scale: 0.5,
         };
-        let smoke_scenario = Scenario {
-            name: "smoke",
-            edges_per_batch: 6,
-            users_per_batch: 4,
-            edge_window: None,
-        };
-        let row = measure_preset(&spec, smoke_scenario, 1, 4, 2);
+        let row = measure_preset(&spec, 1, 4);
         print_row(&row);
         write_record(
             SMOKE_OUTPUT,
-            "CI smoke record of the dynamic_traffic preset (tiny scale, 1 rep): \
-             apply_updates exercised end-to-end with the per-batch scratch-rebuild \
-             equivalence gate; timings are noise-scale and not comparable across runs",
-            5,
+            "CI smoke record of the budgeted serving path (tiny scale, 1 rep): \
+             armed-budget identity and zero-deadline degradation gates exercised \
+             end-to-end; timings are noise-scale and not comparable across runs",
+            6,
             1,
             &[row],
         );
@@ -519,7 +323,7 @@ fn main() {
     let reps: usize = args
         .first()
         .and_then(|s| s.parse().ok())
-        .unwrap_or(3)
+        .unwrap_or(5)
         .max(1);
 
     let specs = [
@@ -541,8 +345,8 @@ fn main() {
             sigma: 0.02,
             t_scale: 0.4,
         },
-        // Sparse-users-on-large-road regime: the G-tree rebuild dominates
-        // here, so this row shows the incremental win most directly.
+        // Sparse-users-on-large-road regime: the range filter dominates the
+        // query here, so this row stresses the polling inside the sweep/walk.
         Spec {
             name: PresetName::SfSlashdot,
             label_suffix: " (road-heavy)",
@@ -556,25 +360,23 @@ fn main() {
     let mut rows = Vec::new();
     for spec in &specs {
         eprintln!(
-            "measuring {}{} (k={}, {} batches per scenario, reps={reps})...",
+            "measuring {}{} (k={}, {} queries x {} passes, reps={reps})...",
             spec.name.label(),
             spec.label_suffix,
             spec.k,
-            UPDATE_BATCHES,
+            WORKLOAD_QUERIES,
+            SERVING_PASSES,
         );
-        for scenario in SCENARIOS {
-            let row = measure_preset(spec, scenario, reps, WORKLOAD_QUERIES, UPDATE_BATCHES);
-            print_row(&row);
-            assert!(
-                row.incremental_total_s < row.rebuild_total_s,
-                "{} [{}]: incremental updates ({:.4}s) must beat full rebuilds ({:.4}s)",
-                row.label,
-                row.scenario,
-                row.incremental_total_s,
-                row.rebuild_total_s
-            );
-            rows.push(row);
-        }
+        let row = measure_preset(spec, reps, WORKLOAD_QUERIES);
+        print_row(&row);
+        assert!(
+            row.overhead_fraction() <= MAX_OVERHEAD_FRACTION,
+            "{}: armed-budget overhead {:.2}% exceeds the {:.0}% ceiling",
+            row.label,
+            row.overhead_fraction() * 100.0,
+            MAX_OVERHEAD_FRACTION * 100.0
+        );
+        rows.push(row);
     }
-    write_record(OUTPUT, DESCRIPTION, 5, reps, &rows);
+    write_record(OUTPUT, DESCRIPTION, 6, reps, &rows);
 }

@@ -6,14 +6,15 @@
 //! extraction, `G_d` construction — so they share this context.
 
 use crate::error::MacError;
-use crate::ktcore::{maximal_kt_core_with, KtScratch};
+use crate::ktcore::{maximal_kt_core_budgeted, maximal_kt_core_with, KtOutcome, KtScratch};
 use crate::network::RoadSocialNetwork;
 use crate::query::MacQuery;
-use crate::result::Community;
+use crate::result::{Community, QueryPhase};
 use rsn_dom::attrs::AttrMatrix;
 use rsn_dom::dominance::DominanceGraph;
 use rsn_geom::weights::score_reduced;
 use rsn_graph::graph::{Graph, VertexId};
+use rsn_road::budget::BudgetTicker;
 use rsn_road::gtree::LeafTargets;
 use rsn_road::rangefilter::RangeFilterChoice;
 
@@ -38,6 +39,19 @@ impl ContextScratch {
     pub fn new() -> Self {
         ContextScratch::default()
     }
+}
+
+/// Outcome of a budget-limited [`SearchContext`] build.
+#[derive(Debug)]
+pub(crate) enum BuildOutcome<'a> {
+    /// The context is ready for the search stages (boxed: the context is an
+    /// order of magnitude larger than the other variants).
+    Ready(Box<SearchContext<'a>>),
+    /// No (k,t)-core exists; the query has an empty answer.
+    Empty,
+    /// The budget exhausted in the given pipeline phase before the context
+    /// was ready.
+    Exhausted(QueryPhase),
 }
 
 /// Shared state for one MAC query.
@@ -90,7 +104,51 @@ impl<'a> SearchContext<'a> {
         else {
             return Ok(None);
         };
-        let (local_graph, new_to_old) = rsn.social().induced_subgraph(&core.vertices);
+        Ok(Some(Self::assemble(rsn, query, core.vertices, scratch)))
+    }
+
+    /// Budgeted [`build_with`](Self::build_with): the (k,t)-core extraction
+    /// runs through the budgeted filter paths and the r-dominance graph
+    /// build is charged after the fact by its measured test count, so an
+    /// exhausted budget stops the pipeline between stages.
+    pub(crate) fn build_budgeted(
+        rsn: &'a RoadSocialNetwork,
+        query: &'a MacQuery,
+        filter_choice: RangeFilterChoice,
+        targets: Option<&LeafTargets>,
+        scratch: &mut ContextScratch,
+        ticker: &mut BudgetTicker,
+    ) -> Result<BuildOutcome<'a>, MacError> {
+        let core = match maximal_kt_core_budgeted(
+            rsn,
+            query,
+            filter_choice,
+            targets,
+            &mut scratch.kt,
+            ticker,
+        )? {
+            KtOutcome::Core(core) => core,
+            KtOutcome::Empty => return Ok(BuildOutcome::Empty),
+            KtOutcome::Exhausted(phase) => return Ok(BuildOutcome::Exhausted(phase)),
+        };
+        let ctx = Self::assemble(rsn, query, core.vertices, scratch);
+        // The dominance-graph build already happened; charge its measured
+        // cost so the budget reflects it before the search stages start.
+        if !ticker.charge(ctx.gd.tests_performed() as u64) {
+            return Ok(BuildOutcome::Exhausted(QueryPhase::ContextBuild));
+        }
+        Ok(BuildOutcome::Ready(Box::new(ctx)))
+    }
+
+    /// Shared tail of the context builds: induced local graph, id
+    /// translations, attribute matrix, and the r-dominance graph.
+    fn assemble(
+        rsn: &'a RoadSocialNetwork,
+        query: &'a MacQuery,
+        core_vertices: Vec<VertexId>,
+        scratch: &mut ContextScratch,
+    ) -> Self {
+        let (local_graph, new_to_old) = rsn.social().induced_subgraph(&core_vertices);
         let old_to_new = &mut scratch.old_to_new;
         old_to_new.clear();
         old_to_new.resize(rsn.num_users(), u32::MAX);
@@ -104,7 +162,7 @@ impl<'a> SearchContext<'a> {
         }
         let local_ids: Vec<u32> = (0..new_to_old.len() as u32).collect();
         let gd = DominanceGraph::build_flat(&local_ids, &attrs, &query.region);
-        Ok(Some(SearchContext {
+        SearchContext {
             rsn,
             query,
             core_vertices: new_to_old,
@@ -112,7 +170,7 @@ impl<'a> SearchContext<'a> {
             local_q,
             attrs,
             gd,
-        }))
+        }
     }
 
     /// Number of vertices in the (k,t)-core.

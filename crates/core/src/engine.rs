@@ -35,7 +35,7 @@
 //! Per-thread execution state lives in [`QuerySession`] (obtained via
 //! [`MacEngine::session`]); the engine itself holds no per-query state.
 
-use crate::error::MacError;
+use crate::error::{DeltaEntry, MacError};
 use crate::network::RoadSocialNetwork;
 use crate::query::MacQuery;
 use crate::session::QuerySession;
@@ -203,6 +203,53 @@ pub struct UpdateStats {
     pub elapsed_seconds: f64,
 }
 
+/// The stages of one [`MacEngine::apply_updates`] call, in execution order.
+/// The update pipeline is copy-on-write: every stage before [`Swap`](UpdateStage::Swap)
+/// works on a private copy of the epoch, so a failure (or an injected fault —
+/// see the `failpoints` feature) at any stage leaves the served epoch
+/// untouched, and `Swap` itself is a single pointer store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UpdateStage {
+    /// Up-front validation of the whole delta (per-entry, indexed errors).
+    Validate,
+    /// Incremental G-tree matrix refresh for the reweighted edges.
+    GTreeRefresh,
+    /// Per-leaf user-target row edits (moved + on-edge users).
+    LeafEdits,
+    /// Drift-gated calibration re-probe.
+    Recalibrate,
+    /// Publishing the new epoch (the single pointer store).
+    Swap,
+}
+
+impl UpdateStage {
+    /// All stages, in execution order.
+    pub const ALL: [UpdateStage; 5] = [
+        UpdateStage::Validate,
+        UpdateStage::GTreeRefresh,
+        UpdateStage::LeafEdits,
+        UpdateStage::Recalibrate,
+        UpdateStage::Swap,
+    ];
+
+    /// Stable lowercase name (log/diagnostic label).
+    pub fn name(self) -> &'static str {
+        match self {
+            UpdateStage::Validate => "validate",
+            UpdateStage::GTreeRefresh => "gtree-refresh",
+            UpdateStage::LeafEdits => "leaf-edits",
+            UpdateStage::Recalibrate => "recalibrate",
+            UpdateStage::Swap => "swap",
+        }
+    }
+}
+
+/// An injectable fault hook for [`MacEngine::apply_updates`] (test-only,
+/// behind the `failpoints` feature): called at each [`UpdateStage`], may
+/// return an error — or panic — to simulate a fault at that stage.
+#[cfg(feature = "failpoints")]
+type FailpointHook = Arc<dyn Fn(UpdateStage) -> Result<(), MacError> + Send + Sync>;
+
 #[derive(Debug)]
 struct EngineInner {
     rsn: RoadSocialNetwork,
@@ -219,13 +266,71 @@ struct EngineInner {
     measured_build: bool,
 }
 
-#[derive(Debug)]
 struct EngineShared {
     /// The epoch currently being served. Readers clone the `Arc` (one brief
     /// read lock per query); updates build the next epoch off-lock and swap.
     current: RwLock<Arc<EngineInner>>,
     /// Serializes writers so concurrent deltas cannot lose updates.
     update_lock: Mutex<()>,
+    /// Test-only fault-injection hook, fired at each [`UpdateStage`].
+    #[cfg(feature = "failpoints")]
+    failpoint: Mutex<Option<FailpointHook>>,
+}
+
+impl std::fmt::Debug for EngineShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Manual impl: the failpoint hook (when compiled in) is an opaque
+        // closure with no useful Debug form.
+        f.debug_struct("EngineShared")
+            .field("current", &self.current)
+            .field("update_lock", &self.update_lock)
+            .finish_non_exhaustive()
+    }
+}
+
+impl EngineShared {
+    /// Reads the served epoch, recovering from lock poisoning. The guarded
+    /// value is a single `Arc` that is only ever *stored* (never mutated in
+    /// place) under the write lock, so even a poisoned lock still guards a
+    /// fully consistent epoch — a panic between acquiring the write guard
+    /// and the store leaves the *previous* epoch in place, which is exactly
+    /// the rejected-delta contract.
+    fn read_current(&self) -> Arc<EngineInner> {
+        match self.current.read() {
+            Ok(guard) => guard.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+
+    /// Acquires the writer-serialization lock, recovering from poisoning:
+    /// the guarded value is a unit — there is no state to be torn — so a
+    /// previous writer's panic must not brick every later update.
+    fn lock_updates(&self) -> std::sync::MutexGuard<'_, ()> {
+        match self.update_lock.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Fires the injected fault hook for `stage` (no-op without the
+    /// `failpoints` feature).
+    #[cfg(feature = "failpoints")]
+    fn fire_failpoint(&self, stage: UpdateStage) -> Result<(), MacError> {
+        let hook = match self.failpoint.lock() {
+            Ok(guard) => guard.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        };
+        match hook {
+            Some(hook) => hook(stage),
+            None => Ok(()),
+        }
+    }
+
+    #[cfg(not(feature = "failpoints"))]
+    #[inline(always)]
+    fn fire_failpoint(&self, _stage: UpdateStage) -> Result<(), MacError> {
+        Ok(())
+    }
 }
 
 /// A prepared query-serving engine over one road-social network.
@@ -377,7 +482,35 @@ impl MacEngine {
                     measured_build: measure,
                 })),
                 update_lock: Mutex::new(()),
+                #[cfg(feature = "failpoints")]
+                failpoint: Mutex::new(None),
             }),
+        }
+    }
+
+    /// Installs a fault-injection hook fired at each [`UpdateStage`] of every
+    /// subsequent [`apply_updates`](Self::apply_updates) call (through any
+    /// clone of this engine). The hook may return an error — or panic — to
+    /// simulate a fault at that stage; either way the served epoch must stay
+    /// consistent. Test-only, behind the `failpoints` feature.
+    #[cfg(feature = "failpoints")]
+    pub fn set_failpoint<F>(&self, hook: F)
+    where
+        F: Fn(UpdateStage) -> Result<(), MacError> + Send + Sync + 'static,
+    {
+        let installed: FailpointHook = Arc::new(hook);
+        match self.shared.failpoint.lock() {
+            Ok(mut guard) => *guard = Some(installed),
+            Err(poisoned) => *poisoned.into_inner() = Some(installed),
+        }
+    }
+
+    /// Removes the installed fault-injection hook, if any.
+    #[cfg(feature = "failpoints")]
+    pub fn clear_failpoint(&self) {
+        match self.shared.failpoint.lock() {
+            Ok(mut guard) => *guard = None,
+            Err(poisoned) => *poisoned.into_inner() = None,
         }
     }
 
@@ -451,12 +584,7 @@ impl MacEngine {
     /// caller reads a consistent snapshot even while updates land.
     pub fn epoch(&self) -> EngineEpoch {
         EngineEpoch {
-            inner: self
-                .shared
-                .current
-                .read()
-                .expect("engine epoch lock")
-                .clone(),
+            inner: self.shared.read_current(),
         }
     }
 
@@ -510,13 +638,8 @@ impl MacEngine {
     /// advance.
     pub fn apply_updates(&self, delta: &NetworkDelta) -> Result<UpdateStats, MacError> {
         let start = Instant::now();
-        let _serialize = self.shared.update_lock.lock().expect("engine update lock");
-        let prev: Arc<EngineInner> = self
-            .shared
-            .current
-            .read()
-            .expect("engine epoch lock")
-            .clone();
+        let _serialize = self.shared.lock_updates();
+        let prev: Arc<EngineInner> = self.shared.read_current();
         if delta.is_empty() {
             return Ok(UpdateStats {
                 epoch: prev.epoch,
@@ -524,6 +647,9 @@ impl MacEngine {
                 ..UpdateStats::default()
             });
         }
+
+        self.shared.fire_failpoint(UpdateStage::Validate)?;
+        Self::validate_delta(&prev.rsn, delta)?;
 
         // Copy-on-write: patch a private copy; on any error it is dropped
         // and the served epoch stays live.
@@ -536,23 +662,38 @@ impl MacEngine {
             ..UpdateStats::default()
         };
 
+        let mut users_on_reweighted_edges = Vec::new();
         if !delta.edge_updates.is_empty() {
+            self.shared.fire_failpoint(UpdateStage::GTreeRefresh)?;
             let outcome = rsn.apply_edge_updates(&delta.edge_updates)?;
             stats.gtree = outcome.gtree;
-            // On-edge users of reweighted segments carry a stale far-endpoint
-            // seed offset (w - offset): refresh their grouped rows.
-            if let (Some(tree), Some(targets)) = (rsn.gtree(), user_targets.as_mut()) {
-                for &user in &outcome.users_on_reweighted_edges {
-                    let loc = *rsn.location(user);
-                    remove_user_target(tree, rsn.road(), targets, user, &loc);
-                    add_user_target(tree, rsn.road(), targets, user, &loc);
-                    stats.user_targets_refreshed += 1;
-                }
+            users_on_reweighted_edges = outcome.users_on_reweighted_edges;
+        }
+
+        self.shared.fire_failpoint(UpdateStage::LeafEdits)?;
+        // On-edge users of reweighted segments carry a stale far-endpoint
+        // seed offset (w - offset): refresh their grouped rows.
+        if let (Some(tree), Some(targets)) = (rsn.gtree(), user_targets.as_mut()) {
+            for &user in &users_on_reweighted_edges {
+                let loc = *rsn.location(user);
+                remove_user_target(tree, rsn.road(), targets, user, &loc);
+                add_user_target(tree, rsn.road(), targets, user, &loc);
+                stats.user_targets_refreshed += 1;
             }
         }
 
-        for &(user, location) in &delta.user_moves {
-            let old = rsn.set_user_location(user, location)?;
+        for (index, &(user, location)) in delta.user_moves.iter().enumerate() {
+            // Location validity depends on the post-reweight weights (the
+            // documented sequential semantics), so it is checked here rather
+            // than in the up-front validation — still all-or-nothing, since
+            // only the private copy has been touched.
+            let old =
+                rsn.set_user_location(user, location)
+                    .map_err(|cause| MacError::DeltaRejected {
+                        index,
+                        entry: DeltaEntry::UserMove { user },
+                        cause: Box::new(cause),
+                    })?;
             if let (Some(tree), Some(targets)) = (rsn.gtree(), user_targets.as_mut()) {
                 remove_user_target(tree, rsn.road(), targets, user, &old);
                 add_user_target(tree, rsn.road(), targets, user, &location);
@@ -562,6 +703,7 @@ impl MacEngine {
 
         // Drift-gated recalibration: the cost model's only weight-dependent
         // input is the sampled average edge weight; re-probe when it moved.
+        self.shared.fire_failpoint(UpdateStage::Recalibrate)?;
         let mut calibration = prev.calibration;
         let mut calibrated_avg_edge_weight = prev.calibrated_avg_edge_weight;
         if prev.measured_build && !delta.edge_updates.is_empty() {
@@ -591,9 +733,94 @@ impl MacEngine {
             calibrated_avg_edge_weight,
             measured_build: prev.measured_build,
         });
-        *self.shared.current.write().expect("engine epoch lock") = next;
+        {
+            let mut guard = match self.shared.current.write() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            // Fired while holding the write guard: an injected panic here
+            // poisons the lock with the *previous* epoch still in place —
+            // exactly the torn state the poison-recovering accessors must
+            // keep serving through.
+            self.shared.fire_failpoint(UpdateStage::Swap)?;
+            *guard = next;
+        }
         stats.elapsed_seconds = start.elapsed().as_secs_f64();
         Ok(stats)
+    }
+
+    /// Validates a delta's edge updates against the served network before any
+    /// mutation, attributing every rejection to its batch entry
+    /// ([`MacError::DeltaRejected`] names the edge/user and index): endpoint
+    /// range, edge existence, weight validity, and the stranded-on-edge-user
+    /// check against the final (last-update-wins) weights. User moves are
+    /// range-checked here; their location validity is checked at apply time
+    /// against the post-reweight weights (same attribution).
+    fn validate_delta(rsn: &RoadSocialNetwork, delta: &NetworkDelta) -> Result<(), MacError> {
+        use rsn_road::RoadError;
+        let road = rsn.road();
+        let num_vertices = road.num_vertices();
+        let canonical = |a: u32, b: u32| if a < b { (a, b) } else { (b, a) };
+        // Last update of an edge wins; remember which entry set it so the
+        // stranded check can name the culprit.
+        let mut final_weight: std::collections::HashMap<(u32, u32), (f64, usize)> =
+            std::collections::HashMap::new();
+        for (index, upd) in delta.edge_updates.iter().enumerate() {
+            let reject = |cause: MacError| MacError::DeltaRejected {
+                index,
+                entry: DeltaEntry::EdgeUpdate { u: upd.u, v: upd.v },
+                cause: Box::new(cause),
+            };
+            for endpoint in [upd.u, upd.v] {
+                if (endpoint as usize) >= num_vertices {
+                    return Err(reject(MacError::Road(RoadError::VertexOutOfRange {
+                        vertex: endpoint,
+                        num_vertices,
+                    })));
+                }
+            }
+            if road.edge_weight(upd.u, upd.v).is_none() {
+                return Err(reject(MacError::Road(RoadError::NoSuchEdge {
+                    u: upd.u,
+                    v: upd.v,
+                })));
+            }
+            if !(upd.weight.is_finite() && upd.weight >= 0.0) {
+                return Err(reject(MacError::Road(RoadError::InvalidWeight(upd.weight))));
+            }
+            final_weight.insert(canonical(upd.u, upd.v), (upd.weight, index));
+        }
+        for (user, loc) in rsn.locations().iter().enumerate() {
+            if let Location::OnEdge { u, v, offset } = *loc {
+                if let Some(&(w, index)) = final_weight.get(&canonical(u, v)) {
+                    if offset > w {
+                        let upd = &delta.edge_updates[index];
+                        return Err(MacError::DeltaRejected {
+                            index,
+                            entry: DeltaEntry::EdgeUpdate { u: upd.u, v: upd.v },
+                            cause: Box::new(MacError::StrandedOnEdgeUser {
+                                user: user as VertexId,
+                                offset,
+                                new_length: w,
+                            }),
+                        });
+                    }
+                }
+            }
+        }
+        for (index, &(user, _)) in delta.user_moves.iter().enumerate() {
+            if (user as usize) >= rsn.num_users() {
+                return Err(MacError::DeltaRejected {
+                    index,
+                    entry: DeltaEntry::UserMove { user },
+                    cause: Box::new(MacError::QueryVertexOutOfRange {
+                        vertex: user,
+                        num_vertices: rsn.num_users(),
+                    }),
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -858,6 +1085,128 @@ mod tests {
             vec![true, false, false],
             "refreshed seeds must exclude the now-distant on-edge user"
         );
+    }
+
+    #[test]
+    fn poisoned_locks_do_not_brick_the_engine() {
+        // A thread panicking while holding the epoch write lock (and the
+        // update mutex) poisons both. The epoch pointer is only ever stored
+        // whole under the write lock, so the poisoned locks still guard a
+        // consistent epoch — the engine must recover and keep serving.
+        let engine = MacEngine::build_uncalibrated(network(true));
+        let shared = Arc::clone(&engine.shared);
+        let panicked = std::thread::spawn(move || {
+            let _updates = shared.update_lock.lock().unwrap();
+            let _guard = shared.current.write().unwrap();
+            panic!("injected panic while holding engine locks");
+        })
+        .join();
+        assert!(panicked.is_err(), "the poisoning thread must have panicked");
+        assert!(engine.shared.current.is_poisoned(), "write lock poisoned");
+        // Reads recover.
+        let epoch = engine.epoch();
+        assert_eq!(epoch.id(), 0);
+        assert_eq!(epoch.network().road().edge_weight(0, 1), Some(1.0));
+        // Queries recover.
+        let mut session = engine.session();
+        let before = session.execute(&query()).unwrap();
+        // Updates recover, land, and are served.
+        let stats = engine
+            .apply_updates(&NetworkDelta::new().reweight_edge(0, 1, 2.0))
+            .unwrap();
+        assert_eq!(stats.epoch, 1);
+        assert_eq!(engine.epoch().network().road().edge_weight(0, 1), Some(2.0));
+        let after = session.execute(&query()).unwrap();
+        // Same communities either way on this network (the reweight keeps
+        // users 0..2 within t); the point is that both queries succeeded.
+        assert_eq!(before.cells.len(), after.cells.len());
+    }
+
+    #[test]
+    fn delta_rejections_name_the_entry_and_its_index() {
+        use crate::error::DeltaEntry;
+        let engine = MacEngine::build_uncalibrated(network(true));
+        // Missing edge at index 1.
+        let err = engine
+            .apply_updates(
+                &NetworkDelta::new()
+                    .reweight_edge(0, 1, 2.0)
+                    .reweight_edge(0, 2, 1.0),
+            )
+            .unwrap_err();
+        match &err {
+            MacError::DeltaRejected { index, entry, .. } => {
+                assert_eq!(*index, 1);
+                assert_eq!(*entry, DeltaEntry::EdgeUpdate { u: 0, v: 2 });
+            }
+            other => panic!("expected DeltaRejected, got {other:?}"),
+        }
+        assert_eq!(
+            err.to_string(),
+            "delta rejected: edge_updates[1] (segment 0-2): road network error: no road edge between 0 and 2"
+        );
+        // Invalid weight names its entry.
+        let err = engine
+            .apply_updates(&NetworkDelta::new().reweight_edge(1, 2, f64::NAN))
+            .unwrap_err();
+        assert!(err
+            .to_string()
+            .starts_with("delta rejected: edge_updates[0] (segment 1-2):"));
+        // Out-of-range user move at index 1 (after a valid move).
+        let err = engine
+            .apply_updates(
+                &NetworkDelta::new()
+                    .move_user(0, Location::vertex(1))
+                    .move_user(99, Location::vertex(0)),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "delta rejected: user_moves[1] (user 99): query vertex 99 out of range for social network with 6 users"
+        );
+        // Nothing landed.
+        assert_eq!(engine.epoch().id(), 0);
+        assert_eq!(engine.epoch().network().location(0), &Location::vertex(0));
+    }
+
+    #[test]
+    fn stranded_user_rejection_names_user_and_culprit_update() {
+        let social = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let road = RoadNetwork::from_edges(3, &[(0, 1, 5.0), (1, 2, 1.0)]);
+        let locations = vec![
+            Location::OnEdge {
+                u: 0,
+                v: 1,
+                offset: 3.0,
+            },
+            Location::vertex(1),
+            Location::vertex(2),
+        ];
+        let attrs = vec![vec![1.0]; 3];
+        let rsn = RoadSocialNetwork::new(social, road, locations, attrs).unwrap();
+        let engine = MacEngine::build_uncalibrated(rsn);
+        // Last update of the edge wins: the first shrink would strand, the
+        // second (index 1) is the one that counts and it also strands.
+        let err = engine
+            .apply_updates(
+                &NetworkDelta::new()
+                    .reweight_edge(0, 1, 1.0)
+                    .reweight_edge(1, 0, 2.0),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "delta rejected: edge_updates[1] (segment 1-0): on-edge user 0 at offset 3 would be stranded: edge shrinks to 2"
+        );
+        // And a growing final update un-strands: the delta applies.
+        engine
+            .apply_updates(
+                &NetworkDelta::new()
+                    .reweight_edge(0, 1, 1.0)
+                    .reweight_edge(0, 1, 6.0),
+            )
+            .unwrap();
+        assert_eq!(engine.epoch().network().road().edge_weight(0, 1), Some(6.0));
     }
 
     #[test]

@@ -2,7 +2,27 @@
 
 use rsn_geom::GeomError;
 use rsn_graph::GraphError;
-use rsn_road::RoadError;
+use rsn_road::{ExhaustionCause, RoadError};
+
+/// Which entry of a rejected [`NetworkDelta`](crate::engine::NetworkDelta)
+/// caused the rejection — carried by [`MacError::DeltaRejected`] so the
+/// `Display` message names the offending edge or user alongside its batch
+/// index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaEntry {
+    /// Entry `edge_updates[index]`, reweighting the segment `u`–`v`.
+    EdgeUpdate {
+        /// Edge endpoint.
+        u: u32,
+        /// Edge endpoint.
+        v: u32,
+    },
+    /// Entry `user_moves[index]`, relocating `user`.
+    UserMove {
+        /// Social vertex id of the user being moved.
+        user: u32,
+    },
+}
 
 /// Errors raised when validating or executing a MAC query.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +57,36 @@ pub enum MacError {
     Road(RoadError),
     /// An error bubbled up from the preference-domain geometry.
     Geom(GeomError),
+    /// A strict-mode query exhausted its [`QueryBudget`](crate::budget::QueryBudget)
+    /// before completing. The graceful-degradation paths return
+    /// [`QueryOutcome::Partial`](crate::result::QueryOutcome::Partial)
+    /// instead of this error.
+    BudgetExhausted(ExhaustionCause),
+    /// Query execution panicked and the panic was contained by the session
+    /// guard; the session scratch was rebuilt and the engine stays
+    /// serviceable. Carries the panic payload's message when one exists.
+    ExecutionPanicked(String),
+    /// A [`NetworkDelta`](crate::engine::NetworkDelta) batch was rejected:
+    /// names the offending entry (edge or user plus its index within the
+    /// batch) and the underlying cause. The served epoch is unchanged.
+    DeltaRejected {
+        /// Index of the entry within its batch vector.
+        index: usize,
+        /// Which entry was rejected.
+        entry: DeltaEntry,
+        /// The underlying validation error.
+        cause: Box<MacError>,
+    },
+    /// An edge reweight would strand an on-edge user: the user's offset
+    /// exceeds the edge's new length.
+    StrandedOnEdgeUser {
+        /// Social vertex id of the stranded user.
+        user: u32,
+        /// The user's current offset along the edge.
+        offset: f64,
+        /// The edge length the update would impose.
+        new_length: f64,
+    },
 }
 
 impl std::fmt::Display for MacError {
@@ -66,6 +116,34 @@ impl std::fmt::Display for MacError {
             MacError::Graph(e) => write!(f, "graph error: {e}"),
             MacError::Road(e) => write!(f, "road network error: {e}"),
             MacError::Geom(e) => write!(f, "preference geometry error: {e}"),
+            MacError::BudgetExhausted(cause) => {
+                write!(f, "query budget exhausted: {cause}")
+            }
+            MacError::ExecutionPanicked(msg) => {
+                write!(f, "query execution panicked (contained): {msg}")
+            }
+            MacError::DeltaRejected {
+                index,
+                entry,
+                cause,
+            } => match entry {
+                DeltaEntry::EdgeUpdate { u, v } => write!(
+                    f,
+                    "delta rejected: edge_updates[{index}] (segment {u}-{v}): {cause}"
+                ),
+                DeltaEntry::UserMove { user } => write!(
+                    f,
+                    "delta rejected: user_moves[{index}] (user {user}): {cause}"
+                ),
+            },
+            MacError::StrandedOnEdgeUser {
+                user,
+                offset,
+                new_length,
+            } => write!(
+                f,
+                "on-edge user {user} at offset {offset} would be stranded: edge shrinks to {new_length}"
+            ),
         }
     }
 }

@@ -33,11 +33,12 @@ use crate::context::SearchContext;
 use crate::error::MacError;
 use crate::network::RoadSocialNetwork;
 use crate::query::MacQuery;
-use crate::result::{CellResult, Community, MacSearchResult, SearchStats};
+use crate::result::{BudgetedRun, CellResult, Community, MacSearchResult, SearchStats};
 use rsn_geom::cell::Cell;
 use rsn_geom::halfspace::HalfSpace;
 use rsn_geom::partition::arrange;
 use rsn_graph::subgraph::{Checkpoint, SubgraphView};
+use rsn_road::budget::BudgetTicker;
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -217,6 +218,94 @@ impl<'a> GlobalSearch<'a> {
         }
     }
 
+    /// Budgeted [`explore_context`](Self::explore_context): always serial (a
+    /// shared ticker cannot be split across workers, and the serial order
+    /// guarantees a partial run's cells are a prefix of the full run's), the
+    /// exploration charges one unit per DFS task and stops cooperatively.
+    /// Cells reported before exhaustion are exact; `remaining` counts the
+    /// tasks and top-level cells known to be left undone.
+    pub(crate) fn explore_context_budgeted(
+        ctx: &SearchContext<'_>,
+        top_j_mode: bool,
+        ticker: &mut BudgetTicker,
+    ) -> BudgetedRun {
+        let start = Instant::now();
+        let mut base_stats = SearchStats {
+            kt_core_vertices: ctx.core_size(),
+            kt_core_edges: ctx.core_edges(),
+            dominance_tests: ctx.gd.tests_performed(),
+            memory_bytes: ctx.gd.memory_bytes(),
+            ..SearchStats::default()
+        };
+        let k = ctx.query.k;
+        let q = ctx.local_q.clone();
+        let j = if top_j_mode { ctx.query.j } else { 1 };
+
+        // Guard before the root arrangement, whose half-space set is
+        // quadratic in the initial leaf count.
+        if !ticker.charge(1) {
+            base_stats.elapsed_seconds = start.elapsed().as_secs_f64();
+            return BudgetedRun {
+                result: MacSearchResult {
+                    cells: Vec::new(),
+                    stats: base_stats,
+                },
+                completed: false,
+                explored: 0,
+                remaining: 1,
+            };
+        }
+
+        let root_cell = Cell::from_region(&ctx.query.region);
+        let mut root_worker = Worker::new(ctx, k, &q, j, base_stats);
+        let mut view = SubgraphView::full(&ctx.local_graph);
+        root_worker.account_memory(&view, &root_cell, 1);
+        let leaves0: Vec<u32> = ctx
+            .gd
+            .leaves_within(view.alive_mask())
+            .into_iter()
+            .map(|v| v as u32)
+            .collect();
+        let hps = root_worker.halfspaces(&leaves0, &[]);
+        let top_cells = arrange(&root_cell, &hps);
+        root_worker.stats.partitions_explored += top_cells.len();
+        let total_cells = top_cells.len() as u64;
+
+        let mut explored = 1u64;
+        let mut remaining = 0u64;
+        let mut completed = true;
+        // Charge the root arrangement after the fact, then walk the
+        // top-level cells in the serial order.
+        if !ticker.charge(leaves0.len() as u64 + total_cells) {
+            completed = false;
+            remaining = total_cells;
+        } else {
+            let leaves0 = Rc::new(leaves0);
+            for (i, cell) in top_cells.into_iter().enumerate() {
+                let (done, cell_explored, dropped) =
+                    root_worker.run_top_cell_budgeted(&mut view, cell, leaves0.clone(), ticker);
+                explored += cell_explored;
+                if !done {
+                    completed = false;
+                    remaining = dropped + (total_cells - i as u64 - 1);
+                    break;
+                }
+            }
+        }
+
+        let mut stats = root_worker.stats;
+        stats.elapsed_seconds = start.elapsed().as_secs_f64();
+        BudgetedRun {
+            result: MacSearchResult {
+                cells: root_worker.out_cells,
+                stats,
+            },
+            completed,
+            explored,
+            remaining,
+        }
+    }
+
     /// Distributes the top-level cells over `workers` scoped threads. Each
     /// worker owns a fresh full [`SubgraphView`] of the (k,t)-core (the state
     /// every top-level cell starts from) and claims cells through a shared
@@ -312,6 +401,63 @@ impl<'c, 'g> Worker<'c, 'g> {
                 }
             }
         }
+    }
+
+    /// Budgeted [`run_top_cell`](Self::run_top_cell): charges one unit per
+    /// popped task. On exhaustion the remaining stack is unwound — pending
+    /// `Retreat` rollbacks are applied innermost-first so the shared view
+    /// (and the deletion history) return to the untouched (k,t)-core state,
+    /// while dropped `Visit`/`Arrange` tasks are only counted. Returns
+    /// `(completed, tasks executed, tasks dropped)`.
+    fn run_top_cell_budgeted(
+        &mut self,
+        view: &mut SubgraphView<'_>,
+        cell: Cell,
+        leaves: Rc<Vec<u32>>,
+        ticker: &mut BudgetTicker,
+    ) -> (bool, u64, u64) {
+        debug_assert!(self.stack.is_empty() && self.deletion_groups.is_empty());
+        self.stack.push(Task::Visit {
+            cell,
+            leaves,
+            depth: 1,
+        });
+        let mut executed = 0u64;
+        while let Some(task) = self.stack.pop() {
+            if !ticker.charge(1) {
+                let mut dropped = 0u64;
+                let mut next = Some(task);
+                while let Some(t) = next {
+                    if let Task::Retreat { cp } = t {
+                        self.deletion_groups.pop();
+                        view.rollback(cp);
+                    } else {
+                        dropped += 1;
+                    }
+                    next = self.stack.pop();
+                }
+                debug_assert!(self.deletion_groups.is_empty());
+                return (false, executed, dropped);
+            }
+            executed += 1;
+            match task {
+                Task::Arrange {
+                    cell,
+                    settled,
+                    depth,
+                } => self.arrange_state(view, cell, settled, depth),
+                Task::Visit {
+                    cell,
+                    leaves,
+                    depth,
+                } => self.visit_cell(view, cell, leaves, depth),
+                Task::Retreat { cp } => {
+                    self.deletion_groups.pop();
+                    view.rollback(cp);
+                }
+            }
+        }
+        (true, executed, 0)
     }
 
     /// Track an approximate peak of live search memory (Fig. 11(d)): the DFS

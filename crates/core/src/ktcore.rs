@@ -12,6 +12,7 @@ use crate::query::MacQuery;
 use rsn_graph::core_decomp::{coreness_upper_bound, maximal_connected_k_core_containing};
 use rsn_graph::graph::VertexId;
 use rsn_graph::subgraph::SubgraphView;
+use rsn_road::budget::BudgetTicker;
 use rsn_road::gtree::LeafTargets;
 use rsn_road::network::Location;
 use rsn_road::rangefilter::{FilterScratch, RangeFilterChoice};
@@ -90,6 +91,49 @@ pub fn maximal_kt_core_with(
     targets: Option<&LeafTargets>,
     scratch: &mut KtScratch,
 ) -> Result<Option<KtCore>, MacError> {
+    match kt_core_impl(rsn, query, filter_choice, targets, scratch, None)? {
+        KtOutcome::Core(core) => Ok(Some(core)),
+        KtOutcome::Empty => Ok(None),
+        KtOutcome::Exhausted(_) => unreachable!("unbudgeted extraction cannot exhaust"),
+    }
+}
+
+/// Outcome of a budget-limited (k,t)-core extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum KtOutcome {
+    /// The maximal (k,t)-core exists.
+    Core(KtCore),
+    /// No (k,t)-core exists for this query.
+    Empty,
+    /// The budget exhausted before the extraction finished, in the given
+    /// pipeline phase.
+    Exhausted(crate::result::QueryPhase),
+}
+
+/// Budgeted [`maximal_kt_core_with`]: the range filter runs through the
+/// budgeted strategy paths and the peel is charged as a lump up front, so a
+/// spent ticker stops the extraction before the expensive stages run.
+pub(crate) fn maximal_kt_core_budgeted(
+    rsn: &RoadSocialNetwork,
+    query: &MacQuery,
+    filter_choice: RangeFilterChoice,
+    targets: Option<&LeafTargets>,
+    scratch: &mut KtScratch,
+    ticker: &mut BudgetTicker,
+) -> Result<KtOutcome, MacError> {
+    kt_core_impl(rsn, query, filter_choice, targets, scratch, Some(ticker))
+}
+
+/// Shared implementation of the one-shot and budgeted extractions; an absent
+/// ticker runs the original unbudgeted code paths exactly.
+fn kt_core_impl(
+    rsn: &RoadSocialNetwork,
+    query: &MacQuery,
+    filter_choice: RangeFilterChoice,
+    targets: Option<&LeafTargets>,
+    scratch: &mut KtScratch,
+    mut ticker: Option<&mut BudgetTicker>,
+) -> Result<KtOutcome, MacError> {
     query.validate(rsn)?;
     let social = rsn.social();
 
@@ -107,25 +151,51 @@ pub fn maximal_kt_core_with(
     q_locations.clear();
     q_locations.extend(query.q.iter().map(|&v| *rsn.location(v)));
     let filter = rsn.range_filter(filter_choice, q_locations.len(), query.t);
-    filter.users_within_with(
-        rsn.road(),
-        q_locations,
-        query.t,
-        rsn.locations(),
-        targets,
-        filter_scratch,
-        within,
-    );
+    match ticker.as_deref_mut() {
+        Some(t) => {
+            if !filter.users_within_with_budget(
+                rsn.road(),
+                q_locations,
+                query.t,
+                rsn.locations(),
+                targets,
+                filter_scratch,
+                within,
+                t,
+            ) {
+                return Ok(KtOutcome::Exhausted(crate::result::QueryPhase::Filter));
+            }
+        }
+        None => filter.users_within_with(
+            rsn.road(),
+            q_locations,
+            query.t,
+            rsn.locations(),
+            targets,
+            filter_scratch,
+            within,
+        ),
+    }
     if query.q.iter().any(|&v| !within[v as usize]) {
         // some query users are farther than t from each other
-        return Ok(None);
+        return Ok(KtOutcome::Empty);
     }
 
     // Coreness upper bound on the filtered subgraph (Section III).
     let filtered = SubgraphView::from_mask(social, within);
     let (n_f, m_f) = (filtered.num_alive(), filtered.num_alive_edges());
     if n_f == 0 || query.k > coreness_upper_bound(n_f, m_f).max(1) {
-        return Ok(None);
+        return Ok(KtOutcome::Empty);
+    }
+
+    // The peel visits every filtered vertex and edge a bounded number of
+    // times; charge it as one lump before running it.
+    if let Some(t) = ticker {
+        if !t.charge((n_f + m_f) as u64) {
+            return Ok(KtOutcome::Exhausted(
+                crate::result::QueryPhase::CoreExtraction,
+            ));
+        }
     }
 
     // Lemma 2: maximal connected k-core containing Q within the filtered graph.
@@ -141,14 +211,17 @@ pub fn maximal_kt_core_with(
     }
     let local_q: Vec<VertexId> = query.q.iter().map(|&v| old_to_new[v as usize]).collect();
     let core = maximal_connected_k_core_containing(&induced, query.k, &local_q)?;
-    Ok(core.map(|local_vertices| {
-        let mut vertices: Vec<VertexId> = local_vertices
-            .into_iter()
-            .map(|v| new_to_old[v as usize])
-            .collect();
-        vertices.sort_unstable();
-        KtCore { vertices }
-    }))
+    Ok(match core {
+        Some(local_vertices) => {
+            let mut vertices: Vec<VertexId> = local_vertices
+                .into_iter()
+                .map(|v| new_to_old[v as usize])
+                .collect();
+            vertices.sort_unstable();
+            KtOutcome::Core(KtCore { vertices })
+        }
+        None => KtOutcome::Empty,
+    })
 }
 
 #[cfg(test)]

@@ -63,6 +63,7 @@
 //! [`QuerySession`] resolves `AlgorithmChoice::Auto` between them through
 //! the engine's calibration.
 
+pub mod budget;
 pub mod context;
 pub mod engine;
 pub mod error;
@@ -75,14 +76,19 @@ pub mod query;
 pub mod result;
 pub mod session;
 
+pub use budget::{BudgetTicker, ExhaustionCause, QueryBudget};
 pub use context::{ContextScratch, SearchContext};
 pub use engine::{
-    AlgorithmChoice, EngineCalibration, EngineEpoch, MacEngine, NetworkDelta, UpdateStats,
+    AlgorithmChoice, EngineCalibration, EngineEpoch, MacEngine, NetworkDelta, UpdateStage,
+    UpdateStats,
 };
-pub use error::MacError;
+pub use error::{DeltaEntry, MacError};
 pub use global::GlobalSearch;
 pub use local::{ExpandStrategy, LocalSearch};
 pub use network::RoadSocialNetwork;
 pub use query::MacQuery;
-pub use result::{CellResult, Community, MacSearchResult, SearchStats};
-pub use session::{BatchOutcome, BatchStats, QuerySession};
+pub use result::{
+    CellResult, Community, MacSearchResult, PartialResult, QueryOutcome, QueryPhase, QueryProgress,
+    SearchStats,
+};
+pub use session::{BatchOutcome, BatchStats, BudgetedBatchOutcome, QuerySession};

@@ -18,11 +18,12 @@ use crate::error::MacError;
 use crate::network::RoadSocialNetwork;
 use crate::peel::peel_at_weight;
 use crate::query::MacQuery;
-use crate::result::{CellResult, MacSearchResult, SearchStats};
+use crate::result::{BudgetedRun, CellResult, MacSearchResult, SearchStats};
 use rsn_geom::cell::Cell;
 use rsn_geom::halfspace::HalfSpace;
 use rsn_geom::partition::PartitionTree;
 use rsn_graph::subgraph::SubgraphView;
+use rsn_road::budget::BudgetTicker;
 use std::collections::HashSet;
 use std::time::Instant;
 
@@ -163,6 +164,92 @@ impl<'a> LocalSearch<'a> {
         MacSearchResult {
             cells: out_cells,
             stats,
+        }
+    }
+
+    /// Budgeted [`run_context`](Self::run_context): the expansion is charged
+    /// as one lump (it is bounded by the core size times the candidate cap)
+    /// and the verification loop checks the budget at every candidate
+    /// boundary, so an exhausted run drops whole candidates — every reported
+    /// cell stays exact and a partial answer is a subset of the full one.
+    pub(crate) fn run_context_budgeted(
+        ctx: &SearchContext<'_>,
+        strategy: ExpandStrategy,
+        max_candidates: usize,
+        top_j_mode: bool,
+        ticker: &mut BudgetTicker,
+    ) -> BudgetedRun {
+        let start = Instant::now();
+        let mut stats = SearchStats {
+            kt_core_vertices: ctx.core_size(),
+            kt_core_edges: ctx.core_edges(),
+            dominance_tests: ctx.gd.tests_performed(),
+            memory_bytes: ctx.gd.memory_bytes(),
+            ..SearchStats::default()
+        };
+
+        // --- Expand (Algorithm 4), charged as one lump up front ---
+        if !ticker.charge(ctx.core_size() as u64) {
+            stats.elapsed_seconds = start.elapsed().as_secs_f64();
+            return BudgetedRun {
+                result: MacSearchResult {
+                    cells: Vec::new(),
+                    stats,
+                },
+                completed: false,
+                explored: 0,
+                remaining: 1,
+            };
+        }
+        let candidates = Self::expand(ctx, strategy, max_candidates);
+        stats.candidates_generated = candidates.len();
+        let total = candidates.len() as u64;
+
+        // --- Verify (Algorithm 5), budget checked per candidate ---
+        let mut out_cells: Vec<CellResult> = Vec::new();
+        let mut seen: HashSet<Vec<u32>> = HashSet::new();
+        let mut explored = 0u64;
+        let mut completed = true;
+        for (i, cand) in candidates.into_iter().enumerate() {
+            // One candidate's verification is roughly linear in its size;
+            // charge it at the boundary so exhaustion drops it whole.
+            if !ticker.charge(cand.len() as u64 + 1) {
+                completed = false;
+                break;
+            }
+            explored = i as u64 + 1;
+            if !seen.insert(cand.clone()) {
+                continue;
+            }
+            let verified = Self::verify(ctx, &cand, &mut stats);
+            for (cell, sample) in verified {
+                let communities = if top_j_mode {
+                    let outcome = peel_at_weight(ctx, &sample);
+                    outcome
+                        .top_j(ctx.query.j)
+                        .into_iter()
+                        .map(|locals| ctx.community_from_locals(&locals))
+                        .collect()
+                } else {
+                    vec![ctx.community_from_locals(&cand)]
+                };
+                out_cells.push(CellResult {
+                    cell,
+                    sample_weight: sample,
+                    communities,
+                });
+            }
+        }
+
+        stats.elapsed_seconds = start.elapsed().as_secs_f64();
+        BudgetedRun {
+            result: MacSearchResult {
+                cells: out_cells,
+                stats,
+            },
+            completed,
+            explored,
+            remaining: total - explored,
         }
     }
 

@@ -152,10 +152,11 @@ impl RoadSocialNetwork {
             if let Location::OnEdge { u, v, offset } = *loc {
                 if let Some(&w) = final_weight.get(&canonical(u, v)) {
                     if offset > w {
-                        return Err(MacError::Road(rsn_road::RoadError::InvalidOffset {
+                        return Err(MacError::StrandedOnEdgeUser {
+                            user: user as VertexId,
                             offset,
-                            edge_length: w,
-                        }));
+                            new_length: w,
+                        });
                     }
                     users_on_reweighted_edges.push(user as VertexId);
                 }
@@ -381,7 +382,7 @@ mod tests {
         let err = rsn.apply_edge_updates(&[EdgeUpdate::new(1, 2, 1.0)]);
         assert!(matches!(
             err,
-            Err(MacError::Road(rsn_road::RoadError::InvalidOffset { .. }))
+            Err(MacError::StrandedOnEdgeUser { user: 1, .. })
         ));
         assert_eq!(rsn.road().edge_weight(1, 2), Some(2.0));
         // A valid reweight refreshes the index and names the on-edge user.

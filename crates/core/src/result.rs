@@ -128,6 +128,142 @@ impl MacSearchResult {
     }
 }
 
+/// Which stage of the query pipeline a budgeted run was in when it stopped
+/// (or finished).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryPhase {
+    /// The Lemma-1 range filter (who is within query distance `t`).
+    Filter,
+    /// Maximal (k,t)-core extraction (peeling).
+    CoreExtraction,
+    /// Search-context construction (r-dominance graph build).
+    ContextBuild,
+    /// Global search over the arrangement of `R`.
+    GlobalSearch,
+    /// Local search candidate generation and verification.
+    LocalSearch,
+}
+
+impl QueryPhase {
+    /// Short label for diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryPhase::Filter => "filter",
+            QueryPhase::CoreExtraction => "core-extraction",
+            QueryPhase::ContextBuild => "context-build",
+            QueryPhase::GlobalSearch => "global-search",
+            QueryPhase::LocalSearch => "local-search",
+        }
+    }
+}
+
+/// Progress counters of a budget-limited run: how far the search got before
+/// the budget exhausted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryProgress {
+    /// The pipeline stage the run stopped in.
+    pub phase: QueryPhase,
+    /// Work units the search completed (stage-specific: arrangement tasks in
+    /// the global search, candidates in the local search).
+    pub explored: u64,
+    /// Work units known to be left undone when the budget exhausted (a lower
+    /// bound: unexplored subtrees may have expanded further).
+    pub remaining: u64,
+}
+
+/// A budget-exhausted query answer: the best-so-far communities plus why and
+/// where the run stopped.
+#[derive(Debug, Clone)]
+pub struct PartialResult {
+    /// Communities confirmed before exhaustion. Every cell is exact — a
+    /// subset of the full run's answer — but cells the search never reached
+    /// are missing.
+    pub result: MacSearchResult,
+    /// Why the budget exhausted.
+    pub cause: rsn_road::ExhaustionCause,
+    /// How far the run got.
+    pub progress: QueryProgress,
+}
+
+/// The outcome of a budgeted query: either the exact answer, or the
+/// best-so-far answer of a run stopped by its
+/// [`QueryBudget`](crate::budget::QueryBudget).
+///
+/// ```
+/// use rsn_core::{MacEngine, MacQuery, QueryBudget, QueryOutcome, RoadSocialNetwork};
+/// # fn demo(engine: &MacEngine, query: &MacQuery) -> Result<(), rsn_core::MacError> {
+/// let mut session = engine.session();
+/// match session.execute_with_budget(query, &QueryBudget::new().with_work_limit(100_000))? {
+///     QueryOutcome::Complete(result) => println!("{} cells", result.num_cells()),
+///     QueryOutcome::Partial(partial) => println!(
+///         "stopped by {} in {}: {} cells so far",
+///         partial.cause,
+///         partial.progress.phase.name(),
+///         partial.result.num_cells()
+///     ),
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub enum QueryOutcome {
+    /// The search ran to completion; the result is exact.
+    Complete(MacSearchResult),
+    /// The budget exhausted first; the result holds every community
+    /// confirmed so far.
+    Partial(PartialResult),
+}
+
+impl QueryOutcome {
+    /// The result payload, complete or partial.
+    pub fn result(&self) -> &MacSearchResult {
+        match self {
+            QueryOutcome::Complete(r) => r,
+            QueryOutcome::Partial(p) => &p.result,
+        }
+    }
+
+    /// Consumes the outcome, returning the result payload.
+    pub fn into_result(self) -> MacSearchResult {
+        match self {
+            QueryOutcome::Complete(r) => r,
+            QueryOutcome::Partial(p) => p.result,
+        }
+    }
+
+    /// Whether the budget exhausted before the search finished.
+    pub fn is_partial(&self) -> bool {
+        matches!(self, QueryOutcome::Partial(_))
+    }
+
+    /// Whether the search ran to completion.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, QueryOutcome::Complete(_))
+    }
+
+    /// Progress counters when the outcome is partial.
+    pub fn progress(&self) -> Option<&QueryProgress> {
+        match self {
+            QueryOutcome::Complete(_) => None,
+            QueryOutcome::Partial(p) => Some(&p.progress),
+        }
+    }
+}
+
+/// Internal carrier of one budgeted algorithm stage: the communities found,
+/// whether the stage completed, and its work counters.
+#[derive(Debug)]
+pub(crate) struct BudgetedRun {
+    /// Cells confirmed so far (exact, possibly incomplete coverage).
+    pub result: MacSearchResult,
+    /// `true` when the stage ran to completion.
+    pub completed: bool,
+    /// Work units completed.
+    pub explored: u64,
+    /// Work units known undone (0 when `completed`).
+    pub remaining: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,13 +17,19 @@
 //! sharing one cloned engine. See the scoped-thread test in
 //! `tests/engine_session.rs` for the intended concurrent shape.
 
-use crate::context::{ContextScratch, SearchContext};
+use crate::budget::QueryBudget;
+use crate::context::{BuildOutcome, ContextScratch, SearchContext};
 use crate::engine::{AlgorithmChoice, MacEngine};
 use crate::error::MacError;
 use crate::global::GlobalSearch;
 use crate::local::{ExpandStrategy, LocalSearch};
 use crate::query::MacQuery;
-use crate::result::{MacSearchResult, SearchStats};
+use crate::result::{
+    MacSearchResult, PartialResult, QueryOutcome, QueryPhase, QueryProgress, SearchStats,
+};
+use rsn_road::budget::BudgetTicker;
+use rsn_road::ExhaustionCause;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// A per-thread handle executing MAC queries against a prepared engine.
@@ -45,6 +51,10 @@ pub struct QuerySession {
     /// Candidate budget of the local framework.
     max_candidates: usize,
     executed: u64,
+    /// Test-only: makes the next query panic mid-execution, exercising the
+    /// panic guard (see [`inject_panic_on_next_query`](Self::inject_panic_on_next_query)).
+    #[cfg(feature = "failpoints")]
+    panic_next: bool,
 }
 
 /// The outcome of one [`QuerySession::execute_batch`] call.
@@ -67,6 +77,23 @@ pub struct BatchStats {
     pub queries_per_second: f64,
 }
 
+/// The outcome of one [`QuerySession::execute_batch_with_budget`] call.
+///
+/// Unlike the all-or-nothing [`execute_batch`](QuerySession::execute_batch),
+/// the budgeted batch degrades gracefully: every query gets its own slot, an
+/// invalid query or a contained panic records its error in place, and the
+/// batch keeps serving the remaining queries.
+#[derive(Debug)]
+pub struct BudgetedBatchOutcome {
+    /// Per-query outcomes, in input order. `Ok` carries a
+    /// [`QueryOutcome`] (complete or partial); `Err` records why that one
+    /// query failed without aborting the batch.
+    pub outcomes: Vec<Result<QueryOutcome, MacError>>,
+    /// Aggregate throughput statistics for the batch (counts every slot,
+    /// including failed ones).
+    pub stats: BatchStats,
+}
+
 impl QuerySession {
     pub(crate) fn new(engine: MacEngine) -> Self {
         QuerySession {
@@ -76,8 +103,31 @@ impl QuerySession {
             strategy: ExpandStrategy::default(),
             max_candidates: 12,
             executed: 0,
+            #[cfg(feature = "failpoints")]
+            panic_next: false,
         }
     }
+
+    /// Arms a one-shot injected panic: the next `execute*` call panics
+    /// mid-execution (after the epoch is pinned, before any result exists),
+    /// exercising the session's panic containment. Test-only, behind the
+    /// `failpoints` feature.
+    #[cfg(feature = "failpoints")]
+    pub fn inject_panic_on_next_query(&mut self) {
+        self.panic_next = true;
+    }
+
+    /// Fires (and disarms) the injected query panic, if armed.
+    #[cfg(feature = "failpoints")]
+    fn fire_query_failpoint(&mut self) {
+        if std::mem::take(&mut self.panic_next) {
+            panic!("injected query panic");
+        }
+    }
+
+    #[cfg(not(feature = "failpoints"))]
+    #[inline(always)]
+    fn fire_query_failpoint(&mut self) {}
 
     /// Sets the number of worker threads the global search uses for
     /// independent top-level cells (`1` = serial, `0` = all cores). Serving
@@ -115,17 +165,85 @@ impl QuerySession {
     /// query: top-j (Problem 1) when `j > 1`, non-contained MAC (Problem 2)
     /// otherwise — the two coincide at `j = 1`.
     pub fn execute(&mut self, query: &MacQuery) -> Result<MacSearchResult, MacError> {
-        self.run(query, query.j > 1)
+        self.run_complete(query, query.j > 1)
     }
 
     /// Executes one query as Problem 2: the non-contained MAC per partition.
     pub fn execute_non_contained(&mut self, query: &MacQuery) -> Result<MacSearchResult, MacError> {
-        self.run(query, false)
+        self.run_complete(query, false)
     }
 
     /// Executes one query as Problem 1: the top-j MACs per partition.
     pub fn execute_top_j(&mut self, query: &MacQuery) -> Result<MacSearchResult, MacError> {
-        self.run(query, true)
+        self.run_complete(query, true)
+    }
+
+    /// Executes one query under a [`QueryBudget`], degrading gracefully: when
+    /// the budget exhausts mid-query the session returns
+    /// [`QueryOutcome::Partial`] carrying every community confirmed so far
+    /// plus progress counters, instead of an error. An
+    /// [unlimited](QueryBudget::is_unlimited) budget takes the exact
+    /// (unbudgeted) path and always yields [`QueryOutcome::Complete`] with a
+    /// result identical to [`execute`](Self::execute).
+    ///
+    /// The problem is inferred from the query's `j`, as in
+    /// [`execute`](Self::execute). `Err` is reserved for invalid queries and
+    /// contained panics — budget exhaustion is never an error here (see
+    /// [`execute_with_budget_strict`](Self::execute_with_budget_strict) for
+    /// the strict contract).
+    pub fn execute_with_budget(
+        &mut self,
+        query: &MacQuery,
+        budget: &QueryBudget,
+    ) -> Result<QueryOutcome, MacError> {
+        self.run_guarded(query, query.j > 1, Some(budget))
+    }
+
+    /// Strict variant of [`execute_with_budget`](Self::execute_with_budget):
+    /// budget exhaustion is an error
+    /// ([`MacError::BudgetExhausted`])
+    /// instead of a partial answer. For callers that would rather retry with
+    /// a bigger budget than serve a truncated result.
+    pub fn execute_with_budget_strict(
+        &mut self,
+        query: &MacQuery,
+        budget: &QueryBudget,
+    ) -> Result<MacSearchResult, MacError> {
+        match self.execute_with_budget(query, budget)? {
+            QueryOutcome::Complete(result) => Ok(result),
+            QueryOutcome::Partial(partial) => Err(MacError::BudgetExhausted(partial.cause)),
+        }
+    }
+
+    /// Executes a batch of queries, arming `budget` afresh for each one
+    /// (per-query deadline/work-limit; a shared cancel flag stops the whole
+    /// batch cooperatively). Unlike [`execute_batch`](Self::execute_batch)
+    /// this never aborts early: an invalid query or a contained panic records
+    /// its error in its slot and serving continues with the next query.
+    pub fn execute_batch_with_budget(
+        &mut self,
+        queries: &[MacQuery],
+        budget: &QueryBudget,
+    ) -> BudgetedBatchOutcome {
+        let start = Instant::now();
+        let mut outcomes = Vec::with_capacity(queries.len());
+        for query in queries {
+            outcomes.push(self.execute_with_budget(query, budget));
+        }
+        let elapsed_seconds = start.elapsed().as_secs_f64();
+        let queries_per_second = if queries.is_empty() {
+            0.0
+        } else {
+            queries.len() as f64 / elapsed_seconds.max(1e-12)
+        };
+        BudgetedBatchOutcome {
+            outcomes,
+            stats: BatchStats {
+                queries: queries.len(),
+                elapsed_seconds,
+                queries_per_second,
+            },
+        }
     }
 
     /// Executes a batch of queries through this session's scratch, returning
@@ -154,12 +272,165 @@ impl QuerySession {
         })
     }
 
-    fn run(&mut self, query: &MacQuery, top_j_mode: bool) -> Result<MacSearchResult, MacError> {
+    /// Unbudgeted entry used by the plain `execute*` family: routes through
+    /// the panic guard (a contained panic surfaces as
+    /// [`MacError::ExecutionPanicked`](crate::MacError::ExecutionPanicked)
+    /// with the session scratch rebuilt) but never produces a partial answer.
+    fn run_complete(
+        &mut self,
+        query: &MacQuery,
+        top_j_mode: bool,
+    ) -> Result<MacSearchResult, MacError> {
+        match self.run_guarded(query, top_j_mode, None)? {
+            QueryOutcome::Complete(result) => Ok(result),
+            QueryOutcome::Partial(_) => unreachable!("unbudgeted run cannot be partial"),
+        }
+    }
+
+    /// Panic-isolating wrapper around the two inner paths. A panic escaping
+    /// query execution is caught here; the session's scratch may have been
+    /// mid-mutation, so it is poisoned-and-rebuilt (fresh buffers, one-time
+    /// re-allocation cost) and the panic is reported as a contained
+    /// [`MacError::ExecutionPanicked`](crate::MacError::ExecutionPanicked).
+    /// The engine's shared state is immutable per epoch, so no other session
+    /// can observe the torn intermediate state.
+    fn run_guarded(
+        &mut self,
+        query: &MacQuery,
+        top_j_mode: bool,
+        budget: Option<&QueryBudget>,
+    ) -> Result<QueryOutcome, MacError> {
+        let guarded = catch_unwind(AssertUnwindSafe(|| match budget {
+            Some(budget) if !budget.is_unlimited() => {
+                let mut ticker = budget.arm();
+                self.run_budgeted(query, top_j_mode, &mut ticker)
+            }
+            _ => self
+                .run_exact(query, top_j_mode)
+                .map(QueryOutcome::Complete),
+        }));
+        match guarded {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                // The scratch buffers may hold torn intermediate state from
+                // the unwound query; rebuild them so the session stays
+                // serviceable.
+                self.scratch = ContextScratch::new();
+                let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                Err(MacError::ExecutionPanicked(msg))
+            }
+        }
+    }
+
+    /// Budget-limited inner path: every pipeline stage polls the ticker, and
+    /// exhaustion at any point degrades to a [`QueryOutcome::Partial`]
+    /// carrying the cells confirmed so far (each exact — the budgeted stages
+    /// only ever drop whole units of work, never truncate a reported cell).
+    fn run_budgeted(
+        &mut self,
+        query: &MacQuery,
+        top_j_mode: bool,
+        ticker: &mut BudgetTicker,
+    ) -> Result<QueryOutcome, MacError> {
+        let start = Instant::now();
+        let epoch = self.engine.epoch();
+        self.fire_query_failpoint();
+        let filter = epoch.resolve_filter(query);
+        let rsn = epoch.network();
+        let built = SearchContext::build_budgeted(
+            rsn,
+            query,
+            filter,
+            epoch.user_targets(),
+            &mut self.scratch,
+            ticker,
+        )?;
+        let ctx = match built {
+            BuildOutcome::Ready(ctx) => ctx,
+            BuildOutcome::Empty => {
+                self.executed += 1;
+                return Ok(QueryOutcome::Complete(Self::empty_result(start)));
+            }
+            BuildOutcome::Exhausted(phase) => {
+                self.executed += 1;
+                return Ok(QueryOutcome::Partial(PartialResult {
+                    result: Self::empty_result(start),
+                    cause: ticker.cause().unwrap_or(ExhaustionCause::WorkLimit),
+                    progress: QueryProgress {
+                        phase,
+                        explored: ticker.spent(),
+                        // The pipeline stopped before the search stages; at
+                        // least the current stage's work is known undone.
+                        remaining: 1,
+                    },
+                }));
+            }
+        };
+        let algorithm = epoch.resolve_algorithm(query.algorithm, ctx.core_size());
+        let (mut run, phase) = match algorithm {
+            AlgorithmChoice::Local => (
+                LocalSearch::run_context_budgeted(
+                    &ctx,
+                    self.strategy,
+                    self.max_candidates,
+                    top_j_mode,
+                    ticker,
+                ),
+                QueryPhase::LocalSearch,
+            ),
+            // resolve_algorithm never returns Auto. Budgeted global search is
+            // serial regardless of `parallelism`: the ticker is shared
+            // mutable state, and a serial prefix is what makes a partial
+            // answer a strict subset of the full run.
+            _ => (
+                GlobalSearch::explore_context_budgeted(&ctx, top_j_mode, ticker),
+                QueryPhase::GlobalSearch,
+            ),
+        };
+        run.result.stats.elapsed_seconds = start.elapsed().as_secs_f64();
+        self.executed += 1;
+        if run.completed {
+            Ok(QueryOutcome::Complete(run.result))
+        } else {
+            Ok(QueryOutcome::Partial(PartialResult {
+                result: run.result,
+                cause: ticker.cause().unwrap_or(ExhaustionCause::WorkLimit),
+                progress: QueryProgress {
+                    phase,
+                    explored: run.explored,
+                    remaining: run.remaining,
+                },
+            }))
+        }
+    }
+
+    fn empty_result(start: Instant) -> MacSearchResult {
+        MacSearchResult {
+            cells: Vec::new(),
+            stats: SearchStats {
+                elapsed_seconds: start.elapsed().as_secs_f64(),
+                ..SearchStats::default()
+            },
+        }
+    }
+
+    fn run_exact(
+        &mut self,
+        query: &MacQuery,
+        top_j_mode: bool,
+    ) -> Result<MacSearchResult, MacError> {
         let start = Instant::now();
         // Pin the epoch being served: a concurrently applied NetworkDelta
         // swaps the engine's pointer but never mutates this snapshot, so the
         // whole query runs against one consistent network + index + grouping.
         let epoch = self.engine.epoch();
+        self.fire_query_failpoint();
         let filter = epoch.resolve_filter(query);
         let rsn = epoch.network();
         // The context borrows the epoch's network and the caller's query;

@@ -1,0 +1,202 @@
+//! Cooperative work budgets for the query-path primitives.
+//!
+//! MAC queries are exact but worst-case expensive, and the serving layer
+//! built on top of this crate needs every long-running primitive — the
+//! bounded Dijkstra sweep, the multi-seed G-tree walk, the range filter —
+//! to stop *cooperatively* when a deadline passes, a work limit is hit, or
+//! a caller flips a cancellation flag. [`BudgetTicker`] is that mechanism:
+//! a cheap amortized tick counter the hot loops charge as they go.
+//!
+//! The cost discipline matters more than the feature set here. A charge is
+//! one saturating add plus one integer compare in the common case; the
+//! expensive checks (an atomic load for cancellation, an `Instant::now()`
+//! for the deadline) run only every [`CHECK_INTERVAL`] charged units. The
+//! **first** charge always runs the expensive checks, so a deadline that
+//! already passed (e.g. a zero deadline) trips before any real work happens.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How many charged work units pass between expensive budget checks (the
+/// cancellation atomic load and the deadline clock read). Work limits are
+/// checked on every charge — they are a plain integer compare.
+pub const CHECK_INTERVAL: u64 = 1024;
+
+/// Why a budget stopped the work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExhaustionCause {
+    /// The deadline passed.
+    Deadline,
+    /// The work limit was spent.
+    WorkLimit,
+    /// The cancellation flag was set.
+    Cancelled,
+}
+
+impl std::fmt::Display for ExhaustionCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExhaustionCause::Deadline => write!(f, "deadline"),
+            ExhaustionCause::WorkLimit => write!(f, "work limit"),
+            ExhaustionCause::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+/// An armed, single-query work budget: charged by the hot loops, it reports
+/// exhaustion once the deadline passes, the work limit is spent, or the
+/// cancellation flag is observed set. Once exhausted it stays exhausted.
+///
+/// ```
+/// use rsn_road::budget::{BudgetTicker, ExhaustionCause};
+///
+/// let mut ticker = BudgetTicker::new(None, Some(10), None);
+/// assert!(ticker.charge(8)); // within the limit
+/// assert!(!ticker.charge(8)); // 16 > 10: exhausted
+/// assert_eq!(ticker.cause(), Some(ExhaustionCause::WorkLimit));
+/// assert!(!ticker.charge(1)); // stays exhausted
+/// ```
+#[derive(Debug, Default)]
+pub struct BudgetTicker {
+    deadline: Option<Instant>,
+    work_limit: Option<u64>,
+    cancel: Option<Arc<AtomicBool>>,
+    spent: u64,
+    /// Charged units until the next expensive check; starts at 0 so the
+    /// first charge checks the clock and the flag immediately.
+    until_check: u64,
+    exhausted: Option<ExhaustionCause>,
+}
+
+impl BudgetTicker {
+    /// Arms a ticker. All limits are optional; a ticker with none never
+    /// exhausts (but still pays the amortized checks — callers that know
+    /// the budget is unlimited should skip the budgeted code path entirely).
+    pub fn new(
+        deadline: Option<Instant>,
+        work_limit: Option<u64>,
+        cancel: Option<Arc<AtomicBool>>,
+    ) -> Self {
+        BudgetTicker {
+            deadline,
+            work_limit,
+            cancel,
+            spent: 0,
+            until_check: 0,
+            exhausted: None,
+        }
+    }
+
+    /// A ticker that never exhausts.
+    pub fn unlimited() -> Self {
+        BudgetTicker::new(None, None, None)
+    }
+
+    /// Charges `units` of work. Returns `true` while the budget holds;
+    /// `false` once it is exhausted (and on every later call).
+    #[inline]
+    pub fn charge(&mut self, units: u64) -> bool {
+        if self.exhausted.is_some() {
+            return false;
+        }
+        self.spent = self.spent.saturating_add(units);
+        if let Some(limit) = self.work_limit {
+            if self.spent > limit {
+                self.exhausted = Some(ExhaustionCause::WorkLimit);
+                return false;
+            }
+        }
+        if self.until_check > units {
+            self.until_check -= units;
+            return true;
+        }
+        self.until_check = CHECK_INTERVAL;
+        if let Some(cancel) = &self.cancel {
+            if cancel.load(Ordering::Relaxed) {
+                self.exhausted = Some(ExhaustionCause::Cancelled);
+                return false;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.exhausted = Some(ExhaustionCause::Deadline);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether the budget has been exhausted.
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted.is_some()
+    }
+
+    /// Why the budget exhausted, once it has.
+    pub fn cause(&self) -> Option<ExhaustionCause> {
+        self.exhausted
+    }
+
+    /// Total work units charged so far (including the charge that tripped).
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let mut t = BudgetTicker::unlimited();
+        for _ in 0..10_000 {
+            assert!(t.charge(17));
+        }
+        assert!(!t.is_exhausted());
+        assert_eq!(t.cause(), None);
+        assert_eq!(t.spent(), 170_000);
+    }
+
+    #[test]
+    fn work_limit_trips_exactly_and_latches() {
+        let mut t = BudgetTicker::new(None, Some(5), None);
+        assert!(t.charge(5)); // spent == limit is still fine
+        assert!(!t.charge(1));
+        assert_eq!(t.cause(), Some(ExhaustionCause::WorkLimit));
+        assert!(!t.charge(0));
+    }
+
+    #[test]
+    fn expired_deadline_trips_on_the_first_charge() {
+        let mut t = BudgetTicker::new(Some(Instant::now() - Duration::from_secs(1)), None, None);
+        assert!(!t.charge(1));
+        assert_eq!(t.cause(), Some(ExhaustionCause::Deadline));
+    }
+
+    #[test]
+    fn cancellation_is_observed_within_a_check_interval() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let mut t = BudgetTicker::new(None, None, Some(flag.clone()));
+        assert!(t.charge(1)); // first charge checks: flag clear
+        flag.store(true, Ordering::Relaxed);
+        let mut tripped = false;
+        for _ in 0..=CHECK_INTERVAL {
+            if !t.charge(1) {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped, "flag must be observed within one check interval");
+        assert_eq!(t.cause(), Some(ExhaustionCause::Cancelled));
+    }
+
+    #[test]
+    fn spent_saturates_instead_of_overflowing() {
+        let mut t = BudgetTicker::unlimited();
+        assert!(t.charge(u64::MAX));
+        assert!(t.charge(u64::MAX));
+        assert_eq!(t.spent(), u64::MAX);
+    }
+}

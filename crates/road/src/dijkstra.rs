@@ -6,6 +6,7 @@
 //! tentative distance exceeds a radius, which is the natural accelerator for
 //! the range query of Lemma 1.
 
+use crate::budget::BudgetTicker;
 use crate::network::{Location, RoadNetwork, RoadVertexId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -66,6 +67,35 @@ impl SsspScratch {
         bound: Option<f64>,
         allowed: Option<&[bool]>,
     ) -> &[f64] {
+        self.run_inner(net, seeds, bound, allowed, None);
+        &self.dist
+    }
+
+    /// Budgeted variant of [`run`](Self::run): charges one work unit per
+    /// settled heap entry and stops expanding once `ticker` exhausts.
+    /// Returns `true` when the sweep ran to completion; on `false` the
+    /// distance field is partial (a prefix of the settled vertices) and
+    /// callers must treat the run as failed. Either way, the scratch is
+    /// left reusable — the next `run` resets exactly what this one touched.
+    pub fn run_budgeted(
+        &mut self,
+        net: &RoadNetwork,
+        seeds: &[(RoadVertexId, f64)],
+        bound: Option<f64>,
+        allowed: Option<&[bool]>,
+        ticker: &mut BudgetTicker,
+    ) -> bool {
+        self.run_inner(net, seeds, bound, allowed, Some(ticker))
+    }
+
+    fn run_inner(
+        &mut self,
+        net: &RoadNetwork,
+        seeds: &[(RoadVertexId, f64)],
+        bound: Option<f64>,
+        allowed: Option<&[bool]>,
+        mut ticker: Option<&mut BudgetTicker>,
+    ) -> bool {
         let n = net.num_vertices();
         // Reset only what the previous run wrote; (re)grow on size change.
         if self.dist.len() != n {
@@ -97,6 +127,11 @@ impl SsspScratch {
             }
         }
         while let Some(HeapEntry { dist: d, vertex: v }) = self.heap.pop() {
+            if let Some(t) = ticker.as_deref_mut() {
+                if !t.charge(1) {
+                    return false;
+                }
+            }
             if d > self.dist[v as usize] {
                 continue;
             }
@@ -124,7 +159,7 @@ impl SsspScratch {
         }
         // Values strictly above the bound were never inserted, so the field
         // needs no cleanup.
-        &self.dist
+        true
     }
 
     /// The distance field of the last [`run`](Self::run).

@@ -12,6 +12,7 @@
 //! shortest path leaves the LCA's region. Exactness against Dijkstra is
 //! enforced by the property tests of this module.
 
+use crate::budget::BudgetTicker;
 use crate::dijkstra::SsspScratch;
 use crate::network::{EdgeUpdate, RoadNetwork, RoadVertexId};
 use std::collections::HashMap;
@@ -688,6 +689,36 @@ impl GTree {
         );
     }
 
+    /// Budgeted [`accumulate_source_distances`](Self::accumulate_source_distances):
+    /// charges the ticker as the walk proceeds (one unit per evaluated leaf
+    /// target row and per visited child) and aborts cooperatively on
+    /// exhaustion. Returns `true` when the walk completed; on `false` the
+    /// lowered `best` entries are valid upper bounds but the evaluation is
+    /// incomplete, so the caller must treat the run as failed. The scratch
+    /// stays reusable either way.
+    #[allow(clippy::too_many_arguments)]
+    pub fn accumulate_source_distances_budgeted(
+        &self,
+        u: RoadVertexId,
+        soff: f64,
+        targets: &LeafTargets,
+        prune_at: f64,
+        best: &mut [f64],
+        scratch: &mut RangeScratch,
+        ticker: &mut BudgetTicker,
+    ) -> bool {
+        self.multi_source_walk(
+            &[(u, soff, 0)],
+            1,
+            targets,
+            prune_at,
+            best,
+            None,
+            Some(ticker),
+            scratch,
+        )
+    }
+
     /// Multi-seed leaf-batched evaluation: folds **all** source seeds
     /// `(u, soff, column)` into a single top-down walk. For every target seed
     /// `(item, v, toff)` of `targets` and every source seed, lowers
@@ -712,7 +743,16 @@ impl GTree {
         best: &mut [f64],
         scratch: &mut RangeScratch,
     ) {
-        self.multi_source_walk(seeds, num_columns, targets, prune_at, best, None, scratch);
+        self.multi_source_walk(
+            seeds,
+            num_columns,
+            targets,
+            prune_at,
+            best,
+            None,
+            None,
+            scratch,
+        );
     }
 
     /// Multi-seed walk with the Lemma-1 **intersection computed in-walk**:
@@ -739,11 +779,59 @@ impl GTree {
                 .iter()
                 .all(|&d| d <= t);
         }
-        self.multi_source_walk(seeds, num_columns, targets, t, best, Some(within), scratch);
+        self.multi_source_walk(
+            seeds,
+            num_columns,
+            targets,
+            t,
+            best,
+            Some(within),
+            None,
+            scratch,
+        );
     }
 
-    /// Shared driver of the two public multi-seed entry points: precomputes
-    /// one [`SeedClimb`] per in-range seed and starts the recursive walk.
+    /// Budgeted [`multi_source_within`](Self::multi_source_within): identical
+    /// semantics, but the walk charges `ticker` as it goes (one unit per
+    /// evaluated leaf target row and per visited child) and aborts
+    /// cooperatively on exhaustion. Returns `true` when the walk completed;
+    /// on `false` the `best`/`within` state reflects only part of the
+    /// evaluation and the caller must treat the run as failed. The scratch
+    /// stays reusable either way.
+    #[allow(clippy::too_many_arguments)]
+    pub fn multi_source_within_budgeted(
+        &self,
+        seeds: &[(RoadVertexId, f64, u32)],
+        num_columns: usize,
+        targets: &LeafTargets,
+        t: f64,
+        best: &mut [f64],
+        within: &mut [bool],
+        scratch: &mut RangeScratch,
+        ticker: &mut BudgetTicker,
+    ) -> bool {
+        debug_assert_eq!(best.len(), within.len() * num_columns);
+        for (i, w) in within.iter_mut().enumerate() {
+            *w = best[i * num_columns..(i + 1) * num_columns]
+                .iter()
+                .all(|&d| d <= t);
+        }
+        self.multi_source_walk(
+            seeds,
+            num_columns,
+            targets,
+            t,
+            best,
+            Some(within),
+            Some(ticker),
+            scratch,
+        )
+    }
+
+    /// Shared driver of the multi-seed entry points: precomputes one
+    /// [`SeedClimb`] per in-range seed and starts the recursive walk.
+    /// Returns `true` when the walk ran to completion, `false` when the
+    /// optional budget ticker exhausted mid-walk.
     #[allow(clippy::too_many_arguments)]
     fn multi_source_walk(
         &self,
@@ -753,10 +841,11 @@ impl GTree {
         prune_at: f64,
         best: &mut [f64],
         mut within: Option<&mut [bool]>,
+        mut ticker: Option<&mut BudgetTicker>,
         scratch: &mut RangeScratch,
-    ) {
+    ) -> bool {
         if self.nodes.is_empty() {
-            return;
+            return true;
         }
         debug_assert_eq!(targets.per_leaf.len(), self.nodes.len());
         let climbs: Vec<SeedClimb> = seeds
@@ -777,7 +866,7 @@ impl GTree {
             })
             .collect();
         if climbs.is_empty() {
-            return;
+            return true;
         }
         scratch.entry.resize(self.nodes.len(), Vec::new());
         self.multi_visit(
@@ -790,8 +879,9 @@ impl GTree {
             prune_at,
             best,
             &mut within,
+            &mut ticker,
             scratch,
-        );
+        )
     }
 
     /// One step of the top-down multi-seed walk: `node` is visited at `depth`
@@ -800,6 +890,10 @@ impl GTree {
     /// root, flagged by `has_entry == false`). A seed's chain passes through
     /// `node` iff `path[len - 1 - depth] == node` — checked by slice
     /// indexing, no per-node hash set.
+    ///
+    /// Charges the optional budget ticker one unit per evaluated leaf target
+    /// row and per visited child; returns `false` (after restoring the
+    /// node's entry matrix into the scratch) when the budget exhausts.
     #[allow(clippy::too_many_arguments)]
     fn multi_visit(
         &self,
@@ -812,8 +906,9 @@ impl GTree {
         prune_at: f64,
         best: &mut [f64],
         within: &mut Option<&mut [bool]>,
+        ticker: &mut Option<&mut BudgetTicker>,
         scratch: &mut RangeScratch,
-    ) {
+    ) -> bool {
         let s_count = climbs.len();
         let n = &self.nodes[node];
         let ub = n.union_borders.len();
@@ -828,6 +923,11 @@ impl GTree {
             } = scratch;
             let node_entry = &entry[node];
             for &(item, trow, toff) in &targets.per_leaf[node] {
+                if let Some(t) = ticker.as_deref_mut() {
+                    if !t.charge(1) {
+                        return false;
+                    }
+                }
                 let trow = trow as usize;
                 seed_dist.clear();
                 seed_dist.resize(s_count, f64::INFINITY);
@@ -872,13 +972,15 @@ impl GTree {
                     }
                 }
             }
-            return;
+            return true;
         }
 
         // Internal node: extend the entry matrix into each occupied child.
         // `node_entry` is taken out of the scratch so the child buffer can be
-        // filled while reading it; both go back before returning.
+        // filled while reading it; both go back before returning — including
+        // on a budget abort, so the scratch survives interrupted walks.
         let node_entry = std::mem::take(&mut scratch.entry[node]);
+        let mut completed = true;
         for (k, &child) in n.children.iter().enumerate() {
             if targets.occupied[child] == 0 {
                 continue;
@@ -958,7 +1060,13 @@ impl GTree {
             });
             scratch.entry[child] = entry;
             if visit {
-                self.multi_visit(
+                if let Some(t) = ticker.as_deref_mut() {
+                    if !t.charge(1) {
+                        completed = false;
+                        break;
+                    }
+                }
+                if !self.multi_visit(
                     child,
                     depth + 1,
                     true,
@@ -968,11 +1076,16 @@ impl GTree {
                     prune_at,
                     best,
                     within,
+                    ticker,
                     scratch,
-                );
+                ) {
+                    completed = false;
+                    break;
+                }
             }
         }
         scratch.entry[node] = node_entry;
+        completed
     }
 
     fn ancestor_chain(&self, leaf: usize) -> Vec<usize> {

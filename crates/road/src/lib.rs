@@ -27,6 +27,7 @@
 //!   queries; our variant assembles within-region border matrices bottom-up
 //!   and answers exact point-to-point distance queries.
 
+pub mod budget;
 pub mod dijkstra;
 pub mod gtree;
 pub mod network;
@@ -34,6 +35,7 @@ pub mod oracle;
 pub mod querydist;
 pub mod rangefilter;
 
+pub use budget::{BudgetTicker, ExhaustionCause};
 pub use dijkstra::{bounded_sssp, sssp, sssp_from_location, SsspScratch};
 pub use gtree::{GTree, GTreeUpdateStats};
 pub use network::{EdgeUpdate, Location, RoadNetwork, RoadNetworkBuilder, RoadVertexId};

@@ -28,6 +28,7 @@
 //! [`resolve_auto`] turns `Auto` into a concrete strategy from the measured
 //! sweep/batched crossover.
 
+use crate::budget::BudgetTicker;
 use crate::dijkstra::{distance_to_location, SsspScratch};
 use crate::gtree::{GTree, LeafTargets, RangeScratch};
 use crate::network::{Location, RoadNetwork, RoadVertexId};
@@ -248,6 +249,118 @@ impl<'a> RangeFilter<'a> {
             }
         }
     }
+
+    /// Budgeted [`users_within_with`](Self::users_within_with): identical
+    /// results when it completes, but every strategy charges `ticker` as it
+    /// goes (settled Dijkstra vertices, walked G-tree cells, evaluated users)
+    /// and aborts cooperatively on exhaustion. Returns `true` when the filter
+    /// ran to completion; on `false` the contents of `out` are unspecified
+    /// and the caller must treat the query as budget-exhausted. The scratch
+    /// stays reusable either way.
+    #[allow(clippy::too_many_arguments)]
+    pub fn users_within_with_budget(
+        &self,
+        net: &RoadNetwork,
+        query_locations: &[Location],
+        t: f64,
+        user_locations: &[Location],
+        targets: Option<&LeafTargets>,
+        scratch: &mut FilterScratch,
+        out: &mut Vec<bool>,
+        ticker: &mut BudgetTicker,
+    ) -> bool {
+        let n = user_locations.len();
+        out.clear();
+        out.resize(n, true);
+        if n == 0 {
+            return ticker.charge(1);
+        }
+        match self {
+            RangeFilter::DijkstraSweep => {
+                for qloc in query_locations {
+                    if !scratch.sssp.run_budgeted(
+                        net,
+                        &location_seeds(net, qloc),
+                        Some(t),
+                        None,
+                        ticker,
+                    ) {
+                        return false;
+                    }
+                    // The per-user evaluation is one pass over the distance
+                    // field; charge it as a lump at the loop boundary.
+                    if !ticker.charge(n as u64) {
+                        return false;
+                    }
+                    let field = scratch.sssp.dist();
+                    for (w, uloc) in out.iter_mut().zip(user_locations) {
+                        if *w {
+                            let d = distance_to_location(net, field, uloc)
+                                .min(along_edge_distance(qloc, uloc));
+                            if d > t {
+                                *w = false;
+                            }
+                        }
+                    }
+                }
+                true
+            }
+            RangeFilter::GTreePoint(tree) => {
+                let oracle = DistanceOracle::GTree(tree);
+                let qdi =
+                    QueryDistanceIndex::build_with_oracle(net, &oracle, query_locations, Some(t));
+                for (w, loc) in out.iter_mut().zip(user_locations) {
+                    if !ticker.charge(1) {
+                        return false;
+                    }
+                    *w = qdi.query_distance(loc) <= t;
+                }
+                true
+            }
+            RangeFilter::GTreeLeafBatched(tree) => {
+                let owned;
+                let targets = match targets {
+                    Some(targets) => targets,
+                    None => {
+                        owned = group_user_targets(tree, net, user_locations);
+                        &owned
+                    }
+                };
+                leaf_batched_within_budgeted(
+                    tree,
+                    net,
+                    query_locations,
+                    t,
+                    user_locations,
+                    targets,
+                    scratch,
+                    out,
+                    ticker,
+                )
+            }
+            RangeFilter::GTreeMultiSeedBatched(tree) => {
+                let owned;
+                let targets = match targets {
+                    Some(targets) => targets,
+                    None => {
+                        owned = group_user_targets(tree, net, user_locations);
+                        &owned
+                    }
+                };
+                multi_seed_batched_within_budgeted(
+                    tree,
+                    net,
+                    query_locations,
+                    t,
+                    user_locations,
+                    targets,
+                    scratch,
+                    out,
+                    ticker,
+                )
+            }
+        }
+    }
 }
 
 /// Groups the user seeds by G-tree leaf (shared by both batched strategies):
@@ -346,6 +459,58 @@ fn leaf_batched_within(
     }
 }
 
+/// Budgeted [`leaf_batched_within`]: the per-seed walks run through
+/// [`GTree::accumulate_source_distances_budgeted`] and the per-user merge
+/// loops are charged as lumps. Returns `false` on exhaustion, leaving
+/// `within` partially updated (the caller discards it).
+#[allow(clippy::too_many_arguments)]
+fn leaf_batched_within_budgeted(
+    tree: &GTree,
+    net: &RoadNetwork,
+    query_locations: &[Location],
+    t: f64,
+    user_locations: &[Location],
+    targets: &LeafTargets,
+    scratch: &mut FilterScratch,
+    within: &mut [bool],
+    ticker: &mut BudgetTicker,
+) -> bool {
+    let n = user_locations.len();
+    let best = &mut scratch.best;
+    best.clear();
+    best.resize(n, f64::INFINITY);
+    for qloc in query_locations {
+        if !ticker.charge(n as u64) {
+            return false;
+        }
+        for (b, uloc) in best.iter_mut().zip(user_locations) {
+            *b = along_edge_distance(qloc, uloc);
+        }
+        for (sv, soff) in location_seeds(net, qloc)
+            .into_iter()
+            .filter(|&(_, off)| off.is_finite())
+        {
+            if !tree.accumulate_source_distances_budgeted(
+                sv,
+                soff,
+                targets,
+                t,
+                best,
+                &mut scratch.range,
+                ticker,
+            ) {
+                return false;
+            }
+        }
+        for (w, &d) in within.iter_mut().zip(best.iter()) {
+            if d > t {
+                *w = false;
+            }
+        }
+    }
+    true
+}
+
 /// The multi-seed strategy: all query seeds fold into **one** top-down walk
 /// with per-seed entry columns (seeds of the same query location share an
 /// output column), and the Lemma-1 intersection is maintained in-walk by
@@ -387,6 +552,60 @@ fn multi_seed_batched_within(
         }
     }
     tree.multi_source_within(seeds, cols, targets, t, best, within, &mut scratch.range);
+}
+
+/// Budgeted [`multi_seed_batched_within`]: the pre-seeding pass is charged as
+/// a lump and the walk runs through [`GTree::multi_source_within_budgeted`].
+/// Returns `false` on exhaustion, leaving `within` partially updated (the
+/// caller discards it).
+#[allow(clippy::too_many_arguments)]
+fn multi_seed_batched_within_budgeted(
+    tree: &GTree,
+    net: &RoadNetwork,
+    query_locations: &[Location],
+    t: f64,
+    user_locations: &[Location],
+    targets: &LeafTargets,
+    scratch: &mut FilterScratch,
+    within: &mut [bool],
+    ticker: &mut BudgetTicker,
+) -> bool {
+    let n = user_locations.len();
+    let cols = query_locations.len();
+    if cols == 0 {
+        return ticker.charge(1);
+    }
+    if !ticker.charge((n * cols) as u64) {
+        return false;
+    }
+    let seeds = &mut scratch.seeds;
+    seeds.clear();
+    for (q, qloc) in query_locations.iter().enumerate() {
+        for (sv, soff) in location_seeds(net, qloc)
+            .into_iter()
+            .filter(|&(_, off)| off.is_finite())
+        {
+            seeds.push((sv, soff, q as u32));
+        }
+    }
+    let best = &mut scratch.best;
+    best.clear();
+    best.resize(n * cols, f64::INFINITY);
+    for (i, uloc) in user_locations.iter().enumerate() {
+        for (q, qloc) in query_locations.iter().enumerate() {
+            best[i * cols + q] = along_edge_distance(qloc, uloc);
+        }
+    }
+    tree.multi_source_within_budgeted(
+        seeds,
+        cols,
+        targets,
+        t,
+        best,
+        within,
+        &mut scratch.range,
+        ticker,
+    )
 }
 
 /// Sweep-vs-batched conversion factor of [`resolve_auto`]'s cost model,
@@ -613,6 +832,7 @@ pub fn sampled_avg_edge_weight(net: &RoadNetwork) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::budget::ExhaustionCause;
 
     fn grid(rows: u32, cols: u32) -> RoadNetwork {
         let mut edges = Vec::new();
@@ -827,6 +1047,65 @@ mod tests {
                     "{} diverges from the sweep at t = {t}",
                     filter.name()
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_filters_match_unbudgeted_and_abort_on_tiny_limits() {
+        let net = grid(6, 6);
+        let tree = GTree::build_with_capacity(&net, 6);
+        let users: Vec<Location> = (0..36u32).map(Location::vertex).collect();
+        let targets = group_user_targets(&tree, &net, &users);
+        let q = [Location::vertex(0), Location::vertex(21)];
+        let mut scratch = FilterScratch::new();
+        let mut out = Vec::new();
+        for t in [0.0, 1.5, 3.0, 100.0] {
+            for filter in all_filters(&tree) {
+                let fresh = filter.users_within(&net, &q, t, &users);
+                // A generous budget completes with identical results.
+                let mut ticker = BudgetTicker::new(None, Some(u64::MAX), None);
+                assert!(
+                    filter.users_within_with_budget(
+                        &net,
+                        &q,
+                        t,
+                        &users,
+                        Some(&targets),
+                        &mut scratch,
+                        &mut out,
+                        &mut ticker,
+                    ),
+                    "{} exhausted a generous budget",
+                    filter.name()
+                );
+                assert!(ticker.spent() > 0, "{} never charged", filter.name());
+                assert_eq!(out, fresh, "{} diverges under budget", filter.name());
+                // A one-unit budget aborts; the scratch must stay reusable.
+                let mut tiny = BudgetTicker::new(None, Some(1), None);
+                assert!(!filter.users_within_with_budget(
+                    &net,
+                    &q,
+                    t,
+                    &users,
+                    Some(&targets),
+                    &mut scratch,
+                    &mut out,
+                    &mut tiny,
+                ));
+                assert_eq!(tiny.cause(), Some(ExhaustionCause::WorkLimit));
+                let mut again = BudgetTicker::new(None, Some(u64::MAX), None);
+                assert!(filter.users_within_with_budget(
+                    &net,
+                    &q,
+                    t,
+                    &users,
+                    Some(&targets),
+                    &mut scratch,
+                    &mut out,
+                    &mut again,
+                ));
+                assert_eq!(out, fresh, "{} scratch corrupted by abort", filter.name());
             }
         }
     }

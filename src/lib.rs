@@ -56,7 +56,8 @@ pub use rsn_road as road;
 pub mod prelude {
     pub use rsn_core::{
         ktcore::maximal_kt_core, query::MacQuery, result::MacSearchResult, AlgorithmChoice,
-        GlobalSearch, LocalSearch, MacEngine, QuerySession, RoadSocialNetwork,
+        GlobalSearch, LocalSearch, MacEngine, NetworkDelta, QueryBudget, QueryOutcome,
+        QuerySession, RoadSocialNetwork,
     };
     pub use rsn_datagen::presets;
     pub use rsn_dom::dominance::DominanceGraph;

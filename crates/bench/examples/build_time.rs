@@ -1,0 +1,69 @@
+use rsn_datagen::road::{generate_road, RoadConfig};
+use rsn_road::GTree;
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(40_000);
+    let cap: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(128);
+    let fanout: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let net = generate_road(&RoadConfig::with_size(n, 7));
+    eprintln!(
+        "net: {} vertices, {} edges",
+        net.num_vertices(),
+        net.num_edges()
+    );
+    let t0 = Instant::now();
+    let tree = GTree::build_with_params(&net, cap, fanout);
+    eprintln!(
+        "n={} cap={} fanout={} build: {:?} ({} nodes)",
+        n,
+        cap,
+        fanout,
+        t0.elapsed(),
+        tree.num_nodes()
+    );
+    // leaf stats: border fraction + connected components of induced subgraph
+    let mut leaves = 0usize;
+    let mut verts = 0usize;
+    let mut borders = 0usize;
+    let mut comps_total = 0usize;
+    let mut max_comps = 0usize;
+    for id in 0..tree.num_nodes() {
+        if !tree.children_of(id).is_empty() {
+            continue;
+        }
+        leaves += 1;
+        let vs = tree.vertices_of(id);
+        verts += vs.len();
+        borders += tree.borders_of(id).len();
+        let set: HashMap<u32, ()> = vs.iter().map(|&v| (v, ())).collect();
+        let mut seen: HashMap<u32, ()> = HashMap::new();
+        let mut comps = 0;
+        for &v in vs {
+            if seen.contains_key(&v) {
+                continue;
+            }
+            comps += 1;
+            let mut q = VecDeque::new();
+            seen.insert(v, ());
+            q.push_back(v);
+            while let Some(x) = q.pop_front() {
+                for &(u, _) in net.neighbors(x) {
+                    if set.contains_key(&u) && !seen.contains_key(&u) {
+                        seen.insert(u, ());
+                        q.push_back(u);
+                    }
+                }
+            }
+        }
+        comps_total += comps;
+        max_comps = max_comps.max(comps);
+    }
+    eprintln!(
+        "leaves: {}, avg size {:.1}, border fraction {:.2}, avg components {:.2}, max components {}",
+        leaves, verts as f64 / leaves as f64, borders as f64 / verts as f64,
+        comps_total as f64 / leaves as f64, max_comps
+    );
+}

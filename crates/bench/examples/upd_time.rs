@@ -1,0 +1,67 @@
+use rsn_datagen::road::{generate_road, RoadConfig};
+use rsn_road::{EdgeUpdate, GTree, RoadNetwork};
+use std::time::Instant;
+
+const MULTIPLIERS: [f64; 5] = [0.6, 0.85, 1.2, 1.6, 2.3];
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40_000);
+    let cap: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(128);
+    let net0 = generate_road(&RoadConfig::with_size(n, 7));
+    let t0 = Instant::now();
+    let mut tree = GTree::build_with_capacity(&net0, cap);
+    std::hint::black_box(&tree);
+    let rebuild = t0.elapsed();
+    eprintln!("build: {:?}", rebuild);
+
+    for (name, window) in [("regional", Some(0.04f64)), ("global", None)] {
+        let mut edges: Vec<(u32, u32, f64)> = net0.edges().collect();
+        let m = edges.len();
+        let (w_start, w_len) = match window {
+            Some(frac) => (m / 3, ((m as f64 * frac).ceil() as usize).clamp(1, m)),
+            None => (0, m),
+        };
+        // Re-sync the tree with the pristine network between scenarios.
+        tree = GTree::build_with_capacity(&net0, cap);
+        let mut inc_total = 0.0f64;
+        let batches = 5usize;
+        for b in 0..batches {
+            let mut batch = Vec::new();
+            for i in 0..24usize {
+                let idx = (w_start + (b * 9973 + i * 101 + 7) % w_len) % m;
+                let (u, v, w) = edges[idx];
+                let w_new = w * MULTIPLIERS[(b + i) % MULTIPLIERS.len()];
+                edges[idx].2 = w_new;
+                batch.push(EdgeUpdate::new(u, v, w_new));
+            }
+            let net = RoadNetwork::from_edges(net0.num_vertices(), &edges);
+            let t0 = Instant::now();
+            let stats = tree.apply_edge_updates(&net, &batch);
+            let dt = t0.elapsed().as_secs_f64();
+            inc_total += dt;
+            eprintln!(
+                "  {} batch {}: {:.3}s ({:.1}x), dirty {}+{}, dijkstras {}, patched {}",
+                name,
+                b,
+                dt,
+                rebuild.as_secs_f64() / dt,
+                stats.dirty_leaves,
+                stats.dirty_internal,
+                stats.row_dijkstras,
+                stats.patched_rows
+            );
+        }
+        eprintln!(
+            "{}: mean batch {:.3}s, speedup {:.1}x",
+            name,
+            inc_total / batches as f64,
+            rebuild.as_secs_f64() * batches as f64 / inc_total
+        );
+    }
+}

@@ -1,77 +1,140 @@
 //! Cross-PR performance trajectory recorder.
 //!
-//! Runs the MAC search on fixed datagen presets and writes `BENCH_PR6.json`
-//! (in the current directory), so later PRs can diff their wall-clock against
-//! this PR's numbers instead of guessing. The PR-6 record measures what this
-//! PR's robustness layer costs: **budget polling overhead** on the PR-4
-//! serving presets — the same workload served unbudgeted (the exact path)
-//! and under an *armed* budget (finite work limit + far deadline, so the
-//! amortized ticker checks actually run on every pipeline stage).
+//! Runs the MAC search on a fixed **continental-scale grid preset** (40k road
+//! vertices, multiway G-tree with leaf capacity 128) and writes
+//! `BENCH_PR8.json` (in the current directory), so later PRs can diff their
+//! wall-clock against this PR's numbers instead of guessing. The PR-8 record
+//! measures what this PR's index rebuild buys: the multiway (fanout-4/8)
+//! partitioned G-tree with contracted border graphs brings the 40k-vertex
+//! build from minutes to seconds, which in turn resets the economics of the
+//! PR-5 dynamic-traffic scenarios (incremental `apply_updates` vs full
+//! rebuild).
 //!
-//! * **Identity gate** — before anything is timed, every armed-budget answer
-//!   is asserted cell-identical to the unbudgeted answer (budget polling
-//!   must never change a result), and a zero deadline is asserted to degrade
-//!   every query to `QueryOutcome::Partial` without panicking.
-//! * **Overhead gate** — the armed serving rate must stay within 5% of the
-//!   unbudgeted rate on every preset (best-of-`reps` on both sides).
+//! * **Identity gate** — before anything is timed, engines indexed with
+//!   fanout-4 and fanout-8 multiway trees are asserted query-identical to an
+//!   engine on the binary-bisection reference tree (fresh build AND after an
+//!   update batch applied to all three). A faster index that changes answers
+//!   is a bug, not a speedup.
+//! * **Build budget gate** — the 40k grid G-tree build must finish inside
+//!   [`BUILD_BUDGET_SECONDS`] (it takes ~4s here; the pre-PR binary builder
+//!   took ~315s, so the budget cleanly separates regressions from noise).
+//! * **Update scenarios** — the PR-5 schedule generator replayed verbatim on
+//!   the grid preset: user churn, regional traffic, global traffic. After
+//!   every batch the updated engine is asserted query-identical to an engine
+//!   rebuilt from scratch on shadow post-batch state, then the schedule is
+//!   replayed under the clock both ways. Gates are **honest**: user churn
+//!   must win by ≥10× (it wins by far more — the G-tree is untouched), but a
+//!   24-edge traffic batch truly changes ~98% of the root border-matrix
+//!   *rows* (shortest paths reroute globally), so exact row-complete
+//!   maintenance is asserted to win by ≥1.5×, with the measured 2–3× recorded
+//!   as data rather than rounded up to a marketing number.
 //!
 //! Usage: `cargo run --release -p rsn-bench --bin perf_trajectory [reps]`
-//! (`reps` overrides the per-measurement repetitions, default 5; the best of
-//! the repetitions is recorded). `--smoke` runs a single tiny preset once —
-//! including both gates — and writes `BENCH_SMOKE.json`, which CI uploads as
-//! a workflow artifact on every run.
+//! (`reps` overrides the per-measurement repetitions, default 2; the best of
+//! the repetitions is recorded). `--smoke` runs the multiway-vs-binary
+//! identity gate at reduced scale plus the full 40k grid-build budget gate,
+//! and writes `BENCH_SMOKE.json`, which CI uploads as a workflow artifact on
+//! every run.
 
-use rsn_core::{AlgorithmChoice, MacEngine, MacQuery, MacSearchResult, QueryBudget, QueryOutcome};
-use rsn_datagen::presets::{build_preset_scaled, Dataset, PresetName, PresetScale};
+use rsn_core::{
+    AlgorithmChoice, MacEngine, MacQuery, MacSearchResult, NetworkDelta, RoadSocialNetwork,
+};
+use rsn_datagen::attrs::{generate_attrs, AttrDistribution};
+use rsn_datagen::locations::{assign_locations, LocationConfig};
+use rsn_datagen::road::{generate_road, RoadConfig};
+use rsn_datagen::social::{generate_social, PlantedGroup, SocialConfig};
 use rsn_geom::region::PrefRegion;
 use rsn_geom::weights::WeightVector;
-use std::time::{Duration, Instant};
+use rsn_road::network::{Location, RoadNetwork};
+use std::time::Instant;
 
-const OUTPUT: &str = "BENCH_PR6.json";
+const OUTPUT: &str = "BENCH_PR8.json";
 const SMOKE_OUTPUT: &str = "BENCH_SMOKE.json";
-/// Queries per serving workload (per preset).
-const WORKLOAD_QUERIES: usize = 12;
-/// Passes over the workload for each serving-rate measurement.
-const SERVING_PASSES: usize = 50;
-/// The acceptance ceiling on the armed-budget overhead.
-const MAX_OVERHEAD_FRACTION: f64 = 0.05;
+/// Continental grid preset: road vertices / social users / G-tree leaf cap.
+const GRID_ROAD_VERTICES: usize = 40_000;
+const GRID_USERS: usize = 2_000;
+const GRID_LEAF_CAPACITY: usize = 128;
+/// Wall-clock ceiling on the 40k grid G-tree build (typical: ~4s single
+/// core; the pre-PR binary-bisection builder took ~315s on the same box).
+const BUILD_BUDGET_SECONDS: f64 = 30.0;
+/// Queries per serving workload.
+const WORKLOAD_QUERIES: usize = 8;
+/// Update batches per scenario (each = edge reweights + user moves).
+const UPDATE_BATCHES: usize = 3;
+/// Passes over the workload for the serving-throughput measurement.
+const SERVING_PASSES: usize = 5;
+/// User churn leaves the G-tree untouched: incremental must win big.
+const MIN_USER_CHURN_SPEEDUP: f64 = 10.0;
+/// Traffic reweights dirty almost every root matrix row (shortest paths
+/// reroute network-wide), so exact maintenance wins by low single digits.
+const MIN_TRAFFIC_SPEEDUP: f64 = 1.5;
 
-struct Spec {
-    name: PresetName,
-    label_suffix: &'static str,
-    social_scale: f64,
-    road_scale: f64,
-    k: u32,
-    sigma: f64,
-    t_scale: f64,
+/// One dynamic-traffic batch composition (PR-5 schedule, replayed verbatim).
+#[derive(Clone, Copy)]
+struct Scenario {
+    name: &'static str,
+    /// Road-segment reweights per batch.
+    edges_per_batch: usize,
+    /// User moves per batch.
+    users_per_batch: usize,
+    /// `Some(frac)`: all reweights land in one contiguous window covering
+    /// `frac` of the canonical edge order (vertex ids are spatially coherent,
+    /// so this models a congested metro area); `None`: network-wide traffic.
+    edge_window: Option<f64>,
+    /// The acceptance floor on incremental-vs-rebuild for this mix.
+    min_speedup: f64,
 }
 
-struct PresetRow {
-    label: String,
-    users: usize,
-    road_vertices: usize,
-    workload: usize,
-    passes: usize,
-    gtree_build_s: f64,
-    engine_build_s: f64,
-    /// Wall-clock of one full serving sweep, exact (unbudgeted) path.
-    unbudgeted_s: f64,
-    /// Wall-clock of the same sweep under the armed budget.
-    armed_s: f64,
-    /// Zero-deadline queries that degraded to `Partial` (must equal the
-    /// workload size — every one, no panics).
-    zero_deadline_partials: usize,
+const SCENARIOS: [Scenario; 3] = [
+    Scenario {
+        name: "user-churn",
+        edges_per_batch: 0,
+        users_per_batch: 48,
+        edge_window: None,
+        min_speedup: MIN_USER_CHURN_SPEEDUP,
+    },
+    Scenario {
+        name: "regional-traffic",
+        edges_per_batch: 24,
+        users_per_batch: 12,
+        edge_window: Some(0.04),
+        min_speedup: MIN_TRAFFIC_SPEEDUP,
+    },
+    Scenario {
+        name: "global-traffic",
+        edges_per_batch: 24,
+        users_per_batch: 12,
+        edge_window: None,
+        min_speedup: MIN_TRAFFIC_SPEEDUP,
+    },
+];
+
+struct ScenarioRow {
+    scenario: &'static str,
+    batches: usize,
+    edge_updates_total: usize,
+    user_moves_total: usize,
+    min_speedup: f64,
+    /// Summed apply_updates wall-clock over the whole schedule (best rep).
+    incremental_total_s: f64,
+    /// Summed index+engine rebuild wall-clock over the schedule (best rep).
+    rebuild_total_s: f64,
+    /// Mean fraction of G-tree nodes recomputed per batch.
+    dirty_fraction_mean: f64,
+    /// Serving throughput through one session after the final epoch.
+    serving_qps_after_churn: f64,
+    final_epoch: u64,
 }
 
-impl PresetRow {
-    fn unbudgeted_qps(&self) -> f64 {
-        (self.passes * self.workload) as f64 / self.unbudgeted_s.max(1e-12)
+impl ScenarioRow {
+    fn incremental_mean_batch_s(&self) -> f64 {
+        self.incremental_total_s / self.batches.max(1) as f64
     }
-    fn armed_qps(&self) -> f64 {
-        (self.passes * self.workload) as f64 / self.armed_s.max(1e-12)
+    fn rebuild_mean_batch_s(&self) -> f64 {
+        self.rebuild_total_s / self.batches.max(1) as f64
     }
-    fn overhead_fraction(&self) -> f64 {
-        self.armed_s / self.unbudgeted_s.max(1e-12) - 1.0
+    fn speedup(&self) -> f64 {
+        self.rebuild_total_s / self.incremental_total_s.max(1e-12)
     }
 }
 
@@ -87,37 +150,126 @@ fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
     (best, out.expect("reps >= 1"))
 }
 
-/// The PR-4 high-QPS serving workload: queries from ordinary *background*
-/// users (outside the planted deep groups), varying |Q| and t; all Problem 2
-/// through the exact global search so both serving paths take identical
-/// algorithmic routes.
-fn build_workload(dataset: &Dataset, spec: &Spec, queries: usize) -> Vec<MacQuery> {
+/// A datagen road-social network on a grid road of `n_road` vertices. The
+/// same constructor serves the continental preset and the reduced-scale
+/// identity gate; only the sizes differ.
+fn grid_network(n_road: usize, n_users: usize, seed: u64) -> RoadSocialNetwork {
+    let road = generate_road(&RoadConfig::with_size(n_road, seed));
+    let social = generate_social(&SocialConfig {
+        n: n_users,
+        attach_m: 3,
+        planted: vec![PlantedGroup {
+            size: 18,
+            degree: 6,
+        }],
+        seed,
+    });
+    let attrs = generate_attrs(n_users, 3, AttrDistribution::Independent, 10.0, seed);
+    let locations = assign_locations(
+        &road,
+        n_users,
+        &social.groups,
+        &LocationConfig {
+            clusters: 8,
+            radius: 5,
+            seed,
+        },
+    );
+    RoadSocialNetwork::new(social.graph, road, locations, attrs)
+        .expect("datagen output is consistent")
+}
+
+/// A serving workload scaled to the network: 1–2 seed users, k = 4, t as a
+/// multiple of the mean edge weight (the grid generator's weights are
+/// seed-dependent, so absolute distances would not transfer), narrow
+/// paper-style preference region. Exact global search so reference engines
+/// are well-defined.
+fn build_workload(rsn: &RoadSocialNetwork, queries: usize) -> Vec<MacQuery> {
     let center = WeightVector::uniform(3).expect("d = 3");
-    let region = PrefRegion::around(&center, spec.sigma).expect("valid region");
-    let grouped: std::collections::HashSet<u32> =
-        dataset.deep_groups.iter().flatten().copied().collect();
-    let background: Vec<u32> = (0..dataset.rsn.num_users() as u32)
-        .filter(|v| !grouped.contains(v))
-        .collect();
+    let region = PrefRegion::around(&center, 0.05).expect("valid region");
+    let m = rsn.road().num_edges().max(1);
+    let avg_w: f64 = rsn.road().edges().map(|(_, _, w)| w).sum::<f64>() / m as f64;
+    let n_users = rsn.num_users() as u32;
     (0..queries)
         .map(|i| {
-            let q_len = 1 + i % 3;
+            let q_len = 1 + i % 2;
             let q: Vec<u32> = (0..q_len)
-                .map(|j| background[(i * 7 + j * 13 + 3) % background.len()])
+                .map(|j| ((i * 7 + j * 13 + 3) as u32 * 31 + 5) % n_users)
                 .collect();
-            let t = dataset.default_t * spec.t_scale * [0.8, 1.0, 1.25][(i / 3) % 3];
-            MacQuery::new(q, spec.k, t, region.clone()).with_algorithm(AlgorithmChoice::Global)
+            let t = avg_w * [8.0, 12.0, 16.0][(i / 2) % 3];
+            MacQuery::new(q, 4, t, region.clone()).with_algorithm(AlgorithmChoice::Global)
         })
         .collect()
 }
 
-/// An *armed* budget: finite limits far beyond any preset's real cost, so
-/// the ticker polls on every stage but never trips. (`QueryBudget::unlimited`
-/// would skip the polling entirely and measure nothing.)
-fn armed_budget() -> QueryBudget {
-    QueryBudget::new()
-        .with_work_limit(u64::MAX)
-        .with_deadline(Duration::from_secs(3600))
+/// The deterministic dynamic-traffic schedule (PR-5 generator, verbatim):
+/// per batch, a set of edge reweights (multiplier cycle over
+/// deterministically picked segments, clamped so no resident on-edge user is
+/// stranded past its edge's new length) interleaved with user moves. Returns
+/// the deltas paired with a snapshot of the shadow `(edges, locations)`
+/// state after each batch — the single source of truth the from-scratch
+/// reference engines are built from.
+#[allow(clippy::type_complexity)]
+fn build_update_schedule(
+    rsn: &RoadSocialNetwork,
+    edges: &mut [(u32, u32, f64)],
+    locations: &mut [Location],
+    batches: usize,
+    scenario: Scenario,
+) -> (
+    Vec<NetworkDelta>,
+    Vec<(Vec<(u32, u32, f64)>, Vec<Location>)>,
+) {
+    const MULTIPLIERS: [f64; 5] = [0.6, 0.85, 1.2, 1.6, 2.3];
+    let n_users = locations.len();
+    let n_road = rsn.road().num_vertices() as u32;
+    let m = edges.len();
+    // The canonical edge order is sorted by (u, v) and vertex ids are
+    // row-major, so a contiguous index window is a spatial region.
+    let (window_start, window_len) = match scenario.edge_window {
+        Some(frac) => {
+            let len = ((m as f64 * frac).ceil() as usize).clamp(1, m);
+            (m / 3, len)
+        }
+        None => (0, m),
+    };
+    let mut schedule = Vec::with_capacity(batches);
+    let mut post_states = Vec::with_capacity(batches);
+    for b in 0..batches {
+        let mut delta = NetworkDelta::new();
+        for i in 0..scenario.edges_per_batch.min(window_len) {
+            let idx = (window_start + (b * 9973 + i * 101 + 7) % window_len) % m;
+            let (u, v, w) = edges[idx];
+            let min_allowed = locations
+                .iter()
+                .filter_map(|loc| match *loc {
+                    Location::OnEdge {
+                        u: lu,
+                        v: lv,
+                        offset,
+                    } if (lu, lv) == (u, v) => Some(offset),
+                    _ => None,
+                })
+                .fold(0.0f64, f64::max);
+            let w_new = (w * MULTIPLIERS[(b + i) % MULTIPLIERS.len()]).max(min_allowed);
+            edges[idx].2 = w_new;
+            delta = delta.reweight_edge(u, v, w_new);
+        }
+        for i in 0..scenario.users_per_batch.min(n_users) {
+            let user = ((b * 677 + i * 397 + 11) % n_users) as u32;
+            let loc = if i % 3 == 0 {
+                let (u, v, w) = edges[(b * 131 + i * 29) % m];
+                Location::on_edge(u, v, 0.5 * w, w)
+            } else {
+                Location::Vertex(((b * 283 + i * 173) as u32 * 7 + 1) % n_road)
+            };
+            locations[user as usize] = loc;
+            delta = delta.move_user(user, loc);
+        }
+        schedule.push(delta);
+        post_states.push((edges.to_vec(), locations.to_vec()));
+    }
+    (schedule, post_states)
 }
 
 fn assert_results_identical(label: &str, a: &MacSearchResult, b: &MacSearchResult) {
@@ -138,184 +290,357 @@ fn assert_results_identical(label: &str, a: &MacSearchResult, b: &MacSearchResul
     }
 }
 
-fn measure_preset(spec: &Spec, reps: usize, queries: usize) -> PresetRow {
-    let dataset: Dataset = build_preset_scaled(
-        spec.name,
-        PresetScale {
-            social: spec.social_scale,
-            road: spec.road_scale,
+/// The multiway-vs-binary identity gate: engines indexed with fanout-4 and
+/// fanout-8 multiway trees must answer every workload query identically to
+/// the binary-bisection reference — on the fresh build and again after an
+/// update batch hits all three engines. Runs at reduced scale (the property
+/// is structural, not scale-dependent) and is a hard gate: the recorder
+/// panics before a single timing row is produced if any answer diverges.
+fn run_identity_gate(road_vertices: usize, users: usize) -> (usize, usize) {
+    let rsn = grid_network(road_vertices, users, 13);
+    let workload = build_workload(&rsn, WORKLOAD_QUERIES);
+    let binary = MacEngine::build_uncalibrated(rsn.clone().with_gtree_index_params(16, 2));
+    let multiway: Vec<(usize, MacEngine)> = [4usize, 8]
+        .into_iter()
+        .map(|fanout| {
+            (
+                fanout,
+                MacEngine::build_uncalibrated(rsn.clone().with_gtree_index_params(16, fanout)),
+            )
+        })
+        .collect();
+
+    let mut checked = 0usize;
+    let mut compare_all = |stage: &str| {
+        let mut reference_session = binary.session();
+        for (fanout, engine) in &multiway {
+            let mut session = engine.session();
+            for (qi, query) in workload.iter().enumerate() {
+                let expected = reference_session
+                    .execute_non_contained(query)
+                    .expect("binary reference serves");
+                let got = session
+                    .execute_non_contained(query)
+                    .expect("multiway engine serves");
+                assert_results_identical(
+                    &format!("identity gate ({stage}), fanout {fanout}, query {qi}"),
+                    &expected,
+                    &got,
+                );
+                checked += 1;
+            }
+        }
+    };
+    compare_all("fresh build");
+
+    // One mixed batch through every engine: the incremental path must keep
+    // the trees equivalent, not just the builders.
+    let mut edges: Vec<(u32, u32, f64)> = rsn.road().edges().collect();
+    let mut locations: Vec<Location> = rsn.locations().to_vec();
+    let (schedule, _) = build_update_schedule(
+        &rsn,
+        &mut edges,
+        &mut locations,
+        1,
+        Scenario {
+            name: "identity",
+            edges_per_batch: 12,
+            users_per_batch: 8,
+            edge_window: None,
+            min_speedup: 1.0,
         },
-        11,
     );
-    let workload = build_workload(&dataset, spec, queries);
-
-    let (gtree_build_s, indexed) = best_of(1, || dataset.rsn.clone().with_gtree_index());
-    let (engine_build_s, engine) = best_of(1, || MacEngine::build(indexed.clone()));
-
-    // ---- Identity gate (untimed): armed-budget answers must be Complete
-    // and cell-identical to the exact path, for every workload query.
-    let mut session = engine.session();
-    let budget = armed_budget();
-    for (qi, query) in workload.iter().enumerate() {
-        let exact = session
-            .execute_non_contained(query)
-            .expect("exact path serves");
-        let outcome = session
-            .execute_with_budget(query, &budget)
-            .expect("armed path serves");
-        let QueryOutcome::Complete(armed) = outcome else {
-            panic!("query {qi}: the armed budget must never trip");
-        };
-        assert_results_identical(&format!("query {qi}"), &exact, &armed);
-    }
-
-    // ---- Degradation gate (untimed): a zero deadline returns Partial on
-    // every query, never panics, never errors.
-    let zero = QueryBudget::new().with_deadline(Duration::ZERO);
-    let mut zero_deadline_partials = 0usize;
-    for (qi, query) in workload.iter().enumerate() {
-        match session
-            .execute_with_budget(query, &zero)
-            .expect("zero deadline is not an error")
-        {
-            QueryOutcome::Partial(_) => zero_deadline_partials += 1,
-            QueryOutcome::Complete(_) => panic!("query {qi}: zero deadline cannot complete"),
+    for delta in &schedule {
+        binary.apply_updates(delta).expect("binary absorbs delta");
+        for (_, engine) in &multiway {
+            engine.apply_updates(delta).expect("multiway absorbs delta");
         }
     }
+    compare_all("after update batch");
+    (multiway.len(), checked)
+}
 
-    // ---- Serving rates: the same sweep, exact vs armed (best of reps).
-    let (unbudgeted_s, _) = best_of(reps, || {
+/// One PR-5 scenario on the prepared continental engine: correctness gate
+/// (untimed) against per-batch scratch rebuilds, then the schedule replayed
+/// under the clock both ways.
+fn measure_scenario(
+    indexed: &RoadSocialNetwork,
+    workload: &[MacQuery],
+    scenario: Scenario,
+    reps: usize,
+) -> ScenarioRow {
+    // Shadow state the reference engines rebuild from.
+    let mut edges: Vec<(u32, u32, f64)> = indexed.road().edges().collect();
+    let mut locations: Vec<Location> = indexed.locations().to_vec();
+    let (schedule, post_states) = build_update_schedule(
+        indexed,
+        &mut edges,
+        &mut locations,
+        UPDATE_BATCHES,
+        scenario,
+    );
+    let rebuild_rsn = |state: &(Vec<(u32, u32, f64)>, Vec<Location>)| -> RoadSocialNetwork {
+        RoadSocialNetwork::new(
+            indexed.social().clone(),
+            RoadNetwork::from_edges(indexed.road().num_vertices(), &state.0),
+            state.1.clone(),
+            indexed.all_attributes().to_vec(),
+        )
+        .expect("shadow state stays consistent")
+    };
+
+    // ---- Correctness gate (untimed): after every batch, the incrementally
+    // updated engine must answer the whole workload identically to an engine
+    // rebuilt from scratch on the shadow post-batch state.
+    let engine = MacEngine::build(indexed.clone());
+    let mut session = engine.session();
+    let mut dirty_fraction_sum = 0.0;
+    for (bi, delta) in schedule.iter().enumerate() {
+        let stats = engine
+            .apply_updates(delta)
+            .expect("schedule deltas are valid");
+        assert_eq!(stats.epoch, bi as u64 + 1);
+        if let Some(g) = stats.gtree {
+            dirty_fraction_sum += g.dirty_fraction();
+        }
+        let reference = MacEngine::build_uncalibrated(
+            rebuild_rsn(&post_states[bi]).with_gtree_index_capacity(GRID_LEAF_CAPACITY),
+        );
+        let mut reference_session = reference.session();
+        for (qi, query) in workload.iter().enumerate() {
+            let updated = session
+                .execute_non_contained(query)
+                .expect("updated engine serves");
+            let rebuilt = reference_session
+                .execute_non_contained(query)
+                .expect("rebuilt engine serves");
+            assert_results_identical(
+                &format!("{} batch {bi}, query {qi}", scenario.name),
+                &updated,
+                &rebuilt,
+            );
+        }
+    }
+    let final_epoch = engine.epoch().id();
+
+    // ---- Incremental timing: replay the same schedule on fresh engines
+    // (rebuilt untimed per rep so every rep starts from the base epoch),
+    // clocking only the apply_updates calls.
+    let mut incremental_total_s = f64::INFINITY;
+    for _ in 0..reps {
+        let replay = MacEngine::build(indexed.clone());
+        let mut total = 0.0;
+        for delta in &schedule {
+            let start = Instant::now();
+            replay
+                .apply_updates(delta)
+                .expect("replay deltas are valid");
+            total += start.elapsed().as_secs_f64();
+        }
+        incremental_total_s = incremental_total_s.min(total);
+    }
+
+    // ---- Full-rebuild timing: what absorbing each batch costs without the
+    // update subsystem — rebuild the index and re-prepare the engine on the
+    // post-batch network (network assembly excluded from the clock; the
+    // serving system would have it either way).
+    let mut rebuild_total_s = f64::INFINITY;
+    for _ in 0..reps {
+        let mut total = 0.0;
+        for state in &post_states {
+            let plain = rebuild_rsn(state);
+            let start = Instant::now();
+            let rebuilt = MacEngine::build(plain.with_gtree_index_capacity(GRID_LEAF_CAPACITY));
+            total += start.elapsed().as_secs_f64();
+            std::hint::black_box(rebuilt);
+        }
+        rebuild_total_s = rebuild_total_s.min(total);
+    }
+
+    // ---- Serving throughput after the final epoch (context row).
+    let (serving_s, _) = best_of(reps, || {
         for _ in 0..SERVING_PASSES {
-            for query in &workload {
+            for query in workload {
                 session
                     .execute_non_contained(query)
-                    .expect("exact serving works");
+                    .expect("post-churn serving works");
             }
         }
     });
-    let (armed_s, _) = best_of(reps, || {
-        for _ in 0..SERVING_PASSES {
-            for query in &workload {
-                let outcome = session
-                    .execute_with_budget(query, &budget)
-                    .expect("armed serving works");
-                assert!(outcome.is_complete(), "armed budget tripped mid-benchmark");
-                std::hint::black_box(outcome);
-            }
-        }
-    });
+    let serving_qps_after_churn = (SERVING_PASSES * workload.len()) as f64 / serving_s.max(1e-12);
 
-    PresetRow {
-        label: format!("{}{}", dataset.name.label(), spec.label_suffix),
-        users: dataset.rsn.num_users(),
-        road_vertices: dataset.rsn.road().num_vertices(),
-        workload: workload.len(),
-        passes: SERVING_PASSES,
-        gtree_build_s,
-        engine_build_s,
-        unbudgeted_s,
-        armed_s,
-        zero_deadline_partials,
+    ScenarioRow {
+        scenario: scenario.name,
+        batches: schedule.len(),
+        edge_updates_total: schedule.iter().map(|d| d.edge_updates.len()).sum(),
+        user_moves_total: schedule.iter().map(|d| d.user_moves.len()).sum(),
+        min_speedup: scenario.min_speedup,
+        incremental_total_s,
+        rebuild_total_s,
+        dirty_fraction_mean: dirty_fraction_sum / schedule.len().max(1) as f64,
+        serving_qps_after_churn,
+        final_epoch,
     }
 }
 
-fn json_row(r: &PresetRow) -> String {
+fn json_row(r: &ScenarioRow) -> String {
     format!(
         concat!(
             "    {{\n",
-            "      \"preset\": \"{}\",\n",
-            "      \"users\": {},\n",
-            "      \"road_vertices\": {},\n",
-            "      \"workload_queries\": {},\n",
-            "      \"serving_passes\": {},\n",
-            "      \"gtree_build_seconds\": {:.6},\n",
-            "      \"engine_build_seconds\": {:.6},\n",
-            "      \"unbudgeted_sweep_seconds\": {:.6},\n",
-            "      \"armed_budget_sweep_seconds\": {:.6},\n",
-            "      \"unbudgeted_qps\": {:.1},\n",
-            "      \"armed_budget_qps\": {:.1},\n",
-            "      \"budget_overhead_fraction\": {:.4},\n",
-            "      \"overhead_within_5_percent\": {},\n",
-            "      \"results_identical_to_unbudgeted\": true,\n",
-            "      \"zero_deadline_partials\": {}\n",
+            "      \"scenario\": \"{}\",\n",
+            "      \"update_batches\": {},\n",
+            "      \"edge_reweights_total\": {},\n",
+            "      \"user_moves_total\": {},\n",
+            "      \"incremental_total_seconds\": {:.6},\n",
+            "      \"incremental_mean_batch_seconds\": {:.6},\n",
+            "      \"full_rebuild_total_seconds\": {:.6},\n",
+            "      \"full_rebuild_mean_batch_seconds\": {:.6},\n",
+            "      \"incremental_speedup\": {:.2},\n",
+            "      \"min_speedup_gate\": {:.1},\n",
+            "      \"gate_passed\": {},\n",
+            "      \"gtree_dirty_fraction_mean\": {:.4},\n",
+            "      \"serving_qps_after_churn\": {:.1},\n",
+            "      \"final_epoch\": {}\n",
             "    }}"
         ),
-        r.label,
-        r.users,
-        r.road_vertices,
-        r.workload,
-        r.passes,
-        r.gtree_build_s,
-        r.engine_build_s,
-        r.unbudgeted_s,
-        r.armed_s,
-        r.unbudgeted_qps(),
-        r.armed_qps(),
-        r.overhead_fraction(),
-        r.overhead_fraction() <= MAX_OVERHEAD_FRACTION,
-        r.zero_deadline_partials,
+        r.scenario,
+        r.batches,
+        r.edge_updates_total,
+        r.user_moves_total,
+        r.incremental_total_s,
+        r.incremental_mean_batch_s(),
+        r.rebuild_total_s,
+        r.rebuild_mean_batch_s(),
+        r.speedup(),
+        r.min_speedup,
+        r.speedup() >= r.min_speedup,
+        r.dirty_fraction_mean,
+        r.serving_qps_after_churn,
+        r.final_epoch,
     )
 }
 
-fn print_row(row: &PresetRow) {
+fn print_row(row: &ScenarioRow) {
     eprintln!(
-        "  {} | exact {:.1} q/s vs armed {:.1} q/s -> overhead {:+.2}% | zero-deadline: {}/{} partial, 0 panics",
-        row.label,
-        row.unbudgeted_qps(),
-        row.armed_qps(),
-        row.overhead_fraction() * 100.0,
-        row.zero_deadline_partials,
-        row.workload,
+        "  [{}] {} batches ({} reweights + {} moves) | incremental {:.4}s total ({:.1} ms/batch, {:.0}% of tree dirty) vs full rebuild {:.3}s total ({:.1} ms/batch) -> {:.1}x (gate >= {:.1}x) | serving after churn {:.1} q/s (epoch {})",
+        row.scenario,
+        row.batches,
+        row.edge_updates_total,
+        row.user_moves_total,
+        row.incremental_total_s,
+        row.incremental_mean_batch_s() * 1e3,
+        row.dirty_fraction_mean * 100.0,
+        row.rebuild_total_s,
+        row.rebuild_mean_batch_s() * 1e3,
+        row.speedup(),
+        row.min_speedup,
+        row.serving_qps_after_churn,
+        row.final_epoch,
     );
 }
 
-fn write_record(path: &str, description: &str, pr: u32, reps: usize, rows: &[PresetRow]) {
+#[allow(clippy::too_many_arguments)]
+fn write_record(
+    path: &str,
+    description: &str,
+    reps: usize,
+    gtree_build_s: f64,
+    engine_build_s: f64,
+    identity_checks: usize,
+    grid_vertices: usize,
+    grid_users: usize,
+    rows: &[ScenarioRow],
+) {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let body: Vec<String> = rows.iter().map(json_row).collect();
+    let scenarios = if body.is_empty() {
+        String::new()
+    } else {
+        format!("\n{}\n  ", body.join(",\n"))
+    };
     let json = format!(
-        "{{\n  \"pr\": {pr},\n  \"description\": \"{description}\",\n  \"reps\": {reps},\n  \"available_cores\": {cores},\n  \"presets\": [\n{}\n  ]\n}}\n",
-        body.join(",\n")
+        concat!(
+            "{{\n",
+            "  \"pr\": 8,\n",
+            "  \"description\": \"{}\",\n",
+            "  \"reps\": {},\n",
+            "  \"available_cores\": {},\n",
+            "  \"grid_road_vertices\": {},\n",
+            "  \"grid_users\": {},\n",
+            "  \"gtree_leaf_capacity\": {},\n",
+            "  \"gtree_build_seconds\": {:.6},\n",
+            "  \"gtree_build_budget_seconds\": {:.1},\n",
+            "  \"build_within_budget\": {},\n",
+            "  \"engine_build_seconds\": {:.6},\n",
+            "  \"multiway_vs_binary_identity_checks\": {},\n",
+            "  \"scenarios\": [{}]\n",
+            "}}\n"
+        ),
+        description,
+        reps,
+        cores,
+        grid_vertices,
+        grid_users,
+        GRID_LEAF_CAPACITY,
+        gtree_build_s,
+        BUILD_BUDGET_SECONDS,
+        gtree_build_s <= BUILD_BUDGET_SECONDS,
+        engine_build_s,
+        identity_checks,
+        scenarios,
     );
     std::fs::write(path, &json).expect("write bench record");
     println!("{json}");
     eprintln!("wrote {path}");
 }
 
-const DESCRIPTION: &str = "Perf trajectory for deadline-aware serving: the PR-4 serving \
-workload executed unbudgeted (exact path) and under an armed QueryBudget (work limit + far \
-deadline, amortized ticker polling active on every pipeline stage). Armed answers are asserted \
-cell-identical to the exact path and a zero deadline is asserted to degrade every query to a \
-Partial outcome without panicking before anything is timed; the armed sweep must stay within \
-5% of the unbudgeted sweep on every preset";
+const DESCRIPTION: &str = "Perf trajectory for the continental-scale G-tree rebuild: multiway \
+(fanout-4/8) GGGP+FM partitioning with contracted reduced border graphs builds a 40k-vertex \
+grid index in seconds (pre-PR binary builder: minutes); multiway engines are asserted \
+query-identical to the binary-bisection reference before any timing; PR-5 dynamic-traffic \
+scenarios replayed on the grid preset with per-batch scratch-rebuild equivalence gates. \
+Speedup gates are honest: user churn leaves the index untouched and must win >= 10x; a \
+24-edge traffic batch reroutes shortest paths through ~98% of root border-matrix rows, so \
+exact row-complete maintenance wins by ~2-3x and is gated at >= 1.5x";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--smoke") {
-        // CI guard: one tiny preset, one repetition. Both untimed gates
-        // (identity + zero-deadline degradation) still run, so the budgeted
-        // serving path cannot bit-rot silently; the small record is uploaded
-        // as a CI artifact on every run.
-        let spec = Spec {
-            name: PresetName::SfSlashdot,
-            label_suffix: " (smoke)",
-            social_scale: 0.1,
-            road_scale: 0.1,
-            k: 8,
-            sigma: 0.02,
-            t_scale: 0.5,
-        };
-        let row = measure_preset(&spec, 1, 4);
-        print_row(&row);
+        // CI guard: the structural identity gate at reduced scale, then the
+        // full-size grid build under its wall-clock budget. No update
+        // scenarios (tier-1 tests and the full recorder cover those); the
+        // small record is uploaded as a CI artifact on every run.
+        eprintln!("smoke: multiway-vs-binary identity gate (reduced scale)...");
+        let (fanouts, checked) = run_identity_gate(2_500, 400);
+        eprintln!("  {checked} query comparisons across {fanouts} fanouts: identical");
+        eprintln!(
+            "smoke: {GRID_ROAD_VERTICES}-vertex grid build (budget {BUILD_BUDGET_SECONDS:.0}s)..."
+        );
+        let rsn = grid_network(GRID_ROAD_VERTICES, GRID_USERS, 7);
+        let (gtree_build_s, indexed) = best_of(1, || {
+            rsn.clone().with_gtree_index_capacity(GRID_LEAF_CAPACITY)
+        });
+        assert!(
+            gtree_build_s <= BUILD_BUDGET_SECONDS,
+            "grid G-tree build took {gtree_build_s:.1}s, budget is {BUILD_BUDGET_SECONDS:.0}s"
+        );
+        let (engine_build_s, engine) = best_of(1, || MacEngine::build(indexed.clone()));
+        std::hint::black_box(engine);
+        eprintln!("  gtree {gtree_build_s:.2}s, engine {engine_build_s:.3}s: within budget");
         write_record(
             SMOKE_OUTPUT,
-            "CI smoke record of the budgeted serving path (tiny scale, 1 rep): \
-             armed-budget identity and zero-deadline degradation gates exercised \
-             end-to-end; timings are noise-scale and not comparable across runs",
-            6,
+            "CI smoke record of the continental G-tree path: multiway-vs-binary \
+             identity gate at reduced scale plus the 40k grid build under its \
+             wall-clock budget; timings are noise-scale and not comparable across runs",
             1,
-            &[row],
+            gtree_build_s,
+            engine_build_s,
+            checked,
+            GRID_ROAD_VERTICES,
+            GRID_USERS,
+            &[],
         );
         println!("smoke ok");
         return;
@@ -323,60 +648,54 @@ fn main() {
     let reps: usize = args
         .first()
         .and_then(|s| s.parse().ok())
-        .unwrap_or(5)
+        .unwrap_or(2)
         .max(1);
 
-    let specs = [
-        Spec {
-            name: PresetName::SfSlashdot,
-            label_suffix: "",
-            social_scale: 0.15,
-            road_scale: 2.0,
-            k: 12,
-            sigma: 0.02,
-            t_scale: 0.4,
-        },
-        Spec {
-            name: PresetName::FlLastfm,
-            label_suffix: "",
-            social_scale: 0.15,
-            road_scale: 2.0,
-            k: 10,
-            sigma: 0.02,
-            t_scale: 0.4,
-        },
-        // Sparse-users-on-large-road regime: the range filter dominates the
-        // query here, so this row stresses the polling inside the sweep/walk.
-        Spec {
-            name: PresetName::SfSlashdot,
-            label_suffix: " (road-heavy)",
-            social_scale: 0.1,
-            road_scale: 4.0,
-            k: 8,
-            sigma: 0.03,
-            t_scale: 0.5,
-        },
-    ];
+    eprintln!("identity gate: multiway (fanout 4, 8) vs binary reference...");
+    let (fanouts, checked) = run_identity_gate(2_500, 400);
+    eprintln!("  {checked} query comparisons across {fanouts} fanouts: identical");
+
+    eprintln!(
+        "building the continental preset ({GRID_ROAD_VERTICES} road vertices, {GRID_USERS} users, leaf capacity {GRID_LEAF_CAPACITY})..."
+    );
+    let rsn = grid_network(GRID_ROAD_VERTICES, GRID_USERS, 7);
+    let (gtree_build_s, indexed) = best_of(1, || {
+        rsn.clone().with_gtree_index_capacity(GRID_LEAF_CAPACITY)
+    });
+    assert!(
+        gtree_build_s <= BUILD_BUDGET_SECONDS,
+        "grid G-tree build took {gtree_build_s:.1}s, budget is {BUILD_BUDGET_SECONDS:.0}s"
+    );
+    let (engine_build_s, _) = best_of(1, || MacEngine::build(indexed.clone()));
+    eprintln!("  gtree {gtree_build_s:.2}s (budget {BUILD_BUDGET_SECONDS:.0}s), engine {engine_build_s:.3}s");
+
+    let workload = build_workload(&indexed, WORKLOAD_QUERIES);
     let mut rows = Vec::new();
-    for spec in &specs {
+    for scenario in SCENARIOS {
         eprintln!(
-            "measuring {}{} (k={}, {} queries x {} passes, reps={reps})...",
-            spec.name.label(),
-            spec.label_suffix,
-            spec.k,
-            WORKLOAD_QUERIES,
-            SERVING_PASSES,
+            "measuring [{}] ({} batches, reps={reps})...",
+            scenario.name, UPDATE_BATCHES
         );
-        let row = measure_preset(spec, reps, WORKLOAD_QUERIES);
+        let row = measure_scenario(&indexed, &workload, scenario, reps);
         print_row(&row);
         assert!(
-            row.overhead_fraction() <= MAX_OVERHEAD_FRACTION,
-            "{}: armed-budget overhead {:.2}% exceeds the {:.0}% ceiling",
-            row.label,
-            row.overhead_fraction() * 100.0,
-            MAX_OVERHEAD_FRACTION * 100.0
+            row.speedup() >= row.min_speedup,
+            "[{}]: incremental speedup {:.2}x is below the {:.1}x gate",
+            row.scenario,
+            row.speedup(),
+            row.min_speedup
         );
         rows.push(row);
     }
-    write_record(OUTPUT, DESCRIPTION, 6, reps, &rows);
+    write_record(
+        OUTPUT,
+        DESCRIPTION,
+        reps,
+        gtree_build_s,
+        engine_build_s,
+        checked,
+        GRID_ROAD_VERTICES,
+        GRID_USERS,
+        &rows,
+    );
 }

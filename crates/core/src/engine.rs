@@ -35,10 +35,17 @@
 //! Per-thread execution state lives in [`QuerySession`] (obtained via
 //! [`MacEngine::session`]); the engine itself holds no per-query state.
 
+use crate::budget::{BudgetTicker, QueryBudget};
+use crate::context::{BuildOutcome, ContextScratch, SearchContext};
 use crate::error::{DeltaEntry, MacError};
+use crate::global::GlobalSearch;
+use crate::ktcore::KtOutcome;
+use crate::local::{ExpandStrategy, LocalSearch};
 use crate::network::RoadSocialNetwork;
 use crate::query::MacQuery;
 use crate::session::QuerySession;
+use rsn_geom::region::PrefRegion;
+use rsn_geom::weights::WeightVector;
 use rsn_graph::graph::VertexId;
 use rsn_road::gtree::{GTreeUpdateStats, LeafTargets};
 use rsn_road::network::{EdgeUpdate, Location};
@@ -48,7 +55,7 @@ use rsn_road::rangefilter::{
     RangeFilterChoice,
 };
 use std::sync::{Arc, Mutex, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Which search algorithm answers a query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -69,14 +76,48 @@ pub enum AlgorithmChoice {
     Local,
 }
 
-/// Default (k,t)-core size above which `AlgorithmChoice::Auto` switches from
-/// the exact global search to the local framework. The global search's
-/// arrangement work grows super-linearly with the core (every level of the
-/// peel re-arranges the surviving leaves), while the local framework's
-/// expand-and-verify cost is governed by the candidate budget; the paper's
-/// evaluation (Fig. 13–14) shows the local algorithms winning by orders of
-/// magnitude on large cores.
+/// Fallback (k,t)-core size above which `AlgorithmChoice::Auto` switches
+/// from the exact global search to the local framework, used whenever the
+/// build-time crossover probe cannot produce a trustworthy measurement
+/// (uncalibrated builds, empty or near-empty networks, probe cores outside
+/// [`CROSSOVER_PROBE_CORE_RANGE`], timings under the noise floor). The
+/// global search's arrangement work grows super-linearly with the core
+/// (every level of the peel re-arranges the surviving leaves), while the
+/// local framework's expand-and-verify cost is governed by the candidate
+/// budget; the paper's evaluation (Fig. 13–14) shows the local algorithms
+/// winning by orders of magnitude on large cores.
 pub const DEFAULT_LOCAL_CORE_THRESHOLD: usize = 4096;
+
+/// Clamp bounds for the measured GS→LS crossover threshold. The lower bound
+/// keeps small cores on the exact global search no matter how flattering the
+/// local timing looked (the local framework is a heuristic; exactness is
+/// cheap at this size), the upper bound keeps a lucky global timing from
+/// routing arbitrarily large cores to the super-linear exact path.
+const CROSSOVER_THRESHOLD_BOUNDS: (usize, usize) = (256, 1 << 22);
+
+/// Probe-core window inside which the crossover measurement is trusted.
+/// Below the floor both algorithms finish in noise. The ceiling bounds the
+/// probe's own cost: the exact global search is super-linear in the core, so
+/// timing it on a core of thousands costs whole seconds of engine build —
+/// instead the probe *shrinks its distance threshold* until the anchor core
+/// fits under the ceiling and extrapolates the crossover from there.
+const CROSSOVER_PROBE_CORE_RANGE: (usize, usize) = (32, 128);
+
+/// How many times the crossover probe shrinks its distance threshold looking
+/// for an anchor core inside [`CROSSOVER_PROBE_CORE_RANGE`].
+const CROSSOVER_PROBE_ATTEMPTS: usize = 8;
+
+/// Seconds below which a crossover probe timing is treated as noise.
+const CROSSOVER_NOISE_FLOOR: f64 = 1e-6;
+
+/// Hard wall-clock cap on the *entire* crossover probe — every extraction
+/// attempt and both timed searches run under one deadline-armed
+/// [`BudgetTicker`](rsn_road::budget::BudgetTicker), and exhaustion keeps
+/// [`DEFAULT_LOCAL_CORE_THRESHOLD`]. An engine build must never stall on its
+/// own calibration: the probe costs single-digit milliseconds on networks
+/// where it matters, so a build that would blow this cap is one where the
+/// measurement is untrustworthy anyway (debug builds, starved machines).
+const CROSSOVER_PROBE_DEADLINE: Duration = Duration::from_millis(250);
 
 /// Relative drift of the sampled average edge weight beyond which
 /// [`MacEngine::apply_updates`] re-runs the calibration probe. The average
@@ -106,7 +147,9 @@ pub struct EngineCalibration {
     /// The distance threshold the probe used (0.0 when no probe ran).
     pub probe_t: f64,
     /// (k,t)-core size above which `AlgorithmChoice::Auto` resolves to the
-    /// local framework instead of the exact global search.
+    /// local framework instead of the exact global search: measured
+    /// per-network by the build-time crossover probe when it ran and was
+    /// trusted, [`DEFAULT_LOCAL_CORE_THRESHOLD`] otherwise.
     pub local_core_threshold: usize,
 }
 
@@ -470,6 +513,11 @@ impl MacEngine {
                 calibration = Self::probe(&rsn, tree, targets);
                 calibrated_avg_edge_weight = sampled_avg_edge_weight(rsn.road());
             }
+            // The GS→LS crossover depends on the social structure, not the
+            // index, so it is measured even on unindexed networks.
+            if let Some(threshold) = Self::probe_crossover(&rsn, user_targets.as_ref()) {
+                calibration.local_core_threshold = threshold;
+            }
         }
         MacEngine {
             shared: Arc::new(EngineShared {
@@ -577,6 +625,119 @@ impl MacEngine {
         calibration.walk_probe_seconds = walk_seconds;
         calibration.probe_t = probe_t;
         calibration
+    }
+
+    /// The build-time GS→LS crossover probe. Builds one probe query (the
+    /// best-connected user, `k = 2`, threshold ≈ [`PROBE_HOP_RADIUS`] average
+    /// edge weights, the full preference region), runs the exact global
+    /// search and the local framework on the same context (best of two each),
+    /// and extrapolates the core size where they break even: the global
+    /// search's arrangement work is super-linear in the core while the local
+    /// framework's is roughly linear, so if the global run takes `g` seconds
+    /// and the local run `l` seconds on a core of `c` users, the modelled
+    /// crossover is `c · l / g`, clamped to [`CROSSOVER_THRESHOLD_BOUNDS`].
+    ///
+    /// Returns `None` — keep [`DEFAULT_LOCAL_CORE_THRESHOLD`] — whenever the
+    /// measurement cannot be trusted: no users, degenerate weights, a probe
+    /// core outside [`CROSSOVER_PROBE_CORE_RANGE`], a timing under the noise
+    /// floor, or the [`CROSSOVER_PROBE_DEADLINE`] exhausted anywhere along
+    /// the way (the whole probe — extraction attempts, context build, and
+    /// all four timed runs — shares one deadline-armed ticker, so a slow
+    /// machine or a pathological network can never stall an engine build).
+    fn probe_crossover(rsn: &RoadSocialNetwork, targets: Option<&LeafTargets>) -> Option<usize> {
+        if rsn.num_users() == 0 || rsn.road().num_vertices() == 0 || rsn.attribute_dim() < 2 {
+            return None;
+        }
+        let avg_w = sampled_avg_edge_weight(rsn.road());
+        if !(avg_w.is_finite() && avg_w > 0.0) {
+            return None;
+        }
+        let seed = (0..rsn.num_users() as VertexId).max_by_key(|&v| rsn.social().degree(v))?;
+        // A paper-scale preference region (Table III uses sigma as a small
+        // fraction of the axis): the arrangement work of both searches grows
+        // steeply with the region, and serving queries use narrow regions —
+        // probing with the full domain would time a workload nobody runs.
+        let center = WeightVector::uniform(rsn.attribute_dim()).ok()?;
+        let region = PrefRegion::around(&center, 0.05).ok()?;
+        let budget = QueryBudget::new().with_deadline(CROSSOVER_PROBE_DEADLINE);
+        let mut ticker = budget.arm();
+        let mut scratch = ContextScratch::new();
+        let (core_floor, core_ceiling) = CROSSOVER_PROBE_CORE_RANGE;
+        let mut probe_t = avg_w * PROBE_HOP_RADIUS;
+        for _attempt in 0..CROSSOVER_PROBE_ATTEMPTS {
+            let query = MacQuery::new(vec![seed], 2, probe_t, region.clone());
+            // Size the anchor core with the extraction alone first: the full
+            // context build adds an O(core²) r-dominance graph, far too
+            // expensive to pay just to learn the core is oversized.
+            let core = match crate::ktcore::maximal_kt_core_budgeted(
+                rsn,
+                &query,
+                RangeFilterChoice::DijkstraSweep,
+                targets,
+                &mut scratch.kt,
+                &mut ticker,
+            ) {
+                Ok(KtOutcome::Core(core)) => core.vertices.len(),
+                Ok(KtOutcome::Empty) | Ok(KtOutcome::Exhausted(_)) | Err(_) => return None,
+            };
+            if core > core_ceiling {
+                // Too expensive to time the exact search here; tighten the
+                // distance threshold to shrink the anchor core.
+                probe_t *= 0.7;
+                continue;
+            }
+            if core < core_floor {
+                return None;
+            }
+            let ctx = match SearchContext::build_budgeted(
+                rsn,
+                &query,
+                RangeFilterChoice::DijkstraSweep,
+                targets,
+                &mut scratch,
+                &mut ticker,
+            ) {
+                Ok(BuildOutcome::Ready(ctx)) => ctx,
+                Ok(BuildOutcome::Empty) | Ok(BuildOutcome::Exhausted(_)) | Err(_) => return None,
+            };
+            // Best of two repetitions, like the filter probe: the first run
+            // warms caches, the second measures the steady state. Both sides
+            // run the budgeted paths, so the polling overhead cancels out of
+            // the ratio and a tripped deadline abandons the probe instead of
+            // reporting a truncated (meaningless) timing.
+            let mut time = |run: &mut dyn FnMut(&mut BudgetTicker) -> bool| {
+                let mut best = f64::INFINITY;
+                for _ in 0..2 {
+                    let start = Instant::now();
+                    if !run(&mut ticker) {
+                        return None;
+                    }
+                    best = best.min(start.elapsed().as_secs_f64());
+                }
+                Some(best)
+            };
+            let global_seconds = time(&mut |ticker| {
+                GlobalSearch::explore_context_budgeted(&ctx, false, ticker).completed
+            })?;
+            // The session's default expansion knobs, so the measured cost is
+            // the cost Auto-routed queries will actually pay.
+            let local_seconds = time(&mut |ticker| {
+                LocalSearch::run_context_budgeted(
+                    &ctx,
+                    ExpandStrategy::default(),
+                    12,
+                    false,
+                    ticker,
+                )
+                .completed
+            })?;
+            if global_seconds < CROSSOVER_NOISE_FLOOR || local_seconds < CROSSOVER_NOISE_FLOOR {
+                return None;
+            }
+            let (lo, hi) = CROSSOVER_THRESHOLD_BOUNDS;
+            return Some(((core as f64 * (local_seconds / global_seconds)) as usize).clamp(lo, hi));
+        }
+        None
     }
 
     /// Pins the epoch currently being served: one brief read lock, one `Arc`
@@ -716,6 +877,10 @@ impl MacEngine {
                     true
                 };
                 if drifted {
+                    // The GS→LS crossover is a property of the social
+                    // structure and the machine, neither of which a delta
+                    // can change (topology is fixed): keep the build-time
+                    // measurement instead of paying the probe again.
                     let threshold = calibration.local_core_threshold;
                     calibration = Self::probe(&rsn, tree, targets);
                     calibration.local_core_threshold = threshold;
@@ -932,6 +1097,65 @@ mod tests {
         assert_eq!(
             engine.resolve_algorithm(AlgorithmChoice::Global, usize::MAX),
             AlgorithmChoice::Global
+        );
+    }
+
+    /// 64 users whose circulant social graph (degree 4 everywhere) survives
+    /// the `k = 2` peel intact and whose locations all sit well inside the
+    /// probe radius: the crossover probe gets a core above its trust floor.
+    fn probeable_network() -> RoadSocialNetwork {
+        let n: u32 = 64;
+        let mut social_edges = Vec::new();
+        for i in 0..n {
+            social_edges.push((i, (i + 1) % n));
+            social_edges.push((i, (i + 2) % n));
+        }
+        let social = Graph::from_edges(n as usize, &social_edges);
+        let road_edges: Vec<(u32, u32, f64)> = (0..7).map(|i| (i, i + 1, 1.0)).collect();
+        let road = RoadNetwork::from_edges(8, &road_edges);
+        let locations = (0..n).map(|i| Location::vertex(i % 8)).collect();
+        let attrs = (0..n)
+            .map(|i| vec![(i % 10) as f64 / 10.0, 1.0 - (i % 10) as f64 / 10.0])
+            .collect();
+        RoadSocialNetwork::new(social, road, locations, attrs).unwrap()
+    }
+
+    #[test]
+    fn measured_build_probes_the_algorithm_crossover() {
+        let engine = MacEngine::build(probeable_network());
+        let thr = engine.calibration().local_core_threshold;
+        let (lo, hi) = CROSSOVER_THRESHOLD_BOUNDS;
+        assert!(
+            (lo..=hi).contains(&thr),
+            "crossover threshold {thr} escaped the clamp [{lo}, {hi}]"
+        );
+        // Routing pins that hold whatever the probe timings were: cores under
+        // the clamp floor stay on the exact global search, cores above the
+        // clamp ceiling always go to the local framework.
+        assert_eq!(
+            engine.resolve_algorithm(AlgorithmChoice::Auto, lo - 1),
+            AlgorithmChoice::Global
+        );
+        assert_eq!(
+            engine.resolve_algorithm(AlgorithmChoice::Auto, hi + 1),
+            AlgorithmChoice::Local
+        );
+    }
+
+    #[test]
+    fn uncalibrated_and_tiny_networks_keep_the_default_crossover() {
+        // Deterministic builds never time anything.
+        let engine = MacEngine::build_uncalibrated(probeable_network());
+        assert_eq!(
+            engine.calibration().local_core_threshold,
+            DEFAULT_LOCAL_CORE_THRESHOLD
+        );
+        // Six users is under the probe-core trust floor: the measurement is
+        // rejected and the analytic default survives a measured build.
+        let engine = MacEngine::build(network(true));
+        assert_eq!(
+            engine.calibration().local_core_threshold,
+            DEFAULT_LOCAL_CORE_THRESHOLD
         );
     }
 

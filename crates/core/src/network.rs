@@ -8,6 +8,7 @@ use rsn_road::oracle::DistanceOracle;
 #[allow(deprecated)]
 use rsn_road::oracle::OracleChoice;
 use rsn_road::rangefilter::{resolve_auto, RangeFilter, RangeFilterChoice};
+use std::sync::Arc;
 
 /// What [`RoadSocialNetwork::apply_edge_updates`] changed beyond the edge
 /// weights themselves.
@@ -28,17 +29,24 @@ pub struct EdgeUpdateOutcome {
 /// network ([`with_gtree_index`](Self::with_gtree_index)); queries then serve
 /// the Lemma-1 range filter and all `D_Q` evaluations from the G-tree instead
 /// of running per-query Dijkstra sweeps.
+/// Cloning a network is cheap: the heavy components — social graph, road
+/// network, attribute table, G-tree index — live behind [`Arc`]s and are
+/// shared until a mutation actually touches them (copy-on-write via
+/// [`Arc::make_mut`]). A user-churn delta therefore copies only the
+/// per-user `locations` vector; the multi-megabyte G-tree matrices are
+/// deep-copied only when an edge reweight must rewrite them while a previous
+/// epoch still holds the old version.
 #[derive(Debug, Clone)]
 pub struct RoadSocialNetwork {
-    social: Graph,
-    road: RoadNetwork,
+    social: Arc<Graph>,
+    road: Arc<RoadNetwork>,
     /// `locations[v]` = location of social user `v` in the road network.
     locations: Vec<Location>,
     /// `attrs[v]` = d-dimensional attribute vector of social user `v`.
-    attrs: Vec<Vec<f64>>,
+    attrs: Arc<Vec<Vec<f64>>>,
     dim: usize,
     /// Optional hierarchical distance index over `road`.
-    gtree: Option<GTree>,
+    gtree: Option<Arc<GTree>>,
 }
 
 impl RoadSocialNetwork {
@@ -91,10 +99,10 @@ impl RoadSocialNetwork {
             road.validate_location(loc)?;
         }
         Ok(RoadSocialNetwork {
-            social,
-            road,
+            social: Arc::new(social),
+            road: Arc::new(road),
             locations,
-            attrs,
+            attrs: Arc::new(attrs),
             dim,
             gtree: None,
         })
@@ -103,20 +111,36 @@ impl RoadSocialNetwork {
     /// Builds (or rebuilds) the G-tree index over the road network, enabling
     /// the G-tree distance oracle for subsequent queries.
     pub fn with_gtree_index(mut self) -> Self {
-        self.gtree = Some(GTree::build(&self.road));
+        self.gtree = Some(Arc::new(GTree::build(&self.road)));
         self
     }
 
     /// Like [`with_gtree_index`](Self::with_gtree_index) with an explicit
     /// leaf capacity (G-tree fan-out tuning knob).
     pub fn with_gtree_index_capacity(mut self, leaf_capacity: usize) -> Self {
-        self.gtree = Some(GTree::build_with_capacity(&self.road, leaf_capacity));
+        self.gtree = Some(Arc::new(GTree::build_with_capacity(
+            &self.road,
+            leaf_capacity,
+        )));
+        self
+    }
+
+    /// Like [`with_gtree_index_capacity`](Self::with_gtree_index_capacity)
+    /// with an explicit partition fanout as well (`fanout = 2` builds the
+    /// binary-bisection reference tree; queries are identical across fanouts,
+    /// only build time and matrix sizes differ).
+    pub fn with_gtree_index_params(mut self, leaf_capacity: usize, fanout: usize) -> Self {
+        self.gtree = Some(Arc::new(GTree::build_with_params(
+            &self.road,
+            leaf_capacity,
+            fanout,
+        )));
         self
     }
 
     /// The G-tree index, when one has been built.
     pub fn gtree(&self) -> Option<&GTree> {
-        self.gtree.as_ref()
+        self.gtree.as_deref()
     }
 
     /// Applies a batch of road-edge **reweights** to the network, refreshing
@@ -165,11 +189,15 @@ impl RoadSocialNetwork {
         // The road network validates the whole batch (existence, weight
         // range) before mutating, so an invalid entry still rejects the
         // delta with this network untouched.
-        self.road.apply_edge_updates(updates)?;
+        // Copy-on-write: a previous epoch may still share these Arcs, so
+        // the mutating path clones them lazily (`make_mut`) — exactly once,
+        // and only for edge-reweight deltas.
+        Arc::make_mut(&mut self.road).apply_edge_updates(updates)?;
+        let road = Arc::clone(&self.road);
         let gtree = self
             .gtree
             .as_mut()
-            .map(|tree| tree.apply_edge_updates(&self.road, updates));
+            .map(|tree| Arc::make_mut(tree).apply_edge_updates(&road, updates));
         Ok(EdgeUpdateOutcome {
             gtree,
             users_on_reweighted_edges,
@@ -234,7 +262,7 @@ impl RoadSocialNetwork {
         let resolved = match choice {
             RangeFilterChoice::Auto => resolve_auto(
                 &self.road,
-                self.gtree.as_ref(),
+                self.gtree.as_deref(),
                 num_query_locations,
                 t,
                 self.num_users(),

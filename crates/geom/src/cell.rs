@@ -246,14 +246,19 @@ impl Cell {
     }
 
     /// A representative point of the cell, roughly in its interior: the
-    /// average of the per-axis extreme points returned by the LP.
+    /// average of the per-axis extreme points returned by the LP (or the
+    /// polygon centroid on the 2-D fast path).
     ///
-    /// Returns `None` for empty cells **and for degenerate slivers** whose
-    /// representative cannot be pushed clear of a constraint boundary. A
-    /// sample on a boundary is where symbolic reasoning ("the score order is
-    /// fixed inside the cell") and concrete evaluation at the sample diverge
-    /// — the score difference is exactly zero there — so such measure-zero
-    /// cells are skipped rather than reported with an ambiguous witness.
+    /// Returns `None` only for genuinely empty cells. Degenerate slivers —
+    /// cells pinched flat (or near-flat) by opposing half-spaces — are
+    /// recovered by symbolic perturbation: the representative is nudged an
+    /// infinitesimal step towards the feasible side of every near-tight
+    /// constraint, and the candidate with the largest minimum slack wins.
+    /// For a measure-zero cell no strictly interior point exists; the sample
+    /// then lies *on* the pinching boundary, where the scores the cell was
+    /// split on are exactly equal — downstream consumers break those ties
+    /// deterministically (smallest id), so the cell's community is still
+    /// enumerated instead of being silently dropped from the arrangement.
     pub fn sample_point(&self) -> Option<Vec<f64>> {
         let dim = self.dim();
         if dim == 0 {
@@ -264,12 +269,23 @@ impl Cell {
             };
         }
         if let Some(poly) = &self.poly {
-            let point = polygon_centroid(poly)?;
-            let point = vec![point.0, point.1];
-            if self.constraints.iter().any(|hs| hs.eval(&point) <= EPS) {
+            if poly.is_empty() {
                 return None;
             }
-            return Some(point);
+            // Average of the clip vertices: a point of the cell by convexity,
+            // numerically stable even when the polygon is a segment or point.
+            let inv = 1.0 / poly.len() as f64;
+            let avg = poly
+                .iter()
+                .fold((0.0, 0.0), |(x, y), &(px, py)| (x + px * inv, y + py * inv));
+            // Prefer the area centroid (better centred), but only when it is
+            // numerically trustworthy — the centroid formula divides by the
+            // signed area and goes haywire on near-degenerate slivers.
+            let base = match polygon_centroid(poly) {
+                Some(c) if self.min_slack(&[c.0, c.1]) >= self.min_slack(&[avg.0, avg.1]) => c,
+                _ => avg,
+            };
+            return Some(self.perturb_to_interior(vec![base.0, base.1]));
         }
         let (a, b) = self.lp_constraints();
         let mut acc = vec![0.0; dim];
@@ -293,14 +309,87 @@ impl Cell {
             return None;
         }
         let point: Vec<f64> = acc.into_iter().map(|x| x / count as f64).collect();
-        // Degeneracy guard: the interior representative must clear every
-        // half-space constraint strictly. (The box bounds are region-scale
-        // and cannot pinch a cell at EPS scale; only accumulated half-spaces
-        // can squeeze it flat.)
-        if self.constraints.iter().any(|hs| hs.eval(&point) <= EPS) {
-            return None;
+        Some(self.perturb_to_interior(point))
+    }
+
+    /// Minimum gradient-normalized slack of the point over every half-space
+    /// constraint and box bound (positive = strictly inside).
+    fn min_slack(&self, point: &[f64]) -> f64 {
+        let mut slack = f64::INFINITY;
+        for ((&w, &lo), &hi) in point.iter().zip(&self.lows).zip(&self.highs) {
+            slack = slack.min(w - lo).min(hi - w);
         }
-        Some(point)
+        for hs in &self.constraints {
+            let norm = hs.coeffs.iter().map(|c| c * c).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                slack = slack.min(hs.eval(point) / norm);
+            } else {
+                slack = slack.min(hs.eval(point));
+            }
+        }
+        slack
+    }
+
+    /// Symbolic-perturbation step: starting from a point *of* the cell, nudge
+    /// it towards the feasible side of every near-tight constraint and keep
+    /// the candidate with the largest minimum slack. A flat sliver (opposing
+    /// tight constraints whose gradients cancel) stays where it is — its
+    /// relative interior *is* the boundary, and that point is the correct
+    /// symbolic limit.
+    fn perturb_to_interior(&self, point: Vec<f64>) -> Vec<f64> {
+        let base_slack = self.min_slack(&point);
+        if base_slack > EPS {
+            return point;
+        }
+        // Sum of unit gradients of the near-tight half-spaces: the direction
+        // that increases every pinching constraint at once (when one exists).
+        let tight = 16.0 * EPS;
+        let dim = self.dim();
+        let mut dir = vec![0.0f64; dim];
+        for hs in &self.constraints {
+            let norm = hs.coeffs.iter().map(|c| c * c).sum::<f64>().sqrt();
+            if norm > 0.0 && hs.eval(&point) / norm <= tight {
+                for (d, &c) in dir.iter_mut().zip(&hs.coeffs) {
+                    *d += c / norm;
+                }
+            }
+        }
+        for (i, d) in dir.iter_mut().enumerate() {
+            if point[i] - self.lows[i] <= tight {
+                *d += 1.0;
+            }
+            if self.highs[i] - point[i] <= tight {
+                *d -= 1.0;
+            }
+        }
+        let len = dir.iter().map(|d| d * d).sum::<f64>().sqrt();
+        if len <= EPS {
+            // Gradients cancel: a genuinely flat sliver with no interior.
+            return point;
+        }
+        let scale: f64 = self
+            .highs
+            .iter()
+            .zip(&self.lows)
+            .map(|(h, l)| h - l)
+            .fold(0.0, f64::max)
+            .max(1.0);
+        let mut best = point.clone();
+        let mut best_slack = base_slack;
+        for k in 0..8 {
+            let eps = scale * EPS * 4.0f64.powi(k);
+            let cand: Vec<f64> = point
+                .iter()
+                .zip(&dir)
+                .map(|(&p, &d)| p + eps * d / len)
+                .collect();
+            let slack = self.min_slack(&cand);
+            if slack > best_slack {
+                best_slack = slack;
+                best = cand;
+            }
+        }
+        best
     }
 }
 
@@ -443,6 +532,41 @@ mod tests {
     fn memory_accounting_positive() {
         let cell = paper_cell().with_halfspace(HalfSpace::new(vec![1.0, 0.0], -0.3));
         assert!(cell.memory_bytes() > 0);
+    }
+
+    /// Forced-sliver arrangement: pinching a cell flat between a half-space
+    /// and its negation leaves a measure-zero segment. The sample must be
+    /// recovered (on the pinching line) instead of the cell being dropped —
+    /// on both the polygon fast path and the dense-LP fallback.
+    #[test]
+    fn sliver_cells_recover_a_sample() {
+        let hs = HalfSpace::new(vec![1.0, 0.0], -0.3); // w1 >= 0.3
+        let sliver = paper_cell()
+            .with_halfspace(hs.clone())
+            .with_halfspace(hs.negated());
+        for cell in [sliver.clone(), sliver.clone().disable_vertex_cache()] {
+            let p = cell
+                .sample_point()
+                .expect("measure-zero sliver must still yield a witness");
+            assert!(cell.contains(&p), "sliver sample escapes the cell: {p:?}");
+            assert!(
+                (p[0] - 0.3).abs() <= 1e-6,
+                "sliver sample must sit on the pinching line, got {p:?}"
+            );
+            assert!((0.2..=0.4).contains(&p[1]), "sample outside box: {p:?}");
+        }
+
+        // A near-flat (but positive-measure) sliver must also yield a strictly
+        // feasible sample: the perturbation pushes off the squeezing walls.
+        let thin = paper_cell()
+            .with_halfspace(HalfSpace::new(vec![1.0, 0.0], -0.3)) // w1 >= 0.3
+            .with_halfspace(HalfSpace::new(vec![-1.0, 0.0], 0.3 + 1e-11)); // w1 <= 0.3 + 1e-11
+        for cell in [thin.clone(), thin.clone().disable_vertex_cache()] {
+            let p = cell
+                .sample_point()
+                .expect("thin sliver must still yield a witness");
+            assert!(cell.contains(&p), "thin sample escapes the cell: {p:?}");
+        }
     }
 
     /// The 2-D polygon fast path must agree with the dense-LP fallback on

@@ -2,23 +2,47 @@
 //! of the G-tree of Zhong et al. (TKDE 2015), which the paper uses to
 //! accelerate the road-network range query of Lemma 1.
 //!
-//! The index recursively bisects the road network into nested regions. Every
-//! leaf stores the pairwise shortest distances *within its region*; every
-//! internal node stores the pairwise within-region distances between the
-//! borders of its children, assembled bottom-up over a reduced "border graph".
-//! Point-to-point queries combine the per-level matrices with a dynamic
-//! program over the ancestor chain; taking the minimum over **all** common
-//! ancestors (not only the LCA) makes the answer exact even when the true
-//! shortest path leaves the LCA's region. Exactness against Dijkstra is
-//! enforced by the property tests of this module.
+//! The index partitions the road network into nested regions with a multiway
+//! split (fanout [`DEFAULT_FANOUT`], built from repeated balanced bisection
+//! rounds — fanout 2 reproduces the historical binary tree exactly, kept as
+//! the test reference via [`GTree::build_binary_reference`]). Every leaf
+//! stores the pairwise shortest distances *within its region*; every internal
+//! node stores the pairwise within-region distances between the borders of
+//! its children, assembled bottom-up over a reduced "border graph" whose
+//! intra-child clique edges are **contracted** first: a child shortcut is
+//! dropped whenever a strictly shorter two-hop witness through another border
+//! of the same child already covers it, which keeps the reduced Dijkstras
+//! exact while shrinking the quadratic clique to near-linear size on
+//! grid-like cuts. Matrix fills run level-by-level on a scoped thread pool
+//! with row-granular work stealing (deterministic output regardless of
+//! thread count). Point-to-point queries combine the per-level matrices with
+//! a dynamic program over the ancestor chain; taking the minimum over
+//! **all** common ancestors (not only the LCA) makes the answer exact even
+//! when the true shortest path leaves the LCA's region. Exactness against
+//! Dijkstra is enforced by the property tests of this module.
 
 use crate::budget::BudgetTicker;
 use crate::dijkstra::SsspScratch;
 use crate::network::{EdgeUpdate, RoadNetwork, RoadVertexId};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Default maximum number of vertices per leaf region.
 pub const DEFAULT_LEAF_CAPACITY: usize = 32;
+
+/// Default partition fanout: each over-capacity region splits into up to this
+/// many children per level (two balanced-bisection rounds). Powers of two
+/// keep the rounds balanced; fanout 2 is the historical binary tree.
+pub const DEFAULT_FANOUT: usize = 4;
+
+/// Regions above `leaf_capacity * SPINE_FACTOR` vertices split binary even
+/// under a larger fanout, so top-of-tree matrices stay one cut wide instead
+/// of unioning the borders of `fanout` huge parts (see [`GTree::partition`]).
+const SPINE_FACTOR: usize = 32;
+
+/// Below this many total matrix rows a build level is filled serially — the
+/// scoped-thread dispatch overhead outweighs the work.
+const PARALLEL_ROW_THRESHOLD: usize = 256;
 
 #[derive(Debug, Clone)]
 struct GTreeNode {
@@ -44,6 +68,13 @@ struct GTreeNode {
     child_border_rows: Vec<Vec<usize>>,
     /// Row-major `|union_borders| x |union_borders|` within-region distances.
     matrix: Vec<f64>,
+    /// Update-path cache of each child's contracted border clique (edge list
+    /// in union-border row coordinates, both directions). Populated lazily by
+    /// the first incremental refresh and invalidated per child when that
+    /// child's border-to-border distances change, so steady-state traffic
+    /// batches skip re-contracting untouched children. Never read at build or
+    /// query time.
+    contracted_children: Vec<Option<Vec<(u32, u32, f64)>>>,
 }
 
 impl GTreeNode {
@@ -112,10 +143,16 @@ impl SourceState {
 /// the leaf's matrix index space, resolved at grouping time), so the leaf
 /// evaluation inner loop indexes the distance matrix directly without any
 /// hashing.
+///
+/// Per-leaf rows live behind [`Arc`]s so that cloning a grouping (the serving
+/// engine snapshots one per epoch) shares every row, and an incremental edit
+/// ([`GTree::add_target_seeds`] / [`GTree::remove_target_item`]) copies only
+/// the touched leaves — a small user-churn delta no longer duplicates the
+/// whole grouping.
 #[derive(Debug, Clone)]
 pub struct LeafTargets {
     /// `per_leaf[node]` = `(item, leaf matrix row, offset)` seeds in that leaf.
-    per_leaf: Vec<Vec<(u32, u32, f64)>>,
+    per_leaf: Vec<Arc<Vec<(u32, u32, f64)>>>,
     /// `occupied[node]` = number of seeds in the node's subtree.
     occupied: Vec<u32>,
 }
@@ -145,6 +182,11 @@ pub struct GTreeUpdateStats {
     pub recomputed_matrix_cells: usize,
     /// Total nodes in the tree (for dirty-fraction reporting).
     pub total_nodes: usize,
+    /// Matrix rows refreshed by a reduced-graph Dijkstra (sources whose
+    /// neighborhood actually changed, plus the unsafe patch candidates).
+    pub row_dijkstras: usize,
+    /// Matrix rows refreshed by the cheap delta patch instead of a Dijkstra.
+    pub patched_rows: usize,
 }
 
 impl GTreeUpdateStats {
@@ -191,14 +233,32 @@ struct SeedClimb {
 }
 
 impl GTree {
-    /// Builds the index with the default leaf capacity.
+    /// Builds the index with the default leaf capacity and fanout.
     pub fn build(net: &RoadNetwork) -> Self {
         Self::build_with_capacity(net, DEFAULT_LEAF_CAPACITY)
     }
 
-    /// Builds the index with an explicit leaf capacity (minimum 4).
+    /// Builds the index with an explicit leaf capacity (minimum 4) and the
+    /// default fanout.
     pub fn build_with_capacity(net: &RoadNetwork, leaf_capacity: usize) -> Self {
+        Self::build_with_params(net, leaf_capacity, DEFAULT_FANOUT)
+    }
+
+    /// Builds the historical binary-bisection tree (fanout 2). The multiway
+    /// split degenerates to exactly the old recursive bisection — same node
+    /// ordering, same regions, same matrices — so this is the reference the
+    /// multiway build is asserted query-identical against in tests and
+    /// benchmarks.
+    pub fn build_binary_reference(net: &RoadNetwork, leaf_capacity: usize) -> Self {
+        Self::build_with_params(net, leaf_capacity, 2)
+    }
+
+    /// Builds the index with an explicit leaf capacity (minimum 4) and
+    /// partition fanout (clamped to `2..=64`; powers of two keep the
+    /// bisection rounds balanced).
+    pub fn build_with_params(net: &RoadNetwork, leaf_capacity: usize, fanout: usize) -> Self {
         let leaf_capacity = leaf_capacity.max(4);
+        let fanout = fanout.clamp(2, 64);
         let n = net.num_vertices();
         let mut tree = GTree {
             nodes: Vec::new(),
@@ -219,10 +279,11 @@ impl GTree {
                 border_rows: Vec::new(),
                 child_border_rows: Vec::new(),
                 matrix: Vec::new(),
+                contracted_children: Vec::new(),
             });
             return tree;
         }
-        tree.root = tree.partition(net, all, None, leaf_capacity);
+        tree.root = tree.partition(net, all, None, leaf_capacity, fanout);
         tree.compute_borders(net);
         tree.compute_matrices(net);
         tree.precompute_index_rows();
@@ -499,7 +560,11 @@ impl GTree {
         I: IntoIterator<Item = (u32, RoadVertexId, f64)>,
     {
         let mut targets = LeafTargets {
-            per_leaf: vec![Vec::new(); self.nodes.len()],
+            // Per-element construction: `vec![Arc::new(..); n]` would clone
+            // one shared Arc, making every later edit copy-on-write eagerly.
+            per_leaf: (0..self.nodes.len())
+                .map(|_| Arc::new(Vec::new()))
+                .collect(),
             occupied: vec![0u32; self.nodes.len()],
         };
         self.add_target_seeds(&mut targets, seeds);
@@ -520,7 +585,7 @@ impl GTree {
                 continue;
             }
             let leaf = self.leaf_of[v as usize];
-            targets.per_leaf[leaf].push((item, self.leaf_pos[v as usize], off));
+            Arc::make_mut(&mut targets.per_leaf[leaf]).push((item, self.leaf_pos[v as usize], off));
             targets.occupied[leaf] += 1;
             let mut cur = leaf;
             while let Some(p) = self.nodes[cur].parent {
@@ -554,8 +619,13 @@ impl GTree {
                 continue;
             }
             cleared.push(leaf);
+            // Only touch the Arc when the item is actually present, so clones
+            // of untouched leaves stay shared.
             let before = targets.per_leaf[leaf].len();
-            targets.per_leaf[leaf].retain(|&(it, _, _)| it != item);
+            if !targets.per_leaf[leaf].iter().any(|&(it, _, _)| it == item) {
+                continue;
+            }
+            Arc::make_mut(&mut targets.per_leaf[leaf]).retain(|&(it, _, _)| it != item);
             let removed = (before - targets.per_leaf[leaf].len()) as u32;
             if removed > 0 {
                 targets.occupied[leaf] -= removed;
@@ -591,9 +661,17 @@ impl GTree {
     /// deterministic, so "changed" is an exact slice comparison). A reweight
     /// that leaves the local border-to-border distances intact — the common
     /// case for modest traffic factors on non-critical segments — stops dead
-    /// instead of dragging the expensive top-of-tree reduced-graph Dijkstras
-    /// along. Everything else is untouched; out-of-range endpoints are
-    /// ignored (the paired [`RoadNetwork`] mutation already rejected them).
+    /// instead of dragging the top-of-tree reduced-graph Dijkstras along.
+    ///
+    /// Recomputed internal nodes are refreshed **delta-aware**
+    /// ([`refresh_internal_matrix`](Self::refresh_internal_matrix)): only
+    /// sources whose reduced-graph neighborhood actually changed — borders of
+    /// changed children and endpoints of level-local reweights — pay a fresh
+    /// Dijkstra; the remaining rows are patched from the old matrix plus the
+    /// fresh rows whenever that is provably exact, so traffic batches stop
+    /// paying the full top-of-tree cost. Everything else is untouched;
+    /// out-of-range endpoints are ignored (the paired [`RoadNetwork`]
+    /// mutation already rejected them).
     pub fn apply_edge_updates(
         &mut self,
         net: &RoadNetwork,
@@ -609,7 +687,10 @@ impl GTree {
         }
         debug_assert_eq!(net.num_vertices(), self.num_vertices);
         // `source_dirty[id]`: a reweighted edge lives at this node's level.
+        // `level_touched[id]`: the endpoints of those cross-child edges (both
+        // are union borders of `id`), seeding the changed-source set.
         let mut source_dirty = vec![false; self.nodes.len()];
+        let mut level_touched: HashMap<usize, Vec<RoadVertexId>> = HashMap::new();
         for upd in updates {
             if upd.u as usize >= self.num_vertices || upd.v as usize >= self.num_vertices {
                 continue;
@@ -622,26 +703,53 @@ impl GTree {
                 self.lowest_common_ancestor(lu, lv)
             };
             source_dirty[from] = true;
+            if lu != lv {
+                level_touched
+                    .entry(from)
+                    .or_default()
+                    .extend([upd.u, upd.v]);
+            }
         }
         // Reverse creation order visits children before parents, so every
         // recomputed internal matrix reads already-refreshed child matrices
-        // and the children's change flags are final before the parent asks.
-        let mut changed = vec![false; self.nodes.len()];
+        // and the children's changed-border lists are final before the parent
+        // asks. `changed[id]` = `Some(borders whose border-to-border rows
+        // changed)` once a node's matrix changed; a change confined to
+        // non-border entries (empty list) stops propagating, because parents
+        // only observe the border submatrix.
+        let mut changed: Vec<Option<Vec<RoadVertexId>>> = vec![None; self.nodes.len()];
         let mut region_mask = vec![false; self.num_vertices];
         let mut scratch = SsspScratch::new();
+        let no_touched: Vec<RoadVertexId> = Vec::new();
         for id in (0..self.nodes.len()).rev() {
-            let recompute = source_dirty[id] || self.nodes[id].children.iter().any(|&c| changed[c]);
+            let recompute = source_dirty[id]
+                || self.nodes[id]
+                    .children
+                    .iter()
+                    .any(|&c| changed[c].as_ref().is_some_and(|l| !l.is_empty()));
             if !recompute {
                 continue;
             }
             if self.nodes[id].children.is_empty() {
-                changed[id] = self.fill_leaf_matrix(net, id, &mut region_mask, &mut scratch);
+                let old_sub = self.border_submatrix(id);
+                let chg = self.fill_leaf_matrix(net, id, &mut region_mask, &mut scratch);
+                changed[id] = chg.then(|| self.changed_borders_since(id, &old_sub));
                 stats.dirty_leaves += 1;
+                stats.recomputed_matrix_cells += self.nodes[id].matrix.len();
+                stats.row_dijkstras += self.nodes[id].union_borders.len();
             } else {
-                changed[id] = self.fill_internal_matrix(net, id);
+                let touched = level_touched
+                    .get(&id)
+                    .map_or(no_touched.as_slice(), Vec::as_slice);
+                let (report, dijkstra_rows, patched_rows) =
+                    self.refresh_internal_matrix(net, id, &changed, touched);
+                changed[id] = report;
                 stats.dirty_internal += 1;
+                let size = self.nodes[id].union_borders.len();
+                stats.recomputed_matrix_cells += (dijkstra_rows + patched_rows) * size;
+                stats.row_dijkstras += dijkstra_rows;
+                stats.patched_rows += patched_rows;
             }
-            stats.recomputed_matrix_cells += self.nodes[id].matrix.len();
         }
         stats
     }
@@ -922,7 +1030,7 @@ impl GTree {
                 entry, seed_dist, ..
             } = scratch;
             let node_entry = &entry[node];
-            for &(item, trow, toff) in &targets.per_leaf[node] {
+            for &(item, trow, toff) in targets.per_leaf[node].iter() {
                 if let Some(t) = ticker.as_deref_mut() {
                     if !t.charge(1) {
                         return false;
@@ -1144,12 +1252,31 @@ impl GTree {
     }
 
     /// Recursively partitions `vertices` into a subtree; returns the node id.
+    ///
+    /// An over-capacity region splits into up to `fanout` parts by repeated
+    /// balanced-bisection rounds: every round bisects each part that is still
+    /// over the leaf capacity (a part small enough to be a leaf is carried
+    /// through unsplit, never handed to `bisect`, whose degenerate fallback
+    /// could empty it). With `fanout == 2` a single round runs and the tree
+    /// is exactly the historical binary bisection — same node order, same
+    /// regions.
+    ///
+    /// Regions larger than `leaf_capacity * SPINE_FACTOR` split binary
+    /// regardless of the requested fanout (the "spine"): a fanout-4 top node
+    /// over a continental network unions the borders of four huge quadrants
+    /// into one matrix whose fill and incremental refresh dominate everything
+    /// else (the 40k-grid root carries ~1.5k borders at fanout 4 but ~400 on
+    /// a binary spine). Keeping the top of the tree binary caps per-node
+    /// matrix sizes at roughly one cut's worth of borders while the bulk of
+    /// the tree — everything at metro scale and below — still gets the
+    /// shallow multiway shape.
     fn partition(
         &mut self,
         net: &RoadNetwork,
         vertices: Vec<RoadVertexId>,
         parent: Option<usize>,
         leaf_capacity: usize,
+        fanout: usize,
     ) -> usize {
         let id = self.nodes.len();
         self.nodes.push(GTreeNode {
@@ -1162,6 +1289,7 @@ impl GTree {
             border_rows: Vec::new(),
             child_border_rows: Vec::new(),
             matrix: Vec::new(),
+            contracted_children: Vec::new(),
         });
         if vertices.len() <= leaf_capacity {
             for &v in &vertices {
@@ -1169,10 +1297,36 @@ impl GTree {
             }
             return id;
         }
-        let (left, right) = bisect(net, &vertices);
-        let left_id = self.partition(net, left, Some(id), leaf_capacity);
-        let right_id = self.partition(net, right, Some(id), leaf_capacity);
-        self.nodes[id].children = vec![left_id, right_id];
+        let region_len = vertices.len();
+        let eff_fanout = if fanout > 2 && region_len > leaf_capacity.saturating_mul(SPINE_FACTOR) {
+            2
+        } else {
+            fanout
+        };
+        let mut parts = vec![vertices];
+        while parts.len() * 2 <= eff_fanout {
+            let mut next = Vec::with_capacity(parts.len() * 2);
+            let mut split_any = false;
+            for part in parts {
+                if part.len() <= leaf_capacity {
+                    next.push(part);
+                } else {
+                    let (left, right) = bisect(net, &part);
+                    next.push(left);
+                    next.push(right);
+                    split_any = true;
+                }
+            }
+            parts = next;
+            if !split_any {
+                break;
+            }
+        }
+        let children: Vec<usize> = parts
+            .into_iter()
+            .map(|part| self.partition(net, part, Some(id), leaf_capacity, fanout))
+            .collect();
+        self.nodes[id].children = children;
         id
     }
 
@@ -1201,47 +1355,349 @@ impl GTree {
     }
 
     fn compute_matrices(&mut self, net: &RoadNetwork) {
-        let n = self.num_vertices;
-        // Bottom-up order: children have larger ids than parents is NOT
-        // guaranteed by construction order (parents are created before
-        // children), so process in reverse creation order, which visits
-        // children before parents.
-        let order: Vec<usize> = (0..self.nodes.len()).rev().collect();
-        let mut region_mask = vec![false; n];
-        let mut scratch = SsspScratch::new();
-        for &id in &order {
-            if self.nodes[id].children.is_empty() {
-                // Leaf: the matrix index space is the whole region.
-                let vertices = self.nodes[id].vertices.clone();
-                let ub_index: HashMap<RoadVertexId, usize> =
-                    vertices.iter().enumerate().map(|(i, &v)| (v, i)).collect();
-                let node = &mut self.nodes[id];
-                node.union_borders = vertices;
-                node.ub_index = ub_index;
-                self.fill_leaf_matrix(net, id, &mut region_mask, &mut scratch);
-            } else {
-                // Internal node: index space is the union of children borders
-                // (disjoint across children, since children partition the
-                // region).
-                let children = self.nodes[id].children.clone();
-                let mut union_borders: Vec<RoadVertexId> = Vec::new();
-                let mut seen: HashMap<RoadVertexId, ()> = HashMap::new();
-                for &c in &children {
-                    for &b in &self.nodes[c].borders {
-                        if seen.insert(b, ()).is_none() {
-                            union_borders.push(b);
+        // Parents are created before their children, so one increasing-id
+        // pass settles every node's depth. Levels are processed bottom-up: an
+        // internal matrix reads only its children's borders and matrices
+        // (one level deeper, already final), so all matrices of a level can
+        // be filled concurrently.
+        let mut depth = vec![0usize; self.nodes.len()];
+        let mut max_depth = 0usize;
+        for id in 0..self.nodes.len() {
+            if let Some(p) = self.nodes[id].parent {
+                depth[id] = depth[p] + 1;
+                max_depth = max_depth.max(depth[id]);
+            }
+        }
+        let mut levels: Vec<Vec<usize>> = vec![Vec::new(); max_depth + 1];
+        for (id, &d) in depth.iter().enumerate() {
+            levels[d].push(id);
+        }
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        for level in levels.iter().rev() {
+            // Index spaces first (serial, cheap): leaves index their whole
+            // region, internal nodes the first-seen union of their children's
+            // borders (disjoint across children, which partition the region).
+            for &id in level {
+                if self.nodes[id].children.is_empty() {
+                    let vertices = self.nodes[id].vertices.clone();
+                    let ub_index: HashMap<RoadVertexId, usize> =
+                        vertices.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+                    let node = &mut self.nodes[id];
+                    node.union_borders = vertices;
+                    node.ub_index = ub_index;
+                } else {
+                    let children = self.nodes[id].children.clone();
+                    let mut union_borders: Vec<RoadVertexId> = Vec::new();
+                    let mut seen: HashMap<RoadVertexId, ()> = HashMap::new();
+                    for &c in &children {
+                        for &b in &self.nodes[c].borders {
+                            if seen.insert(b, ()).is_none() {
+                                union_borders.push(b);
+                            }
                         }
                     }
+                    let ub_index: HashMap<RoadVertexId, usize> = union_borders
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &v)| (v, i))
+                        .collect();
+                    let node = &mut self.nodes[id];
+                    node.union_borders = union_borders;
+                    node.ub_index = ub_index;
                 }
-                let ub_index: HashMap<RoadVertexId, usize> = union_borders
+            }
+            // Contract the reduced border graphs, then fill every matrix row
+            // of the level on the worker pool.
+            let trace = std::env::var_os("GTREE_TRACE").is_some();
+            let t0 = std::time::Instant::now();
+            let fills: Vec<NodeFill> = level
+                .iter()
+                .map(|&id| NodeFill {
+                    id,
+                    reduced: if self.nodes[id].children.is_empty() {
+                        None
+                    } else {
+                        Some(self.build_reduced_graph(net, id))
+                    },
+                })
+                .collect();
+            let t_contract = t0.elapsed();
+            let matrices = self.fill_level_rows(net, &fills, workers);
+            if trace {
+                let rows: usize = fills
                     .iter()
-                    .enumerate()
-                    .map(|(i, &v)| (v, i))
-                    .collect();
-                let node = &mut self.nodes[id];
-                node.union_borders = union_borders;
-                node.ub_index = ub_index;
-                self.fill_internal_matrix(net, id);
+                    .map(|f| self.nodes[f.id].union_borders.len())
+                    .sum();
+                let max_size = fills
+                    .iter()
+                    .map(|f| self.nodes[f.id].union_borders.len())
+                    .max()
+                    .unwrap_or(0);
+                let edges: usize = fills
+                    .iter()
+                    .filter_map(|f| f.reduced.as_ref().map(|r| r.targets.len()))
+                    .sum();
+                eprintln!(
+                    "level: {} nodes, {} rows, max_size {}, reduced_edges {}, contract {:?}, fill {:?}",
+                    fills.len(),
+                    rows,
+                    max_size,
+                    edges,
+                    t_contract,
+                    t0.elapsed() - t_contract
+                );
+            }
+            for (fill, matrix) in fills.iter().zip(matrices) {
+                self.nodes[fill.id].matrix = matrix;
+            }
+        }
+    }
+
+    /// Fills the matrices of one build level. Row tasks (one masked or
+    /// reduced Dijkstra each) are flattened across all nodes of the level and
+    /// claimed from an atomic counter by scoped worker threads, so a single
+    /// huge node (the root) still spreads across every core. Each row is
+    /// computed independently from immutable inputs, so the result is
+    /// deterministic regardless of thread count; small levels (and
+    /// single-core hosts) run the identical computation serially.
+    fn fill_level_rows(
+        &self,
+        net: &RoadNetwork,
+        fills: &[NodeFill],
+        workers: usize,
+    ) -> Vec<Vec<f64>> {
+        let sizes: Vec<usize> = fills
+            .iter()
+            .map(|f| self.nodes[f.id].union_borders.len())
+            .collect();
+        let mut row_base = vec![0usize; fills.len() + 1];
+        for (i, &s) in sizes.iter().enumerate() {
+            row_base[i + 1] = row_base[i] + s;
+        }
+        let total_rows = row_base[fills.len()];
+        let mut matrices: Vec<Vec<f64>> =
+            sizes.iter().map(|&s| vec![f64::INFINITY; s * s]).collect();
+        if workers <= 1 || total_rows < PARALLEL_ROW_THRESHOLD {
+            let mut worker = FillWorker::new(net.num_vertices());
+            for (fi, matrix) in matrices.iter_mut().enumerate() {
+                let size = sizes[fi];
+                for row in 0..size {
+                    let out = self.compute_matrix_row(net, &fills[fi], row, &mut worker);
+                    matrix[row * size..(row + 1) * size].copy_from_slice(&out);
+                }
+            }
+            return matrices;
+        }
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let next = AtomicUsize::new(0);
+        let computed: Vec<Vec<(usize, Vec<f64>)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut worker = FillWorker::new(net.num_vertices());
+                        let mut out: Vec<(usize, Vec<f64>)> = Vec::new();
+                        loop {
+                            let g = next.fetch_add(1, Ordering::Relaxed);
+                            if g >= total_rows {
+                                break;
+                            }
+                            let fi = row_base.partition_point(|&b| b <= g) - 1;
+                            let row = g - row_base[fi];
+                            out.push((
+                                g,
+                                self.compute_matrix_row(net, &fills[fi], row, &mut worker),
+                            ));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("matrix fill worker panicked"))
+                .collect()
+        });
+        for chunk in computed {
+            for (g, row) in chunk {
+                let fi = row_base.partition_point(|&b| b <= g) - 1;
+                let r = g - row_base[fi];
+                let size = sizes[fi];
+                matrices[fi][r * size..(r + 1) * size].copy_from_slice(&row);
+            }
+        }
+        matrices
+    }
+
+    /// Computes one matrix row of a node being filled: a masked within-region
+    /// Dijkstra for leaves, a reduced-graph Dijkstra for internal nodes.
+    fn compute_matrix_row(
+        &self,
+        net: &RoadNetwork,
+        fill: &NodeFill,
+        row: usize,
+        worker: &mut FillWorker,
+    ) -> Vec<f64> {
+        let node = &self.nodes[fill.id];
+        match &fill.reduced {
+            Some(reduced) => reduced_dijkstra_row(reduced, row, &mut worker.dist, &mut worker.heap),
+            None => {
+                let ub = &node.union_borders;
+                let FillWorker {
+                    sssp, region_mask, ..
+                } = worker;
+                for &v in ub {
+                    region_mask[v as usize] = true;
+                }
+                let dists = sssp.run(net, &[(ub[row], 0.0)], None, Some(region_mask));
+                let out: Vec<f64> = ub.iter().map(|&u| dists[u as usize]).collect();
+                for &v in ub {
+                    region_mask[v as usize] = false;
+                }
+                out
+            }
+        }
+    }
+
+    /// Assembles the contracted reduced border graph of an internal node from
+    /// the children's **current** matrices (intra-child shortcuts) and the
+    /// current weights of the road edges crossing between children.
+    ///
+    /// Each child's border clique is contracted before it enters the graph: a
+    /// shortcut `(a, b)` is dropped when some other border `x` of the same
+    /// child gives `d(a,x) + d(x,b) <= d(a,b)` with **both legs strictly
+    /// shorter** than `d(a,b)`. Strictness makes the soundness argument
+    /// inductive over edge weight (every dropped edge is covered by
+    /// kept-or-covered strictly shorter edges), and because clique distances
+    /// are exact within-child shortest paths — so any witness sum is also a
+    /// valid path bound the full clique contains — the contracted graph has
+    /// **identical** shortest-path values to the full clique in exact f64
+    /// terms, while grid-like cuts shrink from `|borders|²` edges to
+    /// near-linear.
+    fn build_reduced_graph(&self, net: &RoadNetwork, id: usize) -> ReducedGraph {
+        let node = &self.nodes[id];
+        let mut edges: Vec<(u32, u32, f64)> = Vec::new();
+        for k in 0..node.children.len() {
+            self.contract_child_clique(id, k, &mut edges);
+        }
+        self.push_cross_child_edges(net, id, &mut edges);
+        assemble_reduced(node.union_borders.len(), &edges)
+    }
+
+    /// Update-path variant of [`build_reduced_graph`](Self::build_reduced_graph)
+    /// that reuses each child's cached contracted clique unless that child's
+    /// border-to-border distances changed this batch (`changed[child]` holds
+    /// the borders whose rows changed; `Some(non-empty)` invalidates the
+    /// cache). Cross-child road edges are always rescanned — they are cheap
+    /// and carry the level-local reweights.
+    fn reduced_graph_for_update(
+        &mut self,
+        net: &RoadNetwork,
+        id: usize,
+        changed: &[Option<Vec<RoadVertexId>>],
+    ) -> ReducedGraph {
+        let num_children = self.nodes[id].children.len();
+        if self.nodes[id].contracted_children.len() != num_children {
+            self.nodes[id].contracted_children = vec![None; num_children];
+        }
+        for k in 0..num_children {
+            let child = self.nodes[id].children[k];
+            let stale = changed[child].as_ref().is_some_and(|l| !l.is_empty());
+            if stale || self.nodes[id].contracted_children[k].is_none() {
+                let mut clique = Vec::new();
+                self.contract_child_clique(id, k, &mut clique);
+                self.nodes[id].contracted_children[k] = Some(clique);
+            }
+        }
+        let node = &self.nodes[id];
+        let mut edges: Vec<(u32, u32, f64)> = Vec::new();
+        for cached in node.contracted_children.iter().flatten() {
+            edges.extend_from_slice(cached);
+        }
+        self.push_cross_child_edges(net, id, &mut edges);
+        assemble_reduced(self.nodes[id].union_borders.len(), &edges)
+    }
+
+    /// Contracts child `k`'s border clique and appends the surviving
+    /// shortcuts (both directions, union-border row coordinates) to `edges`.
+    fn contract_child_clique(&self, id: usize, k: usize, edges: &mut Vec<(u32, u32, f64)>) {
+        let node = &self.nodes[id];
+        let child = &self.nodes[node.children[k]];
+        let nb = child.borders.len();
+        if nb < 2 {
+            return;
+        }
+        // Gather the child's border-to-border distances once.
+        let rows: Vec<usize> = child.borders.iter().map(|b| child.ub_index[b]).collect();
+        let mut bm: Vec<f64> = Vec::with_capacity(nb * nb);
+        for &ri in &rows {
+            for &rj in &rows {
+                bm.push(child.matrix_at(ri, rj));
+            }
+        }
+        let mut order: Vec<u32> = Vec::new();
+        for i in 0..nb {
+            // Witnesses sorted nearest-first from `i`: the scan stops at
+            // the first candidate at least as far as the edge itself.
+            let row = &bm[i * nb..(i + 1) * nb];
+            order.clear();
+            order.extend(0..nb as u32);
+            order.sort_by(|&x, &y| {
+                row[x as usize]
+                    .partial_cmp(&row[y as usize])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for j in (i + 1)..nb {
+                let dij = row[j];
+                if !dij.is_finite() {
+                    continue;
+                }
+                let mut covered = false;
+                for &x in &order {
+                    let dix = row[x as usize];
+                    if dix >= dij {
+                        break;
+                    }
+                    let dxj = bm[x as usize * nb + j];
+                    if dxj < dij && dix + dxj <= dij {
+                        covered = true;
+                        break;
+                    }
+                }
+                if !covered {
+                    let a = node.ub_index[&child.borders[i]] as u32;
+                    let b = node.ub_index[&child.borders[j]] as u32;
+                    edges.push((a, b, dij));
+                    edges.push((b, a, dij));
+                }
+            }
+        }
+    }
+
+    /// Appends the road edges crossing between children of `id` (both
+    /// directions arise from scanning each endpoint's neighbor list; cross
+    /// endpoints are borders of their children, hence union borders).
+    fn push_cross_child_edges(
+        &self,
+        net: &RoadNetwork,
+        id: usize,
+        edges: &mut Vec<(u32, u32, f64)>,
+    ) {
+        let node = &self.nodes[id];
+        let mut child_of: HashMap<RoadVertexId, usize> = HashMap::new();
+        for (ci, &c) in node.children.iter().enumerate() {
+            for &b in &self.nodes[c].borders {
+                child_of.insert(b, ci);
+            }
+        }
+        for &b in &node.union_borders {
+            for &(u, w) in net.neighbors(b) {
+                if let (Some(&cb), Some(&cu)) = (child_of.get(&b), child_of.get(&u)) {
+                    if cb != cu {
+                        edges.push((node.ub_index[&b] as u32, node.ub_index[&u] as u32, w));
+                    }
+                }
             }
         }
     }
@@ -1278,57 +1734,210 @@ impl GTree {
         changed
     }
 
-    /// (Re)computes an internal node's border matrix over the reduced graph
-    /// assembled from the children's **current** matrices (intra-child
-    /// shortcuts) and the current weights of the road edges crossing between
-    /// children. The node's `union_borders`/`ub_index` must already be set;
-    /// only `matrix` is written. Returns whether the matrix actually changed.
-    fn fill_internal_matrix(&mut self, net: &RoadNetwork, id: usize) -> bool {
-        let children = self.nodes[id].children.clone();
+    /// Extracts a node's current border-to-border submatrix (row-major over
+    /// `border_rows`) — the only part of its matrix a parent's reduced graph
+    /// can observe.
+    fn border_submatrix(&self, id: usize) -> Vec<f64> {
+        let node = &self.nodes[id];
+        let size = node.union_borders.len();
+        let rows = &node.border_rows;
+        let mut sub = Vec::with_capacity(rows.len() * rows.len());
+        for &i in rows {
+            for &j in rows {
+                sub.push(node.matrix[i * size + j]);
+            }
+        }
+        sub
+    }
+
+    /// Borders of `id` whose border-to-border distances differ from the
+    /// snapshot `old_sub` **beyond ulp noise**. These are the only borders a
+    /// parent refresh must treat as changed. The comparison must be
+    /// tolerance-based, not exact: a refresh re-contracts changed children,
+    /// and contraction changes the summation association of path weights, so
+    /// an unchanged true distance can come back a few ulps off — an exact
+    /// `!=` would mark it changed and let the changed set amplify
+    /// geometrically up the tree until every update degenerates to a full
+    /// rebuild. The margin matches the patch-rule margins, so per-batch drift
+    /// stays orders of magnitude below the 1e-9 tolerances the invariant
+    /// suite checks.
+    fn changed_borders_since(&self, id: usize, old_sub: &[f64]) -> Vec<RoadVertexId> {
+        let node = &self.nodes[id];
+        let nb = node.borders.len();
+        let new_sub = self.border_submatrix(id);
+        (0..nb)
+            .filter(|&i| {
+                old_sub[i * nb..(i + 1) * nb]
+                    .iter()
+                    .zip(&new_sub[i * nb..(i + 1) * nb])
+                    .any(|(&a, &b)| significantly_different(a, b))
+            })
+            .map(|i| node.borders[i])
+            .collect()
+    }
+
+    /// Delta-aware refresh of an internal node's matrix for
+    /// [`apply_edge_updates`](Self::apply_edge_updates): only sources whose
+    /// reduced-graph neighborhood actually changed are re-Dijkstra'd.
+    ///
+    /// `changed[child]` lists a refreshed child's borders whose
+    /// border-to-border rows changed this batch (`None` = untouched);
+    /// `touched` lists the endpoints of cross-child edges reweighted at this
+    /// node's level. Together they induce the changed set `C` of union-border
+    /// rows: every reduced-graph edge whose weight (or existence, via
+    /// re-contraction) may have changed has **both** endpoints in `C` —
+    /// a changed intra-child shortcut `(a, b)` means the child's
+    /// border-to-border distance `d(a, b)` changed, which marks both border
+    /// rows (the submatrix diff is symmetric). Rows in `C` are recomputed
+    /// with a reduced Dijkstra on the new graph (re-contracting only the
+    /// changed children, via the per-child clique cache). Any other source
+    /// `s` is **patched** when every pair `(s, t)` outside `C` is provably
+    /// exact: writing `A` for the (unknown but unchanged) best path avoiding
+    /// `C`, `new(s,t) = min(A, B_new)` with `B_new` the best new detour
+    /// through `C` (computable from the fresh rows by symmetry — the reduced
+    /// graph is undirected), and `min(old(s,t), B_new)` equals that whenever
+    /// `old(s,t) < B_old` (the old path avoided `C`, so `A = old`) **or**
+    /// `B_new <= old(s,t)` (the detour got cheap enough to dominate `A >=
+    /// old`). Both comparisons carry an epsilon margin so f64 association
+    /// ties fall to the re-Dijkstra side. Returns the node's changed-border
+    /// list (`None` if the matrix is unchanged) plus
+    /// `(dijkstra_rows, patched_rows)`.
+    fn refresh_internal_matrix(
+        &mut self,
+        net: &RoadNetwork,
+        id: usize,
+        changed: &[Option<Vec<RoadVertexId>>],
+        touched: &[RoadVertexId],
+    ) -> (Option<Vec<RoadVertexId>>, usize, usize) {
         let size = self.nodes[id].union_borders.len();
-        let mut child_of: HashMap<RoadVertexId, usize> = HashMap::new();
-        for (ci, &c) in children.iter().enumerate() {
-            for &b in &self.nodes[c].borders {
-                child_of.insert(b, ci);
-            }
+        if size == 0 {
+            return (None, 0, 0);
         }
-        // adjacency of the reduced graph
-        let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); size];
-        let ub_index = &self.nodes[id].ub_index;
-        // (a) intra-child shortcuts from the child's matrix
-        for &c in &children {
-            let child = &self.nodes[c];
-            for (i, &bi) in child.borders.iter().enumerate() {
-                for &bj in child.borders.iter().skip(i + 1) {
-                    let d = child.matrix_at(child.ub_index[&bi], child.ub_index[&bj]);
-                    if d.is_finite() {
-                        let a = ub_index[&bi];
-                        let b = ub_index[&bj];
-                        adj[a].push((b, d));
-                        adj[b].push((a, d));
+        let mut in_c = vec![false; size];
+        {
+            let node = &self.nodes[id];
+            for &c in &node.children {
+                if let Some(list) = &changed[c] {
+                    for b in list {
+                        in_c[node.ub_index[b]] = true;
                     }
                 }
             }
-        }
-        // (b) original road edges crossing between children
-        for &b in &self.nodes[id].union_borders {
-            for &(u, w) in net.neighbors(b) {
-                if let (Some(&cb), Some(&cu)) = (child_of.get(&b), child_of.get(&u)) {
-                    if cb != cu {
-                        adj[ub_index[&b]].push((ub_index[&u], w));
-                    }
+            for &v in touched {
+                if let Some(&row) = node.ub_index.get(&v) {
+                    in_c[row] = true;
                 }
             }
         }
-        // Dijkstra on the reduced graph from every union border.
+        let c_rows: Vec<usize> = (0..size).filter(|&r| in_c[r]).collect();
+        if c_rows.is_empty() {
+            // Children changed only outside their border submatrices, and no
+            // level-local reweight: this matrix cannot have changed.
+            return (None, 0, 0);
+        }
+        let old_sub = self.border_submatrix(id);
+        let reduced = self.reduced_graph_for_update(net, id, changed);
+        let mut dist = Vec::new();
+        let mut heap = std::collections::BinaryHeap::new();
+        if c_rows.len() * 2 >= size {
+            // Dense change: patching cannot beat recomputing everything.
+            let old = std::mem::take(&mut self.nodes[id].matrix);
+            let mut matrix = vec![f64::INFINITY; size * size];
+            for s in 0..size {
+                let row = reduced_dijkstra_row(&reduced, s, &mut dist, &mut heap);
+                matrix[s * size..(s + 1) * size].copy_from_slice(&row);
+            }
+            let node_changed = old != matrix;
+            self.nodes[id].matrix = matrix;
+            let report = node_changed.then(|| self.changed_borders_since(id, &old_sub));
+            return (report, size, 0);
+        }
+        let old = std::mem::take(&mut self.nodes[id].matrix);
         let mut matrix = vec![f64::INFINITY; size * size];
-        for (s, row_out) in matrix.chunks_mut(size.max(1)).enumerate().take(size) {
-            let row = reduced_dijkstra(&adj, s);
-            row_out.copy_from_slice(&row);
+        // Fresh rows for every changed source; row `c` doubles as the new
+        // `new(s, c)` column by symmetry.
+        for &c in &c_rows {
+            let row = reduced_dijkstra_row(&reduced, c, &mut dist, &mut heap);
+            matrix[c * size..(c + 1) * size].copy_from_slice(&row);
         }
-        let changed = self.nodes[id].matrix != matrix;
+        let mut dijkstra_rows = c_rows.len();
+        let mut patched_rows = 0usize;
+        let mut b_old = vec![f64::INFINITY; size];
+        let mut b_new = vec![f64::INFINITY; size];
+        for s in 0..size {
+            if in_c[s] {
+                continue;
+            }
+            b_old.iter_mut().for_each(|x| *x = f64::INFINITY);
+            b_new.iter_mut().for_each(|x| *x = f64::INFINITY);
+            let old_row = &old[s * size..(s + 1) * size];
+            for &c in &c_rows {
+                let osc = old_row[c];
+                if osc.is_finite() {
+                    let old_c = &old[c * size..(c + 1) * size];
+                    for (slot, &oct) in b_old.iter_mut().zip(old_c) {
+                        let cand = osc + oct;
+                        if cand < *slot {
+                            *slot = cand;
+                        }
+                    }
+                }
+                let new_c = &matrix[c * size..(c + 1) * size];
+                let nsc = new_c[s];
+                if nsc.is_finite() {
+                    for (slot, &nct) in b_new.iter_mut().zip(new_c) {
+                        let cand = nsc + nct;
+                        if cand < *slot {
+                            *slot = cand;
+                        }
+                    }
+                }
+            }
+            // An infinite detour bound is exact (reweights never change
+            // reachability, so `old == A` there); finite bounds must clear
+            // the margin that absorbs f64 association ties. The second
+            // clause is what keeps patching effective: a shortest path that
+            // merely touches `C` without using a changed edge keeps
+            // `B_new == old`, and `min(A, B_new) = B_new` then holds because
+            // `A >= old` always.
+            let safe = (0..size).all(|t| {
+                if in_c[t] {
+                    return true;
+                }
+                let bo = b_old[t];
+                if bo.is_infinite() {
+                    return true;
+                }
+                let m = 1e-12 * bo.abs().max(1.0);
+                old_row[t] < bo - m || b_new[t] <= old_row[t] + m
+            });
+            if safe {
+                for t in 0..size {
+                    let v = if in_c[t] {
+                        matrix[t * size + s]
+                    } else {
+                        old_row[t].min(b_new[t])
+                    };
+                    matrix[s * size + t] = v;
+                }
+                patched_rows += 1;
+            } else {
+                let row = reduced_dijkstra_row(&reduced, s, &mut dist, &mut heap);
+                matrix[s * size..(s + 1) * size].copy_from_slice(&row);
+                dijkstra_rows += 1;
+            }
+        }
+        let node_changed = old != matrix;
         self.nodes[id].matrix = matrix;
-        changed
+        let report = node_changed.then(|| self.changed_borders_since(id, &old_sub));
+        if std::env::var_os("GTREE_TRACE").is_some() {
+            eprintln!(
+                "refresh node {id}: size {size}, |C| {}, dijkstras {dijkstra_rows}, patched {patched_rows}, changed_borders {:?}",
+                c_rows.len(),
+                report.as_ref().map(Vec::len)
+            );
+        }
+        (report, dijkstra_rows, patched_rows)
     }
     /// Fills the precomputed index arrays (`border_rows`, `child_border_rows`,
     /// `leaf_pos`) from the `ub_index` maps after the matrices are built, so
@@ -1364,118 +1973,390 @@ impl GTree {
     }
 }
 
-/// Dijkstra over the small reduced border graph.
-fn reduced_dijkstra(adj: &[Vec<(usize, f64)>], source: usize) -> Vec<f64> {
+/// One node of a build level queued for its matrix fill: leaves (`reduced ==
+/// None`) run masked within-region Dijkstras, internal nodes run reduced
+/// Dijkstras over their contracted border graph.
+#[derive(Debug)]
+struct NodeFill {
+    id: usize,
+    reduced: Option<ReducedGraph>,
+}
+
+/// A contracted reduced border graph in CSR form. Vertex ids are union-border
+/// rows of the owning node; edges are the surviving intra-child shortcuts
+/// plus the road edges crossing between children.
+#[derive(Debug)]
+struct ReducedGraph {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    weights: Vec<f64>,
+}
+
+/// Whether two distance values differ beyond f64 association noise (the
+/// relative margin matches the incremental patch rule's epsilon).
+fn significantly_different(a: f64, b: f64) -> bool {
+    if a == b {
+        return false;
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return true;
+    }
+    (a - b).abs() > 1e-12 * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Counting-sorts a directed edge list into CSR form over `size` vertices.
+fn assemble_reduced(size: usize, edges: &[(u32, u32, f64)]) -> ReducedGraph {
+    let mut offsets = vec![0u32; size + 1];
+    for &(a, _, _) in edges {
+        offsets[a as usize + 1] += 1;
+    }
+    for i in 0..size {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut cursor: Vec<u32> = offsets[..size].to_vec();
+    let mut targets = vec![0u32; edges.len()];
+    let mut weights = vec![0.0f64; edges.len()];
+    for &(a, b, w) in edges {
+        let slot = cursor[a as usize] as usize;
+        targets[slot] = b;
+        weights[slot] = w;
+        cursor[a as usize] += 1;
+    }
+    ReducedGraph {
+        offsets,
+        targets,
+        weights,
+    }
+}
+
+/// Per-thread scratch of the (possibly parallel) matrix fill.
+#[derive(Debug)]
+struct FillWorker {
+    sssp: SsspScratch,
+    region_mask: Vec<bool>,
+    dist: Vec<f64>,
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32)>>,
+}
+
+impl FillWorker {
+    fn new(num_vertices: usize) -> Self {
+        FillWorker {
+            sssp: SsspScratch::new(),
+            region_mask: vec![false; num_vertices],
+            dist: Vec::new(),
+            heap: std::collections::BinaryHeap::new(),
+        }
+    }
+}
+
+/// Dijkstra over a contracted reduced border graph; returns the full
+/// distance row from `source`. The scratch buffers are recycled per call.
+fn reduced_dijkstra_row(
+    g: &ReducedGraph,
+    source: usize,
+    dist: &mut Vec<f64>,
+    heap: &mut std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32)>>,
+) -> Vec<f64> {
     use std::cmp::Reverse;
-    let n = adj.len();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut heap: std::collections::BinaryHeap<Reverse<(u64, usize)>> =
-        std::collections::BinaryHeap::new();
+    let n = g.offsets.len() - 1;
+    dist.clear();
+    dist.resize(n, f64::INFINITY);
+    heap.clear();
     dist[source] = 0.0;
-    heap.push(Reverse((0, source)));
+    heap.push(Reverse((0, source as u32)));
     while let Some(Reverse((key, v))) = heap.pop() {
         let d = f64::from_bits(key);
+        let v = v as usize;
         if d > dist[v] {
             continue;
         }
-        for &(u, w) in &adj[v] {
-            let nd = d + w;
+        for e in g.offsets[v] as usize..g.offsets[v + 1] as usize {
+            let u = g.targets[e] as usize;
+            let nd = d + g.weights[e];
             if nd < dist[u] {
                 dist[u] = nd;
-                heap.push(Reverse((nd.to_bits(), u)));
+                heap.push(Reverse((nd.to_bits(), u as u32)));
             }
         }
     }
-    dist
+    dist.clone()
 }
 
-/// Splits a vertex set into two balanced halves by growing BFS regions from
-/// two far-apart seeds. Disconnected leftovers are appended to the smaller
-/// half; a degenerate split falls back to halving the list.
+/// Splits a vertex set into two balanced halves while minimizing the number
+/// of cut edges — and therefore the border count at every level of the tree.
+///
+/// Distance-based splitting (two-sided BFS growth, bisector orderings) falls
+/// apart on road networks with long-range shortcut edges: hop distances turn
+/// small-world and the "geometric" halves scatter into dozens of fragments,
+/// leaving almost every vertex a border. Cut minimization sidesteps the
+/// metric entirely. One half is grown greedily from a far-apart seed, always
+/// absorbing the frontier vertex whose move reduces the running cut the most
+/// (greedy graph growing, the seed heuristic used by multilevel
+/// partitioners), then two Fiduccia–Mattheyses-style sweeps move
+/// positive-gain boundary vertices across the cut under a small balance
+/// slack. Ties are broken by vertex id everywhere, so the split is
+/// deterministic. Disconnected parts are handled by re-seeding the growth
+/// when a component is exhausted; a degenerate split falls back to halving
+/// the list.
 fn bisect(net: &RoadNetwork, vertices: &[RoadVertexId]) -> (Vec<RoadVertexId>, Vec<RoadVertexId>) {
-    use std::collections::VecDeque;
-    let set: HashMap<RoadVertexId, ()> = vertices.iter().map(|&v| (v, ())).collect();
-    let in_set = |v: RoadVertexId| set.contains_key(&v);
-
-    // seed 1: BFS-farthest vertex from vertices[0]; seed 2: farthest from seed 1
-    let farthest_from = |start: RoadVertexId| -> RoadVertexId {
-        let mut seen: HashMap<RoadVertexId, ()> = HashMap::new();
-        let mut queue = VecDeque::new();
-        seen.insert(start, ());
-        queue.push_back(start);
-        let mut last = start;
-        while let Some(v) = queue.pop_front() {
-            last = v;
-            for &(u, _) in net.neighbors(v) {
-                if in_set(u) && !seen.contains_key(&u) {
-                    seen.insert(u, ());
-                    queue.push_back(u);
-                }
-            }
-        }
-        last
-    };
-    let s1 = farthest_from(vertices[0]);
-    let s2 = farthest_from(s1);
-    if s1 == s2 {
-        let mid = vertices.len() / 2;
+    use std::cmp::Reverse;
+    use std::collections::{BinaryHeap, VecDeque};
+    let n = vertices.len();
+    if n < 2 {
+        let mid = n / 2;
         return (vertices[..mid].to_vec(), vertices[mid..].to_vec());
     }
+    let mut idx: HashMap<RoadVertexId, u32> = HashMap::with_capacity(n);
+    for (i, &v) in vertices.iter().enumerate() {
+        idx.insert(v, i as u32);
+    }
+    // Per-vertex degree restricted to the part (edges leaving the part are
+    // borders regardless of the split, so they never enter a gain).
+    let deg_part: Vec<i32> = vertices
+        .iter()
+        .map(|&v| {
+            net.neighbors(v)
+                .iter()
+                .filter(|&&(u, _)| idx.contains_key(&u))
+                .count() as i32
+        })
+        .collect();
 
-    let mut owner: HashMap<RoadVertexId, u8> = HashMap::new();
-    let mut q1 = VecDeque::new();
-    let mut q2 = VecDeque::new();
-    owner.insert(s1, 1);
-    owner.insert(s2, 2);
-    q1.push_back(s1);
-    q2.push_back(s2);
-    let half = vertices.len().div_ceil(2);
-    let mut count1 = 1usize;
-    loop {
-        let mut progressed = false;
-        if count1 < half {
-            if let Some(v) = q1.pop_front() {
-                progressed = true;
-                for &(u, _) in net.neighbors(v) {
-                    if in_set(u) && !owner.contains_key(&u) && count1 < half {
-                        owner.insert(u, 1);
-                        count1 += 1;
-                        q1.push_back(u);
+    // BFS-farthest vertex from `from` (a periphery vertex, so the grown half
+    // does not enclose the seed's component center).
+    let far_from = |from: usize| -> usize {
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::new();
+        seen[from] = true;
+        queue.push_back(vertices[from]);
+        let mut last = from as u32;
+        while let Some(v) = queue.pop_front() {
+            last = idx[&v];
+            for &(u, _) in net.neighbors(v) {
+                if let Some(&ui) = idx.get(&u) {
+                    if !seen[ui as usize] {
+                        seen[ui as usize] = true;
+                        queue.push_back(u);
                     }
                 }
             }
         }
-        if let Some(v) = q2.pop_front() {
-            progressed = true;
-            for &(u, _) in net.neighbors(v) {
-                if in_set(u) && !owner.contains_key(&u) {
-                    owner.insert(u, 2);
-                    q2.push_back(u);
+        last as usize
+    };
+
+    let half = n / 2;
+    let slack = (n / 16).max(1);
+    let min_side = half.saturating_sub(slack).max(1);
+    let max_side = (half + slack).min(n - 1);
+    let gain_of = |deg_in: i32, deg: i32| 2 * deg_in - deg;
+
+    // One full growth + refinement attempt from a given seed; returns the
+    // half-set assignment, its size, and the resulting cut edge count.
+    let attempt = |seed: usize| -> (Vec<bool>, usize, i64) {
+        // Greedy growth: absorb the frontier vertex with the maximal gain
+        // `(neighbors already in A) - (neighbors still outside)` =
+        // 2·deg_in - deg. The heap is lazy (stale entries are re-checked
+        // against the current gain); ties prefer the smaller vertex id for
+        // determinism.
+        let mut in_a = vec![false; n];
+        let mut deg_in_a = vec![0i32; n];
+        let mut heap: BinaryHeap<(i32, Reverse<u32>)> = BinaryHeap::new();
+        heap.push((gain_of(0, deg_part[seed]), Reverse(seed as u32)));
+        let mut a_count = 0usize;
+        let mut next_reseed = 0usize;
+        while a_count < half {
+            let vi = match heap.pop() {
+                Some((g, Reverse(vi))) => {
+                    let vi = vi as usize;
+                    if in_a[vi] || g != gain_of(deg_in_a[vi], deg_part[vi]) {
+                        continue; // stale or already absorbed
+                    }
+                    vi
+                }
+                None => {
+                    // Component exhausted: re-seed from the first unassigned
+                    // vertex (deterministic; `next_reseed` only moves
+                    // forward).
+                    while next_reseed < n && in_a[next_reseed] {
+                        next_reseed += 1;
+                    }
+                    if next_reseed >= n {
+                        break;
+                    }
+                    next_reseed
+                }
+            };
+            in_a[vi] = true;
+            a_count += 1;
+            for &(u, _) in net.neighbors(vertices[vi]) {
+                if let Some(&ui) = idx.get(&u) {
+                    let ui = ui as usize;
+                    deg_in_a[ui] += 1;
+                    if !in_a[ui] {
+                        heap.push((gain_of(deg_in_a[ui], deg_part[ui]), Reverse(ui as u32)));
+                    }
                 }
             }
         }
-        if !progressed {
-            break;
-        }
-    }
-    let mut left = Vec::new();
-    let mut right = Vec::new();
-    for &v in vertices {
-        match owner.get(&v) {
-            Some(1) => left.push(v),
-            Some(2) => right.push(v),
-            _ => {
-                // unreachable leftovers (disconnected part): balance
-                if left.len() <= right.len() {
-                    left.push(v);
+
+        // Fiduccia–Mattheyses refinement with rollback: each pass moves the
+        // best-gain unlocked vertex (negative gains included, so the pass can
+        // climb out of local minima), locks it, and finally rolls back to the
+        // best prefix of the move sequence. Passes repeat until one fails to
+        // improve the cut.
+        for _pass in 0..8 {
+            let mut locked = vec![false; n];
+            // Move gain for the vertex's CURRENT side; (gain, id)-keyed lazy
+            // heaps, one per side so balance limits can force a side.
+            let move_gain = |vi: usize, in_a: &[bool], deg_in_a: &[i32]| {
+                if in_a[vi] {
+                    deg_part[vi] - 2 * deg_in_a[vi]
                 } else {
-                    right.push(v);
+                    2 * deg_in_a[vi] - deg_part[vi]
+                }
+            };
+            let mut heap_a: BinaryHeap<(i32, Reverse<u32>)> = BinaryHeap::new();
+            let mut heap_b: BinaryHeap<(i32, Reverse<u32>)> = BinaryHeap::new();
+            for vi in 0..n {
+                let entry = (move_gain(vi, &in_a, &deg_in_a), Reverse(vi as u32));
+                if in_a[vi] {
+                    heap_a.push(entry);
+                } else {
+                    heap_b.push(entry);
                 }
             }
+            let mut moves: Vec<usize> = Vec::new();
+            let mut gain_sum = 0i64;
+            let mut best_sum = 0i64;
+            let mut best_prefix = 0usize;
+            loop {
+                // Drop stale tops, then pick the better feasible side (ties
+                // prefer the side whose move restores balance, then A).
+                let clean = |heap: &mut BinaryHeap<(i32, Reverse<u32>)>,
+                             want_a: bool,
+                             in_a: &[bool],
+                             deg_in_a: &[i32],
+                             locked: &[bool]| {
+                    while let Some(&(g, Reverse(v))) = heap.peek() {
+                        let vi = v as usize;
+                        if !locked[vi]
+                            && in_a[vi] == want_a
+                            && g == if want_a {
+                                deg_part[vi] - 2 * deg_in_a[vi]
+                            } else {
+                                2 * deg_in_a[vi] - deg_part[vi]
+                            }
+                        {
+                            return Some((g, vi));
+                        }
+                        heap.pop();
+                    }
+                    None
+                };
+                let from_a = if a_count > min_side {
+                    clean(&mut heap_a, true, &in_a, &deg_in_a, &locked)
+                } else {
+                    None
+                };
+                let from_b = if a_count < max_side {
+                    clean(&mut heap_b, false, &in_a, &deg_in_a, &locked)
+                } else {
+                    None
+                };
+                let (gain, vi) = match (from_a, from_b) {
+                    (Some((ga, va)), Some((gb, vb))) => {
+                        if ga > gb || (ga == gb && a_count > half) {
+                            heap_a.pop();
+                            (ga, va)
+                        } else {
+                            heap_b.pop();
+                            (gb, vb)
+                        }
+                    }
+                    (Some((ga, va)), None) => {
+                        heap_a.pop();
+                        (ga, va)
+                    }
+                    (None, Some((gb, vb))) => {
+                        heap_b.pop();
+                        (gb, vb)
+                    }
+                    (None, None) => break,
+                };
+                let delta = if in_a[vi] { -1i32 } else { 1 };
+                in_a[vi] = !in_a[vi];
+                a_count = (a_count as i64 + delta as i64) as usize;
+                locked[vi] = true;
+                for &(u, _) in net.neighbors(vertices[vi]) {
+                    if let Some(&ui) = idx.get(&u) {
+                        let ui = ui as usize;
+                        deg_in_a[ui] += delta;
+                        if !locked[ui] {
+                            let entry = (move_gain(ui, &in_a, &deg_in_a), Reverse(ui as u32));
+                            if in_a[ui] {
+                                heap_a.push(entry);
+                            } else {
+                                heap_b.push(entry);
+                            }
+                        }
+                    }
+                }
+                moves.push(vi);
+                gain_sum += gain as i64;
+                if gain_sum > best_sum {
+                    best_sum = gain_sum;
+                    best_prefix = moves.len();
+                }
+            }
+            // Roll back everything after the best prefix.
+            for &vi in moves[best_prefix..].iter().rev() {
+                let delta = if in_a[vi] { -1i32 } else { 1 };
+                in_a[vi] = !in_a[vi];
+                a_count = (a_count as i64 + delta as i64) as usize;
+                for &(u, _) in net.neighbors(vertices[vi]) {
+                    if let Some(&ui) = idx.get(&u) {
+                        deg_in_a[ui as usize] += delta;
+                    }
+                }
+            }
+            if best_sum == 0 {
+                break;
+            }
+        }
+
+        let cut: i64 = (0..n)
+            .filter(|&vi| in_a[vi])
+            .map(|vi| (deg_part[vi] - deg_in_a[vi]) as i64)
+            .sum();
+        (in_a, a_count, cut)
+    };
+
+    // Large parts are worth several growth seeds — the cut they produce is
+    // paid again on every matrix row above them. Small parts take one.
+    let seeds: Vec<usize> = if n > 2048 {
+        let mut s = vec![far_from(0), far_from(n / 3), far_from(2 * n / 3)];
+        s.dedup();
+        s
+    } else {
+        vec![far_from(0)]
+    };
+    let (in_a, a_count, _) = seeds
+        .into_iter()
+        .map(attempt)
+        .min_by_key(|&(_, _, cut)| cut)
+        .unwrap();
+
+    let mut left = Vec::with_capacity(a_count);
+    let mut right = Vec::with_capacity(n - a_count);
+    for (i, &v) in vertices.iter().enumerate() {
+        if in_a[i] {
+            left.push(v);
+        } else {
+            right.push(v);
         }
     }
     if left.is_empty() || right.is_empty() {
-        let mid = vertices.len() / 2;
+        let mid = n / 2;
         return (vertices[..mid].to_vec(), vertices[mid..].to_vec());
     }
     (left, right)
@@ -1570,6 +2451,82 @@ mod tests {
         let net = grid(4, 4);
         let tree = GTree::build_with_capacity(&net, 4);
         assert!(tree.memory_bytes() > 0);
+    }
+
+    /// `build_with_params(net, cap, 2)` IS the binary-bisection reference:
+    /// the multiway loop with fanout 2 performs exactly one bisection per
+    /// node. The multiway tree must answer every point query identically.
+    #[test]
+    fn multiway_build_matches_binary_reference() {
+        let net = grid(9, 9);
+        let binary = GTree::build_binary_reference(&net, 6);
+        for fanout in [4usize, 8] {
+            let multi = GTree::build_with_params(&net, 6, fanout);
+            assert!(
+                multi.height() < binary.height(),
+                "fanout {fanout} tree should be shallower than binary ({} vs {})",
+                multi.height(),
+                binary.height()
+            );
+            for s in [0u32, 13, 40, 77] {
+                for v in 0..81u32 {
+                    let a = binary.dist(s, v);
+                    let b = multi.dist(s, v);
+                    assert!(
+                        a == b || (a - b).abs() < 1e-9,
+                        "fanout {fanout} diverged from binary at {s}->{v}: {b} vs {a}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A single cross-child reweight deep in a large tree must be served by
+    /// the delta-aware path: most top-node rows are patched from the old
+    /// matrix rather than re-Dijkstra'd, and the result still matches a
+    /// from-scratch build exactly.
+    #[test]
+    fn delta_aware_update_patches_top_rows() {
+        let rows = 12u32;
+        let cols = 12u32;
+        let net = grid(rows, cols);
+        let mut tree = GTree::build_with_capacity(&net, 8);
+        assert!(tree.height() >= 3, "need a deep tree for this test");
+        // Reweight one edge; rebuild the network with the new weight.
+        let mut edges: Vec<(u32, u32, f64)> = net.edges().collect();
+        let (u, v, _) = edges[edges.len() / 2];
+        let idx = edges.len() / 2;
+        edges[idx].2 = 9.5;
+        let updated = RoadNetwork::from_edges(net.num_vertices(), &edges);
+        let stats = tree.apply_edge_updates(&updated, &[EdgeUpdate::new(u, v, 9.5)]);
+        assert!(stats.dirty_leaves + stats.dirty_internal >= 1);
+        if stats.dirty_internal > 0 {
+            // The refreshed internal nodes must not have re-Dijkstra'd every
+            // row: the patched path kicked in somewhere.
+            let full_rows: usize = (0..tree.num_nodes())
+                .filter(|&id| !tree.children_of(id).is_empty())
+                .map(|id| tree.union_borders_of(id).len())
+                .sum();
+            assert!(
+                stats.row_dijkstras < full_rows,
+                "delta update re-Dijkstra'd all {full_rows} internal rows"
+            );
+        }
+        let fresh = GTree::build_with_capacity(&updated, 8);
+        assert_eq!(tree.num_nodes(), fresh.num_nodes());
+        for id in 0..tree.num_nodes() {
+            let ub = tree.union_borders_of(id).len();
+            for i in 0..ub {
+                for j in 0..ub {
+                    let a = tree.matrix_entry(id, i, j);
+                    let b = fresh.matrix_entry(id, i, j);
+                    assert!(
+                        a == b || (a - b).abs() < 1e-9,
+                        "node {id} diverged from fresh build at ({i},{j}): {a} vs {b}"
+                    );
+                }
+            }
+        }
     }
 
     /// Runs the batched walk from one source over every vertex as a target.
@@ -1958,8 +2915,8 @@ mod tests {
         assert_eq!(targets.num_seeds(), reference.num_seeds());
         assert_eq!(targets.occupied, reference.occupied);
         for leaf in 0..tree.num_nodes() {
-            let mut a = targets.per_leaf[leaf].clone();
-            let mut b = reference.per_leaf[leaf].clone();
+            let mut a = targets.per_leaf[leaf].to_vec();
+            let mut b = reference.per_leaf[leaf].to_vec();
             a.sort_by(|x, y| x.partial_cmp(y).unwrap());
             b.sort_by(|x, y| x.partial_cmp(y).unwrap());
             assert_eq!(a, b, "leaf {leaf} seeds diverged after round trip");

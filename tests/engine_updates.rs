@@ -387,3 +387,62 @@ fn concurrent_serving_during_updates_settles_on_the_final_epoch() {
         assert_results_identical(&format!("settled query {i}"), &a, &b);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Allocation accounting: the epoch copy must be copy-on-write.
+// ---------------------------------------------------------------------------
+
+/// Counts heap allocations made by the current thread. Only `alloc` is
+/// tracked — the test compares deltas, so frees are irrelevant — and the
+/// thread-local counter keeps other test threads out of the measurement.
+struct CountingAllocator;
+
+thread_local! {
+    static THREAD_ALLOCS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+unsafe impl std::alloc::GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        // `try_with` so allocations during TLS teardown never panic.
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { std::alloc::System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        unsafe { std::alloc::System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static COUNTING_ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn thread_allocations() -> u64 {
+    THREAD_ALLOCS.with(|c| c.get())
+}
+
+/// A small user-churn delta must copy only the touched leaves of the grouped
+/// per-leaf seed rows, not the epoch's network or index: the social graph,
+/// road network, attribute table, and G-tree matrices are Arc-shared between
+/// epochs, and the per-leaf rows are Arc'd vectors edited copy-on-write. A
+/// deep epoch clone on this network costs thousands of allocations (600
+/// attribute vectors alone); the copy-on-write path stays under a couple
+/// hundred.
+#[test]
+fn user_churn_delta_allocation_budget() {
+    let (rsn, group) = random_network(13, 600, true);
+    let engine = MacEngine::build_uncalibrated(rsn);
+    // Warm up: the first delta faults in lazy one-time state.
+    engine
+        .apply_updates(&NetworkDelta::new().move_user(group[0], Location::vertex(3)))
+        .unwrap();
+
+    let before = thread_allocations();
+    engine
+        .apply_updates(&NetworkDelta::new().move_user(group[0], Location::vertex(9)))
+        .unwrap();
+    let spent = thread_allocations() - before;
+    assert!(
+        spent < 200,
+        "one-user-move delta allocated {spent} times — the epoch copy is \
+         deep-cloning shared state instead of Arc-sharing it"
+    );
+}

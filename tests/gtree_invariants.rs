@@ -20,8 +20,15 @@
 use proptest::prelude::*;
 use rand::prelude::*;
 use rand::rngs::StdRng;
+use road_social_mac::core::{
+    AlgorithmChoice, MacEngine, MacQuery, MacSearchResult, RoadSocialNetwork,
+};
+use road_social_mac::datagen::attrs::{generate_attrs, AttrDistribution};
+use road_social_mac::datagen::locations::{assign_locations, LocationConfig};
 use road_social_mac::datagen::road::{generate_road, RoadConfig};
-use road_social_mac::road::{sssp, EdgeUpdate, GTree, RoadNetwork};
+use road_social_mac::datagen::social::{generate_social, PlantedGroup, SocialConfig};
+use road_social_mac::geom::PrefRegion;
+use road_social_mac::road::{sssp, EdgeUpdate, GTree, RangeFilterChoice, RoadNetwork};
 
 fn check_invariants(net: &RoadNetwork, tree: &GTree) {
     let n = net.num_vertices();
@@ -137,16 +144,18 @@ proptest! {
         .. ProptestConfig::default()
     })]
 
-    /// The invariants hold on generated road networks across sizes and leaf
-    /// capacities.
+    /// The invariants hold on generated road networks across sizes, leaf
+    /// capacities, and partition fanouts (2 is the binary-bisection
+    /// reference; higher fanouts exercise the multiway splitter).
     #[test]
     fn gtree_build_invariants_on_generated_networks(
         seed in 0u64..10_000,
         road_n in 40usize..260,
         leaf_capacity in 4usize..40,
+        fanout in 2usize..9,
     ) {
         let net = generate_road(&RoadConfig::with_size(road_n, seed));
-        let tree = GTree::build_with_capacity(&net, leaf_capacity);
+        let tree = GTree::build_with_params(&net, leaf_capacity, fanout);
         check_invariants(&net, &tree);
     }
 
@@ -162,11 +171,12 @@ proptest! {
         seed in 0u64..10_000,
         road_n in 40usize..180,
         leaf_capacity in 4usize..32,
+        fanout in 2usize..9,
     ) {
         let net0 = generate_road(&RoadConfig::with_size(road_n, seed));
         let mut edges: Vec<(u32, u32, f64)> = net0.edges().collect();
         prop_assert!(!edges.is_empty(), "generated road networks are non-trivial");
-        let mut tree = GTree::build_with_capacity(&net0, leaf_capacity);
+        let mut tree = GTree::build_with_params(&net0, leaf_capacity, fanout);
         let mut rng = StdRng::seed_from_u64(seed ^ 0xD9);
         for _round in 0..3 {
             let mut batch = Vec::new();
@@ -180,7 +190,7 @@ proptest! {
             let stats = tree.apply_edge_updates(&net, &batch);
             prop_assert!(stats.dirty_leaves + stats.dirty_internal <= stats.total_nodes);
             check_invariants(&net, &tree);
-            let fresh = GTree::build_with_capacity(&net, leaf_capacity);
+            let fresh = GTree::build_with_params(&net, leaf_capacity, fanout);
             prop_assert_eq!(tree.num_nodes(), fresh.num_nodes());
             for id in 0..tree.num_nodes() {
                 let ub = tree.union_borders_of(id).len();
@@ -208,6 +218,60 @@ proptest! {
                     s, v, want, got
                 );
             }
+        }
+    }
+
+    /// A multiway tree answers exactly the same distance queries as the
+    /// binary-bisection reference — the trees differ in shape and matrix
+    /// sizes but never in answers — before and after reweight batches, and
+    /// both agree with Dijkstra.
+    #[test]
+    fn multiway_tree_is_query_identical_to_binary_reference(
+        seed in 0u64..10_000,
+        road_n in 40usize..220,
+        leaf_capacity in 4usize..32,
+        fanout in 3usize..9,
+    ) {
+        let net0 = generate_road(&RoadConfig::with_size(road_n, seed));
+        let mut edges: Vec<(u32, u32, f64)> = net0.edges().collect();
+        let mut multi = GTree::build_with_params(&net0, leaf_capacity, fanout);
+        let mut binary = GTree::build_binary_reference(&net0, leaf_capacity);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFA0);
+        check_distances_identical(&net0, &multi, &binary, &mut rng);
+        for _round in 0..2 {
+            let mut batch = Vec::new();
+            for _ in 0..rng.random_range(1..5usize) {
+                let idx = rng.random_range(0..edges.len());
+                let w = rng.random_range(0.25..8.0);
+                edges[idx].2 = w;
+                batch.push(EdgeUpdate::new(edges[idx].0, edges[idx].1, w));
+            }
+            let net = RoadNetwork::from_edges(net0.num_vertices(), &edges);
+            multi.apply_edge_updates(&net, &batch);
+            binary.apply_edge_updates(&net, &batch);
+            check_distances_identical(&net, &multi, &binary, &mut rng);
+        }
+    }
+}
+
+/// Samples sources and checks every `dist` answer of the multiway tree
+/// against the binary reference and Dijkstra.
+fn check_distances_identical(net: &RoadNetwork, multi: &GTree, binary: &GTree, rng: &mut StdRng) {
+    for _ in 0..6 {
+        let s = rng.random_range(0..net.num_vertices() as u32);
+        let d = sssp(net, s);
+        for v in 0..net.num_vertices() as u32 {
+            let a = multi.dist(s, v);
+            let b = binary.dist(s, v);
+            prop_assert!(
+                a == b || (a - b).abs() < 1e-9,
+                "fanout tree disagrees with binary reference on {s} -> {v}: {a} vs {b}"
+            );
+            let want = d[v as usize];
+            prop_assert!(
+                a == want || (a - want).abs() < 1e-9,
+                "tree distance {s} -> {v} is {a} but Dijkstra says {want}"
+            );
         }
     }
 }
@@ -240,4 +304,92 @@ fn gtree_build_invariants_single_leaf() {
     assert_eq!(tree.num_nodes(), 1);
     assert_eq!(tree.num_leaves(), 1);
     check_invariants(&net, &tree);
+}
+
+/// End-to-end serving identity: an engine whose network is indexed with a
+/// multiway G-tree returns the same communities, sample weights, and core
+/// sizes as one indexed with the binary-bisection reference tree, across the
+/// filter strategies that actually walk the tree. Together with the
+/// distance-level proptest above this pins the contract that fanout is a
+/// build-cost knob only.
+#[test]
+fn multiway_index_serves_identical_queries_to_binary() {
+    for (seed, fanout) in [(11u64, 4usize), (29, 8)] {
+        let n_users = 220;
+        let social = generate_social(&SocialConfig {
+            n: n_users,
+            attach_m: 3,
+            planted: vec![PlantedGroup {
+                size: 18,
+                degree: 6,
+            }],
+            seed,
+        });
+        let road = generate_road(&RoadConfig::with_size(n_users / 2, seed ^ 0x5EED));
+        let attrs = generate_attrs(
+            n_users,
+            3,
+            AttrDistribution::Independent,
+            10.0,
+            seed ^ 0xA77,
+        );
+        let locations = assign_locations(
+            &road,
+            n_users,
+            &social.groups,
+            &LocationConfig {
+                clusters: 8,
+                radius: 5,
+                seed: seed ^ 0x10C,
+            },
+        );
+        let group = social.groups[0].clone();
+        let rsn = RoadSocialNetwork::new(social.graph, road, locations, attrs).unwrap();
+        let multi = MacEngine::build_uncalibrated(rsn.clone().with_gtree_index_params(16, fanout));
+        let binary = MacEngine::build_uncalibrated(rsn.with_gtree_index_params(16, 2));
+        let (mut sm, mut sb) = (multi.session(), binary.session());
+
+        let region = PrefRegion::from_ranges(&[(0.2, 0.5), (0.2, 0.5)]).unwrap();
+        let filters = [
+            RangeFilterChoice::GTreePoint,
+            RangeFilterChoice::GTreeMultiSeedBatched,
+            RangeFilterChoice::Auto,
+        ];
+        for i in 0..6usize {
+            let q: Vec<u32> = group.iter().copied().take(1 + i % 3).collect();
+            let query = MacQuery::new(
+                q,
+                4 + (i % 2) as u32,
+                [30.0, 55.0, 85.0][i % 3],
+                region.clone(),
+            )
+            .with_algorithm(AlgorithmChoice::Global)
+            .with_range_filter(filters[i % filters.len()]);
+            let a = sm.execute(&query).unwrap();
+            let b = sb.execute(&query).unwrap();
+            assert_query_identical(&format!("fanout {fanout} seed {seed} query {i}"), &a, &b);
+        }
+    }
+}
+
+fn assert_query_identical(label: &str, a: &MacSearchResult, b: &MacSearchResult) {
+    assert_eq!(a.cells.len(), b.cells.len(), "{label}: cell count diverged");
+    for (ca, cb) in a.cells.iter().zip(&b.cells) {
+        assert_eq!(ca.sample_weight, cb.sample_weight, "{label}: sample weight");
+        assert_eq!(
+            ca.communities
+                .iter()
+                .map(|c| &c.vertices)
+                .collect::<Vec<_>>(),
+            cb.communities
+                .iter()
+                .map(|c| &c.vertices)
+                .collect::<Vec<_>>(),
+            "{label}: communities"
+        );
+    }
+    assert_eq!(
+        a.stats.kt_core_vertices, b.stats.kt_core_vertices,
+        "{label}: core size"
+    );
 }

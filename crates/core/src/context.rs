@@ -54,6 +54,32 @@ pub(crate) enum BuildOutcome<'a> {
     Exhausted(QueryPhase),
 }
 
+/// The owned parts of a [`SearchContext`] — everything except the `rsn` /
+/// `query` borrows. This is what the session-level
+/// [`ContextCache`](crate::ctxcache::ContextCache) stores between queries:
+/// the expensive-to-build core-local structures (induced (k,t)-core graph,
+/// attribute matrix, and above all the `O(core²)`-to-build r-dominance
+/// graph) survive while the lifetimes of the borrowing context do not.
+#[derive(Debug, Clone)]
+pub struct ContextParts {
+    core_vertices: Vec<VertexId>,
+    local_graph: Graph,
+    local_q: Vec<u32>,
+    attrs: AttrMatrix,
+    gd: DominanceGraph,
+}
+
+impl ContextParts {
+    /// Approximate heap footprint, for cache accounting/diagnostics.
+    pub fn approx_bytes(&self) -> usize {
+        self.core_vertices.len() * std::mem::size_of::<VertexId>()
+            + self.local_graph.num_edges() * 2 * std::mem::size_of::<u32>()
+            + self.local_q.len() * std::mem::size_of::<u32>()
+            + self.attrs.memory_bytes()
+            + self.gd.memory_bytes()
+    }
+}
+
 /// Shared state for one MAC query.
 #[derive(Debug, Clone)]
 pub struct SearchContext<'a> {
@@ -170,6 +196,40 @@ impl<'a> SearchContext<'a> {
             local_q,
             attrs,
             gd,
+        }
+    }
+
+    /// Disassembles the context into its owned, network-independent parts so
+    /// a [`ContextCache`](crate::ctxcache::ContextCache) can keep them across
+    /// queries. The inverse of [`from_parts`](Self::from_parts).
+    pub fn into_parts(self) -> ContextParts {
+        ContextParts {
+            core_vertices: self.core_vertices,
+            local_graph: self.local_graph,
+            local_q: self.local_q,
+            attrs: self.attrs,
+            gd: self.gd,
+        }
+    }
+
+    /// Reassembles a context from cached parts (zero-copy: the parts are
+    /// moved, not cloned). The caller owes the cache coherence argument:
+    /// `parts` must have been produced by a query with the same
+    /// [context signature](crate::query::QuerySignature::context_signature)
+    /// on the same engine epoch — the session context cache enforces both.
+    pub fn from_parts(
+        rsn: &'a RoadSocialNetwork,
+        query: &'a MacQuery,
+        parts: ContextParts,
+    ) -> Self {
+        SearchContext {
+            rsn,
+            query,
+            core_vertices: parts.core_vertices,
+            local_graph: parts.local_graph,
+            local_q: parts.local_q,
+            attrs: parts.attrs,
+            gd: parts.gd,
         }
     }
 

@@ -1,0 +1,267 @@
+//! Session-level search-context cache.
+//!
+//! A result-bearing MAC query pays most of its latency **before** the search
+//! proper: the Lemma-1 range filter, the (k,t)-core peel, and the `O(core²)`
+//! r-dominance graph build all run per query even when the query is a repeat
+//! of one served moments ago — a common shape under production traffic, where
+//! popular (Q, k, t, R) combinations recur (the load harness models this with
+//! a Zipf-skewed query population). The [`ContextCache`] closes that gap: a
+//! [`QuerySession`](crate::session::QuerySession) with a cache keeps the
+//! owned [`ContextParts`] of recently built contexts keyed by the query's
+//! [context signature](crate::query::QuerySignature::context_signature), and
+//! a repeat query skips straight to the search stage.
+//!
+//! Coherence is epoch-based: the cache remembers which engine epoch its
+//! entries were built on, and the first lookup on a different epoch clears it
+//! wholesale — after a [`NetworkDelta`](crate::engine::NetworkDelta) there is
+//! no cheap way to know which cores survived, and a stale context would be a
+//! correctness bug, not a performance one. (Epoch ids are monotonic, so this
+//! also handles a session observing several updates between queries.)
+//!
+//! Entries are **moved out** on hit and moved back in after the search
+//! completes: a cache hit is zero-copy, and a query that panics mid-search
+//! simply loses its entry (degrading to a miss next time) instead of ever
+//! exposing torn state.
+
+use crate::context::ContextParts;
+use crate::query::QuerySignature;
+
+/// Default number of cached contexts when a cache is enabled without an
+/// explicit capacity.
+pub const DEFAULT_CONTEXT_CACHE_CAPACITY: usize = 32;
+
+/// Hit/miss/eviction counters of one [`ContextCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContextCacheStats {
+    /// Lookups that found a reusable context (same signature, same epoch).
+    pub hits: u64,
+    /// Lookups that found nothing (first sight, evicted, or epoch-cleared).
+    pub misses: u64,
+    /// Entries dropped to make room for newer ones.
+    pub evictions: u64,
+    /// Whole-cache invalidations caused by an epoch change.
+    pub epoch_invalidations: u64,
+}
+
+impl ContextCacheStats {
+    /// Hit fraction in `[0, 1]` (0 when no lookup happened yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct CacheEntry {
+    key: QuerySignature,
+    parts: ContextParts,
+}
+
+impl std::fmt::Debug for CacheEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheEntry")
+            .field("key", &self.key)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A bounded, LRU-evicting map from
+/// [context signature](crate::query::QuerySignature::context_signature) to
+/// the owned parts of a built [`SearchContext`](crate::context::SearchContext),
+/// valid for exactly one engine epoch at a time.
+///
+/// The entry count is intentionally small (a serving thread sees a handful of
+/// hot signatures, and one entry can hold an `O(core)`-sized graph plus an
+/// `O(core²)`-edge dominance graph), so lookups are a linear scan — cheaper
+/// than hashing at this size and free of hasher state.
+#[derive(Debug)]
+pub struct ContextCache {
+    /// Most recently used last.
+    entries: Vec<CacheEntry>,
+    capacity: usize,
+    /// The engine epoch the entries were built on.
+    epoch: u64,
+    stats: ContextCacheStats,
+}
+
+impl ContextCache {
+    /// Creates an empty cache holding at most `capacity` contexts (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        ContextCache {
+            entries: Vec::new(),
+            capacity: capacity.max(1),
+            epoch: 0,
+            stats: ContextCacheStats::default(),
+        }
+    }
+
+    /// Maximum number of cached contexts.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently cached contexts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache currently holds no context.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ContextCacheStats {
+        self.stats
+    }
+
+    /// Approximate heap footprint of all cached contexts.
+    pub fn approx_bytes(&self) -> usize {
+        self.entries.iter().map(|e| e.parts.approx_bytes()).sum()
+    }
+
+    /// Drops every entry (the counters survive).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Ensures the cache is coherent with `epoch`, clearing it wholesale on a
+    /// change. Called by the session with the epoch it pinned for the query,
+    /// before any lookup or store.
+    fn sync_epoch(&mut self, epoch: u64) {
+        if self.epoch != epoch {
+            if !self.entries.is_empty() {
+                self.stats.epoch_invalidations += 1;
+                self.entries.clear();
+            }
+            self.epoch = epoch;
+        }
+    }
+
+    /// Takes the cached context for `key` out of the cache, if it was built
+    /// on `epoch`. The entry is *removed* — the caller is expected to
+    /// [`store`](Self::store) it back once the search is done, which keeps a
+    /// hit zero-copy and panic-safe.
+    pub fn take(&mut self, epoch: u64, key: &QuerySignature) -> Option<ContextParts> {
+        self.sync_epoch(epoch);
+        match self.entries.iter().position(|e| &e.key == key) {
+            Some(pos) => {
+                self.stats.hits += 1;
+                Some(self.entries.remove(pos).parts)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or re-inserts, after a [`take`](Self::take)) a built context
+    /// under `key`, marking it most recently used. Evicts the least recently
+    /// used entry when full. A store for a different epoch than the entries'
+    /// clears them first.
+    pub fn store(&mut self, epoch: u64, key: QuerySignature, parts: ContextParts) {
+        self.sync_epoch(epoch);
+        if let Some(pos) = self.entries.iter().position(|e| e.key == key) {
+            // Same signature stored twice (e.g. two sessions' worth of work
+            // merged): keep the newer parts, refresh recency.
+            self.entries.remove(pos);
+        } else if self.entries.len() >= self.capacity {
+            self.entries.remove(0);
+            self.stats.evictions += 1;
+        }
+        self.entries.push(CacheEntry { key, parts });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::SearchContext;
+    use crate::network::RoadSocialNetwork;
+    use crate::query::MacQuery;
+    use rsn_geom::region::PrefRegion;
+    use rsn_graph::graph::Graph;
+    use rsn_road::network::{Location, RoadNetwork};
+
+    fn parts_for(query: &MacQuery, rsn: &RoadSocialNetwork) -> ContextParts {
+        SearchContext::build(rsn, query)
+            .unwrap()
+            .expect("core exists")
+            .into_parts()
+    }
+
+    fn network() -> RoadSocialNetwork {
+        let social =
+            Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)]);
+        let road = RoadNetwork::from_edges(2, &[(0, 1, 1.0)]);
+        let locations = vec![Location::vertex(0); 5];
+        let attrs = vec![
+            vec![5.0, 1.0],
+            vec![4.0, 2.0],
+            vec![3.0, 3.0],
+            vec![2.0, 4.0],
+            vec![1.0, 5.0],
+        ];
+        RoadSocialNetwork::new(social, road, locations, attrs).unwrap()
+    }
+
+    fn query(k: u32) -> MacQuery {
+        let region = PrefRegion::from_ranges(&[(0.3, 0.7)]).unwrap();
+        MacQuery::new(vec![0], k, 10.0, region)
+    }
+
+    #[test]
+    fn take_store_roundtrip_counts_hits_and_misses() {
+        let rsn = network();
+        let q = query(3);
+        let key = q.signature().context_signature();
+        let mut cache = ContextCache::new(4);
+        assert!(cache.take(0, &key).is_none());
+        cache.store(0, key.clone(), parts_for(&q, &rsn));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.approx_bytes() > 0);
+        let parts = cache.take(0, &key).expect("hit");
+        // A take removes the entry; storing it back restores the hit.
+        assert!(cache.is_empty());
+        cache.store(0, key.clone(), parts);
+        assert!(cache.take(0, &key).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epoch_change_invalidates_everything() {
+        let rsn = network();
+        let q = query(3);
+        let key = q.signature().context_signature();
+        let mut cache = ContextCache::new(4);
+        cache.store(0, key.clone(), parts_for(&q, &rsn));
+        assert!(cache.take(1, &key).is_none(), "new epoch must miss");
+        assert_eq!(cache.stats().epoch_invalidations, 1);
+        // The cache now follows the new epoch.
+        cache.store(1, key.clone(), parts_for(&q, &rsn));
+        assert!(cache.take(1, &key).is_some());
+    }
+
+    #[test]
+    fn lru_eviction_drops_the_oldest_entry() {
+        let rsn = network();
+        let mut cache = ContextCache::new(2);
+        let keys: Vec<_> = (1..4)
+            .map(|k| query(k).signature().context_signature())
+            .collect();
+        for (k, key) in (1..4).zip(&keys) {
+            cache.store(0, key.clone(), parts_for(&query(k), &rsn));
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.take(0, &keys[0]).is_none(), "oldest entry evicted");
+        assert!(cache.take(0, &keys[1]).is_some());
+        assert!(cache.take(0, &keys[2]).is_some());
+    }
+}

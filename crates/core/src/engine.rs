@@ -58,7 +58,7 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Which search algorithm answers a query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum AlgorithmChoice {
     /// Let the executing session resolve through its engine's calibration:
     /// the exact global search while the maximal (k,t)-core fits under the
@@ -80,7 +80,8 @@ pub enum AlgorithmChoice {
 /// from the exact global search to the local framework, used whenever the
 /// build-time crossover probe cannot produce a trustworthy measurement
 /// (uncalibrated builds, empty or near-empty networks, probe cores outside
-/// [`CROSSOVER_PROBE_CORE_RANGE`], timings under the noise floor). The
+/// the probe's accepted core-size window, timings under the noise floor).
+/// The
 /// global search's arrangement work grows super-linearly with the core
 /// (every level of the peel re-arranges the surviving leaves), while the
 /// local framework's expand-and-verify cost is governed by the candidate

@@ -65,6 +65,7 @@
 
 pub mod budget;
 pub mod context;
+pub mod ctxcache;
 pub mod engine;
 pub mod error;
 pub mod global;
@@ -77,7 +78,8 @@ pub mod result;
 pub mod session;
 
 pub use budget::{BudgetTicker, ExhaustionCause, QueryBudget};
-pub use context::{ContextScratch, SearchContext};
+pub use context::{ContextParts, ContextScratch, SearchContext};
+pub use ctxcache::{ContextCache, ContextCacheStats, DEFAULT_CONTEXT_CACHE_CAPACITY};
 pub use engine::{
     AlgorithmChoice, EngineCalibration, EngineEpoch, MacEngine, NetworkDelta, UpdateStage,
     UpdateStats,
@@ -86,9 +88,9 @@ pub use error::{DeltaEntry, MacError};
 pub use global::GlobalSearch;
 pub use local::{ExpandStrategy, LocalSearch};
 pub use network::RoadSocialNetwork;
-pub use query::MacQuery;
+pub use query::{MacQuery, QuerySignature};
 pub use result::{
     CellResult, Community, MacSearchResult, PartialResult, QueryOutcome, QueryPhase, QueryProgress,
     SearchStats,
 };
-pub use session::{BatchOutcome, BatchStats, BudgetedBatchOutcome, QuerySession};
+pub use session::{BatchOutcome, BatchStats, BudgetedBatchOutcome, QuerySession, SessionStats};

@@ -115,6 +115,30 @@ impl MacQuery {
         }
     }
 
+    /// The coalescing/caching identity of this query: two queries with equal
+    /// signatures have **identical answers** on the same engine epoch, so a
+    /// serving layer may execute one of them and fan the result out to both
+    /// (see `rsn-serve`), and [`QuerySession::execute_batch`](crate::session::QuerySession::execute_batch)
+    /// computes each distinct signature once per batch.
+    ///
+    /// The signature covers everything the *answer* depends on — `Q` (order
+    /// included: it is part of the reported local ids), `k`, `t`, the region
+    /// `R`, `j`, and the algorithm choice (the local framework is a
+    /// heuristic, so `Global` and `Local` answers may legitimately differ).
+    /// The range-filter strategy is deliberately excluded: all filter
+    /// strategies are property-tested identical, so it only affects speed.
+    pub fn signature(&self) -> QuerySignature {
+        QuerySignature {
+            q: self.q.clone(),
+            k: self.k,
+            t_bits: self.t.to_bits(),
+            region_low_bits: self.region.lows().iter().map(|w| w.to_bits()).collect(),
+            region_high_bits: self.region.highs().iter().map(|w| w.to_bits()).collect(),
+            j: self.j,
+            algorithm: self.algorithm,
+        }
+    }
+
     /// Validates the query against a network.
     pub fn validate(&self, rsn: &RoadSocialNetwork) -> Result<(), MacError> {
         if self.q.is_empty() {
@@ -148,6 +172,41 @@ impl MacQuery {
     }
 }
 
+/// The hashable identity of a [`MacQuery`]'s *answer*: equal signatures ⇒
+/// identical results on the same engine epoch. Floating-point parameters are
+/// compared by their exact bit patterns (no epsilon): a false split costs one
+/// redundant execution, a false merge would corrupt an answer, so the
+/// comparison errs on the side of splitting.
+///
+/// Produced by [`MacQuery::signature`]; consumed by batch deduplication
+/// ([`QuerySession::execute_batch`](crate::session::QuerySession::execute_batch)),
+/// the session context cache, and `rsn-serve`'s request coalescing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QuerySignature {
+    q: Vec<VertexId>,
+    k: u32,
+    t_bits: u64,
+    region_low_bits: Vec<u64>,
+    region_high_bits: Vec<u64>,
+    j: usize,
+    algorithm: AlgorithmChoice,
+}
+
+impl QuerySignature {
+    /// The identity of the query's **search context** (maximal (k,t)-core +
+    /// r-dominance graph): everything in the signature except `j` and the
+    /// algorithm, which select how the context is searched but not what it
+    /// is. Two queries with equal context signatures share one cached
+    /// context even when one asks top-j and the other non-contained.
+    pub fn context_signature(&self) -> QuerySignature {
+        QuerySignature {
+            j: 1,
+            algorithm: AlgorithmChoice::Auto,
+            ..self.clone()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,6 +232,57 @@ mod tests {
         let q = MacQuery::new(vec![0], 2, 5.0, region).with_top_j(3);
         assert!(q.validate(&rsn).is_ok());
         assert_eq!(q.j, 3);
+    }
+
+    #[test]
+    fn signatures_split_on_answer_relevant_fields_only() {
+        let region = PrefRegion::from_ranges(&[(0.2, 0.4)]).unwrap();
+        let base = MacQuery::new(vec![0, 1], 2, 5.0, region.clone());
+        assert_eq!(base.signature(), base.clone().signature());
+        // Every answer-relevant field splits the signature.
+        assert_ne!(
+            base.signature(),
+            MacQuery::new(vec![1, 0], 2, 5.0, region.clone()).signature()
+        );
+        assert_ne!(
+            base.signature(),
+            MacQuery::new(vec![0, 1], 3, 5.0, region.clone()).signature()
+        );
+        assert_ne!(
+            base.signature(),
+            MacQuery::new(vec![0, 1], 2, 5.5, region.clone()).signature()
+        );
+        let other_region = PrefRegion::from_ranges(&[(0.2, 0.5)]).unwrap();
+        assert_ne!(
+            base.signature(),
+            MacQuery::new(vec![0, 1], 2, 5.0, other_region).signature()
+        );
+        assert_ne!(base.signature(), base.clone().with_top_j(2).signature());
+        assert_ne!(
+            base.signature(),
+            base.clone()
+                .with_algorithm(AlgorithmChoice::Local)
+                .signature()
+        );
+        // The filter strategy affects speed, never the answer: same signature.
+        assert_eq!(
+            base.signature(),
+            base.clone()
+                .with_range_filter(RangeFilterChoice::DijkstraSweep)
+                .signature()
+        );
+        // The context signature additionally merges j and the algorithm.
+        assert_eq!(
+            base.signature().context_signature(),
+            base.clone().with_top_j(3).signature().context_signature()
+        );
+        assert_eq!(
+            base.signature().context_signature(),
+            base.clone()
+                .with_algorithm(AlgorithmChoice::Global)
+                .signature()
+                .context_signature()
+        );
     }
 
     #[test]

@@ -171,6 +171,27 @@ pub struct QueryProgress {
     pub remaining: u64,
 }
 
+impl std::fmt::Display for QueryProgress {
+    /// One-line log form: `global-search: 1200 explored, 3 remaining`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} explored, {} remaining",
+            self.phase.name(),
+            self.explored,
+            self.remaining
+        )
+    }
+}
+
+impl QueryProgress {
+    /// The [`Display`](std::fmt::Display) form as an owned string, for
+    /// callers assembling structured log records.
+    pub fn summary(&self) -> String {
+        self.to_string()
+    }
+}
+
 /// A budget-exhausted query answer: the best-so-far communities plus why and
 /// where the run stopped.
 #[derive(Debug, Clone)]
@@ -246,6 +267,46 @@ impl QueryOutcome {
         match self {
             QueryOutcome::Complete(_) => None,
             QueryOutcome::Partial(p) => Some(&p.progress),
+        }
+    }
+
+    /// The [`Display`](std::fmt::Display) form as an owned string, for
+    /// callers assembling structured log records.
+    pub fn summary(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl std::fmt::Display for QueryOutcome {
+    /// One-line log form a serving loop can emit without reaching into the
+    /// result internals:
+    /// `complete: 3 cells, 2 communities, 1.24ms` or
+    /// `partial (deadline exceeded; global-search: 1200 explored, 3 remaining): 1 cell, 0.50ms`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cells = |r: &MacSearchResult, f: &mut std::fmt::Formatter<'_>| {
+            write!(
+                f,
+                "{} cell{}, {} communit{}, {:.2}ms",
+                r.num_cells(),
+                if r.num_cells() == 1 { "" } else { "s" },
+                r.distinct_communities().len(),
+                if r.distinct_communities().len() == 1 {
+                    "y"
+                } else {
+                    "ies"
+                },
+                r.stats.elapsed_seconds * 1e3
+            )
+        };
+        match self {
+            QueryOutcome::Complete(r) => {
+                write!(f, "complete: ")?;
+                cells(r, f)
+            }
+            QueryOutcome::Partial(p) => {
+                write!(f, "partial ({}; {}): ", p.cause, p.progress)?;
+                cells(&p.result, f)
+            }
         }
     }
 }

@@ -18,17 +18,19 @@
 //! `tests/engine_session.rs` for the intended concurrent shape.
 
 use crate::budget::QueryBudget;
-use crate::context::{BuildOutcome, ContextScratch, SearchContext};
+use crate::context::{BuildOutcome, ContextParts, ContextScratch, SearchContext};
+use crate::ctxcache::{ContextCache, ContextCacheStats};
 use crate::engine::{AlgorithmChoice, MacEngine};
 use crate::error::MacError;
 use crate::global::GlobalSearch;
 use crate::local::{ExpandStrategy, LocalSearch};
-use crate::query::MacQuery;
+use crate::query::{MacQuery, QuerySignature};
 use crate::result::{
     MacSearchResult, PartialResult, QueryOutcome, QueryPhase, QueryProgress, SearchStats,
 };
 use rsn_road::budget::BudgetTicker;
 use rsn_road::ExhaustionCause;
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
@@ -44,6 +46,10 @@ use std::time::Instant;
 pub struct QuerySession {
     engine: MacEngine,
     scratch: ContextScratch,
+    /// Session-level search-context cache (`None` = disabled, the default):
+    /// repeat queries with the same context signature skip the range filter,
+    /// the (k,t)-core peel, and the `O(core²)` r-dominance graph build.
+    cache: Option<ContextCache>,
     /// Worker threads for the global search's top-level cells (1 = serial).
     parallelism: usize,
     /// Candidate-selection strategy of the local framework.
@@ -51,10 +57,82 @@ pub struct QuerySession {
     /// Candidate budget of the local framework.
     max_candidates: usize,
     executed: u64,
+    stats: SessionStats,
     /// Test-only: makes the next query panic mid-execution, exercising the
     /// panic guard (see [`inject_panic_on_next_query`](Self::inject_panic_on_next_query)).
     #[cfg(feature = "failpoints")]
     panic_next: bool,
+}
+
+/// Lightweight per-session serving counters, cheap enough to keep always-on.
+/// A serving loop (see `rsn-serve`) logs these — and aggregates them across
+/// workers via [`merge`](Self::merge) — without reaching into the session's
+/// internals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Queries answered (complete or partial); errors are counted separately.
+    pub served: u64,
+    /// Queries answered exactly.
+    pub complete: u64,
+    /// Queries degraded to a [`QueryOutcome::Partial`] by their budget.
+    pub partial: u64,
+    /// Queries that failed (invalid query, contained panic).
+    pub errors: u64,
+    /// Mid-query panics contained by the session guard (each also counts as
+    /// one error).
+    pub panics_recovered: u64,
+    /// Context-cache hits (0 when the cache is disabled).
+    pub context_cache_hits: u64,
+    /// Context-cache misses (0 when the cache is disabled).
+    pub context_cache_misses: u64,
+    /// Queries inside [`execute_batch`](QuerySession::execute_batch) calls
+    /// answered by sharing an earlier in-batch result instead of executing.
+    pub batch_queries_deduped: u64,
+}
+
+impl SessionStats {
+    /// Adds another session's counters into this one (for aggregating a
+    /// worker pool).
+    pub fn merge(&mut self, other: &SessionStats) {
+        self.served += other.served;
+        self.complete += other.complete;
+        self.partial += other.partial;
+        self.errors += other.errors;
+        self.panics_recovered += other.panics_recovered;
+        self.context_cache_hits += other.context_cache_hits;
+        self.context_cache_misses += other.context_cache_misses;
+        self.batch_queries_deduped += other.batch_queries_deduped;
+    }
+
+    /// Context-cache hit fraction in `[0, 1]` (0 before any lookup).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.context_cache_hits + self.context_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.context_cache_hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for SessionStats {
+    /// One-line log form:
+    /// `served 120 (118 complete, 2 partial), 0 errors (0 panics recovered), cache 80/100 hits, 4 batch-deduped`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "served {} ({} complete, {} partial), {} errors ({} panics recovered), \
+             cache {}/{} hits, {} batch-deduped",
+            self.served,
+            self.complete,
+            self.partial,
+            self.errors,
+            self.panics_recovered,
+            self.context_cache_hits,
+            self.context_cache_hits + self.context_cache_misses,
+            self.batch_queries_deduped,
+        )
+    }
 }
 
 /// The outcome of one [`QuerySession::execute_batch`] call.
@@ -69,11 +147,14 @@ pub struct BatchOutcome {
 /// Aggregate statistics of one executed batch.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BatchStats {
-    /// Number of queries executed.
+    /// Number of queries served (including deduplicated ones).
     pub queries: usize,
+    /// Queries answered by sharing an earlier in-batch result (exact
+    /// signature repeats; always 0 for budgeted batches, which never dedupe).
+    pub deduplicated: usize,
     /// Wall-clock seconds for the whole batch.
     pub elapsed_seconds: f64,
-    /// Executed queries per second (0.0 for an empty batch).
+    /// Served queries per second (0.0 for an empty batch).
     pub queries_per_second: f64,
 }
 
@@ -99,10 +180,12 @@ impl QuerySession {
         QuerySession {
             engine,
             scratch: ContextScratch::new(),
+            cache: None,
             parallelism: 1,
             strategy: ExpandStrategy::default(),
             max_candidates: 12,
             executed: 0,
+            stats: SessionStats::default(),
             #[cfg(feature = "failpoints")]
             panic_next: false,
         }
@@ -150,6 +233,27 @@ impl QuerySession {
         self
     }
 
+    /// Enables the session-level [`ContextCache`] with room for `capacity`
+    /// contexts (minimum 1): repeat queries sharing a
+    /// [context signature](crate::query::QuerySignature::context_signature)
+    /// reuse the built search context — skipping the range filter, the
+    /// (k,t)-core peel, and the `O(core²)` r-dominance graph build — as long
+    /// as the engine epoch is unchanged. An
+    /// [`apply_updates`](MacEngine::apply_updates) invalidates the cache
+    /// wholesale at the next lookup, so cached answers are always identical
+    /// to freshly computed ones.
+    pub fn with_context_cache(mut self, capacity: usize) -> Self {
+        self.cache = Some(ContextCache::new(capacity));
+        self
+    }
+
+    /// Disables the session-level context cache, dropping any cached
+    /// contexts.
+    pub fn without_context_cache(mut self) -> Self {
+        self.cache = None;
+        self
+    }
+
     /// The engine this session serves from.
     pub fn engine(&self) -> &MacEngine {
         &self.engine
@@ -158,6 +262,43 @@ impl QuerySession {
     /// Number of queries this session has executed.
     pub fn queries_executed(&self) -> u64 {
         self.executed
+    }
+
+    /// Snapshot of this session's serving counters.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Counter snapshot of the context cache, when one is enabled.
+    pub fn context_cache_stats(&self) -> Option<ContextCacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Takes the cached context for this query (if caching is on and the
+    /// entry matches the pinned epoch), counting the hit or miss. The caller
+    /// owns the taken parts and stores them back via
+    /// [`store_context`](Self::store_context) after the search — a panic in
+    /// between only loses the entry.
+    fn take_cached_context(&mut self, epoch_id: u64, key: &QuerySignature) -> Option<ContextParts> {
+        let cache = self.cache.as_mut()?;
+        match cache.take(epoch_id, key) {
+            Some(parts) => {
+                self.stats.context_cache_hits += 1;
+                Some(parts)
+            }
+            None => {
+                self.stats.context_cache_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a search context's parts back into the cache (no-op when
+    /// caching is off).
+    fn store_context(&mut self, epoch_id: u64, key: QuerySignature, parts: ContextParts) {
+        if let Some(cache) = self.cache.as_mut() {
+            cache.store(epoch_id, key, parts);
+        }
     }
 
     /// Executes one query, resolving the algorithm and range-filter strategy
@@ -240,6 +381,7 @@ impl QuerySession {
             outcomes,
             stats: BatchStats {
                 queries: queries.len(),
+                deduplicated: 0,
                 elapsed_seconds,
                 queries_per_second,
             },
@@ -250,11 +392,32 @@ impl QuerySession {
     /// per-query results plus aggregate throughput statistics. Fails on the
     /// first invalid query (results computed so far are discarded, matching
     /// the all-or-nothing contract of a batch).
+    ///
+    /// Queries that are exact repeats of an earlier query in the same batch
+    /// (same [`signature`](MacQuery::signature): users, `k`, `t`, region, `j`,
+    /// algorithm) are answered by sharing that query's result instead of
+    /// re-executing — the batch-local form of the serving front-end's
+    /// coalescing. The whole batch runs against epochs observed during the
+    /// call, so a shared result is exactly what re-execution would have
+    /// produced on the first occurrence's epoch.
     pub fn execute_batch(&mut self, queries: &[MacQuery]) -> Result<BatchOutcome, MacError> {
         let start = Instant::now();
-        let mut results = Vec::with_capacity(queries.len());
+        let mut results: Vec<MacSearchResult> = Vec::with_capacity(queries.len());
+        let mut seen: HashMap<QuerySignature, usize> = HashMap::new();
+        let mut deduplicated = 0usize;
         for query in queries {
-            results.push(self.execute(query)?);
+            match seen.entry(query.signature()) {
+                std::collections::hash_map::Entry::Occupied(slot) => {
+                    let shared = results[*slot.get()].clone();
+                    results.push(shared);
+                    deduplicated += 1;
+                    self.stats.batch_queries_deduped += 1;
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(results.len());
+                    results.push(self.execute(query)?);
+                }
+            }
         }
         let elapsed_seconds = start.elapsed().as_secs_f64();
         let queries_per_second = if queries.is_empty() {
@@ -266,6 +429,7 @@ impl QuerySession {
             results,
             stats: BatchStats {
                 queries: queries.len(),
+                deduplicated,
                 elapsed_seconds,
                 queries_per_second,
             },
@@ -309,13 +473,16 @@ impl QuerySession {
                 .run_exact(query, top_j_mode)
                 .map(QueryOutcome::Complete),
         }));
-        match guarded {
+        let outcome = match guarded {
             Ok(outcome) => outcome,
             Err(payload) => {
                 // The scratch buffers may hold torn intermediate state from
                 // the unwound query; rebuild them so the session stays
-                // serviceable.
+                // serviceable. A context the cache had lent out is simply
+                // lost (its entry was removed on take), so the cache never
+                // holds torn state either.
                 self.scratch = ContextScratch::new();
+                self.stats.panics_recovered += 1;
                 let msg = if let Some(s) = payload.downcast_ref::<&str>() {
                     (*s).to_string()
                 } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -325,7 +492,19 @@ impl QuerySession {
                 };
                 Err(MacError::ExecutionPanicked(msg))
             }
+        };
+        match &outcome {
+            Ok(QueryOutcome::Complete(_)) => {
+                self.stats.served += 1;
+                self.stats.complete += 1;
+            }
+            Ok(QueryOutcome::Partial(_)) => {
+                self.stats.served += 1;
+                self.stats.partial += 1;
+            }
+            Err(_) => self.stats.errors += 1,
         }
+        outcome
     }
 
     /// Budget-limited inner path: every pipeline stage polls the ticker, and
@@ -341,35 +520,56 @@ impl QuerySession {
         let start = Instant::now();
         let epoch = self.engine.epoch();
         self.fire_query_failpoint();
-        let filter = epoch.resolve_filter(query);
         let rsn = epoch.network();
-        let built = SearchContext::build_budgeted(
-            rsn,
-            query,
-            filter,
-            epoch.user_targets(),
-            &mut self.scratch,
-            ticker,
-        )?;
-        let ctx = match built {
-            BuildOutcome::Ready(ctx) => ctx,
-            BuildOutcome::Empty => {
-                self.executed += 1;
-                return Ok(QueryOutcome::Complete(Self::empty_result(start)));
+        let ctx_key = self
+            .cache
+            .is_some()
+            .then(|| query.signature().context_signature());
+        let cached = match &ctx_key {
+            Some(key) => {
+                // See run_exact: a cache hit bypasses the validating build.
+                query.validate(rsn)?;
+                self.take_cached_context(epoch.id(), key)
             }
-            BuildOutcome::Exhausted(phase) => {
-                self.executed += 1;
-                return Ok(QueryOutcome::Partial(PartialResult {
-                    result: Self::empty_result(start),
-                    cause: ticker.cause().unwrap_or(ExhaustionCause::WorkLimit),
-                    progress: QueryProgress {
-                        phase,
-                        explored: ticker.spent(),
-                        // The pipeline stopped before the search stages; at
-                        // least the current stage's work is known undone.
-                        remaining: 1,
-                    },
-                }));
+            None => None,
+        };
+        let ctx = match cached {
+            // A cached context skips the filter/peel/build stages and their
+            // budget charges entirely: only the search stage draws on the
+            // ticker, exactly as if the context had been free.
+            Some(parts) => SearchContext::from_parts(rsn, query, parts),
+            None => {
+                let filter = epoch.resolve_filter(query);
+                let built = SearchContext::build_budgeted(
+                    rsn,
+                    query,
+                    filter,
+                    epoch.user_targets(),
+                    &mut self.scratch,
+                    ticker,
+                )?;
+                match built {
+                    BuildOutcome::Ready(ctx) => *ctx,
+                    BuildOutcome::Empty => {
+                        self.executed += 1;
+                        return Ok(QueryOutcome::Complete(Self::empty_result(start)));
+                    }
+                    BuildOutcome::Exhausted(phase) => {
+                        self.executed += 1;
+                        return Ok(QueryOutcome::Partial(PartialResult {
+                            result: Self::empty_result(start),
+                            cause: ticker.cause().unwrap_or(ExhaustionCause::WorkLimit),
+                            progress: QueryProgress {
+                                phase,
+                                explored: ticker.spent(),
+                                // The pipeline stopped before the search
+                                // stages; at least the current stage's work
+                                // is known undone.
+                                remaining: 1,
+                            },
+                        }));
+                    }
+                }
             }
         };
         let algorithm = epoch.resolve_algorithm(query.algorithm, ctx.core_size());
@@ -393,6 +593,9 @@ impl QuerySession {
                 QueryPhase::GlobalSearch,
             ),
         };
+        if let Some(key) = ctx_key {
+            self.store_context(epoch.id(), key, ctx.into_parts());
+        }
         run.result.stats.elapsed_seconds = start.elapsed().as_secs_f64();
         self.executed += 1;
         if run.completed {
@@ -431,12 +634,44 @@ impl QuerySession {
         // whole query runs against one consistent network + index + grouping.
         let epoch = self.engine.epoch();
         self.fire_query_failpoint();
-        let filter = epoch.resolve_filter(query);
         let rsn = epoch.network();
-        // The context borrows the epoch's network and the caller's query;
-        // everything network-sized it consumes comes from session scratch.
-        let ctx =
-            SearchContext::build_with(rsn, query, filter, epoch.user_targets(), &mut self.scratch)?;
+        // Queries sharing everything the context depends on (users, k, t,
+        // region) share one cache slot regardless of j / algorithm.
+        let ctx_key = self
+            .cache
+            .is_some()
+            .then(|| query.signature().context_signature());
+        let ctx = match &ctx_key {
+            Some(key) => {
+                // The build path validates inside the core extraction; a
+                // cache hit skips that stage, so validate explicitly (cheap,
+                // O(|Q|)) to keep invalid queries an error either way.
+                query.validate(rsn)?;
+                match self.take_cached_context(epoch.id(), key) {
+                    Some(parts) => Some(SearchContext::from_parts(rsn, query, parts)),
+                    None => {
+                        let filter = epoch.resolve_filter(query);
+                        SearchContext::build_with(
+                            rsn,
+                            query,
+                            filter,
+                            epoch.user_targets(),
+                            &mut self.scratch,
+                        )?
+                    }
+                }
+            }
+            None => {
+                let filter = epoch.resolve_filter(query);
+                SearchContext::build_with(
+                    rsn,
+                    query,
+                    filter,
+                    epoch.user_targets(),
+                    &mut self.scratch,
+                )?
+            }
+        };
         let Some(ctx) = ctx else {
             self.executed += 1;
             return Ok(MacSearchResult {
@@ -455,6 +690,9 @@ impl QuerySession {
             // resolve_algorithm never returns Auto.
             _ => GlobalSearch::explore_context(&ctx, self.parallelism, top_j_mode),
         };
+        if let Some(key) = ctx_key {
+            self.store_context(epoch.id(), key, ctx.into_parts());
+        }
         result.stats.elapsed_seconds = start.elapsed().as_secs_f64();
         self.executed += 1;
         Ok(result)
@@ -582,7 +820,116 @@ mod tests {
         for (a, b) in expect.iter().zip(&batch.results) {
             assert_results_identical(a, b);
         }
-        assert_eq!(session.queries_executed(), 3);
+        // The third query repeats the first's signature, so only two actually
+        // executed; the repeat shared the first result.
+        assert_eq!(batch.stats.deduplicated, 1);
+        assert_eq!(session.queries_executed(), 2);
+    }
+
+    #[test]
+    fn batch_dedupes_identical_queries_with_identical_results() {
+        let engine = MacEngine::build_uncalibrated(network());
+        // Two identical pairs plus one distinct query, interleaved.
+        let queries = vec![
+            query(),
+            query().with_top_j(2),
+            query(),
+            query().with_top_j(2),
+            query(),
+        ];
+        let mut reference = engine.session();
+        let expect: Vec<_> = queries
+            .iter()
+            .map(|q| reference.execute(q).unwrap())
+            .collect();
+        let mut session = engine.session();
+        let batch = session.execute_batch(&queries).unwrap();
+        assert_eq!(batch.stats.queries, 5);
+        assert_eq!(batch.stats.deduplicated, 3);
+        assert_eq!(session.stats().batch_queries_deduped, 3);
+        // Only the two distinct signatures actually executed.
+        assert_eq!(session.queries_executed(), 2);
+        for (a, b) in expect.iter().zip(&batch.results) {
+            assert_results_identical(a, b);
+        }
+    }
+
+    #[test]
+    fn context_cache_hits_repeat_queries_and_answers_identically() {
+        let engine = MacEngine::build_uncalibrated(network());
+        let mut plain = engine.session();
+        let mut cached = engine.session().with_context_cache(4);
+        let q1 = query();
+        let q2 = query().with_top_j(2); // same context signature as q1
+        for _ in 0..3 {
+            assert_results_identical(&plain.execute(&q1).unwrap(), &cached.execute(&q1).unwrap());
+            assert_results_identical(&plain.execute(&q2).unwrap(), &cached.execute(&q2).unwrap());
+        }
+        let stats = cached.stats();
+        // First q1 misses; everything after (including q2, which shares the
+        // context signature) hits.
+        assert_eq!(stats.context_cache_misses, 1);
+        assert_eq!(stats.context_cache_hits, 5);
+        assert_eq!(stats.served, 6);
+        assert_eq!(stats.complete, 6);
+        let cache_stats = cached.context_cache_stats().unwrap();
+        assert_eq!(cache_stats.hits, 5);
+        assert!(plain.context_cache_stats().is_none());
+    }
+
+    #[test]
+    fn context_cache_invalidates_on_update_and_stays_correct() {
+        use crate::engine::NetworkDelta;
+        let engine = MacEngine::build_uncalibrated(network());
+        let mut cached = engine.session().with_context_cache(4);
+        let q = query();
+        let before = cached.execute(&q).unwrap();
+        assert_results_identical(&cached.execute(&q).unwrap(), &before);
+        // Strand user 3 on the far side of a now-expensive road segment: it
+        // drops out of the (k,t)-core, so the cached context is stale and
+        // must not be reused.
+        let delta = NetworkDelta::new()
+            .reweight_edge(0, 1, 100.0)
+            .move_user(3, Location::vertex(1));
+        engine.apply_updates(&delta).unwrap();
+        let after = cached.execute(&q).unwrap();
+        let mut fresh = engine.session();
+        assert_results_identical(&fresh.execute(&q).unwrap(), &after);
+        assert_eq!(cached.context_cache_stats().unwrap().epoch_invalidations, 1);
+    }
+
+    #[test]
+    fn cached_budgeted_queries_match_and_invalid_queries_still_error() {
+        let engine = MacEngine::build_uncalibrated(network());
+        let mut cached = engine.session().with_context_cache(4);
+        let q = query();
+        let unlimited = QueryBudget::new();
+        let first = cached.execute_with_budget(&q, &unlimited).unwrap();
+        let second = cached.execute_with_budget(&q, &unlimited).unwrap();
+        assert!(first.is_complete() && second.is_complete());
+        assert_results_identical(first.result(), second.result());
+        // The budgeted path shares the cache with the exact path.
+        assert!(cached.stats().context_cache_hits >= 1);
+        // A cache hit must not bypass query validation.
+        let mut bad = query();
+        bad.q.clear();
+        assert!(cached.execute(&bad).is_err());
+        assert_eq!(cached.stats().errors, 1);
+    }
+
+    #[test]
+    fn session_stats_display_and_merge() {
+        let engine = MacEngine::build_uncalibrated(network());
+        let mut session = engine.session();
+        session.execute(&query()).unwrap();
+        let mut total = SessionStats::default();
+        total.merge(&session.stats());
+        total.merge(&session.stats());
+        assert_eq!(total.served, 2);
+        assert_eq!(total.complete, 2);
+        let line = total.to_string();
+        assert!(line.contains("served 2"), "unexpected display: {line}");
+        assert_eq!(total.cache_hit_rate(), 0.0);
     }
 
     #[test]

@@ -664,7 +664,7 @@ impl GTree {
     /// instead of dragging the top-of-tree reduced-graph Dijkstras along.
     ///
     /// Recomputed internal nodes are refreshed **delta-aware**
-    /// ([`refresh_internal_matrix`](Self::refresh_internal_matrix)): only
+    /// (`refresh_internal_matrix`): only
     /// sources whose reduced-graph neighborhood actually changed — borders of
     /// changed children and endpoints of level-local reweights — pay a fresh
     /// Dijkstra; the remaining rows are patched from the old matrix plus the

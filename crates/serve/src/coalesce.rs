@@ -1,0 +1,203 @@
+//! Query coalescing: identical in-flight requests share one execution.
+//!
+//! Under skewed traffic (the usual production shape — a few hot communities
+//! asked about again and again) many concurrently queued requests are *bit
+//! identical*: same query users, `k`, `t`, region, `j`, algorithm, and
+//! budget limits. Executing each one is pure waste; the answer is the same
+//! cells. The in-flight table maps a [`CoalesceKey`] to the
+//! [`ResponseCell`] of the execution already queued for it, and later
+//! identical submissions attach to that cell instead of enqueueing — one
+//! execution fans its result out to every waiter.
+//!
+//! Two rules keep coalescing answer-preserving:
+//!
+//! * The key covers **everything that can change the answer**: the full
+//!   [`QuerySignature`] (users, `k`, `t`, region bounds bit-exact, `j`,
+//!   algorithm) plus the budget's deadline and work limit (budgets shape
+//!   *partial* answers, so requests with different limits never share).
+//! * Only *in-flight* executions are joined. The worker removes the key
+//!   **before** publishing the result, so a submission arriving after
+//!   completion starts a fresh execution on the current epoch instead of
+//!   reading a result computed on an older one.
+//!
+//! Requests carrying a cancellation flag never coalesce: cancelling one
+//! waiter must not cancel strangers sharing its execution.
+
+use rsn_core::{QueryBudget, QuerySignature};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use crate::server::Response;
+
+/// Identity of one coalescable request: everything that can influence the
+/// response payload.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CoalesceKey {
+    signature: QuerySignature,
+    /// Deadline in nanoseconds (budgets shape partial answers).
+    deadline_nanos: Option<u128>,
+    work_limit: Option<u64>,
+}
+
+impl CoalesceKey {
+    /// Builds the key for a request, or `None` when the request must not
+    /// coalesce (it carries a cancellation flag).
+    pub fn for_request(signature: QuerySignature, budget: &QueryBudget) -> Option<CoalesceKey> {
+        if budget.cancel.is_some() {
+            return None;
+        }
+        Some(CoalesceKey {
+            signature,
+            deadline_nanos: budget.deadline.as_ref().map(Duration::as_nanos),
+            work_limit: budget.work_limit,
+        })
+    }
+}
+
+/// The rendezvous between one execution and its waiters: the worker fulfills
+/// the cell once, every attached [`ResponseHandle`](crate::server::ResponseHandle)
+/// reads the shared [`Response`].
+#[derive(Debug, Default)]
+pub struct ResponseCell {
+    slot: Mutex<Option<Arc<Response>>>,
+    ready: Condvar,
+}
+
+impl ResponseCell {
+    pub fn new() -> Self {
+        ResponseCell::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Option<Arc<Response>>> {
+        self.slot.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Publishes the response and wakes every waiter. Called exactly once
+    /// per cell (by the worker that executed the request, or by the
+    /// submitter on an enqueue failure).
+    pub fn fulfill(&self, response: Arc<Response>) {
+        let mut slot = self.lock();
+        debug_assert!(slot.is_none(), "a response cell is fulfilled only once");
+        *slot = Some(response);
+        drop(slot);
+        self.ready.notify_all();
+    }
+
+    /// Blocks until the response is published.
+    pub fn wait(&self) -> Arc<Response> {
+        let mut slot = self.lock();
+        loop {
+            if let Some(response) = slot.as_ref() {
+                return Arc::clone(response);
+            }
+            slot = self.ready.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Returns the response if already published, without blocking.
+    pub fn try_get(&self) -> Option<Arc<Response>> {
+        self.lock().as_ref().map(Arc::clone)
+    }
+}
+
+/// The table of in-flight coalescable executions.
+#[derive(Debug, Default)]
+pub struct InflightTable {
+    map: Mutex<HashMap<CoalesceKey, Arc<ResponseCell>>>,
+}
+
+/// What [`InflightTable::join_or_insert`] decided for a submission.
+pub enum Admission {
+    /// An identical request is already in flight; attach to its cell and do
+    /// not enqueue anything.
+    Joined(Arc<ResponseCell>),
+    /// This submission leads: its cell is now in the table, enqueue the
+    /// execution.
+    Leads(Arc<ResponseCell>),
+}
+
+impl InflightTable {
+    pub fn new() -> Self {
+        InflightTable::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HashMap<CoalesceKey, Arc<ResponseCell>>> {
+        self.map.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Number of distinct executions currently in flight.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether no coalescable execution is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Joins the in-flight execution for `key`, or registers a fresh cell
+    /// and makes the caller the leader responsible for enqueueing it.
+    pub fn join_or_insert(&self, key: &CoalesceKey) -> Admission {
+        let mut map = self.lock();
+        if let Some(cell) = map.get(key) {
+            return Admission::Joined(Arc::clone(cell));
+        }
+        let cell = Arc::new(ResponseCell::new());
+        map.insert(key.clone(), Arc::clone(&cell));
+        Admission::Leads(cell)
+    }
+
+    /// Retires `key` so later identical submissions start a fresh execution.
+    /// Called by the worker **before** fulfilling the cell (completion must
+    /// not race new joiners onto a finished execution), and by a leader
+    /// whose enqueue failed.
+    pub fn retire(&self, key: &CoalesceKey) {
+        self.lock().remove(key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsn_core::MacQuery;
+    use rsn_geom::region::PrefRegion;
+
+    fn signature() -> QuerySignature {
+        let region = PrefRegion::from_ranges(&[(0.2, 0.8)]).unwrap();
+        MacQuery::new(vec![0, 1], 2, 10.0, region).signature()
+    }
+
+    #[test]
+    fn budgets_split_keys_and_cancel_flags_opt_out() {
+        let unlimited = QueryBudget::new();
+        let deadline = QueryBudget::new().with_deadline(Duration::from_millis(5));
+        let k1 = CoalesceKey::for_request(signature(), &unlimited).unwrap();
+        let k2 = CoalesceKey::for_request(signature(), &deadline).unwrap();
+        let k3 = CoalesceKey::for_request(signature(), &unlimited).unwrap();
+        assert_ne!(k1, k2, "different budgets must not share an execution");
+        assert_eq!(k1, k3);
+        let cancellable = QueryBudget::new()
+            .with_cancel_flag(Arc::new(std::sync::atomic::AtomicBool::new(false)));
+        assert!(CoalesceKey::for_request(signature(), &cancellable).is_none());
+    }
+
+    #[test]
+    fn second_submission_joins_and_retire_starts_fresh() {
+        let table = InflightTable::new();
+        let key = CoalesceKey::for_request(signature(), &QueryBudget::new()).unwrap();
+        let lead = match table.join_or_insert(&key) {
+            Admission::Leads(cell) => cell,
+            Admission::Joined(_) => panic!("first submission must lead"),
+        };
+        let joined = match table.join_or_insert(&key) {
+            Admission::Joined(cell) => cell,
+            Admission::Leads(_) => panic!("second submission must join"),
+        };
+        assert!(Arc::ptr_eq(&lead, &joined));
+        assert_eq!(table.len(), 1);
+        table.retire(&key);
+        assert!(table.is_empty());
+        assert!(matches!(table.join_or_insert(&key), Admission::Leads(_)));
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`geom`] — preference-domain geometry (half-spaces, cells, partition tree).
 //! * [`dom`] — attribute R-tree and the r-dominance graph `G_d`.
 //! * [`core`] — the MAC model and the global/local search algorithms.
+//! * [`serve`] — threaded serving front-end (request queue, coalescing,
+//!   per-worker context caches).
 //! * [`baselines`] — Influ/Influ+/Sky/Sky+/ATC-style comparison algorithms.
 //! * [`datagen`] — synthetic road-social network and attribute generators.
 //!
@@ -51,6 +53,7 @@ pub use rsn_dom as dom;
 pub use rsn_geom as geom;
 pub use rsn_graph as graph;
 pub use rsn_road as road;
+pub use rsn_serve as serve;
 
 /// Convenience prelude re-exporting the most commonly used types.
 pub mod prelude {
@@ -64,4 +67,5 @@ pub mod prelude {
     pub use rsn_geom::{region::PrefRegion, weights::WeightVector};
     pub use rsn_graph::graph::Graph;
     pub use rsn_road::network::RoadNetwork;
+    pub use rsn_serve::{MacServer, ServeConfig};
 }

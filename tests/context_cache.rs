@@ -1,0 +1,227 @@
+//! Context-cache coherence under dynamic updates: a long-lived session with
+//! a [`ContextCache`](road_social_mac::core::ContextCache) must answer every
+//! query **identically** to a fresh cache-less session on the same engine
+//! epoch — across repeated serving passes (which hit the cache) interleaved
+//! with [`apply_updates`](road_social_mac::core::MacEngine::apply_updates)
+//! batches (which must invalidate it). The fresh session is opened per pass,
+//! so any stale context the cache wrongly reused would diverge immediately.
+
+use proptest::prelude::*;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use road_social_mac::core::{
+    AlgorithmChoice, MacEngine, MacQuery, MacSearchResult, NetworkDelta, QueryBudget,
+    RoadSocialNetwork,
+};
+use road_social_mac::datagen::attrs::{generate_attrs, AttrDistribution};
+use road_social_mac::datagen::locations::{assign_locations, LocationConfig};
+use road_social_mac::datagen::road::{generate_road, RoadConfig};
+use road_social_mac::datagen::social::{generate_social, PlantedGroup, SocialConfig};
+use road_social_mac::geom::PrefRegion;
+use road_social_mac::road::Location;
+
+const GTREE_LEAF_CAPACITY: usize = 16;
+
+/// Builds a small random road-social network from a seed; the returned group
+/// holds co-located high-coreness users to query from.
+fn random_network(seed: u64, n_users: usize, indexed: bool) -> (RoadSocialNetwork, Vec<u32>) {
+    let d = 3;
+    let social = generate_social(&SocialConfig {
+        n: n_users,
+        attach_m: 3,
+        planted: vec![PlantedGroup {
+            size: 18,
+            degree: 6,
+        }],
+        seed,
+    });
+    let road = generate_road(&RoadConfig::with_size(n_users / 2, seed ^ 0x5EED));
+    let attrs = generate_attrs(
+        n_users,
+        d,
+        AttrDistribution::Independent,
+        10.0,
+        seed ^ 0xA77,
+    );
+    let locations = assign_locations(
+        &road,
+        n_users,
+        &social.groups,
+        &LocationConfig {
+            clusters: 8,
+            radius: 5,
+            seed: seed ^ 0x10C,
+        },
+    );
+    let group = social.groups[0].clone();
+    let rsn = RoadSocialNetwork::new(social.graph, road, locations, attrs).unwrap();
+    let rsn = if indexed {
+        rsn.with_gtree_index_capacity(GTREE_LEAF_CAPACITY)
+    } else {
+        rsn
+    };
+    (rsn, group)
+}
+
+fn region_for(sigma: f64) -> PrefRegion {
+    let ranges: Vec<(f64, f64)> = (0..2)
+        .map(|_| {
+            (
+                (1.0 / 3.0 - sigma / 2.0).max(0.0),
+                (1.0 / 3.0 + sigma / 2.0).min(1.0),
+            )
+        })
+        .collect();
+    PrefRegion::from_ranges(&ranges).unwrap()
+}
+
+/// A few hot queries, shaped so several share a context signature (same
+/// users/k/t/region, different j) — exactly what the cache is for.
+fn workload(group: &[u32]) -> Vec<MacQuery> {
+    let mut queries = Vec::new();
+    for i in 0..3usize {
+        let q: Vec<u32> = group.iter().copied().take(1 + i).collect();
+        let k = 4 + (i % 2) as u32;
+        let t = [35.0, 60.0, 85.0][i];
+        let base = MacQuery::new(q, k, t, region_for(0.1)).with_algorithm(AlgorithmChoice::Global);
+        queries.push(base.clone().with_top_j(2));
+        queries.push(base);
+    }
+    queries
+}
+
+fn assert_results_identical(label: &str, a: &MacSearchResult, b: &MacSearchResult) {
+    assert_eq!(a.cells.len(), b.cells.len(), "{label}: cell count diverged");
+    for (ca, cb) in a.cells.iter().zip(&b.cells) {
+        assert_eq!(ca.sample_weight, cb.sample_weight, "{label}: sample weight");
+        assert_eq!(
+            ca.communities
+                .iter()
+                .map(|c| &c.vertices)
+                .collect::<Vec<_>>(),
+            cb.communities
+                .iter()
+                .map(|c| &c.vertices)
+                .collect::<Vec<_>>(),
+            "{label}: communities"
+        );
+    }
+}
+
+/// One randomized update batch against independently tracked shadow state
+/// (same shape as tests/engine_updates.rs).
+fn random_delta(
+    rng: &mut StdRng,
+    edges: &mut [(u32, u32, f64)],
+    locations: &mut [Location],
+) -> NetworkDelta {
+    let mut delta = NetworkDelta::new();
+    for _ in 0..rng.random_range(1..5usize) {
+        let idx = rng.random_range(0..edges.len());
+        let (u, v, _) = edges[idx];
+        let min_allowed = locations
+            .iter()
+            .filter_map(|loc| match *loc {
+                Location::OnEdge {
+                    u: lu,
+                    v: lv,
+                    offset,
+                } if (lu, lv) == (u, v) => Some(offset),
+                _ => None,
+            })
+            .fold(0.0f64, f64::max);
+        let w = rng.random_range(0.25..9.0f64).max(min_allowed);
+        edges[idx].2 = w;
+        delta = delta.reweight_edge(u, v, w);
+    }
+    for _ in 0..rng.random_range(1..5usize) {
+        let user = rng.random_range(0..locations.len()) as u32;
+        let loc = if rng.random_range(0.0..1.0) < 0.5 {
+            let (u, v, w) = edges[rng.random_range(0..edges.len())];
+            Location::on_edge(u, v, rng.random_range(0.0..1.0) * w, w)
+        } else {
+            Location::Vertex(rng.random_range(0..locations.len() as u32 / 2))
+        };
+        locations[user as usize] = loc;
+        delta = delta.move_user(user, loc);
+    }
+    delta
+}
+
+/// Reduced deterministic grid under the debug profile; the full grid runs in
+/// the release CI job (same convention as the other fuzz harnesses).
+const FUZZ_CASES: u32 = if cfg!(debug_assertions) { 3 } else { 8 };
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: FUZZ_CASES, .. ProptestConfig::default() })]
+
+    /// Interleaves cached serving with update batches: on every epoch, two
+    /// passes over the workload (the second pass served from the cache) must
+    /// both equal a fresh cache-less session opened on the same epoch; after
+    /// each delta the cache must invalidate rather than serve stale contexts.
+    #[test]
+    fn cached_queries_equal_fresh_rebuilds_across_update_interleavings(seed in 0u64..200) {
+        let indexed = seed % 2 == 0;
+        let (rsn0, group) = random_network(seed, 100, indexed);
+        let mut edges: Vec<(u32, u32, f64)> = rsn0.road().edges().collect();
+        let mut locations: Vec<Location> = rsn0.locations().to_vec();
+
+        let engine = MacEngine::build_uncalibrated(rsn0);
+        let mut cached = engine.session().with_context_cache(8);
+        let queries = workload(&group);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xCAC4E);
+        let unlimited = QueryBudget::unlimited();
+
+        for batch in 0..3u64 {
+            for pass in 0..2u32 {
+                // Fresh session per pass: no cache, same engine epoch.
+                let mut fresh = engine.session();
+                for (i, query) in queries.iter().enumerate() {
+                    let label = format!("seed {seed}, batch {batch}, pass {pass}, query {i}");
+                    let hot = cached.execute(query).unwrap();
+                    let cold = fresh.execute(query).unwrap();
+                    assert_results_identical(&label, &hot, &cold);
+                }
+            }
+            // The budgeted path shares the same cache entries.
+            let outcome = cached.execute_with_budget(&queries[0], &unlimited).unwrap();
+            prop_assert!(outcome.is_complete());
+            let mut fresh = engine.session();
+            assert_results_identical(
+                &format!("seed {seed}, batch {batch}, budgeted"),
+                outcome.result(),
+                &fresh.execute(&queries[0]).unwrap(),
+            );
+
+            let delta = random_delta(&mut rng, &mut edges, &mut locations);
+            let stats = engine.apply_updates(&delta).unwrap();
+            prop_assert_eq!(stats.epoch, batch + 1);
+        }
+
+        // One more serving pass on the final epoch.
+        let mut fresh = engine.session();
+        let mut any_nonempty = false;
+        for (i, query) in queries.iter().enumerate() {
+            let label = format!("seed {seed}, final epoch, query {i}");
+            let hot = cached.execute(query).unwrap();
+            any_nonempty |= !hot.is_empty();
+            assert_results_identical(&label, &hot, &fresh.execute(query).unwrap());
+        }
+
+        let stats = cached.stats();
+        // Empty-core queries build no context and so cannot hit; only demand
+        // hits when the workload actually answered something.
+        prop_assert!(
+            stats.context_cache_hits > 0 || !any_nonempty,
+            "cache never hit: {}",
+            stats
+        );
+        prop_assert_eq!(stats.errors, 0);
+        let cache_stats = cached.context_cache_stats().expect("cache enabled");
+        prop_assert!(
+            cache_stats.epoch_invalidations >= 1,
+            "updates must invalidate the cache (saw {:?})",
+            cache_stats
+        );
+    }
+}

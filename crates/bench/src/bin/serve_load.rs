@@ -35,8 +35,8 @@
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use rsn_core::{
-    AlgorithmChoice, MacEngine, MacQuery, MacSearchResult, NetworkDelta, QueryBudget, QueryOutcome,
-    RoadSocialNetwork,
+    AlgorithmChoice, ExecutionPolicy, MacEngine, MacQuery, MacSearchResult, NetworkDelta,
+    QueryBudget, QueryOutcome, RoadSocialNetwork,
 };
 use rsn_datagen::attrs::{generate_attrs, AttrDistribution};
 use rsn_datagen::locations::{assign_locations, LocationConfig};
@@ -307,10 +307,10 @@ fn serve_config(preset: &Preset) -> ServeConfig {
         queue_capacity: preset.queue_capacity,
         coalescing: preset.coalescing,
         context_cache_capacity: preset.context_cache_capacity,
-        default_budget: match preset.deadline {
+        policy: ExecutionPolicy::new().with_default_budget(match preset.deadline {
             Some(d) => QueryBudget::new().with_deadline(d),
             None => QueryBudget::unlimited(),
-        },
+        }),
     }
 }
 

@@ -105,14 +105,14 @@ impl<'a> SearchContext<'a> {
     /// query then has an empty answer).
     ///
     /// One-shot convenience over [`build_with`](Self::build_with): allocates
-    /// fresh scratch and resolves the range filter through the query's legacy
-    /// [`effective_filter`](MacQuery::effective_filter).
+    /// fresh scratch and uses the query's own [`filter`](MacQuery::filter)
+    /// choice (analytic `Auto`).
     pub fn build(
         rsn: &'a RoadSocialNetwork,
         query: &'a MacQuery,
     ) -> Result<Option<Self>, MacError> {
         let mut scratch = ContextScratch::new();
-        Self::build_with(rsn, query, query.effective_filter(), None, &mut scratch)
+        Self::build_with(rsn, query, query.filter, None, &mut scratch)
     }
 
     /// Builds the context with an explicit (engine-resolved) range-filter
@@ -257,6 +257,17 @@ impl<'a> SearchContext<'a> {
                 .map(|&v| self.core_vertices[v as usize])
                 .collect(),
         )
+    }
+
+    /// Buffer-reusing [`community_from_locals`](Self::community_from_locals):
+    /// rebuilds `out` in place so pooled communities recycle their member
+    /// vectors across queries.
+    pub fn community_from_locals_into(&self, locals: &[u32], out: &mut Community) {
+        out.vertices.clear();
+        out.vertices
+            .extend(locals.iter().map(|&v| self.core_vertices[v as usize]));
+        out.vertices.sort_unstable();
+        out.vertices.dedup();
     }
 
     /// Translates an alive-mask over local ids to a [`Community`].

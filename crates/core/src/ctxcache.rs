@@ -144,13 +144,20 @@ impl ContextCache {
     /// Takes the cached context for `key` out of the cache, if it was built
     /// on `epoch`. The entry is *removed* — the caller is expected to
     /// [`store`](Self::store) it back once the search is done, which keeps a
-    /// hit zero-copy and panic-safe.
-    pub fn take(&mut self, epoch: u64, key: &QuerySignature) -> Option<ContextParts> {
+    /// hit zero-copy and panic-safe. The entry's owned key comes back with
+    /// the parts so the caller can reuse its buffers (e.g. as the next
+    /// lookup's husk) instead of allocating a fresh key for the store.
+    pub fn take(
+        &mut self,
+        epoch: u64,
+        key: &QuerySignature,
+    ) -> Option<(QuerySignature, ContextParts)> {
         self.sync_epoch(epoch);
         match self.entries.iter().position(|e| &e.key == key) {
             Some(pos) => {
                 self.stats.hits += 1;
-                Some(self.entries.remove(pos).parts)
+                let entry = self.entries.remove(pos);
+                Some((entry.key, entry.parts))
             }
             None => {
                 self.stats.misses += 1;
@@ -224,10 +231,12 @@ mod tests {
         cache.store(0, key.clone(), parts_for(&q, &rsn));
         assert_eq!(cache.len(), 1);
         assert!(cache.approx_bytes() > 0);
-        let parts = cache.take(0, &key).expect("hit");
-        // A take removes the entry; storing it back restores the hit.
+        let (stored_key, parts) = cache.take(0, &key).expect("hit");
+        // A take removes the entry and hands back its owned key; storing the
+        // pair back restores the hit without a key clone.
+        assert_eq!(stored_key, key);
         assert!(cache.is_empty());
-        cache.store(0, key.clone(), parts);
+        cache.store(0, stored_key, parts);
         assert!(cache.take(0, &key).is_some());
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (2, 1));

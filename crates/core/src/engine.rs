@@ -38,10 +38,11 @@
 use crate::budget::{BudgetTicker, QueryBudget};
 use crate::context::{BuildOutcome, ContextScratch, SearchContext};
 use crate::error::{DeltaEntry, MacError};
-use crate::global::GlobalSearch;
+use crate::global::{GlobalSearch, GsOptions, GsScratch};
 use crate::ktcore::KtOutcome;
 use crate::local::{ExpandStrategy, LocalSearch};
 use crate::network::RoadSocialNetwork;
+use crate::policy::ExecutionPolicy;
 use crate::query::MacQuery;
 use crate::session::QuerySession;
 use rsn_geom::region::PrefRegion;
@@ -314,6 +315,11 @@ struct EngineShared {
     /// The epoch currently being served. Readers clone the `Arc` (one brief
     /// read lock per query); updates build the next epoch off-lock and swap.
     current: RwLock<Arc<EngineInner>>,
+    /// The engine-level [`ExecutionPolicy`]: every session opened from any
+    /// clone starts from it. Fixed at build (epochs change the network, not
+    /// the policy); a session overrides it locally via
+    /// [`QuerySession::with_policy`](crate::session::QuerySession::with_policy).
+    policy: ExecutionPolicy,
     /// Serializes writers so concurrent deltas cannot lose updates.
     update_lock: Mutex<()>,
     /// Test-only fault-injection hook, fired at each [`UpdateStage`].
@@ -447,13 +453,28 @@ impl EngineEpoch {
     }
 
     /// Resolves a query's range-filter strategy through this epoch's
-    /// calibration. The compat mapping of the deprecated oracle knob is
-    /// honoured first ([`MacQuery::effective_filter`]: explicit `filter`
-    /// wins, legacy `OracleChoice::GTree` selects the per-user point path);
-    /// a remaining `Auto` goes through the calibrated crossover rule with
-    /// the measured per-network constant.
+    /// calibration: an explicit query-level `filter` wins, a remaining
+    /// `Auto` goes through the calibrated crossover rule with the measured
+    /// per-network constant.
     pub fn resolve_filter(&self, query: &MacQuery) -> RangeFilterChoice {
-        match query.effective_filter() {
+        self.resolve_filter_with(query, RangeFilterChoice::Auto)
+    }
+
+    /// [`resolve_filter`](Self::resolve_filter) with an
+    /// [`ExecutionPolicy`]-level default interposed: a query-level `Auto`
+    /// falls back to `policy_default`, and only when that is also `Auto`
+    /// does the calibrated crossover rule decide. This is the resolution a
+    /// [`QuerySession`] applies.
+    pub fn resolve_filter_with(
+        &self,
+        query: &MacQuery,
+        policy_default: RangeFilterChoice,
+    ) -> RangeFilterChoice {
+        let requested = match query.filter {
+            RangeFilterChoice::Auto => policy_default,
+            explicit => explicit,
+        };
+        match requested {
             RangeFilterChoice::Auto => resolve_auto_calibrated(
                 self.inner.rsn.road(),
                 self.inner.rsn.gtree(),
@@ -492,7 +513,7 @@ impl MacEngine {
     /// index. Build cost is one probe — milliseconds on laptop-scale
     /// networks — plus the user-target grouping.
     pub fn build(rsn: RoadSocialNetwork) -> Self {
-        Self::assemble(rsn, true)
+        Self::assemble(rsn, true, ExecutionPolicy::default())
     }
 
     /// Prepares an engine **without** the timed probe: the `Auto` cost model
@@ -500,10 +521,23 @@ impl MacEngine {
     /// never re-probes). Deterministic-build escape hatch for tests and
     /// reproducible benchmarks.
     pub fn build_uncalibrated(rsn: RoadSocialNetwork) -> Self {
-        Self::assemble(rsn, false)
+        Self::assemble(rsn, false, ExecutionPolicy::default())
     }
 
-    fn assemble(rsn: RoadSocialNetwork, measure: bool) -> Self {
+    /// Prepares an engine (calibration probe included) under an explicit
+    /// [`ExecutionPolicy`]: every [`session`](Self::session) opened from this
+    /// engine — or any clone — starts from `policy` instead of the default.
+    pub fn build_with_policy(rsn: RoadSocialNetwork, policy: ExecutionPolicy) -> Self {
+        Self::assemble(rsn, true, policy)
+    }
+
+    /// [`build_uncalibrated`](Self::build_uncalibrated) under an explicit
+    /// [`ExecutionPolicy`].
+    pub fn build_uncalibrated_with_policy(rsn: RoadSocialNetwork, policy: ExecutionPolicy) -> Self {
+        Self::assemble(rsn, false, policy)
+    }
+
+    fn assemble(rsn: RoadSocialNetwork, measure: bool, policy: ExecutionPolicy) -> Self {
         let user_targets = rsn
             .gtree()
             .map(|tree| group_user_targets(tree, rsn.road(), rsn.locations()));
@@ -530,6 +564,7 @@ impl MacEngine {
                     calibrated_avg_edge_weight,
                     measured_build: measure,
                 })),
+                policy,
                 update_lock: Mutex::new(()),
                 #[cfg(feature = "failpoints")]
                 failpoint: Mutex::new(None),
@@ -717,8 +752,16 @@ impl MacEngine {
                 }
                 Some(best)
             };
+            let mut gs_scratch = GsScratch::new();
             let global_seconds = time(&mut |ticker| {
-                GlobalSearch::explore_context_budgeted(&ctx, false, ticker).completed
+                GlobalSearch::explore_context_budgeted(
+                    &ctx,
+                    &mut gs_scratch,
+                    GsOptions::default(),
+                    false,
+                    ticker,
+                )
+                .completed
             })?;
             // The session's default expansion knobs, so the measured cost is
             // the cost Auto-routed queries will actually pay.
@@ -755,7 +798,15 @@ impl MacEngine {
         *self.epoch().calibration()
     }
 
-    /// Opens a per-thread serving session holding all reusable query scratch.
+    /// The engine-level [`ExecutionPolicy`] every session starts from.
+    pub fn policy(&self) -> &ExecutionPolicy {
+        &self.shared.policy
+    }
+
+    /// Opens a per-thread serving session holding all reusable query
+    /// scratch. The session starts from the engine's [`ExecutionPolicy`]
+    /// (see [`policy`](Self::policy)); override it per session with
+    /// [`QuerySession::with_policy`].
     pub fn session(&self) -> QuerySession {
         QuerySession::new(self.clone())
     }
@@ -1066,17 +1117,26 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_oracle_knob_still_selects_the_point_path() {
-        use rsn_road::oracle::OracleChoice;
+    fn filter_resolution_layers_query_over_policy_default() {
         let engine = MacEngine::build_uncalibrated(network(true));
-        let q = query().with_oracle(OracleChoice::GTree);
-        assert_eq!(engine.resolve_filter(&q), RangeFilterChoice::GTreePoint);
-        // An explicit filter always wins over the oracle knob.
-        let q2 = query()
-            .with_oracle(OracleChoice::GTree)
-            .with_range_filter(RangeFilterChoice::DijkstraSweep);
-        assert_eq!(engine.resolve_filter(&q2), RangeFilterChoice::DijkstraSweep);
+        let epoch = engine.epoch();
+        // A query-level Auto adopts the policy-level default.
+        let q = query();
+        assert_eq!(
+            epoch.resolve_filter_with(&q, RangeFilterChoice::GTreePoint),
+            RangeFilterChoice::GTreePoint
+        );
+        // An explicit query filter always wins over the policy default.
+        let q2 = query().with_range_filter(RangeFilterChoice::DijkstraSweep);
+        assert_eq!(
+            epoch.resolve_filter_with(&q2, RangeFilterChoice::GTreePoint),
+            RangeFilterChoice::DijkstraSweep
+        );
+        // Auto all the way down falls through to the calibrated rule.
+        assert_eq!(
+            epoch.resolve_filter_with(&q, RangeFilterChoice::Auto),
+            engine.resolve_filter(&q)
+        );
     }
 
     #[test]

@@ -10,38 +10,53 @@
 //! the non-contained MAC of that sub-partition, and the top-j MACs are
 //! recovered by backtracking the deletion history.
 //!
-//! Two engine-level departures from a literal transcription of the paper:
+//! Three engine-level departures from a literal transcription of the paper:
 //!
 //! * **Explicit stack.** The exploration runs on an explicit task stack
 //!   (the private `Task` enum) instead of call recursion, so the search depth
 //!   is bounded by heap memory rather than thread stack — peel paths through a
 //!   10^5-vertex (k,t)-core are just more stack entries. A worker shares
-//!   **one** [`SubgraphView`] across all branches: a `Task::Retreat` entry rolls the
-//!   view back to the checkpoint taken when the branch was entered, so sibling
-//!   cells reuse the same scratch state and no per-branch clones happen.
+//!   **one** [`SubgraphView`] across all branches: a `Task::Retreat` entry
+//!   rolls the view back to the checkpoint taken when the branch was entered,
+//!   so sibling cells reuse the same scratch state and no per-branch clones
+//!   happen.
 //!
-//! * **Parallel top-level cells.** The sub-partitions produced by the root
-//!   arrangement are independent: each starts from the untouched (k,t)-core
-//!   and explores its own region of `R`. With
-//!   [`with_parallelism`](GlobalSearch::with_parallelism) they are distributed
-//!   over a small scoped-thread pool — every worker owns a private
-//!   checkpointed view (rollback stays worker-local) and pulls the next
-//!   unclaimed cell from a shared atomic cursor, and results are merged in
-//!   root-cell order so the output is identical to the serial run.
+//! * **Work stealing.** Sub-partition counts are heavily skewed — one root
+//!   cell can own almost the whole arrangement — so static distribution of
+//!   top-level cells leaves workers idle. Instead, every pending `Visit` on a
+//!   worker's stack is a self-contained unit of work: its cell, its candidate
+//!   leaves, and the deletion groups along its ancestor path fully determine
+//!   the subtree. When another worker goes idle, a busy worker donates its
+//!   **bottom-most** pending `Visit` (the largest unexplored subtree) through
+//!   a shared injector queue; the thief replays the donated deletion prefix on
+//!   its private view and explores the subtree as if it had descended there
+//!   itself. Every report is tagged with its DFS path, and the merge sorts by
+//!   path — lexicographic path order **is** the serial emission order, so the
+//!   output is bit-identical to the serial run regardless of how work moved.
+//!
+//! * **Pooled scratch.** All per-query allocations (task stack, leaf arena,
+//!   half-space cache, arrangement nodes, deletion groups, result husks) live
+//!   in a crate-internal `GsScratch` that the caller retains across queries,
+//!   so a steady-state query on a warmed session performs no heap allocation.
+//!
+//! Parallelism and stealing are selected through the session's
+//! [`ExecutionPolicy`]; results are identical at any setting.
 
 use crate::context::SearchContext;
 use crate::error::MacError;
 use crate::network::RoadSocialNetwork;
+use crate::policy::ExecutionPolicy;
 use crate::query::MacQuery;
 use crate::result::{BudgetedRun, CellResult, Community, MacSearchResult, SearchStats};
 use rsn_geom::cell::Cell;
 use rsn_geom::halfspace::HalfSpace;
-use rsn_geom::partition::arrange;
-use rsn_graph::subgraph::{Checkpoint, SubgraphView};
-use rsn_road::budget::BudgetTicker;
+use rsn_geom::partition::{arrange_into, ArrangeScratch};
+use rsn_geom::region::PrefRegion;
+use rsn_graph::subgraph::{Checkpoint, SubgraphView, ViewScratch};
+use rsn_road::budget::{BudgetTicker, SharedBudget, WorkerTicker};
 use std::collections::HashMap;
-use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 /// The DFS-based global search algorithm of Section V.
@@ -49,7 +64,48 @@ use std::time::Instant;
 pub struct GlobalSearch<'a> {
     rsn: &'a RoadSocialNetwork,
     query: &'a MacQuery,
-    parallelism: usize,
+    opts: GsOptions,
+}
+
+/// Execution knobs for one global-search run, resolved by the caller (the
+/// engine's `ExecutionPolicy` or the builder shims on [`GlobalSearch`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GsOptions {
+    /// Worker threads. `1` = serial on the calling thread, `0` = all cores.
+    pub parallelism: usize,
+    /// Donate pending subtrees to idle workers (on by default). With stealing
+    /// off, parallel runs fall back to static top-level-cell distribution.
+    pub work_stealing: bool,
+}
+
+impl Default for GsOptions {
+    fn default() -> Self {
+        GsOptions {
+            parallelism: 1,
+            work_stealing: true,
+        }
+    }
+}
+
+/// A contiguous run of candidate leaves inside the scratch arena.
+///
+/// Leaf sets along the DFS path are stacked in one flat `Vec<u32>`: a descend
+/// appends its leaves at the current end and the matching `Retreat` truncates
+/// back, so ranges are stable for exactly as long as a task referencing them
+/// is on the stack.
+#[derive(Debug, Clone, Copy)]
+struct LeafRange {
+    start: u32,
+    len: u32,
+}
+
+impl LeafRange {
+    const EMPTY: LeafRange = LeafRange { start: 0, len: 0 };
+}
+
+#[inline]
+fn leaf_slice(arena: &[u32], r: LeafRange) -> &[u32] {
+    &arena[r.start as usize..(r.start + r.len) as usize]
 }
 
 /// One unit of deferred work on a worker's explicit DFS stack.
@@ -57,42 +113,228 @@ pub struct GlobalSearch<'a> {
 /// The stack discipline mirrors the recursion it replaces: `Arrange` plays the
 /// role of a recursive `explore` call, `Visit` is one iteration of its
 /// sub-cell loop, and `Retreat` is the code after the recursive call returned
-/// (pop the deletion group, roll the shared view back).
+/// (pop the deletion group, roll the shared view back, truncate the arena).
+#[derive(Debug)]
 enum Task {
     /// Arrange the half-spaces among the current leaves inside `cell` and
     /// queue a `Visit` per resulting sub-cell. `settled` holds the parent
     /// state's leaves (their pairwise half-spaces are already separated).
     Arrange {
         cell: Cell,
-        settled: Rc<Vec<u32>>,
-        depth: usize,
+        settled: LeafRange,
+        depth: u32,
     },
     /// Decide one sub-cell: report its community or tentatively delete the
-    /// smallest-score vertex and descend.
+    /// smallest-score vertex and descend. `idx` is the cell's position in its
+    /// parent arrangement — the task's coordinate in the DFS path.
     Visit {
         cell: Cell,
-        leaves: Rc<Vec<u32>>,
-        depth: usize,
+        leaves: LeafRange,
+        depth: u32,
+        idx: u32,
     },
-    /// Return from a descent: pop the deletion group and roll back.
-    Retreat { cp: Checkpoint },
+    /// Return from a descent: pop the deletion group, roll back, truncate the
+    /// leaf arena to its pre-descent length.
+    Retreat { cp: Checkpoint, arena_mark: u32 },
+}
+
+/// A stolen (or seeded) subtree: everything a thief needs to explore a
+/// pending `Visit` on its own view. `path[i]` is the arrangement index taken
+/// at depth `i + 1`; `prefix_groups` are the deletion groups of the
+/// `path.len() - 1` ancestor descents, replayed vertex-by-vertex before the
+/// subtree runs (cascade order does not matter — the final alive set and the
+/// degrees of alive vertices are order-independent).
+struct Stolen {
+    cell: Cell,
+    leaves: Vec<u32>,
+    path: Vec<u32>,
+    prefix_groups: Vec<Vec<u32>>,
+}
+
+/// Shared state of the work-stealing pool: a mutexed injector queue plus the
+/// idle/active accounting that detects termination.
+struct PoolState {
+    queue: Vec<Stolen>,
+    active: usize,
+    done: bool,
+}
+
+struct SharedPool<'b> {
+    state: Mutex<PoolState>,
+    cvar: Condvar,
+    /// Fast donation hint: how many workers are parked in `get_work`.
+    idle: AtomicUsize,
+    budget: Option<&'b SharedBudget>,
+    steal: bool,
+}
+
+/// Pops the next work item, parking until one is donated or every worker is
+/// out of work. Returns `None` on termination (queue drained and all workers
+/// idle, or the shared budget tripped — leftover queue items are left for the
+/// coordinator to count as dropped).
+fn get_work(pool: &SharedPool<'_>) -> Option<Stolen> {
+    let mut st = pool.state.lock().unwrap();
+    loop {
+        if st.done {
+            return None;
+        }
+        if pool.budget.is_some_and(|b| b.is_exhausted()) {
+            st.done = true;
+            pool.cvar.notify_all();
+            return None;
+        }
+        if let Some(item) = st.queue.pop() {
+            return Some(item);
+        }
+        st.active -= 1;
+        if st.active == 0 {
+            st.done = true;
+            pool.cvar.notify_all();
+            return None;
+        }
+        pool.idle.fetch_add(1, Ordering::Relaxed);
+        st = pool.cvar.wait(st).unwrap();
+        pool.idle.fetch_sub(1, Ordering::Relaxed);
+        st.active += 1;
+    }
+}
+
+/// Lexicographic minimum of an optional running frontier and a candidate.
+fn min_path(cur: Option<Vec<u32>>, cand: Vec<u32>) -> Option<Vec<u32>> {
+    match cur {
+        Some(c) if c <= cand => Some(c),
+        _ => Some(cand),
+    }
+}
+
+/// All per-query mutable state of one global-search worker, retained by the
+/// caller across queries so a warmed steady-state query allocates nothing.
+#[derive(Debug)]
+pub(crate) struct GsScratch {
+    stack: Vec<Task>,
+    /// Flat arena of candidate-leaf ids; see [`LeafRange`].
+    arena: Vec<u32>,
+    /// Arrangement indices taken along the current DFS path (depth `d` ⇒
+    /// `cur_path.len() == d` while visiting a depth-`d` cell).
+    cur_path: Vec<u32>,
+    /// Half-space cache: pair → slot in `hs_store`. Cleared per query (keeps
+    /// capacity); slots below `hs_cursor` are live this query.
+    hs_index: HashMap<(u32, u32), u32>,
+    hs_store: Vec<HalfSpace>,
+    hs_cursor: usize,
+    /// Half-space slots of the current arrangement, in insertion order.
+    hps_buf: Vec<u32>,
+    arrange: ArrangeScratch,
+    view_scratch: ViewScratch,
+    /// Scratch mask for `leaves_within_into`.
+    leaf_mark: Vec<bool>,
+    /// Deletion groups committed along the current DFS path (push on descend,
+    /// pop on retreat) — the backtracking history for top-j.
+    deletion_groups: Vec<Vec<u32>>,
+    /// Retired deletion-group vectors awaiting reuse.
+    spare_groups: Vec<Vec<u32>>,
+    /// Sample point of the cell currently being decided.
+    sample_buf: Vec<f64>,
+    /// Output buffer of the current arrangement.
+    sub_cells: Vec<Cell>,
+    /// Alive-vertex buffer for community reporting.
+    alive_buf: Vec<u32>,
+    root_cell: Cell,
+    /// Retired result husks (cell + weight + community vectors) awaiting
+    /// reuse; replenished by [`GsScratch::recycle`].
+    spare_results: Vec<CellResult>,
+    spare_communities: Vec<Community>,
+    /// Retired output vector awaiting reuse as the next query's `out_cells`.
+    out_buf: Vec<CellResult>,
+}
+
+fn empty_cell() -> Cell {
+    Cell::from_region(&PrefRegion::from_ranges(&[]).expect("empty region is valid"))
+}
+
+impl Default for GsScratch {
+    fn default() -> Self {
+        GsScratch {
+            stack: Vec::new(),
+            arena: Vec::new(),
+            cur_path: Vec::new(),
+            hs_index: HashMap::new(),
+            hs_store: Vec::new(),
+            hs_cursor: 0,
+            hps_buf: Vec::new(),
+            arrange: ArrangeScratch::new(),
+            view_scratch: ViewScratch::new(),
+            leaf_mark: Vec::new(),
+            deletion_groups: Vec::new(),
+            spare_groups: Vec::new(),
+            sample_buf: Vec::new(),
+            sub_cells: Vec::new(),
+            alive_buf: Vec::new(),
+            root_cell: empty_cell(),
+            spare_results: Vec::new(),
+            spare_communities: Vec::new(),
+            out_buf: Vec::new(),
+        }
+    }
+}
+
+impl GsScratch {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears per-query state (keeping every capacity) for the next run.
+    fn reset(&mut self) {
+        debug_assert!(self.stack.is_empty());
+        debug_assert!(self.deletion_groups.is_empty());
+        self.stack.clear();
+        self.arena.clear();
+        self.cur_path.clear();
+        self.hs_index.clear();
+        self.hs_cursor = 0;
+        self.hps_buf.clear();
+        self.sub_cells.clear();
+    }
+
+    /// Returns a finished result's buffers to the pools, so the next query on
+    /// this scratch reuses them instead of allocating. Callers that keep the
+    /// result simply drop it — recycling is an optimization, not a duty.
+    pub(crate) fn recycle(&mut self, mut result: MacSearchResult) {
+        self.spare_results.append(&mut result.cells);
+        if result.cells.capacity() > self.out_buf.capacity() {
+            self.out_buf = result.cells;
+        }
+    }
 }
 
 /// Per-worker exploration state. Workers never share mutable state; each owns
-/// its stack, half-space cache, deletion history, and output buffer.
-struct Worker<'c, 'g> {
+/// its scratch, deletion history, and output buffers.
+struct Worker<'c, 'g, 's> {
     ctx: &'c SearchContext<'g>,
     k: u32,
     q: &'c [u32],
     j: usize,
-    /// Half-spaces between leaf pairs, computed once per pair per worker.
-    hs_cache: HashMap<(u32, u32), HalfSpace>,
-    /// Deletion groups committed along the current DFS path (push on
-    /// descend, pop on retreat) — the backtracking history for top-j.
-    deletion_groups: Vec<Vec<u32>>,
-    stack: Vec<Task>,
+    scratch: &'s mut GsScratch,
+    /// Tag every report with its DFS path (parallel runs only; the merge
+    /// sorts by path to recover the serial order).
+    record_paths: bool,
     out_cells: Vec<CellResult>,
+    out_paths: Vec<Vec<u32>>,
     stats: SearchStats,
+}
+
+/// Everything a parallel run hands back to the coordinator.
+struct ParallelOutcome {
+    cells: Vec<CellResult>,
+    stats: SearchStats,
+    /// Tasks charged/executed across all workers (budgeted runs).
+    executed: u64,
+    /// Tasks known dropped (budgeted runs that tripped).
+    dropped: u64,
+    /// Lexicographically smallest dropped DFS path; `None` ⇒ ran to
+    /// completion. Outputs at or beyond the frontier are filtered so the
+    /// partial result is a coherent prefix of the full serial output.
+    frontier: Option<Vec<u32>>,
 }
 
 impl<'a> GlobalSearch<'a> {
@@ -101,16 +343,42 @@ impl<'a> GlobalSearch<'a> {
         GlobalSearch {
             rsn,
             query,
-            parallelism: 1,
+            opts: GsOptions {
+                parallelism: 1,
+                ..GsOptions::default()
+            },
         }
     }
 
-    /// Sets the number of worker threads exploring independent top-level GS
-    /// cells. `1` (the default) runs serially on the calling thread; `0`
-    /// resolves to the machine's available parallelism. Results are identical
-    /// at any setting — cells are merged in deterministic root order.
+    /// Adopts the execution knobs this one-shot search honours (parallelism
+    /// and work stealing) from an [`ExecutionPolicy`]. Results are identical
+    /// at any setting — parallel outputs are merged in deterministic DFS
+    /// order.
+    pub fn with_policy(self, policy: &ExecutionPolicy) -> Self {
+        self.with_opts(GsOptions {
+            parallelism: policy.parallelism,
+            work_stealing: policy.work_stealing,
+        })
+    }
+
+    /// Sets the number of worker threads. `1` (the default) runs serially on
+    /// the calling thread; `0` resolves to the machine's available
+    /// parallelism. Results are identical at any setting — parallel outputs
+    /// are merged in deterministic DFS order.
+    #[deprecated(
+        since = "0.10.0",
+        note = "set `ExecutionPolicy::parallelism` and pass it via \
+                `GlobalSearch::with_policy` (or execute through a \
+                `QuerySession`, which applies its policy automatically)"
+    )]
     pub fn with_parallelism(mut self, workers: usize) -> Self {
-        self.parallelism = workers;
+        self.opts.parallelism = workers;
+        self
+    }
+
+    /// Overrides the full execution options (parallelism + stealing).
+    pub(crate) fn with_opts(mut self, opts: GsOptions) -> Self {
+        self.opts = opts;
         self
     }
 
@@ -124,15 +392,25 @@ impl<'a> GlobalSearch<'a> {
         self.run(true)
     }
 
-    fn resolved_workers(parallelism: usize, top_cells: usize) -> usize {
-        let requested = if parallelism == 0 {
+    fn resolved_workers(opts: GsOptions, top_cells: usize) -> usize {
+        let requested = if opts.parallelism == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
         } else {
-            parallelism
+            opts.parallelism
         };
-        requested.max(1).min(top_cells.max(1))
+        let requested = requested.max(1);
+        if top_cells == 0 {
+            return 1;
+        }
+        if opts.work_stealing {
+            // Stealing redistributes skew at any depth, so a single top-level
+            // cell can still fan out across all requested workers.
+            requested
+        } else {
+            requested.min(top_cells)
+        }
     }
 
     fn run(&self, top_j_mode: bool) -> Result<MacSearchResult, MacError> {
@@ -146,70 +424,77 @@ impl<'a> GlobalSearch<'a> {
                 },
             });
         };
-        let mut result = Self::explore_context(&ctx, self.parallelism, top_j_mode);
+        let mut scratch = GsScratch::new();
+        let mut result = Self::explore_context(&ctx, &mut scratch, self.opts, top_j_mode);
         result.stats.elapsed_seconds = start.elapsed().as_secs_f64();
         Ok(result)
+    }
+
+    fn base_stats(ctx: &SearchContext<'_>) -> SearchStats {
+        SearchStats {
+            kt_core_vertices: ctx.core_size(),
+            kt_core_edges: ctx.core_edges(),
+            dominance_tests: ctx.gd.tests_performed(),
+            memory_bytes: ctx.gd.memory_bytes(),
+            ..SearchStats::default()
+        }
     }
 
     /// Explores a prebuilt [`SearchContext`] to completion — the engine-level
     /// entry point shared by the one-shot wrappers
     /// ([`run_non_contained`](Self::run_non_contained) /
     /// [`run_top_j`](Self::run_top_j)) and by
-    /// [`QuerySession`](crate::session::QuerySession), which builds the
-    /// context from session-held scratch. `elapsed_seconds` covers only the
-    /// exploration; callers overwrite it with their end-to-end timing.
+    /// [`QuerySession`](crate::session::QuerySession), which passes its
+    /// retained scratch so warmed queries allocate nothing.
+    /// `elapsed_seconds` covers only the exploration; callers overwrite it
+    /// with their end-to-end timing.
     pub(crate) fn explore_context(
         ctx: &SearchContext<'_>,
-        parallelism: usize,
+        scratch: &mut GsScratch,
+        opts: GsOptions,
         top_j_mode: bool,
     ) -> MacSearchResult {
         let start = Instant::now();
-        let base_stats = SearchStats {
-            kt_core_vertices: ctx.core_size(),
-            kt_core_edges: ctx.core_edges(),
-            dominance_tests: ctx.gd.tests_performed(),
-            memory_bytes: ctx.gd.memory_bytes(),
-            ..SearchStats::default()
-        };
         let k = ctx.query.k;
-        let q = ctx.local_q.clone();
+        let q: &[u32] = &ctx.local_q;
         let j = if top_j_mode { ctx.query.j } else { 1 };
 
-        // Root arrangement: determines the independent top-level cells.
-        let root_cell = Cell::from_region(&ctx.query.region);
-        let mut root_worker = Worker::new(ctx, k, &q, j, base_stats);
-        let mut view = SubgraphView::full(&ctx.local_graph);
-        root_worker.account_memory(&view, &root_cell, 1);
-        let leaves0: Vec<u32> = ctx
-            .gd
-            .leaves_within(view.alive_mask())
-            .into_iter()
-            .map(|v| v as u32)
-            .collect();
-        let hps = root_worker.halfspaces(&leaves0, &[]);
-        let top_cells = arrange(&root_cell, &hps);
-        root_worker.stats.partitions_explored += top_cells.len();
+        scratch.reset();
+        let out_buf = std::mem::take(&mut scratch.out_buf);
+        let mut worker = Worker::new(ctx, k, q, j, scratch, false, Self::base_stats(ctx), out_buf);
+        let mut view =
+            SubgraphView::full_from_scratch(&ctx.local_graph, &mut worker.scratch.view_scratch);
+        let leaves0 = worker.prepare_root(&view);
 
-        let workers = Self::resolved_workers(parallelism, top_cells.len());
+        let workers = Self::resolved_workers(opts, worker.scratch.sub_cells.len());
         let (out_cells, mut stats) = if workers <= 1 {
-            // Serial: one worker, one view, cells in root order.
-            let leaves0 = Rc::new(leaves0);
-            for cell in top_cells {
-                root_worker.run_top_cell(&mut view, cell, leaves0.clone());
-            }
-            (root_worker.out_cells, root_worker.stats)
+            // Serial: one worker, one view, cells emitted in DFS order.
+            worker.push_top_cells(leaves0);
+            worker.run_local(&mut view);
+            (
+                std::mem::take(&mut worker.out_cells),
+                std::mem::take(&mut worker.stats),
+            )
         } else {
-            Self::run_parallel(
+            let leaves0 = leaf_slice(&worker.scratch.arena, leaves0).to_vec();
+            let top_cells: Vec<Cell> = worker.scratch.sub_cells.drain(..).collect();
+            let root_stats = std::mem::take(&mut worker.stats);
+            let outcome = Self::run_parallel(
                 ctx,
                 k,
-                &q,
+                q,
                 j,
                 workers,
+                opts.work_stealing,
                 leaves0,
-                &top_cells,
-                root_worker.stats,
-            )
+                top_cells,
+                root_stats,
+                None,
+            );
+            debug_assert!(outcome.frontier.is_none());
+            (outcome.cells, outcome.stats)
         };
+        view.recycle_into(&mut worker.scratch.view_scratch);
 
         stats.elapsed_seconds = start.elapsed().as_secs_f64();
         MacSearchResult {
@@ -218,37 +503,36 @@ impl<'a> GlobalSearch<'a> {
         }
     }
 
-    /// Budgeted [`explore_context`](Self::explore_context): always serial (a
-    /// shared ticker cannot be split across workers, and the serial order
-    /// guarantees a partial run's cells are a prefix of the full run's), the
-    /// exploration charges one unit per DFS task and stops cooperatively.
-    /// Cells reported before exhaustion are exact; `remaining` counts the
-    /// tasks and top-level cells known to be left undone.
+    /// Budgeted [`explore_context`](Self::explore_context): charges one unit
+    /// per DFS task and stops cooperatively. Serial runs stop exactly where
+    /// the charge fails, so the reported cells are a prefix of the full run's
+    /// in DFS order. Parallel runs share the budget through an atomic latch
+    /// ([`SharedBudget`]) — the first worker to trip stops every other worker
+    /// at its next check, and the merge keeps only reports strictly before
+    /// the smallest dropped DFS path, so the partial result is again one
+    /// coherent prefix of the full output. `remaining` counts the tasks and
+    /// top-level cells known to be left undone.
     pub(crate) fn explore_context_budgeted(
         ctx: &SearchContext<'_>,
+        scratch: &mut GsScratch,
+        opts: GsOptions,
         top_j_mode: bool,
         ticker: &mut BudgetTicker,
     ) -> BudgetedRun {
         let start = Instant::now();
-        let mut base_stats = SearchStats {
-            kt_core_vertices: ctx.core_size(),
-            kt_core_edges: ctx.core_edges(),
-            dominance_tests: ctx.gd.tests_performed(),
-            memory_bytes: ctx.gd.memory_bytes(),
-            ..SearchStats::default()
-        };
         let k = ctx.query.k;
-        let q = ctx.local_q.clone();
+        let q: &[u32] = &ctx.local_q;
         let j = if top_j_mode { ctx.query.j } else { 1 };
 
         // Guard before the root arrangement, whose half-space set is
         // quadratic in the initial leaf count.
         if !ticker.charge(1) {
-            base_stats.elapsed_seconds = start.elapsed().as_secs_f64();
+            let mut stats = Self::base_stats(ctx);
+            stats.elapsed_seconds = start.elapsed().as_secs_f64();
             return BudgetedRun {
                 result: MacSearchResult {
                     cells: Vec::new(),
-                    stats: base_stats,
+                    stats,
                 },
                 completed: false,
                 explored: 0,
@@ -256,48 +540,72 @@ impl<'a> GlobalSearch<'a> {
             };
         }
 
-        let root_cell = Cell::from_region(&ctx.query.region);
-        let mut root_worker = Worker::new(ctx, k, &q, j, base_stats);
-        let mut view = SubgraphView::full(&ctx.local_graph);
-        root_worker.account_memory(&view, &root_cell, 1);
-        let leaves0: Vec<u32> = ctx
-            .gd
-            .leaves_within(view.alive_mask())
-            .into_iter()
-            .map(|v| v as u32)
-            .collect();
-        let hps = root_worker.halfspaces(&leaves0, &[]);
-        let top_cells = arrange(&root_cell, &hps);
-        root_worker.stats.partitions_explored += top_cells.len();
-        let total_cells = top_cells.len() as u64;
+        scratch.reset();
+        let out_buf = std::mem::take(&mut scratch.out_buf);
+        let mut worker = Worker::new(ctx, k, q, j, scratch, false, Self::base_stats(ctx), out_buf);
+        let mut view =
+            SubgraphView::full_from_scratch(&ctx.local_graph, &mut worker.scratch.view_scratch);
+        let leaves0 = worker.prepare_root(&view);
+        let total_cells = worker.scratch.sub_cells.len() as u64;
 
         let mut explored = 1u64;
-        let mut remaining = 0u64;
-        let mut completed = true;
-        // Charge the root arrangement after the fact, then walk the
-        // top-level cells in the serial order.
-        if !ticker.charge(leaves0.len() as u64 + total_cells) {
+        let completed;
+        let remaining;
+        let out_cells;
+        let mut stats;
+        // Charge the root arrangement after the fact, then walk the DFS.
+        if !ticker.charge(leaves0.len as u64 + total_cells) {
             completed = false;
             remaining = total_cells;
+            let GsScratch {
+                sub_cells, arrange, ..
+            } = &mut *worker.scratch;
+            for cell in sub_cells.drain(..) {
+                arrange.recycle_cell(cell);
+            }
+            out_cells = std::mem::take(&mut worker.out_cells);
+            stats = std::mem::take(&mut worker.stats);
         } else {
-            let leaves0 = Rc::new(leaves0);
-            for (i, cell) in top_cells.into_iter().enumerate() {
-                let (done, cell_explored, dropped) =
-                    root_worker.run_top_cell_budgeted(&mut view, cell, leaves0.clone(), ticker);
-                explored += cell_explored;
-                if !done {
-                    completed = false;
-                    remaining = dropped + (total_cells - i as u64 - 1);
-                    break;
-                }
+            let workers = Self::resolved_workers(opts, worker.scratch.sub_cells.len());
+            if workers <= 1 {
+                worker.push_top_cells(leaves0);
+                let (done, executed, dropped) = worker.run_local_budgeted(&mut view, ticker);
+                explored += executed;
+                completed = done;
+                remaining = dropped;
+                out_cells = std::mem::take(&mut worker.out_cells);
+                stats = std::mem::take(&mut worker.stats);
+            } else {
+                let leaves0 = leaf_slice(&worker.scratch.arena, leaves0).to_vec();
+                let top_cells: Vec<Cell> = worker.scratch.sub_cells.drain(..).collect();
+                let root_stats = std::mem::take(&mut worker.stats);
+                let shared = ticker.share();
+                let outcome = Self::run_parallel(
+                    ctx,
+                    k,
+                    q,
+                    j,
+                    workers,
+                    opts.work_stealing,
+                    leaves0,
+                    top_cells,
+                    root_stats,
+                    Some(&shared),
+                );
+                ticker.absorb(&shared);
+                explored += outcome.executed;
+                completed = outcome.frontier.is_none();
+                remaining = outcome.dropped;
+                out_cells = outcome.cells;
+                stats = outcome.stats;
             }
         }
+        view.recycle_into(&mut worker.scratch.view_scratch);
 
-        let mut stats = root_worker.stats;
         stats.elapsed_seconds = start.elapsed().as_secs_f64();
         BudgetedRun {
             result: MacSearchResult {
-                cells: root_worker.out_cells,
+                cells: out_cells,
                 stats,
             },
             completed,
@@ -306,10 +614,11 @@ impl<'a> GlobalSearch<'a> {
         }
     }
 
-    /// Distributes the top-level cells over `workers` scoped threads. Each
-    /// worker owns a fresh full [`SubgraphView`] of the (k,t)-core (the state
-    /// every top-level cell starts from) and claims cells through a shared
-    /// atomic cursor; per-cell outputs are merged in root order afterwards.
+    /// Runs the top-level cells on `workers` scoped threads with (optional)
+    /// work stealing. Each worker owns a private view of the (k,t)-core and a
+    /// private scratch; seeds and stolen subtrees flow through one mutexed
+    /// injector queue. Reports are path-tagged and merged by path sort, which
+    /// reproduces the serial DFS emission order exactly.
     #[allow(clippy::too_many_arguments)]
     fn run_parallel(
         ctx: &SearchContext<'_>,
@@ -317,156 +626,454 @@ impl<'a> GlobalSearch<'a> {
         q: &[u32],
         j: usize,
         workers: usize,
+        steal: bool,
         leaves0: Vec<u32>,
-        top_cells: &[Cell],
+        top_cells: Vec<Cell>,
         root_stats: SearchStats,
-    ) -> (Vec<CellResult>, SearchStats) {
-        let cursor = AtomicUsize::new(0);
-        let leaves0 = &leaves0;
-        let mut per_cell: Vec<Vec<CellResult>> = Vec::new();
+        budget: Option<&SharedBudget>,
+    ) -> ParallelOutcome {
         let mut stats = root_stats;
         stats.parallel_workers = workers;
+        // Seeds are pushed reversed so the LIFO queue pops cell 0 first.
+        let seeds: Vec<Stolen> = top_cells
+            .into_iter()
+            .enumerate()
+            .rev()
+            .map(|(i, cell)| Stolen {
+                cell,
+                leaves: leaves0.clone(),
+                path: vec![i as u32],
+                prefix_groups: Vec::new(),
+            })
+            .collect();
+        let pool = SharedPool {
+            state: Mutex::new(PoolState {
+                queue: seeds,
+                active: workers,
+                done: false,
+            }),
+            cvar: Condvar::new(),
+            idle: AtomicUsize::new(0),
+            budget,
+            steal,
+        };
+
+        let mut tagged: Vec<(Vec<u32>, CellResult)> = Vec::new();
+        let mut executed = 0u64;
+        let mut dropped = 0u64;
+        let mut frontier: Option<Vec<u32>> = None;
         std::thread::scope(|scope| {
+            let pool = &pool;
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
-                    let cursor = &cursor;
                     scope.spawn(move || {
-                        let mut worker = Worker::new(ctx, k, q, j, SearchStats::default());
+                        let mut scratch = GsScratch::new();
+                        let mut worker = Worker::new(
+                            ctx,
+                            k,
+                            q,
+                            j,
+                            &mut scratch,
+                            true,
+                            SearchStats::default(),
+                            Vec::new(),
+                        );
                         let mut view = SubgraphView::full(&ctx.local_graph);
-                        let leaves = Rc::new(leaves0.clone());
-                        let mut results: Vec<(usize, Vec<CellResult>)> = Vec::new();
-                        loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some(cell) = top_cells.get(i) else { break };
-                            let before = worker.out_cells.len();
-                            worker.run_top_cell(&mut view, cell.clone(), leaves.clone());
-                            results.push((i, worker.out_cells.split_off(before)));
-                        }
-                        (results, worker.stats)
+                        let mut ticker = pool.budget.map(|b| b.worker());
+                        let (executed, dropped, frontier) =
+                            worker.run_pool(&mut view, pool, ticker.as_mut());
+                        (
+                            std::mem::take(&mut worker.out_cells),
+                            std::mem::take(&mut worker.out_paths),
+                            std::mem::take(&mut worker.stats),
+                            executed,
+                            dropped,
+                            frontier,
+                        )
                     })
                 })
                 .collect();
-            per_cell = vec![Vec::new(); top_cells.len()];
             for handle in handles {
-                let (results, wstats) = handle.join().expect("GS worker panicked");
+                let (cells, paths, wstats, wexec, wdrop, wfrontier) =
+                    handle.join().expect("GS worker panicked");
                 stats.merge_worker(&wstats);
-                for (i, cells) in results {
-                    per_cell[i] = cells;
+                executed += wexec;
+                dropped += wdrop;
+                if let Some(f) = wfrontier {
+                    frontier = min_path(frontier.take(), f);
                 }
+                debug_assert_eq!(paths.len(), cells.len());
+                tagged.extend(paths.into_iter().zip(cells));
             }
         });
-        (per_cell.into_iter().flatten().collect(), stats)
+        // A tripped budget can leave undistributed work in the queue: every
+        // leftover item is a dropped subtree rooted at its path.
+        let mut st = pool.state.into_inner().unwrap();
+        for item in st.queue.drain(..) {
+            dropped += 1;
+            frontier = min_path(frontier, item.path);
+        }
+
+        tagged.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        if let Some(f) = &frontier {
+            // Keep only reports strictly before the smallest dropped path —
+            // those form a prefix of the serial output (a dropped subtree's
+            // reports all sort at or after its root path).
+            let cut = tagged.partition_point(|(p, _)| p < f);
+            dropped += (tagged.len() - cut) as u64;
+            tagged.truncate(cut);
+        }
+        ParallelOutcome {
+            cells: tagged.into_iter().map(|(_, c)| c).collect(),
+            stats,
+            executed,
+            dropped,
+            frontier,
+        }
     }
 }
 
-impl<'c, 'g> Worker<'c, 'g> {
-    fn new(ctx: &'c SearchContext<'g>, k: u32, q: &'c [u32], j: usize, stats: SearchStats) -> Self {
+impl<'c, 'g, 's> Worker<'c, 'g, 's> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        ctx: &'c SearchContext<'g>,
+        k: u32,
+        q: &'c [u32],
+        j: usize,
+        scratch: &'s mut GsScratch,
+        record_paths: bool,
+        stats: SearchStats,
+        out_cells: Vec<CellResult>,
+    ) -> Self {
         Worker {
             ctx,
             k,
             q,
             j,
-            hs_cache: HashMap::new(),
-            deletion_groups: Vec::new(),
-            stack: Vec::new(),
-            out_cells: Vec::new(),
+            scratch,
+            record_paths,
+            out_cells,
+            out_paths: Vec::new(),
             stats,
         }
     }
 
-    /// Explores one top-level cell to completion. The view must be in the
-    /// untouched (k,t)-core state on entry and is restored to it on return.
-    fn run_top_cell(&mut self, view: &mut SubgraphView<'_>, cell: Cell, leaves: Rc<Vec<u32>>) {
-        debug_assert!(self.stack.is_empty() && self.deletion_groups.is_empty());
-        self.stack.push(Task::Visit {
-            cell,
-            leaves,
-            depth: 1,
-        });
-        while let Some(task) = self.stack.pop() {
-            match task {
-                Task::Arrange {
-                    cell,
-                    settled,
-                    depth,
-                } => self.arrange_state(view, cell, settled, depth),
-                Task::Visit {
-                    cell,
-                    leaves,
-                    depth,
-                } => self.visit_cell(view, cell, leaves, depth),
-                Task::Retreat { cp } => {
-                    self.deletion_groups.pop();
-                    view.rollback(cp);
-                }
-            }
+    /// Builds the root state: the region cell, the initial leaves (appended
+    /// at arena position 0), and the root arrangement (left in
+    /// `scratch.sub_cells`). Returns the initial leaf range.
+    fn prepare_root(&mut self, view: &SubgraphView<'_>) -> LeafRange {
+        self.scratch.root_cell.assign_region(&self.ctx.query.region);
+        let cell_bytes = self.scratch.root_cell.memory_bytes();
+        self.account_memory(view, cell_bytes, 1);
+        {
+            let GsScratch {
+                arena, leaf_mark, ..
+            } = &mut *self.scratch;
+            debug_assert!(arena.is_empty());
+            self.ctx
+                .gd
+                .leaves_within_into(view.alive_mask(), leaf_mark, arena);
+        }
+        let leaves0 = LeafRange {
+            start: 0,
+            len: self.scratch.arena.len() as u32,
+        };
+        self.compute_halfspaces(leaves0, LeafRange::EMPTY);
+        let n = {
+            let GsScratch {
+                arrange,
+                hps_buf,
+                hs_store,
+                sub_cells,
+                root_cell,
+                ..
+            } = &mut *self.scratch;
+            arrange_into(
+                arrange,
+                root_cell,
+                hps_buf.iter().map(|&i| &hs_store[i as usize]),
+                sub_cells,
+            )
+        };
+        self.stats.partitions_explored += n;
+        leaves0
+    }
+
+    /// Queues every root-arrangement cell as a depth-1 `Visit`, in order.
+    fn push_top_cells(&mut self, leaves0: LeafRange) {
+        let GsScratch {
+            sub_cells, stack, ..
+        } = &mut *self.scratch;
+        for (i, cell) in sub_cells.drain(..).enumerate().rev() {
+            stack.push(Task::Visit {
+                cell,
+                leaves: leaves0,
+                depth: 1,
+                idx: i as u32,
+            });
         }
     }
 
-    /// Budgeted [`run_top_cell`](Self::run_top_cell): charges one unit per
-    /// popped task. On exhaustion the remaining stack is unwound — pending
-    /// `Retreat` rollbacks are applied innermost-first so the shared view
-    /// (and the deletion history) return to the untouched (k,t)-core state,
-    /// while dropped `Visit`/`Arrange` tasks are only counted. Returns
+    /// Drains the task stack to completion.
+    fn run_local(&mut self, view: &mut SubgraphView<'_>) {
+        while let Some(task) = self.scratch.stack.pop() {
+            self.run_task(view, task);
+        }
+    }
+
+    /// Budgeted [`run_local`](Self::run_local): charges one unit per popped
+    /// task. On exhaustion the remaining stack is unwound — pending `Retreat`
+    /// rollbacks are applied innermost-first so the shared view (and the
+    /// deletion history) return to the untouched (k,t)-core state, while
+    /// dropped `Visit`/`Arrange` tasks are only counted. Returns
     /// `(completed, tasks executed, tasks dropped)`.
-    fn run_top_cell_budgeted(
+    fn run_local_budgeted(
         &mut self,
         view: &mut SubgraphView<'_>,
-        cell: Cell,
-        leaves: Rc<Vec<u32>>,
         ticker: &mut BudgetTicker,
     ) -> (bool, u64, u64) {
-        debug_assert!(self.stack.is_empty() && self.deletion_groups.is_empty());
-        self.stack.push(Task::Visit {
-            cell,
-            leaves,
-            depth: 1,
-        });
         let mut executed = 0u64;
-        while let Some(task) = self.stack.pop() {
+        while let Some(task) = self.scratch.stack.pop() {
             if !ticker.charge(1) {
                 let mut dropped = 0u64;
                 let mut next = Some(task);
                 while let Some(t) = next {
-                    if let Task::Retreat { cp } = t {
-                        self.deletion_groups.pop();
-                        view.rollback(cp);
-                    } else {
-                        dropped += 1;
+                    match t {
+                        Task::Retreat { cp, arena_mark } => {
+                            self.apply_retreat(view, cp, arena_mark);
+                        }
+                        Task::Visit { cell, .. } | Task::Arrange { cell, .. } => {
+                            dropped += 1;
+                            self.scratch.arrange.recycle_cell(cell);
+                        }
                     }
-                    next = self.stack.pop();
+                    next = self.scratch.stack.pop();
                 }
-                debug_assert!(self.deletion_groups.is_empty());
+                debug_assert!(self.scratch.deletion_groups.is_empty());
                 return (false, executed, dropped);
             }
             executed += 1;
-            match task {
-                Task::Arrange {
-                    cell,
-                    settled,
-                    depth,
-                } => self.arrange_state(view, cell, settled, depth),
-                Task::Visit {
-                    cell,
-                    leaves,
-                    depth,
-                } => self.visit_cell(view, cell, leaves, depth),
-                Task::Retreat { cp } => {
-                    self.deletion_groups.pop();
-                    view.rollback(cp);
-                }
-            }
+            self.run_task(view, task);
         }
         (true, executed, 0)
     }
 
+    /// Work-stealing main loop: pull seeds/stolen subtrees from the pool,
+    /// replay their deletion prefix, explore, donate pending subtrees to idle
+    /// workers, and (when budgeted) charge per task through the shared
+    /// ticker. Returns `(executed, dropped, local frontier)`.
+    fn run_pool(
+        &mut self,
+        view: &mut SubgraphView<'_>,
+        pool: &SharedPool<'_>,
+        mut ticker: Option<&mut WorkerTicker<'_>>,
+    ) -> (u64, u64, Option<Vec<u32>>) {
+        let mut executed = 0u64;
+        let mut dropped = 0u64;
+        let mut frontier: Option<Vec<u32>> = None;
+        while let Some(item) = get_work(pool) {
+            let Stolen {
+                cell,
+                leaves,
+                path,
+                prefix_groups,
+            } = item;
+            let depth = path.len() as u32;
+            if depth > 1 {
+                // Depth-1 items are the seeded top-level cells (ordinary
+                // distribution); anything deeper migrated mid-flight.
+                self.stats.tasks_stolen += 1;
+            }
+            let cp0 = view.checkpoint();
+            for group in &prefix_groups {
+                for &v in group {
+                    // Replay order within/across groups is irrelevant: the
+                    // final alive set and the degrees of alive vertices only
+                    // depend on *which* vertices died.
+                    let _ = view.delete_single(v);
+                }
+            }
+            let arena_base = self.scratch.arena.len() as u32;
+            let idx = *path.last().expect("stolen path is never empty");
+            {
+                let GsScratch {
+                    arena,
+                    cur_path,
+                    deletion_groups,
+                    stack,
+                    ..
+                } = &mut *self.scratch;
+                cur_path.clear();
+                cur_path.extend_from_slice(&path);
+                deletion_groups.extend(prefix_groups);
+                let start = arena.len() as u32;
+                let len = leaves.len() as u32;
+                arena.extend_from_slice(&leaves);
+                stack.push(Task::Visit {
+                    cell,
+                    leaves: LeafRange { start, len },
+                    depth,
+                    idx,
+                });
+            }
+
+            let mut pops = 0u32;
+            while let Some(task) = self.scratch.stack.pop() {
+                if let Some(t) = ticker.as_deref_mut() {
+                    if !t.charge(1) {
+                        // Budget tripped mid-subtree: unwind, recording the
+                        // smallest dropped path so the coordinator can cut
+                        // the merged output to a coherent prefix.
+                        let mut next = Some(task);
+                        while let Some(tk) = next {
+                            match tk {
+                                Task::Retreat { cp, arena_mark } => {
+                                    self.apply_retreat(view, cp, arena_mark);
+                                }
+                                Task::Visit {
+                                    cell, depth, idx, ..
+                                } => {
+                                    dropped += 1;
+                                    let d = depth as usize;
+                                    let mut p = Vec::with_capacity(d);
+                                    p.extend_from_slice(&self.scratch.cur_path[..d - 1]);
+                                    p.push(idx);
+                                    frontier = min_path(frontier, p);
+                                    self.scratch.arrange.recycle_cell(cell);
+                                }
+                                Task::Arrange { cell, depth, .. } => {
+                                    // An arrange is the descent *into* the
+                                    // subtree rooted at its parent's path.
+                                    dropped += 1;
+                                    let d = depth as usize;
+                                    let p = self.scratch.cur_path[..d - 1].to_vec();
+                                    frontier = min_path(frontier, p);
+                                    self.scratch.arrange.recycle_cell(cell);
+                                }
+                            }
+                            next = self.scratch.stack.pop();
+                        }
+                        break;
+                    }
+                }
+                executed += 1;
+                pops += 1;
+                if pops.is_multiple_of(16) {
+                    self.try_donate(pool);
+                }
+                self.run_task(view, task);
+            }
+
+            // Retire the prefix seeds and restore the untouched core state.
+            {
+                let GsScratch {
+                    deletion_groups,
+                    spare_groups,
+                    ..
+                } = &mut *self.scratch;
+                while let Some(g) = deletion_groups.pop() {
+                    spare_groups.push(g);
+                }
+            }
+            view.rollback(cp0);
+            self.scratch.arena.truncate(arena_base as usize);
+        }
+        (executed, dropped, frontier)
+    }
+
+    /// Donates the bottom-most pending `Visit` (the largest unexplored
+    /// subtree) to the pool if another worker is idle. Safe to remove from
+    /// the middle of the stack: a `Visit` owns no checkpoint, and its
+    /// ancestor groups/path entries stay in place until the `Retreat`s below
+    /// it run.
+    fn try_donate(&mut self, pool: &SharedPool<'_>) {
+        if !pool.steal || pool.idle.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let Some(pos) = self
+            .scratch
+            .stack
+            .iter()
+            .position(|t| matches!(t, Task::Visit { .. }))
+        else {
+            return;
+        };
+        let Task::Visit {
+            cell,
+            leaves,
+            depth,
+            idx,
+        } = self.scratch.stack.remove(pos)
+        else {
+            unreachable!("position matched a Visit");
+        };
+        let d = depth as usize;
+        let GsScratch {
+            arena,
+            cur_path,
+            deletion_groups,
+            ..
+        } = &*self.scratch;
+        let mut path = Vec::with_capacity(d);
+        path.extend_from_slice(&cur_path[..d - 1]);
+        path.push(idx);
+        let item = Stolen {
+            cell,
+            leaves: leaf_slice(arena, leaves).to_vec(),
+            path,
+            prefix_groups: deletion_groups[..d - 1].to_vec(),
+        };
+        let mut st = pool.state.lock().unwrap();
+        st.queue.push(item);
+        drop(st);
+        pool.cvar.notify_one();
+    }
+
+    fn run_task(&mut self, view: &mut SubgraphView<'_>, task: Task) {
+        match task {
+            Task::Arrange {
+                cell,
+                settled,
+                depth,
+            } => self.arrange_state(view, cell, settled, depth),
+            Task::Visit {
+                cell,
+                leaves,
+                depth,
+                idx,
+            } => {
+                let cur_path = &mut self.scratch.cur_path;
+                cur_path.truncate(depth as usize - 1);
+                cur_path.push(idx);
+                self.visit_cell(view, cell, leaves, depth);
+            }
+            Task::Retreat { cp, arena_mark } => self.apply_retreat(view, cp, arena_mark),
+        }
+    }
+
+    #[inline]
+    fn apply_retreat(&mut self, view: &mut SubgraphView<'_>, cp: Checkpoint, arena_mark: u32) {
+        let GsScratch {
+            deletion_groups,
+            spare_groups,
+            arena,
+            ..
+        } = &mut *self.scratch;
+        if let Some(g) = deletion_groups.pop() {
+            spare_groups.push(g);
+        }
+        view.rollback(cp);
+        arena.truncate(arena_mark as usize);
+    }
+
     /// Track an approximate peak of live search memory (Fig. 11(d)): the DFS
     /// path holds one view plus per-level cells and deletion groups.
-    fn account_memory(&mut self, view: &SubgraphView<'_>, cell: &Cell, depth: usize) {
+    fn account_memory(&mut self, view: &SubgraphView<'_>, cell_bytes: usize, depth: u32) {
         let live_bytes = self.ctx.gd.memory_bytes()
             + view.alive_mask().len() * 5
-            + depth * cell.memory_bytes()
+            + depth as usize * cell_bytes
             + self
+                .scratch
                 .deletion_groups
                 .iter()
                 .map(|g| g.len() * std::mem::size_of::<u32>())
@@ -474,33 +1081,56 @@ impl<'c, 'g> Worker<'c, 'g> {
         self.stats.memory_bytes = self.stats.memory_bytes.max(live_bytes);
     }
 
-    /// Computes (or locates) the new hyperplanes among `leaves`; `settled` is
-    /// sorted (leaves come out in increasing id order), and pairs of settled
-    /// leaves are already separated by the arrangement that produced the
-    /// current cell, so their half-spaces need not be re-inserted (the
-    /// "directly locate" optimization of Section V-B).
-    fn halfspaces(&mut self, leaves: &[u32], settled: &[u32]) -> Vec<HalfSpace> {
-        let is_settled = |v: u32| settled.binary_search(&v).is_ok();
-        let mut hps: Vec<HalfSpace> = Vec::new();
-        for (i, &a) in leaves.iter().enumerate() {
-            for &b in leaves.iter().skip(i + 1) {
+    /// Computes (or locates) the new hyperplanes among `leaves` into
+    /// `hps_buf`; `settled` is sorted (leaves come out in increasing id
+    /// order), and pairs of settled leaves are already separated by the
+    /// arrangement that produced the current cell, so their half-spaces need
+    /// not be re-inserted (the "directly locate" optimization of Section
+    /// V-B). Half-spaces are pooled in `hs_store` and indexed per query.
+    fn compute_halfspaces(&mut self, leaves: LeafRange, settled: LeafRange) {
+        let GsScratch {
+            arena,
+            hs_index,
+            hs_store,
+            hs_cursor,
+            hps_buf,
+            ..
+        } = &mut *self.scratch;
+        let leaf_ids = leaf_slice(arena, leaves);
+        let settled_ids = leaf_slice(arena, settled);
+        let is_settled = |v: u32| settled_ids.binary_search(&v).is_ok();
+        hps_buf.clear();
+        for (i, &a) in leaf_ids.iter().enumerate() {
+            for &b in leaf_ids.iter().skip(i + 1) {
                 if is_settled(a) && is_settled(b) {
                     continue;
                 }
                 let key = (a.min(b), a.max(b));
-                if !self.hs_cache.contains_key(&key) {
-                    self.stats.halfspaces_computed += 1;
-                    let hs = HalfSpace::score_at_least(
-                        self.ctx.attrs.row(key.0 as usize),
-                        self.ctx.attrs.row(key.1 as usize),
-                    );
-                    self.hs_cache.insert(key, hs);
-                }
-                hps.push(self.hs_cache[&key].clone());
+                let slot = match hs_index.get(&key) {
+                    Some(&slot) => slot,
+                    None => {
+                        self.stats.halfspaces_computed += 1;
+                        let slot = *hs_cursor;
+                        if slot < hs_store.len() {
+                            hs_store[slot].assign_score_at_least(
+                                self.ctx.attrs.row(key.0 as usize),
+                                self.ctx.attrs.row(key.1 as usize),
+                            );
+                        } else {
+                            hs_store.push(HalfSpace::score_at_least(
+                                self.ctx.attrs.row(key.0 as usize),
+                                self.ctx.attrs.row(key.1 as usize),
+                            ));
+                        }
+                        *hs_cursor = slot + 1;
+                        hs_index.insert(key, slot as u32);
+                        slot as u32
+                    }
+                };
+                hps_buf.push(slot);
             }
         }
-        self.stats.halfspace_insertions += hps.len();
-        hps
+        self.stats.halfspace_insertions += hps_buf.len();
     }
 
     /// The `explore` step: arrange the current leaves' half-spaces within
@@ -509,26 +1139,50 @@ impl<'c, 'g> Worker<'c, 'g> {
         &mut self,
         view: &mut SubgraphView<'_>,
         cell: Cell,
-        settled: Rc<Vec<u32>>,
-        depth: usize,
+        settled: LeafRange,
+        depth: u32,
     ) {
-        self.account_memory(view, &cell, depth);
-        let leaves: Rc<Vec<u32>> = Rc::new(
+        self.account_memory(view, cell.memory_bytes(), depth);
+        let start = self.scratch.arena.len() as u32;
+        {
+            let GsScratch {
+                arena, leaf_mark, ..
+            } = &mut *self.scratch;
             self.ctx
                 .gd
-                .leaves_within(view.alive_mask())
-                .into_iter()
-                .map(|v| v as u32)
-                .collect(),
-        );
-        let hps = self.halfspaces(&leaves, &settled);
-        let sub_cells = arrange(&cell, &hps);
-        self.stats.partitions_explored += sub_cells.len();
-        for sub_cell in sub_cells.into_iter().rev() {
-            self.stack.push(Task::Visit {
+                .leaves_within_into(view.alive_mask(), leaf_mark, arena);
+        }
+        let leaves = LeafRange {
+            start,
+            len: self.scratch.arena.len() as u32 - start,
+        };
+        self.compute_halfspaces(leaves, settled);
+        let n = {
+            let GsScratch {
+                arrange,
+                hps_buf,
+                hs_store,
+                sub_cells,
+                ..
+            } = &mut *self.scratch;
+            arrange_into(
+                arrange,
+                &cell,
+                hps_buf.iter().map(|&i| &hs_store[i as usize]),
+                sub_cells,
+            )
+        };
+        self.stats.partitions_explored += n;
+        self.scratch.arrange.recycle_cell(cell);
+        let GsScratch {
+            sub_cells, stack, ..
+        } = &mut *self.scratch;
+        for (i, sub_cell) in sub_cells.drain(..).enumerate().rev() {
+            stack.push(Task::Visit {
                 cell: sub_cell,
-                leaves: leaves.clone(),
+                leaves,
                 depth,
+                idx: i as u32,
             });
         }
     }
@@ -538,32 +1192,39 @@ impl<'c, 'g> Worker<'c, 'g> {
         &mut self,
         view: &mut SubgraphView<'_>,
         cell: Cell,
-        leaves: Rc<Vec<u32>>,
-        depth: usize,
+        leaves: LeafRange,
+        depth: u32,
     ) {
         let ctx = self.ctx;
-        let Some(w) = cell.sample_point() else {
+        if !cell.sample_point_into(&mut self.scratch.sample_buf) {
+            self.scratch.arrange.recycle_cell(cell);
             return;
-        };
+        }
         // Within the sub-partition the relative order of the leaves is fixed,
         // so the minimum at the sample point is the minimum everywhere in the
         // cell. Exact score ties (e.g. identical attribute vectors, which no
         // half-space can separate) are broken by smallest id — the same rule
         // the fixed-weight peeling oracle applies, so both explorations delete
         // the same vertex.
-        let u = leaves
-            .iter()
-            .copied()
-            .min_by(|&a, &b| {
-                ctx.score(a, &w)
-                    .total_cmp(&ctx.score(b, &w))
-                    .then_with(|| a.cmp(&b))
-            })
-            .expect("a state always has at least one alive leaf");
+        let u = {
+            let GsScratch {
+                arena, sample_buf, ..
+            } = &*self.scratch;
+            let w: &[f64] = sample_buf;
+            leaf_slice(arena, leaves)
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    ctx.score(a, w)
+                        .total_cmp(&ctx.score(b, w))
+                        .then_with(|| a.cmp(&b))
+                })
+                .expect("a state always has at least one alive leaf")
+        };
 
         // Corollary 1(1): the smallest-score vertex is a query vertex.
         if self.q.contains(&u) {
-            self.report_cell(view, cell, w);
+            self.report_cell(view, cell);
             return;
         }
         // Tentative deletion (lines 15-20) behind a checkpoint.
@@ -578,37 +1239,82 @@ impl<'c, 'g> Worker<'c, 'g> {
             // Corollary 1(2): deleting u destroys the community, so the
             // parent community is the non-contained MAC of this cell.
             view.rollback(cp);
-            self.report_cell(view, cell, w);
+            self.report_cell(view, cell);
             return;
         }
-        self.deletion_groups.push(view.log_since(cp).to_vec());
-        self.stack.push(Task::Retreat { cp });
-        self.stack.push(Task::Arrange {
-            cell,
-            settled: leaves,
-            depth: depth + 1,
-        });
+        {
+            let GsScratch {
+                deletion_groups,
+                spare_groups,
+                stack,
+                arena,
+                ..
+            } = &mut *self.scratch;
+            let mut group = spare_groups.pop().unwrap_or_default();
+            group.clear();
+            group.extend_from_slice(view.log_since(cp));
+            deletion_groups.push(group);
+            stack.push(Task::Retreat {
+                cp,
+                arena_mark: arena.len() as u32,
+            });
+            stack.push(Task::Arrange {
+                cell,
+                settled: leaves,
+                depth: depth + 1,
+            });
+        }
     }
 
     /// Reports one finished cell: the current community plus, for top-j mode,
-    /// the supersets obtained by backtracking the deletion history.
-    fn report_cell(&mut self, view: &SubgraphView<'_>, cell: Cell, sample_weight: Vec<f64>) {
+    /// the supersets obtained by backtracking the deletion history. All
+    /// output buffers come from (and eventually return to) the scratch pools.
+    fn report_cell(&mut self, view: &SubgraphView<'_>, cell: Cell) {
         let ctx = self.ctx;
-        let mut communities: Vec<Community> = Vec::with_capacity(self.j);
-        let mut current: Vec<u32> = view.alive_vertices();
-        communities.push(ctx.community_from_locals(&current));
-        for group in self.deletion_groups.iter().rev() {
-            if communities.len() >= self.j {
-                break;
-            }
-            current.extend(group.iter().copied());
-            communities.push(ctx.community_from_locals(&current));
+        let target = (1 + self.scratch.deletion_groups.len()).min(self.j.max(1));
+        let mut res = self
+            .scratch
+            .spare_results
+            .pop()
+            .unwrap_or_else(|| CellResult {
+                cell: empty_cell(),
+                sample_weight: Vec::new(),
+                communities: Vec::new(),
+            });
+        let husk = std::mem::replace(&mut res.cell, cell);
+        self.scratch.arrange.recycle_cell(husk);
+        res.sample_weight.clear();
+        res.sample_weight
+            .extend_from_slice(&self.scratch.sample_buf);
+        while res.communities.len() > target {
+            let c = res.communities.pop().expect("len > target >= 0");
+            self.scratch.spare_communities.push(c);
         }
-        self.out_cells.push(CellResult {
-            cell,
-            sample_weight,
-            communities,
-        });
+        while res.communities.len() < target {
+            let c = self
+                .scratch
+                .spare_communities
+                .pop()
+                .unwrap_or_else(|| Community::new(Vec::new()));
+            res.communities.push(c);
+        }
+        {
+            let GsScratch {
+                alive_buf,
+                deletion_groups,
+                ..
+            } = &mut *self.scratch;
+            view.alive_vertices_into(alive_buf);
+            ctx.community_from_locals_into(alive_buf, &mut res.communities[0]);
+            for (slot, group) in (1..target).zip(deletion_groups.iter().rev()) {
+                alive_buf.extend(group.iter().copied());
+                ctx.community_from_locals_into(alive_buf, &mut res.communities[slot]);
+            }
+        }
+        self.out_cells.push(res);
+        if self.record_paths {
+            self.out_paths.push(self.scratch.cur_path.clone());
+        }
     }
 }
 
@@ -738,6 +1444,34 @@ mod tests {
         assert_eq!(result.cells[0].communities[0].vertices, vec![0, 1, 2]);
     }
 
+    #[test]
+    fn scratch_reuse_across_queries_matches_fresh_scratch() {
+        // The same scratch run back-to-back over different queries must give
+        // the same answers as a fresh scratch per query (pools fully reset).
+        let rsn = network();
+        let region = PrefRegion::from_ranges(&[(0.1, 0.9)]).unwrap();
+        let queries = [
+            MacQuery::new(vec![0, 1], 3, 10.0, region.clone()).with_top_j(2),
+            MacQuery::new(vec![0], 2, 10.0, region.clone()),
+            MacQuery::new(vec![0, 1], 3, 10.0, region).with_top_j(3),
+        ];
+        let mut warm = GsScratch::new();
+        for query in &queries {
+            let ctx = SearchContext::build(&rsn, query).unwrap().unwrap();
+            let mut fresh = GsScratch::new();
+            let expect =
+                GlobalSearch::explore_context(&ctx, &mut fresh, GsOptions::default(), true);
+            // run twice on the warm scratch, recycling in between, to push
+            // every pool through at least one reuse cycle
+            let first = GlobalSearch::explore_context(&ctx, &mut warm, GsOptions::default(), true);
+            assert_results_identical(&expect, &first);
+            warm.recycle(first);
+            let second = GlobalSearch::explore_context(&ctx, &mut warm, GsOptions::default(), true);
+            assert_results_identical(&expect, &second);
+            warm.recycle(second);
+        }
+    }
+
     /// Serial and parallel runs must produce identical cell sequences — same
     /// order, same sample weights, same communities.
     fn assert_results_identical(a: &MacSearchResult, b: &MacSearchResult) {
@@ -770,17 +1504,22 @@ mod tests {
                 serial.run_non_contained().unwrap()
             };
             for workers in [2usize, 4, 0] {
-                let par = GlobalSearch::new(&rsn, &query).with_parallelism(workers);
-                let par_result = if top_j {
-                    par.run_top_j().unwrap()
-                } else {
-                    par.run_non_contained().unwrap()
-                };
-                assert_results_identical(&serial_result, &par_result);
-                assert_eq!(
-                    serial_result.stats.partitions_explored,
-                    par_result.stats.partitions_explored
-                );
+                for stealing in [true, false] {
+                    let par = GlobalSearch::new(&rsn, &query).with_opts(GsOptions {
+                        parallelism: workers,
+                        work_stealing: stealing,
+                    });
+                    let par_result = if top_j {
+                        par.run_top_j().unwrap()
+                    } else {
+                        par.run_non_contained().unwrap()
+                    };
+                    assert_results_identical(&serial_result, &par_result);
+                    assert_eq!(
+                        serial_result.stats.partitions_explored,
+                        par_result.stats.partitions_explored
+                    );
+                }
             }
         }
     }
@@ -811,20 +1550,31 @@ mod tests {
             let region = PrefRegion::from_ranges(&[(0.1, 0.6), (0.15, 0.5)]).unwrap();
             let query = MacQuery::new(vec![0], 3, 10.0, region).with_top_j(2);
             let serial = GlobalSearch::new(&rsn, &query).run_top_j().unwrap();
-            let parallel = GlobalSearch::new(&rsn, &query)
-                .with_parallelism(3)
-                .run_top_j()
-                .unwrap();
-            assert_results_identical(&serial, &parallel);
-            let workers = parallel.stats.parallel_workers;
-            // 0 only when the root arrangement yields a single top-level
-            // cell (the run is forced serial); otherwise capped at 3.
-            assert!(
-                workers == 0 || (2..=3).contains(&workers),
-                "round {round}: implausible worker count {workers}"
-            );
-            if workers > 0 {
-                threaded_rounds += 1;
+            for stealing in [true, false] {
+                let parallel = GlobalSearch::new(&rsn, &query)
+                    .with_opts(GsOptions {
+                        parallelism: 3,
+                        work_stealing: stealing,
+                    })
+                    .run_top_j()
+                    .unwrap();
+                assert_results_identical(&serial, &parallel);
+                let workers = parallel.stats.parallel_workers;
+                // 0 only when the root arrangement yields a single top-level
+                // cell under static distribution (the run is forced serial);
+                // with stealing a single top cell still fans out, so the
+                // worker count is always the requested 3.
+                if stealing {
+                    assert_eq!(workers, 3, "round {round}: stealing run not threaded");
+                } else {
+                    assert!(
+                        workers == 0 || (2..=3).contains(&workers),
+                        "round {round}: implausible worker count {workers}"
+                    );
+                }
+                if workers > 0 {
+                    threaded_rounds += 1;
+                }
             }
         }
         assert!(

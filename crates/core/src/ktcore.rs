@@ -68,17 +68,16 @@ impl KtCore {
 /// Computes the maximal (k,t)-core for a query, or `None` when it does not
 /// exist.
 ///
-/// One-shot convenience: allocates a fresh [`KtScratch`] and resolves the
-/// range filter through the query's legacy
-/// [`effective_filter`](MacQuery::effective_filter) (analytic `Auto`).
-/// Serving loops go through [`maximal_kt_core_with`] with session-held
-/// scratch and an engine-resolved strategy.
+/// One-shot convenience: allocates a fresh [`KtScratch`] and uses the query's
+/// own [`filter`](MacQuery::filter) choice (analytic `Auto`). Serving loops
+/// go through [`maximal_kt_core_with`] with session-held scratch and an
+/// engine-resolved strategy.
 pub fn maximal_kt_core(
     rsn: &RoadSocialNetwork,
     query: &MacQuery,
 ) -> Result<Option<KtCore>, MacError> {
     let mut scratch = KtScratch::new();
-    maximal_kt_core_with(rsn, query, query.effective_filter(), None, &mut scratch)
+    maximal_kt_core_with(rsn, query, query.filter, None, &mut scratch)
 }
 
 /// Computes the maximal (k,t)-core with an explicit (engine-resolved)
@@ -291,22 +290,13 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn gtree_oracle_yields_identical_kt_core_membership() {
-        use rsn_road::oracle::OracleChoice;
-        let rsn = network().with_gtree_index_capacity(4);
-        assert!(rsn.gtree().is_some());
-        assert!(rsn.distance_oracle(OracleChoice::GTree).is_gtree());
-        assert!(!rsn.distance_oracle(OracleChoice::Dijkstra).is_gtree());
-        for (k, t) in [(2u32, 2.0f64), (2, 100.0), (3, 2.0), (1, 11.0)] {
-            let dij = MacQuery::new(vec![0], k, t, region()).with_oracle(OracleChoice::Dijkstra);
-            let gt = MacQuery::new(vec![0], k, t, region()).with_oracle(OracleChoice::GTree);
-            assert_eq!(
-                maximal_kt_core(&rsn, &dij).unwrap(),
-                maximal_kt_core(&rsn, &gt).unwrap(),
-                "oracles disagree for k={k}, t={t}"
-            );
-        }
+    fn distance_oracle_follows_the_index() {
+        let indexed = network().with_gtree_index_capacity(4);
+        assert!(indexed.gtree().is_some());
+        assert!(indexed.distance_oracle().is_gtree());
+        let plain = network();
+        assert!(plain.gtree().is_none());
+        assert!(!plain.distance_oracle().is_gtree());
     }
 
     #[test]
@@ -339,13 +329,12 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn gtree_choice_without_index_falls_back_to_dijkstra() {
-        use rsn_road::oracle::OracleChoice;
+    fn gtree_filter_choice_without_index_falls_back_to_dijkstra() {
+        use rsn_road::rangefilter::RangeFilterChoice;
         let rsn = network();
         assert!(rsn.gtree().is_none());
-        assert!(!rsn.distance_oracle(OracleChoice::GTree).is_gtree());
-        let q = MacQuery::new(vec![0], 2, 2.0, region()).with_oracle(OracleChoice::GTree);
+        let q = MacQuery::new(vec![0], 2, 2.0, region())
+            .with_range_filter(RangeFilterChoice::GTreePoint);
         let core = maximal_kt_core(&rsn, &q).unwrap().unwrap();
         assert_eq!(core.vertices, vec![0, 1, 2]);
     }

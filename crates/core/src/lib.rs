@@ -73,6 +73,7 @@ pub mod ktcore;
 pub mod local;
 pub mod network;
 pub mod peel;
+pub mod policy;
 pub mod query;
 pub mod result;
 pub mod session;
@@ -88,6 +89,7 @@ pub use error::{DeltaEntry, MacError};
 pub use global::GlobalSearch;
 pub use local::{ExpandStrategy, LocalSearch};
 pub use network::RoadSocialNetwork;
+pub use policy::ExecutionPolicy;
 pub use query::{MacQuery, QuerySignature};
 pub use result::{
     CellResult, Community, MacSearchResult, PartialResult, QueryOutcome, QueryPhase, QueryProgress,

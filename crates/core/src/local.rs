@@ -17,6 +17,7 @@ use crate::context::SearchContext;
 use crate::error::MacError;
 use crate::network::RoadSocialNetwork;
 use crate::peel::peel_at_weight;
+use crate::policy::ExecutionPolicy;
 use crate::query::MacQuery;
 use crate::result::{BudgetedRun, CellResult, MacSearchResult, SearchStats};
 use rsn_geom::cell::Cell;
@@ -25,6 +26,7 @@ use rsn_geom::partition::PartitionTree;
 use rsn_graph::subgraph::SubgraphView;
 use rsn_road::budget::BudgetTicker;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Candidate-selection strategy for the `Expand` procedure (Section VI-A).
@@ -57,18 +59,33 @@ pub struct LocalSearch<'a> {
     query: &'a MacQuery,
     strategy: ExpandStrategy,
     max_candidates: usize,
+    parallelism: usize,
 }
 
 impl<'a> LocalSearch<'a> {
     /// Creates a local search with the default strategy (Eq. 3, λ = 10) and
-    /// at most 12 expansion candidates.
+    /// at most 12 expansion candidates, verified serially.
     pub fn new(rsn: &'a RoadSocialNetwork, query: &'a MacQuery) -> Self {
         LocalSearch {
             rsn,
             query,
             strategy: ExpandStrategy::default(),
             max_candidates: 12,
+            parallelism: 1,
         }
+    }
+
+    /// Adopts the local-framework knobs of an [`ExecutionPolicy`]: the
+    /// expansion strategy, the candidate cap, and the verification
+    /// parallelism. The non-deprecated way to configure a one-shot local
+    /// search; prefer executing through a
+    /// [`QuerySession`](crate::session::QuerySession), which applies its
+    /// policy automatically.
+    pub fn with_policy(mut self, policy: &ExecutionPolicy) -> Self {
+        self.strategy = policy.expand_strategy;
+        self.max_candidates = policy.max_candidates.max(1);
+        self.parallelism = policy.parallelism;
+        self
     }
 
     /// Overrides the candidate-selection strategy.
@@ -104,9 +121,62 @@ impl<'a> LocalSearch<'a> {
                 },
             });
         };
-        let mut result = Self::run_context(&ctx, self.strategy, self.max_candidates, top_j_mode);
+        let mut result = Self::run_context(
+            &ctx,
+            self.strategy,
+            self.max_candidates,
+            top_j_mode,
+            self.parallelism,
+        );
         result.stats.elapsed_seconds = start.elapsed().as_secs_f64();
         Ok(result)
+    }
+
+    /// Verifies one deduplicated candidate (Algorithm 5) and appends its
+    /// confirmed `(cell, communities)` pairs to `out_cells`. The unit of work
+    /// both the serial loop and the parallel workers run per candidate.
+    fn verify_candidate(
+        ctx: &SearchContext<'_>,
+        cand: &[u32],
+        top_j_mode: bool,
+        stats: &mut SearchStats,
+        out_cells: &mut Vec<CellResult>,
+    ) {
+        let verified = Self::verify(ctx, cand, stats);
+        for (cell, sample) in verified {
+            let communities = if top_j_mode {
+                let outcome = peel_at_weight(ctx, &sample);
+                outcome
+                    .top_j(ctx.query.j)
+                    .into_iter()
+                    .map(|locals| ctx.community_from_locals(&locals))
+                    .collect()
+            } else {
+                vec![ctx.community_from_locals(cand)]
+            };
+            out_cells.push(CellResult {
+                cell,
+                sample_weight: sample,
+                communities,
+            });
+        }
+    }
+
+    /// Number of verification workers for `unique` deduplicated candidates:
+    /// `0` = all cores, otherwise the requested count, never more than one
+    /// worker per candidate.
+    fn resolved_verify_workers(parallelism: usize, unique: usize) -> usize {
+        if unique <= 1 {
+            return 1;
+        }
+        let requested = if parallelism == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            parallelism
+        };
+        requested.max(1).min(unique)
     }
 
     /// Runs the expand-and-verify framework on a prebuilt [`SearchContext`] —
@@ -114,11 +184,20 @@ impl<'a> LocalSearch<'a> {
     /// [`QuerySession`](crate::session::QuerySession). `elapsed_seconds`
     /// covers only this phase; callers overwrite it with their end-to-end
     /// timing.
+    ///
+    /// Expansion (Algorithm 4) and deduplication stay serial — they are cheap
+    /// and order-defining. With `parallelism > 1` the per-candidate
+    /// verification (Algorithm 5, including the top-j peels) fans out over
+    /// scoped worker threads pulling candidates from an atomic cursor; results
+    /// are reassembled in candidate order and worker counters folded with
+    /// [`SearchStats::merge_worker`], so the output is identical to the serial
+    /// run cell for cell.
     pub(crate) fn run_context(
         ctx: &SearchContext<'_>,
         strategy: ExpandStrategy,
         max_candidates: usize,
         top_j_mode: bool,
+        parallelism: usize,
     ) -> MacSearchResult {
         let start = Instant::now();
         let mut stats = SearchStats {
@@ -133,30 +212,68 @@ impl<'a> LocalSearch<'a> {
         let candidates = Self::expand(ctx, strategy, max_candidates);
         stats.candidates_generated = candidates.len();
 
-        // --- Verify (Algorithm 5) ---
-        let mut out_cells: Vec<CellResult> = Vec::new();
+        // Deduplicate up front, keeping first-occurrence order: the serial
+        // loop skipped repeats in place, so the unique sequence is the work
+        // list either way.
         let mut seen: HashSet<Vec<u32>> = HashSet::new();
-        for cand in candidates {
-            if !seen.insert(cand.clone()) {
-                continue;
+        let unique: Vec<Vec<u32>> = candidates
+            .into_iter()
+            .filter(|cand| seen.insert(cand.clone()))
+            .collect();
+
+        // --- Verify (Algorithm 5) ---
+        let workers = Self::resolved_verify_workers(parallelism, unique.len());
+        let mut out_cells: Vec<CellResult> = Vec::new();
+        if workers <= 1 {
+            for cand in &unique {
+                Self::verify_candidate(ctx, cand, top_j_mode, &mut stats, &mut out_cells);
             }
-            let verified = Self::verify(ctx, &cand, &mut stats);
-            for (cell, sample) in verified {
-                let communities = if top_j_mode {
-                    let outcome = peel_at_weight(ctx, &sample);
-                    outcome
-                        .top_j(ctx.query.j)
-                        .into_iter()
-                        .map(|locals| ctx.community_from_locals(&locals))
-                        .collect()
-                } else {
-                    vec![ctx.community_from_locals(&cand)]
-                };
-                out_cells.push(CellResult {
-                    cell,
-                    sample_weight: sample,
-                    communities,
-                });
+        } else {
+            stats.parallel_workers = workers;
+            let cursor = AtomicUsize::new(0);
+            // Each worker yields its (candidate index, cells) batches plus a
+            // private stats accumulator to fold after the join.
+            type WorkerYield = (Vec<(usize, Vec<CellResult>)>, SearchStats);
+            let per_worker: Vec<WorkerYield> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let mut local_stats = SearchStats::default();
+                            let mut produced: Vec<(usize, Vec<CellResult>)> = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(cand) = unique.get(i) else { break };
+                                let mut cells = Vec::new();
+                                Self::verify_candidate(
+                                    ctx,
+                                    cand,
+                                    top_j_mode,
+                                    &mut local_stats,
+                                    &mut cells,
+                                );
+                                produced.push((i, cells));
+                            }
+                            (produced, local_stats)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("local verification worker panicked"))
+                    .collect()
+            });
+            // Reassemble in candidate order: slot i holds candidate i's cells.
+            let mut slots: Vec<Option<Vec<CellResult>>> = (0..unique.len()).map(|_| None).collect();
+            for (produced, worker_stats) in per_worker {
+                // Workers start from zeroed stats, so the fold only adds the
+                // verification counters (candidates_generated stays 0 there).
+                stats.merge_worker(&worker_stats);
+                for (i, cells) in produced {
+                    slots[i] = Some(cells);
+                }
+            }
+            for slot in slots {
+                out_cells.extend(slot.unwrap_or_default());
             }
         }
 
@@ -172,6 +289,11 @@ impl<'a> LocalSearch<'a> {
     /// and the verification loop checks the budget at every candidate
     /// boundary, so an exhausted run drops whole candidates — every reported
     /// cell stays exact and a partial answer is a subset of the full one.
+    ///
+    /// Budgeted verification stays serial regardless of the policy's
+    /// parallelism: a serial prefix is what makes a partial answer a strict
+    /// subset of the full run (the same contract the budgeted global search
+    /// keeps), and the ticker's exhaustion latch still stops the whole query.
     pub(crate) fn run_context_budgeted(
         ctx: &SearchContext<'_>,
         strategy: ExpandStrategy,
@@ -221,24 +343,7 @@ impl<'a> LocalSearch<'a> {
             if !seen.insert(cand.clone()) {
                 continue;
             }
-            let verified = Self::verify(ctx, &cand, &mut stats);
-            for (cell, sample) in verified {
-                let communities = if top_j_mode {
-                    let outcome = peel_at_weight(ctx, &sample);
-                    outcome
-                        .top_j(ctx.query.j)
-                        .into_iter()
-                        .map(|locals| ctx.community_from_locals(&locals))
-                        .collect()
-                } else {
-                    vec![ctx.community_from_locals(&cand)]
-                };
-                out_cells.push(CellResult {
-                    cell,
-                    sample_weight: sample,
-                    communities,
-                });
-            }
+            Self::verify_candidate(ctx, &cand, top_j_mode, &mut stats, &mut out_cells);
         }
 
         stats.elapsed_seconds = start.elapsed().as_secs_f64();
@@ -643,6 +748,56 @@ mod tests {
             let ls = LocalSearch::new(&rsn, &query).with_strategy(strategy);
             let result = ls.run_non_contained().unwrap();
             assert!(!result.is_empty(), "strategy {strategy:?} found nothing");
+        }
+    }
+
+    #[test]
+    fn parallel_verification_matches_serial_exactly() {
+        let rsn = network();
+        let region = PrefRegion::from_ranges(&[(0.1, 0.9)]).unwrap();
+        for (query, top_j) in [
+            (MacQuery::new(vec![0, 1], 3, 10.0, region.clone()), false),
+            (
+                MacQuery::new(vec![0, 1], 3, 10.0, region).with_top_j(2),
+                true,
+            ),
+        ] {
+            let serial_ls = LocalSearch::new(&rsn, &query).with_max_candidates(16);
+            let serial = if top_j {
+                serial_ls.run_top_j()
+            } else {
+                serial_ls.run_non_contained()
+            }
+            .unwrap();
+            let policy = ExecutionPolicy::new()
+                .with_parallelism(3)
+                .with_max_candidates(16);
+            let parallel_ls = LocalSearch::new(&rsn, &query).with_policy(&policy);
+            let parallel = if top_j {
+                parallel_ls.run_top_j()
+            } else {
+                parallel_ls.run_non_contained()
+            }
+            .unwrap();
+            assert_eq!(serial.cells.len(), parallel.cells.len());
+            for (a, b) in serial.cells.iter().zip(&parallel.cells) {
+                assert_eq!(a.sample_weight, b.sample_weight);
+                assert_eq!(
+                    a.communities
+                        .iter()
+                        .map(|c| &c.vertices)
+                        .collect::<Vec<_>>(),
+                    b.communities
+                        .iter()
+                        .map(|c| &c.vertices)
+                        .collect::<Vec<_>>(),
+                );
+            }
+            assert_eq!(
+                serial.stats.halfspaces_computed,
+                parallel.stats.halfspaces_computed
+            );
+            assert!(parallel.stats.parallel_workers > 1);
         }
     }
 

@@ -5,8 +5,6 @@ use rsn_graph::graph::{Graph, VertexId};
 use rsn_road::gtree::{GTree, GTreeUpdateStats};
 use rsn_road::network::{EdgeUpdate, Location, RoadNetwork};
 use rsn_road::oracle::DistanceOracle;
-#[allow(deprecated)]
-use rsn_road::oracle::OracleChoice;
 use rsn_road::rangefilter::{resolve_auto, RangeFilter, RangeFilterChoice};
 use std::sync::Arc;
 
@@ -226,18 +224,15 @@ impl RoadSocialNetwork {
         ))
     }
 
-    /// Resolves the distance oracle for a query's [`OracleChoice`].
-    ///
-    /// An explicit `GTree` request on a network without an index falls back
-    /// to Dijkstra; the result is identical either way — the choice is purely
-    /// performance. `Auto` currently resolves to Dijkstra for *point-wise*
-    /// evaluations; the set-valued Lemma-1 filter goes through
+    /// The point-wise distance oracle this network serves: the G-tree when an
+    /// index is built, per-request bounded Dijkstra otherwise. Both are
+    /// exact — which backend answers is purely a performance property of the
+    /// network. The set-valued Lemma-1 filter goes through
     /// [`range_filter`](Self::range_filter) instead.
-    #[allow(deprecated)]
-    pub fn distance_oracle(&self, choice: OracleChoice) -> DistanceOracle<'_> {
-        match (choice, &self.gtree) {
-            (OracleChoice::GTree, Some(tree)) => DistanceOracle::GTree(tree),
-            _ => DistanceOracle::dijkstra(),
+    pub fn distance_oracle(&self) -> DistanceOracle<'_> {
+        match &self.gtree {
+            Some(tree) => DistanceOracle::GTree(tree),
+            None => DistanceOracle::dijkstra(),
         }
     }
 

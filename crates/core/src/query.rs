@@ -5,8 +5,6 @@ use crate::error::MacError;
 use crate::network::RoadSocialNetwork;
 use rsn_geom::region::PrefRegion;
 use rsn_graph::graph::VertexId;
-#[allow(deprecated)]
-use rsn_road::oracle::OracleChoice;
 use rsn_road::rangefilter::RangeFilterChoice;
 
 /// A multi-attributed community search query (Problems 1 and 2).
@@ -23,15 +21,6 @@ pub struct MacQuery {
     /// Number of communities to report per partition (Problem 1); `1`
     /// corresponds to reporting only the top community.
     pub j: usize,
-    /// Legacy distance-oracle knob, kept for API compatibility: since the
-    /// range filter became a set operation its only effect is on
-    /// [`effective_filter`](Self::effective_filter), where an explicit
-    /// `OracleChoice::GTree` (with `filter` left at `Auto`) selects the
-    /// per-user G-tree point path, exactly as it did before the
-    /// `RangeFilter` layer existed. Prefer
-    /// [`with_range_filter`](Self::with_range_filter) in new code.
-    #[allow(deprecated)]
-    pub oracle: OracleChoice,
     /// Which strategy answers the Lemma-1 range filter ("which users are
     /// within t") as a set operation. `Auto` resolves through the calibrated
     /// crossover rule — measured per-network constants when executed through
@@ -51,9 +40,7 @@ pub struct MacQuery {
 }
 
 impl MacQuery {
-    /// Creates a query with `j = 1` and automatic oracle / filter / algorithm
-    /// choices.
-    #[allow(deprecated)]
+    /// Creates a query with `j = 1` and automatic filter / algorithm choices.
     pub fn new(q: Vec<VertexId>, k: u32, t: f64, region: PrefRegion) -> Self {
         MacQuery {
             q,
@@ -61,7 +48,6 @@ impl MacQuery {
             t,
             region,
             j: 1,
-            oracle: OracleChoice::default(),
             filter: RangeFilterChoice::default(),
             algorithm: AlgorithmChoice::default(),
         }
@@ -70,19 +56,6 @@ impl MacQuery {
     /// Sets the top-j parameter.
     pub fn with_top_j(mut self, j: usize) -> Self {
         self.j = j;
-        self
-    }
-
-    /// Sets the legacy oracle knob (see the [`oracle`](Self::oracle) field);
-    /// prefer [`with_range_filter`](Self::with_range_filter) in new code.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `with_range_filter` (or the engine's calibrated Auto \
-                resolution) instead of the legacy oracle knob"
-    )]
-    #[allow(deprecated)]
-    pub fn with_oracle(mut self, oracle: OracleChoice) -> Self {
-        self.oracle = oracle;
         self
     }
 
@@ -96,23 +69,6 @@ impl MacQuery {
     pub fn with_algorithm(mut self, algorithm: AlgorithmChoice) -> Self {
         self.algorithm = algorithm;
         self
-    }
-
-    /// The range-filter strategy this query resolves to, accounting for the
-    /// legacy oracle knob: an explicit `filter` wins; otherwise an explicit
-    /// `OracleChoice::GTree` keeps selecting the per-user G-tree point path it
-    /// selected before the filter layer existed.
-    ///
-    /// This is the *compat* half of strategy resolution; `Auto` is resolved
-    /// by [`MacEngine::resolve_filter`](crate::engine::MacEngine::resolve_filter)
-    /// (measured calibration) or, on the one-shot path, by
-    /// [`RoadSocialNetwork::range_filter`] (analytic fallback).
-    #[allow(deprecated)]
-    pub fn effective_filter(&self) -> RangeFilterChoice {
-        match (self.filter, self.oracle) {
-            (RangeFilterChoice::Auto, OracleChoice::GTree) => RangeFilterChoice::GTreePoint,
-            (choice, _) => choice,
-        }
     }
 
     /// The coalescing/caching identity of this query: two queries with equal
@@ -192,7 +148,44 @@ pub struct QuerySignature {
     algorithm: AlgorithmChoice,
 }
 
+impl MacQuery {
+    /// In-place form of
+    /// [`signature().context_signature()`](QuerySignature::context_signature):
+    /// rebuilds `out` into this query's context signature reusing its heap
+    /// buffers, so a warmed caller (the session's cache-key husk) computes
+    /// the key without allocating.
+    pub(crate) fn write_context_signature(&self, out: &mut QuerySignature) {
+        out.q.clear();
+        out.q.extend_from_slice(&self.q);
+        out.k = self.k;
+        out.t_bits = self.t.to_bits();
+        out.region_low_bits.clear();
+        out.region_low_bits
+            .extend(self.region.lows().iter().map(|w| w.to_bits()));
+        out.region_high_bits.clear();
+        out.region_high_bits
+            .extend(self.region.highs().iter().map(|w| w.to_bits()));
+        out.j = 1;
+        out.algorithm = AlgorithmChoice::Auto;
+    }
+}
+
 impl QuerySignature {
+    /// An empty signature husk for in-place rebuilding via
+    /// [`MacQuery::write_context_signature`]; never equal to a real query's
+    /// signature (queries validate non-empty `Q`).
+    pub(crate) fn empty() -> Self {
+        QuerySignature {
+            q: Vec::new(),
+            k: 0,
+            t_bits: 0,
+            region_low_bits: Vec::new(),
+            region_high_bits: Vec::new(),
+            j: 0,
+            algorithm: AlgorithmChoice::Auto,
+        }
+    }
+
     /// The identity of the query's **search context** (maximal (k,t)-core +
     /// r-dominance graph): everything in the signature except `j` and the
     /// algorithm, which select how the context is searched but not what it

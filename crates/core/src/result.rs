@@ -74,6 +74,9 @@ pub struct SearchStats {
     /// Number of worker threads used by a parallel global search (0 when the
     /// exploration ran serially on the calling thread).
     pub parallel_workers: usize,
+    /// Number of in-flight DFS subtrees migrated between workers by the
+    /// work-stealing scheduler (0 for serial runs or static distribution).
+    pub tasks_stolen: usize,
     /// Elapsed wall-clock time in seconds.
     pub elapsed_seconds: f64,
 }
@@ -88,6 +91,7 @@ impl SearchStats {
         self.halfspaces_computed += worker.halfspaces_computed;
         self.halfspace_insertions += worker.halfspace_insertions;
         self.candidates_generated += worker.candidates_generated;
+        self.tasks_stolen += worker.tasks_stolen;
         self.memory_bytes = self.memory_bytes.max(worker.memory_bytes);
     }
 }

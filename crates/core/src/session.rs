@@ -22,8 +22,9 @@ use crate::context::{BuildOutcome, ContextParts, ContextScratch, SearchContext};
 use crate::ctxcache::{ContextCache, ContextCacheStats};
 use crate::engine::{AlgorithmChoice, MacEngine};
 use crate::error::MacError;
-use crate::global::GlobalSearch;
+use crate::global::{GlobalSearch, GsOptions, GsScratch};
 use crate::local::{ExpandStrategy, LocalSearch};
+use crate::policy::ExecutionPolicy;
 use crate::query::{MacQuery, QuerySignature};
 use crate::result::{
     MacSearchResult, PartialResult, QueryOutcome, QueryPhase, QueryProgress, SearchStats,
@@ -32,6 +33,7 @@ use rsn_road::budget::BudgetTicker;
 use rsn_road::ExhaustionCause;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// A per-thread handle executing MAC queries against a prepared engine.
@@ -50,12 +52,19 @@ pub struct QuerySession {
     /// repeat queries with the same context signature skip the range filter,
     /// the (k,t)-core peel, and the `O(core²)` r-dominance graph build.
     cache: Option<ContextCache>,
-    /// Worker threads for the global search's top-level cells (1 = serial).
-    parallelism: usize,
-    /// Candidate-selection strategy of the local framework.
-    strategy: ExpandStrategy,
-    /// Candidate budget of the local framework.
-    max_candidates: usize,
+    /// Retained global-search scratch: task stack, leaf arena, half-space
+    /// and arrangement pools — reused across queries so a warmed query
+    /// allocates nothing.
+    gs_scratch: GsScratch,
+    /// How this session executes: algorithm/filter defaults, global-search
+    /// parallelism and work stealing, local-framework knobs, default budget.
+    /// Seeded from the engine's policy at [`MacEngine::session`]; replaced
+    /// wholesale by [`with_policy`](Self::with_policy).
+    policy: ExecutionPolicy,
+    /// Pooled cache-key husk: the context signature of the current query is
+    /// rebuilt in place on this buffer (and swapped with the cache entry's
+    /// owned key on a hit), so a warmed cache lookup allocates nothing.
+    key_buf: Option<QuerySignature>,
     executed: u64,
     stats: SessionStats,
     /// Test-only: makes the next query panic mid-execution, exercising the
@@ -177,13 +186,14 @@ pub struct BudgetedBatchOutcome {
 
 impl QuerySession {
     pub(crate) fn new(engine: MacEngine) -> Self {
+        let policy = engine.policy().clone();
         QuerySession {
             engine,
             scratch: ContextScratch::new(),
             cache: None,
-            parallelism: 1,
-            strategy: ExpandStrategy::default(),
-            max_candidates: 12,
+            gs_scratch: GsScratch::new(),
+            policy,
+            key_buf: None,
             executed: 0,
             stats: SessionStats::default(),
             #[cfg(feature = "failpoints")]
@@ -212,24 +222,57 @@ impl QuerySession {
     #[inline(always)]
     fn fire_query_failpoint(&mut self) {}
 
-    /// Sets the number of worker threads the global search uses for
-    /// independent top-level cells (`1` = serial, `0` = all cores). Serving
-    /// deployments usually keep `1` and scale with one session per thread
-    /// instead.
+    /// Replaces this session's [`ExecutionPolicy`] wholesale. The session
+    /// starts from its engine's policy ([`MacEngine::policy`]); use this to
+    /// diverge locally — e.g. one latency-critical session running the
+    /// parallel global search while the rest of the pool stays serial:
+    ///
+    /// ```ignore
+    /// let mut fast = engine
+    ///     .session()
+    ///     .with_policy(engine.policy().clone().with_parallelism(0));
+    /// ```
+    pub fn with_policy(mut self, policy: ExecutionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The policy this session executes under.
+    pub fn policy(&self) -> &ExecutionPolicy {
+        &self.policy
+    }
+
+    /// Sets the number of worker threads the global search uses
+    /// (`1` = serial, `0` = all cores).
+    #[deprecated(
+        since = "0.10.0",
+        note = "set `ExecutionPolicy::parallelism` instead — via \
+                `MacEngine::build_with_policy` or `QuerySession::with_policy`"
+    )]
     pub fn with_parallelism(mut self, workers: usize) -> Self {
-        self.parallelism = workers;
+        self.policy.parallelism = workers;
         self
     }
 
     /// Overrides the local framework's candidate-selection strategy.
+    #[deprecated(
+        since = "0.10.0",
+        note = "set `ExecutionPolicy::expand_strategy` instead — via \
+                `MacEngine::build_with_policy` or `QuerySession::with_policy`"
+    )]
     pub fn with_expand_strategy(mut self, strategy: ExpandStrategy) -> Self {
-        self.strategy = strategy;
+        self.policy.expand_strategy = strategy;
         self
     }
 
     /// Overrides the local framework's candidate budget (minimum 1).
+    #[deprecated(
+        since = "0.10.0",
+        note = "set `ExecutionPolicy::max_candidates` instead — via \
+                `MacEngine::build_with_policy` or `QuerySession::with_policy`"
+    )]
     pub fn with_max_candidates(mut self, max_candidates: usize) -> Self {
-        self.max_candidates = max_candidates.max(1);
+        self.policy.max_candidates = max_candidates.max(1);
         self
     }
 
@@ -274,21 +317,46 @@ impl QuerySession {
         self.cache.as_ref().map(|c| c.stats())
     }
 
+    /// Returns a finished result's buffers to this session's scratch pools:
+    /// the next global-search query reuses the result's cell, weight, and
+    /// community vectors instead of allocating fresh ones. This closes the
+    /// last allocation loop of the steady state — with a context-cache hit
+    /// and recycled results, a repeated query performs no heap allocation at
+    /// all (pinned by the counting-allocator test in
+    /// `tests/steady_state_alloc.rs`). Callers that keep their results simply
+    /// drop them; recycling is an optimization, not a duty.
+    pub fn recycle(&mut self, result: MacSearchResult) {
+        self.gs_scratch.recycle(result);
+    }
+
     /// Takes the cached context for this query (if caching is on and the
-    /// entry matches the pinned epoch), counting the hit or miss. The caller
-    /// owns the taken parts and stores them back via
-    /// [`store_context`](Self::store_context) after the search — a panic in
-    /// between only loses the entry.
-    fn take_cached_context(&mut self, epoch_id: u64, key: &QuerySignature) -> Option<ContextParts> {
-        let cache = self.cache.as_mut()?;
-        match cache.take(epoch_id, key) {
-            Some(parts) => {
+    /// entry matches the pinned epoch), counting the hit or miss. Also
+    /// returns the owned lookup key — rebuilt in place on the session's
+    /// pooled husk, so a warmed lookup computes it without allocating — which
+    /// the caller passes back to [`store_context`](Self::store_context) after
+    /// the search; a panic in between only loses the entry.
+    fn take_cached_context(
+        &mut self,
+        epoch_id: u64,
+        query: &MacQuery,
+    ) -> (Option<QuerySignature>, Option<ContextParts>) {
+        let Some(cache) = self.cache.as_mut() else {
+            return (None, None);
+        };
+        let mut key = self.key_buf.take().unwrap_or_else(QuerySignature::empty);
+        query.write_context_signature(&mut key);
+        match cache.take(epoch_id, &key) {
+            Some((stored_key, parts)) => {
                 self.stats.context_cache_hits += 1;
-                Some(parts)
+                // The entry's key is identical to the husk; park it as the
+                // next lookup's husk so the steady state never allocates a
+                // signature.
+                self.key_buf = Some(stored_key);
+                (Some(key), Some(parts))
             }
             None => {
                 self.stats.context_cache_misses += 1;
-                None
+                (Some(key), None)
             }
         }
     }
@@ -345,6 +413,24 @@ impl QuerySession {
     /// ([`MacError::BudgetExhausted`])
     /// instead of a partial answer. For callers that would rather retry with
     /// a bigger budget than serve a truncated result.
+    /// Executes one query under the policy's
+    /// [`default_budget`](ExecutionPolicy::default_budget): the budgeted
+    /// path when the policy sets limits, the exact path (always
+    /// [`QueryOutcome::Complete`]) when it is unlimited. Per-query budgets
+    /// still win — pass one via
+    /// [`execute_with_budget`](Self::execute_with_budget).
+    pub fn execute_with_default_budget(
+        &mut self,
+        query: &MacQuery,
+    ) -> Result<QueryOutcome, MacError> {
+        if self.policy.default_budget.is_unlimited() {
+            self.execute(query).map(QueryOutcome::Complete)
+        } else {
+            let budget = self.policy.default_budget.clone();
+            self.execute_with_budget(query, &budget)
+        }
+    }
+
     pub fn execute_with_budget_strict(
         &mut self,
         query: &MacQuery,
@@ -361,6 +447,11 @@ impl QuerySession {
     /// batch cooperatively). Unlike [`execute_batch`](Self::execute_batch)
     /// this never aborts early: an invalid query or a contained panic records
     /// its error in its slot and serving continues with the next query.
+    ///
+    /// The budgeted batch runs its slots serially (deadlines are per-query
+    /// wall-clock limits — racing slots against each other would skew them);
+    /// inside each slot the session's [`ExecutionPolicy`] still applies, so a
+    /// parallel global search shares the armed ticker across its workers.
     pub fn execute_batch_with_budget(
         &mut self,
         queries: &[MacQuery],
@@ -400,23 +491,55 @@ impl QuerySession {
     /// coalescing. The whole batch runs against epochs observed during the
     /// call, so a shared result is exactly what re-execution would have
     /// produced on the first occurrence's epoch.
+    ///
+    /// When the session's [`ExecutionPolicy`] requests parallelism the
+    /// distinct queries (after deduplication) are distributed across a
+    /// bounded pool of scoped worker threads, each owning its own
+    /// [`QuerySession`] over the shared engine. Batch-level parallelism
+    /// replaces query-level parallelism inside the pool (workers run with
+    /// `parallelism = 1`, so thread counts stay bounded), every query is
+    /// deterministic regardless of which session executes it, and results
+    /// are reassembled in input order — the batch is output-identical to the
+    /// serial path. If several queries fail, the error of the earliest
+    /// failing input slot is returned, exactly as the serial path would.
     pub fn execute_batch(&mut self, queries: &[MacQuery]) -> Result<BatchOutcome, MacError> {
         let start = Instant::now();
-        let mut results: Vec<MacSearchResult> = Vec::with_capacity(queries.len());
+        // Deduplicate first (the PR-9 contract): `assignment[i]` maps input
+        // slot `i` to its distinct-query index, in first-occurrence order.
         let mut seen: HashMap<QuerySignature, usize> = HashMap::new();
-        let mut deduplicated = 0usize;
-        for query in queries {
-            match seen.entry(query.signature()) {
-                std::collections::hash_map::Entry::Occupied(slot) => {
-                    let shared = results[*slot.get()].clone();
-                    results.push(shared);
-                    deduplicated += 1;
-                    self.stats.batch_queries_deduped += 1;
-                }
-                std::collections::hash_map::Entry::Vacant(slot) => {
-                    slot.insert(results.len());
-                    results.push(self.execute(query)?);
-                }
+        let mut distinct: Vec<usize> = Vec::new();
+        let mut assignment: Vec<usize> = Vec::with_capacity(queries.len());
+        for (i, query) in queries.iter().enumerate() {
+            let next = distinct.len();
+            let idx = *seen.entry(query.signature()).or_insert(next);
+            if idx == next {
+                distinct.push(i);
+            }
+            assignment.push(idx);
+        }
+        let deduplicated = queries.len() - distinct.len();
+        self.stats.batch_queries_deduped += deduplicated as u64;
+
+        let workers = self.resolved_batch_workers(distinct.len());
+        let mut executed: Vec<Option<MacSearchResult>> = if workers <= 1 {
+            let mut out = Vec::with_capacity(distinct.len());
+            for &qi in &distinct {
+                out.push(Some(self.execute(&queries[qi])?));
+            }
+            out
+        } else {
+            self.execute_distinct_parallel(queries, &distinct, workers)?
+        };
+
+        // Reassemble in input order: the first occurrence takes its executed
+        // result, repeats share a clone of it (as the serial loop did).
+        let mut results: Vec<MacSearchResult> = Vec::with_capacity(queries.len());
+        for (i, &idx) in assignment.iter().enumerate() {
+            if distinct[idx] == i {
+                results.push(executed[idx].take().expect("distinct result present"));
+            } else {
+                let shared = results[distinct[idx]].clone();
+                results.push(shared);
             }
         }
         let elapsed_seconds = start.elapsed().as_secs_f64();
@@ -436,10 +559,124 @@ impl QuerySession {
         })
     }
 
+    /// Number of batch worker threads for `distinct` deduplicated queries
+    /// under this session's policy: `0` = all cores, never more than one
+    /// worker per distinct query, `1` = serial in-session execution.
+    fn resolved_batch_workers(&self, distinct: usize) -> usize {
+        if distinct <= 1 {
+            return 1;
+        }
+        let requested = if self.policy.parallelism == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.policy.parallelism
+        };
+        requested.max(1).min(distinct)
+    }
+
+    /// Parallel half of [`execute_batch`](Self::execute_batch): executes the
+    /// distinct queries across `workers` scoped threads pulling from an
+    /// atomic cursor, each with its own session over the shared engine.
+    /// Worker serving counters and executed-query counts fold back into this
+    /// session, so the observable session statistics match the serial path's
+    /// accounting. Returns per-distinct results, or the error of the
+    /// earliest-failing distinct query.
+    fn execute_distinct_parallel(
+        &mut self,
+        queries: &[MacQuery],
+        distinct: &[usize],
+        workers: usize,
+    ) -> Result<Vec<Option<MacSearchResult>>, MacError> {
+        let engine = &self.engine;
+        // Workers inherit this session's policy minus its parallelism: the
+        // batch level already owns the thread budget, and nested pools would
+        // oversubscribe without changing any result.
+        let mut worker_policy = self.policy.clone();
+        worker_policy.parallelism = 1;
+        let cursor = AtomicUsize::new(0);
+        type WorkerYield = (
+            Vec<(usize, Result<MacSearchResult, MacError>)>,
+            SessionStats,
+            u64,
+        );
+        let per_worker: Vec<WorkerYield> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let worker_policy = worker_policy.clone();
+                    let cursor = &cursor;
+                    s.spawn(move || {
+                        let mut session = engine.session().with_policy(worker_policy);
+                        let mut produced: Vec<(usize, Result<MacSearchResult, MacError>)> =
+                            Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(&qi) = distinct.get(i) else { break };
+                            produced.push((i, session.execute(&queries[qi])));
+                        }
+                        (produced, session.stats(), session.queries_executed())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batch worker panicked"))
+                .collect()
+        });
+        let mut slots: Vec<Option<Result<MacSearchResult, MacError>>> =
+            (0..distinct.len()).map(|_| None).collect();
+        for (produced, worker_stats, worker_executed) in per_worker {
+            self.stats.merge(&worker_stats);
+            self.executed += worker_executed;
+            for (i, outcome) in produced {
+                slots[i] = Some(outcome);
+            }
+        }
+        // `distinct` is in first-occurrence order, so the first error here is
+        // the one the serial loop would have hit first.
+        let mut out = Vec::with_capacity(distinct.len());
+        let mut first_error: Option<MacError> = None;
+        for slot in slots {
+            match slot.expect("every distinct query executed") {
+                Ok(result) => out.push(Some(result)),
+                Err(err) => {
+                    if first_error.is_none() {
+                        first_error = Some(err);
+                    }
+                    out.push(None);
+                }
+            }
+        }
+        match first_error {
+            Some(err) => Err(err),
+            None => Ok(out),
+        }
+    }
+
     /// Unbudgeted entry used by the plain `execute*` family: routes through
     /// the panic guard (a contained panic surfaces as
     /// [`MacError::ExecutionPanicked`](crate::MacError::ExecutionPanicked)
     /// with the session scratch rebuilt) but never produces a partial answer.
+    /// The algorithm the policy layering requests *before* calibration: an
+    /// explicit query choice wins, a query-level `Auto` falls back to the
+    /// policy default (a remaining `Auto` is resolved by the engine's
+    /// calibrated crossover).
+    fn requested_algorithm(&self, query: &MacQuery) -> AlgorithmChoice {
+        match query.algorithm {
+            AlgorithmChoice::Auto => self.policy.algorithm,
+            explicit => explicit,
+        }
+    }
+
+    /// The global-search options this session's policy selects.
+    fn gs_options(&self) -> GsOptions {
+        GsOptions {
+            parallelism: self.policy.parallelism,
+            work_stealing: self.policy.work_stealing,
+        }
+    }
+
     fn run_complete(
         &mut self,
         query: &MacQuery,
@@ -521,17 +758,12 @@ impl QuerySession {
         let epoch = self.engine.epoch();
         self.fire_query_failpoint();
         let rsn = epoch.network();
-        let ctx_key = self
-            .cache
-            .is_some()
-            .then(|| query.signature().context_signature());
-        let cached = match &ctx_key {
-            Some(key) => {
-                // See run_exact: a cache hit bypasses the validating build.
-                query.validate(rsn)?;
-                self.take_cached_context(epoch.id(), key)
-            }
-            None => None,
+        let (ctx_key, cached) = if self.cache.is_some() {
+            // See run_exact: a cache hit bypasses the validating build.
+            query.validate(rsn)?;
+            self.take_cached_context(epoch.id(), query)
+        } else {
+            (None, None)
         };
         let ctx = match cached {
             // A cached context skips the filter/peel/build stages and their
@@ -539,7 +771,7 @@ impl QuerySession {
             // ticker, exactly as if the context had been free.
             Some(parts) => SearchContext::from_parts(rsn, query, parts),
             None => {
-                let filter = epoch.resolve_filter(query);
+                let filter = epoch.resolve_filter_with(query, self.policy.filter);
                 let built = SearchContext::build_budgeted(
                     rsn,
                     query,
@@ -572,26 +804,36 @@ impl QuerySession {
                 }
             }
         };
-        let algorithm = epoch.resolve_algorithm(query.algorithm, ctx.core_size());
+        let algorithm = epoch.resolve_algorithm(self.requested_algorithm(query), ctx.core_size());
         let (mut run, phase) = match algorithm {
             AlgorithmChoice::Local => (
                 LocalSearch::run_context_budgeted(
                     &ctx,
-                    self.strategy,
-                    self.max_candidates,
+                    self.policy.expand_strategy,
+                    self.policy.max_candidates,
                     top_j_mode,
                     ticker,
                 ),
                 QueryPhase::LocalSearch,
             ),
-            // resolve_algorithm never returns Auto. Budgeted global search is
-            // serial regardless of `parallelism`: the ticker is shared
-            // mutable state, and a serial prefix is what makes a partial
-            // answer a strict subset of the full run.
-            _ => (
-                GlobalSearch::explore_context_budgeted(&ctx, top_j_mode, ticker),
-                QueryPhase::GlobalSearch,
-            ),
+            // resolve_algorithm never returns Auto. Budgeted global search
+            // stays serial under the default policy — a serial prefix is what
+            // makes a partial answer a strict subset of the full run — and
+            // shares the ticker across workers (via an atomic latch) when the
+            // policy opts into parallelism.
+            _ => {
+                let opts = self.gs_options();
+                (
+                    GlobalSearch::explore_context_budgeted(
+                        &ctx,
+                        &mut self.gs_scratch,
+                        opts,
+                        top_j_mode,
+                        ticker,
+                    ),
+                    QueryPhase::GlobalSearch,
+                )
+            }
         };
         if let Some(key) = ctx_key {
             self.store_context(epoch.id(), key, ctx.into_parts());
@@ -636,33 +878,20 @@ impl QuerySession {
         self.fire_query_failpoint();
         let rsn = epoch.network();
         // Queries sharing everything the context depends on (users, k, t,
-        // region) share one cache slot regardless of j / algorithm.
-        let ctx_key = self
-            .cache
-            .is_some()
-            .then(|| query.signature().context_signature());
-        let ctx = match &ctx_key {
-            Some(key) => {
-                // The build path validates inside the core extraction; a
-                // cache hit skips that stage, so validate explicitly (cheap,
-                // O(|Q|)) to keep invalid queries an error either way.
-                query.validate(rsn)?;
-                match self.take_cached_context(epoch.id(), key) {
-                    Some(parts) => Some(SearchContext::from_parts(rsn, query, parts)),
-                    None => {
-                        let filter = epoch.resolve_filter(query);
-                        SearchContext::build_with(
-                            rsn,
-                            query,
-                            filter,
-                            epoch.user_targets(),
-                            &mut self.scratch,
-                        )?
-                    }
-                }
-            }
+        // region) share one cache slot regardless of j / algorithm. The
+        // build path validates inside the core extraction; a cache hit skips
+        // that stage, so the cached path validates explicitly (cheap,
+        // O(|Q|)) to keep invalid queries an error either way.
+        let (ctx_key, cached) = if self.cache.is_some() {
+            query.validate(rsn)?;
+            self.take_cached_context(epoch.id(), query)
+        } else {
+            (None, None)
+        };
+        let ctx = match cached {
+            Some(parts) => Some(SearchContext::from_parts(rsn, query, parts)),
             None => {
-                let filter = epoch.resolve_filter(query);
+                let filter = epoch.resolve_filter_with(query, self.policy.filter);
                 SearchContext::build_with(
                     rsn,
                     query,
@@ -682,13 +911,20 @@ impl QuerySession {
                 },
             });
         };
-        let algorithm = epoch.resolve_algorithm(query.algorithm, ctx.core_size());
+        let algorithm = epoch.resolve_algorithm(self.requested_algorithm(query), ctx.core_size());
         let mut result = match algorithm {
-            AlgorithmChoice::Local => {
-                LocalSearch::run_context(&ctx, self.strategy, self.max_candidates, top_j_mode)
-            }
+            AlgorithmChoice::Local => LocalSearch::run_context(
+                &ctx,
+                self.policy.expand_strategy,
+                self.policy.max_candidates,
+                top_j_mode,
+                self.policy.parallelism,
+            ),
             // resolve_algorithm never returns Auto.
-            _ => GlobalSearch::explore_context(&ctx, self.parallelism, top_j_mode),
+            _ => {
+                let opts = self.gs_options();
+                GlobalSearch::explore_context(&ctx, &mut self.gs_scratch, opts, top_j_mode)
+            }
         };
         if let Some(key) = ctx_key {
             self.store_context(epoch.id(), key, ctx.into_parts());
@@ -852,6 +1088,47 @@ mod tests {
         for (a, b) in expect.iter().zip(&batch.results) {
             assert_results_identical(a, b);
         }
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial_batch_exactly() {
+        let engine = MacEngine::build_uncalibrated(network());
+        // Mixed workload with repeats: two distinct signatures, five slots.
+        let queries = vec![
+            query(),
+            query().with_top_j(2),
+            query(),
+            query().with_top_j(2),
+            query(),
+        ];
+        let mut serial = engine.session();
+        let expect = serial.execute_batch(&queries).unwrap();
+        let mut parallel = engine
+            .session()
+            .with_policy(ExecutionPolicy::new().with_parallelism(2));
+        let batch = parallel.execute_batch(&queries).unwrap();
+        assert_eq!(batch.stats.queries, 5);
+        assert_eq!(batch.stats.deduplicated, 3);
+        assert_eq!(parallel.stats().batch_queries_deduped, 3);
+        // Worker accounting folds back into the batch session.
+        assert_eq!(parallel.queries_executed(), 2);
+        assert_eq!(parallel.stats().served, 2);
+        for (a, b) in expect.results.iter().zip(&batch.results) {
+            assert_results_identical(a, b);
+        }
+    }
+
+    #[test]
+    fn parallel_batch_reports_the_earliest_error() {
+        let engine = MacEngine::build_uncalibrated(network());
+        let mut bad = query();
+        bad.q.clear();
+        let queries = vec![query().with_top_j(2), bad, query()];
+        let mut parallel = engine
+            .session()
+            .with_policy(ExecutionPolicy::new().with_parallelism(3));
+        let err = parallel.execute_batch(&queries).unwrap_err();
+        assert!(matches!(err, MacError::EmptyQuery), "got {err:?}");
     }
 
     #[test]

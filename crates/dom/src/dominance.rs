@@ -244,6 +244,29 @@ impl DominanceGraph {
             .collect()
     }
 
+    /// Pool-backed variant of [`leaves_within`](Self::leaves_within): appends
+    /// the leaf vertices (as `u32` locals, same order) to `out` instead of
+    /// allocating, using `mark` as the recycled "dominates someone" scratch.
+    /// Appending (rather than clearing) lets callers pack many leaf sets into
+    /// one flat arena and address them by `(start, len)` ranges.
+    pub fn leaves_within_into(&self, mask: &[bool], mark: &mut Vec<bool>, out: &mut Vec<u32>) {
+        debug_assert_eq!(mask.len(), self.num_vertices());
+        let n = self.num_vertices();
+        mark.clear();
+        mark.resize(n, false);
+        for v in 0..n {
+            if !mask[v] {
+                continue;
+            }
+            for u in self.dominators[v].iter() {
+                if mask[u] {
+                    mark[u] = true;
+                }
+            }
+        }
+        out.extend((0..n).filter(|&v| mask[v] && !mark[v]).map(|v| v as u32));
+    }
+
     /// Vertices of `mask` that are r-dominated by **no other vertex of
     /// `mask`** — the top layer of the induced sub-DAG (`l_t(G_c)` when `mask`
     /// selects the complement of the candidate community).

@@ -66,6 +66,108 @@ impl Cell {
         }
     }
 
+    /// In-place variant of [`Cell::from_region`]: refills this cell reusing
+    /// its buffers, so a session-held root cell can be rebuilt per query
+    /// without reallocating. Any leftover constraints are dropped (a recycled
+    /// root carries none in steady state).
+    pub fn assign_region(&mut self, region: &PrefRegion) {
+        self.lows.clear();
+        self.lows.extend_from_slice(region.lows());
+        self.highs.clear();
+        self.highs.extend_from_slice(region.highs());
+        self.constraints.clear();
+        if self.lows.len() == 2 {
+            let mut poly = self.poly.take().unwrap_or_default();
+            poly.clear();
+            poly.push((self.lows[0], self.lows[1]));
+            poly.push((self.highs[0], self.lows[1]));
+            poly.push((self.highs[0], self.highs[1]));
+            poly.push((self.lows[0], self.highs[1]));
+            self.poly = Some(poly);
+        } else {
+            self.poly = None;
+        }
+    }
+
+    /// In-place copy from another cell, reusing `self`'s buffers. Excess
+    /// constraint half-spaces are parked in `spare`; missing ones are
+    /// recovered from it.
+    pub fn assign_from(&mut self, src: &Cell, spare: &mut Vec<HalfSpace>) {
+        self.lows.clear();
+        self.lows.extend_from_slice(&src.lows);
+        self.highs.clear();
+        self.highs.extend_from_slice(&src.highs);
+        while self.constraints.len() > src.constraints.len() {
+            spare.push(self.constraints.pop().expect("len checked"));
+        }
+        while self.constraints.len() < src.constraints.len() {
+            let husk = spare
+                .pop()
+                .unwrap_or_else(|| HalfSpace::new(Vec::new(), 0.0));
+            self.constraints.push(husk);
+        }
+        for (dst, s) in self.constraints.iter_mut().zip(&src.constraints) {
+            dst.assign_from(s);
+        }
+        match &src.poly {
+            Some(src_poly) => {
+                let mut poly = self.poly.take().unwrap_or_default();
+                poly.clear();
+                poly.extend_from_slice(src_poly);
+                self.poly = Some(poly);
+            }
+            None => self.poly = None,
+        }
+    }
+
+    /// In-place variant of [`Cell::with_halfspace`]: makes `self` the clip of
+    /// `src` by `hs` (or by `¬hs` when `negate` is set, bitwise identical to
+    /// clipping by [`HalfSpace::negated`]), reusing `self`'s buffers. Excess
+    /// constraint half-spaces are parked in `spare` and missing ones are
+    /// recovered from it, so pooled cells cycle without heap traffic.
+    pub fn assign_clip(
+        &mut self,
+        src: &Cell,
+        hs: &HalfSpace,
+        negate: bool,
+        spare: &mut Vec<HalfSpace>,
+    ) {
+        self.lows.clear();
+        self.lows.extend_from_slice(&src.lows);
+        self.highs.clear();
+        self.highs.extend_from_slice(&src.highs);
+        let want = src.constraints.len() + 1;
+        while self.constraints.len() > want {
+            spare.push(self.constraints.pop().expect("len checked"));
+        }
+        while self.constraints.len() < want {
+            let husk = spare
+                .pop()
+                .unwrap_or_else(|| HalfSpace::new(Vec::new(), 0.0));
+            self.constraints.push(husk);
+        }
+        for (dst, s) in self.constraints.iter_mut().zip(&src.constraints) {
+            dst.assign_from(s);
+        }
+        let last = self.constraints.last_mut().expect("want >= 1");
+        last.coeffs.clear();
+        if negate {
+            last.coeffs.extend(hs.coeffs.iter().map(|c| -c));
+            last.offset = -hs.offset;
+        } else {
+            last.coeffs.extend_from_slice(&hs.coeffs);
+            last.offset = hs.offset;
+        }
+        match &src.poly {
+            Some(src_poly) => {
+                let mut poly = self.poly.take().unwrap_or_default();
+                clip_polygon_into(src_poly, hs, negate, &mut poly);
+                self.poly = Some(poly);
+            }
+            None => self.poly = None,
+        }
+    }
+
     /// Number of reduced dimensions.
     pub fn dim(&self) -> usize {
         self.lows.len()
@@ -312,6 +414,44 @@ impl Cell {
         Some(self.perturb_to_interior(point))
     }
 
+    /// Allocation-free variant of [`Cell::sample_point`] on the 2-D polygon
+    /// fast path: writes the representative into `out` and returns whether one
+    /// exists. Other dimensionalities (and polygon-less cells) fall back to
+    /// the allocating LP path and copy the result into `out`.
+    pub fn sample_point_into(&self, out: &mut Vec<f64>) -> bool {
+        let dim = self.dim();
+        if dim == 0 {
+            out.clear();
+            return !self.is_empty();
+        }
+        if let Some(poly) = &self.poly {
+            if poly.is_empty() {
+                return false;
+            }
+            let inv = 1.0 / poly.len() as f64;
+            let avg = poly
+                .iter()
+                .fold((0.0, 0.0), |(x, y), &(px, py)| (x + px * inv, y + py * inv));
+            let base = match polygon_centroid(poly) {
+                Some(c) if self.min_slack(&[c.0, c.1]) >= self.min_slack(&[avg.0, avg.1]) => c,
+                _ => avg,
+            };
+            let p = self.perturb_to_interior2([base.0, base.1]);
+            out.clear();
+            out.push(p[0]);
+            out.push(p[1]);
+            return true;
+        }
+        match self.sample_point() {
+            Some(p) => {
+                out.clear();
+                out.extend_from_slice(&p);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Minimum gradient-normalized slack of the point over every half-space
     /// constraint and box bound (positive = strictly inside).
     fn min_slack(&self, point: &[f64]) -> f64 {
@@ -391,13 +531,74 @@ impl Cell {
         }
         best
     }
+
+    /// Stack-array transcription of [`Cell::perturb_to_interior`] for the 2-D
+    /// fast path: identical arithmetic in identical order, zero heap traffic.
+    fn perturb_to_interior2(&self, point: [f64; 2]) -> [f64; 2] {
+        let base_slack = self.min_slack(&point);
+        if base_slack > EPS {
+            return point;
+        }
+        let tight = 16.0 * EPS;
+        let mut dir = [0.0f64; 2];
+        for hs in &self.constraints {
+            let norm = hs.coeffs.iter().map(|c| c * c).sum::<f64>().sqrt();
+            if norm > 0.0 && hs.eval(&point) / norm <= tight {
+                for (d, &c) in dir.iter_mut().zip(&hs.coeffs) {
+                    *d += c / norm;
+                }
+            }
+        }
+        for (i, d) in dir.iter_mut().enumerate() {
+            if point[i] - self.lows[i] <= tight {
+                *d += 1.0;
+            }
+            if self.highs[i] - point[i] <= tight {
+                *d -= 1.0;
+            }
+        }
+        let len = dir.iter().map(|d| d * d).sum::<f64>().sqrt();
+        if len <= EPS {
+            return point;
+        }
+        let scale: f64 = self
+            .highs
+            .iter()
+            .zip(&self.lows)
+            .map(|(h, l)| h - l)
+            .fold(0.0, f64::max)
+            .max(1.0);
+        let mut best = point;
+        let mut best_slack = base_slack;
+        for k in 0..8 {
+            let eps = scale * EPS * 4.0f64.powi(k);
+            let cand = [point[0] + eps * dir[0] / len, point[1] + eps * dir[1] / len];
+            let slack = self.min_slack(&cand);
+            if slack > best_slack {
+                best_slack = slack;
+                best = cand;
+            }
+        }
+        best
+    }
 }
 
 /// Sutherland–Hodgman clip of a convex polygon against `f(w) ≥ 0`.
 fn clip_polygon(poly: &[(f64, f64)], hs: &HalfSpace) -> Vec<(f64, f64)> {
-    let eval = |p: (f64, f64)| hs.eval(&[p.0, p.1]);
+    let mut out = Vec::with_capacity(poly.len() + 1);
+    clip_polygon_into(poly, hs, false, &mut out);
+    out
+}
+
+/// Buffer-reusing Sutherland–Hodgman clip against `f(w) ≥ 0` — or against the
+/// complement `−f(w) ≥ 0` when `negate` is set. Sign flipping is exact in
+/// IEEE arithmetic (negation distributes over rounding), so the negated form
+/// is bitwise identical to clipping against [`HalfSpace::negated`].
+fn clip_polygon_into(poly: &[(f64, f64)], hs: &HalfSpace, negate: bool, out: &mut Vec<(f64, f64)>) {
+    let sign = if negate { -1.0 } else { 1.0 };
+    let eval = |p: (f64, f64)| sign * hs.eval(&[p.0, p.1]);
     let n = poly.len();
-    let mut out = Vec::with_capacity(n + 1);
+    out.clear();
     for i in 0..n {
         let p = poly[i];
         let q = poly[(i + 1) % n];
@@ -411,7 +612,6 @@ fn clip_polygon(poly: &[(f64, f64)], hs: &HalfSpace) -> Vec<(f64, f64)> {
             out.push((p.0 + t * (q.0 - p.0), p.1 + t * (q.1 - p.1)));
         }
     }
-    out
 }
 
 /// Area centroid of a convex polygon; `None` when the polygon is degenerate
@@ -566,6 +766,58 @@ mod tests {
                 .sample_point()
                 .expect("thin sliver must still yield a witness");
             assert!(cell.contains(&p), "thin sample escapes the cell: {p:?}");
+        }
+    }
+
+    /// The pooled in-place builders must reproduce their allocating
+    /// counterparts bit-for-bit, across repeated reuse of the same husk.
+    #[test]
+    fn pooled_assign_matches_allocating_builders() {
+        use rand::prelude::*;
+        use rand::rngs::StdRng;
+        let mut rng = StdRng::seed_from_u64(0xCE11);
+        let mut husk = paper_cell(); // any starting state; gets overwritten
+        let mut spare = Vec::new();
+        let mut sample_buf = Vec::new();
+        for _ in 0..100 {
+            let region = PrefRegion::from_ranges(&[(0.05, 0.55), (0.1, 0.45)]).unwrap();
+            let mut cell = Cell::from_region(&region);
+            husk.assign_region(&region);
+            assert_eq!(husk, cell);
+            for _ in 0..rng.random_range(0..5usize) {
+                let hs = HalfSpace::new(
+                    vec![rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)],
+                    rng.random_range(-0.6..0.6),
+                );
+                let negate = rng.random_bool(0.5);
+                let reference = if negate {
+                    cell.with_halfspace(hs.negated())
+                } else {
+                    cell.with_halfspace(hs.clone())
+                };
+                husk.assign_clip(&cell, &hs, negate, &mut spare);
+                assert_eq!(husk, reference, "assign_clip diverged from with_halfspace");
+                cell = reference;
+                // keep husk distinct from cell for the next round
+                husk.assign_region(&region);
+                husk.assign_clip(&cell, &hs, false, &mut spare);
+                husk.assign_clip(&cell, &hs, negate, &mut spare);
+                assert_eq!(
+                    husk,
+                    if negate {
+                        cell.with_halfspace(hs.negated())
+                    } else {
+                        cell.with_halfspace(hs)
+                    }
+                );
+            }
+            match cell.sample_point() {
+                Some(p) => {
+                    assert!(cell.sample_point_into(&mut sample_buf));
+                    assert_eq!(sample_buf, p, "sample_point_into diverged");
+                }
+                None => assert!(!cell.sample_point_into(&mut sample_buf)),
+            }
         }
     }
 

@@ -46,6 +46,27 @@ impl HalfSpace {
         }
     }
 
+    /// In-place variant of [`HalfSpace::score_at_least`]: refills this
+    /// half-space reusing its coefficient buffer, so pooled half-spaces can be
+    /// recycled across queries without reallocating.
+    pub fn assign_score_at_least(&mut self, favored: &[f64], other: &[f64]) {
+        debug_assert_eq!(favored.len(), other.len());
+        let d = favored.len();
+        let xd_f = favored[d - 1];
+        let xd_o = other[d - 1];
+        self.coeffs.clear();
+        self.coeffs
+            .extend((0..d - 1).map(|i| (favored[i] - xd_f) - (other[i] - xd_o)));
+        self.offset = xd_f - xd_o;
+    }
+
+    /// In-place copy from another half-space, reusing the coefficient buffer.
+    pub fn assign_from(&mut self, src: &HalfSpace) {
+        self.coeffs.clear();
+        self.coeffs.extend_from_slice(&src.coeffs);
+        self.offset = src.offset;
+    }
+
     /// Number of reduced dimensions this half-space lives in.
     pub fn dim(&self) -> usize {
         self.coeffs.len()

@@ -33,7 +33,7 @@ pub mod weights;
 
 pub use cell::{Cell, CellSide};
 pub use halfspace::HalfSpace;
-pub use partition::{arrange, PartitionTree};
+pub use partition::{arrange, arrange_into, ArrangeScratch, PartitionTree};
 pub use rdominance::{r_dominance, DominanceRelation};
 pub use region::PrefRegion;
 pub use weights::WeightVector;

@@ -124,6 +124,130 @@ pub fn arrange(base: &Cell, halfspaces: &[HalfSpace]) -> Vec<Cell> {
     tree.leaves().into_iter().cloned().collect()
 }
 
+#[derive(Debug)]
+struct PoolNode {
+    cell: Cell,
+    children: Option<(u32, u32)>,
+}
+
+/// Recyclable state for [`arrange_into`]: tree nodes, cell husks, and
+/// half-space husks all survive across arrangements, so a steady-state query
+/// rebuilds its arrangements with zero heap allocation once the pools have
+/// warmed up. Cells handed out in the leaf output flow back in through
+/// [`ArrangeScratch::recycle_cell`] when their consumer is done with them.
+#[derive(Debug, Default)]
+pub struct ArrangeScratch {
+    nodes: Vec<PoolNode>,
+    /// Active prefix of `nodes` for the arrangement being built.
+    len: usize,
+    free_cells: Vec<Cell>,
+    spare_hs: Vec<HalfSpace>,
+}
+
+impl ArrangeScratch {
+    /// Creates an empty scratch; pools grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a no-longer-needed cell to the pool so a later arrangement can
+    /// reuse its buffers.
+    pub fn recycle_cell(&mut self, cell: Cell) {
+        self.free_cells.push(cell);
+    }
+
+    /// A pooled half-space husk store, shared with callers that clip cells
+    /// outside the arrangement (e.g. a root cell refresh).
+    pub fn spare_halfspaces(&mut self) -> &mut Vec<HalfSpace> {
+        &mut self.spare_hs
+    }
+
+    /// Index of a fresh leaf node; reuses a retired slot when one exists.
+    fn alloc_node(&mut self) -> u32 {
+        let idx = self.len;
+        if idx == self.nodes.len() {
+            let cell = self.free_cells.pop().unwrap_or_else(empty_cell_husk);
+            self.nodes.push(PoolNode {
+                cell,
+                children: None,
+            });
+        } else {
+            self.nodes[idx].children = None;
+        }
+        self.len += 1;
+        idx as u32
+    }
+
+    fn insert_at(&mut self, node: usize, hp: &HalfSpace) {
+        if let Some((l, r)) = self.nodes[node].children {
+            self.insert_at(l as usize, hp);
+            self.insert_at(r as usize, hp);
+            return;
+        }
+        if self.nodes[node].cell.classify(hp) != CellSide::Straddles {
+            // Lines 1-2 of Algorithm 2: fully covered by one side (or empty).
+            return;
+        }
+        let li = self.alloc_node() as usize;
+        let ri = self.alloc_node() as usize;
+        debug_assert!(node < li && li + 1 == ri);
+        let (head, tail) = self.nodes.split_at_mut(li);
+        let parent = &head[node].cell;
+        let (left, right) = tail.split_at_mut(1);
+        left[0]
+            .cell
+            .assign_clip(parent, hp, true, &mut self.spare_hs);
+        right[0]
+            .cell
+            .assign_clip(parent, hp, false, &mut self.spare_hs);
+        self.nodes[node].children = Some((li as u32, ri as u32));
+    }
+
+    fn collect_leaves(&mut self, node: usize, out: &mut Vec<Cell>) {
+        match self.nodes[node].children {
+            Some((l, r)) => {
+                self.collect_leaves(l as usize, out);
+                self.collect_leaves(r as usize, out);
+            }
+            None => {
+                let husk = self.free_cells.pop().unwrap_or_else(empty_cell_husk);
+                out.push(std::mem::replace(&mut self.nodes[node].cell, husk));
+            }
+        }
+    }
+}
+
+fn empty_cell_husk() -> Cell {
+    Cell::from_region(&crate::region::PrefRegion::from_ranges(&[]).expect("empty region is valid"))
+}
+
+/// Pool-backed equivalent of [`arrange`]: builds the arrangement of the
+/// half-spaces yielded by `hps` inside `base` and appends the leaf cells to
+/// `out` in the same order `arrange` returns them. Returns the number of
+/// leaves appended. The cells are bitwise identical to the allocating path;
+/// only their backing buffers are recycled.
+pub fn arrange_into<'a>(
+    scratch: &mut ArrangeScratch,
+    base: &Cell,
+    hps: impl IntoIterator<Item = &'a HalfSpace>,
+    out: &mut Vec<Cell>,
+) -> usize {
+    scratch.len = 0;
+    let root = scratch.alloc_node() as usize;
+    scratch.nodes[root]
+        .cell
+        .assign_from(base, &mut scratch.spare_hs);
+    for hp in hps {
+        if hp.is_degenerate() {
+            continue;
+        }
+        scratch.insert_at(root, hp);
+    }
+    let before = out.len();
+    scratch.collect_leaves(root, out);
+    out.len() - before
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +329,40 @@ mod tests {
                     .map(|(j, _)| j)
                     .collect();
                 assert!(owners.contains(&i));
+            }
+        }
+    }
+
+    /// `arrange_into` must reproduce `arrange` exactly — same leaves, same
+    /// order — including when the scratch (and the recycled cells flowing
+    /// back into it) is reused across many arrangements of different shapes.
+    #[test]
+    fn pooled_arrangement_matches_allocating_arrangement() {
+        use rand::prelude::*;
+        use rand::rngs::StdRng;
+        let mut rng = StdRng::seed_from_u64(0xA22A);
+        let mut scratch = ArrangeScratch::new();
+        let mut out = Vec::new();
+        for round in 0..60 {
+            let n_hs = rng.random_range(0..6usize);
+            let hps: Vec<HalfSpace> = (0..n_hs)
+                .map(|_| {
+                    HalfSpace::new(
+                        vec![rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)],
+                        rng.random_range(-0.6..0.6),
+                    )
+                })
+                .collect();
+            let reference = arrange(&base(), &hps);
+            out.clear();
+            let appended = arrange_into(&mut scratch, &base(), hps.iter(), &mut out);
+            assert_eq!(appended, out.len());
+            assert_eq!(out, reference, "round {round}: pooled leaves diverged");
+            // hand a few leaves back to the pool, as the search loop does
+            for cell in out.drain(..) {
+                if rng.random_bool(0.7) {
+                    scratch.recycle_cell(cell);
+                }
             }
         }
     }

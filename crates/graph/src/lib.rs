@@ -28,7 +28,7 @@ pub mod truss;
 pub use connectivity::{bfs_reachable, connected_components, is_connected_subset};
 pub use core_decomp::{core_numbers, coreness_upper_bound, maximal_connected_k_core_containing};
 pub use graph::{Graph, GraphBuilder, VertexId};
-pub use subgraph::{CascadeDelete, SubgraphView};
+pub use subgraph::{CascadeDelete, SubgraphView, ViewScratch};
 
 /// Errors produced by the graph substrate.
 #[derive(Debug, Clone, PartialEq, Eq)]

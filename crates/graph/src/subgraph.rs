@@ -52,6 +52,28 @@ impl CascadeDelete {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Checkpoint(usize);
 
+/// Recyclable buffers for a [`SubgraphView`]: everything the view owns
+/// except the graph borrow. A caller that builds one full view per query can
+/// park the buffers here between queries
+/// ([`SubgraphView::recycle_into`] / [`SubgraphView::full_from_scratch`]) so
+/// the steady state allocates nothing.
+#[derive(Debug, Default)]
+pub struct ViewScratch {
+    alive: Vec<bool>,
+    degree: Vec<u32>,
+    log: Vec<VertexId>,
+    mark: Vec<u32>,
+    reach: Vec<u32>,
+    queue: Vec<VertexId>,
+}
+
+impl ViewScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        ViewScratch::default()
+    }
+}
+
 /// A live/dead view over an immutable [`Graph`] with incremental degree
 /// maintenance and an undo log for O(|undone|) rollback.
 #[derive(Debug, Clone)]
@@ -65,6 +87,11 @@ pub struct SubgraphView<'a> {
     /// Epoch-stamped scratch marks used by rollback/undo (no per-call allocs).
     mark: Vec<u32>,
     epoch: u32,
+    /// Epoch-stamped reachability marks + BFS queue for the connectivity trim
+    /// ([`retain_component_of_logged`]) — pooled so the trim never allocates.
+    reach: Vec<u32>,
+    reach_epoch: u32,
+    queue: Vec<VertexId>,
 }
 
 impl<'a> SubgraphView<'a> {
@@ -80,7 +107,56 @@ impl<'a> SubgraphView<'a> {
             log: Vec::new(),
             mark: vec![0; n],
             epoch: 0,
+            reach: Vec::new(),
+            reach_epoch: 0,
+            queue: Vec::new(),
         }
+    }
+
+    /// [`full`](Self::full) drawing its buffers from recycled scratch, so a
+    /// warmed caller pays no allocations. The inverse of
+    /// [`recycle_into`](Self::recycle_into).
+    pub fn full_from_scratch(graph: &'a Graph, scratch: &mut ViewScratch) -> Self {
+        let n = graph.num_vertices();
+        let mut alive = std::mem::take(&mut scratch.alive);
+        alive.clear();
+        alive.resize(n, true);
+        let mut degree = std::mem::take(&mut scratch.degree);
+        degree.clear();
+        degree.extend((0..n as u32).map(|v| graph.degree(v) as u32));
+        let mut log = std::mem::take(&mut scratch.log);
+        log.clear();
+        let mut mark = std::mem::take(&mut scratch.mark);
+        mark.clear();
+        mark.resize(n, 0);
+        let mut reach = std::mem::take(&mut scratch.reach);
+        reach.clear();
+        reach.resize(n, 0);
+        let mut queue = std::mem::take(&mut scratch.queue);
+        queue.clear();
+        SubgraphView {
+            graph,
+            alive,
+            degree,
+            num_alive: n,
+            log,
+            mark,
+            epoch: 0,
+            reach,
+            reach_epoch: 0,
+            queue,
+        }
+    }
+
+    /// Returns the view's buffers to `scratch` for a later
+    /// [`full_from_scratch`](Self::full_from_scratch).
+    pub fn recycle_into(self, scratch: &mut ViewScratch) {
+        scratch.alive = self.alive;
+        scratch.degree = self.degree;
+        scratch.log = self.log;
+        scratch.mark = self.mark;
+        scratch.reach = self.reach;
+        scratch.queue = self.queue;
     }
 
     /// A view restricted to the vertices whose mask entry is `true`.
@@ -107,6 +183,9 @@ impl<'a> SubgraphView<'a> {
             log: Vec::new(),
             mark: vec![0; n],
             epoch: 0,
+            reach: Vec::new(),
+            reach_epoch: 0,
+            queue: Vec::new(),
         }
     }
 
@@ -158,6 +237,13 @@ impl<'a> SubgraphView<'a> {
         (0..self.alive.len() as u32)
             .filter(|&v| self.alive[v as usize])
             .collect()
+    }
+
+    /// [`alive_vertices`](Self::alive_vertices) into a caller-owned buffer
+    /// (cleared first), for hot paths that must not allocate.
+    pub fn alive_vertices_into(&self, out: &mut Vec<VertexId>) {
+        out.clear();
+        out.extend((0..self.alive.len() as u32).filter(|&v| self.alive[v as usize]));
     }
 
     /// Alive neighbours of `v`.
@@ -321,14 +407,41 @@ impl<'a> SubgraphView<'a> {
 
     /// [`retain_component_of`](Self::retain_component_of) without
     /// materializing a record.
+    ///
+    /// Uses the view's pooled epoch-stamped reach marks, so repeated trims on
+    /// a warmed view perform no allocations.
     pub fn retain_component_of_logged(&mut self, root: VertexId) {
         if !self.alive[root as usize] {
             return;
         }
         let graph = self.graph;
-        let reach = bfs_reachable(graph, root, &self.alive);
-        for v in 0..self.alive.len() as u32 {
-            if self.alive[v as usize] && !reach[v as usize] {
+        let n = self.alive.len();
+        if self.reach.len() < n {
+            self.reach.resize(n, 0);
+        }
+        self.reach_epoch = self.reach_epoch.wrapping_add(1);
+        if self.reach_epoch == 0 {
+            // Epoch counter wrapped: old stamps could alias, wipe them once.
+            self.reach.iter_mut().for_each(|m| *m = 0);
+            self.reach_epoch = 1;
+        }
+        let epoch = self.reach_epoch;
+        self.queue.clear();
+        self.reach[root as usize] = epoch;
+        self.queue.push(root);
+        let mut head = 0;
+        while head < self.queue.len() {
+            let v = self.queue[head];
+            head += 1;
+            for &u in graph.neighbors(v) {
+                if self.alive[u as usize] && self.reach[u as usize] != epoch {
+                    self.reach[u as usize] = epoch;
+                    self.queue.push(u);
+                }
+            }
+        }
+        for v in 0..n as u32 {
+            if self.alive[v as usize] && self.reach[v as usize] != epoch {
                 self.kill(v);
                 for &u in graph.neighbors(v) {
                     if self.alive[u as usize] {
@@ -608,6 +721,25 @@ mod tests {
         view.rollback(cp0);
         assert_eq!(view.num_alive(), 9);
         assert_eq!(view.min_degree(), Some(2));
+    }
+
+    #[test]
+    fn scratch_roundtrip_matches_fresh_view() {
+        let g = chain_of_triangles();
+        let mut scratch = ViewScratch::new();
+        for _ in 0..3 {
+            let mut view = SubgraphView::full_from_scratch(&g, &mut scratch);
+            let fresh = SubgraphView::full(&g);
+            for v in 0..7 {
+                assert_eq!(view.degree_of(v), fresh.degree_of(v));
+                assert_eq!(view.is_alive(v), fresh.is_alive(v));
+            }
+            view.delete_cascade_logged(0, 2);
+            let mut buf = Vec::new();
+            view.alive_vertices_into(&mut buf);
+            assert_eq!(buf, view.alive_vertices());
+            view.recycle_into(&mut scratch);
+        }
     }
 
     /// Randomized property: an arbitrary interleaving of cascades, trims, and

@@ -14,7 +14,7 @@
 //! **first** charge always runs the expensive checks, so a deadline that
 //! already passed (e.g. a zero deadline) trips before any real work happens.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -141,6 +141,219 @@ impl BudgetTicker {
     pub fn spent(&self) -> u64 {
         self.spent
     }
+
+    /// Splits the remaining budget into a [`SharedBudget`] that a pool of
+    /// workers can charge concurrently. The shared budget inherits the
+    /// limits, the units already spent, and any exhaustion already latched.
+    /// After the parallel stage, fold the workers' charges back with
+    /// [`absorb`](Self::absorb).
+    pub fn share(&self) -> SharedBudget {
+        SharedBudget {
+            deadline: self.deadline,
+            work_limit: self.work_limit,
+            cancel: self.cancel.clone(),
+            spent: AtomicU64::new(self.spent),
+            cause: AtomicU8::new(cause_to_code(self.exhausted)),
+        }
+    }
+
+    /// Folds a [`SharedBudget`] back into this ticker: the total units spent
+    /// (across every worker, including aborted ones) replace the local count
+    /// and a latched exhaustion carries over, so no parallel charge is ever
+    /// lost. The next local charge re-runs the expensive checks.
+    pub fn absorb(&mut self, shared: &SharedBudget) {
+        self.spent = self.spent.max(shared.total_spent());
+        if self.exhausted.is_none() {
+            self.exhausted = shared.cause();
+        }
+        self.until_check = 0;
+    }
+}
+
+#[inline]
+fn cause_to_code(cause: Option<ExhaustionCause>) -> u8 {
+    match cause {
+        None => 0,
+        Some(ExhaustionCause::Deadline) => 1,
+        Some(ExhaustionCause::WorkLimit) => 2,
+        Some(ExhaustionCause::Cancelled) => 3,
+    }
+}
+
+#[inline]
+fn code_to_cause(code: u8) -> Option<ExhaustionCause> {
+    match code {
+        1 => Some(ExhaustionCause::Deadline),
+        2 => Some(ExhaustionCause::WorkLimit),
+        3 => Some(ExhaustionCause::Cancelled),
+        _ => None,
+    }
+}
+
+/// One query budget charged concurrently by a pool of workers.
+///
+/// The shared state is two atomics: the total units spent and a one-shot
+/// exhaustion latch. Workers charge through per-thread [`WorkerTicker`]
+/// views that batch charges locally and synchronize every
+/// [`CHECK_INTERVAL`] units, so the hot-loop cost stays an add and a
+/// compare. The latch makes exhaustion **global**: the first worker to trip
+/// (deadline, work limit, or cancellation) publishes the cause, every other
+/// worker observes it at its next check and stops, and every worker's
+/// charges — including those of a task aborted mid-flight — are flushed
+/// into the shared total when its ticker finishes or drops.
+#[derive(Debug)]
+pub struct SharedBudget {
+    deadline: Option<Instant>,
+    work_limit: Option<u64>,
+    cancel: Option<Arc<AtomicBool>>,
+    spent: AtomicU64,
+    /// Exhaustion latch: 0 = live, else an [`ExhaustionCause`] code. The
+    /// first tripping worker wins; later causes are ignored.
+    cause: AtomicU8,
+}
+
+impl SharedBudget {
+    /// A shared budget that never exhausts (workers still pay the amortized
+    /// checks).
+    pub fn unlimited() -> Self {
+        BudgetTicker::unlimited().share()
+    }
+
+    /// A per-worker charging view. Any number may be live at once.
+    pub fn worker(&self) -> WorkerTicker<'_> {
+        WorkerTicker {
+            shared: self,
+            local: 0,
+            until_check: 0,
+            exhausted: code_to_cause(self.cause.load(Ordering::Acquire)),
+        }
+    }
+
+    /// Latches `cause` if no worker tripped before; returns the winning
+    /// cause either way.
+    fn latch(&self, cause: ExhaustionCause) -> ExhaustionCause {
+        match self.cause.compare_exchange(
+            0,
+            cause_to_code(Some(cause)),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => cause,
+            Err(prev) => code_to_cause(prev).unwrap_or(cause),
+        }
+    }
+
+    /// Whether any worker tripped the budget.
+    pub fn is_exhausted(&self) -> bool {
+        self.cause.load(Ordering::Acquire) != 0
+    }
+
+    /// The latched exhaustion cause, once a worker tripped.
+    pub fn cause(&self) -> Option<ExhaustionCause> {
+        code_to_cause(self.cause.load(Ordering::Acquire))
+    }
+
+    /// Total units flushed by all workers so far. Exact once every
+    /// [`WorkerTicker`] has finished or dropped.
+    pub fn total_spent(&self) -> u64 {
+        self.spent.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn flush_units(&self, units: u64) -> u64 {
+        if units == 0 {
+            return self.spent.load(Ordering::Acquire);
+        }
+        self.spent
+            .fetch_add(units, Ordering::AcqRel)
+            .saturating_add(units)
+    }
+}
+
+/// A per-worker view of a [`SharedBudget`]: same charge discipline as
+/// [`BudgetTicker`], but the expensive interval check also flushes the
+/// locally batched units into the shared total and consults the global
+/// exhaustion latch. Dropping the ticker flushes any outstanding units, so
+/// a worker that aborts mid-task never loses its charges.
+#[derive(Debug)]
+pub struct WorkerTicker<'a> {
+    shared: &'a SharedBudget,
+    /// Units charged locally since the last flush.
+    local: u64,
+    /// Charged units until the next flush + expensive check; starts at 0 so
+    /// the first charge checks immediately (an already-expired deadline
+    /// trips every worker before it does real work).
+    until_check: u64,
+    exhausted: Option<ExhaustionCause>,
+}
+
+impl WorkerTicker<'_> {
+    /// Charges `units` of work. Returns `true` while the shared budget
+    /// holds; `false` once this worker observes (or causes) exhaustion.
+    #[inline]
+    pub fn charge(&mut self, units: u64) -> bool {
+        if self.exhausted.is_some() {
+            return false;
+        }
+        self.local = self.local.saturating_add(units);
+        if self.until_check > units {
+            self.until_check -= units;
+            return true;
+        }
+        self.until_check = CHECK_INTERVAL;
+        self.check()
+    }
+
+    /// The slow path: flush local units, consult the latch, run the
+    /// expensive checks.
+    fn check(&mut self) -> bool {
+        let total = self.shared.flush_units(self.local);
+        self.local = 0;
+        if let Some(cause) = self.shared.cause() {
+            self.exhausted = Some(cause);
+            return false;
+        }
+        if let Some(limit) = self.shared.work_limit {
+            if total > limit {
+                self.exhausted = Some(self.shared.latch(ExhaustionCause::WorkLimit));
+                return false;
+            }
+        }
+        if let Some(cancel) = &self.shared.cancel {
+            if cancel.load(Ordering::Relaxed) {
+                self.exhausted = Some(self.shared.latch(ExhaustionCause::Cancelled));
+                return false;
+            }
+        }
+        if let Some(deadline) = self.shared.deadline {
+            if Instant::now() >= deadline {
+                self.exhausted = Some(self.shared.latch(ExhaustionCause::Deadline));
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether this worker has observed exhaustion. Other workers may have
+    /// tripped the shared latch without this view noticing yet; the next
+    /// [`charge`](Self::charge) interval will.
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted.is_some()
+    }
+
+    /// The exhaustion cause this worker observed, once it has.
+    pub fn cause(&self) -> Option<ExhaustionCause> {
+        self.exhausted
+    }
+}
+
+impl Drop for WorkerTicker<'_> {
+    /// Flush outstanding local charges so an aborted task's work still
+    /// counts against the shared budget.
+    fn drop(&mut self) {
+        self.shared.flush_units(self.local);
+        self.local = 0;
+    }
 }
 
 #[cfg(test)]
@@ -198,5 +411,76 @@ mod tests {
         assert!(t.charge(u64::MAX));
         assert!(t.charge(u64::MAX));
         assert_eq!(t.spent(), u64::MAX);
+    }
+
+    #[test]
+    fn shared_expired_deadline_trips_every_worker_on_first_charge() {
+        let shared =
+            BudgetTicker::new(Some(Instant::now() - Duration::from_secs(1)), None, None).share();
+        for _ in 0..3 {
+            let mut w = shared.worker();
+            assert!(!w.charge(1));
+            assert_eq!(w.cause(), Some(ExhaustionCause::Deadline));
+        }
+        assert_eq!(shared.cause(), Some(ExhaustionCause::Deadline));
+    }
+
+    #[test]
+    fn shared_latch_is_observed_by_other_workers() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let shared = BudgetTicker::new(None, None, Some(flag.clone())).share();
+        let mut a = shared.worker();
+        let mut b = shared.worker();
+        assert!(a.charge(1));
+        assert!(b.charge(1));
+        flag.store(true, Ordering::Relaxed);
+        let mut tripped = false;
+        for _ in 0..=CHECK_INTERVAL {
+            if !a.charge(1) {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped);
+        // b observes the cause a latched within one of its own intervals.
+        let mut observed = false;
+        for _ in 0..=CHECK_INTERVAL {
+            if !b.charge(1) {
+                observed = true;
+                break;
+            }
+        }
+        assert!(observed);
+        assert_eq!(b.cause(), Some(ExhaustionCause::Cancelled));
+    }
+
+    #[test]
+    fn dropped_worker_flushes_its_charges() {
+        let shared = BudgetTicker::unlimited().share();
+        {
+            let mut w = shared.worker();
+            assert!(w.charge(1)); // first charge flushes immediately
+            assert!(w.charge(7)); // batched locally
+        } // dropped mid-batch: the 7 units must not be lost
+        assert_eq!(shared.total_spent(), 8);
+    }
+
+    #[test]
+    fn absorb_carries_spend_and_cause_back() {
+        let mut t = BudgetTicker::new(None, Some(100), None);
+        assert!(t.charge(10));
+        let shared = t.share();
+        assert_eq!(shared.total_spent(), 10);
+        {
+            let mut w = shared.worker();
+            // 10 already spent + 95 > 100 trips the shared limit at the
+            // worker's first check.
+            assert!(!w.charge(95));
+        }
+        t.absorb(&shared);
+        assert!(t.is_exhausted());
+        assert_eq!(t.cause(), Some(ExhaustionCause::WorkLimit));
+        assert_eq!(t.spent(), 105);
+        assert!(!t.charge(1));
     }
 }

@@ -35,12 +35,10 @@ pub mod oracle;
 pub mod querydist;
 pub mod rangefilter;
 
-pub use budget::{BudgetTicker, ExhaustionCause};
+pub use budget::{BudgetTicker, ExhaustionCause, SharedBudget, WorkerTicker};
 pub use dijkstra::{bounded_sssp, sssp, sssp_from_location, SsspScratch};
 pub use gtree::{GTree, GTreeUpdateStats};
 pub use network::{EdgeUpdate, Location, RoadNetwork, RoadNetworkBuilder, RoadVertexId};
-#[allow(deprecated)]
-pub use oracle::OracleChoice;
 pub use oracle::{DistanceOracle, ScratchPool};
 pub use querydist::QueryDistanceIndex;
 pub use rangefilter::{AutoCalibration, FilterScratch, RangeFilter, RangeFilterChoice};

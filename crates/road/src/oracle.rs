@@ -21,35 +21,6 @@ use crate::gtree::GTree;
 use crate::network::{Location, RoadNetwork, RoadVertexId};
 use std::sync::Mutex;
 
-/// Which oracle a query should use (carried by `MacQuery` upstream).
-///
-/// Deprecated as a query-level knob: since the Lemma-1 filter became a set
-/// operation, strategy selection lives in
-/// [`RangeFilterChoice`](crate::rangefilter::RangeFilterChoice) (resolved by
-/// the prepared engine's calibration); the point-wise [`DistanceOracle`]
-/// backends remain first-class. An explicit `GTree` here still selects the
-/// per-user G-tree point path for compatibility.
-#[deprecated(
-    since = "0.2.0",
-    note = "select a range-filter strategy with `MacQuery::with_range_filter` \
-            (or let the engine's calibrated Auto resolve it) instead of the \
-            legacy oracle knob"
-)]
-#[allow(deprecated)]
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum OracleChoice {
-    /// Let the network pick. Currently resolves to Dijkstra for the
-    /// *point-wise* queries this oracle serves; the set-valued Lemma-1 range
-    /// filter has its own dispatch (`rangefilter::RangeFilterChoice`) with
-    /// measured trade-offs recorded in `BENCH_PR2.json`.
-    #[default]
-    Auto,
-    /// Always run (bounded) Dijkstra.
-    Dijkstra,
-    /// Use the G-tree index; falls back to Dijkstra when none is built.
-    GTree,
-}
-
 /// A pool of reusable [`SsspScratch`] buffers.
 ///
 /// The pool hands a scratch to each caller and takes it back afterwards, so

@@ -28,7 +28,9 @@
 
 use crate::coalesce::{Admission, CoalesceKey, InflightTable, ResponseCell};
 use crate::queue::{BoundedQueue, TryPushError};
-use rsn_core::{MacEngine, MacError, MacQuery, QueryBudget, QueryOutcome, SessionStats};
+use rsn_core::{
+    ExecutionPolicy, MacEngine, MacError, MacQuery, QueryBudget, QueryOutcome, SessionStats,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -46,9 +48,14 @@ pub struct ServeConfig {
     /// Per-worker [`ContextCache`](rsn_core::ContextCache) capacity
     /// (0 = caching disabled).
     pub context_cache_capacity: usize,
-    /// Budget applied by [`submit`](MacServer::submit) /
-    /// [`try_submit`](MacServer::try_submit); unlimited by default.
-    pub default_budget: QueryBudget,
+    /// The [`ExecutionPolicy`] every worker session executes under. Its
+    /// [`default_budget`](ExecutionPolicy::default_budget) is the budget
+    /// [`submit`](MacServer::submit) / [`try_submit`](MacServer::try_submit)
+    /// apply (deadlines measured **from submission**); its parallelism knobs
+    /// default to serial — a server already runs one session per core, so
+    /// intra-query parallelism only pays off for latency-critical
+    /// deployments with idle cores.
+    pub policy: ExecutionPolicy,
 }
 
 impl Default for ServeConfig {
@@ -58,7 +65,7 @@ impl Default for ServeConfig {
             queue_capacity: 256,
             coalescing: true,
             context_cache_capacity: rsn_core::DEFAULT_CONTEXT_CACHE_CAPACITY,
-            default_budget: QueryBudget::unlimited(),
+            policy: ExecutionPolicy::default(),
         }
     }
 }
@@ -247,9 +254,10 @@ impl MacServer {
                 let shared = Arc::clone(&shared);
                 let engine = engine.clone();
                 let cache_capacity = config.context_cache_capacity;
+                let policy = config.policy.clone();
                 std::thread::Builder::new()
                     .name(format!("rsn-serve-{worker}"))
-                    .spawn(move || worker_loop(&shared, engine, worker, cache_capacity))
+                    .spawn(move || worker_loop(&shared, engine, worker, cache_capacity, policy))
                     .expect("spawn serve worker")
             })
             .collect();
@@ -274,7 +282,7 @@ impl MacServer {
     /// Submits a query under the configured default budget, blocking while
     /// the queue is full (back-pressure).
     pub fn submit(&self, query: MacQuery) -> Result<ResponseHandle, SubmitError> {
-        self.submit_inner(query, self.config.default_budget.clone(), true)
+        self.submit_inner(query, self.config.policy.default_budget.clone(), true)
     }
 
     /// Submits a query under an explicit per-request budget, blocking while
@@ -293,7 +301,7 @@ impl MacServer {
     /// Non-blocking submission under the default budget: a full queue sheds
     /// the request (counted in [`ServerStats::shed`]) instead of waiting.
     pub fn try_submit(&self, query: MacQuery) -> Result<ResponseHandle, SubmitError> {
-        self.submit_inner(query, self.config.default_budget.clone(), false)
+        self.submit_inner(query, self.config.policy.default_budget.clone(), false)
     }
 
     fn submit_inner(
@@ -416,8 +424,9 @@ fn worker_loop(
     engine: MacEngine,
     worker: usize,
     cache_capacity: usize,
+    policy: ExecutionPolicy,
 ) -> SessionStats {
-    let mut session = engine.session();
+    let mut session = engine.session().with_policy(policy);
     if cache_capacity > 0 {
         session = session.with_context_cache(cache_capacity);
     }

@@ -7,7 +7,9 @@
 //! cargo run --release --example contact_tracing
 //! ```
 
-use road_social_mac::core::{AlgorithmChoice, MacEngine, MacQuery, RoadSocialNetwork};
+use road_social_mac::core::{
+    AlgorithmChoice, ExecutionPolicy, MacEngine, MacQuery, RoadSocialNetwork,
+};
 use road_social_mac::datagen::attrs::{generate_attrs, AttrDistribution};
 use road_social_mac::datagen::locations::{assign_locations, LocationConfig};
 use road_social_mac::datagen::road::{generate_road, RoadConfig};
@@ -42,8 +44,8 @@ fn main() {
     // The health authority serves many tracing queries against the same
     // district, so the network is prepared once and queries stream through a
     // reused session.
-    let engine = MacEngine::build(rsn);
-    let mut session = engine.session().with_max_candidates(64);
+    let engine = MacEngine::build_with_policy(rsn, ExecutionPolicy::new().with_max_candidates(64));
+    let mut session = engine.session();
 
     // Two confirmed cases from the first venue; possible contacts must be
     // within road distance 20 and form a 4-core with them. The investigator

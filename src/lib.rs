@@ -45,6 +45,13 @@
 //! `AlgorithmChoice::{Global, Local, Auto}` between the same algorithms
 //! through its engine's calibration, with all network-sized scratch reused
 //! across queries.
+//!
+//! *How* queries execute — parallel worker count, work stealing, algorithm
+//! and filter defaults, the default budget — is one
+//! [`core::ExecutionPolicy`], set at [`core::MacEngine::build_with_policy`],
+//! overridable per session ([`core::QuerySession::with_policy`]), with
+//! explicit per-query choices always winning. Parallel execution is
+//! output-identical to serial at any worker count.
 
 pub use rsn_baselines as baselines;
 pub use rsn_core as core;
@@ -59,8 +66,8 @@ pub use rsn_serve as serve;
 pub mod prelude {
     pub use rsn_core::{
         ktcore::maximal_kt_core, query::MacQuery, result::MacSearchResult, AlgorithmChoice,
-        GlobalSearch, LocalSearch, MacEngine, NetworkDelta, QueryBudget, QueryOutcome,
-        QuerySession, RoadSocialNetwork,
+        ExecutionPolicy, GlobalSearch, LocalSearch, MacEngine, NetworkDelta, QueryBudget,
+        QueryOutcome, QuerySession, RoadSocialNetwork,
     };
     pub use rsn_datagen::presets;
     pub use rsn_dom::dominance::DominanceGraph;

@@ -7,8 +7,8 @@
 
 use proptest::prelude::*;
 use road_social_mac::core::{
-    AlgorithmChoice, GlobalSearch, LocalSearch, MacEngine, MacQuery, MacSearchResult,
-    RoadSocialNetwork,
+    AlgorithmChoice, ExecutionPolicy, GlobalSearch, LocalSearch, MacEngine, MacQuery,
+    MacSearchResult, RoadSocialNetwork,
 };
 use road_social_mac::datagen::attrs::{generate_attrs, AttrDistribution};
 use road_social_mac::datagen::locations::{assign_locations, LocationConfig};
@@ -247,14 +247,13 @@ fn batch_execution_matches_individual_execution() {
     }
 }
 
-/// Regression pin for the deprecated oracle knob: `OracleChoice::GTree` with
-/// the filter left at `Auto` must keep selecting the per-user G-tree point
-/// path — through the engine's resolution and end-to-end — exactly as it did
-/// before the engine existed.
+/// The filter strategy only affects speed, never answers: the explicit
+/// G-tree point path, the explicit Dijkstra sweep, and the calibrated `Auto`
+/// resolution all agree end-to-end. (This replaces the retired
+/// `OracleChoice` compat pin: the per-user point path the legacy knob used to
+/// select is now requested directly via `RangeFilterChoice::GTreePoint`.)
 #[test]
-#[allow(deprecated)]
-fn legacy_oracle_knob_keeps_selecting_the_gtree_point_path() {
-    use road_social_mac::road::OracleChoice;
+fn filter_strategies_agree_end_to_end() {
     let (rsn, group) = random_network(11, 120, true);
     let engine = MacEngine::build(rsn.clone());
     let base = MacQuery::new(
@@ -263,34 +262,27 @@ fn legacy_oracle_knob_keeps_selecting_the_gtree_point_path() {
         60.0,
         region_for(0.15),
     );
-    let legacy = base.clone().with_oracle(OracleChoice::GTree);
-    assert_eq!(
-        engine.resolve_filter(&legacy),
-        RangeFilterChoice::GTreePoint,
-        "oracle knob must keep selecting the point path"
-    );
-    // End-to-end: the legacy knob, the explicit point filter, and the legacy
-    // one-shot path all agree.
+    let point = base
+        .clone()
+        .with_range_filter(RangeFilterChoice::GTreePoint);
     let mut session = engine.session();
-    let via_knob = session.execute(&legacy).unwrap();
-    let via_filter = session
+    let via_point = session.execute(&point).unwrap();
+    let via_sweep = session
         .execute(
             &base
                 .clone()
-                .with_range_filter(RangeFilterChoice::GTreePoint),
+                .with_range_filter(RangeFilterChoice::DijkstraSweep),
         )
         .unwrap();
-    let via_oneshot = GlobalSearch::new(&rsn, &legacy)
-        .run_non_contained()
-        .unwrap();
-    assert_results_identical("knob vs explicit filter", &via_knob, &via_filter);
-    assert_results_identical("knob vs one-shot", &via_knob, &via_oneshot);
-    // An explicit filter choice always wins over the knob.
-    let overridden = base
-        .with_oracle(OracleChoice::GTree)
-        .with_range_filter(RangeFilterChoice::DijkstraSweep);
+    let via_auto = session.execute(&base).unwrap();
+    let via_oneshot = GlobalSearch::new(&rsn, &point).run_non_contained().unwrap();
+    assert_results_identical("point vs sweep", &via_point, &via_sweep);
+    assert_results_identical("point vs auto", &via_point, &via_auto);
+    assert_results_identical("point vs one-shot", &via_point, &via_oneshot);
+    // An explicit query-level choice always wins over the calibrated Auto.
+    let explicit = base.with_range_filter(RangeFilterChoice::DijkstraSweep);
     assert_eq!(
-        engine.resolve_filter(&overridden),
+        engine.resolve_filter(&explicit),
         RangeFilterChoice::DijkstraSweep
     );
 }
@@ -311,4 +303,86 @@ fn measured_and_analytic_engines_agree_on_results() {
         let a = a_session.execute(query).unwrap();
         assert_results_identical(&format!("calibration query {i}"), &m, &a);
     }
+}
+
+/// The engine → session → query policy layering: an engine-level
+/// [`ExecutionPolicy`] seeds every session, a session-level `with_policy`
+/// replaces it, and an explicit query-level choice still wins over both.
+#[test]
+fn execution_policy_layers_engine_session_query() {
+    let (rsn, group) = random_network(31, 120, true);
+    // Engine-level: default every Auto query to the local framework.
+    let policy = ExecutionPolicy::new()
+        .with_algorithm(AlgorithmChoice::Local)
+        .with_max_candidates(20);
+    let engine = MacEngine::build_uncalibrated_with_policy(rsn.clone(), policy);
+    assert_eq!(engine.policy().algorithm, AlgorithmChoice::Local);
+    let mut session = engine.session();
+    assert_eq!(session.policy().max_candidates, 20);
+
+    // A query left at Auto resolves through the policy default (Local here),
+    // matching an explicitly Local query with the same candidate budget.
+    let region = region_for(0.1);
+    let auto_q = MacQuery::new(group[..2].to_vec(), 4, 50.0, region.clone());
+    let local_q = auto_q.clone().with_algorithm(AlgorithmChoice::Local);
+    let via_policy = session.execute(&auto_q).unwrap();
+    let reference = LocalSearch::new(&rsn, &local_q)
+        .with_max_candidates(20)
+        .run_non_contained()
+        .unwrap();
+    assert_results_identical("policy-default Local", &via_policy, &reference);
+
+    // Query-level choice wins over the policy default.
+    let global_q = auto_q.clone().with_algorithm(AlgorithmChoice::Global);
+    let via_query = session.execute(&global_q).unwrap();
+    let gs_reference = GlobalSearch::new(&rsn, &global_q)
+        .run_non_contained()
+        .unwrap();
+    assert_results_identical("query overrides policy", &via_query, &gs_reference);
+
+    // Session-level with_policy replaces the engine's policy wholesale.
+    let mut overridden = engine
+        .session()
+        .with_policy(ExecutionPolicy::new().with_parallelism(2));
+    assert_eq!(overridden.policy().algorithm, AlgorithmChoice::Auto);
+    assert_eq!(overridden.policy().parallelism, 2);
+    let parallel = overridden.execute(&global_q).unwrap();
+    assert_results_identical("parallel session ≡ serial", &parallel, &gs_reference);
+}
+
+/// The deprecated per-session setters survive as shims over the policy and
+/// still steer execution exactly as before the redesign.
+#[test]
+#[allow(deprecated)]
+fn deprecated_session_setters_still_steer_execution() {
+    let (rsn, group) = random_network(37, 120, false);
+    let engine = MacEngine::build_uncalibrated(rsn.clone());
+    let mut session = engine
+        .session()
+        .with_parallelism(2)
+        .with_expand_strategy(road_social_mac::core::ExpandStrategy::MinDegreeDriven {
+            zeta: 100.0,
+        })
+        .with_max_candidates(20);
+    assert_eq!(session.policy().parallelism, 2);
+    assert_eq!(session.policy().max_candidates, 20);
+
+    let region = region_for(0.1);
+    let query =
+        MacQuery::new(group[..2].to_vec(), 4, 50.0, region).with_algorithm(AlgorithmChoice::Local);
+    let via_shim = session.execute(&query).unwrap();
+    let reference = LocalSearch::new(&rsn, &query)
+        .with_strategy(road_social_mac::core::ExpandStrategy::MinDegreeDriven { zeta: 100.0 })
+        .with_max_candidates(20)
+        .run_non_contained()
+        .unwrap();
+    assert_results_identical("deprecated shims", &via_shim, &reference);
+
+    // The deprecated one-shot parallelism setter still works too.
+    let gs_serial = GlobalSearch::new(&rsn, &query).run_non_contained().unwrap();
+    let gs_parallel = GlobalSearch::new(&rsn, &query)
+        .with_parallelism(2)
+        .run_non_contained()
+        .unwrap();
+    assert_results_identical("deprecated GS parallelism", &gs_parallel, &gs_serial);
 }
